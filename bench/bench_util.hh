@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: banner
+ * printing and the standard node configurations.
+ */
+
+#ifndef SCALEDEEP_BENCH_BENCH_UTIL_HH
+#define SCALEDEEP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/logging.hh"
+#include "core/table.hh"
+
+namespace sd::bench {
+
+/** Print a figure banner with the paper reference. */
+inline void
+banner(const std::string &figure, const std::string &what)
+{
+    std::string line(72, '=');
+    std::printf("%s\n%s — %s\n%s\n", line.c_str(), figure.c_str(),
+                what.c_str(), line.c_str());
+}
+
+/** Print a table followed by a blank line. */
+inline void
+show(const Table &t)
+{
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace sd::bench
+
+#endif // SCALEDEEP_BENCH_BENCH_UTIL_HH

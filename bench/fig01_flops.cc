@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 1: scalar FLOPs for single-image DNN evaluation across the
+ * benchmark networks, showing the >10x growth from the 2012 to the
+ * 2014-15 ImageNet entries.
+ */
+
+#include "bench/bench_util.hh"
+#include "dnn/workload.hh"
+#include "dnn/zoo.hh"
+
+int
+main()
+{
+    using namespace sd;
+    setVerbose(false);
+    bench::banner("Figure 1", "DNN evaluation: scalar FLOPs (billions)");
+
+    // Presentation order of the paper's Figure 1 (by FLOPs).
+    const char *order[] = {"AlexNet", "ZF", "ResNet18", "GoogLenet",
+                           "CNN-S", "OF-Fast", "ResNet34", "OF-Acc",
+                           "VGG-A", "VGG-D", "VGG-E"};
+    Table t({"network", "eval GFLOPs", "connections (B MACs)"});
+    double alexnet_flops = 0.0, vgge_flops = 0.0;
+    for (const char *name : order) {
+        dnn::Network net = dnn::makeByName(name);
+        dnn::Workload w(net);
+        double gflops = w.evaluationFlops() / 1e9;
+        if (std::string(name) == "AlexNet")
+            alexnet_flops = gflops;
+        if (std::string(name) == "VGG-E")
+            vgge_flops = gflops;
+        t.addRow({name, fmtDouble(gflops, 2),
+                  fmtDouble(net.totalMacs() / 1e9, 2)});
+    }
+    bench::show(t);
+    std::printf("growth AlexNet (2012) -> VGG-E (2014-15): %.1fx "
+                "(paper: >10x)\n",
+                vgge_flops / alexnet_flops);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 14: the ScaleDeep micro-architectural parameter table and the
+ * power / peak-FLOPs / processing-efficiency roll-up at every level of
+ * the hierarchy, regenerated from the architecture model.
+ */
+
+#include "arch/power.hh"
+#include "arch/presets.hh"
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace sd;
+    using namespace sd::arch;
+    setVerbose(false);
+    bench::banner("Figure 14",
+                  "ScaleDeep micro-architectural parameters (SP node)");
+
+    NodeConfig node = singlePrecisionNode();
+    const ChipConfig &conv = node.cluster.convChip;
+    const ChipConfig &fc = node.cluster.fcChip;
+
+    Table params({"parameter", "ConvLayer chip", "FcLayer chip"});
+    auto num = [](auto v) { return std::to_string(v); };
+    params.addRow({"chip rows", num(conv.rows), num(fc.rows)});
+    params.addRow({"chip columns", num(conv.cols), num(fc.cols)});
+    params.addRow({"CompHeavy tiles", num(conv.numCompHeavy()),
+                   num(fc.numCompHeavy())});
+    params.addRow({"MemHeavy tiles", num(conv.numMemHeavy()),
+                   num(fc.numMemHeavy())});
+    params.addRow({"2D-PE array (RxC)",
+                   num(conv.comp.arrayRows) + "x" +
+                       num(conv.comp.arrayCols),
+                   num(fc.comp.arrayRows) + "x" + num(fc.comp.arrayCols)});
+    params.addRow({"lanes / 2D-PE", num(conv.comp.lanes),
+                   num(fc.comp.lanes)});
+    params.addRow({"MemHeavy capacity",
+                   fmtEng(static_cast<double>(conv.mem.capacity), 0) + "B",
+                   fmtEng(static_cast<double>(fc.mem.capacity), 0) + "B"});
+    params.addRow({"SFUs / MemHeavy tile", num(conv.mem.numSfu),
+                   num(fc.mem.numSfu)});
+    params.addRow({"ext/comp-mem/mem-mem BW (GBps)",
+                   fmtDouble(conv.links.extMemBw / 1e9, 0) + "/" +
+                       fmtDouble(conv.links.compMemBw / 1e9, 0) + "/" +
+                       fmtDouble(conv.links.memMemBw / 1e9, 0),
+                   fmtDouble(fc.links.extMemBw / 1e9, 0) + "/" +
+                       fmtDouble(fc.links.compMemBw / 1e9, 0) + "/" +
+                       fmtDouble(fc.links.memMemBw / 1e9, 0)});
+    bench::show(params);
+
+    std::printf("node: %d chip clusters x (%d ConvLayer + 1 FcLayer) "
+                "chips, %d CompHeavy + %d MemHeavy = %d tiles @ "
+                "%.0f MHz\nwheel spoke/arc %.1f/%.0f GBps, ring %.0f "
+                "GBps\n\n",
+                node.numClusters, node.cluster.numConvChips,
+                node.numCompHeavy(), node.numMemHeavy(),
+                node.numTiles(), node.freq / 1e6,
+                node.cluster.spokeBw / 1e9, node.cluster.arcBw / 1e9,
+                node.ringBw / 1e9);
+
+    PowerModel power(node);
+    Table roll({"component", "power", "peak FLOPs (SP)",
+                "efficiency (FLOPs/W)"});
+    auto row = [&](const std::string &name, double watts, double flops) {
+        roll.addRow({name, fmtDouble(watts * 1000.0, 1) + "mW",
+                     fmtEng(flops, 1), fmtEng(flops / watts, 1)});
+    };
+    auto roww = [&](const std::string &name, double watts,
+                    double flops) {
+        roll.addRow({name, fmtDouble(watts, 1) + "W", fmtEng(flops, 1),
+                     fmtEng(flops / watts, 1)});
+    };
+    roww("ScaleDeep node", power.nodePeak().total(), node.peakFlops());
+    roww("chip cluster", power.clusterPeak().total(),
+         node.cluster.peakFlops(node.freq));
+    roww("ConvLayer chip", power.chipPeak(conv).total(),
+         conv.peakFlops(node.freq));
+    row("Conv CompHeavy tile", power.convTile().compHeavyWatts,
+        conv.comp.peakFlops(node.freq));
+    row("Conv MemHeavy tile", power.convTile().memHeavyWatts,
+        conv.mem.peakFlops(node.freq));
+    roww("FcLayer chip", power.chipPeak(fc).total(),
+         fc.peakFlops(node.freq));
+    row("Fc CompHeavy tile", power.fcTile().compHeavyWatts,
+        fc.comp.peakFlops(node.freq));
+    row("Fc MemHeavy tile", power.fcTile().memHeavyWatts,
+        fc.mem.peakFlops(node.freq));
+    bench::show(roll);
+
+    std::printf("paper reference: node 1.4KW / 0.68P / 485.7G per W; "
+                "ConvLayer chip 57.8W / 40.7T / 703.5G; Conv CompHeavy "
+                "143.8mW / 134G / 934.6G.\n");
+    return 0;
+}

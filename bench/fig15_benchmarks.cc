@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 15: the DNN benchmark table — layer counts, neurons, weights
+ * and connections per network — computed from the zoo topologies.
+ */
+
+#include "bench/bench_util.hh"
+#include "dnn/zoo.hh"
+
+int
+main()
+{
+    using namespace sd;
+    setVerbose(false);
+    bench::banner("Figure 15", "DNN benchmark suite");
+
+    Table t({"benchmark", "layers (CONV/FC/SAMP)", "neurons (M)",
+             "weights (M)", "connections (B)"});
+    const char *order[] = {"AlexNet", "ZF", "CNN-S", "OF-Fast",
+                           "OF-Acc", "GoogLenet", "VGG-A", "VGG-D",
+                           "VGG-E", "ResNet18", "ResNet34"};
+    for (const char *name : order) {
+        dnn::Network net = dnn::makeByName(name);
+        dnn::NetworkSummary s = net.summary();
+        int total = s.convLayers + s.fcLayers + s.sampLayers;
+        t.addRow({name,
+                  std::to_string(total) + " (" +
+                      std::to_string(s.convLayers) + "/" +
+                      std::to_string(s.fcLayers) + "/" +
+                      std::to_string(s.sampLayers) + ")",
+                  fmtDouble(s.neurons / 1e6, 2),
+                  fmtDouble(s.weights / 1e6, 1),
+                  fmtDouble(s.connections / 1e9, 2)});
+    }
+    bench::show(t);
+    std::printf("paper reference ranges: 11-39 layers, 0.65M-14.9M "
+                "neurons, 6.8M-145.9M weights, 0.66B-19.4B "
+                "connections.\n");
+    return 0;
+}

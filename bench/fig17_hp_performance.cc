@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 17: half-precision training and evaluation performance and
+ * the speedup over the single-precision node (paper: 1.85x training,
+ * 1.82x evaluation at roughly iso-power).
+ */
+
+#include <cmath>
+
+#include "arch/presets.hh"
+#include "bench/bench_util.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+int
+main()
+{
+    using namespace sd;
+    setVerbose(false);
+    bench::banner("Figure 17",
+                  "Half precision: training & evaluation performance");
+
+    arch::NodeConfig sp = arch::singlePrecisionNode();
+    arch::NodeConfig hp = arch::halfPrecisionNode();
+    std::printf("HP node peak: %s FLOPs at %.2fx SP power\n\n",
+                fmtEng(hp.peakFlops(), 2).c_str(),
+                arch::PowerModel(hp).nodePeak().total() /
+                    arch::PowerModel(sp).nodePeak().total());
+
+    Table t({"network", "cols", "train img/s", "eval img/s",
+             "train speedup vs SP", "eval speedup vs SP", "util"});
+    double log_ts = 0.0, log_es = 0.0;
+    int n = 0;
+    for (const auto &entry : dnn::benchmarkSuite()) {
+        dnn::Network net = entry.make();
+        sim::perf::PerfResult rs = sim::perf::PerfSim(net, sp).run();
+        sim::perf::PerfResult rh = sim::perf::PerfSim(net, hp).run();
+        double ts = rh.trainImagesPerSec / rs.trainImagesPerSec;
+        double es = rh.evalImagesPerSec / rs.evalImagesPerSec;
+        t.addRow({entry.name,
+                  std::to_string(rh.mapping.convColumns),
+                  fmtDouble(rh.trainImagesPerSec, 0),
+                  fmtDouble(rh.evalImagesPerSec, 0),
+                  fmtDouble(ts, 2) + "x", fmtDouble(es, 2) + "x",
+                  fmtPercent(rh.peUtil)});
+        log_ts += std::log(ts);
+        log_es += std::log(es);
+        ++n;
+    }
+    t.addRow({"GeoMean", "", "", "",
+              fmtDouble(std::exp(log_ts / n), 2) + "x",
+              fmtDouble(std::exp(log_es / n), 2) + "x", ""});
+    bench::show(t);
+    std::printf("paper reference: 1.85x training / 1.82x evaluation "
+                "speedup over the SP design at ~iso-power; HP chip is "
+                "8x24 (conv) and 8x12 (fc).\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 18: ScaleDeep chip-cluster speedup over TitanX (Maxwell) GPU
+ * software stacks for AlexNet, GoogLeNet, OverFeat and VGG-A. The
+ * comparison is at the cluster level because a TitanX card draws
+ * roughly the same power (~320 W) as a chip cluster.
+ */
+
+#include <cmath>
+
+#include "arch/presets.hh"
+#include "baseline/gpu.hh"
+#include "bench/bench_util.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+int
+main()
+{
+    using namespace sd;
+    using namespace sd::baseline;
+    setVerbose(false);
+    bench::banner("Figure 18",
+                  "ScaleDeep chip-cluster speedup over TitanX GPU");
+
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    const char *names[] = {"AlexNet", "GoogLenet", "OF-Fast", "VGG-A"};
+
+    std::vector<std::string> header = {"network",
+                                       "cluster train img/s"};
+    for (Framework fw : allFrameworks())
+        header.push_back(std::string("vs ") + frameworkName(fw));
+    header.push_back("vs Pascal-Neon");
+    Table t(header);
+
+    std::map<Framework, double> log_speedup;
+    double log_pascal = 0.0;
+    for (const char *name : names) {
+        dnn::Network net = dnn::makeByName(name);
+        sim::perf::PerfSim sim(net, node);
+        double cluster =
+            sim.run().trainImagesPerSec / node.numClusters;
+        std::vector<std::string> row = {name, fmtDouble(cluster, 0)};
+        for (Framework fw : allFrameworks()) {
+            GpuModel gpu(titanXMaxwell(), fw);
+            double speedup = cluster / gpu.trainImagesPerSec(net);
+            log_speedup[fw] += std::log(speedup);
+            row.push_back(fmtDouble(speedup, 1) + "x");
+        }
+        GpuModel pascal(titanXPascal(), Framework::NervanaNeon);
+        double ps = cluster / pascal.trainImagesPerSec(net);
+        log_pascal += std::log(ps);
+        row.push_back(fmtDouble(ps, 1) + "x");
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> geo = {"GeoMean", ""};
+    for (Framework fw : allFrameworks())
+        geo.push_back(fmtDouble(std::exp(log_speedup[fw] / 4), 1) +
+                      "x");
+    geo.push_back(fmtDouble(std::exp(log_pascal / 4), 1) + "x");
+    t.addRow(std::move(geo));
+    bench::show(t);
+
+    std::printf("paper reference: 22x-28x vs cuDNN-R2, 6x-15x vs "
+                "Nervana Neon, 7x-11x vs TensorFlow, 5x-11x vs "
+                "Winograd stacks, 4.6x-7.3x vs perfectly scaled "
+                "Pascal.\n");
+    return 0;
+}

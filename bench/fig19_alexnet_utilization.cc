@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 19: AlexNet layer-wise compute/memory utilization — the
+ * waterfall from column-allocation granularity through feature
+ * distribution and 2D-array residue down to achieved utilization.
+ */
+
+#include "arch/presets.hh"
+#include "bench/bench_util.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+int
+main()
+{
+    using namespace sd;
+    setVerbose(false);
+    bench::banner("Figure 19",
+                  "AlexNet layer-wise utilization waterfall");
+
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    dnn::Network net = dnn::makeAlexNet();
+    sim::perf::PerfSim sim(net, node);
+    sim::perf::PerfResult r = sim.run();
+
+    Table t({"layer", "cols", "col-alloc util", "feature-dist util",
+             "array-residue util", "achieved util"});
+    for (const auto &lp : r.layers) {
+        if (lp.fcSide)
+            continue;
+        t.addRow({lp.name, std::to_string(lp.columns),
+                  fmtDouble(lp.columnUtil, 2),
+                  fmtDouble(lp.featureDistUtil, 2),
+                  fmtDouble(lp.arrayResidueUtil, 2),
+                  fmtDouble(lp.achievedUtil, 2)});
+    }
+    bench::show(t);
+
+    std::printf("aggregate chain (FLOP weighted): column alloc %.2f "
+                "-> feature dist %.2f -> array residue %.2f -> "
+                "achieved %.2f\n",
+                r.columnAllocUtil,
+                r.columnAllocUtil * r.featureDistUtil,
+                r.columnAllocUtil * r.featureDistUtil *
+                    r.arrayResidueUtil,
+                r.peUtil);
+    std::printf("paper reference (suite averages): 0.68 after column "
+                "allocation, 0.64 after feature distribution, 0.42 "
+                "after array residue, 0.35 achieved.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 20: average training power (normalized to peak, with the
+ * compute/memory/interconnect split) and achieved processing
+ * efficiency (GFLOPs/W) per benchmark.
+ */
+
+#include <cmath>
+
+#include "arch/presets.hh"
+#include "bench/bench_util.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+int
+main()
+{
+    using namespace sd;
+    setVerbose(false);
+    bench::banner("Figure 20", "Average power and processing efficiency");
+
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    arch::PowerModel power(node);
+    const double peak = power.nodePeak().total();
+    std::printf("node peak power: %.0f W\n\n", peak);
+
+    Table t({"network", "avg power W", "norm.", "compute", "memory",
+             "interconnect", "GFLOPs/W"});
+    double log_eff = 0.0;
+    int n = 0;
+    for (const auto &entry : dnn::benchmarkSuite()) {
+        dnn::Network net = entry.make();
+        sim::perf::PerfSim sim(net, node);
+        sim::perf::PerfResult r = sim.run();
+        double total = r.avgPower.total();
+        t.addRow({entry.name, fmtDouble(total, 0),
+                  fmtDouble(total / peak, 2),
+                  fmtPercent(r.avgPower.compute / total, 0),
+                  fmtPercent(r.avgPower.memory / total, 0),
+                  fmtPercent(r.avgPower.interconnect / total, 0),
+                  fmtDouble(r.gflopsPerWatt, 0)});
+        log_eff += std::log(r.gflopsPerWatt);
+        ++n;
+    }
+    t.addRow({"GeoMean", "", "", "", "", "",
+              fmtDouble(std::exp(log_eff / n), 0)});
+    bench::show(t);
+    std::printf("paper reference: 331.7 GFLOPs/W average; compute and "
+                "interconnect power track utilization while memory "
+                "power (leakage dominated) stays nearly constant.\n");
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the repository's hot paths:
+ * the reference DNN kernels (golden model), the functional machine's
+ * instruction throughput, and the mapper/performance simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/presets.hh"
+#include "core/logging.hh"
+#include "compiler/codegen.hh"
+#include "core/random.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    const int hw = static_cast<int>(state.range(0));
+    Network net = makeSingleConv(16, hw, 16, 3, 1, 1);
+    const Layer &l = net.layer(1);
+    Rng rng(1);
+    Tensor in = Tensor::uniform({16, static_cast<std::size_t>(hw),
+                                 static_cast<std::size_t>(hw)}, rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor out({16, static_cast<std::size_t>(l.outH),
+                static_cast<std::size_t>(l.outW)});
+    for (auto _ : state) {
+        convForward(l, in, w, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * l.macCount());
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_ConvBackwardData(benchmark::State &state)
+{
+    const int hw = static_cast<int>(state.range(0));
+    Network net = makeSingleConv(16, hw, 16, 3, 1, 1);
+    const Layer &l = net.layer(1);
+    Rng rng(2);
+    Tensor dout = Tensor::uniform({16, static_cast<std::size_t>(l.outH),
+                                   static_cast<std::size_t>(l.outW)},
+                                  rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor din({16, static_cast<std::size_t>(hw),
+                static_cast<std::size_t>(hw)});
+    for (auto _ : state) {
+        convBackwardData(l, dout, w, din);
+        benchmark::DoNotOptimize(din.data());
+    }
+    state.SetItemsProcessed(state.iterations() * l.macCount());
+}
+BENCHMARK(BM_ConvBackwardData)->Arg(16)->Arg(32);
+
+void
+BM_FcForward(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    NetworkBuilder b("t", 1, 1, n);
+    b.fc("f", b.input(), n, Activation::None);
+    Network net = b.build();
+    const Layer &l = net.layer(1);
+    Rng rng(3);
+    Tensor in = Tensor::uniform({1, 1, static_cast<std::size_t>(n)},
+                                rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor out({static_cast<std::size_t>(n), 1, 1});
+    for (auto _ : state) {
+        fcForward(l, in, w, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * l.macCount());
+}
+BENCHMARK(BM_FcForward)->Arg(256)->Arg(1024);
+
+void
+BM_ReferenceTrainStep(benchmark::State &state)
+{
+    Network net = makeTinyCnn(16, 4);
+    ReferenceEngine eng(net, 5);
+    SyntheticDataset data(4, 1, 16, 16, 7);
+    auto [img, label] = data.sample();
+    for (auto _ : state) {
+        double loss = eng.forwardBackward(img, label);
+        benchmark::DoNotOptimize(loss);
+        eng.applyUpdate(0.01f, 1);
+    }
+}
+BENCHMARK(BM_ReferenceTrainStep);
+
+void
+BM_FunctionalMachineTinyCnn(benchmark::State &state)
+{
+    Network net = makeTinyCnn(16, 4);
+    ReferenceEngine eng(net, 5);
+    sim::MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    compiler::FuncRunner runner(net, mc);
+    runner.loadWeights(eng);
+    Rng rng(9);
+    Tensor img = Tensor::uniform({1, 16, 16}, rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor out = runner.evaluate(img);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FunctionalMachineTinyCnn);
+
+void
+BM_MapperVggE(benchmark::State &state)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeVggE();
+    for (auto _ : state) {
+        compiler::Mapper mapper(net, node);
+        auto m = mapper.map();
+        benchmark::DoNotOptimize(m.convColumns);
+    }
+}
+BENCHMARK(BM_MapperVggE);
+
+void
+BM_PerfSimSuite(benchmark::State &state)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeGoogLeNet();
+    for (auto _ : state) {
+        sim::perf::PerfSim sim(net, node);
+        auto r = sim.run();
+        benchmark::DoNotOptimize(r.trainImagesPerSec);
+    }
+}
+BENCHMARK(BM_PerfSimSuite);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sd::setVerbose(false);
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

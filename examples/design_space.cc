@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Design-space exploration: sweep CompHeavy array geometry, MemHeavy
+ * capacity and chip column count around the paper's design point and
+ * report training throughput and efficiency on a mixed workload —
+ * the kind of study the ScaleDeep authors ran to pick Figure 14's
+ * parameters.
+ *
+ * Run:  ./design_space
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "arch/presets.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+
+/** Geometric-mean training throughput over a 3-network workload. */
+double
+workloadScore(const arch::NodeConfig &node)
+{
+    const char *names[] = {"AlexNet", "GoogLenet", "VGG-A"};
+    double log_sum = 0.0;
+    for (const char *name : names) {
+        dnn::Network net = dnn::makeByName(name);
+        sim::perf::PerfSim sim(net, node);
+        log_sum += std::log(sim.run().trainImagesPerSec);
+    }
+    return std::exp(log_sum / 3.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sd;
+    setVerbose(false);
+
+    std::printf("design-space sweep around the Figure 14 point "
+                "(geo-mean train img/s over AlexNet/GoogLeNet/"
+                "VGG-A)\n\n");
+
+    // Sweep 1: 2D-PE array geometry at constant lane count.
+    {
+        Table t({"array (RxCxL)", "lanes", "peak/tile", "score img/s"});
+        const int shapes[][3] = {{8, 3, 4}, {4, 6, 4}, {16, 3, 2},
+                                 {8, 6, 2}, {8, 12, 1}, {12, 2, 4}};
+        for (const auto &sh : shapes) {
+            arch::NodeConfig node = arch::singlePrecisionNode();
+            node.cluster.convChip.comp.arrayRows = sh[0];
+            node.cluster.convChip.comp.arrayCols = sh[1];
+            node.cluster.convChip.comp.lanes = sh[2];
+            t.addRow({std::to_string(sh[0]) + "x" +
+                          std::to_string(sh[1]) + "x" +
+                          std::to_string(sh[2]),
+                      std::to_string(sh[0] * sh[1] * sh[2]),
+                      fmtEng(node.cluster.convChip.comp.peakFlops(
+                                 node.freq), 1),
+                      fmtDouble(workloadScore(node), 0)});
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    // Sweep 2: MemHeavy capacity (mapping pressure vs area).
+    {
+        Table t({"MemHeavy capacity", "score img/s"});
+        for (int kib : {128, 256, 512, 1024}) {
+            arch::NodeConfig node = arch::singlePrecisionNode();
+            node.cluster.convChip.mem.capacity =
+                static_cast<Bytes>(kib) * 1024;
+            t.addRow({std::to_string(kib) + " KiB",
+                      fmtDouble(workloadScore(node), 0)});
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+
+    // Sweep 3: chip columns (more, smaller columns vs fewer).
+    {
+        Table t({"chip columns", "score img/s"});
+        for (int cols : {8, 12, 16, 24}) {
+            arch::NodeConfig node = arch::singlePrecisionNode();
+            node.cluster.convChip.cols = cols;
+            t.addRow({std::to_string(cols),
+                      fmtDouble(workloadScore(node), 0)});
+        }
+        t.print(std::cout);
+    }
+    std::printf("\nthe paper's 8x3x4 array / 512 KiB / 16-column "
+                "design point should score at or near the top of each "
+                "sweep.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the 60-second tour of the library.
+ *
+ *  1. Build a DNN topology with the builder API.
+ *  2. Analyze its workload (FLOPs, Bytes/FLOP).
+ *  3. Map it onto the ScaleDeep node with the compiler.
+ *  4. Estimate training/evaluation performance with the simulator.
+ *
+ * Run:  ./quickstart
+ */
+
+#include <cstdio>
+
+#include "arch/presets.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "dnn/network.hh"
+#include "dnn/workload.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+int
+main()
+{
+    using namespace sd;
+    setVerbose(false);
+
+    // 1. A small VGG-flavoured CNN, built layer by layer.
+    dnn::NetworkBuilder b("demo-cnn", 3, 64, 64);
+    auto c1 = b.conv("conv1", b.input(), 32, 3, 1, 1);
+    auto p1 = b.maxPool("pool1", c1, 2, 2);
+    auto c2 = b.conv("conv2", p1, 64, 3, 1, 1);
+    auto p2 = b.maxPool("pool2", c2, 2, 2);
+    auto c3 = b.conv("conv3", p2, 128, 3, 1, 1);
+    auto p3 = b.maxPool("pool3", c3, 2, 2);
+    auto f1 = b.fc("fc1", p3, 256);
+    b.fc("fc2", f1, 10, dnn::Activation::None);
+    dnn::Network net = b.build();
+
+    dnn::NetworkSummary s = net.summary();
+    std::printf("network %s: %d conv + %d fc + %d samp layers, %.2fM "
+                "neurons, %.2fM weights\n",
+                net.name().c_str(), s.convLayers, s.fcLayers,
+                s.sampLayers, s.neurons / 1e6, s.weights / 1e6);
+
+    // 2. Workload analysis.
+    dnn::Workload w(net);
+    std::printf("evaluation: %.2f GFLOPs/image; training: %.2f "
+                "GFLOPs/image\n",
+                w.evaluationFlops() / 1e9, w.trainingFlops() / 1e9);
+
+    // 3 + 4. Map and simulate on the paper's single-precision node.
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    sim::perf::PerfSim sim(net, node);
+    sim::perf::PerfResult r = sim.run();
+    std::printf("mapping: %d ConvLayer columns on %d chip(s), %d "
+                "copies across the node\n",
+                r.mapping.convColumns, r.mapping.convChips,
+                r.mapping.copies);
+    std::printf("training %.0f img/s, evaluation %.0f img/s, 2D-PE "
+                "utilization %.1f%%, %.0f GFLOPs/W\n",
+                r.trainImagesPerSec, r.evalImagesPerSec,
+                100.0 * r.peUtil, r.gflopsPerWatt);
+
+    // Compare with a stock network from the zoo.
+    sim::perf::PerfSim alex_sim(dnn::makeAlexNet(), node);
+    std::printf("for reference, AlexNet trains at %.0f img/s on the "
+                "same node.\n",
+                alex_sim.run().trainImagesPerSec);
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * sdsim — command-line driver for the ScaleDeep performance simulator.
+ *
+ * Usage:
+ *   sdsim [--net NAME | --all] [--precision sp|hp] [--minibatch N]
+ *         [--csv] [--layers]
+ *
+ *   --net NAME     simulate one benchmark network (default AlexNet)
+ *   --all          simulate the whole 11-network suite
+ *   --precision    sp (default) or hp node preset
+ *   --minibatch N  images per weight update (default 256)
+ *   --csv          emit CSV instead of an aligned table
+ *   --layers       also print the per-layer mapping/utilization detail
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--net NAME | --all] [--precision sp|hp]"
+                 " [--minibatch N] [--csv] [--layers]\n"
+                 "networks:";
+    for (const auto &e : dnn::benchmarkSuite())
+        std::cerr << " " << e.name;
+    std::cerr << "\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::vector<std::string> nets = {"AlexNet"};
+    bool all = false, csv = false, layers = false;
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    sim::perf::PerfOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("sdsim: ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--net") {
+            nets = {value()};
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--precision") {
+            std::string p = value();
+            if (p == "sp") {
+                node = arch::singlePrecisionNode();
+            } else if (p == "hp") {
+                node = arch::halfPrecisionNode();
+            } else {
+                return usage(argv[0]);
+            }
+        } else if (arg == "--minibatch") {
+            options.minibatch = std::stoi(value());
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--layers") {
+            layers = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (all) {
+        nets.clear();
+        for (const auto &e : dnn::benchmarkSuite())
+            nets.push_back(e.name);
+    }
+
+    Table t({"network", "cols", "chips", "copies", "train img/s",
+             "eval img/s", "pe util", "GFLOPs/W", "avg W"});
+    std::vector<sim::perf::PerfResult> results;
+    for (const std::string &name : nets) {
+        dnn::Network net = dnn::makeByName(name);
+        sim::perf::PerfSim sim(net, node, options);
+        sim::perf::PerfResult r = sim.run();
+        t.addRow({name, std::to_string(r.mapping.convColumns),
+                  std::to_string(r.mapping.convChips),
+                  std::to_string(r.mapping.copies),
+                  fmtDouble(r.trainImagesPerSec, 0),
+                  fmtDouble(r.evalImagesPerSec, 0),
+                  fmtPercent(r.peUtil),
+                  fmtDouble(r.gflopsPerWatt, 0),
+                  fmtDouble(r.avgPower.total(), 0)});
+        results.push_back(std::move(r));
+    }
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+
+    if (layers) {
+        for (std::size_t n = 0; n < nets.size(); ++n) {
+            std::cout << "\n" << nets[n] << " layers:\n";
+            Table lt({"layer", "side", "cols", "stage kcycles",
+                      "col util", "feat util", "array util"});
+            for (const auto &lp : results[n].layers) {
+                lt.addRow({lp.name, lp.fcSide ? "Fc" : "Conv",
+                           std::to_string(lp.columns),
+                           fmtDouble(lp.stageTrainCycles / 1e3, 1),
+                           fmtDouble(lp.columnUtil, 2),
+                           fmtDouble(lp.featureDistUtil, 2),
+                           fmtDouble(lp.arrayResidueUtil, 2)});
+            }
+            if (csv)
+                lt.printCsv(std::cout);
+            else
+                lt.print(std::cout);
+        }
+    }
+    return 0;
+}

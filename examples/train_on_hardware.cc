@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Training entirely through the simulated ScaleDeep hardware: every
+ * FP, BP and WG step executes as compiled ScaleDeep programs on the
+ * functional chip simulator (trackers, DMA, 2D-array instructions);
+ * the host only computes the softmax loss gradient and applies the
+ * SGD update. Reports phase cycle counts per iteration.
+ *
+ * Run:  ./train_on_hardware
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "compiler/trainer.hh"
+#include "core/logging.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+
+int
+main()
+{
+    using namespace sd;
+    using namespace sd::dnn;
+    setVerbose(false);
+
+    const int classes = 3, size = 10;
+    Network net = makeTinyCnnAvg(size, classes);
+    sim::MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    compiler::TrainRunner runner(net, mc, /*seed=*/21);
+
+    std::printf("training %s on the functional ScaleDeep simulator "
+                "(%zu FP + %zu BP + %zu WG tile programs)...\n",
+                net.name().c_str(),
+                runner.compiled().fp.programs.size(),
+                runner.compiled().bpPrograms.size(),
+                runner.compiled().wgPrograms.size());
+
+    SyntheticDataset data(classes, 1, size, size, 33);
+    const int batches = 50;
+    for (int b = 0; b < batches; ++b) {
+        std::vector<Tensor> images;
+        std::vector<int> labels;
+        for (int i = 0; i < 4; ++i) {
+            auto [img, label] = data.sample();
+            images.push_back(std::move(img));
+            labels.push_back(label);
+        }
+        double loss = runner.stepMinibatch(images, labels, 0.2f);
+        if (b % 10 == 0) {
+            std::printf("  batch %2d  loss %.4f  (last image: %llu FP "
+                        "+ %llu BP/WG cycles)\n",
+                        b, loss,
+                        static_cast<unsigned long long>(
+                            runner.lastFpCycles()),
+                        static_cast<unsigned long long>(
+                            runner.lastBpWgCycles()));
+        }
+    }
+
+    SyntheticDataset test(classes, 1, size, size, 77);
+    int correct = 0;
+    const int n = 30;
+    for (int i = 0; i < n; ++i) {
+        auto [img, label] = test.sample();
+        if (runner.predict(img) == label)
+            ++correct;
+    }
+    std::printf("hardware-trained accuracy: %d/%d (chance %d/%d)\n",
+                correct, n, n / classes, n);
+    if (correct <= n / 2)
+        fatal("hardware training failed to learn");
+    std::printf("OK: the simulated ScaleDeep node learned the task "
+                "end to end.\n");
+    return 0;
+}

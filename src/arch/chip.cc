@@ -1,0 +1,59 @@
+#include "arch/chip.hh"
+
+namespace sd::arch {
+
+const char *
+chipKindName(ChipKind kind)
+{
+    return kind == ChipKind::ConvLayer ? "ConvLayer" : "FcLayer";
+}
+
+ChipConfig
+convLayerChipSP()
+{
+    ChipConfig chip;
+    chip.kind = ChipKind::ConvLayer;
+    chip.rows = 6;
+    chip.cols = 16;
+    chip.comp.arrayRows = 8;
+    chip.comp.arrayCols = 3;
+    chip.comp.lanes = 4;
+    chip.comp.accumulators = 16;
+    chip.comp.leftMem = 8 * kKiB;
+    chip.comp.topMem = 4 * kKiB;
+    chip.comp.botMem = 4 * kKiB;
+    chip.comp.scratchpad = 16 * kKiB;
+    chip.mem.capacity = 512 * kKiB;
+    chip.mem.numSfu = 32;
+    chip.links.extMemBw = 150.0 * kGiga;
+    chip.links.compMemBw = 24.0 * kGiga;
+    chip.links.memMemBw = 36.0 * kGiga;
+    return chip;
+}
+
+ChipConfig
+fcLayerChipSP()
+{
+    ChipConfig chip;
+    chip.kind = ChipKind::FcLayer;
+    chip.rows = 6;
+    chip.cols = 8;
+    chip.comp.arrayRows = 4;
+    chip.comp.arrayCols = 8;
+    chip.comp.lanes = 1;
+    // The FcLayer tile's published 38.4 GFLOP peak counts the FMA array
+    // only; its accumulator array is not in the FLOP budget.
+    chip.comp.accumulators = 0;
+    chip.comp.leftMem = 8 * kKiB;
+    chip.comp.topMem = 12 * kKiB;
+    chip.comp.botMem = 12 * kKiB;
+    chip.comp.scratchpad = 0;
+    chip.mem.capacity = 1 * kMiB;
+    chip.mem.numSfu = 32;
+    chip.links.extMemBw = 300.0 * kGiga;
+    chip.links.compMemBw = 48.0 * kGiga;
+    chip.links.memMemBw = 144.0 * kGiga;
+    return chip;
+}
+
+} // namespace sd::arch

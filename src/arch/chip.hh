@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ScaleDeep chip configuration (paper Section 3.2 / Figure 7c).
+ *
+ * A chip is a 2D grid with alternating columns of MemHeavy tiles and
+ * triplets of CompHeavy tiles (one each for FP, BP and WG). A chip with
+ * `cols` compute columns has `cols + 1` MemHeavy columns so every
+ * CompHeavy tile has a MemHeavy neighbour on both sides. External
+ * memory attaches at the top and bottom borders. All links are
+ * point-to-point with no arbitration.
+ */
+
+#ifndef SCALEDEEP_ARCH_CHIP_HH
+#define SCALEDEEP_ARCH_CHIP_HH
+
+#include <string>
+
+#include "arch/tile.hh"
+#include "core/units.hh"
+
+namespace sd::arch {
+
+/** The two chip personalities built from the common template. */
+enum class ChipKind { ConvLayer, FcLayer };
+
+const char *chipKindName(ChipKind kind);
+
+/** Point-to-point link bandwidths within / off a chip, bytes/second. */
+struct ChipLinks
+{
+    double extMemBw = 150.0 * kGiga;    ///< per external memory channel
+    double compMemBw = 24.0 * kGiga;    ///< CompHeavy <-> MemHeavy
+    double memMemBw = 36.0 * kGiga;     ///< MemHeavy <-> MemHeavy
+};
+
+struct ChipConfig
+{
+    ChipKind kind = ChipKind::ConvLayer;
+    int rows = 6;               ///< tile rows
+    int cols = 16;              ///< compute columns
+    int compPerSite = 3;        ///< CompHeavy tiles per grid site (FP/BP/WG)
+
+    CompHeavyConfig comp;
+    MemHeavyConfig mem;
+    ChipLinks links;
+
+    int numCompHeavy() const { return rows * cols * compPerSite; }
+    int numMemHeavy() const { return rows * (cols + 1); }
+    int numTiles() const { return numCompHeavy() + numMemHeavy(); }
+
+    /** MemHeavy tiles in one compute column's "right" border. */
+    int memTilesPerColumn() const { return rows; }
+
+    /** Aggregate on-chip MemHeavy capacity, bytes. */
+    Bytes
+    totalMemCapacity() const
+    {
+        return static_cast<Bytes>(numMemHeavy()) * mem.capacity;
+    }
+
+    double
+    peakFlops(double freq) const
+    {
+        return numCompHeavy() * comp.peakFlops(freq) +
+               numMemHeavy() * mem.peakFlops(freq);
+    }
+};
+
+/** The paper's single-precision ConvLayer chip (Figure 14). */
+ChipConfig convLayerChipSP();
+/** The paper's single-precision FcLayer chip (Figure 14). */
+ChipConfig fcLayerChipSP();
+
+} // namespace sd::arch
+
+#endif // SCALEDEEP_ARCH_CHIP_HH

@@ -1,0 +1,8 @@
+#include "arch/node.hh"
+
+// NodeConfig / ClusterConfig are header-only aggregates; see presets.cc
+// for the paper's SP and HP node instantiations.
+
+namespace sd::arch {
+
+} // namespace sd::arch

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cluster and node configuration (paper Section 3.3 / Figure 12).
+ *
+ * A chip cluster is a wheel: ConvLayer chips on the circumference (each
+ * with a spoke to the hub and arcs to its neighbours) and one FcLayer
+ * chip at the hub, which batches FC-layer inputs from all spokes.
+ * Clusters connect through their FcLayer chips in a ring that carries
+ * minibatch gradient reduction, model-parallel FC traffic and (for
+ * networks spanning clusters) CONV features/errors.
+ */
+
+#ifndef SCALEDEEP_ARCH_NODE_HH
+#define SCALEDEEP_ARCH_NODE_HH
+
+#include "arch/chip.hh"
+#include "core/units.hh"
+
+namespace sd::arch {
+
+struct ClusterConfig
+{
+    int numConvChips = 4;
+    ChipConfig convChip;
+    ChipConfig fcChip;
+
+    double spokeBw = 0.5 * kGiga;   ///< ConvLayer -> FcLayer hub link
+    double arcBw = 16.0 * kGiga;    ///< ConvLayer <-> ConvLayer arc
+
+    int numChips() const { return numConvChips + 1; }
+    int numCompHeavy() const
+    {
+        return numConvChips * convChip.numCompHeavy() +
+               fcChip.numCompHeavy();
+    }
+    int numMemHeavy() const
+    {
+        return numConvChips * convChip.numMemHeavy() +
+               fcChip.numMemHeavy();
+    }
+    double
+    peakFlops(double freq) const
+    {
+        return numConvChips * convChip.peakFlops(freq) +
+               fcChip.peakFlops(freq);
+    }
+};
+
+struct NodeConfig
+{
+    Precision precision = Precision::Single;
+    double freq = 600.0 * kMega;    ///< operating frequency, Hz
+    int numClusters = 4;
+    ClusterConfig cluster;
+    double ringBw = 12.0 * kGiga;   ///< inter-cluster ring link
+
+    int numCompHeavy() const
+    { return numClusters * cluster.numCompHeavy(); }
+    int numMemHeavy() const
+    { return numClusters * cluster.numMemHeavy(); }
+    int numTiles() const { return numCompHeavy() + numMemHeavy(); }
+
+    /** Total ConvLayer-chip compute columns in the node. */
+    int
+    totalConvColumns() const
+    {
+        return numClusters * cluster.numConvChips * cluster.convChip.cols;
+    }
+
+    double peakFlops() const { return cluster.peakFlops(freq) *
+                                      numClusters; }
+};
+
+} // namespace sd::arch
+
+#endif // SCALEDEEP_ARCH_NODE_HH

@@ -1,0 +1,171 @@
+#include "arch/power.hh"
+
+#include "core/logging.hh"
+
+namespace sd::arch {
+
+namespace {
+
+// Calibrated per-tile peak powers (Figure 14), Watts. Half precision
+// halves the datapath width and tile memory capacity, which we model as
+// halved tile power (the HP design then spends the saved power on more
+// tiles at roughly iso-chip-power, as the paper does).
+constexpr double kConvCompHeavyWattsSP = 0.1438;
+constexpr double kConvMemHeavyWattsSP = 0.047;
+constexpr double kFcCompHeavyWattsSP = 0.0459;
+constexpr double kFcMemHeavyWattsSP = 0.0786;
+
+// Fraction of a conv/fc chip's total power spent in on-chip links
+// (Figure 14 reports 0.2 and 0.3 of chip total respectively); expressed
+// against the tile subtotal for configurability.
+constexpr double kConvChipLinkOverTiles = 0.25;  // 0.2 / (1 - 0.2)
+constexpr double kFcChipLinkOverTiles = 0.42857; // 0.3 / (1 - 0.3)
+
+// Cluster-level overheads: external memory interfaces + wheel links.
+constexpr double kExtMemWattsPerConvChip = 15.0;
+constexpr double kExtMemWattsFcChip = 12.0;
+constexpr double kWheelWatts = 7.2;
+
+// Node-level: ring links + glue, per cluster.
+constexpr double kNodeOverheadPerCluster = 24.4;
+
+// How cluster/node overheads split across the Figure 20 subsystems.
+constexpr double kClusterOverheadMemFrac = 0.4;
+constexpr double kNodeOverheadMemFrac = 0.3;
+
+double
+precisionScale(Precision p)
+{
+    return p == Precision::Single ? 1.0 : 0.5;
+}
+
+} // namespace
+
+PowerBreakdown
+operator*(const PowerBreakdown &p, double k)
+{
+    return {p.compute * k, p.memory * k, p.interconnect * k};
+}
+
+PowerModel::PowerModel(const NodeConfig &node)
+    : node_(node)
+{
+    const double scale = precisionScale(node.precision);
+    convTile_.compHeavyWatts = kConvCompHeavyWattsSP * scale;
+    convTile_.compHeavyLogicFrac = 0.95;
+    convTile_.memHeavyWatts = kConvMemHeavyWattsSP * scale;
+    convTile_.memHeavyLogicFrac = 0.3;
+    fcTile_.compHeavyWatts = kFcCompHeavyWattsSP * scale;
+    fcTile_.compHeavyLogicFrac = 0.95;
+    fcTile_.memHeavyWatts = kFcMemHeavyWattsSP * scale;
+    fcTile_.memHeavyLogicFrac = 0.2;
+
+    auto tile_subtotal = [&](const ChipConfig &chip, const TilePower &tp) {
+        return chip.numCompHeavy() * tp.compHeavyWatts +
+               chip.numMemHeavy() * tp.memHeavyWatts;
+    };
+    convChipInterconnect_ =
+        tile_subtotal(node.cluster.convChip, convTile_) *
+        kConvChipLinkOverTiles;
+    fcChipInterconnect_ =
+        tile_subtotal(node.cluster.fcChip, fcTile_) * kFcChipLinkOverTiles;
+    clusterOverhead_ =
+        kExtMemWattsPerConvChip * node.cluster.numConvChips +
+        kExtMemWattsFcChip + kWheelWatts;
+    nodeOverhead_ = kNodeOverheadPerCluster * node.numClusters;
+}
+
+PowerBreakdown
+PowerModel::chipPeak(const ChipConfig &chip) const
+{
+    const bool is_conv = chip.kind == ChipKind::ConvLayer;
+    const TilePower &tp = is_conv ? convTile_ : fcTile_;
+    PowerBreakdown p;
+    double ch = chip.numCompHeavy() * tp.compHeavyWatts;
+    double mh = chip.numMemHeavy() * tp.memHeavyWatts;
+    p.compute = ch * tp.compHeavyLogicFrac + mh * tp.memHeavyLogicFrac;
+    p.memory = ch * (1.0 - tp.compHeavyLogicFrac) +
+               mh * (1.0 - tp.memHeavyLogicFrac);
+    p.interconnect =
+        is_conv ? convChipInterconnect_ : fcChipInterconnect_;
+    return p;
+}
+
+PowerBreakdown
+PowerModel::clusterPeak() const
+{
+    PowerBreakdown p;
+    PowerBreakdown conv = chipPeak(node_.cluster.convChip);
+    p += conv * static_cast<double>(node_.cluster.numConvChips);
+    p += chipPeak(node_.cluster.fcChip);
+    p.memory += clusterOverhead_ * kClusterOverheadMemFrac;
+    p.interconnect += clusterOverhead_ * (1.0 - kClusterOverheadMemFrac);
+    return p;
+}
+
+PowerBreakdown
+PowerModel::nodePeak() const
+{
+    PowerBreakdown p = clusterPeak() * static_cast<double>(
+        node_.numClusters);
+    p.memory += nodeOverhead_ * kNodeOverheadMemFrac;
+    p.interconnect += nodeOverhead_ * (1.0 - kNodeOverheadMemFrac);
+    return p;
+}
+
+PowerBreakdown
+PowerModel::nodeAverage(const UtilizationProfile &util) const
+{
+    auto activity = [](double static_frac, double u) {
+        return static_frac + (1.0 - static_frac) * u;
+    };
+
+    const ClusterConfig &cl = node_.cluster;
+    PowerBreakdown p;
+
+    auto add_chip = [&](const ChipConfig &chip, const TilePower &tp,
+                        double link_watts, int count) {
+        double ch = chip.numCompHeavy() * tp.compHeavyWatts * count;
+        double mh = chip.numMemHeavy() * tp.memHeavyWatts * count;
+        p.compute += ch * tp.compHeavyLogicFrac *
+                     activity(kLogicStaticFrac, util.peUtil);
+        p.compute += mh * tp.memHeavyLogicFrac *
+                     activity(kLogicStaticFrac, util.sfuUtil);
+        p.memory += ch * (1.0 - tp.compHeavyLogicFrac) *
+                    activity(kMemoryStaticFrac, util.memArrayUtil);
+        p.memory += mh * (1.0 - tp.memHeavyLogicFrac) *
+                    activity(kMemoryStaticFrac, util.memArrayUtil);
+        p.interconnect += link_watts * count *
+                          activity(kInterconnectStaticFrac,
+                                   util.onChipLinkUtil);
+    };
+
+    add_chip(cl.convChip, convTile_, convChipInterconnect_,
+             cl.numConvChips);
+    add_chip(cl.fcChip, fcTile_, fcChipInterconnect_, 1);
+
+    p.memory += clusterOverhead_ * kClusterOverheadMemFrac *
+                activity(kMemoryStaticFrac, util.memArrayUtil);
+    p.interconnect += clusterOverhead_ *
+                      (1.0 - kClusterOverheadMemFrac) *
+                      activity(kInterconnectStaticFrac,
+                               util.clusterLinkUtil);
+
+    p = p * static_cast<double>(node_.numClusters);
+    p.memory += nodeOverhead_ * kNodeOverheadMemFrac *
+                activity(kMemoryStaticFrac, util.memArrayUtil);
+    p.interconnect += nodeOverhead_ * (1.0 - kNodeOverheadMemFrac) *
+                      activity(kInterconnectStaticFrac, util.ringUtil);
+    return p;
+}
+
+double
+PowerModel::peakEfficiency() const
+{
+    double watts = nodePeak().total();
+    if (watts <= 0.0)
+        panic("PowerModel: non-positive node power");
+    return node_.peakFlops() / watts;
+}
+
+} // namespace sd::arch

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Hierarchical power model (paper Section 5 / Figures 14 and 20).
+ *
+ * The paper measured component power by synthesizing RTL to Intel 14nm;
+ * we instead calibrate analytic per-component constants to the published
+ * Figure 14 values and scale dynamic power with component utilization to
+ * reproduce the Figure 20 average-power behaviour:
+ *   - compute (logic) power scales with 2D-PE / SFU utilization above a
+ *     static floor,
+ *   - memory power is leakage dominated and stays nearly constant,
+ *   - interconnect power scales with link utilization.
+ */
+
+#ifndef SCALEDEEP_ARCH_POWER_HH
+#define SCALEDEEP_ARCH_POWER_HH
+
+#include "arch/node.hh"
+
+namespace sd::arch {
+
+/** Watts attributed to the three subsystems of Figure 20. */
+struct PowerBreakdown
+{
+    double compute = 0.0;       ///< logic (2D-PE arrays, SFUs, scalar PEs)
+    double memory = 0.0;        ///< scratchpads + external memory
+    double interconnect = 0.0;  ///< on-chip, wheel and ring links
+
+    double total() const { return compute + memory + interconnect; }
+
+    PowerBreakdown &
+    operator+=(const PowerBreakdown &o)
+    {
+        compute += o.compute;
+        memory += o.memory;
+        interconnect += o.interconnect;
+        return *this;
+    }
+};
+
+PowerBreakdown operator*(const PowerBreakdown &p, double k);
+
+/** Utilization factors that drive dynamic power. All in [0, 1]. */
+struct UtilizationProfile
+{
+    double peUtil = 1.0;            ///< CompHeavy 2D-PE arrays
+    double sfuUtil = 1.0;           ///< MemHeavy SFU arrays
+    double memArrayUtil = 1.0;      ///< MemHeavy data-array activity
+    double onChipLinkUtil = 1.0;    ///< comp-mem / mem-mem links
+    double clusterLinkUtil = 1.0;   ///< spokes, arcs, ext. memory
+    double ringUtil = 1.0;          ///< inter-cluster ring
+};
+
+/**
+ * Per-component peak powers with logic/memory split, calibrated to
+ * Figure 14. Constructed from a ChipKind-precision pair.
+ */
+struct TilePower
+{
+    double compHeavyWatts = 0.0;
+    double compHeavyLogicFrac = 0.95;   ///< rest is tile-local memory
+    double memHeavyWatts = 0.0;
+    double memHeavyLogicFrac = 0.3;
+};
+
+/**
+ * The full calibrated model. Static fractions determine how much of
+ * each subsystem's peak power persists at zero utilization.
+ */
+class PowerModel
+{
+  public:
+    /** Build the model for a node configuration (SP or HP presets). */
+    explicit PowerModel(const NodeConfig &node);
+
+    /** Peak power breakdown of one chip. */
+    PowerBreakdown chipPeak(const ChipConfig &chip) const;
+    /** Peak power breakdown of one cluster (chips + memory + wheel). */
+    PowerBreakdown clusterPeak() const;
+    /** Peak power breakdown of the node (clusters + ring + host). */
+    PowerBreakdown nodePeak() const;
+
+    /** Average power of the node while running at @p util. */
+    PowerBreakdown nodeAverage(const UtilizationProfile &util) const;
+
+    /** Peak processing efficiency, FLOPs per Watt. */
+    double peakEfficiency() const;
+
+    TilePower convTile() const { return convTile_; }
+    TilePower fcTile() const { return fcTile_; }
+    double clusterOverheadWatts() const { return clusterOverhead_; }
+    double nodeOverheadWatts() const { return nodeOverhead_; }
+
+    // Static power fractions (survive at zero utilization).
+    static constexpr double kLogicStaticFrac = 0.15;
+    static constexpr double kMemoryStaticFrac = 0.80;
+    static constexpr double kInterconnectStaticFrac = 0.25;
+
+  private:
+    const NodeConfig node_;
+    TilePower convTile_;
+    TilePower fcTile_;
+    double convChipInterconnect_ = 0.0; ///< W, on-chip links per chip
+    double fcChipInterconnect_ = 0.0;
+    double clusterOverhead_ = 0.0;      ///< W, ext. memory + wheel links
+    double nodeOverhead_ = 0.0;         ///< W, ring + node glue
+};
+
+} // namespace sd::arch
+
+#endif // SCALEDEEP_ARCH_POWER_HH

@@ -1,0 +1,60 @@
+#include "arch/presets.hh"
+
+#include "arch/chip.hh"
+
+namespace sd::arch {
+
+NodeConfig
+singlePrecisionNode()
+{
+    NodeConfig node;
+    node.precision = Precision::Single;
+    node.freq = 600.0 * kMega;
+    node.numClusters = 4;
+    node.cluster.numConvChips = 4;
+    node.cluster.convChip = convLayerChipSP();
+    node.cluster.fcChip = fcLayerChipSP();
+    node.cluster.spokeBw = 0.5 * kGiga;
+    node.cluster.arcBw = 16.0 * kGiga;
+    node.ringBw = 12.0 * kGiga;
+    return node;
+}
+
+NodeConfig
+halfPrecisionNode()
+{
+    NodeConfig node = singlePrecisionNode();
+    node.precision = Precision::Half;
+
+    // Grow the chips (6->8 rows; 16->24 / 8->12 columns), halve per-tile
+    // memory capacity and every link bandwidth (Section 6.1).
+    ChipConfig &conv = node.cluster.convChip;
+    conv.rows = 8;
+    conv.cols = 24;
+    conv.mem.capacity /= 2;
+    conv.comp.leftMem /= 2;
+    conv.comp.topMem /= 2;
+    conv.comp.botMem /= 2;
+    conv.comp.scratchpad /= 2;
+    conv.links.extMemBw /= 2;
+    conv.links.compMemBw /= 2;
+    conv.links.memMemBw /= 2;
+
+    ChipConfig &fc = node.cluster.fcChip;
+    fc.rows = 8;
+    fc.cols = 12;
+    fc.mem.capacity /= 2;
+    fc.comp.leftMem /= 2;
+    fc.comp.topMem /= 2;
+    fc.comp.botMem /= 2;
+    fc.links.extMemBw /= 2;
+    fc.links.compMemBw /= 2;
+    fc.links.memMemBw /= 2;
+
+    node.cluster.spokeBw /= 2;
+    node.cluster.arcBw /= 2;
+    node.ringBw /= 2;
+    return node;
+}
+
+} // namespace sd::arch

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The paper's two node embodiments: the single-precision baseline of
+ * Figure 14 (680 TFLOP peak, 7032 tiles) and the iso-power
+ * half-precision design of Section 6.1 (1.35 PFLOP peak, larger chips
+ * with halved per-tile memory capacity and link bandwidth).
+ */
+
+#ifndef SCALEDEEP_ARCH_PRESETS_HH
+#define SCALEDEEP_ARCH_PRESETS_HH
+
+#include "arch/node.hh"
+
+namespace sd::arch {
+
+/** The Figure 14 single-precision ScaleDeep node. */
+NodeConfig singlePrecisionNode();
+
+/** The Section 6.1 half-precision ScaleDeep node. */
+NodeConfig halfPrecisionNode();
+
+} // namespace sd::arch
+
+#endif // SCALEDEEP_ARCH_PRESETS_HH

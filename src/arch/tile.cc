@@ -1,0 +1,9 @@
+#include "arch/tile.hh"
+
+// Configuration structs are header-only; this translation unit exists so
+// the library has a stable archive member for the tile component and a
+// home for future out-of-line helpers.
+
+namespace sd::arch {
+
+} // namespace sd::arch

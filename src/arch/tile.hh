@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Micro-architectural configuration of the two ScaleDeep processing
+ * tiles (paper Section 3.1 / Figure 7) and their derived peak-FLOPs.
+ */
+
+#ifndef SCALEDEEP_ARCH_TILE_HH
+#define SCALEDEEP_ARCH_TILE_HH
+
+#include "core/units.hh"
+
+namespace sd::arch {
+
+/**
+ * CompHeavy tile: a reconfigurable 2D array of vector FMA processing
+ * elements fed by streaming memories, a 1D accumulator array along the
+ * right border, a small scratchpad, and an in-order scalar PE for
+ * control flow.
+ */
+struct CompHeavyConfig
+{
+    int arrayRows = 8;      ///< 2D-PE array rows
+    int arrayCols = 3;      ///< 2D-PE array columns
+    int lanes = 4;          ///< vector lanes per 2D-PE
+
+    /**
+     * 1D accumulator array entries that contribute to the tile's peak
+     * FLOPs. The paper's 134 GFLOP ConvLayer CompHeavy figure is
+     * reproduced with 16 accumulators on top of the 96 FMA lanes; the
+     * FcLayer chip's 38.4 GFLOP figure counts the FMA array only.
+     */
+    int accumulators = 16;
+
+    Bytes leftMem = 8 * kKiB;
+    Bytes topMem = 4 * kKiB;
+    Bytes botMem = 4 * kKiB;
+    Bytes scratchpad = 16 * kKiB;
+
+    int instMemEntries = 4096;  ///< instruction memory slots
+    int scalarRegs = 64;        ///< scalar register file size
+
+    /** Total FMA lanes in the 2D array. */
+    int totalLanes() const { return arrayRows * arrayCols * lanes; }
+
+    /** Peak FLOPs/s at @p freq Hz (FMA = 2 FLOPs, accumulator = 2). */
+    double
+    peakFlops(double freq) const
+    {
+        return (2.0 * totalLanes() + 2.0 * accumulators) * freq;
+    }
+
+    /**
+     * Runtime array reconfiguration (Section 3.1.1): columns and lanes
+     * can be redistributed keeping cols*lanes constant, and the array
+     * can be split horizontally into two half-row arrays. Enumerated by
+     * the compiler when choosing the best configuration per layer.
+     */
+    struct ArrayShape
+    {
+        int rows, cols, lanes;
+        bool split;     ///< two independent half-arrays
+    };
+};
+
+/**
+ * MemHeavy tile: a large scratchpad storing network state (features,
+ * errors, weights, gradients), an SFU array operating on it directly, a
+ * DMA engine, and the hardware data-flow trackers used for
+ * synchronization.
+ */
+struct MemHeavyConfig
+{
+    Bytes capacity = 512 * kKiB;
+    int numSfu = 32;
+
+    int trackerEntries = 8;     ///< concurrent MEMTRACK ranges
+    int trackerQueueDepth = 16; ///< queued accesses before NACK
+
+    /** Peak FLOPs/s: each SFU retires one operation per cycle. */
+    double peakFlops(double freq) const { return numSfu * freq; }
+};
+
+} // namespace sd::arch
+
+#endif // SCALEDEEP_ARCH_TILE_HH

@@ -1,0 +1,66 @@
+#include "baseline/dadiannao.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace sd::baseline {
+
+int
+DaDianNaoSpec::chipsAtPower(double watts) const
+{
+    if (wattsPerChip <= 0.0)
+        fatal("DaDianNaoSpec: non-positive chip power");
+    return static_cast<int>(watts / wattsPerChip);
+}
+
+double
+DaDianNaoSpec::peakOpsAtPower(double watts) const
+{
+    return chipsAtPower(watts) * peakOpsPerChip;
+}
+
+HomogeneousComparison
+homogenizeScaleDeep(const arch::NodeConfig &node, double worst_case_bf,
+                    double fat_tree_overhead)
+{
+    arch::PowerModel power(node);
+    HomogeneousComparison cmp;
+    cmp.heteroPeakFlops = node.peakFlops();
+    cmp.heteroWatts = power.nodePeak().total();
+
+    // Calibrate the energy cost of a byte of on-tile memory bandwidth
+    // from the MemHeavy tile: its memory portion serves the SFUs'
+    // operand traffic (~4 B/FLOP at peak).
+    const arch::TilePower conv = power.convTile();
+    const double mem_tile_flops =
+        node.cluster.convChip.mem.peakFlops(node.freq);
+    const double joules_per_byte =
+        conv.memHeavyWatts * (1.0 - conv.memHeavyLogicFrac) /
+        (mem_tile_flops * 4.0);
+
+    // A homogeneous tile keeps CompHeavy-class logic but must
+    // provision worst-case memory bandwidth for it.
+    const double tile_flops =
+        node.cluster.convChip.comp.peakFlops(node.freq);
+    const double logic_watts =
+        conv.compHeavyWatts * conv.compHeavyLogicFrac;
+    const double mem_watts =
+        tile_flops * worst_case_bf * joules_per_byte;
+    const double hetero_tile_watts =
+        conv.compHeavyWatts +
+        conv.memHeavyWatts /
+            3.0;    // 3 CompHeavy tiles share one MemHeavy tile
+    const double homo_tile_watts = logic_watts + mem_watts;
+    cmp.memoryProvisioningFactor = homo_tile_watts / hetero_tile_watts;
+    cmp.interconnectFactor = fat_tree_overhead;
+
+    // Iso-power: the same watts buy fewer tiles (memory provisioning)
+    // and lose more to the interconnect.
+    cmp.homoPeakFlops = cmp.heteroPeakFlops /
+                        (cmp.memoryProvisioningFactor *
+                         ((1.0 + (fat_tree_overhead - 1.0) * 0.4)));
+    return cmp;
+}
+
+} // namespace sd::baseline

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DaDianNao-style homogeneous accelerator model (paper Section 7).
+ *
+ * DaDianNao [Chen et al., MICRO'14] is the closest prior work: a
+ * homogeneous multi-chip machine-learning supercomputer whose tiles all
+ * share one compute-to-memory ratio and whose chips connect through a
+ * conventional fat-tree. The paper argues ScaleDeep's heterogeneity
+ * and 3-tier point-to-point interconnect deliver ~5x the FLOPs at
+ * iso-power.
+ *
+ * We reproduce that comparison two ways:
+ *  1. published-numbers mode: DaDianNao's per-chip peak (5.58 16-bit
+ *     TOPS at 606 MHz) and power, scaled to the ScaleDeep node's power
+ *     envelope;
+ *  2. homogenized-ScaleDeep mode: rebuild the ScaleDeep tile budget
+ *     under homogeneous constraints — every tile provisions memory
+ *     bandwidth for the worst-case Bytes/FLOP it may face (the FC
+ *     layers' ~2 B/F rather than the conv layers' ~0.01) and pays a
+ *     fat-tree interconnect overhead — and report how many peak FLOPs
+ *     survive at iso-power.
+ */
+
+#ifndef SCALEDEEP_BASELINE_DADIANNAO_HH
+#define SCALEDEEP_BASELINE_DADIANNAO_HH
+
+#include "arch/power.hh"
+
+namespace sd::baseline {
+
+/** Published DaDianNao figures (per chip). */
+struct DaDianNaoSpec
+{
+    double peakOpsPerChip = 5.58e12;    ///< 16-bit ops/s @ 606 MHz
+    double wattsPerChip = 15.97;
+    double eDramBytesPerChip = 36ull * 1024 * 1024;
+
+    /** Chips affordable within @p watts. */
+    int chipsAtPower(double watts) const;
+    /** Peak ops of a node built within @p watts. */
+    double peakOpsAtPower(double watts) const;
+};
+
+/** The iso-power homogenized-ScaleDeep decomposition. */
+struct HomogeneousComparison
+{
+    double heteroPeakFlops = 0.0;   ///< ScaleDeep node peak
+    double heteroWatts = 0.0;
+    double homoPeakFlops = 0.0;     ///< homogeneous design, same power
+    /** Factor lost to worst-case memory provisioning per tile. */
+    double memoryProvisioningFactor = 0.0;
+    /** Factor lost to the fat-tree interconnect. */
+    double interconnectFactor = 0.0;
+
+    double advantage() const
+    { return homoPeakFlops > 0.0 ? heteroPeakFlops / homoPeakFlops
+                                 : 0.0; }
+};
+
+/**
+ * Homogenize the given ScaleDeep node: every tile carries CompHeavy
+ * logic plus memory bandwidth provisioned for @p worst_case_bf
+ * bytes/FLOP, and the point-to-point links are replaced by a fat tree
+ * with @p fat_tree_overhead times the interconnect power.
+ */
+HomogeneousComparison
+homogenizeScaleDeep(const arch::NodeConfig &node,
+                    double worst_case_bf = 2.0,
+                    double fat_tree_overhead = 2.0);
+
+} // namespace sd::baseline
+
+#endif // SCALEDEEP_BASELINE_DADIANNAO_HH

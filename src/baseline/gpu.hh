@@ -1,0 +1,86 @@
+/**
+ * @file
+ * GPU baseline performance model for the Figure 18 comparison.
+ *
+ * The paper compares a ScaleDeep chip cluster (~320 W) against TitanX
+ * (Maxwell) results published for cuDNN-R2, Nervana Neon, TensorFlow
+ * and the Winograd variants. We do not have those measurement
+ * artifacts, so we model the GPU as a per-layer roofline — compute
+ * bound at a framework-dependent fraction of peak, or memory-bandwidth
+ * bound — with Winograd variants applying the 2.25x arithmetic
+ * reduction to 3x3 stride-1 convolutions. The framework efficiency
+ * factors are chosen inside the ranges publicly reported by
+ * convnet-benchmarks for Maxwell-class GPUs; EXPERIMENTS.md records
+ * the calibration.
+ */
+
+#ifndef SCALEDEEP_BASELINE_GPU_HH
+#define SCALEDEEP_BASELINE_GPU_HH
+
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace sd::baseline {
+
+/** A GPU device description. */
+struct GpuSpec
+{
+    std::string name;
+    double peakFlops = 0.0;     ///< single-precision, FLOP/s
+    double memBandwidth = 0.0;  ///< bytes/s
+    double tdpWatts = 0.0;
+};
+
+/** NVIDIA TitanX (Maxwell): 6.7 TFLOPs SP, 336 GB/s, 250 W. */
+GpuSpec titanXMaxwell();
+/** NVIDIA TitanX (Pascal): ~11 TFLOPs SP, 480 GB/s, 250 W. */
+GpuSpec titanXPascal();
+
+/** The software stacks of Figure 18. */
+enum class Framework
+{
+    CuDnnR2,
+    NervanaNeon,
+    TensorFlow,
+    CuDnnWinograd,
+    NervanaWinograd,
+};
+
+const char *frameworkName(Framework fw);
+
+/** All five frameworks in the Figure 18 presentation order. */
+const std::vector<Framework> &allFrameworks();
+
+/**
+ * Roofline GPU model: per-layer time is the max of compute time (at
+ * the framework's efficiency) and memory time (feature + weight
+ * traffic at full bandwidth).
+ */
+class GpuModel
+{
+  public:
+    GpuModel(GpuSpec spec, Framework framework);
+
+    /** Training throughput (FP+BP+WG per image). */
+    double trainImagesPerSec(const dnn::Network &net) const;
+    /** Evaluation (FP only) throughput. */
+    double evalImagesPerSec(const dnn::Network &net) const;
+
+    const GpuSpec &spec() const { return spec_; }
+    Framework framework() const { return framework_; }
+    /** Fraction of peak the framework's conv kernels achieve. */
+    double computeEfficiency() const;
+    bool usesWinograd() const;
+
+  private:
+    double imagesPerSec(const dnn::Network &net, bool training) const;
+
+    GpuSpec spec_;
+    Framework framework_;
+};
+
+} // namespace sd::baseline
+
+#endif // SCALEDEEP_BASELINE_GPU_HH

@@ -1,0 +1,588 @@
+#include "compiler/codegen.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace sd::compiler {
+
+using dnn::Activation;
+using dnn::Layer;
+using dnn::LayerId;
+using dnn::LayerKind;
+using isa::Assembler;
+using isa::Label;
+using sim::TileRole;
+
+namespace {
+
+constexpr int kRows = 2;
+
+// Register conventions used by the generated templates.
+constexpr int rInAddr = 1;
+constexpr int rInHw = 2;
+constexpr int rExtW = 3;
+constexpr int rLoadWords = 4;
+constexpr int rStage = 5;
+constexpr int rK = 6;
+constexpr int rStride = 7;
+constexpr int rPad = 8;
+constexpr int rOutAddr = 9;
+constexpr int rLoop = 10;
+constexpr int rBufOff = 11;
+constexpr int rTrkAddr = 12;
+constexpr int rTrkSize = 13;
+constexpr int rTrkUpd = 14;
+constexpr int rTrkRds = 15;
+constexpr int rSize = 16;
+constexpr int rChunkOut = 17;
+constexpr int rInN = 18;
+constexpr int rChunkRows = 19;
+constexpr int rWin = 20;
+
+/** Contiguous block of output features owned by one row. */
+struct Block
+{
+    int start = 0;
+    int count = 0;
+};
+
+Block
+blockOf(const Layer &l, int row)
+{
+    const int per = (l.outChannels + kRows - 1) / kRows;
+    Block b;
+    b.start = std::min(row * per, l.outChannels);
+    b.count = std::min(per, l.outChannels - b.start);
+    b.count = std::max(b.count, 0);
+    return b;
+}
+
+std::uint32_t
+featElems(const Layer &l)
+{
+    return static_cast<std::uint32_t>(l.outH) * l.outW;
+}
+
+/** Number of MATMUL chunks an FC layer's row program issues. */
+int
+fcChunks(const Layer &l, int row, std::uint32_t buf_words)
+{
+    Block b = blockOf(l, row);
+    if (b.count == 0)
+        return 0;
+    const std::uint32_t in_n =
+        static_cast<std::uint32_t>(l.inputElems());
+    if (in_n > buf_words) {
+        fatal("codegen: FC layer ", l.name, " input of ", in_n,
+              " words exceeds the streaming memory (", buf_words, ")");
+    }
+    const int chunk_rows = static_cast<int>(
+        std::min<std::uint32_t>(b.count, buf_words / in_n));
+    return (b.count + chunk_rows - 1) / chunk_rows;
+}
+
+/** Per-tile generation context shared by the layer templates. */
+struct GenContext
+{
+    const dnn::Network *net;
+    const sim::MachineConfig *config;
+    const CompiledNetwork *compiled;
+    std::uint32_t partialBase;      ///< partial-sum region base word
+    std::uint32_t stageBase;        ///< staging region base word
+    std::uint32_t bufWords;         ///< streaming-memory words
+};
+
+/**
+ * Reads the consumer (column col+1) performs against the producer-row
+ * tile's two feature entries: {reads of own entry, reads of other}.
+ */
+std::pair<int, int>
+consumerReads(const GenContext &ctx, std::size_t col, int row)
+{
+    const auto &cols = ctx.compiled->columnLayers;
+    if (col + 1 >= cols.size())
+        return {0, 0};
+    const Layer &cur = ctx.net->layer(cols[col]);
+    const Layer &next = ctx.net->layer(cols[col + 1]);
+    if (blockOf(next, row).count == 0)
+        return {0, 0};
+    switch (next.kind) {
+      case LayerKind::Conv:
+        return {blockOf(cur, row).count, blockOf(cur, 1 - row).count};
+      case LayerKind::Samp:
+        return {1, 0};
+      case LayerKind::Fc: {
+        int chunks = fcChunks(next, row, ctx.bufWords);
+        return {chunks, chunks};
+      }
+      default:
+        panic("codegen: non-sequential consumer");
+    }
+}
+
+/** Whether this row replicates its block to the sibling row's tile. */
+bool
+replicates(const GenContext &ctx, std::size_t col, int row)
+{
+    const auto &cols = ctx.compiled->columnLayers;
+    if (col + 1 >= cols.size())
+        return false;
+    const Layer &cur = ctx.net->layer(cols[col]);
+    if (blockOf(cur, row).count == 0)
+        return false;
+    // Replicate for every consumer kind: SAMP only reads its own
+    // channel block, but the training phase's WG step needs the full
+    // feature map in both rows.
+    return true;
+}
+
+isa::ActFnType
+actFnType(Activation act)
+{
+    switch (act) {
+      case Activation::ReLU: return isa::kActReLU;
+      case Activation::Tanh: return isa::kActTanh;
+      case Activation::Sigmoid: return isa::kActSigmoid;
+      default: panic("codegen: no SFU type for activation");
+    }
+}
+
+/** Emit the tracker-arming prologue shared by all layer templates. */
+void
+emitTrackers(Assembler &as, const GenContext &ctx, std::size_t col,
+             int row, std::uint32_t own_addr, std::uint32_t own_words,
+             int own_updates, int own_local_reads)
+{
+    const auto &cols = ctx.compiled->columnLayers;
+    const Layer &cur = ctx.net->layer(cols[col]);
+    Block own = blockOf(cur, row);
+    Block other = blockOf(cur, 1 - row);
+    auto [cr_own, cr_other] = consumerReads(ctx, col, row);
+
+    if (own.count > 0) {
+        as.ldri(rTrkAddr, static_cast<std::int32_t>(own_addr));
+        as.ldri(rTrkSize, static_cast<std::int32_t>(own_words));
+        as.ldri(rTrkUpd, own_updates);
+        as.ldri(rTrkRds, own_local_reads + cr_own);
+        as.memtrack(isa::kPortRight, rTrkAddr, rTrkSize, rTrkUpd,
+                    rTrkRds);
+    }
+    // The sibling row replicates its block into this tile.
+    if (other.count > 0 && replicates(ctx, col, 1 - row)) {
+        std::uint32_t elems =
+            cur.kind == LayerKind::Fc ? 1 : featElems(cur);
+        as.ldri(rTrkAddr,
+                static_cast<std::int32_t>(other.start * elems));
+        as.ldri(rTrkSize,
+                static_cast<std::int32_t>(other.count * elems));
+        as.ldri(rTrkUpd, 1);
+        as.ldri(rTrkRds, cr_other);
+        as.memtrack(isa::kPortRight, rTrkAddr, rTrkSize, rTrkUpd,
+                    rTrkRds);
+    }
+}
+
+/**
+ * Emit the activation + replication epilogue. When the layer has an
+ * activation, partials were accumulated in the partial region at
+ * @p partial_addr and NDACTFN writes the final features to
+ * @p own_addr (the single tracked update consumers wait for).
+ */
+void
+emitEpilogue(Assembler &as, const GenContext &ctx, std::size_t col,
+             int row, std::uint32_t partial_addr, std::uint32_t own_addr,
+             std::uint32_t own_words, Activation act)
+{
+    if (act != Activation::None) {
+        as.ldri(rTrkAddr, static_cast<std::int32_t>(partial_addr));
+        as.ldri(rSize, static_cast<std::int32_t>(own_words));
+        as.ldri(rChunkOut, static_cast<std::int32_t>(own_addr));
+        as.ndactfn(actFnType(act), rTrkAddr, isa::kPortRight, rSize,
+                   rChunkOut, isa::kPortRight);
+    }
+    if (replicates(ctx, col, row)) {
+        as.ldri(rTrkAddr, static_cast<std::int32_t>(own_addr));
+        as.ldri(rSize, static_cast<std::int32_t>(own_words));
+        // Push the block to the sibling row's tile at the same address.
+        as.dmastore(isa::kPortRight, rTrkAddr, rTrkAddr,
+                    row == 0 ? isa::kPortSouth : isa::kPortNorth, rSize,
+                    false);
+    }
+    as.halt();
+}
+
+isa::Program
+genConv(const GenContext &ctx, std::size_t col, int row)
+{
+    const Layer &l = ctx.net->layer(ctx.compiled->columnLayers[col]);
+    if (l.groups != 1)
+        fatal("codegen: grouped convolutions are not supported");
+    Assembler as;
+    Block own = blockOf(l, row);
+    const std::uint32_t out_elems = featElems(l);
+    const std::uint32_t in_elems =
+        static_cast<std::uint32_t>(l.inH) * l.inW;
+    const std::uint32_t own_addr = own.start * out_elems;
+    const std::uint32_t own_words = own.count * out_elems;
+    const std::uint32_t kk =
+        static_cast<std::uint32_t>(l.kernelH) * l.kernelW;
+    const std::uint32_t load_words = own.count * kk;
+    if (load_words > ctx.bufWords) {
+        fatal("codegen: kernel batch of ", load_words,
+              " words exceeds the streaming memory for ", l.name);
+    }
+
+    // With an activation, the convolutions accumulate into the
+    // untracked partial region and NDACTFN delivers the single tracked
+    // update; without one, every input feature's store is an update.
+    const bool has_act = l.act != Activation::None;
+    const std::uint32_t target_addr =
+        has_act ? ctx.partialBase + own_addr : own_addr;
+    emitTrackers(as, ctx, col, row, own_addr, own_words,
+                 /*updates=*/has_act ? 1 : l.inChannels,
+                 replicates(ctx, col, row) ? 1 : 0);
+
+    if (own.count > 0) {
+        const std::uint32_t wbase =
+            ctx.compiled->weightBase(l.id) +
+            static_cast<std::uint32_t>(own.start) * kk;
+        as.ldri(rInHw, l.inH);
+        as.ldri(rK, l.kernelH);
+        as.ldri(rStride, l.strideH);
+        as.ldri(rPad, l.padH);
+        as.ldri(rOutAddr, static_cast<std::int32_t>(target_addr));
+        as.ldri(rBufOff, 0);
+        as.ldri(rLoadWords, static_cast<std::int32_t>(load_words));
+        as.ldri(rStage, static_cast<std::int32_t>(ctx.stageBase));
+        as.ldri(rInAddr, 0);
+        as.ldri(rExtW, static_cast<std::int32_t>(wbase));
+
+        // First input feature: overwrite the partials.
+        as.dmaload(isa::kPortLeft, rExtW, isa::kPortExtMem, rStage,
+                   rLoadWords, false);
+        as.passbufRd(isa::kPortLeft, rStage, rLoadWords, rBufOff);
+        as.ndconv(rInAddr, isa::kPortLeft, rInHw, rBufOff, rK, rStride,
+                  rPad, rOutAddr, isa::kPortRight, own.count, false);
+
+        if (l.inChannels > 1) {
+            as.ldri(rLoop, l.inChannels - 1);
+            Label top = as.newLabel();
+            as.bind(top);
+            as.addri(rInAddr, rInAddr,
+                     static_cast<std::int32_t>(in_elems));
+            as.addri(rExtW, rExtW,
+                     static_cast<std::int32_t>(l.outChannels * kk));
+            as.dmaload(isa::kPortLeft, rExtW, isa::kPortExtMem, rStage,
+                       rLoadWords, false);
+            as.passbufRd(isa::kPortLeft, rStage, rLoadWords, rBufOff);
+            as.ndconv(rInAddr, isa::kPortLeft, rInHw, rBufOff, rK,
+                      rStride, rPad, rOutAddr, isa::kPortRight,
+                      own.count, true);
+            as.subri(rLoop, rLoop, 1);
+            as.bgtz(rLoop, top);
+        }
+        emitEpilogue(as, ctx, col, row, ctx.partialBase + own_addr,
+                     own_addr, own_words, l.act);
+    } else {
+        as.halt();
+    }
+    return as.finish();
+}
+
+isa::Program
+genSamp(const GenContext &ctx, std::size_t col, int row)
+{
+    const Layer &l = ctx.net->layer(ctx.compiled->columnLayers[col]);
+    if (l.padH != 0 || l.padW != 0)
+        fatal("codegen: padded pooling is not supported");
+    Assembler as;
+    Block own = blockOf(l, row);
+    const std::uint32_t out_elems = featElems(l);
+    const std::uint32_t in_elems =
+        static_cast<std::uint32_t>(l.inH) * l.inW;
+    const std::uint32_t own_addr = own.start * out_elems;
+    const std::uint32_t own_words = own.count * out_elems;
+
+    emitTrackers(as, ctx, col, row, own_addr, own_words, /*updates=*/1,
+                 replicates(ctx, col, row) ? 1 : 0);
+
+    if (own.count > 0) {
+        as.ldri(rInAddr, static_cast<std::int32_t>(own.start * in_elems));
+        as.ldri(rInHw, l.inH);
+        as.ldri(rWin, l.kernelH);
+        as.ldri(rStride, l.strideH);
+        as.ldri(rOutAddr, static_cast<std::int32_t>(own_addr));
+        as.ldri(rSize, own.count);
+        as.ndsubsamp(l.sampKind == dnn::SampKind::Max ? isa::kSampMax
+                                                      : isa::kSampAvg,
+                     rInAddr, isa::kPortLeft, rInHw, rWin, rStride,
+                     rOutAddr, isa::kPortRight, rSize);
+        emitEpilogue(as, ctx, col, row, own_addr, own_addr, own_words,
+                     Activation::None);
+    } else {
+        as.halt();
+    }
+    return as.finish();
+}
+
+isa::Program
+genFc(const GenContext &ctx, std::size_t col, int row)
+{
+    const Layer &l = ctx.net->layer(ctx.compiled->columnLayers[col]);
+    Assembler as;
+    Block own = blockOf(l, row);
+    const std::uint32_t in_n =
+        static_cast<std::uint32_t>(l.inputElems());
+    const std::uint32_t own_addr = own.start;
+    const std::uint32_t own_words = own.count;
+    const int chunks = fcChunks(l, row, ctx.bufWords);
+    const bool has_act = l.act != Activation::None;
+    const std::uint32_t target_addr =
+        has_act ? ctx.partialBase + own_addr : own_addr;
+
+    emitTrackers(as, ctx, col, row, own_addr, own_words,
+                 /*updates=*/has_act ? 1 : chunks,
+                 replicates(ctx, col, row) ? 1 : 0);
+
+    if (own.count > 0) {
+        const int chunk_rows = static_cast<int>(std::min<std::uint32_t>(
+            own.count, ctx.bufWords / in_n));
+        as.ldri(rInAddr, 0);
+        as.ldri(rInN, static_cast<std::int32_t>(in_n));
+        as.ldri(rStage, static_cast<std::int32_t>(ctx.stageBase));
+        as.ldri(rBufOff, 0);
+        for (int c = 0; c < chunks; ++c) {
+            const int rows_c =
+                std::min(chunk_rows, own.count - c * chunk_rows);
+            const std::uint32_t wbase =
+                ctx.compiled->weightBase(l.id) +
+                (static_cast<std::uint32_t>(own.start) +
+                 c * chunk_rows) * in_n;
+            as.ldri(rExtW, static_cast<std::int32_t>(wbase));
+            as.ldri(rLoadWords,
+                    static_cast<std::int32_t>(rows_c * in_n));
+            as.ldri(rChunkRows, rows_c);
+            as.ldri(rChunkOut, static_cast<std::int32_t>(
+                target_addr + c * chunk_rows));
+            as.dmaload(isa::kPortLeft, rExtW, isa::kPortExtMem, rStage,
+                       rLoadWords, false);
+            as.passbufRd(isa::kPortLeft, rStage, rLoadWords, rBufOff);
+            as.matmul(rInAddr, isa::kPortLeft, rInN, rBufOff, rChunkOut,
+                      isa::kPortRight, rChunkRows, false);
+        }
+        emitEpilogue(as, ctx, col, row, ctx.partialBase + own_addr,
+                     own_addr, own_words, l.act);
+    } else {
+        as.halt();
+    }
+    return as.finish();
+}
+
+} // namespace
+
+std::uint32_t
+CompiledNetwork::weightBase(dnn::LayerId id) const
+{
+    for (const WeightSlice &w : weights) {
+        if (w.layer == id)
+            return w.baseWord;
+    }
+    panic("CompiledNetwork: no weights for layer ", id);
+}
+
+CompiledNetwork
+compileForMachine(const dnn::Network &net,
+                  const sim::MachineConfig &config)
+{
+    if (config.rows != kRows)
+        fatal("codegen: the functional schedule requires a 2-row "
+              "machine, got ", config.rows);
+
+    CompiledNetwork compiled;
+    compiled.machineRows = kRows;
+
+    // Column mapping: one compute column per CONV/SAMP/FC layer, in
+    // topological order; the topology must be a simple chain.
+    LayerId prev = 0;
+    for (const Layer &l : net.layers()) {
+        if (l.kind == LayerKind::Input)
+            continue;
+        if (l.kind != LayerKind::Conv && l.kind != LayerKind::Samp &&
+            l.kind != LayerKind::Fc) {
+            fatal("codegen: layer ", l.name,
+                  " is not supported by the sequential schedule");
+        }
+        if (l.inputs.size() != 1 || l.inputs[0] != prev)
+            fatal("codegen: network is not a simple chain at ", l.name);
+        compiled.columnLayers.push_back(l.id);
+        prev = l.id;
+    }
+    compiled.machineCols =
+        static_cast<int>(compiled.columnLayers.size());
+    if (config.cols < compiled.machineCols) {
+        fatal("codegen: network needs ", compiled.machineCols,
+              " compute columns but the machine has ", config.cols);
+    }
+
+    // Feature and partial regions each get a quarter tile; staging
+    // takes the upper half.
+    const std::uint32_t cap_words =
+        static_cast<std::uint32_t>(config.mem.capacity / 4);
+    for (LayerId id : compiled.columnLayers) {
+        const Layer &l = net.layer(id);
+        if (l.outputElems() > cap_words / 4 ||
+            l.inputElems() > cap_words / 4) {
+            fatal("codegen: layer ", l.name,
+                  " does not fit the MemHeavy feature region");
+        }
+    }
+
+    // External-memory weight layout.
+    std::uint32_t next_word = 0;
+    for (LayerId id : compiled.columnLayers) {
+        const Layer &l = net.layer(id);
+        std::uint64_t words = l.weightCount();
+        if (words == 0)
+            continue;
+        compiled.weights.push_back(
+            {id, next_word, static_cast<std::uint32_t>(words)});
+        next_word += static_cast<std::uint32_t>(words);
+    }
+    compiled.extWords = next_word;
+
+    GenContext ctx;
+    ctx.net = &net;
+    ctx.config = &config;
+    ctx.compiled = &compiled;
+    // Tile memory map (words): features [0, cap/4), partials
+    // [cap/4, cap/2), errors [cap/2, 3cap/4) for the training phase,
+    // staging [3cap/4, 7cap/8), WG output [7cap/8, cap).
+    ctx.partialBase = cap_words / 4;
+    ctx.stageBase = 3 * (cap_words / 4);
+    ctx.bufWords = static_cast<std::uint32_t>(
+        (config.comp.topMem + config.comp.botMem) / 4);
+
+    for (std::size_t col = 0; col < compiled.columnLayers.size();
+         ++col) {
+        const Layer &l = net.layer(compiled.columnLayers[col]);
+        for (int row = 0; row < kRows; ++row) {
+            TileProgram tp;
+            tp.row = row;
+            tp.col = static_cast<int>(col);
+            tp.role = TileRole::Fp;
+            switch (l.kind) {
+              case LayerKind::Conv:
+                tp.program = genConv(ctx, col, row);
+                break;
+              case LayerKind::Samp:
+                tp.program = genSamp(ctx, col, row);
+                break;
+              case LayerKind::Fc:
+                tp.program = genFc(ctx, col, row);
+                break;
+              default:
+                panic("codegen: unreachable");
+            }
+            compiled.programs.push_back(std::move(tp));
+        }
+    }
+    return compiled;
+}
+
+std::vector<float>
+buildWeightImage(const CompiledNetwork &compiled, const dnn::Network &net,
+                 const dnn::ReferenceEngine &engine)
+{
+    std::vector<float> image(compiled.extWords, 0.0f);
+    for (const WeightSlice &slice : compiled.weights) {
+        const Layer &l = net.layer(slice.layer);
+        const dnn::Tensor &w = engine.weights(slice.layer);
+        if (l.kind == LayerKind::Conv) {
+            // Engine layout [oc][ic][kh][kw]; program layout
+            // [ic][oc][kh][kw].
+            const std::size_t kk =
+                static_cast<std::size_t>(l.kernelH) * l.kernelW;
+            for (int oc = 0; oc < l.outChannels; ++oc) {
+                for (int ic = 0; ic < l.inChannels; ++ic) {
+                    const float *src =
+                        w.data() +
+                        (static_cast<std::size_t>(oc) * l.inChannels +
+                         ic) * kk;
+                    float *dst =
+                        image.data() + slice.baseWord +
+                        (static_cast<std::size_t>(ic) * l.outChannels +
+                         oc) * kk;
+                    std::copy(src, src + kk, dst);
+                }
+            }
+        } else {
+            std::copy(w.data(), w.data() + w.size(),
+                      image.begin() + slice.baseWord);
+        }
+    }
+    return image;
+}
+
+FuncRunner::FuncRunner(const dnn::Network &net, sim::MachineConfig config)
+    : net_(&net), config_(config)
+{
+    compiled_ = compileForMachine(net, config_);
+    if (config_.extMemWords < compiled_.extWords)
+        config_.extMemWords = compiled_.extWords + 1024;
+    weightImage_.assign(compiled_.extWords, 0.0f);
+}
+
+void
+FuncRunner::loadWeights(const dnn::ReferenceEngine &engine)
+{
+    weightImage_ = buildWeightImage(compiled_, *net_, engine);
+}
+
+dnn::Tensor
+FuncRunner::evaluate(const dnn::Tensor &image, sim::RunResult *result)
+{
+    const Layer &in = net_->layer(0);
+    if (image.size() != in.outputElems())
+        fatal("FuncRunner: input image has the wrong size");
+
+    machine_ = std::make_unique<sim::Machine>(config_);
+    std::copy(weightImage_.begin(), weightImage_.end(),
+              machine_->extMem().begin());
+
+    // Network input replicated into both rows of memory column 0.
+    for (int row = 0; row < kRows; ++row) {
+        machine_->memTile(row, 0).pokeRange(
+            0, image.data(), static_cast<std::uint32_t>(image.size()));
+    }
+    for (const TileProgram &tp : compiled_.programs)
+        machine_->loadProgram(tp.row, tp.col, tp.role, tp.program);
+
+    sim::RunResult res = machine_->run();
+    if (result)
+        *result = res;
+    if (!res.ok()) {
+        fatal("FuncRunner: simulation ",
+              res.deadlocked ? "deadlocked" : "timed out", " after ",
+              res.cycles, " cycles");
+    }
+
+    const Layer &out = net_->layer(compiled_.columnLayers.back());
+    dnn::Tensor output({static_cast<std::size_t>(out.outChannels),
+                        static_cast<std::size_t>(out.outH),
+                        static_cast<std::size_t>(out.outW)});
+    const std::uint32_t elems =
+        out.kind == LayerKind::Fc
+            ? 1 : static_cast<std::uint32_t>(out.outH) * out.outW;
+    for (int row = 0; row < kRows; ++row) {
+        Block b = blockOf(out, row);
+        if (b.count == 0)
+            continue;
+        machine_->memTile(row, compiled_.machineCols)
+            .peekRange(b.start * elems, output.data() + b.start * elems,
+                       b.count * elems);
+    }
+    return output;
+}
+
+} // namespace sd::compiler

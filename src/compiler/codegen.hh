@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The ScaleDeep compiler's code-generation phase (paper Section 4.2),
+ * targeting the functional chip simulator.
+ *
+ * Code generation follows the paper's template scheme: a parameterized
+ * assembly routine per layer type (CONV / SAMP / FC forward
+ * propagation), customized with the static addresses, loop bounds and
+ * tracker budgets derived from the mapping. The generated programs use
+ * MEMTRACK data-flow trackers for all cross-tile synchronization — no
+ * other ordering exists between tiles.
+ *
+ * Scope: sequential topologies (Input -> {Conv,Samp,Fc}*) on a 2-row
+ * machine with one compute column per layer; each row owns a contiguous
+ * block of the layer's output features and replicates it to the other
+ * row so the next column sees the full feature map. Grouped
+ * convolutions and padded pooling are rejected. Training-step (BP/WG)
+ * kernels are validated at ISA level and modeled by the performance
+ * simulator.
+ *
+ * Memory map of every MemHeavy tile (word addresses):
+ *   [0, cap/2)      feature region "A": feature f at f * featElems
+ *   [cap/2, cap)    staging region "S" for weight prefetch
+ */
+
+#ifndef SCALEDEEP_COMPILER_CODEGEN_HH
+#define SCALEDEEP_COMPILER_CODEGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/network.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+#include "isa/program.hh"
+#include "sim/func/machine.hh"
+
+namespace sd::compiler {
+
+/** One generated per-tile program. */
+struct TileProgram
+{
+    int row = 0;
+    int col = 0;                    ///< compute column
+    sim::TileRole role = sim::TileRole::Fp;
+    isa::Program program;
+};
+
+/** External-memory placement of one layer's weights. */
+struct WeightSlice
+{
+    dnn::LayerId layer = -1;
+    std::uint32_t baseWord = 0;
+    std::uint32_t words = 0;
+};
+
+/** The result of compiling a network for the functional machine. */
+struct CompiledNetwork
+{
+    std::vector<TileProgram> programs;
+    std::vector<WeightSlice> weights;
+    std::uint32_t extWords = 0;     ///< external memory footprint
+    int machineRows = 2;
+    int machineCols = 0;            ///< compute columns required
+
+    /** Compute layers in column order (samp layers included). */
+    std::vector<dnn::LayerId> columnLayers;
+
+    std::uint32_t weightBase(dnn::LayerId id) const;
+};
+
+/**
+ * Compile @p net for a functional machine with @p config. The machine
+ * must have exactly 2 rows and at least as many compute columns as the
+ * network has compute layers; fatal() otherwise.
+ */
+CompiledNetwork compileForMachine(const dnn::Network &net,
+                                  const sim::MachineConfig &config);
+
+/**
+ * Build the external-memory weight image expected by the compiled
+ * programs from a reference engine's parameters. Convolution kernels
+ * are re-laid out [inFeature][outFeature][kh][kw] so that the kernels
+ * one NDCONV consumes are contiguous; FC weights stay [out][in].
+ */
+std::vector<float> buildWeightImage(const CompiledNetwork &compiled,
+                                    const dnn::Network &net,
+                                    const dnn::ReferenceEngine &engine);
+
+/**
+ * Convenience end-to-end runner: compiles the network, wires reference
+ * weights into external memory, and evaluates images on a fresh machine
+ * per call (the generated schedule is single-image).
+ */
+class FuncRunner
+{
+  public:
+    FuncRunner(const dnn::Network &net, sim::MachineConfig config);
+
+    /** Install weights from a reference engine. */
+    void loadWeights(const dnn::ReferenceEngine &engine);
+
+    /**
+     * Run forward propagation of @p image through the compiled
+     * programs. @p result receives cycle/deadlock info when non-null.
+     */
+    dnn::Tensor evaluate(const dnn::Tensor &image,
+                         sim::RunResult *result = nullptr);
+
+    const CompiledNetwork &compiled() const { return compiled_; }
+    /** Machine from the most recent evaluate() call. */
+    const sim::Machine *lastMachine() const { return machine_.get(); }
+
+  private:
+    const dnn::Network *net_;
+    sim::MachineConfig config_;
+    CompiledNetwork compiled_;
+    std::vector<float> weightImage_;
+    std::unique_ptr<sim::Machine> machine_;
+};
+
+} // namespace sd::compiler
+
+#endif // SCALEDEEP_COMPILER_CODEGEN_HH

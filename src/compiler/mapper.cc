@@ -1,0 +1,401 @@
+#include "compiler/mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/logging.hh"
+
+namespace sd::compiler {
+
+using dnn::Layer;
+using dnn::LayerId;
+using dnn::LayerKind;
+
+namespace {
+
+std::int64_t
+divCeil(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Occupancy of a ceil-divided dimension: n useful slots of the
+ * rounded-up iteration space. */
+double
+occupancy(int n, int unit)
+{
+    if (n <= 0 || unit <= 0)
+        return 1.0;
+    return static_cast<double>(n) /
+           (static_cast<double>(divCeil(n, unit)) * unit);
+}
+
+/**
+ * Pipelined state bytes of one layer (STEP3a): two copies of its
+ * output features and errors plus two in-flight partial batches.
+ */
+std::int64_t
+layerStateBytes(const Layer &l, const arch::ChipConfig &chip,
+                Precision precision)
+{
+    const std::int64_t es =
+        static_cast<std::int64_t>(bytesPerElement(precision));
+    const std::int64_t out_elems =
+        static_cast<std::int64_t>(l.outputElems());
+    const std::int64_t batch_elems =
+        static_cast<std::int64_t>(chip.comp.lanes) * l.outH * l.outW;
+    return 4 * out_elems * es + 4 * batch_elems * es;
+}
+
+} // namespace
+
+const LayerAlloc *
+Mapping::find(dnn::LayerId id) const
+{
+    for (const LayerAlloc &a : layers) {
+        if (a.id == id)
+            return &a;
+        for (LayerId m : a.members)
+            if (m == id)
+                return &a;
+        for (LayerId m : a.sampMembers)
+            if (m == id)
+                return &a;
+    }
+    return nullptr;
+}
+
+double
+Mapping::columnAllocUtil() const
+{
+    // The pipeline runs at the pace of the most loaded layer; overall
+    // 2D-PE utilization is bounded by average load / peak load.
+    double total_flops = 0.0;
+    int total_cols = 0;
+    double max_load = 0.0;
+    for (const LayerAlloc &a : layers) {
+        if (a.fcSide)
+            continue;
+        total_flops += a.fpFlops;
+        total_cols += a.columns;
+        max_load = std::max(max_load, a.fpFlops / a.columns);
+    }
+    if (total_cols == 0 || max_load <= 0.0)
+        return 1.0;
+    return (total_flops / total_cols) / max_load;
+}
+
+Mapper::Mapper(const dnn::Network &net, const arch::NodeConfig &node)
+    : net_(&net), node_(&node), workload_(net, node.precision)
+{
+}
+
+int
+Mapper::minColumnsFor(const Layer &l, const arch::ChipConfig &chip) const
+{
+    const std::int64_t bytes =
+        layerStateBytes(l, chip, node_->precision);
+    // Usable column capacity (a fraction is reserved for staging).
+    const std::int64_t col_capacity = static_cast<std::int64_t>(
+        0.9 * chip.rows * static_cast<double>(chip.mem.capacity));
+    return static_cast<int>(
+        std::max<std::int64_t>(1, divCeil(bytes, col_capacity)));
+}
+
+double
+Mapper::arrayUtilization(const Layer &l, const ArrayShape &shape)
+{
+    if (l.kind == LayerKind::Conv) {
+        double row_occ = occupancy(l.outH, shape.effectiveRows());
+        double col_occ = occupancy(l.kernelH, shape.cols);
+        int batch = shape.lanes * shape.parallelBatches();
+        double lane_occ = occupancy(l.outChannels, batch);
+        return row_occ * col_occ * lane_occ;
+    }
+    if (l.kind == LayerKind::Fc) {
+        int pes = shape.effectiveRows() * shape.cols * shape.lanes *
+                  shape.parallelBatches();
+        return occupancy(l.outChannels, pes);
+    }
+    return 1.0;
+}
+
+std::pair<ArrayShape, double>
+Mapper::chooseArrayShape(const Layer &l,
+                         const arch::CompHeavyConfig &comp)
+{
+    const int product = comp.arrayCols * comp.lanes;
+    ArrayShape best{comp.arrayRows, comp.arrayCols, comp.lanes, false};
+    double best_util = arrayUtilization(l, best);
+    for (int cols = 1; cols <= product; ++cols) {
+        if (product % cols)
+            continue;
+        for (bool split : {false, true}) {
+            if (split && comp.arrayRows % 2)
+                continue;
+            ArrayShape cand{comp.arrayRows, cols, product / cols, split};
+            double util = arrayUtilization(l, cand);
+            if (util > best_util + 1e-12) {
+                best_util = util;
+                best = cand;
+            }
+        }
+    }
+    return {best, best_util};
+}
+
+Mapping
+Mapper::map() const
+{
+    Mapping m;
+
+    // STEP1 + STEP2: build allocation units. Grouped CONV/FC layers
+    // (inception modules, tagged residual convs) share a unit; SAMP
+    // layers fuse into their producer's unit when it exists, otherwise
+    // they get their own conv-side unit.
+    const auto &layers = net_->layers();
+    std::map<std::string, std::size_t> group_unit;
+    std::vector<int> unit_of(layers.size(), -1);
+
+    auto flops_of = [&](LayerId id) {
+        return workload_.layer(id).step(dnn::Step::Fp).flops();
+    };
+
+    for (const Layer &l : layers) {
+        switch (l.kind) {
+          case LayerKind::Conv:
+          case LayerKind::Fc: {
+            std::size_t idx;
+            bool fc_side = l.kind == LayerKind::Fc;
+            auto it = l.group.empty() ? group_unit.end()
+                                      : group_unit.find(l.group);
+            if (it != group_unit.end()) {
+                idx = it->second;
+                if (m.layers[idx].fcSide != fc_side)
+                    fatal("Mapper: group ", l.group,
+                          " mixes CONV and FC layers");
+            } else {
+                idx = m.layers.size();
+                LayerAlloc a;
+                a.id = l.id;
+                a.fcSide = fc_side;
+                m.layers.push_back(a);
+                if (!l.group.empty())
+                    group_unit[l.group] = idx;
+            }
+            m.layers[idx].members.push_back(l.id);
+            m.layers[idx].fpFlops += flops_of(l.id);
+            unit_of[l.id] = static_cast<int>(idx);
+            break;
+          }
+          case LayerKind::Samp: {
+            int producer_unit = unit_of[l.inputs[0]];
+            if (producer_unit >= 0 && !m.layers[producer_unit].fcSide) {
+                LayerAlloc &a = m.layers[producer_unit];
+                a.sampMembers.push_back(l.id);
+                if (!a.fusedSamp)
+                    a.fusedSamp = l.id;
+                a.fpFlops += flops_of(l.id);
+                unit_of[l.id] = producer_unit;
+            } else {
+                LayerAlloc a;
+                a.id = l.id;
+                a.members.push_back(l.id);
+                a.fpFlops += flops_of(l.id);
+                unit_of[l.id] = static_cast<int>(m.layers.size());
+                m.layers.push_back(a);
+            }
+            break;
+          }
+          case LayerKind::Eltwise:
+          case LayerKind::Concat:
+            // Negligible FLOPs; their outputs live with the producer.
+            unit_of[l.id] = unit_of[l.inputs[0]];
+            break;
+          case LayerKind::Input:
+            break;
+        }
+    }
+
+    const arch::ChipConfig &conv_chip = node_->cluster.convChip;
+    const arch::ChipConfig &fc_chip = node_->cluster.fcChip;
+
+    // STEP3a: minimum columns per unit (summed member state).
+    int conv_min = 0, fc_min = 0;
+    for (LayerAlloc &a : m.layers) {
+        const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
+        std::int64_t bytes = 0;
+        for (LayerId id : a.members)
+            bytes += layerStateBytes(net_->layer(id), chip,
+                                     node_->precision);
+        for (LayerId id : a.sampMembers)
+            bytes += layerStateBytes(net_->layer(id), chip,
+                                     node_->precision);
+        const std::int64_t col_capacity = static_cast<std::int64_t>(
+            0.9 * chip.rows * static_cast<double>(chip.mem.capacity));
+        a.minColumns = static_cast<int>(
+            std::max<std::int64_t>(1, divCeil(bytes, col_capacity)));
+        a.columns = a.minColumns;
+        (a.fcSide ? fc_min : conv_min) += a.minColumns;
+    }
+
+    // STEP3b: size the chip count and load-balance the extra columns.
+    const int max_conv_chips =
+        node_->numClusters * node_->cluster.numConvChips;
+    const int min_chips = static_cast<int>(
+        std::min<std::int64_t>(max_conv_chips,
+                               divCeil(std::max(conv_min, 1),
+                                       conv_chip.cols)));
+    if (conv_min > max_conv_chips * conv_chip.cols) {
+        fatal("Mapper: network needs ", conv_min,
+              " ConvLayer columns but the node only has ",
+              max_conv_chips * conv_chip.cols);
+    }
+    if (fc_min > fc_chip.cols) {
+        fatal("Mapper: network needs ", fc_min,
+              " FcLayer columns but a chip only has ", fc_chip.cols);
+    }
+
+    // Repeatedly grant a column to the unit with the highest
+    // column-load; returns the bottleneck load.
+    auto balance = [&](bool fc_side, int budget,
+                       std::vector<int> &cols) {
+        int used = 0;
+        std::size_t n = m.layers.size();
+        for (std::size_t i = 0; i < n; ++i)
+            if (m.layers[i].fcSide == fc_side)
+                used += cols[i];
+        while (used < budget) {
+            int best = -1;
+            double best_load = -1.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (m.layers[i].fcSide != fc_side)
+                    continue;
+                double load = m.layers[i].fpFlops / cols[i];
+                if (load > best_load) {
+                    best_load = load;
+                    best = static_cast<int>(i);
+                }
+            }
+            if (best < 0)
+                break;
+            ++cols[best];
+            ++used;
+        }
+        double max_load = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (m.layers[i].fcSide == fc_side)
+                max_load = std::max(max_load,
+                                    m.layers[i].fpFlops / cols[i]);
+        }
+        return max_load;
+    };
+
+    // Choose the chip count maximizing node throughput: the copies
+    // that fit times the per-copy pipeline rate (inverse bottleneck
+    // load). Prefer fewer chips on near-ties.
+    std::vector<int> min_cols(m.layers.size());
+    for (std::size_t i = 0; i < m.layers.size(); ++i)
+        min_cols[i] = m.layers[i].columns;
+    std::vector<int> best_cols;
+    double best_score = -1.0;
+    int best_chips = min_chips;
+    for (int chips = min_chips; chips <= max_conv_chips; ++chips) {
+        std::vector<int> cols = min_cols;
+        double load = balance(false, chips * conv_chip.cols, cols);
+        int copies = std::max(1, max_conv_chips / chips);
+        double score =
+            load > 0.0 ? copies / load : static_cast<double>(copies);
+        // Spreading a copy over more chips costs wheel/ring traffic the
+        // score doesn't see; demand a solid throughput win for it.
+        if (score > best_score * 1.25) {
+            best_score = score;
+            best_chips = chips;
+            best_cols = std::move(cols);
+        }
+    }
+    m.convChips = best_chips;
+    m.convColumns = 0;
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        if (!m.layers[i].fcSide) {
+            m.layers[i].columns = best_cols[i];
+            m.convColumns += best_cols[i];
+        }
+    }
+
+    std::vector<int> fc_cols = min_cols;
+    balance(true, fc_chip.cols, fc_cols);
+    m.fcColumns = 0;
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        if (m.layers[i].fcSide) {
+            m.layers[i].columns = fc_cols[i];
+            m.fcColumns += fc_cols[i];
+        }
+    }
+
+    // Replicate the network to fill the node.
+    m.copies = std::max(1, max_conv_chips / std::max(1, m.convChips));
+
+    // STEP4-6 per unit.
+    for (LayerAlloc &a : m.layers) {
+        const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
+        const std::int64_t es =
+            static_cast<std::int64_t>(bytesPerElement(node_->precision));
+        a.tilesTotal = chip.rows * a.columns;
+
+        // STEP4: feature distribution over the unit's tiles. Large
+        // features split across tiles (at most a quarter tile each);
+        // small features pack several per tile.
+        std::int64_t units = 0;
+        for (LayerId id : a.members) {
+            const Layer &l = net_->layer(id);
+            const std::int64_t feat_bytes =
+                static_cast<std::int64_t>(l.outH) * l.outW * es;
+            const std::int64_t tile_budget = chip.mem.capacity / 4;
+            int split = static_cast<int>(std::max<std::int64_t>(
+                1, divCeil(feat_bytes, tile_budget)));
+            units += static_cast<std::int64_t>(l.outChannels) * split;
+        }
+        a.featureUnits = static_cast<int>(units);
+        a.featuresPerTile = static_cast<int>(
+            divCeil(std::max<std::int64_t>(1, units), a.tilesTotal));
+        a.tilesUsed = static_cast<int>(
+            divCeil(std::max<std::int64_t>(1, units),
+                    a.featuresPerTile));
+
+        // STEP5: array configuration — the FLOP-dominant member's best
+        // shape represents the unit; utilization is FLOP weighted.
+        double util_acc = 0.0, w_acc = 0.0, best_w = -1.0;
+        for (LayerId id : a.members) {
+            const Layer &l = net_->layer(id);
+            auto [shape, util] = chooseArrayShape(l, chip.comp);
+            double w = std::max(flops_of(id), 1.0);
+            util_acc += util * w;
+            w_acc += w;
+            if (w > best_w) {
+                best_w = w;
+                a.shape = shape;
+            }
+        }
+        a.arrayUtil = w_acc > 0.0 ? util_acc / w_acc : 1.0;
+
+        // STEP6: weight placement.
+        std::int64_t state_bytes = 0, weight_bytes = 0;
+        for (LayerId id : a.members) {
+            const Layer &l = net_->layer(id);
+            state_bytes +=
+                4 * static_cast<std::int64_t>(l.outputElems()) * es;
+            weight_bytes +=
+                2 * static_cast<std::int64_t>(l.weightCount()) * es;
+        }
+        const std::int64_t capacity =
+            static_cast<std::int64_t>(a.columns) * chip.rows *
+            static_cast<std::int64_t>(0.9 * chip.mem.capacity);
+        a.weightsOnChip = state_bytes + weight_bytes <= capacity;
+    }
+
+    return m;
+}
+
+} // namespace sd::compiler

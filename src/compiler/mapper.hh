@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The ScaleDeep compiler's workload-mapping phase (paper Section 4.1).
+ *
+ * Given a DNN topology and a node configuration, the mapper:
+ *  STEP1  separates CONV/SAMP layers (ConvLayer chips) from FC layers
+ *         (FcLayer chips),
+ *  STEP2  computes per-layer FLOPs,
+ *  STEP3a computes the minimum columns each layer needs to hold its
+ *         pipelined network state (two copies of features and errors
+ *         plus the in-flight partial batches),
+ *  STEP3b sizes the chip count and load-balances the remaining columns
+ *         by repeatedly granting a column to the layer with the highest
+ *         column-load (normalized FLOPs / normalized columns),
+ *  STEP4  distributes features across the MemHeavy tiles of each
+ *         layer's columns (recording last-column idle tiles),
+ *  STEP5  picks the CompHeavy array configuration (column/lane
+ *         redistribution, optional horizontal split) that maximizes
+ *         2D-array utilization for the layer,
+ *  STEP6  decides whether weights+gradients fit on-chip or must live in
+ *         external memory.
+ *
+ * The resulting Mapping drives the performance simulator and the
+ * Figure 16/17/19 benchmarks.
+ */
+
+#ifndef SCALEDEEP_COMPILER_MAPPER_HH
+#define SCALEDEEP_COMPILER_MAPPER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/node.hh"
+#include "dnn/network.hh"
+#include "dnn/workload.hh"
+
+namespace sd::compiler {
+
+/** A chosen CompHeavy 2D-array configuration (Section 3.1.1). */
+struct ArrayShape
+{
+    int rows = 8;
+    int cols = 3;
+    int lanes = 4;
+    bool split = false;     ///< array split into two half-row arrays
+
+    /** Parallel convolutions the shape executes (2 when split). */
+    int parallelBatches() const { return split ? 2 : 1; }
+    int effectiveRows() const { return split ? rows / 2 : rows; }
+};
+
+/**
+ * Per-unit mapping decision. A unit is one compute layer, or — for
+ * grouped layers (inception modules, residual blocks' tagged convs) —
+ * all layers sharing a group tag, co-allocated on the same columns.
+ */
+struct LayerAlloc
+{
+    dnn::LayerId id = -1;           ///< primary (first) member
+    bool fcSide = false;            ///< mapped to the FcLayer chip
+    std::vector<dnn::LayerId> members;      ///< CONV/FC layers
+    std::vector<dnn::LayerId> sampMembers;  ///< fused SAMP layers
+    std::optional<dnn::LayerId> fusedSamp;  ///< first fused SAMP
+
+    int minColumns = 1;             ///< STEP3a result
+    int columns = 1;                ///< final allocation
+    double fpFlops = 0.0;           ///< STEP2, per image
+
+    // STEP4: feature distribution.
+    int featureUnits = 0;           ///< features (or feature parts)
+    int featuresPerTile = 1;
+    int tilesUsed = 0;              ///< tiles actually holding features
+    int tilesTotal = 0;
+
+    // STEP5.
+    ArrayShape shape;
+    double arrayUtil = 1.0;         ///< residue utilization estimate
+
+    // STEP6.
+    bool weightsOnChip = true;
+
+    /** Fraction of the layer's tiles holding features. */
+    double
+    featureDistUtil() const
+    {
+        return tilesTotal > 0
+            ? static_cast<double>(tilesUsed) / tilesTotal : 1.0;
+    }
+};
+
+/** The complete mapping of one network copy onto the node. */
+struct Mapping
+{
+    std::vector<LayerAlloc> layers;     ///< compute layers, topo order
+
+    int convColumns = 0;        ///< columns used on ConvLayer chips
+    int fcColumns = 0;          ///< columns used on the FcLayer chips
+    int convChips = 1;          ///< ConvLayer chips per network copy
+    int copies = 1;             ///< network copies across the node
+
+    const LayerAlloc *find(dnn::LayerId id) const;
+
+    /** Aggregate 2D-PE utilization bound from column allocation. */
+    double columnAllocUtil() const;
+};
+
+/**
+ * The mapper. Construct with the network, its workload analysis and the
+ * target node, then call map().
+ */
+class Mapper
+{
+  public:
+    Mapper(const dnn::Network &net, const arch::NodeConfig &node);
+
+    Mapping map() const;
+
+    /**
+     * STEP3a helper: minimum columns to hold the layer's pipelined
+     * state on the given chip.
+     */
+    int minColumnsFor(const dnn::Layer &l,
+                      const arch::ChipConfig &chip) const;
+
+    /**
+     * STEP5 helper: choose the best array shape for a layer and return
+     * it with the residue-utilization estimate.
+     */
+    static std::pair<ArrayShape, double>
+    chooseArrayShape(const dnn::Layer &l,
+                     const arch::CompHeavyConfig &comp);
+
+    /**
+     * Residue utilization of one candidate shape on one layer: the
+     * product of row, kernel-column and lane occupancy.
+     */
+    static double arrayUtilization(const dnn::Layer &l,
+                                   const ArrayShape &shape);
+
+  private:
+    const dnn::Network *net_;
+    const arch::NodeConfig *node_;
+    dnn::Workload workload_;
+};
+
+} // namespace sd::compiler
+
+#endif // SCALEDEEP_COMPILER_MAPPER_HH

@@ -1,0 +1,437 @@
+#include "compiler/pipeline.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace sd::compiler {
+
+using dnn::Activation;
+using dnn::Layer;
+using dnn::LayerId;
+using dnn::LayerKind;
+using isa::Assembler;
+using isa::Label;
+using sim::TileRole;
+
+namespace {
+
+constexpr int kRows = 2;
+
+// Register conventions (body registers mirror codegen.cc; the loop
+// scaffolding uses the 21+ range).
+constexpr int rInAddr = 1;
+constexpr int rInHw = 2;
+constexpr int rExtW = 3;
+constexpr int rLoadWords = 4;
+constexpr int rStage = 5;
+constexpr int rK = 6;
+constexpr int rStride = 7;
+constexpr int rPad = 8;
+constexpr int rOutAddr = 9;
+constexpr int rLoop = 10;
+constexpr int rBufOff = 11;
+constexpr int rTrkAddr = 12;
+constexpr int rTrkSize = 13;
+constexpr int rTrkUpd = 14;
+constexpr int rTrkRds = 15;
+constexpr int rSize = 16;
+constexpr int rAux = 17;
+constexpr int rInN = 18;
+constexpr int rCount = 19;
+constexpr int rImg = 21;        ///< image loop counter
+constexpr int rBase = 22;       ///< input base (column 0 only)
+constexpr int rExtOut = 23;     ///< output cursor (last column only)
+
+struct PipeContext
+{
+    const dnn::Network *net;
+    const PipelinedNetwork *compiled;
+    std::uint32_t partialBase;
+    std::uint32_t stageBase;
+    std::uint32_t bufWords;
+    std::uint32_t imgElems;     ///< network-input words per image
+
+    const Layer &layerAt(std::size_t col) const
+    { return net->layer(compiled->columnLayers[col]); }
+    std::size_t numCols() const
+    { return compiled->columnLayers.size(); }
+    bool lastCol(std::size_t col) const
+    { return col + 1 == numCols(); }
+};
+
+std::uint32_t
+outWords(const Layer &l)
+{
+    return static_cast<std::uint32_t>(l.outputElems());
+}
+
+int
+fcChunksFull(const PipeContext &ctx, const Layer &l)
+{
+    const std::uint32_t in_n =
+        static_cast<std::uint32_t>(l.inputElems());
+    if (in_n > ctx.bufWords)
+        fatal("pipeline: FC layer ", l.name,
+              " input exceeds the streaming memory");
+    const std::uint32_t chunk = std::min<std::uint32_t>(
+        l.outChannels, ctx.bufWords / in_n);
+    return static_cast<int>((l.outChannels + chunk - 1) / chunk);
+}
+
+/** Consumer reads of one generation of column @p col's full output. */
+int
+consumerReadsFull(const PipeContext &ctx, std::size_t col)
+{
+    if (ctx.lastCol(col))
+        return 0;
+    const Layer &next = ctx.layerAt(col + 1);
+    switch (next.kind) {
+      case LayerKind::Conv:
+        return next.inChannels;
+      case LayerKind::Samp:
+        return 1;
+      case LayerKind::Fc:
+        return fcChunksFull(ctx, next);
+      default:
+        panic("pipeline: non-sequential consumer");
+    }
+}
+
+isa::ActFnType
+actFnType(Activation act)
+{
+    switch (act) {
+      case Activation::ReLU: return isa::kActReLU;
+      case Activation::Tanh: return isa::kActTanh;
+      case Activation::Sigmoid: return isa::kActSigmoid;
+      default: panic("pipeline: no SFU type for activation");
+    }
+}
+
+/**
+ * Emit one column's pipelined FP program for @p row: an image loop
+ * whose body arms the generation tracker, runs the layer, and ships
+ * outputs onward (or to external memory for the last column).
+ */
+isa::Program
+genColumn(const PipeContext &ctx, std::size_t col, int row)
+{
+    const Layer &l = ctx.layerAt(col);
+    const int n_images = ctx.compiled->imagesForRow(row);
+    Assembler as;
+    if (n_images == 0) {
+        as.halt();
+        return as.finish();
+    }
+    const bool first = col == 0;
+    const bool last = ctx.lastCol(col);
+    const bool has_act = l.kind != LayerKind::Samp &&
+                         l.act != Activation::None;
+    const std::uint32_t out_w = outWords(l);
+    const std::uint32_t target = has_act ? ctx.partialBase : 0;
+
+    int updates = 1;
+    if (l.kind == LayerKind::Conv)
+        updates = has_act ? 1 : l.inChannels;
+    else if (l.kind == LayerKind::Fc)
+        updates = has_act ? 1 : fcChunksFull(ctx, l);
+    const int reads = consumerReadsFull(ctx, col) + (last ? 1 : 0);
+
+    as.ldri(rImg, n_images);
+    if (first)
+        as.ldri(rBase, 0);
+    if (last) {
+        as.ldri(rExtOut, static_cast<std::int32_t>(
+            ctx.compiled->outBase +
+            static_cast<std::uint32_t>(row) *
+                ctx.compiled->maxPerRow() *
+                ctx.compiled->outWordsPerImage));
+    }
+    Label loop = as.newLabel();
+    as.bind(loop);
+
+    // Generation tracker on the full output range. Arming blocks until
+    // the previous image's tracker retires (write-after-read).
+    as.ldri(rTrkAddr, 0);
+    as.ldri(rTrkSize, static_cast<std::int32_t>(out_w));
+    as.ldri(rTrkUpd, updates);
+    as.ldri(rTrkRds, reads);
+    as.memtrack(isa::kPortRight, rTrkAddr, rTrkSize, rTrkUpd, rTrkRds);
+
+    switch (l.kind) {
+      case LayerKind::Conv: {
+        if (l.groups != 1)
+            fatal("pipeline: grouped convolutions unsupported");
+        const std::uint32_t kk =
+            static_cast<std::uint32_t>(l.kernelH) * l.kernelW;
+        const std::uint32_t in_elems =
+            static_cast<std::uint32_t>(l.inH) * l.inW;
+        const std::uint32_t load_words = l.outChannels * kk;
+        if (load_words > ctx.bufWords)
+            fatal("pipeline: kernel batch too large for ", l.name);
+        as.ldri(rInHw, l.inH);
+        as.ldri(rK, l.kernelH);
+        as.ldri(rStride, l.strideH);
+        as.ldri(rPad, l.padH);
+        as.ldri(rOutAddr, static_cast<std::int32_t>(target));
+        as.ldri(rBufOff, 0);
+        as.ldri(rLoadWords, static_cast<std::int32_t>(load_words));
+        as.ldri(rStage, static_cast<std::int32_t>(ctx.stageBase));
+        if (first)
+            as.movr(rInAddr, rBase);
+        else
+            as.ldri(rInAddr, 0);
+        std::uint32_t weight_base = 0;
+        for (const WeightSlice &w : ctx.compiled->weights) {
+            if (w.layer == l.id)
+                weight_base = w.baseWord;
+        }
+        as.ldri(rExtW, static_cast<std::int32_t>(weight_base));
+
+        as.dmaload(isa::kPortLeft, rExtW, isa::kPortExtMem, rStage,
+                   rLoadWords, false);
+        as.passbufRd(isa::kPortLeft, rStage, rLoadWords, rBufOff);
+        as.ndconv(rInAddr, isa::kPortLeft, rInHw, rBufOff, rK, rStride,
+                  rPad, rOutAddr, isa::kPortRight, l.outChannels,
+                  false);
+        if (l.inChannels > 1) {
+            as.ldri(rLoop, l.inChannels - 1);
+            Label top = as.newLabel();
+            as.bind(top);
+            as.addri(rInAddr, rInAddr,
+                     static_cast<std::int32_t>(in_elems));
+            as.addri(rExtW, rExtW,
+                     static_cast<std::int32_t>(l.outChannels * kk));
+            as.dmaload(isa::kPortLeft, rExtW, isa::kPortExtMem, rStage,
+                       rLoadWords, false);
+            as.passbufRd(isa::kPortLeft, rStage, rLoadWords, rBufOff);
+            as.ndconv(rInAddr, isa::kPortLeft, rInHw, rBufOff, rK,
+                      rStride, rPad, rOutAddr, isa::kPortRight,
+                      l.outChannels, true);
+            as.subri(rLoop, rLoop, 1);
+            as.bgtz(rLoop, top);
+        }
+        break;
+      }
+      case LayerKind::Samp: {
+        if (l.padH != 0)
+            fatal("pipeline: padded pooling unsupported");
+        if (first)
+            as.movr(rInAddr, rBase);
+        else
+            as.ldri(rInAddr, 0);
+        as.ldri(rInHw, l.inH);
+        as.ldri(rK, l.kernelH);
+        as.ldri(rStride, l.strideH);
+        as.ldri(rOutAddr, 0);
+        as.ldri(rCount, l.outChannels);
+        as.ndsubsamp(l.sampKind == dnn::SampKind::Max
+                         ? isa::kSampMax : isa::kSampAvg,
+                     rInAddr, isa::kPortLeft, rInHw, rK, rStride,
+                     rOutAddr, isa::kPortRight, rCount);
+        break;
+      }
+      case LayerKind::Fc: {
+        const std::uint32_t in_n =
+            static_cast<std::uint32_t>(l.inputElems());
+        const int chunks = fcChunksFull(ctx, l);
+        const std::uint32_t chunk_rows = std::min<std::uint32_t>(
+            l.outChannels, ctx.bufWords / in_n);
+        std::uint32_t weight_base = 0;
+        for (const WeightSlice &w : ctx.compiled->weights) {
+            if (w.layer == l.id)
+                weight_base = w.baseWord;
+        }
+        if (first)
+            as.movr(rInAddr, rBase);
+        else
+            as.ldri(rInAddr, 0);
+        as.ldri(rInN, static_cast<std::int32_t>(in_n));
+        as.ldri(rStage, static_cast<std::int32_t>(ctx.stageBase));
+        as.ldri(rBufOff, 0);
+        for (int c = 0; c < chunks; ++c) {
+            const std::uint32_t rows_c = std::min<std::uint32_t>(
+                chunk_rows,
+                static_cast<std::uint32_t>(l.outChannels) -
+                    c * chunk_rows);
+            as.ldri(rExtW, static_cast<std::int32_t>(
+                weight_base + c * chunk_rows * in_n));
+            as.ldri(rLoadWords,
+                    static_cast<std::int32_t>(rows_c * in_n));
+            as.ldri(rCount, static_cast<std::int32_t>(rows_c));
+            as.ldri(rAux, static_cast<std::int32_t>(
+                target + c * chunk_rows));
+            as.dmaload(isa::kPortLeft, rExtW, isa::kPortExtMem, rStage,
+                       rLoadWords, false);
+            as.passbufRd(isa::kPortLeft, rStage, rLoadWords, rBufOff);
+            as.matmul(rInAddr, isa::kPortLeft, rInN, rBufOff, rAux,
+                      isa::kPortRight, rCount, false);
+        }
+        break;
+      }
+      default:
+        panic("pipeline: unreachable layer kind");
+    }
+
+    if (has_act) {
+        as.ldri(rTrkAddr, static_cast<std::int32_t>(target));
+        as.ldri(rSize, static_cast<std::int32_t>(out_w));
+        as.ldri(rAux, 0);
+        as.ndactfn(actFnType(l.act), rTrkAddr, isa::kPortRight, rSize,
+                   rAux, isa::kPortRight);
+    }
+    if (last) {
+        as.ldri(rTrkAddr, 0);
+        as.ldri(rSize, static_cast<std::int32_t>(out_w));
+        as.dmastore(isa::kPortRight, rTrkAddr, rExtOut,
+                    isa::kPortExtMem, rSize, false);
+        as.addri(rExtOut, rExtOut, static_cast<std::int32_t>(
+            ctx.compiled->outWordsPerImage));
+    }
+    if (first) {
+        as.addri(rBase, rBase,
+                 static_cast<std::int32_t>(ctx.imgElems));
+    }
+    as.subri(rImg, rImg, 1);
+    as.bgtz(rImg, loop);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace
+
+PipelinedNetwork
+compilePipelined(const dnn::Network &net,
+                 const sim::MachineConfig &config, int num_images)
+{
+    if (config.rows != kRows)
+        fatal("pipeline: requires a 2-row machine");
+    if (num_images <= 0)
+        fatal("pipeline: need at least one image");
+
+    // Reuse the sequential-chain checks and weight layout.
+    CompiledNetwork fp = compileForMachine(net, config);
+
+    PipelinedNetwork p;
+    p.numImages = num_images;
+    p.machineCols = fp.machineCols;
+    p.columnLayers = fp.columnLayers;
+    p.weights = fp.weights;
+    p.outBase = fp.extWords;
+    p.outWordsPerImage = outWords(net.layer(p.columnLayers.back()));
+    p.extWords = p.outBase +
+                 static_cast<std::uint32_t>(2 * p.maxPerRow()) *
+                     p.outWordsPerImage;
+
+    const std::uint32_t cap_words =
+        static_cast<std::uint32_t>(config.mem.capacity / 4);
+    const Layer &in = net.layer(0);
+    const std::uint32_t img_elems =
+        static_cast<std::uint32_t>(in.outputElems());
+    if (static_cast<std::uint64_t>(p.maxPerRow()) * img_elems >
+        cap_words / 4) {
+        fatal("pipeline: batch of ", num_images,
+              " images does not fit the input column");
+    }
+
+    PipeContext ctx;
+    ctx.net = &net;
+    ctx.compiled = &p;
+    ctx.partialBase = cap_words / 4;
+    ctx.stageBase = 3 * (cap_words / 4);
+    ctx.bufWords = static_cast<std::uint32_t>(
+        (config.comp.topMem + config.comp.botMem) / 4);
+    ctx.imgElems = img_elems;
+
+    for (std::size_t col = 0; col < p.columnLayers.size(); ++col) {
+        for (int row = 0; row < kRows; ++row) {
+            TileProgram tp;
+            tp.row = row;
+            tp.col = static_cast<int>(col);
+            tp.role = TileRole::Fp;
+            tp.program = genColumn(ctx, col, row);
+            p.programs.push_back(std::move(tp));
+        }
+    }
+    return p;
+}
+
+PipelinedRunner::PipelinedRunner(const dnn::Network &net,
+                                 sim::MachineConfig config)
+    : net_(&net), config_(config)
+{
+    // Validate the topology once (and derive the weight image layout).
+    CompiledNetwork fp = compileForMachine(net, config_);
+    weightImage_.assign(fp.extWords, 0.0f);
+}
+
+void
+PipelinedRunner::loadWeights(const dnn::ReferenceEngine &engine)
+{
+    CompiledNetwork fp = compileForMachine(*net_, config_);
+    weightImage_ = buildWeightImage(fp, *net_, engine);
+}
+
+std::vector<dnn::Tensor>
+PipelinedRunner::evaluateBatch(const std::vector<dnn::Tensor> &images,
+                               sim::RunResult *result)
+{
+    if (images.empty())
+        fatal("PipelinedRunner: empty batch");
+    PipelinedNetwork p = compilePipelined(
+        *net_, config_, static_cast<int>(images.size()));
+
+    sim::MachineConfig mc = config_;
+    if (mc.extMemWords < p.extWords)
+        mc.extMemWords = p.extWords + 1024;
+    sim::Machine machine(mc);
+    std::copy(weightImage_.begin(), weightImage_.end(),
+              machine.extMem().begin());
+
+    const Layer &in = net_->layer(0);
+    const std::uint32_t img_elems =
+        static_cast<std::uint32_t>(in.outputElems());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        if (images[i].size() != img_elems)
+            fatal("PipelinedRunner: image ", i, " has the wrong size");
+        int row = static_cast<int>(i % 2);
+        std::uint32_t slot = static_cast<std::uint32_t>(i / 2);
+        machine.memTile(row, 0).pokeRange(
+            slot * img_elems, images[i].data(), img_elems);
+    }
+    for (const TileProgram &tp : p.programs)
+        machine.loadProgram(tp.row, tp.col, tp.role, tp.program);
+
+    sim::RunResult res = machine.run();
+    if (result)
+        *result = res;
+    if (!res.ok()) {
+        fatal("PipelinedRunner: ",
+              res.deadlocked ? "deadlocked" : "timed out", " after ",
+              res.cycles, " cycles");
+    }
+    lastCycles_ = res.cycles;
+
+    const Layer &out = net_->layer(p.columnLayers.back());
+    std::vector<dnn::Tensor> outputs;
+    outputs.reserve(images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        int row = static_cast<int>(i % 2);
+        std::uint32_t slot = static_cast<std::uint32_t>(i / 2);
+        dnn::Tensor t({static_cast<std::size_t>(out.outChannels),
+                       static_cast<std::size_t>(out.outH),
+                       static_cast<std::size_t>(out.outW)});
+        std::uint32_t addr =
+            p.outBase +
+            (static_cast<std::uint32_t>(row) * p.maxPerRow() + slot) *
+                p.outWordsPerImage;
+        std::copy(machine.extMem().begin() + addr,
+                  machine.extMem().begin() + addr + t.size(),
+                  t.data());
+        outputs.push_back(std::move(t));
+    }
+    return outputs;
+}
+
+} // namespace sd::compiler

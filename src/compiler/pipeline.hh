@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pipelined (multi-image) code generation for the functional chip
+ * simulator — the paper's nested pipelining (Section 3.2.3, Figure 10)
+ * demonstrated at instruction level.
+ *
+ * Execution model: the two rows process alternate minibatch images
+ * (the paper's data parallelism across inputs); within a row, each
+ * column's FP program loops over its images so that column c works on
+ * image t while column c+1 works on image t-1 — the inter-layer
+ * pipeline. Feature regions are reused across images ("generations"):
+ * every iteration re-arms its MEMTRACK tracker, whose read budget
+ * doubles as write-after-read protection — an overwrite for image t+1
+ * blocks until image t's consumers have drained, exactly the paper's
+ * synchronized-execution story.
+ *
+ * Scope: the same sequential-chain subset as codegen.hh, evaluation
+ * (FP) only. Network outputs stream to external memory per image.
+ */
+
+#ifndef SCALEDEEP_COMPILER_PIPELINE_HH
+#define SCALEDEEP_COMPILER_PIPELINE_HH
+
+#include "compiler/codegen.hh"
+
+namespace sd::compiler {
+
+/** Programs + layout for a pipelined N-image evaluation. */
+struct PipelinedNetwork
+{
+    std::vector<TileProgram> programs;
+    std::vector<WeightSlice> weights;   ///< same layout as codegen.hh
+    std::uint32_t extWords = 0;         ///< weights + output region
+    std::uint32_t outBase = 0;          ///< per-image outputs
+    std::uint32_t outWordsPerImage = 0;
+    int numImages = 0;
+    int machineCols = 0;
+    std::vector<dnn::LayerId> columnLayers;
+
+    /** Images handled by @p row (row 0 takes the odd remainder). */
+    int imagesForRow(int row) const
+    { return (numImages + (row == 0 ? 1 : 0)) / 2; }
+    /** Capacity of one row's output slots. */
+    int maxPerRow() const { return imagesForRow(0); }
+};
+
+/** Compile an @p num_images pipelined evaluation of @p net. */
+PipelinedNetwork compilePipelined(const dnn::Network &net,
+                                  const sim::MachineConfig &config,
+                                  int num_images);
+
+/**
+ * Runner for pipelined minibatch evaluation. Weights come from a
+ * reference engine (as in FuncRunner); each evaluateBatch call builds
+ * a fresh machine, streams the images through the pipeline, and
+ * returns the per-image network outputs.
+ */
+class PipelinedRunner
+{
+  public:
+    PipelinedRunner(const dnn::Network &net, sim::MachineConfig config);
+
+    void loadWeights(const dnn::ReferenceEngine &engine);
+
+    /** Evaluate a batch; outputs[i] is image i's final feature map. */
+    std::vector<dnn::Tensor>
+    evaluateBatch(const std::vector<dnn::Tensor> &images,
+                  sim::RunResult *result = nullptr);
+
+    /** Cycles of the most recent batch. */
+    std::uint64_t lastCycles() const { return lastCycles_; }
+
+  private:
+    const dnn::Network *net_;
+    sim::MachineConfig config_;
+    std::vector<float> weightImage_;
+    std::uint64_t lastCycles_ = 0;
+};
+
+} // namespace sd::compiler
+
+#endif // SCALEDEEP_COMPILER_PIPELINE_HH

@@ -1,0 +1,828 @@
+#include "compiler/trainer.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace sd::compiler {
+
+using dnn::Activation;
+using dnn::Layer;
+using dnn::LayerId;
+using dnn::LayerKind;
+using isa::Assembler;
+using isa::Label;
+using sim::TileRole;
+
+namespace {
+
+constexpr int kRows = 2;
+
+// Register conventions (mirrors codegen.cc).
+constexpr int rInAddr = 1;
+constexpr int rInHw = 2;
+constexpr int rExtW = 3;
+constexpr int rLoadWords = 4;
+constexpr int rStage = 5;
+constexpr int rK = 6;
+constexpr int rStride = 7;
+constexpr int rPad = 8;
+constexpr int rOutAddr = 9;
+constexpr int rLoop = 10;
+constexpr int rBufOff = 11;
+constexpr int rTrkAddr = 12;
+constexpr int rTrkSize = 13;
+constexpr int rTrkUpd = 14;
+constexpr int rTrkRds = 15;
+constexpr int rSize = 16;
+constexpr int rAux = 17;
+constexpr int rInN = 18;
+constexpr int rCount = 19;
+constexpr int rSpin = 20;
+
+struct Block
+{
+    int start = 0;
+    int count = 0;
+};
+
+Block
+blockOf(const Layer &l, int row)
+{
+    const int per = (l.outChannels + kRows - 1) / kRows;
+    Block b;
+    b.start = std::min(row * per, l.outChannels);
+    b.count = std::max(std::min(per, l.outChannels - b.start), 0);
+    return b;
+}
+
+std::uint32_t
+featElems(const Layer &l)
+{
+    return l.kind == LayerKind::Fc
+        ? 1u : static_cast<std::uint32_t>(l.outH) * l.outW;
+}
+
+/** Context shared by the BP/WG templates. */
+struct TrainContext
+{
+    const dnn::Network *net;
+    const TrainCompiled *compiled;
+    std::uint32_t errBase;      ///< region E base word
+    std::uint32_t stageBase;    ///< region S base word
+    std::uint32_t gradScratch;  ///< region G base word
+    std::uint32_t gradScratchWords;
+    std::uint32_t bufWords;
+
+    const Layer &layerAt(std::size_t col) const
+    { return net->layer(compiled->fp.columnLayers[col]); }
+    std::size_t numCols() const
+    { return compiled->fp.columnLayers.size(); }
+};
+
+/** Number of MATMUL chunks a BP matmul issues for one row's block. */
+int
+bpFcChunks(const TrainContext &ctx, const Layer &l, int row)
+{
+    const Layer &prev = ctx.net->layer(l.inputs[0]);
+    Block eb = blockOf(prev, row);
+    const std::uint32_t rows_total = eb.count * featElems(prev);
+    if (rows_total == 0)
+        return 0;
+    const std::uint32_t out_n =
+        static_cast<std::uint32_t>(l.outChannels);
+    if (out_n > ctx.bufWords)
+        fatal("trainer: FC layer ", l.name, " too wide for the "
+              "streaming memory");
+    const std::uint32_t chunk_rows =
+        std::min(rows_total, ctx.bufWords / out_n);
+    return static_cast<int>((rows_total + chunk_rows - 1) / chunk_rows);
+}
+
+/** Whether E in memory column j must be replicated across rows. */
+bool
+replicatesE(const TrainContext &ctx, std::size_t j)
+{
+    if (j < 2)
+        return false;   // column 0 runs no BP consumer
+    LayerKind kind = ctx.layerAt(j - 1).kind;
+    return kind == LayerKind::Conv || kind == LayerKind::Fc;
+}
+
+/**
+ * Reads the consumers (BP and WG of column j-1) perform against row
+ * @p row's E entries in memory column @p j: {own, other}.
+ */
+std::pair<int, int>
+errConsumerReads(const TrainContext &ctx, std::size_t j, int row)
+{
+    if (j == 0 || j > ctx.numCols())
+        return {0, 0};
+    const Layer &consumer = ctx.layerAt(j - 1);
+    // Entries partition the dz features by blockOf(consumer-layer).
+    Block own = blockOf(consumer, row);
+    Block other = blockOf(consumer, 1 - row);
+    int own_reads = 0, other_reads = 0;
+
+    // WG(j-1) reads its own oc block, feature by feature (conv) or as
+    // one vector (fc).
+    if (consumer.weightCount() > 0 && own.count > 0) {
+        own_reads += consumer.kind == LayerKind::Conv ? own.count : 1;
+    }
+    // BP(j-1) exists for j-1 >= 1; per-kind participation is checked
+    // against the consumer row's own e_in block below.
+    if (j >= 2) {
+        switch (consumer.kind) {
+          case LayerKind::Conv: {
+            const Layer &prev = ctx.layerAt(j - 2);
+            if (blockOf(prev, row).count > 0) {
+                own_reads += own.count;
+                other_reads += other.count;
+            }
+            break;
+          }
+          case LayerKind::Fc: {
+            int chunks = bpFcChunks(ctx, consumer, row);
+            own_reads += chunks;
+            other_reads += chunks;
+            break;
+          }
+          case LayerKind::Samp: {
+            const Layer &prev = ctx.layerAt(j - 2);
+            if (blockOf(prev, row).count > 0)
+                own_reads += 1;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return {own_reads, other_reads};
+}
+
+isa::ActFnType
+actGradType(Activation act)
+{
+    switch (act) {
+      case Activation::ReLU: return isa::kActReLUGrad;
+      case Activation::Tanh: return isa::kActTanhGrad;
+      case Activation::Sigmoid: return isa::kActSigmoidGrad;
+      default: panic("trainer: no gradient type for activation");
+    }
+}
+
+/** Short deterministic spin so tracker arming wins phase-2 races. */
+void
+emitSpin(Assembler &as, int cycles)
+{
+    as.ldriLc(rSpin, cycles);
+    Label top = as.newLabel();
+    as.bind(top);
+    as.bgzdLc(rSpin, top);
+}
+
+/** Arm the E-region trackers of this row's LEFT tile (column j). */
+void
+emitErrTrackers(Assembler &as, const TrainContext &ctx, std::size_t j,
+                int row, int own_updates)
+{
+    const Layer &prev = ctx.layerAt(j - 1);
+    const std::uint32_t elems = featElems(prev);
+    Block own = blockOf(prev, row);
+    Block other = blockOf(prev, 1 - row);
+    auto [own_reads, other_reads] = errConsumerReads(ctx, j, row);
+
+    if (own.count > 0) {
+        as.ldri(rTrkAddr, static_cast<std::int32_t>(
+            ctx.errBase + own.start * elems));
+        as.ldri(rTrkSize,
+                static_cast<std::int32_t>(own.count * elems));
+        as.ldri(rTrkUpd, own_updates);
+        as.ldri(rTrkRds,
+                own_reads + (replicatesE(ctx, j) ? 1 : 0));
+        as.memtrack(isa::kPortLeft, rTrkAddr, rTrkSize, rTrkUpd,
+                    rTrkRds);
+    }
+    if (other.count > 0 && replicatesE(ctx, j)) {
+        as.ldri(rTrkAddr, static_cast<std::int32_t>(
+            ctx.errBase + other.start * elems));
+        as.ldri(rTrkSize,
+                static_cast<std::int32_t>(other.count * elems));
+        as.ldri(rTrkUpd, 1);
+        as.ldri(rTrkRds, other_reads);
+        as.memtrack(isa::kPortLeft, rTrkAddr, rTrkSize, rTrkUpd,
+                    rTrkRds);
+    }
+}
+
+/** Activation-derivative + replication epilogue for BP programs. */
+void
+emitBpEpilogue(Assembler &as, const TrainContext &ctx, std::size_t j,
+               int row)
+{
+    const Layer &prev = ctx.layerAt(j - 1);
+    const std::uint32_t elems = featElems(prev);
+    Block own = blockOf(prev, row);
+    if (own.count == 0) {
+        as.halt();
+        return;
+    }
+    const std::uint32_t addr = own.start * elems;
+    const std::uint32_t words = own.count * elems;
+    if (prev.act != Activation::None) {
+        as.ldri(rTrkAddr, static_cast<std::int32_t>(addr));
+        as.ldri(rSize, static_cast<std::int32_t>(words));
+        as.ldri(rAux, static_cast<std::int32_t>(ctx.errBase + addr));
+        as.ndactfn(actGradType(prev.act), rTrkAddr, isa::kPortLeft,
+                   rSize, rAux, isa::kPortLeft);
+    }
+    if (replicatesE(ctx, j)) {
+        as.ldri(rTrkAddr,
+                static_cast<std::int32_t>(ctx.errBase + addr));
+        as.ldri(rSize, static_cast<std::int32_t>(words));
+        as.dmastore(isa::kPortLeft, rTrkAddr, rTrkAddr,
+                    row == 0 ? isa::kPortSouth : isa::kPortNorth,
+                    rSize, false);
+    }
+    as.halt();
+}
+
+isa::Program
+genBpConv(const TrainContext &ctx, std::size_t j, int row)
+{
+    const Layer &l = ctx.layerAt(j);
+    const Layer &prev = ctx.layerAt(j - 1);
+    if (l.strideH != 1 || l.groups != 1)
+        fatal("trainer: BP supports stride-1 ungrouped conv only (",
+              l.name, ")");
+    Assembler as;
+    Block eb = blockOf(prev, row);      // e_in features
+    const std::uint32_t in_elems =
+        static_cast<std::uint32_t>(l.inH) * l.inW;
+    const std::uint32_t out_elems =
+        static_cast<std::uint32_t>(l.outH) * l.outW;
+    const std::uint32_t kk =
+        static_cast<std::uint32_t>(l.kernelH) * l.kernelW;
+    const int act_upd = prev.act != Activation::None ? 1 : 0;
+
+    emitErrTrackers(as, ctx, j, row, l.outChannels + act_upd);
+    emitSpin(as, 32);
+
+    if (eb.count > 0) {
+        const std::uint32_t load_words = eb.count * kk;
+        if (load_words > ctx.bufWords)
+            fatal("trainer: BP kernel batch too large for ", l.name);
+        const std::uint32_t wbase =
+            ctx.compiled->bpWeightBase.at(l.id) +
+            static_cast<std::uint32_t>(eb.start) * kk;
+        as.ldri(rInHw, l.outH);         // dz spatial size
+        as.ldri(rK, l.kernelH);
+        as.ldri(rStride, 1);
+        as.ldri(rPad, l.kernelH - 1 - l.padH);  // full convolution
+        as.ldri(rOutAddr, static_cast<std::int32_t>(
+            ctx.errBase + eb.start * in_elems));
+        as.ldri(rBufOff, 0);
+        as.ldri(rLoadWords, static_cast<std::int32_t>(load_words));
+        as.ldri(rStage, static_cast<std::int32_t>(ctx.stageBase));
+        as.ldri(rInAddr, static_cast<std::int32_t>(ctx.errBase));
+        as.ldri(rExtW, static_cast<std::int32_t>(wbase));
+
+        // First output feature of the layer (oc = 0): overwrite.
+        as.dmaload(isa::kPortRight, rExtW, isa::kPortExtMem, rStage,
+                   rLoadWords, false);
+        as.passbufRd(isa::kPortRight, rStage, rLoadWords, rBufOff);
+        as.ndconv(rInAddr, isa::kPortRight, rInHw, rBufOff, rK,
+                  rStride, rPad, rOutAddr, isa::kPortLeft, eb.count,
+                  false);
+        if (l.outChannels > 1) {
+            as.ldri(rLoop, l.outChannels - 1);
+            Label top = as.newLabel();
+            as.bind(top);
+            as.addri(rInAddr, rInAddr,
+                     static_cast<std::int32_t>(out_elems));
+            as.addri(rExtW, rExtW,
+                     static_cast<std::int32_t>(l.inChannels * kk));
+            as.dmaload(isa::kPortRight, rExtW, isa::kPortExtMem,
+                       rStage, rLoadWords, false);
+            as.passbufRd(isa::kPortRight, rStage, rLoadWords, rBufOff);
+            as.ndconv(rInAddr, isa::kPortRight, rInHw, rBufOff, rK,
+                      rStride, rPad, rOutAddr, isa::kPortLeft,
+                      eb.count, true);
+            as.subri(rLoop, rLoop, 1);
+            as.bgtz(rLoop, top);
+        }
+    }
+    emitBpEpilogue(as, ctx, j, row);
+    return as.finish();
+}
+
+isa::Program
+genBpFc(const TrainContext &ctx, std::size_t j, int row)
+{
+    const Layer &l = ctx.layerAt(j);
+    const Layer &prev = ctx.layerAt(j - 1);
+    Assembler as;
+    Block eb = blockOf(prev, row);
+    const std::uint32_t elems = featElems(prev);
+    const std::uint32_t estart = eb.start * elems;
+    const std::uint32_t ecount = eb.count * elems;
+    const std::uint32_t out_n =
+        static_cast<std::uint32_t>(l.outChannels);
+    const int chunks = bpFcChunks(ctx, l, row);
+    const int act_upd = prev.act != Activation::None ? 1 : 0;
+
+    emitErrTrackers(as, ctx, j, row, chunks + act_upd);
+    emitSpin(as, 32);
+
+    if (eb.count > 0) {
+        const std::uint32_t chunk_rows =
+            std::min(ecount, ctx.bufWords / out_n);
+        as.ldri(rInAddr, static_cast<std::int32_t>(ctx.errBase));
+        as.ldri(rInN, static_cast<std::int32_t>(out_n));
+        as.ldri(rStage, static_cast<std::int32_t>(ctx.stageBase));
+        as.ldri(rBufOff, 0);
+        for (int c = 0; c < chunks; ++c) {
+            const std::uint32_t rows_c = std::min<std::uint32_t>(
+                chunk_rows, ecount - c * chunk_rows);
+            const std::uint32_t wbase =
+                ctx.compiled->bpWeightBase.at(l.id) +
+                (estart + c * chunk_rows) * out_n;
+            as.ldri(rExtW, static_cast<std::int32_t>(wbase));
+            as.ldri(rLoadWords,
+                    static_cast<std::int32_t>(rows_c * out_n));
+            as.ldri(rCount, static_cast<std::int32_t>(rows_c));
+            as.ldri(rAux, static_cast<std::int32_t>(
+                ctx.errBase + estart + c * chunk_rows));
+            as.dmaload(isa::kPortRight, rExtW, isa::kPortExtMem,
+                       rStage, rLoadWords, false);
+            as.passbufRd(isa::kPortRight, rStage, rLoadWords, rBufOff);
+            as.matmul(rInAddr, isa::kPortRight, rInN, rBufOff, rAux,
+                      isa::kPortLeft, rCount, false);
+        }
+    }
+    emitBpEpilogue(as, ctx, j, row);
+    return as.finish();
+}
+
+isa::Program
+genBpSamp(const TrainContext &ctx, std::size_t j, int row)
+{
+    const Layer &l = ctx.layerAt(j);
+    const Layer &prev = ctx.layerAt(j - 1);
+    if (l.sampKind != dnn::SampKind::Average)
+        fatal("trainer: only average-pool BP is supported (", l.name,
+              " is a max pool; the ISA carries no argmax state)");
+    if (l.padH != 0)
+        fatal("trainer: padded pooling unsupported");
+    Assembler as;
+    Block eb = blockOf(prev, row);
+    const std::uint32_t in_elems =
+        static_cast<std::uint32_t>(l.inH) * l.inW;
+    const std::uint32_t out_elems =
+        static_cast<std::uint32_t>(l.outH) * l.outW;
+    const int act_upd = prev.act != Activation::None ? 1 : 0;
+
+    emitErrTrackers(as, ctx, j, row, 1 + act_upd);
+    emitSpin(as, 32);
+
+    if (eb.count > 0) {
+        as.ldri(rInAddr, static_cast<std::int32_t>(
+            ctx.errBase + eb.start * out_elems));
+        as.ldri(rInHw, l.outH);
+        as.ldri(rK, l.kernelH);
+        as.ldri(rStride, l.strideH);
+        as.ldri(rOutAddr, static_cast<std::int32_t>(
+            ctx.errBase + eb.start * in_elems));
+        as.ldri(rCount, eb.count);
+        as.ldri(rAux, l.inH);   // true e_in feature size
+        as.ndupsamp(isa::kSampAvg, rInAddr, isa::kPortRight, rInHw, rK,
+                    rStride, rOutAddr, isa::kPortLeft, rCount, rAux);
+    }
+    emitBpEpilogue(as, ctx, j, row);
+    return as.finish();
+}
+
+isa::Program
+genWgConv(const TrainContext &ctx, std::size_t j, int row)
+{
+    const Layer &l = ctx.layerAt(j);
+    if (l.strideH != 1 || l.groups != 1)
+        fatal("trainer: WG supports stride-1 ungrouped conv only (",
+              l.name, ")");
+    Assembler as;
+    Block ob = blockOf(l, row);
+    const std::uint32_t in_elems =
+        static_cast<std::uint32_t>(l.inH) * l.inW;
+    const std::uint32_t out_elems =
+        static_cast<std::uint32_t>(l.outH) * l.outW;
+    const std::uint32_t kk =
+        static_cast<std::uint32_t>(l.kernelH) * l.kernelW;
+
+    if (ob.count == 0) {
+        as.halt();
+        return as.finish();
+    }
+    if (out_elems > ctx.bufWords)
+        fatal("trainer: dz feature too large for streaming memory in ",
+              l.name);
+    const std::uint32_t block_words = ob.count * l.inChannels * kk;
+    if (block_words > ctx.gradScratchWords)
+        fatal("trainer: WG scratch overflow in ", l.name);
+
+    emitSpin(as, 96);
+    as.ldri(rInHw, l.inH);
+    as.ldri(rK, l.outH);        // the error map acts as the kernel
+    as.ldri(rStride, 1);
+    as.ldri(rPad, l.padH);
+    as.ldri(rBufOff, 0);
+    as.ldri(rLoadWords, static_cast<std::int32_t>(out_elems));
+    for (int oc = ob.start; oc < ob.start + ob.count; ++oc) {
+        // dz[oc] streams from the right tile into the kernel buffer.
+        as.ldri(rExtW, static_cast<std::int32_t>(
+            ctx.errBase + oc * out_elems));
+        as.passbufRd(isa::kPortRight, rExtW, rLoadWords, rBufOff);
+        // Correlate every input feature with dz[oc].
+        as.ldri(rInAddr, 0);
+        as.ldri(rOutAddr, static_cast<std::int32_t>(
+            ctx.gradScratch +
+            static_cast<std::uint32_t>(oc - ob.start) *
+                l.inChannels * kk));
+        as.ldri(rLoop, l.inChannels);
+        Label top = as.newLabel();
+        as.bind(top);
+        as.ndconv(rInAddr, isa::kPortLeft, rInHw, rBufOff, rK, rStride,
+                  rPad, rOutAddr, isa::kPortRight, 1, false);
+        as.addri(rInAddr, rInAddr, static_cast<std::int32_t>(in_elems));
+        as.addri(rOutAddr, rOutAddr, static_cast<std::int32_t>(kk));
+        as.subri(rLoop, rLoop, 1);
+        as.bgtz(rLoop, top);
+    }
+    // Ship the gradient block to external memory (engine layout).
+    as.ldri(rInAddr, static_cast<std::int32_t>(ctx.gradScratch));
+    as.ldri(rExtW, static_cast<std::int32_t>(
+        ctx.compiled->gradBase.at(l.id) +
+        static_cast<std::uint32_t>(ob.start) * l.inChannels * kk));
+    as.ldri(rSize, static_cast<std::int32_t>(block_words));
+    as.dmastore(isa::kPortRight, rInAddr, rExtW, isa::kPortExtMem,
+                rSize, false);
+    as.halt();
+    return as.finish();
+}
+
+isa::Program
+genWgFc(const TrainContext &ctx, std::size_t j, int row)
+{
+    const Layer &l = ctx.layerAt(j);
+    Assembler as;
+    Block ob = blockOf(l, row);
+    const std::uint32_t in_n =
+        static_cast<std::uint32_t>(l.inputElems());
+
+    if (ob.count == 0) {
+        as.halt();
+        return as.finish();
+    }
+    if (in_n + ob.count * in_n > ctx.gradScratchWords)
+        fatal("trainer: FC WG scratch overflow in ", l.name);
+
+    emitSpin(as, 96);
+    // Pull the layer input (region A of the left tile) next door.
+    as.ldri(rInAddr, 0);
+    as.ldri(rAux, static_cast<std::int32_t>(ctx.gradScratch));
+    as.ldri(rSize, static_cast<std::int32_t>(in_n));
+    as.dmaload(isa::kPortRight, rInAddr, isa::kPortWest, rAux, rSize,
+               false);
+    // Outer product dz[block] (x) input.
+    as.ldri(rInAddr, static_cast<std::int32_t>(
+        ctx.errBase + ob.start));
+    as.ldri(rOutAddr, static_cast<std::int32_t>(
+        ctx.gradScratch + in_n));
+    as.ldri(rCount, ob.count);
+    as.ldri(rInN, static_cast<std::int32_t>(in_n));
+    as.veceltmul(isa::kPortRight, rInAddr, rAux, rOutAddr, rCount,
+                 rInN);
+    // Ship to external memory.
+    as.ldri(rExtW, static_cast<std::int32_t>(
+        ctx.compiled->gradBase.at(l.id) +
+        static_cast<std::uint32_t>(ob.start) * in_n));
+    as.ldri(rSize, static_cast<std::int32_t>(ob.count * in_n));
+    as.dmastore(isa::kPortRight, rOutAddr, rExtW, isa::kPortExtMem,
+                rSize, false);
+    as.halt();
+    return as.finish();
+}
+
+} // namespace
+
+TrainCompiled
+compileTraining(const dnn::Network &net,
+                const sim::MachineConfig &config)
+{
+    TrainCompiled compiled;
+    compiled.fp = compileForMachine(net, config);
+
+    const std::uint32_t cap_words =
+        static_cast<std::uint32_t>(config.mem.capacity / 4);
+    TrainContext ctx;
+    ctx.net = &net;
+    ctx.compiled = &compiled;
+    ctx.errBase = cap_words / 2;
+    ctx.stageBase = 3 * (cap_words / 4);
+    ctx.gradScratch = 7 * (cap_words / 8);
+    ctx.gradScratchWords = cap_words - ctx.gradScratch;
+    ctx.bufWords = static_cast<std::uint32_t>(
+        (config.comp.topMem + config.comp.botMem) / 4);
+
+    // Errors live in E at the same per-feature offsets as A; every
+    // feature must fit the (quarter-tile) error region too — already
+    // guaranteed by compileForMachine's region check.
+
+    // Extended external layout: BP weights then gradient regions.
+    std::uint32_t next = compiled.fp.extWords;
+    for (LayerId id : compiled.fp.columnLayers) {
+        const Layer &l = net.layer(id);
+        const std::uint32_t words =
+            static_cast<std::uint32_t>(l.weightCount());
+        if (words == 0)
+            continue;
+        compiled.bpWeightBase[id] = next;
+        next += words;
+    }
+    for (LayerId id : compiled.fp.columnLayers) {
+        const Layer &l = net.layer(id);
+        const std::uint32_t words =
+            static_cast<std::uint32_t>(l.weightCount());
+        if (words == 0)
+            continue;
+        compiled.gradBase[id] = next;
+        next += words;
+    }
+    compiled.extWords = next;
+
+    // BP programs for columns 1..L-1 (column 0 produces no error).
+    for (std::size_t j = 1; j < ctx.numCols(); ++j) {
+        const Layer &l = ctx.layerAt(j);
+        for (int row = 0; row < kRows; ++row) {
+            TileProgram tp;
+            tp.row = row;
+            tp.col = static_cast<int>(j);
+            tp.role = TileRole::Bp;
+            switch (l.kind) {
+              case LayerKind::Conv:
+                tp.program = genBpConv(ctx, j, row);
+                break;
+              case LayerKind::Fc:
+                tp.program = genBpFc(ctx, j, row);
+                break;
+              case LayerKind::Samp:
+                tp.program = genBpSamp(ctx, j, row);
+                break;
+              default:
+                panic("trainer: unreachable BP kind");
+            }
+            compiled.bpPrograms.push_back(std::move(tp));
+        }
+    }
+    // WG programs for every weighted column.
+    for (std::size_t j = 0; j < ctx.numCols(); ++j) {
+        const Layer &l = ctx.layerAt(j);
+        if (l.weightCount() == 0)
+            continue;
+        for (int row = 0; row < kRows; ++row) {
+            TileProgram tp;
+            tp.row = row;
+            tp.col = static_cast<int>(j);
+            tp.role = TileRole::Wg;
+            tp.program = l.kind == LayerKind::Conv
+                             ? genWgConv(ctx, j, row)
+                             : genWgFc(ctx, j, row);
+            compiled.wgPrograms.push_back(std::move(tp));
+        }
+    }
+    return compiled;
+}
+
+std::vector<float>
+buildTrainingWeightImage(const TrainCompiled &compiled,
+                         const dnn::Network &net,
+                         const dnn::ReferenceEngine &engine)
+{
+    std::vector<float> image =
+        buildWeightImage(compiled.fp, net, engine);
+    image.resize(compiled.extWords, 0.0f);
+    for (const auto &[id, base] : compiled.bpWeightBase) {
+        const Layer &l = net.layer(id);
+        const dnn::Tensor &w = engine.weights(id);
+        if (l.kind == LayerKind::Conv) {
+            // Engine layout [oc][ic][kh][kw] with the kernel rotated
+            // 180 degrees (full convolution = correlation with the
+            // flipped kernel).
+            const int kk = l.kernelH * l.kernelW;
+            for (int oc = 0; oc < l.outChannels; ++oc) {
+                for (int ic = 0; ic < l.inChannels; ++ic) {
+                    const float *src =
+                        w.data() +
+                        (static_cast<std::size_t>(oc) * l.inChannels +
+                         ic) * kk;
+                    float *dst =
+                        image.data() + base +
+                        (static_cast<std::size_t>(oc) * l.inChannels +
+                         ic) * kk;
+                    for (int i = 0; i < kk; ++i)
+                        dst[i] = src[kk - 1 - i];
+                }
+            }
+        } else {
+            // Transposed FC matrix: wT[j][o] = w[o][j].
+            const std::size_t in_n = l.inputElems();
+            const std::size_t out_n =
+                static_cast<std::size_t>(l.outChannels);
+            for (std::size_t o = 0; o < out_n; ++o)
+                for (std::size_t i = 0; i < in_n; ++i)
+                    image[base + i * out_n + o] = w[o * in_n + i];
+        }
+    }
+    return image;
+}
+
+TrainRunner::TrainRunner(const dnn::Network &net,
+                         sim::MachineConfig config, std::uint64_t seed)
+    : net_(&net), config_(config)
+{
+    compiled_ = compileTraining(net, config_);
+    if (net.outputLayer().kind != LayerKind::Fc)
+        fatal("TrainRunner: the network must end in an FC classifier");
+    if (config_.extMemWords < compiled_.extWords)
+        config_.extMemWords = compiled_.extWords + 1024;
+    master_ = std::make_unique<dnn::ReferenceEngine>(net, seed);
+    refreshImage();
+}
+
+void
+TrainRunner::refreshImage()
+{
+    image_ = buildTrainingWeightImage(compiled_, *net_, *master_);
+}
+
+std::unique_ptr<sim::Machine>
+TrainRunner::runFp(const dnn::Tensor &image, dnn::Tensor &logits)
+{
+    auto machine = std::make_unique<sim::Machine>(config_);
+    std::copy(image_.begin(), image_.end(),
+              machine->extMem().begin());
+    for (int row = 0; row < kRows; ++row) {
+        machine->memTile(row, 0).pokeRange(
+            0, image.data(), static_cast<std::uint32_t>(image.size()));
+    }
+    for (const TileProgram &tp : compiled_.fp.programs)
+        machine->loadProgram(tp.row, tp.col, tp.role, tp.program);
+    sim::RunResult res = machine->run();
+    if (!res.ok())
+        fatal("TrainRunner: FP phase ",
+              res.deadlocked ? "deadlocked" : "timed out");
+    fpCycles_ = res.cycles;
+
+    const Layer &out =
+        net_->layer(compiled_.fp.columnLayers.back());
+    logits = dnn::Tensor({static_cast<std::size_t>(out.outChannels),
+                          1, 1});
+    for (int row = 0; row < kRows; ++row) {
+        Block b = blockOf(out, row);
+        if (b.count == 0)
+            continue;
+        machine->memTile(row, compiled_.fp.machineCols)
+            .peekRange(b.start, logits.data() + b.start, b.count);
+    }
+    return machine;
+}
+
+void
+TrainRunner::runBackward(sim::Machine &machine,
+                         const dnn::Tensor &dlogits)
+{
+    // The output-error vector goes to the final column's error region
+    // (both rows see the full vector), then BP/WG programs run.
+    const std::uint32_t cap_words =
+        static_cast<std::uint32_t>(config_.mem.capacity / 4);
+    const std::uint32_t err_base = cap_words / 2;
+    for (int row = 0; row < kRows; ++row) {
+        machine.memTile(row, compiled_.fp.machineCols)
+            .pokeRange(err_base, dlogits.data(),
+                       static_cast<std::uint32_t>(dlogits.size()));
+    }
+
+    const std::uint64_t fp_end = machine.cycles();
+    for (const TileProgram &tp : compiled_.bpPrograms)
+        machine.loadProgram(tp.row, tp.col, tp.role, tp.program);
+    for (const TileProgram &tp : compiled_.wgPrograms)
+        machine.loadProgram(tp.row, tp.col, tp.role, tp.program);
+    sim::RunResult res = machine.run();
+    if (!res.ok())
+        fatal("TrainRunner: BP/WG phase ",
+              res.deadlocked ? "deadlocked" : "timed out");
+    bpWgCycles_ = res.cycles - fp_end;
+
+    grads_.clear();
+    for (const auto &[id, base] : compiled_.gradBase) {
+        const Layer &l = net_->layer(id);
+        dnn::Tensor g({l.weightCount()});
+        std::copy(machine.extMem().begin() + base,
+                  machine.extMem().begin() + base + g.size(),
+                  g.data());
+        grads_.emplace(id, std::move(g));
+    }
+}
+
+void
+TrainRunner::applyGradients(float scale)
+{
+    for (const auto &[id, g] : grads_) {
+        dnn::Tensor &w = master_->weights(id);
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] -= scale * g[i];
+    }
+    refreshImage();
+}
+
+double
+TrainRunner::step(const dnn::Tensor &image, int label, float lr)
+{
+    dnn::Tensor logits;
+    auto machine = runFp(image, logits);
+    dnn::Tensor dlogits(logits.shape());
+    double loss = dnn::softmaxCrossEntropy(logits, label, dlogits);
+    runBackward(*machine, dlogits);
+    applyGradients(lr);
+    return loss;
+}
+
+double
+TrainRunner::stepMinibatch(const std::vector<dnn::Tensor> &images,
+                           const std::vector<int> &labels, float lr)
+{
+    if (images.size() != labels.size() || images.empty())
+        fatal("TrainRunner: bad minibatch");
+    std::map<dnn::LayerId, dnn::Tensor> batch_grads;
+    double loss = 0.0;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        dnn::Tensor logits;
+        auto machine = runFp(images[i], logits);
+        dnn::Tensor dlogits(logits.shape());
+        loss += dnn::softmaxCrossEntropy(logits, labels[i], dlogits);
+        runBackward(*machine, dlogits);
+        // Accumulate (the hardware's per-minibatch gradient
+        // aggregation, folded on the host side of the runner).
+        for (auto &[id, g] : grads_) {
+            auto [it, inserted] = batch_grads.try_emplace(id, g);
+            if (!inserted)
+                it->second.accumulate(g);
+        }
+    }
+    grads_ = std::move(batch_grads);
+    applyGradients(lr / static_cast<float>(images.size()));
+    return loss / static_cast<double>(images.size());
+}
+
+double
+TrainRunner::stepMse(const dnn::Tensor &image, const dnn::Tensor &target,
+                     float lr)
+{
+    dnn::Tensor logits;
+    auto machine = runFp(image, logits);
+    if (target.size() != logits.size())
+        fatal("TrainRunner: target size mismatch");
+    dnn::Tensor dlogits(logits.shape());
+    double mse = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        float d = logits[i] - target[i];
+        mse += static_cast<double>(d) * d;
+        dlogits[i] = 2.0f * d * inv_n;
+    }
+    runBackward(*machine, dlogits);
+    applyGradients(lr);
+    return mse * inv_n;
+}
+
+const dnn::Tensor &
+TrainRunner::gradient(dnn::LayerId id) const
+{
+    auto it = grads_.find(id);
+    if (it == grads_.end())
+        panic("TrainRunner: no gradient recorded for layer ", id);
+    return it->second;
+}
+
+int
+TrainRunner::predict(const dnn::Tensor &image)
+{
+    dnn::Tensor logits;
+    runFp(image, logits);
+    int best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i)
+        if (logits[i] > logits[best])
+            best = static_cast<int>(i);
+    return best;
+}
+
+} // namespace sd::compiler

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Training-step code generation for the functional chip simulator —
+ * the BP and WG programs that complement codegen.hh's FP programs, plus
+ * a runner that executes full FP+BP+WG iterations on the simulated
+ * hardware and applies SGD updates.
+ *
+ * Execution model (single image, 2-row machine, column per layer):
+ *  phase 1  the FP programs run to completion (features in region A);
+ *  host     the loss layer: softmax cross-entropy gradient computed on
+ *           the host and written to the final column's error region
+ *           (the paper's final FP tiles compute the output error);
+ *  phase 2  BP programs propagate errors right-to-left through region
+ *           E (convolution with flipped kernels / transposed matmul /
+ *           average up-sampling, then the activation-derivative SFU
+ *           op), while WG programs correlate region-A features with
+ *           region-E errors and DMA the weight gradients to external
+ *           memory. All cross-tile ordering uses MEMTRACK trackers.
+ *
+ * Supported topologies: sequential chains of stride-1 non-grouped
+ * convolutions, average pooling, and FC layers (max-pool BP needs
+ * argmax routing the ISA does not carry; the paper does not detail it
+ * either). The performance simulator models training for all layer
+ * types.
+ */
+
+#ifndef SCALEDEEP_COMPILER_TRAINER_HH
+#define SCALEDEEP_COMPILER_TRAINER_HH
+
+#include <map>
+#include <memory>
+
+#include "compiler/codegen.hh"
+
+namespace sd::compiler {
+
+/** FP + BP + WG programs and the extended external-memory layout. */
+struct TrainCompiled
+{
+    CompiledNetwork fp;
+    std::vector<TileProgram> bpPrograms;
+    std::vector<TileProgram> wgPrograms;
+
+    /** BP weights: flipped conv kernels / transposed FC matrices. */
+    std::map<dnn::LayerId, std::uint32_t> bpWeightBase;
+    /** Weight-gradient output regions (engine layout). */
+    std::map<dnn::LayerId, std::uint32_t> gradBase;
+    std::uint32_t extWords = 0;
+};
+
+/** Compile FP+BP+WG programs for @p net on a 2-row machine. */
+TrainCompiled compileTraining(const dnn::Network &net,
+                              const sim::MachineConfig &config);
+
+/**
+ * Build the training external-memory image from engine weights:
+ * forward section (codegen layout), BP section (flipped/transposed),
+ * zeroed gradient regions.
+ */
+std::vector<float>
+buildTrainingWeightImage(const TrainCompiled &compiled,
+                         const dnn::Network &net,
+                         const dnn::ReferenceEngine &engine);
+
+/**
+ * Runs training iterations entirely through compiled ScaleDeep
+ * programs on the functional machine; the host only computes the loss
+ * gradient and applies the SGD update to its master weights.
+ */
+class TrainRunner
+{
+  public:
+    TrainRunner(const dnn::Network &net, sim::MachineConfig config,
+                std::uint64_t seed = 1);
+
+    /**
+     * One training iteration (FP + loss + BP + WG on the machine,
+     * SGD update on the host). @return the cross-entropy loss.
+     */
+    double step(const dnn::Tensor &image, int label, float lr);
+
+    /**
+     * One minibatch iteration, mirroring the paper's semantics: the
+     * FP/BP/WG steps run per image on the machine, the per-image
+     * weight gradients are accumulated, and a single update applies
+     * the mean gradient. @return the mean loss.
+     */
+    double stepMinibatch(const std::vector<dnn::Tensor> &images,
+                         const std::vector<int> &labels, float lr);
+
+    /**
+     * One regression iteration with mean-squared-error loss against
+     * @p target (e.g. autoencoder training: target = input). The host
+     * computes only d(MSE)/d(output); everything else runs on the
+     * machine. @return the MSE.
+     */
+    double stepMse(const dnn::Tensor &image, const dnn::Tensor &target,
+                   float lr);
+
+    /** Weight gradient of layer @p id from the last step (engine
+     * layout, directly comparable with ReferenceEngine grads). */
+    const dnn::Tensor &gradient(dnn::LayerId id) const;
+
+    /** Classify via an FP-only pass on the machine. */
+    int predict(const dnn::Tensor &image);
+
+    /** Master weights (engine layout); exposed for test cross-checks. */
+    const dnn::ReferenceEngine &master() const { return *master_; }
+    dnn::ReferenceEngine &master() { return *master_; }
+
+    const TrainCompiled &compiled() const { return compiled_; }
+    /** Cycles spent in the last step's two phases. */
+    std::uint64_t lastFpCycles() const { return fpCycles_; }
+    std::uint64_t lastBpWgCycles() const { return bpWgCycles_; }
+
+  private:
+    void refreshImage();
+    std::unique_ptr<sim::Machine> runFp(const dnn::Tensor &image,
+                                        dnn::Tensor &logits);
+    /** Run BP/WG for @p dlogits and leave gradients in grads_. */
+    void runBackward(sim::Machine &machine,
+                     const dnn::Tensor &dlogits);
+    void applyGradients(float scale);
+
+    const dnn::Network *net_;
+    sim::MachineConfig config_;
+    TrainCompiled compiled_;
+    std::unique_ptr<dnn::ReferenceEngine> master_;
+    std::vector<float> image_;
+    std::map<dnn::LayerId, dnn::Tensor> grads_;
+    std::uint64_t fpCycles_ = 0;
+    std::uint64_t bpWgCycles_ = 0;
+};
+
+} // namespace sd::compiler
+
+#endif // SCALEDEEP_COMPILER_TRAINER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * fatal()  - the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * panic()  - something happened that should never happen regardless of
+ *            user input (an internal bug); aborts.
+ * warn()   - functionality works but not as well as it should.
+ * inform() - normal operational status messages.
+ */
+
+#ifndef SCALEDEEP_CORE_LOGGING_HH
+#define SCALEDEEP_CORE_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sd {
+
+/** Severity of a log message. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted log line to stderr. Exposed so tests can exercise the
+ * formatting; normal code should use inform/warn/fatal/panic below.
+ *
+ * @param level severity tag prepended to the message
+ * @param msg   message body
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Whether inform() messages are printed (benchmarks silence them). */
+void setVerbose(bool verbose);
+bool verbose();
+
+namespace detail {
+
+/** Fold a parameter pack into a string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Print an informational status message (suppressed when not verbose). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (verbose())
+        logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    logMessage(LogLevel::Fatal, detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Report an internal invariant violation and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    logMessage(LogLevel::Panic,
+               detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** panic() unless the condition holds. */
+#define SD_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::sd::panic("assertion failed: ", #cond, " ", __VA_ARGS__);   \
+    } while (0)
+
+} // namespace sd
+
+#endif // SCALEDEEP_CORE_LOGGING_HH

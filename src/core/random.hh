@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) used for
+ * weight initialization and synthetic workload generation. Deterministic
+ * across platforms so experiment outputs are reproducible bit-for-bit.
+ */
+
+#ifndef SCALEDEEP_CORE_RANDOM_HH
+#define SCALEDEEP_CORE_RANDOM_HH
+
+#include <cstdint>
+
+namespace sd {
+
+/** xoshiro256** PRNG; small, fast, and deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5ca1ab1edeadbeefULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Approximately standard-normal sample (sum of uniforms, CLT). */
+    double
+    gaussian()
+    {
+        double s = 0.0;
+        for (int i = 0; i < 12; ++i)
+            s += uniform();
+        return s - 6.0;
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace sd
+
+#endif // SCALEDEEP_CORE_RANDOM_HH

@@ -1,0 +1,113 @@
+#include "core/stats.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace sd {
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Average::reset()
+{
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    count_ = 0;
+}
+
+Distribution::Distribution(std::string name, std::string desc, double lo,
+                           double hi, std::size_t buckets)
+    : name_(std::move(name)), desc_(std::move(desc)), lo_(lo), hi_(hi),
+      counts_(buckets, 0)
+{
+    if (buckets == 0 || hi <= lo)
+        panic("Distribution ", name_, ": invalid bucket specification");
+}
+
+void
+Distribution::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(
+        (v - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    counts_[std::min(idx, counts_.size() - 1)]++;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = counters_.try_emplace(name, name, desc);
+    if (!inserted)
+        panic("StatGroup ", name_, ": duplicate counter ", name);
+    return it->second;
+}
+
+Average &
+StatGroup::addAverage(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = averages_.try_emplace(name, name, desc);
+    if (!inserted)
+        panic("StatGroup ", name_, ": duplicate average ", name);
+    return it->second;
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &[name, c] : counters_) {
+        os << path << "." << name << " " << c.value()
+           << " # " << c.desc() << "\n";
+    }
+    for (const auto &[name, a] : averages_) {
+        os << path << "." << name << " " << a.mean()
+           << " # " << a.desc() << " (mean of " << a.count()
+           << " samples)\n";
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os, path);
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, a] : averages_)
+        a.reset();
+    for (StatGroup *child : children_)
+        child->reset();
+}
+
+} // namespace sd

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats.
+ *
+ * Simulator components register named scalar counters, averages and
+ * distributions with a StatGroup; groups form a hierarchy mirroring the
+ * hardware hierarchy (node -> cluster -> chip -> tile) and can be dumped
+ * as a flat name/value listing or CSV.
+ */
+
+#ifndef SCALEDEEP_CORE_STATS_HH
+#define SCALEDEEP_CORE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sd {
+
+/** A monotonically increasing counter with a name and description. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)) {}
+
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over a stream of samples. */
+class Average
+{
+  public:
+    Average() = default;
+    Average(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)) {}
+
+    /** Record one sample. */
+    void sample(double v);
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    void reset();
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram for latency/occupancy distributions. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /**
+     * @param name stat name
+     * @param desc human description
+     * @param lo lower bound of first bucket
+     * @param hi upper bound of last bucket
+     * @param buckets number of equal-width buckets
+     */
+    Distribution(std::string name, std::string desc, double lo, double hi,
+                 std::size_t buckets);
+
+    void sample(double v);
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+    std::uint64_t totalSamples() const { return total_; }
+    const std::string &name() const { return name_; }
+    void reset();
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of stats forming one level of the stats hierarchy.
+ *
+ * Ownership: the group owns its stats; children are owned externally (by
+ * the simulator objects that mirror the hardware hierarchy) and register
+ * themselves with addChild().
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &addCounter(const std::string &name, const std::string &desc);
+    Average &addAverage(const std::string &name, const std::string &desc);
+
+    /** Register a child group; the pointer must outlive this group. */
+    void addChild(StatGroup *child) { children_.push_back(child); }
+
+    /** Dump "path.name value # desc" lines, depth-first. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and its children. */
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    { return counters_; }
+    const std::map<std::string, Average> &averages() const
+    { return averages_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace sd
+
+#endif // SCALEDEEP_CORE_STATS_HH

@@ -1,0 +1,111 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/logging.hh"
+
+namespace sd {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("Table: empty header");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("Table: row arity ", cells.size(), " != header arity ",
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "") << row[c]
+               << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            bool needs_quote =
+                row[c].find_first_of(",\"\n") != std::string::npos;
+            if (needs_quote) {
+                os << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << row[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtEng(double v, int digits)
+{
+    static const struct { double scale; const char *suffix; } units[] = {
+        {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "K"},
+    };
+    double mag = std::fabs(v);
+    for (const auto &u : units) {
+        if (mag >= u.scale)
+            return fmtDouble(v / u.scale, digits) + u.suffix;
+    }
+    return fmtDouble(v, digits);
+}
+
+std::string
+fmtPercent(double v, int digits)
+{
+    return fmtDouble(v * 100.0, digits) + "%";
+}
+
+} // namespace sd

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII and CSV table rendering used by the benchmark harnesses to print
+ * the paper's tables and figure data series.
+ */
+
+#ifndef SCALEDEEP_CORE_TABLE_HH
+#define SCALEDEEP_CORE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sd {
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers
+ * format doubles with a fixed precision or engineering suffixes.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no padding, comma separated, quoted if needed). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+    const std::vector<std::string> &row(std::size_t i) const
+    { return rows_.at(i); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p digits digits after the decimal point. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format with engineering suffix, e.g. 1.35e15 -> "1.35P". */
+std::string fmtEng(double v, int digits = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.347 -> "34.7%". */
+std::string fmtPercent(double v, int digits = 1);
+
+} // namespace sd
+
+#endif // SCALEDEEP_CORE_TABLE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit helpers shared across the architecture and simulator models.
+ * All bandwidths are bytes/second, frequencies Hz, energies Joules,
+ * powers Watts, and capacities bytes unless a name says otherwise.
+ */
+
+#ifndef SCALEDEEP_CORE_UNITS_HH
+#define SCALEDEEP_CORE_UNITS_HH
+
+#include <cstdint>
+
+namespace sd {
+
+using Cycles = std::uint64_t;
+using Bytes = std::uint64_t;
+using Flops = double;   ///< operation counts routinely exceed 2^53? no - but
+                        ///< double keeps ratio math simple; exact counts use
+                        ///< std::uint64_t where integrality matters.
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+constexpr double kPeta = 1e15;
+
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** Bytes per element for the two supported numeric precisions. */
+enum class Precision { Single, Half };
+
+constexpr std::uint64_t
+bytesPerElement(Precision p)
+{
+    return p == Precision::Single ? 4 : 2;
+}
+
+constexpr const char *
+precisionName(Precision p)
+{
+    return p == Precision::Single ? "single" : "half";
+}
+
+} // namespace sd
+
+#endif // SCALEDEEP_CORE_UNITS_HH

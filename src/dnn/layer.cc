@@ -1,0 +1,61 @@
+#include "dnn/layer.hh"
+
+#include "core/logging.hh"
+
+namespace sd::dnn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Input: return "input";
+      case LayerKind::Conv: return "conv";
+      case LayerKind::Samp: return "samp";
+      case LayerKind::Fc: return "fc";
+      case LayerKind::Eltwise: return "eltwise";
+      case LayerKind::Concat: return "concat";
+    }
+    return "?";
+}
+
+const char *
+activationName(Activation act)
+{
+    switch (act) {
+      case Activation::None: return "none";
+      case Activation::ReLU: return "relu";
+      case Activation::Tanh: return "tanh";
+      case Activation::Sigmoid: return "sigmoid";
+    }
+    return "?";
+}
+
+std::uint64_t
+Layer::weightCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return static_cast<std::uint64_t>(outChannels) *
+               (inChannels / groups) * kernelH * kernelW;
+      case LayerKind::Fc:
+        return static_cast<std::uint64_t>(outChannels) * inputElems();
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+Layer::macCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return static_cast<std::uint64_t>(outChannels) * outH * outW *
+               (inChannels / groups) * kernelH * kernelW;
+      case LayerKind::Fc:
+        return weightCount();
+      default:
+        return 0;
+    }
+}
+
+} // namespace sd::dnn

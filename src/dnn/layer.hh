@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Layer descriptors for the DNN topologies ScaleDeep maps. The paper's
+ * taxonomy has three key layer types — CONV, SAMP (pooling) and FC — with
+ * the activation function folded into the producing CONV/FC layer. We add
+ * Eltwise (residual adds) and Concat (inception joins) so that ResNet and
+ * GoogLeNet can be represented as first-class DAGs.
+ */
+
+#ifndef SCALEDEEP_DNN_LAYER_HH
+#define SCALEDEEP_DNN_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sd::dnn {
+
+/** The kind of computation a layer performs. */
+enum class LayerKind { Input, Conv, Samp, Fc, Eltwise, Concat };
+
+/** Non-linear activation applied to a CONV/FC/Eltwise output. */
+enum class Activation { None, ReLU, Tanh, Sigmoid };
+
+/** Pooling flavour of a SAMP layer. */
+enum class SampKind { Max, Average };
+
+const char *layerKindName(LayerKind kind);
+const char *activationName(Activation act);
+
+/** Integer id of a layer within its network. */
+using LayerId = int;
+
+/**
+ * One layer of a network: user-specified parameters plus shape state
+ * computed when the layer is added to a Network.
+ *
+ * Spatial layers use (channels, height, width); FC layers use flat vectors
+ * (outH == outW == 1, outChannels == neuron count).
+ */
+struct Layer
+{
+    LayerId id = -1;
+    std::string name;
+    LayerKind kind = LayerKind::Input;
+    std::vector<LayerId> inputs;    ///< producer layer ids
+
+    /**
+     * Optional group tag: layers sharing a non-empty group (e.g. an
+     * inception module) are counted as one logical layer in paper-style
+     * layer counts and are co-allocated by the mapper.
+     */
+    std::string group;
+
+    // --- CONV / SAMP parameters ---
+    int kernelH = 0, kernelW = 0;
+    int strideH = 1, strideW = 1;
+    int padH = 0, padW = 0;
+    int groups = 1;                 ///< grouped convolution factor
+    SampKind sampKind = SampKind::Max;
+
+    Activation act = Activation::None;
+
+    // --- computed shape ---
+    int inChannels = 0, inH = 0, inW = 0;
+    int outChannels = 0, outH = 0, outW = 0;
+
+    /** Number of output neurons (elements of the output feature volume). */
+    std::uint64_t outputElems() const
+    {
+        return static_cast<std::uint64_t>(outChannels) * outH * outW;
+    }
+
+    /** Number of input elements consumed per image. */
+    std::uint64_t inputElems() const
+    {
+        return static_cast<std::uint64_t>(inChannels) * inH * inW;
+    }
+
+    /** Trainable weight count (0 for SAMP/Eltwise/Concat/Input). */
+    std::uint64_t weightCount() const;
+
+    /** Multiply-accumulate count per image ("connections"). */
+    std::uint64_t macCount() const;
+
+    bool hasWeights() const { return weightCount() > 0; }
+    bool isCompute() const
+    { return kind == LayerKind::Conv || kind == LayerKind::Fc; }
+};
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_LAYER_HH

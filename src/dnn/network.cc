@@ -1,0 +1,277 @@
+#include "dnn/network.hh"
+
+#include <set>
+
+#include "core/logging.hh"
+
+namespace sd::dnn {
+
+const Layer &
+Network::layer(LayerId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= layers_.size())
+        panic("Network ", name_, ": bad layer id ", id);
+    return layers_[id];
+}
+
+std::vector<LayerId>
+Network::consumers(LayerId id) const
+{
+    std::vector<LayerId> out;
+    for (const Layer &l : layers_) {
+        for (LayerId in : l.inputs) {
+            if (in == id) {
+                out.push_back(l.id);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+const Layer &
+Network::outputLayer() const
+{
+    if (layers_.empty())
+        panic("Network ", name_, ": empty");
+    return layers_.back();
+}
+
+LayerId
+Network::addLayer(Layer layer)
+{
+    layer.id = static_cast<LayerId>(layers_.size());
+    for (LayerId in : layer.inputs) {
+        if (in < 0 || in >= layer.id)
+            panic("Network ", name_, ": layer ", layer.name,
+                  " references non-existent producer ", in);
+    }
+    layers_.push_back(std::move(layer));
+    return layers_.back().id;
+}
+
+NetworkSummary
+Network::summary() const
+{
+    NetworkSummary s;
+    std::set<std::string> conv_groups;
+    for (const Layer &l : layers_) {
+        switch (l.kind) {
+          case LayerKind::Conv:
+            if (l.group.empty()) {
+                ++s.convLayers;
+            } else {
+                conv_groups.insert(l.group);
+            }
+            break;
+          case LayerKind::Fc:
+            ++s.fcLayers;
+            break;
+          case LayerKind::Samp:
+            ++s.sampLayers;
+            break;
+          default:
+            break;
+        }
+        if (l.isCompute())
+            s.neurons += l.outputElems();
+        s.weights += l.weightCount();
+        s.connections += l.macCount();
+    }
+    s.convLayers += static_cast<int>(conv_groups.size());
+    return s;
+}
+
+std::uint64_t
+Network::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const Layer &l : layers_)
+        total += l.macCount();
+    return total;
+}
+
+std::uint64_t
+Network::totalWeights() const
+{
+    std::uint64_t total = 0;
+    for (const Layer &l : layers_)
+        total += l.weightCount();
+    return total;
+}
+
+NetworkBuilder::NetworkBuilder(std::string name, int channels, int height,
+                               int width)
+    : net_(std::move(name))
+{
+    if (channels <= 0 || height <= 0 || width <= 0)
+        fatal("NetworkBuilder: invalid input dimensions");
+    Layer in;
+    in.name = "input";
+    in.kind = LayerKind::Input;
+    in.inChannels = in.outChannels = channels;
+    in.inH = in.outH = height;
+    in.inW = in.outW = width;
+    net_.addLayer(std::move(in));
+}
+
+LayerId
+NetworkBuilder::conv(const std::string &name, LayerId in, int out_channels,
+                     int kernel, int stride, int pad, int groups,
+                     Activation act, const std::string &group)
+{
+    const Layer &p = net_.layer(in);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.inputs = {in};
+    l.group = group;
+    l.kernelH = l.kernelW = kernel;
+    l.strideH = l.strideW = stride;
+    l.padH = l.padW = pad;
+    l.groups = groups;
+    l.act = act;
+    l.inChannels = p.outChannels;
+    l.inH = p.outH;
+    l.inW = p.outW;
+    if (kernel <= 0 || stride <= 0 || pad < 0 || groups <= 0)
+        fatal("conv ", name, ": invalid parameters");
+    if (l.inChannels % groups != 0 || out_channels % groups != 0)
+        fatal("conv ", name, ": channels not divisible by groups");
+    l.outChannels = out_channels;
+    l.outH = (l.inH + 2 * pad - kernel) / stride + 1;
+    l.outW = (l.inW + 2 * pad - kernel) / stride + 1;
+    if (l.outH <= 0 || l.outW <= 0)
+        fatal("conv ", name, ": kernel larger than padded input");
+    return net_.addLayer(std::move(l));
+}
+
+LayerId
+NetworkBuilder::addPool(const std::string &name, LayerId in, int window,
+                        int stride, int pad, SampKind kind)
+{
+    const Layer &p = net_.layer(in);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Samp;
+    l.inputs = {in};
+    l.kernelH = l.kernelW = window;
+    l.strideH = l.strideW = stride;
+    l.padH = l.padW = pad;
+    l.sampKind = kind;
+    l.inChannels = p.outChannels;
+    l.inH = p.outH;
+    l.inW = p.outW;
+    if (window <= 0 || stride <= 0 || pad < 0)
+        fatal("pool ", name, ": invalid parameters");
+    l.outChannels = l.inChannels;
+    l.outH = (l.inH + 2 * pad - window) / stride + 1;
+    l.outW = (l.inW + 2 * pad - window) / stride + 1;
+    if (l.outH <= 0 || l.outW <= 0)
+        fatal("pool ", name, ": window larger than padded input");
+    return net_.addLayer(std::move(l));
+}
+
+LayerId
+NetworkBuilder::maxPool(const std::string &name, LayerId in, int window,
+                        int stride, int pad)
+{
+    return addPool(name, in, window, stride, pad, SampKind::Max);
+}
+
+LayerId
+NetworkBuilder::avgPool(const std::string &name, LayerId in, int window,
+                        int stride, int pad)
+{
+    return addPool(name, in, window, stride, pad, SampKind::Average);
+}
+
+LayerId
+NetworkBuilder::fc(const std::string &name, LayerId in, int out_neurons,
+                   Activation act)
+{
+    const Layer &p = net_.layer(in);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Fc;
+    l.inputs = {in};
+    l.act = act;
+    l.inChannels = p.outChannels;
+    l.inH = p.outH;
+    l.inW = p.outW;
+    if (out_neurons <= 0)
+        fatal("fc ", name, ": invalid neuron count");
+    l.outChannels = out_neurons;
+    l.outH = 1;
+    l.outW = 1;
+    return net_.addLayer(std::move(l));
+}
+
+LayerId
+NetworkBuilder::eltwise(const std::string &name, std::vector<LayerId> ins,
+                        Activation act, const std::string &group)
+{
+    if (ins.size() < 2)
+        fatal("eltwise ", name, ": needs >= 2 inputs");
+    const Layer &first = net_.layer(ins[0]);
+    for (LayerId id : ins) {
+        const Layer &p = net_.layer(id);
+        if (p.outChannels != first.outChannels || p.outH != first.outH ||
+            p.outW != first.outW) {
+            fatal("eltwise ", name, ": input shape mismatch between ",
+                  first.name, " and ", p.name);
+        }
+    }
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Eltwise;
+    l.inputs = std::move(ins);
+    l.group = group;
+    l.act = act;
+    l.inChannels = first.outChannels;
+    l.inH = first.outH;
+    l.inW = first.outW;
+    l.outChannels = first.outChannels;
+    l.outH = first.outH;
+    l.outW = first.outW;
+    return net_.addLayer(std::move(l));
+}
+
+LayerId
+NetworkBuilder::concat(const std::string &name, std::vector<LayerId> ins,
+                       const std::string &group)
+{
+    if (ins.empty())
+        fatal("concat ", name, ": needs >= 1 input");
+    const Layer &first = net_.layer(ins[0]);
+    int channels = 0;
+    for (LayerId id : ins) {
+        const Layer &p = net_.layer(id);
+        if (p.outH != first.outH || p.outW != first.outW)
+            fatal("concat ", name, ": spatial size mismatch at ", p.name);
+        channels += p.outChannels;
+    }
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Concat;
+    l.inputs = std::move(ins);
+    l.group = group;
+    l.inChannels = channels;
+    l.inH = first.outH;
+    l.inW = first.outW;
+    l.outChannels = channels;
+    l.outH = first.outH;
+    l.outW = first.outW;
+    return net_.addLayer(std::move(l));
+}
+
+Network
+NetworkBuilder::build()
+{
+    if (built_)
+        panic("NetworkBuilder: build() called twice");
+    built_ = true;
+    return std::move(net_);
+}
+
+} // namespace sd::dnn

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The Network container: a DAG of layers built through a fluent builder
+ * API, with shape inference at construction time and the summary metrics
+ * the paper reports in Figure 15 (layer counts, neurons, weights,
+ * connections).
+ */
+
+#ifndef SCALEDEEP_DNN_NETWORK_HH
+#define SCALEDEEP_DNN_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace sd::dnn {
+
+/** Figure-15-style summary of a network. */
+struct NetworkSummary
+{
+    int convLayers = 0;     ///< logical CONV layers (module groups count 1)
+    int fcLayers = 0;
+    int sampLayers = 0;
+    std::uint64_t neurons = 0;       ///< CONV+FC output elements
+    std::uint64_t weights = 0;
+    std::uint64_t connections = 0;   ///< MACs per image
+};
+
+/**
+ * A feed-forward DNN represented as a DAG of layers.
+ *
+ * Layers are stored in topological order (producers precede consumers) —
+ * the builder enforces this because a layer may only reference already
+ * added layers.
+ */
+class Network
+{
+  public:
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    std::size_t numLayers() const { return layers_.size(); }
+    const Layer &layer(LayerId id) const;
+    const std::vector<Layer> &layers() const { return layers_; }
+
+    /** Ids of layers that consume @p id's output. */
+    std::vector<LayerId> consumers(LayerId id) const;
+
+    /** The final layer (network output). */
+    const Layer &outputLayer() const;
+
+    NetworkSummary summary() const;
+
+    /** Total FP multiply-accumulates per image across all layers. */
+    std::uint64_t totalMacs() const;
+
+    /** Total trainable weights. */
+    std::uint64_t totalWeights() const;
+
+    // --- construction (used by NetworkBuilder) ---
+    LayerId addLayer(Layer layer);
+
+  private:
+    std::string name_;
+    std::vector<Layer> layers_;
+};
+
+/**
+ * Fluent builder producing shape-checked networks.
+ *
+ * Example:
+ * @code
+ * NetworkBuilder b("LeNet", 1, 28, 28);
+ * auto c1 = b.conv("c1", b.input(), 6, 5, 1, 0);
+ * auto s1 = b.maxPool("s1", c1, 2, 2);
+ * auto f1 = b.fc("f1", s1, 10);
+ * Network net = b.build();
+ * @endcode
+ */
+class NetworkBuilder
+{
+  public:
+    NetworkBuilder(std::string name, int channels, int height, int width);
+
+    /** Id of the input layer. */
+    LayerId input() const { return 0; }
+
+    /** Square-kernel convolution + activation. */
+    LayerId conv(const std::string &name, LayerId in, int out_channels,
+                 int kernel, int stride = 1, int pad = 0, int groups = 1,
+                 Activation act = Activation::ReLU,
+                 const std::string &group = "");
+
+    LayerId maxPool(const std::string &name, LayerId in, int window,
+                    int stride, int pad = 0);
+    LayerId avgPool(const std::string &name, LayerId in, int window,
+                    int stride, int pad = 0);
+
+    /** Fully-connected layer (flattens its input). */
+    LayerId fc(const std::string &name, LayerId in, int out_neurons,
+               Activation act = Activation::ReLU);
+
+    /** Elementwise addition of same-shape inputs (residual join). */
+    LayerId eltwise(const std::string &name, std::vector<LayerId> ins,
+                    Activation act = Activation::ReLU,
+                    const std::string &group = "");
+
+    /** Channel concatenation of same-spatial-size inputs. */
+    LayerId concat(const std::string &name, std::vector<LayerId> ins,
+                   const std::string &group = "");
+
+    /** Finish; the builder must not be reused afterwards. */
+    Network build();
+
+    /** Shape peek for composing modules. */
+    const Layer &layerAt(LayerId id) const { return net_.layer(id); }
+
+  private:
+    LayerId addPool(const std::string &name, LayerId in, int window,
+                    int stride, int pad, SampKind kind);
+
+    Network net_;
+    bool built_ = false;
+};
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_NETWORK_HH

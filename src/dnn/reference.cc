@@ -1,0 +1,669 @@
+#include "dnn/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace sd::dnn {
+
+void
+applyActivation(Tensor &t, Activation act)
+{
+    switch (act) {
+      case Activation::None:
+        return;
+      case Activation::ReLU:
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] = std::max(0.0f, t[i]);
+        return;
+      case Activation::Tanh:
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] = std::tanh(t[i]);
+        return;
+      case Activation::Sigmoid:
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] = 1.0f / (1.0f + std::exp(-t[i]));
+        return;
+    }
+}
+
+void
+applyActivationGrad(Tensor &grad, const Tensor &y, Activation act)
+{
+    if (grad.size() != y.size())
+        panic("applyActivationGrad: size mismatch");
+    switch (act) {
+      case Activation::None:
+        return;
+      case Activation::ReLU:
+        for (std::size_t i = 0; i < grad.size(); ++i)
+            grad[i] = y[i] > 0.0f ? grad[i] : 0.0f;
+        return;
+      case Activation::Tanh:
+        for (std::size_t i = 0; i < grad.size(); ++i)
+            grad[i] *= 1.0f - y[i] * y[i];
+        return;
+      case Activation::Sigmoid:
+        for (std::size_t i = 0; i < grad.size(); ++i)
+            grad[i] *= y[i] * (1.0f - y[i]);
+        return;
+    }
+}
+
+namespace {
+
+/** Bounds-checked input fetch honouring zero padding. */
+inline float
+paddedAt(const Tensor &in, int c, int h, int w, int H, int W)
+{
+    if (h < 0 || h >= H || w < 0 || w >= W)
+        return 0.0f;
+    return in.data()[(static_cast<std::size_t>(c) * H + h) * W + w];
+}
+
+} // namespace
+
+void
+convForward(const Layer &l, const Tensor &in, const Tensor &weights,
+            Tensor &out)
+{
+    const int icg = l.inChannels / l.groups;
+    const int ocg = l.outChannels / l.groups;
+    if (in.size() != l.inputElems())
+        panic("convForward ", l.name, ": bad input size");
+    if (weights.size() != l.weightCount())
+        panic("convForward ", l.name, ": bad weight size");
+    if (out.size() != l.outputElems())
+        panic("convForward ", l.name, ": bad output size");
+
+    const float *x = in.data();
+    const float *w = weights.data();
+    float *y = out.data();
+
+    for (int oc = 0; oc < l.outChannels; ++oc) {
+        const int g = oc / ocg;
+        for (int oh = 0; oh < l.outH; ++oh) {
+            for (int ow = 0; ow < l.outW; ++ow) {
+                float acc = 0.0f;
+                for (int ic = 0; ic < icg; ++ic) {
+                    const int c = g * icg + ic;
+                    for (int kh = 0; kh < l.kernelH; ++kh) {
+                        const int h = oh * l.strideH - l.padH + kh;
+                        if (h < 0 || h >= l.inH)
+                            continue;
+                        const float *xrow =
+                            x + (static_cast<std::size_t>(c) * l.inH + h) *
+                                l.inW;
+                        const float *wrow =
+                            w + ((static_cast<std::size_t>(oc) * icg + ic) *
+                                 l.kernelH + kh) * l.kernelW;
+                        for (int kw = 0; kw < l.kernelW; ++kw) {
+                            const int wi = ow * l.strideW - l.padW + kw;
+                            if (wi < 0 || wi >= l.inW)
+                                continue;
+                            acc += xrow[wi] * wrow[kw];
+                        }
+                    }
+                }
+                y[(static_cast<std::size_t>(oc) * l.outH + oh) * l.outW +
+                  ow] = acc;
+            }
+        }
+    }
+}
+
+void
+convBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
+                 Tensor &din)
+{
+    const int icg = l.inChannels / l.groups;
+    const int ocg = l.outChannels / l.groups;
+    if (din.size() != l.inputElems() || dout.size() != l.outputElems())
+        panic("convBackwardData ", l.name, ": bad sizes");
+    din.fill(0.0f);
+
+    const float *dy = dout.data();
+    const float *w = weights.data();
+    float *dx = din.data();
+
+    for (int oc = 0; oc < l.outChannels; ++oc) {
+        const int g = oc / ocg;
+        for (int oh = 0; oh < l.outH; ++oh) {
+            for (int ow = 0; ow < l.outW; ++ow) {
+                const float e =
+                    dy[(static_cast<std::size_t>(oc) * l.outH + oh) *
+                       l.outW + ow];
+                if (e == 0.0f)
+                    continue;
+                for (int ic = 0; ic < icg; ++ic) {
+                    const int c = g * icg + ic;
+                    for (int kh = 0; kh < l.kernelH; ++kh) {
+                        const int h = oh * l.strideH - l.padH + kh;
+                        if (h < 0 || h >= l.inH)
+                            continue;
+                        for (int kw = 0; kw < l.kernelW; ++kw) {
+                            const int wi = ow * l.strideW - l.padW + kw;
+                            if (wi < 0 || wi >= l.inW)
+                                continue;
+                            dx[(static_cast<std::size_t>(c) * l.inH + h) *
+                               l.inW + wi] +=
+                                e * w[((static_cast<std::size_t>(oc) * icg +
+                                        ic) * l.kernelH + kh) * l.kernelW +
+                                      kw];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
+               Tensor &dweights)
+{
+    const int icg = l.inChannels / l.groups;
+    const int ocg = l.outChannels / l.groups;
+    if (dweights.size() != l.weightCount())
+        panic("convWeightGrad ", l.name, ": bad gradient size");
+
+    const float *x = in.data();
+    const float *dy = dout.data();
+    float *dw = dweights.data();
+
+    for (int oc = 0; oc < l.outChannels; ++oc) {
+        const int g = oc / ocg;
+        for (int oh = 0; oh < l.outH; ++oh) {
+            for (int ow = 0; ow < l.outW; ++ow) {
+                const float e =
+                    dy[(static_cast<std::size_t>(oc) * l.outH + oh) *
+                       l.outW + ow];
+                if (e == 0.0f)
+                    continue;
+                for (int ic = 0; ic < icg; ++ic) {
+                    const int c = g * icg + ic;
+                    for (int kh = 0; kh < l.kernelH; ++kh) {
+                        const int h = oh * l.strideH - l.padH + kh;
+                        if (h < 0 || h >= l.inH)
+                            continue;
+                        for (int kw = 0; kw < l.kernelW; ++kw) {
+                            const int wi = ow * l.strideW - l.padW + kw;
+                            if (wi < 0 || wi >= l.inW)
+                                continue;
+                            dw[((static_cast<std::size_t>(oc) * icg + ic) *
+                                l.kernelH + kh) * l.kernelW + kw] +=
+                                e * paddedAt(in, c, h, wi, l.inH, l.inW);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (void)x;
+}
+
+void
+poolForward(const Layer &l, const Tensor &in, Tensor &out,
+            std::vector<std::uint32_t> *argmax)
+{
+    if (in.size() != l.inputElems() || out.size() != l.outputElems())
+        panic("poolForward ", l.name, ": bad sizes");
+    if (argmax)
+        argmax->assign(out.size(), 0);
+
+    const float *x = in.data();
+    float *y = out.data();
+    const bool is_max = l.sampKind == SampKind::Max;
+
+    for (int c = 0; c < l.outChannels; ++c) {
+        for (int oh = 0; oh < l.outH; ++oh) {
+            for (int ow = 0; ow < l.outW; ++ow) {
+                float best = -1e30f;
+                double sum = 0.0;
+                std::uint32_t best_idx = 0;
+                int count = 0;
+                for (int kh = 0; kh < l.kernelH; ++kh) {
+                    const int h = oh * l.strideH - l.padH + kh;
+                    if (h < 0 || h >= l.inH)
+                        continue;
+                    for (int kw = 0; kw < l.kernelW; ++kw) {
+                        const int wi = ow * l.strideW - l.padW + kw;
+                        if (wi < 0 || wi >= l.inW)
+                            continue;
+                        std::size_t idx =
+                            (static_cast<std::size_t>(c) * l.inH + h) *
+                            l.inW + wi;
+                        float v = x[idx];
+                        sum += v;
+                        ++count;
+                        if (v > best) {
+                            best = v;
+                            best_idx = static_cast<std::uint32_t>(idx);
+                        }
+                    }
+                }
+                std::size_t oidx =
+                    (static_cast<std::size_t>(c) * l.outH + oh) * l.outW +
+                    ow;
+                if (is_max) {
+                    y[oidx] = count ? best : 0.0f;
+                    if (argmax)
+                        (*argmax)[oidx] = best_idx;
+                } else {
+                    y[oidx] = count ? static_cast<float>(sum / count)
+                                    : 0.0f;
+                }
+            }
+        }
+    }
+}
+
+void
+poolBackward(const Layer &l, const Tensor &dout,
+             const std::vector<std::uint32_t> &argmax, Tensor &din)
+{
+    if (din.size() != l.inputElems() || dout.size() != l.outputElems())
+        panic("poolBackward ", l.name, ": bad sizes");
+    din.fill(0.0f);
+    const float *dy = dout.data();
+    float *dx = din.data();
+
+    if (l.sampKind == SampKind::Max) {
+        if (argmax.size() != dout.size())
+            panic("poolBackward ", l.name, ": missing argmax");
+        for (std::size_t i = 0; i < dout.size(); ++i)
+            dx[argmax[i]] += dy[i];
+        return;
+    }
+
+    // Average pooling: distribute the error evenly over the window.
+    for (int c = 0; c < l.outChannels; ++c) {
+        for (int oh = 0; oh < l.outH; ++oh) {
+            for (int ow = 0; ow < l.outW; ++ow) {
+                // First count valid window entries.
+                int count = 0;
+                for (int kh = 0; kh < l.kernelH; ++kh) {
+                    const int h = oh * l.strideH - l.padH + kh;
+                    if (h < 0 || h >= l.inH)
+                        continue;
+                    for (int kw = 0; kw < l.kernelW; ++kw) {
+                        const int wi = ow * l.strideW - l.padW + kw;
+                        if (wi >= 0 && wi < l.inW)
+                            ++count;
+                    }
+                }
+                if (count == 0)
+                    continue;
+                const float share =
+                    dy[(static_cast<std::size_t>(c) * l.outH + oh) *
+                       l.outW + ow] / static_cast<float>(count);
+                for (int kh = 0; kh < l.kernelH; ++kh) {
+                    const int h = oh * l.strideH - l.padH + kh;
+                    if (h < 0 || h >= l.inH)
+                        continue;
+                    for (int kw = 0; kw < l.kernelW; ++kw) {
+                        const int wi = ow * l.strideW - l.padW + kw;
+                        if (wi < 0 || wi >= l.inW)
+                            continue;
+                        dx[(static_cast<std::size_t>(c) * l.inH + h) *
+                           l.inW + wi] += share;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
+          Tensor &out)
+{
+    const std::size_t n_in = l.inputElems();
+    const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    if (in.size() != n_in || out.size() != n_out ||
+        weights.size() != n_in * n_out) {
+        panic("fcForward ", l.name, ": bad sizes");
+    }
+    const float *x = in.data();
+    const float *w = weights.data();
+    float *y = out.data();
+    for (std::size_t o = 0; o < n_out; ++o) {
+        float acc = 0.0f;
+        const float *wrow = w + o * n_in;
+        for (std::size_t i = 0; i < n_in; ++i)
+            acc += wrow[i] * x[i];
+        y[o] = acc;
+    }
+}
+
+void
+fcBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
+               Tensor &din)
+{
+    const std::size_t n_in = l.inputElems();
+    const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    if (din.size() != n_in || dout.size() != n_out)
+        panic("fcBackwardData ", l.name, ": bad sizes");
+    din.fill(0.0f);
+    const float *dy = dout.data();
+    const float *w = weights.data();
+    float *dx = din.data();
+    for (std::size_t o = 0; o < n_out; ++o) {
+        const float e = dy[o];
+        if (e == 0.0f)
+            continue;
+        const float *wrow = w + o * n_in;
+        for (std::size_t i = 0; i < n_in; ++i)
+            dx[i] += e * wrow[i];
+    }
+}
+
+void
+fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
+             Tensor &dweights)
+{
+    const std::size_t n_in = l.inputElems();
+    const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    if (dweights.size() != n_in * n_out)
+        panic("fcWeightGrad ", l.name, ": bad gradient size");
+    const float *x = in.data();
+    const float *dy = dout.data();
+    float *dw = dweights.data();
+    for (std::size_t o = 0; o < n_out; ++o) {
+        const float e = dy[o];
+        if (e == 0.0f)
+            continue;
+        float *dwrow = dw + o * n_in;
+        for (std::size_t i = 0; i < n_in; ++i)
+            dwrow[i] += e * x[i];
+    }
+}
+
+double
+softmaxCrossEntropy(const Tensor &logits, int label, Tensor &dlogits)
+{
+    const std::size_t n = logits.size();
+    if (label < 0 || static_cast<std::size_t>(label) >= n)
+        panic("softmaxCrossEntropy: label out of range");
+    if (dlogits.size() != n)
+        panic("softmaxCrossEntropy: gradient size mismatch");
+
+    float max_logit = logits[0];
+    for (std::size_t i = 1; i < n; ++i)
+        max_logit = std::max(max_logit, logits[i]);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        denom += std::exp(static_cast<double>(logits[i] - max_logit));
+    double log_denom = std::log(denom);
+    for (std::size_t i = 0; i < n; ++i) {
+        double p =
+            std::exp(static_cast<double>(logits[i] - max_logit)) / denom;
+        dlogits[i] = static_cast<float>(
+            p - (static_cast<std::size_t>(label) == i ? 1.0 : 0.0));
+    }
+    double log_p =
+        static_cast<double>(logits[label] - max_logit) - log_denom;
+    return -log_p;
+}
+
+ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed)
+    : net_(&net)
+{
+    Rng rng(seed);
+    const std::size_t n = net.numLayers();
+    weights_.resize(n);
+    grads_.resize(n);
+    acts_.resize(n);
+    errors_.resize(n);
+    argmax_.resize(n);
+    for (const Layer &l : net.layers()) {
+        acts_[l.id] = outputShapeTensor(l);
+        errors_[l.id] = outputShapeTensor(l);
+        std::uint64_t wc = l.weightCount();
+        if (wc > 0) {
+            // Scaled uniform init (He-style fan-in scaling).
+            double fan_in = l.kind == LayerKind::Conv
+                ? static_cast<double>(l.inChannels / l.groups) * l.kernelH *
+                  l.kernelW
+                : static_cast<double>(l.inputElems());
+            float bound = static_cast<float>(std::sqrt(3.0 / fan_in));
+            weights_[l.id] = Tensor::uniform({wc}, rng, -bound, bound);
+            grads_[l.id] = Tensor::zeros({wc});
+        }
+    }
+}
+
+Tensor
+ReferenceEngine::outputShapeTensor(const Layer &l) const
+{
+    return Tensor({static_cast<std::size_t>(l.outChannels),
+                   static_cast<std::size_t>(l.outH),
+                   static_cast<std::size_t>(l.outW)});
+}
+
+const Tensor &
+ReferenceEngine::forward(const Tensor &image)
+{
+    for (const Layer &l : net_->layers()) {
+        switch (l.kind) {
+          case LayerKind::Input:
+            if (image.size() != l.outputElems())
+                fatal("forward: input image has wrong size");
+            acts_[l.id] = image;
+            break;
+          case LayerKind::Conv:
+            convForward(l, acts_[l.inputs[0]], weights_[l.id],
+                        acts_[l.id]);
+            applyActivation(acts_[l.id], l.act);
+            break;
+          case LayerKind::Samp:
+            poolForward(l, acts_[l.inputs[0]], acts_[l.id],
+                        &argmax_[l.id]);
+            break;
+          case LayerKind::Fc:
+            fcForward(l, acts_[l.inputs[0]], weights_[l.id], acts_[l.id]);
+            applyActivation(acts_[l.id], l.act);
+            break;
+          case LayerKind::Eltwise: {
+            Tensor &y = acts_[l.id];
+            y.fill(0.0f);
+            for (LayerId in : l.inputs)
+                y.accumulate(acts_[in]);
+            applyActivation(y, l.act);
+            break;
+          }
+          case LayerKind::Concat: {
+            Tensor &y = acts_[l.id];
+            std::size_t offset = 0;
+            for (LayerId in : l.inputs) {
+                const Tensor &src = acts_[in];
+                std::copy(src.data(), src.data() + src.size(),
+                          y.data() + offset);
+                offset += src.size();
+            }
+            break;
+          }
+        }
+    }
+    return acts_[net_->outputLayer().id];
+}
+
+double
+ReferenceEngine::forwardBackward(const Tensor &image, int label)
+{
+    const Tensor &logits = forward(image);
+    for (Tensor &e : errors_)
+        e.fill(0.0f);
+    LayerId out_id = net_->outputLayer().id;
+    double loss = softmaxCrossEntropy(logits, label, errors_[out_id]);
+
+    // Walk the layers in reverse topological order; errors_ at a layer
+    // holds d(loss)/d(post-activation output of that layer).
+    for (auto it = net_->layers().rbegin(); it != net_->layers().rend();
+         ++it) {
+        const Layer &l = *it;
+        if (l.kind == LayerKind::Input)
+            continue;
+        Tensor &dy = errors_[l.id];
+        switch (l.kind) {
+          case LayerKind::Conv: {
+            applyActivationGrad(dy, acts_[l.id], l.act);
+            convWeightGrad(l, acts_[l.inputs[0]], dy, grads_[l.id]);
+            Tensor din(
+                {static_cast<std::size_t>(l.inChannels),
+                 static_cast<std::size_t>(l.inH),
+                 static_cast<std::size_t>(l.inW)});
+            convBackwardData(l, dy, weights_[l.id], din);
+            errors_[l.inputs[0]].accumulate(din);
+            break;
+          }
+          case LayerKind::Fc: {
+            applyActivationGrad(dy, acts_[l.id], l.act);
+            fcWeightGrad(l, acts_[l.inputs[0]], dy, grads_[l.id]);
+            Tensor din({l.inputElems()});
+            fcBackwardData(l, dy, weights_[l.id], din);
+            // The producer may be spatial; reshape the flat gradient.
+            Tensor &dst = errors_[l.inputs[0]];
+            for (std::size_t i = 0; i < din.size(); ++i)
+                dst[i] += din[i];
+            break;
+          }
+          case LayerKind::Samp: {
+            Tensor din(
+                {static_cast<std::size_t>(l.inChannels),
+                 static_cast<std::size_t>(l.inH),
+                 static_cast<std::size_t>(l.inW)});
+            poolBackward(l, dy, argmax_[l.id], din);
+            errors_[l.inputs[0]].accumulate(din);
+            break;
+          }
+          case LayerKind::Eltwise:
+            applyActivationGrad(dy, acts_[l.id], l.act);
+            for (LayerId in : l.inputs)
+                errors_[in].accumulate(dy);
+            break;
+          case LayerKind::Concat: {
+            std::size_t offset = 0;
+            for (LayerId in : l.inputs) {
+                Tensor &dst = errors_[in];
+                for (std::size_t i = 0; i < dst.size(); ++i)
+                    dst[i] += dy[offset + i];
+                offset += dst.size();
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return loss;
+}
+
+void
+ReferenceEngine::applyUpdate(float lr, int batch_size)
+{
+    if (batch_size <= 0)
+        fatal("applyUpdate: batch size must be positive");
+    const float scale = lr / static_cast<float>(batch_size);
+    for (const Layer &l : net_->layers()) {
+        if (!l.hasWeights())
+            continue;
+        Tensor &w = weights_[l.id];
+        Tensor &g = grads_[l.id];
+        for (std::size_t i = 0; i < w.size(); ++i)
+            w[i] -= scale * g[i];
+        g.fill(0.0f);
+    }
+}
+
+double
+ReferenceEngine::trainMinibatch(const std::vector<Tensor> &images,
+                                const std::vector<int> &labels, float lr)
+{
+    if (images.size() != labels.size() || images.empty())
+        fatal("trainMinibatch: bad batch");
+    double loss = 0.0;
+    for (std::size_t i = 0; i < images.size(); ++i)
+        loss += forwardBackward(images[i], labels[i]);
+    applyUpdate(lr, static_cast<int>(images.size()));
+    return loss / static_cast<double>(images.size());
+}
+
+int
+ReferenceEngine::predict(const Tensor &image)
+{
+    const Tensor &out = forward(image);
+    int best = 0;
+    for (std::size_t i = 1; i < out.size(); ++i) {
+        if (out[i] > out[best])
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+Tensor &
+ReferenceEngine::weights(LayerId id)
+{
+    return weights_.at(id);
+}
+
+const Tensor &
+ReferenceEngine::weights(LayerId id) const
+{
+    return weights_.at(id);
+}
+
+Tensor &
+ReferenceEngine::weightGrad(LayerId id)
+{
+    return grads_.at(id);
+}
+
+const Tensor &
+ReferenceEngine::activation(LayerId id) const
+{
+    return acts_.at(id);
+}
+
+const Tensor &
+ReferenceEngine::error(LayerId id) const
+{
+    return errors_.at(id);
+}
+
+SyntheticDataset::SyntheticDataset(int classes, int channels, int height,
+                                   int width, std::uint64_t seed)
+    : classes_(classes), channels_(channels), height_(height),
+      width_(width), rng_(seed)
+{
+    if (classes < 2)
+        fatal("SyntheticDataset: need >= 2 classes");
+}
+
+std::pair<Tensor, int>
+SyntheticDataset::sample()
+{
+    int label = static_cast<int>(rng_.below(classes_));
+    Tensor img({static_cast<std::size_t>(channels_),
+                static_cast<std::size_t>(height_),
+                static_cast<std::size_t>(width_)});
+    // Class-dependent blob position on a ring, plus noise.
+    double angle = 2.0 * 3.14159265358979 * label / classes_;
+    double cy = height_ / 2.0 + (height_ / 4.0) * std::sin(angle);
+    double cx = width_ / 2.0 + (width_ / 4.0) * std::cos(angle);
+    double sigma = std::max(1.5, height_ / 8.0);
+    for (int c = 0; c < channels_; ++c) {
+        for (int h = 0; h < height_; ++h) {
+            for (int w = 0; w < width_; ++w) {
+                double d2 = (h - cy) * (h - cy) + (w - cx) * (w - cx);
+                double v = std::exp(-d2 / (2.0 * sigma * sigma));
+                v += 0.1 * rng_.gaussian();
+                img.at(c, h, w) = static_cast<float>(v);
+            }
+        }
+    }
+    return {std::move(img), label};
+}
+
+} // namespace sd::dnn

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Reference (golden-model) implementations of the DNN compute kernels —
+ * convolution, pooling, fully-connected, activation — with full forward,
+ * backpropagation and weight-gradient support, plus a minibatch SGD
+ * training engine.
+ *
+ * This is the numerical ground truth: the functional ScaleDeep simulator
+ * is validated against these kernels, and the training examples use the
+ * engine end-to-end ("learning and evaluating deep networks").
+ *
+ * Tensors are CHW (single image); weights are [outC, inC/groups, kH, kW].
+ * Layers carry no bias terms, matching the paper's weight accounting.
+ */
+
+#ifndef SCALEDEEP_DNN_REFERENCE_HH
+#define SCALEDEEP_DNN_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.hh"
+#include "dnn/network.hh"
+#include "dnn/tensor.hh"
+
+namespace sd::dnn {
+
+// --- standalone kernels (directly unit-tested) ---
+
+/** Apply an activation in place. */
+void applyActivation(Tensor &t, Activation act);
+
+/**
+ * Multiply @p grad in place by act'(z) evaluated from the *post*-
+ * activation values @p y (ReLU/tanh/sigmoid derivatives are all cheap
+ * functions of the output).
+ */
+void applyActivationGrad(Tensor &grad, const Tensor &y, Activation act);
+
+/** 2D convolution forward: out[oc][oh][ow] = sum w * in. No activation. */
+void convForward(const Layer &l, const Tensor &in, const Tensor &weights,
+                 Tensor &out);
+
+/** Convolution data-gradient: din = w^T (*) dout. */
+void convBackwardData(const Layer &l, const Tensor &dout,
+                      const Tensor &weights, Tensor &din);
+
+/** Convolution weight-gradient: dw += in (*) dout. Accumulates. */
+void convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
+                    Tensor &dweights);
+
+/** Pooling forward; for max-pooling @p argmax records winner indices. */
+void poolForward(const Layer &l, const Tensor &in, Tensor &out,
+                 std::vector<std::uint32_t> *argmax);
+
+/** Pooling backward (error up-sampling). */
+void poolBackward(const Layer &l, const Tensor &dout,
+                  const std::vector<std::uint32_t> &argmax, Tensor &din);
+
+/** Fully-connected forward: out = W * flatten(in). */
+void fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
+               Tensor &out);
+
+/** Fully-connected data-gradient. */
+void fcBackwardData(const Layer &l, const Tensor &dout,
+                    const Tensor &weights, Tensor &din);
+
+/** Fully-connected weight-gradient (accumulates). */
+void fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
+                  Tensor &dweights);
+
+/**
+ * Softmax + cross-entropy loss against an integer class label.
+ *
+ * @param logits output of the final layer (flat)
+ * @param label golden class in [0, size)
+ * @param dlogits gradient of the loss w.r.t. the logits (output)
+ * @return scalar loss
+ */
+double softmaxCrossEntropy(const Tensor &logits, int label,
+                           Tensor &dlogits);
+
+// --- the training/evaluation engine ---
+
+/**
+ * Holds the parameters and per-layer activations of one network and runs
+ * FP / BP / WG / weight-update, mirroring the paper's Figure 3 data flow.
+ */
+class ReferenceEngine
+{
+  public:
+    /**
+     * @param net the topology (must outlive the engine)
+     * @param seed deterministic weight-initialization seed
+     */
+    explicit ReferenceEngine(const Network &net, std::uint64_t seed = 1);
+
+    const Network &network() const { return *net_; }
+
+    /** Forward propagation; returns the final layer's output. */
+    const Tensor &forward(const Tensor &image);
+
+    /**
+     * Full training iteration on one example: FP, loss, BP, WG.
+     * Gradients accumulate into the gradient buffers (minibatching);
+     * call applyUpdate() to consume them.
+     *
+     * @return the cross-entropy loss of this example
+     */
+    double forwardBackward(const Tensor &image, int label);
+
+    /** SGD update: w -= lr/batch * dw, then zero the gradients. */
+    void applyUpdate(float lr, int batch_size);
+
+    /** Run one minibatch (forwardBackward on each, then update). */
+    double trainMinibatch(const std::vector<Tensor> &images,
+                          const std::vector<int> &labels, float lr);
+
+    /** Predicted class of @p image (argmax over final outputs). */
+    int predict(const Tensor &image);
+
+    Tensor &weights(LayerId id);
+    const Tensor &weights(LayerId id) const;
+    Tensor &weightGrad(LayerId id);
+    /** Post-activation output of layer @p id from the last forward(). */
+    const Tensor &activation(LayerId id) const;
+    /** Error (loss gradient) at layer @p id from the last BP. */
+    const Tensor &error(LayerId id) const;
+
+  private:
+    Tensor outputShapeTensor(const Layer &l) const;
+
+    const Network *net_;
+    std::vector<Tensor> weights_;
+    std::vector<Tensor> grads_;
+    std::vector<Tensor> acts_;          ///< post-activation outputs
+    std::vector<Tensor> errors_;        ///< d(loss)/d(output)
+    std::vector<std::vector<std::uint32_t>> argmax_;
+};
+
+/**
+ * A deterministic synthetic classification dataset: class-conditional
+ * Gaussian blobs rendered into CHW images, separable enough that a small
+ * CNN visibly learns it within a few hundred SGD steps. Stands in for
+ * ImageNet (which we do not have) in the training examples and tests.
+ */
+class SyntheticDataset
+{
+  public:
+    SyntheticDataset(int classes, int channels, int height, int width,
+                     std::uint64_t seed = 7);
+
+    /** Generate one (image, label) sample. */
+    std::pair<Tensor, int> sample();
+
+    int classes() const { return classes_; }
+
+  private:
+    int classes_, channels_, height_, width_;
+    Rng rng_;
+};
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_REFERENCE_HH

@@ -1,0 +1,121 @@
+#include "dnn/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace sd::dnn {
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape))
+{
+    if (shape_.empty() || shape_.size() > 4)
+        panic("Tensor: rank must be 1..4, got ", shape_.size());
+    std::size_t n = 1;
+    for (std::size_t d : shape_) {
+        if (d == 0)
+            panic("Tensor: zero-sized dimension");
+        n *= d;
+    }
+    data_.assign(n, 0.0f);
+}
+
+Tensor
+Tensor::full(std::vector<std::size_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::vector<std::size_t> shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+std::size_t
+Tensor::flatIndex(std::size_t i0, std::size_t i1, std::size_t i2,
+                  std::size_t i3, std::size_t used_rank) const
+{
+    if (used_rank != shape_.size()) {
+        panic("Tensor: indexed with ", used_rank, " indices but rank is ",
+              shape_.size());
+    }
+    std::size_t idx[4] = {i0, i1, i2, i3};
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < used_rank; ++d) {
+        if (idx[d] >= shape_[d])
+            panic("Tensor: index ", idx[d], " out of bound ", shape_[d]);
+        flat = flat * shape_[d] + idx[d];
+    }
+    return flat;
+}
+
+float &Tensor::at(std::size_t i0)
+{ return data_[flatIndex(i0, 0, 0, 0, 1)]; }
+float &Tensor::at(std::size_t i0, std::size_t i1)
+{ return data_[flatIndex(i0, i1, 0, 0, 2)]; }
+float &Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2)
+{ return data_[flatIndex(i0, i1, i2, 0, 3)]; }
+float &Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                  std::size_t i3)
+{ return data_[flatIndex(i0, i1, i2, i3, 4)]; }
+
+float Tensor::at(std::size_t i0) const
+{ return data_[flatIndex(i0, 0, 0, 0, 1)]; }
+float Tensor::at(std::size_t i0, std::size_t i1) const
+{ return data_[flatIndex(i0, i1, 0, 0, 2)]; }
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const
+{ return data_[flatIndex(i0, i1, i2, 0, 3)]; }
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                 std::size_t i3) const
+{ return data_[flatIndex(i0, i1, i2, i3, 4)]; }
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::accumulate(const Tensor &other)
+{
+    if (other.shape_ != shape_)
+        panic("Tensor::accumulate: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::scale(float factor)
+{
+    for (float &v : data_)
+        v *= factor;
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    if (other.shape_ != shape_)
+        panic("Tensor::maxAbsDiff: shape mismatch");
+    float m = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+    return m;
+}
+
+} // namespace sd::dnn

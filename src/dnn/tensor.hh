@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal dense float tensor in CHW / NCHW layout. This is the data
+ * substrate for the reference DNN engine (the golden model against which
+ * the functional simulator is validated) and for the training examples.
+ */
+
+#ifndef SCALEDEEP_DNN_TENSOR_HH
+#define SCALEDEEP_DNN_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.hh"
+
+namespace sd::dnn {
+
+/**
+ * A dense row-major float tensor with up to 4 dimensions.
+ *
+ * Dimensions are stored outermost-first (e.g. {N, C, H, W}); trailing
+ * dimensions of size 1 may be omitted. Storage is always contiguous.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(std::vector<std::size_t> shape);
+
+    static Tensor zeros(std::vector<std::size_t> shape)
+    { return Tensor(std::move(shape)); }
+
+    /** Filled with a constant. */
+    static Tensor full(std::vector<std::size_t> shape, float value);
+
+    /** Uniform random in [lo, hi) with a deterministic RNG. */
+    static Tensor uniform(std::vector<std::size_t> shape, Rng &rng,
+                          float lo = -1.0f, float hi = 1.0f);
+
+    const std::vector<std::size_t> &shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t dim(std::size_t i) const { return shape_.at(i); }
+    std::size_t size() const { return data_.size(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /** Element access by multi-index (bounds-checked via panic). */
+    float &at(std::size_t i0);
+    float &at(std::size_t i0, std::size_t i1);
+    float &at(std::size_t i0, std::size_t i1, std::size_t i2);
+    float &at(std::size_t i0, std::size_t i1, std::size_t i2,
+              std::size_t i3);
+    float at(std::size_t i0) const;
+    float at(std::size_t i0, std::size_t i1) const;
+    float at(std::size_t i0, std::size_t i1, std::size_t i2) const;
+    float at(std::size_t i0, std::size_t i1, std::size_t i2,
+             std::size_t i3) const;
+
+    /** Fill all elements with @p value. */
+    void fill(float value);
+
+    /** Elementwise accumulate: this += other. Shapes must match. */
+    void accumulate(const Tensor &other);
+
+    /** Scale all elements by @p factor. */
+    void scale(float factor);
+
+    /** Largest absolute element (0 for an empty tensor). */
+    float maxAbs() const;
+
+    /** Largest absolute elementwise difference against @p other. */
+    float maxAbsDiff(const Tensor &other) const;
+
+  private:
+    std::size_t flatIndex(std::size_t i0, std::size_t i1, std::size_t i2,
+                          std::size_t i3, std::size_t used_rank) const;
+
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_TENSOR_HH

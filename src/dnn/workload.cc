@@ -1,0 +1,271 @@
+#include "dnn/workload.hh"
+
+#include "core/logging.hh"
+
+namespace sd::dnn {
+
+const char *
+stepName(Step step)
+{
+    switch (step) {
+      case Step::Fp: return "FP";
+      case Step::Bp: return "BP";
+      case Step::Wg: return "WG";
+    }
+    return "?";
+}
+
+const char *
+kernelClassName(KernelClass k)
+{
+    switch (k) {
+      case KernelClass::NdConv: return "nD-Convolution";
+      case KernelClass::MatMul: return "Matrix Multiply";
+      case KernelClass::NdAccum: return "nD-Accumulate";
+      case KernelClass::VecEltMul: return "Vector element-wise multiply";
+      case KernelClass::Sampling: return "Sampling";
+      case KernelClass::ActFn: return "Activation Fn.";
+      default: return "?";
+    }
+}
+
+const char *
+layerClassName(LayerClass c)
+{
+    switch (c) {
+      case LayerClass::InitialConv: return "Initial Conv.";
+      case LayerClass::MidConv: return "Mid Conv.";
+      case LayerClass::Fc: return "Fully Conn.";
+      case LayerClass::Samp: return "Sub Samp.";
+      case LayerClass::Other: return "Other";
+    }
+    return "?";
+}
+
+double
+StepWorkload::flops() const
+{
+    double total = 0.0;
+    for (const KernelCost &k : kernels)
+        total += k.flops;
+    return total;
+}
+
+double
+StepWorkload::bytes() const
+{
+    double total = 0.0;
+    for (const KernelCost &k : kernels)
+        total += k.bytes;
+    return total;
+}
+
+double
+StepWorkload::bytesPerFlop() const
+{
+    double f = flops();
+    return f > 0.0 ? bytes() / f : 0.0;
+}
+
+double
+StepWorkload::dataBytes() const
+{
+    double total = 0.0;
+    for (const KernelCost &k : kernels) {
+        if (k.kernel != KernelClass::NdAccum &&
+            k.kernel != KernelClass::ActFn) {
+            total += k.bytes;
+        }
+    }
+    return total;
+}
+
+double
+LayerWorkload::trainingFlops() const
+{
+    return steps[0].flops() + steps[1].flops() + steps[2].flops();
+}
+
+double
+LayerWorkload::evaluationFlops() const
+{
+    return steps[0].flops();
+}
+
+LayerClass
+classifyLayer(const Layer &l, int threshold)
+{
+    switch (l.kind) {
+      case LayerKind::Conv:
+        return l.outH > threshold ? LayerClass::InitialConv
+                                  : LayerClass::MidConv;
+      case LayerKind::Fc:
+        return LayerClass::Fc;
+      case LayerKind::Samp:
+        return LayerClass::Samp;
+      default:
+        return LayerClass::Other;
+    }
+}
+
+Workload::Workload(const Network &net, Precision precision)
+    : net_(&net), precision_(precision),
+      elemBytes_(bytesPerElement(precision))
+{
+    layers_.reserve(net.numLayers());
+    for (const Layer &l : net.layers())
+        analyzeLayer(l);
+}
+
+void
+Workload::analyzeLayer(const Layer &l)
+{
+    LayerWorkload w;
+    w.id = l.id;
+    w.cls = classifyLayer(l);
+
+    const double es = static_cast<double>(elemBytes_);
+    const double in_elems = static_cast<double>(l.inputElems());
+    const double out_elems = static_cast<double>(l.outputElems());
+    const double weights = static_cast<double>(l.weightCount());
+    const double macs = static_cast<double>(l.macCount());
+
+    auto &fp = w.steps[0].kernels;
+    auto &bp = w.steps[1].kernels;
+    auto &wg = w.steps[2].kernels;
+
+    switch (l.kind) {
+      case LayerKind::Conv: {
+        double in_feats = static_cast<double>(l.inChannels) / l.groups;
+        double out_feats = static_cast<double>(l.outChannels) / l.groups;
+        // FP: convolve each input feature with each kernel, then
+        // accumulate the per-input partial features and apply the
+        // activation function.
+        fp.push_back({KernelClass::NdConv, 2.0 * macs,
+                      (in_elems + weights + out_elems) * es});
+        double fp_acc = (in_feats - 1.0) * out_elems;
+        fp.push_back({KernelClass::NdAccum, fp_acc, 4.0 * fp_acc});
+        fp.push_back({KernelClass::ActFn, out_elems, 8.0 * out_elems});
+        // BP: convolve errors with transposed kernels; partial error
+        // features accumulate over the layer's output features.
+        bp.push_back({KernelClass::NdConv, 2.0 * macs,
+                      (in_elems + weights + out_elems) * es});
+        double bp_acc = (out_feats - 1.0) * in_elems;
+        bp.push_back({KernelClass::NdAccum, bp_acc, 4.0 * bp_acc});
+        bp.push_back({KernelClass::ActFn, in_elems, 8.0 * in_elems});
+        // WG: correlate FP inputs with BP errors (same MAC count), then
+        // accumulate into the gradient buffer.
+        wg.push_back({KernelClass::NdConv, 2.0 * macs,
+                      (in_elems + out_elems + weights) * es});
+        wg.push_back({KernelClass::NdAccum, weights, 4.0 * weights});
+        break;
+      }
+      case LayerKind::Fc: {
+        fp.push_back({KernelClass::MatMul, 2.0 * macs,
+                      (in_elems + weights + out_elems) * es});
+        fp.push_back({KernelClass::ActFn, out_elems, 8.0 * out_elems});
+        bp.push_back({KernelClass::MatMul, 2.0 * macs,
+                      (out_elems + weights + in_elems) * es});
+        // WG is the outer product of the FP input vector and the BP
+        // error vector, accumulated into the gradient: an element-wise
+        // multiply-add per weight.
+        wg.push_back({KernelClass::VecEltMul, 2.0 * weights,
+                      8.0 * weights});
+        break;
+      }
+      case LayerKind::Samp: {
+        double window = static_cast<double>(l.kernelH) * l.kernelW;
+        double fp_flops = out_elems * window;
+        fp.push_back({KernelClass::Sampling, fp_flops,
+                      (in_elems + out_elems) * es});
+        // BP up-samples errors back to the input resolution.
+        bp.push_back({KernelClass::Sampling, in_elems,
+                      (in_elems + out_elems) * es});
+        break;
+      }
+      case LayerKind::Eltwise: {
+        double n = static_cast<double>(l.inputs.size());
+        double fp_acc = (n - 1.0) * out_elems;
+        fp.push_back({KernelClass::NdAccum, fp_acc, 4.0 * fp_acc});
+        fp.push_back({KernelClass::ActFn, out_elems, 8.0 * out_elems});
+        bp.push_back({KernelClass::ActFn, in_elems, 8.0 * in_elems});
+        break;
+      }
+      case LayerKind::Concat:
+      case LayerKind::Input:
+        break;
+    }
+
+    w.featureBytes = (in_elems + out_elems) * es;
+    w.weightBytes = weights * es;
+    layers_.push_back(std::move(w));
+}
+
+const LayerWorkload &
+Workload::layer(LayerId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= layers_.size())
+        panic("Workload: bad layer id ", id);
+    return layers_[id];
+}
+
+double
+Workload::totalFlops(Step step) const
+{
+    double total = 0.0;
+    for (const LayerWorkload &w : layers_)
+        total += w.step(step).flops();
+    return total;
+}
+
+double
+Workload::trainingFlops() const
+{
+    return totalFlops(Step::Fp) + totalFlops(Step::Bp) +
+           totalFlops(Step::Wg);
+}
+
+double
+Workload::evaluationFlops() const
+{
+    return totalFlops(Step::Fp);
+}
+
+std::map<KernelClass, KernelSummary>
+Workload::kernelSummary() const
+{
+    std::map<KernelClass, KernelSummary> summary;
+    for (const LayerWorkload &w : layers_) {
+        for (const StepWorkload &s : w.steps) {
+            for (const KernelCost &k : s.kernels) {
+                summary[k.kernel].flops += k.flops;
+                summary[k.kernel].bytes += k.bytes;
+            }
+        }
+    }
+    return summary;
+}
+
+std::map<LayerClass, Workload::ClassSummary>
+Workload::classSummary() const
+{
+    std::map<LayerClass, ClassSummary> summary;
+    for (const LayerWorkload &w : layers_) {
+        if (w.cls == LayerClass::Other)
+            continue;
+        ClassSummary &c = summary[w.cls];
+        c.fpBpFlops += w.step(Step::Fp).flops() + w.step(Step::Bp).flops();
+        c.fpBpBytes += w.step(Step::Fp).bytes() + w.step(Step::Bp).bytes();
+        c.wgFlops += w.step(Step::Wg).flops();
+        c.wgBytes += w.step(Step::Wg).bytes();
+        c.fpBpDataBytes += w.step(Step::Fp).dataBytes() +
+                           w.step(Step::Bp).dataBytes();
+        c.wgDataBytes += w.step(Step::Wg).dataBytes();
+        c.featureBytes += w.featureBytes;
+        c.weightBytes += w.weightBytes;
+        ++c.layerCount;
+    }
+    return summary;
+}
+
+} // namespace sd::dnn

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Workload analysis of a network: per-layer, per-training-step (FP/BP/WG)
+ * FLOP and byte-traffic breakdowns by computational kernel, matching the
+ * paper's Section 2.3 analysis (Figures 1, 4 and 5).
+ *
+ * FLOP accounting conventions (paper-compatible):
+ *  - a fused multiply-accumulate counts as 2 FLOPs;
+ *  - feature accumulation counts 1 FLOP per add;
+ *  - activation functions count 1 FLOP per element;
+ *  - sampling counts window-size FLOPs per output element.
+ */
+
+#ifndef SCALEDEEP_DNN_WORKLOAD_HH
+#define SCALEDEEP_DNN_WORKLOAD_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/units.hh"
+#include "dnn/network.hh"
+
+namespace sd::dnn {
+
+/** Training steps. Evaluation executes only Fp. */
+enum class Step { Fp = 0, Bp = 1, Wg = 2 };
+
+inline constexpr std::array<Step, 3> kAllSteps = {Step::Fp, Step::Bp,
+                                                  Step::Wg};
+
+const char *stepName(Step step);
+
+/** The computational kernels of Figure 5. */
+enum class KernelClass
+{
+    NdConv = 0,
+    MatMul,
+    NdAccum,
+    VecEltMul,
+    Sampling,
+    ActFn,
+    NumClasses,
+};
+
+const char *kernelClassName(KernelClass k);
+
+/** The layer classes used in the Figure 4 breakdown. */
+enum class LayerClass { InitialConv, MidConv, Fc, Samp, Other };
+
+const char *layerClassName(LayerClass c);
+
+/** FLOPs and memory traffic attributed to one kernel in one step. */
+struct KernelCost
+{
+    KernelClass kernel = KernelClass::NdConv;
+    double flops = 0.0;
+    double bytes = 0.0;
+};
+
+/** The cost of one step (FP, BP or WG) of one layer, per image. */
+struct StepWorkload
+{
+    std::vector<KernelCost> kernels;
+
+    double flops() const;
+    double bytes() const;
+    /** Bytes/FLOP; 0 when there are no FLOPs. */
+    double bytesPerFlop() const;
+
+    /**
+     * Bytes of the layer's *primary* data (features + weights) only,
+     * excluding intermediate partial-sum accumulation and activation
+     * traffic. This is the paper's Figure 4 per-layer B/F numerator.
+     */
+    double dataBytes() const;
+};
+
+/** Full per-image workload of one layer. */
+struct LayerWorkload
+{
+    LayerId id = -1;
+    LayerClass cls = LayerClass::Other;
+    std::array<StepWorkload, 3> steps;
+
+    const StepWorkload &step(Step s) const
+    { return steps[static_cast<std::size_t>(s)]; }
+
+    double trainingFlops() const;       ///< FP + BP + WG
+    double evaluationFlops() const;     ///< FP only
+
+    /** Feature bytes touched (inputs + outputs) in FP. */
+    double featureBytes = 0.0;
+    /** Weight bytes of this layer. */
+    double weightBytes = 0.0;
+};
+
+/** Aggregate FLOPs/bytes of one kernel class over the whole network. */
+struct KernelSummary
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+};
+
+/**
+ * Analyzes a Network once at construction; all queries are cheap.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const Network &net,
+                      Precision precision = Precision::Single);
+
+    const Network &network() const { return *net_; }
+    Precision precision() const { return precision_; }
+
+    const std::vector<LayerWorkload> &layers() const { return layers_; }
+    const LayerWorkload &layer(LayerId id) const;
+
+    /** Network-total FLOPs for one step, per image. */
+    double totalFlops(Step step) const;
+    /** FP+BP+WG FLOPs per training image. */
+    double trainingFlops() const;
+    /** FP FLOPs per evaluated image (Figure 1's metric). */
+    double evaluationFlops() const;
+
+    /** Per-kernel-class aggregate over FP+BP+WG (Figure 5). */
+    std::map<KernelClass, KernelSummary> kernelSummary() const;
+
+    /** Per-layer-class aggregate of step FLOPs/bytes (Figure 4). */
+    struct ClassSummary
+    {
+        double fpBpFlops = 0.0, fpBpBytes = 0.0;
+        double wgFlops = 0.0, wgBytes = 0.0;
+        /** Primary-data (feature + weight) bytes, Figure 4 style. */
+        double fpBpDataBytes = 0.0, wgDataBytes = 0.0;
+        double featureBytes = 0.0, weightBytes = 0.0;
+        int layerCount = 0;
+
+        double fpBpDataBF() const
+        { return fpBpFlops > 0 ? fpBpDataBytes / fpBpFlops : 0.0; }
+        double wgDataBF() const
+        { return wgFlops > 0 ? wgDataBytes / wgFlops : 0.0; }
+    };
+    std::map<LayerClass, ClassSummary> classSummary() const;
+
+  private:
+    void analyzeLayer(const Layer &l);
+
+    const Network *net_;
+    Precision precision_;
+    std::uint64_t elemBytes_;
+    std::vector<LayerWorkload> layers_;
+};
+
+/**
+ * Classify a conv layer as initial vs mid following the paper's split:
+ * initial CONV layers have few, large features; we use output feature
+ * size > @p threshold (default 20) as the boundary, which reproduces the
+ * paper's C1-C2 vs C3-C5 split for OverFeat and AlexNet.
+ */
+LayerClass classifyLayer(const Layer &l, int threshold = 20);
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_WORKLOAD_HH

@@ -1,0 +1,336 @@
+#include "dnn/zoo.hh"
+
+#include <string>
+
+#include "core/logging.hh"
+
+namespace sd::dnn {
+
+namespace {
+
+/** Append the classic 4096-4096-N classifier head. */
+LayerId
+classifierHead(NetworkBuilder &b, LayerId in, int fc1, int fc2, int classes)
+{
+    LayerId f1 = b.fc("fc6", in, fc1);
+    LayerId f2 = b.fc("fc7", f1, fc2);
+    return b.fc("fc8", f2, classes, Activation::None);
+}
+
+} // namespace
+
+Network
+makeAlexNet()
+{
+    NetworkBuilder b("AlexNet", 3, 227, 227);
+    LayerId c1 = b.conv("conv1", b.input(), 96, 11, 4, 0);
+    LayerId p1 = b.maxPool("pool1", c1, 3, 2);
+    LayerId c2 = b.conv("conv2", p1, 256, 5, 1, 2, 2);
+    LayerId p2 = b.maxPool("pool2", c2, 3, 2);
+    LayerId c3 = b.conv("conv3", p2, 384, 3, 1, 1);
+    LayerId c4 = b.conv("conv4", c3, 384, 3, 1, 1, 2);
+    LayerId c5 = b.conv("conv5", c4, 256, 3, 1, 1, 2);
+    LayerId p5 = b.maxPool("pool5", c5, 3, 2);
+    classifierHead(b, p5, 4096, 4096, 1000);
+    return b.build();
+}
+
+Network
+makeZF()
+{
+    NetworkBuilder b("ZF", 3, 224, 224);
+    LayerId c1 = b.conv("conv1", b.input(), 96, 7, 2, 1);
+    LayerId p1 = b.maxPool("pool1", c1, 3, 2, 1);
+    LayerId c2 = b.conv("conv2", p1, 256, 5, 2, 0);
+    LayerId p2 = b.maxPool("pool2", c2, 3, 2, 1);
+    LayerId c3 = b.conv("conv3", p2, 384, 3, 1, 1);
+    LayerId c4 = b.conv("conv4", c3, 384, 3, 1, 1);
+    LayerId c5 = b.conv("conv5", c4, 256, 3, 1, 1);
+    LayerId p5 = b.maxPool("pool5", c5, 3, 2);
+    classifierHead(b, p5, 4096, 4096, 1000);
+    return b.build();
+}
+
+Network
+makeCnnS()
+{
+    // Chatfield et al., "Return of the Devil in the Details", CNN-S.
+    NetworkBuilder b("CNN-S", 3, 224, 224);
+    LayerId c1 = b.conv("conv1", b.input(), 96, 7, 2, 0);
+    LayerId p1 = b.maxPool("pool1", c1, 3, 3);
+    LayerId c2 = b.conv("conv2", p1, 256, 5, 1, 0);
+    LayerId p2 = b.maxPool("pool2", c2, 2, 2);
+    LayerId c3 = b.conv("conv3", p2, 512, 3, 1, 1);
+    LayerId c4 = b.conv("conv4", c3, 512, 3, 1, 1);
+    LayerId c5 = b.conv("conv5", c4, 512, 3, 1, 1);
+    LayerId p5 = b.maxPool("pool5", c5, 3, 3);
+    classifierHead(b, p5, 4096, 4096, 1000);
+    return b.build();
+}
+
+Network
+makeOverFeatFast()
+{
+    // Sermanet et al., OverFeat fast model (231x231 input).
+    NetworkBuilder b("OverFeat-Fast", 3, 231, 231);
+    LayerId c1 = b.conv("conv1", b.input(), 96, 11, 4, 0);
+    LayerId p1 = b.maxPool("pool1", c1, 2, 2);
+    LayerId c2 = b.conv("conv2", p1, 256, 5, 1, 0);
+    LayerId p2 = b.maxPool("pool2", c2, 2, 2);
+    LayerId c3 = b.conv("conv3", p2, 512, 3, 1, 1);
+    LayerId c4 = b.conv("conv4", c3, 1024, 3, 1, 1);
+    LayerId c5 = b.conv("conv5", c4, 1024, 3, 1, 1);
+    LayerId p5 = b.maxPool("pool5", c5, 2, 2);
+    classifierHead(b, p5, 3072, 4096, 1000);
+    return b.build();
+}
+
+Network
+makeOverFeatAccurate()
+{
+    // OverFeat accurate model (221x221 input, 6 CONV layers).
+    NetworkBuilder b("OverFeat-Acc", 3, 221, 221);
+    LayerId c1 = b.conv("conv1", b.input(), 96, 7, 2, 0);
+    LayerId p1 = b.maxPool("pool1", c1, 3, 3);
+    LayerId c2 = b.conv("conv2", p1, 256, 7, 1, 0);
+    LayerId p2 = b.maxPool("pool2", c2, 2, 2);
+    LayerId c3 = b.conv("conv3", p2, 512, 3, 1, 1);
+    LayerId c4 = b.conv("conv4", c3, 512, 3, 1, 1);
+    LayerId c5 = b.conv("conv5", c4, 1024, 3, 1, 1);
+    LayerId c6 = b.conv("conv6", c5, 1024, 3, 1, 1);
+    LayerId p6 = b.maxPool("pool6", c6, 3, 3);
+    classifierHead(b, p6, 4096, 4096, 1000);
+    return b.build();
+}
+
+namespace {
+
+/** One GoogLeNet inception module; returns the concat layer id. */
+LayerId
+inception(NetworkBuilder &b, const std::string &tag, LayerId in, int c1,
+          int c3r, int c3, int c5r, int c5, int pp)
+{
+    LayerId b1 = b.conv(tag + "/1x1", in, c1, 1, 1, 0, 1,
+                        Activation::ReLU, tag);
+    LayerId r3 = b.conv(tag + "/3x3_reduce", in, c3r, 1, 1, 0, 1,
+                        Activation::ReLU, tag);
+    LayerId b3 = b.conv(tag + "/3x3", r3, c3, 3, 1, 1, 1,
+                        Activation::ReLU, tag);
+    LayerId r5 = b.conv(tag + "/5x5_reduce", in, c5r, 1, 1, 0, 1,
+                        Activation::ReLU, tag);
+    LayerId b5 = b.conv(tag + "/5x5", r5, c5, 5, 1, 2, 1,
+                        Activation::ReLU, tag);
+    // The pool branch's 3x3 max-pool (stride 1) keeps the spatial size;
+    // it is part of the module and not counted as a SAMP layer.
+    LayerId rp = b.conv(tag + "/pool_proj", in, pp, 1, 1, 0, 1,
+                        Activation::ReLU, tag);
+    return b.concat(tag + "/output", {b1, b3, b5, rp}, tag);
+}
+
+} // namespace
+
+Network
+makeGoogLeNet()
+{
+    NetworkBuilder b("GoogLenet", 3, 224, 224);
+    LayerId c1 = b.conv("conv1", b.input(), 64, 7, 2, 3);
+    LayerId p1 = b.maxPool("pool1", c1, 3, 2, 1);
+    LayerId c2r = b.conv("conv2_reduce", p1, 64, 1, 1, 0, 1,
+                         Activation::ReLU, "conv2");
+    LayerId c2 = b.conv("conv2", c2r, 192, 3, 1, 1, 1,
+                        Activation::ReLU, "conv2");
+    LayerId p2 = b.maxPool("pool2", c2, 3, 2, 1);
+    LayerId i3a = inception(b, "3a", p2, 64, 96, 128, 16, 32, 32);
+    LayerId i3b = inception(b, "3b", i3a, 128, 128, 192, 32, 96, 64);
+    LayerId p3 = b.maxPool("pool3", i3b, 3, 2, 1);
+    LayerId i4a = inception(b, "4a", p3, 192, 96, 208, 16, 48, 64);
+    LayerId i4b = inception(b, "4b", i4a, 160, 112, 224, 24, 64, 64);
+    LayerId i4c = inception(b, "4c", i4b, 128, 128, 256, 24, 64, 64);
+    LayerId i4d = inception(b, "4d", i4c, 112, 144, 288, 32, 64, 64);
+    LayerId i4e = inception(b, "4e", i4d, 256, 160, 320, 32, 128, 128);
+    LayerId p4 = b.maxPool("pool4", i4e, 3, 2, 1);
+    LayerId i5a = inception(b, "5a", p4, 256, 160, 320, 32, 128, 128);
+    LayerId i5b = inception(b, "5b", i5a, 384, 192, 384, 48, 128, 128);
+    LayerId p5 = b.avgPool("pool5", i5b, 7, 1);
+    b.fc("fc", p5, 1000, Activation::None);
+    return b.build();
+}
+
+namespace {
+
+/** A VGG block: @p convs 3x3 convolutions followed by a 2x2 max-pool. */
+LayerId
+vggBlock(NetworkBuilder &b, LayerId in, int block, int convs, int channels)
+{
+    LayerId cur = in;
+    for (int i = 0; i < convs; ++i) {
+        cur = b.conv("conv" + std::to_string(block) + "_" +
+                     std::to_string(i + 1), cur, channels, 3, 1, 1);
+    }
+    return b.maxPool("pool" + std::to_string(block), cur, 2, 2);
+}
+
+Network
+makeVgg(const std::string &name, const int (&convs)[5])
+{
+    NetworkBuilder b(name, 3, 224, 224);
+    static const int channels[5] = {64, 128, 256, 512, 512};
+    LayerId cur = b.input();
+    for (int blk = 0; blk < 5; ++blk)
+        cur = vggBlock(b, cur, blk + 1, convs[blk], channels[blk]);
+    classifierHead(b, cur, 4096, 4096, 1000);
+    return b.build();
+}
+
+} // namespace
+
+Network
+makeVggA()
+{
+    return makeVgg("VGG-A", {1, 1, 2, 2, 2});
+}
+
+Network
+makeVggD()
+{
+    return makeVgg("VGG-D", {2, 2, 3, 3, 3});
+}
+
+Network
+makeVggE()
+{
+    return makeVgg("VGG-E", {2, 2, 4, 4, 4});
+}
+
+namespace {
+
+/**
+ * A ResNet basic block (two 3x3 convs + identity/projection shortcut).
+ * The shortcut projection conv is tagged with the block's group so it
+ * doesn't inflate the paper-style CONV layer count.
+ */
+LayerId
+basicBlock(NetworkBuilder &b, const std::string &tag, LayerId in,
+           int channels, int stride)
+{
+    // conv1 and the (optional) shortcut projection share a group so the
+    // paper-style layer count sees two CONV layers per block.
+    LayerId c1 = b.conv(tag + "/conv1", in, channels, 3, stride, 1, 1,
+                        Activation::ReLU, tag);
+    LayerId c2 = b.conv(tag + "/conv2", c1, channels, 3, 1, 1, 1,
+                        Activation::None);
+    LayerId shortcut = in;
+    if (stride != 1 || b.layerAt(in).outChannels != channels) {
+        shortcut = b.conv(tag + "/shortcut", in, channels, 1, stride, 0, 1,
+                          Activation::None, tag);
+    }
+    return b.eltwise(tag + "/add", {c2, shortcut});
+}
+
+Network
+makeResNet(const std::string &name, const int (&blocks)[4])
+{
+    NetworkBuilder b(name, 3, 224, 224);
+    LayerId cur = b.conv("conv1", b.input(), 64, 7, 2, 3);
+    cur = b.maxPool("pool1", cur, 3, 2, 1);
+    static const int channels[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int blk = 0; blk < blocks[stage]; ++blk) {
+            int stride = (stage > 0 && blk == 0) ? 2 : 1;
+            std::string tag = "res" + std::to_string(stage + 2) +
+                              std::string(1, static_cast<char>('a' + blk));
+            cur = basicBlock(b, tag, cur, channels[stage], stride);
+        }
+    }
+    cur = b.avgPool("pool5", cur, 7, 1);
+    b.fc("fc", cur, 1000, Activation::None);
+    return b.build();
+}
+
+} // namespace
+
+Network
+makeResNet18()
+{
+    return makeResNet("ResNet18", {2, 2, 2, 2});
+}
+
+Network
+makeResNet34()
+{
+    return makeResNet("ResNet34", {3, 4, 6, 3});
+}
+
+namespace {
+
+Network
+makeTiny(const std::string &name, int input_size, int classes,
+         bool avg_pool)
+{
+    NetworkBuilder b(name, 1, input_size, input_size);
+    LayerId c1 = b.conv("conv1", b.input(), 4, 3, 1, 1);
+    LayerId p1 = avg_pool ? b.avgPool("pool1", c1, 2, 2)
+                          : b.maxPool("pool1", c1, 2, 2);
+    LayerId c2 = b.conv("conv2", p1, 8, 3, 1, 1);
+    LayerId p2 = avg_pool ? b.avgPool("pool2", c2, 2, 2)
+                          : b.maxPool("pool2", c2, 2, 2);
+    LayerId f1 = b.fc("fc1", p2, 16);
+    b.fc("fc2", f1, classes, Activation::None);
+    return b.build();
+}
+
+} // namespace
+
+Network
+makeTinyCnn(int input_size, int classes)
+{
+    return makeTiny("TinyCNN", input_size, classes, false);
+}
+
+Network
+makeTinyCnnAvg(int input_size, int classes)
+{
+    return makeTiny("TinyCNN-avg", input_size, classes, true);
+}
+
+Network
+makeSingleConv(int in_c, int in_hw, int out_c, int kernel, int stride,
+               int pad)
+{
+    NetworkBuilder b("SingleConv", in_c, in_hw, in_hw);
+    b.conv("conv", b.input(), out_c, kernel, stride, pad, 1,
+           Activation::None);
+    return b.build();
+}
+
+const std::vector<ZooEntry> &
+benchmarkSuite()
+{
+    // Figure 16 presentation order.
+    static const std::vector<ZooEntry> suite = {
+        {"AlexNet", makeAlexNet},
+        {"ZF", makeZF},
+        {"ResNet18", makeResNet18},
+        {"GoogLenet", makeGoogLeNet},
+        {"CNN-S", makeCnnS},
+        {"OF-Fast", makeOverFeatFast},
+        {"ResNet34", makeResNet34},
+        {"OF-Acc", makeOverFeatAccurate},
+        {"VGG-A", makeVggA},
+        {"VGG-D", makeVggD},
+        {"VGG-E", makeVggE},
+    };
+    return suite;
+}
+
+Network
+makeByName(const std::string &name)
+{
+    for (const ZooEntry &e : benchmarkSuite()) {
+        if (e.name == name)
+            return e.make();
+    }
+    fatal("unknown benchmark network: ", name);
+}
+
+} // namespace sd::dnn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Builders for the paper's 11-network benchmark suite (Figure 15) plus a
+ * few small networks used by tests and examples. All topologies follow
+ * the original publications; EXPERIMENTS.md records where the resulting
+ * neuron/weight/connection counts land relative to Figure 15.
+ */
+
+#ifndef SCALEDEEP_DNN_ZOO_HH
+#define SCALEDEEP_DNN_ZOO_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace sd::dnn {
+
+Network makeAlexNet();
+Network makeZF();
+Network makeCnnS();
+Network makeOverFeatFast();
+Network makeOverFeatAccurate();
+Network makeGoogLeNet();
+Network makeVggA();
+Network makeVggD();
+Network makeVggE();
+Network makeResNet18();
+Network makeResNet34();
+
+/** A tiny LeNet-style CNN for functional-simulation tests and examples. */
+Network makeTinyCnn(int input_size = 16, int classes = 4);
+
+/**
+ * The average-pooling variant of the tiny CNN, used by the functional
+ * trainer (max-pool BP needs argmax state the ISA does not carry).
+ */
+Network makeTinyCnnAvg(int input_size = 16, int classes = 4);
+
+/** A single-conv-layer network with configurable shape (property tests). */
+Network makeSingleConv(int in_c, int in_hw, int out_c, int kernel,
+                       int stride, int pad);
+
+/** The benchmark suite in the paper's Figure 15/16 order. */
+struct ZooEntry
+{
+    std::string name;                   ///< paper's display name
+    std::function<Network()> make;
+};
+
+const std::vector<ZooEntry> &benchmarkSuite();
+
+/** Build a suite network by display name; fatal() if unknown. */
+Network makeByName(const std::string &name);
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_ZOO_HH

@@ -1,0 +1,109 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+namespace sd::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::LDRI: return "LDRI";
+      case Opcode::LDRI_LC: return "LDRI_LC";
+      case Opcode::MOVR: return "MOVR";
+      case Opcode::ADDR: return "ADDR";
+      case Opcode::ADDRI: return "ADDRI";
+      case Opcode::SUBR: return "SUBR";
+      case Opcode::SUBRI: return "SUBRI";
+      case Opcode::MULR: return "MULR";
+      case Opcode::INV: return "INV";
+      case Opcode::BRANCH: return "BRANCH";
+      case Opcode::BNEZ: return "BNEZ";
+      case Opcode::BGTZ: return "BGTZ";
+      case Opcode::BGZD_LC: return "BGZD_LC";
+      case Opcode::HALT: return "HALT";
+      case Opcode::NOP: return "NOP";
+      case Opcode::NDCONV: return "NDCONV";
+      case Opcode::MATMUL: return "MATMUL";
+      case Opcode::NDACTFN: return "NDACTFN";
+      case Opcode::NDSUBSAMP: return "NDSUBSAMP";
+      case Opcode::NDUPSAMP: return "NDUPSAMP";
+      case Opcode::NDACCUM: return "NDACCUM";
+      case Opcode::VECELTMUL: return "VECELTMUL";
+      case Opcode::DMALOAD: return "DMALOAD";
+      case Opcode::DMASTORE: return "DMASTORE";
+      case Opcode::PASSBUF_RD: return "PASSBUF_RD";
+      case Opcode::PASSBUF_WR: return "PASSBUF_WR";
+      case Opcode::MEMTRACK: return "MEMTRACK";
+      case Opcode::DMA_MEMTRACK: return "DMA_MEMTRACK";
+    }
+    return "?";
+}
+
+InstGroup
+opcodeGroup(Opcode op)
+{
+    switch (op) {
+      case Opcode::NDCONV:
+      case Opcode::MATMUL:
+        return InstGroup::CoarseData;
+      case Opcode::NDACTFN:
+      case Opcode::NDSUBSAMP:
+      case Opcode::NDUPSAMP:
+      case Opcode::NDACCUM:
+      case Opcode::VECELTMUL:
+        return InstGroup::MemOffload;
+      case Opcode::DMALOAD:
+      case Opcode::DMASTORE:
+      case Opcode::PASSBUF_RD:
+      case Opcode::PASSBUF_WR:
+        return InstGroup::DataTransfer;
+      case Opcode::MEMTRACK:
+      case Opcode::DMA_MEMTRACK:
+        return InstGroup::Track;
+      default:
+        return InstGroup::ScalarControl;
+    }
+}
+
+const char *
+instGroupName(InstGroup group)
+{
+    switch (group) {
+      case InstGroup::ScalarControl: return "scalar-control";
+      case InstGroup::CoarseData: return "coarse-data";
+      case InstGroup::MemOffload: return "mem-offload";
+      case InstGroup::DataTransfer: return "data-transfer";
+      case InstGroup::Track: return "track";
+    }
+    return "?";
+}
+
+const char *
+portName(std::int32_t port)
+{
+    switch (port) {
+      case kPortLeft: return "L";
+      case kPortRight: return "R";
+      case kPortSelf: return "self";
+      case kPortNorth: return "N";
+      case kPortSouth: return "S";
+      case kPortWest: return "W";
+      case kPortEast: return "E";
+      case kPortExtMem: return "ext";
+      default: return "?";
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op) << " (";
+    for (int i = 0; i < nargs; ++i)
+        oss << (i ? "," : "") << args[i];
+    oss << ")";
+    return oss.str();
+}
+
+} // namespace sd::isa

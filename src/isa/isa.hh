@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The ScaleDeep ISA (paper Section 3.2.2 / Figure 8): 28 instructions
+ * in five groups — scalar control, coarse-grained data, MemHeavy
+ * offload, MemHeavy data transfer, and data-flow tracking.
+ *
+ * All data-operands are scalar registers (the paper's Rxxx fields);
+ * immediates appear only in LDRI-family and branch instructions, exactly
+ * as in the paper's Figure 13 listing.
+ */
+
+#ifndef SCALEDEEP_ISA_ISA_HH
+#define SCALEDEEP_ISA_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sd::isa {
+
+/** The 28 ScaleDeep opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // --- scalar control (executed on the CompHeavy scalar PE) ---
+    LDRI,       ///< Rd <- imm
+    LDRI_LC,    ///< init loop counter: Rd <- count (with body bounds)
+    MOVR,       ///< Rd <- Rs
+    ADDR,       ///< Rd <- Rs1 + Rs2
+    ADDRI,      ///< Rd <- Rs + imm
+    SUBR,       ///< Rd <- Rs1 - Rs2
+    SUBRI,      ///< Rd <- Rs - imm
+    MULR,       ///< Rd <- Rs1 * Rs2
+    INV,        ///< Rd <- logical-not Rs
+    BRANCH,     ///< pc += offset
+    BNEZ,       ///< if (Rs != 0) pc += offset
+    BGTZ,       ///< if (Rs > 0) pc += offset
+    BGZD_LC,    ///< if (Rlc > 0) { --Rlc; pc += offset }
+    HALT,       ///< stop this tile's thread
+    NOP,
+    // --- coarse-grained data (CompHeavy 2D-PE array) ---
+    NDCONV,     ///< batch convolution
+    MATMUL,     ///< matrix multiplication
+    // --- MemHeavy offload (SFU array) ---
+    NDACTFN,    ///< activation function over a range
+    NDSUBSAMP,  ///< down-sampling (pooling)
+    NDUPSAMP,   ///< error up-sampling (BP of pooling)
+    NDACCUM,    ///< accumulate one range into another
+    VECELTMUL,  ///< element-wise/outer product (FC weight gradient)
+    // --- MemHeavy data transfer ---
+    DMALOAD,    ///< pull data into a MemHeavy tile
+    DMASTORE,   ///< push data out of a MemHeavy tile
+    PASSBUF_RD, ///< stream operands into the tile's streaming memories
+    PASSBUF_WR, ///< drain the tile scratchpad to a MemHeavy tile
+    // --- data-flow tracking ---
+    MEMTRACK,       ///< arm a tracker on an address range
+    DMA_MEMTRACK,   ///< arm a tracker on a remote tile's range
+};
+
+constexpr int kNumOpcodes = 28;
+
+const char *opcodeName(Opcode op);
+
+/** Instruction group, for statistics and display. */
+enum class InstGroup
+{
+    ScalarControl,
+    CoarseData,
+    MemOffload,
+    DataTransfer,
+    Track,
+};
+
+InstGroup opcodeGroup(Opcode op);
+const char *instGroupName(InstGroup group);
+
+/** Maximum operand fields of any instruction (NDCONV has 10). */
+constexpr int kMaxOperands = 10;
+
+/**
+ * One decoded instruction. Operand meaning is positional per opcode;
+ * see the assembler helpers in program.hh for the authoritative field
+ * layouts. Register operands hold register indices; immediate operands
+ * hold their value directly.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::array<std::int32_t, kMaxOperands> args{};
+    std::uint8_t nargs = 0;
+
+    std::string toString() const;
+};
+
+/**
+ * Port identifiers used by memory-referencing instructions.
+ *
+ * For CompHeavy-issued instructions, ports select one of the tile's two
+ * MemHeavy neighbours. For MemHeavy DMA instructions, ports address the
+ * four grid neighbours, the tile itself, or external memory.
+ */
+enum Port : std::int32_t
+{
+    kPortLeft = 0,      ///< CompHeavy: MemHeavy to the left
+    kPortRight = 1,     ///< CompHeavy: MemHeavy to the right
+    kPortSelf = 2,      ///< MemHeavy: this tile
+    kPortNorth = 3,
+    kPortSouth = 4,
+    kPortWest = 5,
+    kPortEast = 6,
+    kPortExtMem = 7,    ///< external memory channel
+};
+
+const char *portName(std::int32_t port);
+
+} // namespace sd::isa
+
+#endif // SCALEDEEP_ISA_ISA_HH

@@ -1,0 +1,324 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace sd::isa {
+
+const Instruction &
+Program::at(std::size_t pc) const
+{
+    if (pc >= insts_.size())
+        panic("Program: pc ", pc, " out of range ", insts_.size());
+    return insts_[pc];
+}
+
+Instruction &
+Program::at(std::size_t pc)
+{
+    if (pc >= insts_.size())
+        panic("Program: pc ", pc, " out of range ", insts_.size());
+    return insts_[pc];
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (std::size_t pc = 0; pc < insts_.size(); ++pc)
+        oss << pc << ": " << insts_[pc].toString() << "\n";
+    return oss.str();
+}
+
+std::map<InstGroup, std::size_t>
+Program::groupCounts() const
+{
+    std::map<InstGroup, std::size_t> counts;
+    for (const Instruction &inst : insts_)
+        counts[opcodeGroup(inst.op)]++;
+    return counts;
+}
+
+Label
+Assembler::newLabel()
+{
+    Label l;
+    l.id = static_cast<int>(labelPc_.size());
+    labelPc_.push_back(-1);
+    return l;
+}
+
+void
+Assembler::bind(Label label)
+{
+    if (label.id < 0 || static_cast<std::size_t>(label.id) >=
+        labelPc_.size()) {
+        panic("Assembler: bind of invalid label");
+    }
+    if (labelPc_[label.id] != -1)
+        panic("Assembler: label bound twice");
+    labelPc_[label.id] = static_cast<std::int32_t>(prog_.size());
+}
+
+std::size_t
+Assembler::emit(Opcode op, std::initializer_list<std::int32_t> args)
+{
+    if (finished_)
+        panic("Assembler: emit after finish");
+    Instruction inst;
+    inst.op = op;
+    if (args.size() > static_cast<std::size_t>(kMaxOperands))
+        panic("Assembler: too many operands for ", opcodeName(op));
+    int i = 0;
+    for (std::int32_t a : args)
+        inst.args[i++] = a;
+    inst.nargs = static_cast<std::uint8_t>(args.size());
+    std::size_t pc = prog_.size();
+    prog_.append(inst);
+    return pc;
+}
+
+std::size_t
+Assembler::emitBranch(Opcode op,
+                      std::initializer_list<std::int32_t> leading,
+                      Label target)
+{
+    std::size_t pc = emit(op, leading);
+    // The offset operand sits after the leading operands.
+    Instruction &inst = prog_.at(pc);
+    int offset_idx = inst.nargs;
+    inst.args[offset_idx] = 0;
+    inst.nargs++;
+    fixups_.emplace_back(pc, offset_idx, target.id);
+    return pc;
+}
+
+std::size_t
+Assembler::ldri(int rd, std::int32_t imm)
+{
+    return emit(Opcode::LDRI, {rd, imm});
+}
+
+std::size_t
+Assembler::ldriLc(int rd, std::int32_t count)
+{
+    return emit(Opcode::LDRI_LC, {rd, count});
+}
+
+std::size_t
+Assembler::movr(int rd, int rs)
+{
+    return emit(Opcode::MOVR, {rd, rs});
+}
+
+std::size_t
+Assembler::addr(int rd, int rs1, int rs2)
+{
+    return emit(Opcode::ADDR, {rd, rs1, rs2});
+}
+
+std::size_t
+Assembler::addri(int rd, int rs, std::int32_t imm)
+{
+    return emit(Opcode::ADDRI, {rd, rs, imm});
+}
+
+std::size_t
+Assembler::subr(int rd, int rs1, int rs2)
+{
+    return emit(Opcode::SUBR, {rd, rs1, rs2});
+}
+
+std::size_t
+Assembler::subri(int rd, int rs, std::int32_t imm)
+{
+    return emit(Opcode::SUBRI, {rd, rs, imm});
+}
+
+std::size_t
+Assembler::mulr(int rd, int rs1, int rs2)
+{
+    return emit(Opcode::MULR, {rd, rs1, rs2});
+}
+
+std::size_t
+Assembler::inv(int rd, int rs)
+{
+    return emit(Opcode::INV, {rd, rs});
+}
+
+std::size_t
+Assembler::branch(Label target)
+{
+    return emitBranch(Opcode::BRANCH, {}, target);
+}
+
+std::size_t
+Assembler::bnez(int rs, Label target)
+{
+    return emitBranch(Opcode::BNEZ, {rs}, target);
+}
+
+std::size_t
+Assembler::bgtz(int rs, Label target)
+{
+    return emitBranch(Opcode::BGTZ, {rs}, target);
+}
+
+std::size_t
+Assembler::bgzdLc(int rlc, Label target)
+{
+    return emitBranch(Opcode::BGZD_LC, {rlc}, target);
+}
+
+std::size_t
+Assembler::halt()
+{
+    return emit(Opcode::HALT, {});
+}
+
+std::size_t
+Assembler::nop()
+{
+    return emit(Opcode::NOP, {});
+}
+
+std::size_t
+Assembler::ndconv(int r_in_addr, std::int32_t in_port, int r_in_hw,
+                  int r_ker_off, int r_k, int r_stride, int r_pad,
+                  int r_out_addr, std::int32_t out_port,
+                  std::int32_t num_kernels, bool accum)
+{
+    // num_kernels and accum share the flags operand.
+    std::int32_t flags = (num_kernels << 1) | (accum ? 1 : 0);
+    return emit(Opcode::NDCONV,
+                {r_in_addr, in_port, r_in_hw, r_ker_off, r_k, r_stride,
+                 r_pad, r_out_addr, out_port, flags});
+}
+
+std::size_t
+Assembler::matmul(int r_in_addr, std::int32_t in_port, int r_in_n,
+                  int r_w_off, int r_out_addr, std::int32_t out_port,
+                  int r_out_n, bool accum)
+{
+    return emit(Opcode::MATMUL,
+                {r_in_addr, in_port, r_in_n, r_w_off, r_out_addr,
+                 out_port, r_out_n, accum ? 1 : 0});
+}
+
+std::size_t
+Assembler::ndactfn(std::int32_t type, int r_in_addr, std::int32_t in_port,
+                   int r_size, int r_out_addr, std::int32_t out_port)
+{
+    return emit(Opcode::NDACTFN,
+                {type, r_in_addr, in_port, r_size, r_out_addr,
+                 out_port});
+}
+
+std::size_t
+Assembler::ndsubsamp(std::int32_t type, int r_in_addr,
+                     std::int32_t in_port, int r_in_hw, int r_win,
+                     int r_stride, int r_out_addr, std::int32_t out_port,
+                     int r_channels)
+{
+    return emit(Opcode::NDSUBSAMP,
+                {type, r_in_addr, in_port, r_in_hw, r_win, r_stride,
+                 r_out_addr, out_port, r_channels});
+}
+
+std::size_t
+Assembler::ndupsamp(std::int32_t type, int r_in_addr,
+                    std::int32_t in_port, int r_in_hw, int r_win,
+                    int r_stride, int r_out_addr, std::int32_t out_port,
+                    int r_channels, int r_out_hw)
+{
+    return emit(Opcode::NDUPSAMP,
+                {type, r_in_addr, in_port, r_in_hw, r_win, r_stride,
+                 r_out_addr, out_port, r_channels, r_out_hw});
+}
+
+std::size_t
+Assembler::ndaccum(std::int32_t home, int r_src_addr,
+                   std::int32_t src_port, int r_dst_addr, int r_size)
+{
+    return emit(Opcode::NDACCUM,
+                {home, r_src_addr, src_port, r_dst_addr, r_size});
+}
+
+std::size_t
+Assembler::veceltmul(std::int32_t home, int r_a, int r_b, int r_dst,
+                     int r_n, int r_m)
+{
+    return emit(Opcode::VECELTMUL, {home, r_a, r_b, r_dst, r_n, r_m});
+}
+
+std::size_t
+Assembler::dmaload(std::int32_t home, int r_src_addr,
+                   std::int32_t src_port, int r_dst_addr, int r_size,
+                   bool accum)
+{
+    return emit(Opcode::DMALOAD,
+                {home, r_src_addr, src_port, r_dst_addr, r_size,
+                 accum ? 1 : 0});
+}
+
+std::size_t
+Assembler::dmastore(std::int32_t home, int r_src_addr, int r_dst_addr,
+                    std::int32_t dst_port, int r_size, bool accum)
+{
+    return emit(Opcode::DMASTORE,
+                {home, r_src_addr, r_dst_addr, dst_port, r_size,
+                 accum ? 1 : 0});
+}
+
+std::size_t
+Assembler::passbufRd(std::int32_t src_port, int r_src_addr, int r_size,
+                     int r_buf_off)
+{
+    return emit(Opcode::PASSBUF_RD,
+                {src_port, r_src_addr, r_size, r_buf_off});
+}
+
+std::size_t
+Assembler::passbufWr(std::int32_t dst_port, int r_dst_addr, int r_size,
+                     int r_buf_off)
+{
+    return emit(Opcode::PASSBUF_WR,
+                {dst_port, r_dst_addr, r_size, r_buf_off});
+}
+
+std::size_t
+Assembler::memtrack(std::int32_t home, int r_addr, int r_size,
+                    int r_num_updates, int r_num_reads)
+{
+    return emit(Opcode::MEMTRACK,
+                {home, r_addr, r_size, r_num_updates, r_num_reads});
+}
+
+std::size_t
+Assembler::dmaMemtrack(std::int32_t home, std::int32_t remote, int r_addr,
+                       int r_size, int r_num_updates, int r_num_reads)
+{
+    return emit(Opcode::DMA_MEMTRACK,
+                {home, remote, r_addr, r_size, r_num_updates,
+                 r_num_reads});
+}
+
+Program
+Assembler::finish()
+{
+    if (finished_)
+        panic("Assembler: finish called twice");
+    finished_ = true;
+    for (auto &[pc, operand_idx, label_id] : fixups_) {
+        std::int32_t target = labelPc_.at(label_id);
+        if (target < 0)
+            panic("Assembler: unbound label ", label_id);
+        prog_.at(pc).args[operand_idx] =
+            target - static_cast<std::int32_t>(pc);
+    }
+    return std::move(prog_);
+}
+
+} // namespace sd::isa

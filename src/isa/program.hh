@@ -1,0 +1,195 @@
+/**
+ * @file
+ * ScaleDeep program container and assembler.
+ *
+ * The assembler provides one typed emit method per opcode (encoding the
+ * positional operand layout in exactly one place) plus labels with
+ * pc-relative branch patching. Programs are what the compiler's code
+ * generator produces for each CompHeavy tile and what the functional
+ * simulator executes.
+ *
+ * Operand layout conventions (register fields hold register indices):
+ *  - Branch semantics: taken => pc += offset, else pc += 1.
+ *  - "home" ports on DMA/track instructions name the MemHeavy tile
+ *    (left/right of the issuing CompHeavy tile) that executes them.
+ */
+
+#ifndef SCALEDEEP_ISA_PROGRAM_HH
+#define SCALEDEEP_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace sd::isa {
+
+/**
+ * Activation-function selector for NDACTFN. The *Grad variants are the
+ * backpropagation forms: they scale the destination range (an error
+ * vector) by the activation derivative evaluated from the source range
+ * (the layer's post-activation output), out[i] *= f'(in[i]), as a fused
+ * SFU read-modify-write.
+ */
+enum ActFnType : std::int32_t
+{
+    kActReLU = 0,
+    kActTanh = 1,
+    kActSigmoid = 2,
+    kActReLUGrad = 3,
+    kActTanhGrad = 4,
+    kActSigmoidGrad = 5,
+};
+
+/** Sampling-type selector for NDSUBSAMP / NDUPSAMP. */
+enum SampType : std::int32_t
+{
+    kSampMax = 0,
+    kSampAvg = 1,
+};
+
+/** A compiled program for one CompHeavy tile. */
+class Program
+{
+  public:
+    void append(Instruction inst) { insts_.push_back(inst); }
+
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+    const Instruction &at(std::size_t pc) const;
+    Instruction &at(std::size_t pc);
+
+    /** Human-readable listing, one "pc: INST (args)" line each. */
+    std::string disassemble() const;
+
+    /** Instruction count per group (for static program statistics). */
+    std::map<InstGroup, std::size_t> groupCounts() const;
+
+  private:
+    std::vector<Instruction> insts_;
+};
+
+/** Forward-reference label resolved when the assembler finishes. */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * Builder for Programs. All emit methods return the pc of the emitted
+ * instruction. Branch targets may be labels bound before or after the
+ * branch; offsets are patched in finish().
+ */
+class Assembler
+{
+  public:
+    Label newLabel();
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    // --- scalar control ---
+    std::size_t ldri(int rd, std::int32_t imm);
+    std::size_t ldriLc(int rd, std::int32_t count);
+    std::size_t movr(int rd, int rs);
+    std::size_t addr(int rd, int rs1, int rs2);
+    std::size_t addri(int rd, int rs, std::int32_t imm);
+    std::size_t subr(int rd, int rs1, int rs2);
+    std::size_t subri(int rd, int rs, std::int32_t imm);
+    std::size_t mulr(int rd, int rs1, int rs2);
+    std::size_t inv(int rd, int rs);
+    std::size_t branch(Label target);
+    std::size_t bnez(int rs, Label target);
+    std::size_t bgtz(int rs, Label target);
+    std::size_t bgzdLc(int rlc, Label target);
+    std::size_t halt();
+    std::size_t nop();
+
+    // --- coarse-grained data ---
+    /**
+     * Batch 2D convolution on the 2D-PE array.
+     * Input feature (size rInHW x rInHW) is read from MemHeavy @p
+     * in_port at register-addressed rInAddr; kernels come from the
+     * streaming-memory buffer at rKerOff (num_kernels of them, each
+     * rK x rK); outputs go to @p out_port at rOutAddr, accumulated when
+     * @p accum.
+     */
+    std::size_t ndconv(int r_in_addr, std::int32_t in_port, int r_in_hw,
+                       int r_ker_off, int r_k, int r_stride, int r_pad,
+                       int r_out_addr, std::int32_t out_port,
+                       std::int32_t num_kernels, bool accum);
+    /** Vector-matrix multiply: out[rOutN] (+)= W[rOutN x rInN] * in. */
+    std::size_t matmul(int r_in_addr, std::int32_t in_port, int r_in_n,
+                       int r_w_off, int r_out_addr, std::int32_t out_port,
+                       int r_out_n, bool accum);
+
+    // --- MemHeavy offload ---
+    /**
+     * Activation function over @p r_size words: reads at r_in_addr on
+     * @p in_port, writes the transformed range to r_out_addr on
+     * @p out_port (paper: NDACTFN type, Riaddr, Riport, Risize,
+     * Roaddr, Roport).
+     */
+    std::size_t ndactfn(std::int32_t type, int r_in_addr,
+                        std::int32_t in_port, int r_size, int r_out_addr,
+                        std::int32_t out_port);
+    std::size_t ndsubsamp(std::int32_t type, int r_in_addr,
+                          std::int32_t in_port, int r_in_hw, int r_win,
+                          int r_stride, int r_out_addr,
+                          std::int32_t out_port, int r_channels);
+    /**
+     * Error up-sampling (BP of pooling). @p r_out_hw gives the true
+     * destination feature size (it can exceed the covered span when
+     * the forward pooling did not tile the input exactly).
+     */
+    std::size_t ndupsamp(std::int32_t type, int r_in_addr,
+                         std::int32_t in_port, int r_in_hw, int r_win,
+                         int r_stride, int r_out_addr,
+                         std::int32_t out_port, int r_channels,
+                         int r_out_hw);
+    /** dst[rDstAddr..] += src[rSrcAddr..], on the @p home tile. */
+    std::size_t ndaccum(std::int32_t home, int r_src_addr,
+                        std::int32_t src_port, int r_dst_addr,
+                        int r_size);
+    /** Outer product dst[N x M] += a[N] (x) b[M] on the @p home tile. */
+    std::size_t veceltmul(std::int32_t home, int r_a, int r_b, int r_dst,
+                          int r_n, int r_m);
+
+    // --- data transfer ---
+    std::size_t dmaload(std::int32_t home, int r_src_addr,
+                        std::int32_t src_port, int r_dst_addr, int r_size,
+                        bool accum);
+    std::size_t dmastore(std::int32_t home, int r_src_addr,
+                         int r_dst_addr, std::int32_t dst_port,
+                         int r_size, bool accum);
+    std::size_t passbufRd(std::int32_t src_port, int r_src_addr,
+                          int r_size, int r_buf_off);
+    std::size_t passbufWr(std::int32_t dst_port, int r_dst_addr,
+                          int r_size, int r_buf_off);
+
+    // --- tracking ---
+    std::size_t memtrack(std::int32_t home, int r_addr, int r_size,
+                         int r_num_updates, int r_num_reads);
+    std::size_t dmaMemtrack(std::int32_t home, std::int32_t remote,
+                            int r_addr, int r_size, int r_num_updates,
+                            int r_num_reads);
+
+    /** Resolve all labels and return the program. Single use. */
+    Program finish();
+
+  private:
+    std::size_t emit(Opcode op, std::initializer_list<std::int32_t> args);
+    std::size_t emitBranch(Opcode op, std::initializer_list<std::int32_t>
+                           leading, Label target);
+
+    Program prog_;
+    std::vector<std::int32_t> labelPc_;     ///< -1 until bound
+    /** (pc, operand index, label id) fixups. */
+    std::vector<std::tuple<std::size_t, int, int>> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace sd::isa
+
+#endif // SCALEDEEP_ISA_PROGRAM_HH

@@ -1,0 +1,58 @@
+#include "sim/func/compheavy.hh"
+
+#include "core/logging.hh"
+
+namespace sd::sim {
+
+const char *
+tileRoleName(TileRole role)
+{
+    switch (role) {
+      case TileRole::Fp: return "FP";
+      case TileRole::Bp: return "BP";
+      case TileRole::Wg: return "WG";
+    }
+    return "?";
+}
+
+CompHeavyTile::CompHeavyTile(const arch::CompHeavyConfig &config)
+    : config_(config), regs_(config.scalarRegs, 0),
+      // The streaming memories hold kernels/matrix rows; size them from
+      // the configured top+bottom capacity (words). Generous minimum so
+      // unit tests with small configs still fit realistic kernels.
+      weightBuf_((config.topMem + config.botMem) / 4, 0.0f),
+      scratchpad_(config.scratchpad / 4, 0.0f)
+{
+}
+
+void
+CompHeavyTile::loadProgram(isa::Program program)
+{
+    if (program.size() >
+        static_cast<std::size_t>(config_.instMemEntries)) {
+        fatal("CompHeavyTile: program of ", program.size(),
+              " instructions exceeds instruction memory of ",
+              config_.instMemEntries);
+    }
+    program_ = std::move(program);
+    pc_ = 0;
+    halted_ = program_.empty();
+}
+
+std::int32_t
+CompHeavyTile::reg(int idx) const
+{
+    if (idx < 0 || static_cast<std::size_t>(idx) >= regs_.size())
+        panic("CompHeavyTile: register ", idx, " out of range");
+    return regs_[idx];
+}
+
+void
+CompHeavyTile::setReg(int idx, std::int32_t value)
+{
+    if (idx < 0 || static_cast<std::size_t>(idx) >= regs_.size())
+        panic("CompHeavyTile: register ", idx, " out of range");
+    regs_[idx] = value;
+}
+
+} // namespace sd::sim

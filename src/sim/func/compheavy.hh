@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional state of a CompHeavy tile: scalar register file, program
+ * counter, streaming-memory weight buffer, scratchpad, and execution
+ * statistics. Instruction semantics live in the Machine (they touch
+ * neighbouring MemHeavy tiles); this class owns only tile-local state.
+ */
+
+#ifndef SCALEDEEP_SIM_FUNC_COMPHEAVY_HH
+#define SCALEDEEP_SIM_FUNC_COMPHEAVY_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/tile.hh"
+#include "isa/program.hh"
+
+namespace sd::sim {
+
+/** Role of a CompHeavy tile within its grid site. */
+enum class TileRole { Fp = 0, Bp = 1, Wg = 2 };
+
+const char *tileRoleName(TileRole role);
+
+/** Functional state of one CompHeavy tile. */
+class CompHeavyTile
+{
+  public:
+    explicit CompHeavyTile(const arch::CompHeavyConfig &config);
+
+    /** Attach a program and reset execution state. */
+    void loadProgram(isa::Program program);
+
+    bool hasProgram() const { return !program_.empty(); }
+    bool halted() const { return halted_ || program_.empty(); }
+    void halt() { halted_ = true; }
+
+    std::size_t pc() const { return pc_; }
+    void setPc(std::size_t pc) { pc_ = pc; }
+    const isa::Program &program() const { return program_; }
+
+    std::int32_t reg(int idx) const;
+    void setReg(int idx, std::int32_t value);
+
+    /** Streaming-memory weight buffer (words). */
+    std::vector<float> &weightBuf() { return weightBuf_; }
+    /** Local scratchpad for partial outputs (words). */
+    std::vector<float> &scratchpad() { return scratchpad_; }
+
+    const arch::CompHeavyConfig &config() const { return config_; }
+
+    // --- statistics ---
+    std::uint64_t instsExecuted = 0;
+    std::uint64_t stallCycles = 0;      ///< cycles blocked on trackers
+    std::uint64_t busyCycles = 0;       ///< cycles the 2D array was busy
+    std::uint64_t macsIssued = 0;       ///< useful MACs executed
+    std::map<isa::InstGroup, std::uint64_t> groupCounts;
+
+  private:
+    arch::CompHeavyConfig config_;
+    isa::Program program_;
+    std::vector<std::int32_t> regs_;
+    std::vector<float> weightBuf_;
+    std::vector<float> scratchpad_;
+    std::size_t pc_ = 0;
+    bool halted_ = true;
+};
+
+} // namespace sd::sim
+
+#endif // SCALEDEEP_SIM_FUNC_COMPHEAVY_HH

@@ -1,0 +1,923 @@
+#include "sim/func/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.hh"
+#include "core/stats.hh"
+
+namespace sd::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** ceil(a / b) for positive quantities. */
+std::int64_t
+divCeil(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Cycle cost of moving @p words words over a @p bpc bytes/cycle link. */
+std::int64_t
+linkCycles(std::int64_t words, int bpc)
+{
+    return std::max<std::int64_t>(1, divCeil(words * 4, bpc));
+}
+
+} // namespace
+
+MachineConfig
+MachineConfig::fromChip(const arch::ChipConfig &chip, double freq,
+                        int rows, int cols)
+{
+    MachineConfig mc;
+    mc.rows = rows;
+    mc.cols = cols;
+    mc.comp = chip.comp;
+    mc.mem = chip.mem;
+    mc.compMemBytesPerCycle =
+        std::max(1, static_cast<int>(chip.links.compMemBw / freq));
+    mc.memMemBytesPerCycle =
+        std::max(1, static_cast<int>(chip.links.memMemBw / freq));
+    mc.extMemBytesPerCycle =
+        std::max(1, static_cast<int>(chip.links.extMemBw / freq));
+    return mc;
+}
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), extMem_(config.extMemWords, 0.0f)
+{
+    if (config.rows <= 0 || config.cols <= 0)
+        fatal("Machine: invalid grid ", config.rows, "x", config.cols);
+    const int mem_cols = config.cols + 1;
+    memTiles_.reserve(static_cast<std::size_t>(config.rows) * mem_cols);
+    for (int i = 0; i < config.rows * mem_cols; ++i)
+        memTiles_.emplace_back(config.mem);
+    const int comp_count = config.rows * config.cols * 3;
+    compSites_.reserve(comp_count);
+    for (int i = 0; i < comp_count; ++i)
+        compSites_.push_back(std::make_unique<CompSite>(config.comp));
+}
+
+MemHeavyTile &
+Machine::memTile(int row, int mem_col)
+{
+    if (row < 0 || row >= config_.rows || mem_col < 0 ||
+        mem_col > config_.cols) {
+        panic("Machine: bad mem tile (", row, ",", mem_col, ")");
+    }
+    return memTiles_[static_cast<std::size_t>(row) * (config_.cols + 1) +
+                     mem_col];
+}
+
+const MemHeavyTile &
+Machine::memTile(int row, int mem_col) const
+{
+    return const_cast<Machine *>(this)->memTile(row, mem_col);
+}
+
+Machine::CompSite &
+Machine::site(int row, int col, TileRole role)
+{
+    if (row < 0 || row >= config_.rows || col < 0 || col >= config_.cols)
+        panic("Machine: bad comp tile (", row, ",", col, ")");
+    std::size_t idx =
+        (static_cast<std::size_t>(row) * config_.cols + col) * 3 +
+        static_cast<std::size_t>(role);
+    return *compSites_[idx];
+}
+
+CompHeavyTile &
+Machine::compTile(int row, int col, TileRole role)
+{
+    return site(row, col, role).tile;
+}
+
+void
+Machine::loadProgram(int row, int col, TileRole role, isa::Program program)
+{
+    site(row, col, role).tile.loadProgram(std::move(program));
+}
+
+MemHeavyTile *
+Machine::compPortTile(int row, int col, std::int32_t port)
+{
+    switch (port) {
+      case isa::kPortLeft:
+        return &memTile(row, col);
+      case isa::kPortRight:
+        return &memTile(row, col + 1);
+      default:
+        panic("Machine: CompHeavy port must be L/R, got ", port);
+    }
+}
+
+MemHeavyTile *
+Machine::memNeighbor(int row, int mem_col, std::int32_t port)
+{
+    switch (port) {
+      case isa::kPortSelf:
+        return &memTile(row, mem_col);
+      case isa::kPortNorth:
+        return row > 0 ? &memTile(row - 1, mem_col) : nullptr;
+      case isa::kPortSouth:
+        return row + 1 < config_.rows ? &memTile(row + 1, mem_col)
+                                      : nullptr;
+      case isa::kPortWest:
+        return mem_col > 0 ? &memTile(row, mem_col - 1) : nullptr;
+      case isa::kPortEast:
+        return mem_col < config_.cols ? &memTile(row, mem_col + 1)
+                                      : nullptr;
+      case isa::kPortExtMem:
+        return nullptr;     // external memory, handled by caller
+      default:
+        panic("Machine: bad MemHeavy port ", port);
+    }
+}
+
+RunResult
+Machine::run(std::uint64_t max_cycles)
+{
+    RunResult result;
+    const std::uint64_t deadline = cycle_ + max_cycles;
+    while (cycle_ < deadline) {
+        bool all_halted = true;
+        bool progress = false;
+        std::uint64_t next_busy = UINT64_MAX;
+        for (auto &sp : compSites_) {
+            CompSite &s = *sp;
+            if (s.tile.halted())
+                continue;
+            all_halted = false;
+            if (s.busyUntil > cycle_) {
+                next_busy = std::min(next_busy, s.busyUntil);
+                continue;
+            }
+            // Identify grid coordinates from the site index.
+            std::size_t idx = &sp - compSites_.data();
+            int role = static_cast<int>(idx % 3);
+            int col = static_cast<int>((idx / 3) % config_.cols);
+            int row = static_cast<int>(idx / 3 / config_.cols);
+            if (execute(s, row, col, static_cast<TileRole>(role)))
+                progress = true;
+            else
+                ++s.tile.stallCycles;
+        }
+        if (all_halted)
+            break;
+        if (progress) {
+            ++cycle_;
+        } else if (next_busy != UINT64_MAX) {
+            cycle_ = next_busy;
+        } else {
+            result.deadlocked = true;
+            break;
+        }
+    }
+    result.cycles = cycle_;
+    result.timedOut = !result.deadlocked && cycle_ >= deadline;
+    return result;
+}
+
+bool
+Machine::execute(CompSite &s, int row, int col, TileRole role)
+{
+    (void)role;
+    CompHeavyTile &t = s.tile;
+    const Instruction &inst = t.program().at(t.pc());
+    auto r = [&](int i) { return t.reg(inst.args[i]); };
+
+    std::int64_t cost = 1;
+    std::size_t next_pc = t.pc() + 1;
+
+    switch (inst.op) {
+      case Opcode::LDRI:
+      case Opcode::LDRI_LC:
+        t.setReg(inst.args[0], inst.args[1]);
+        break;
+      case Opcode::MOVR:
+        t.setReg(inst.args[0], t.reg(inst.args[1]));
+        break;
+      case Opcode::ADDR:
+        t.setReg(inst.args[0],
+                 t.reg(inst.args[1]) + t.reg(inst.args[2]));
+        break;
+      case Opcode::ADDRI:
+        t.setReg(inst.args[0], t.reg(inst.args[1]) + inst.args[2]);
+        break;
+      case Opcode::SUBR:
+        t.setReg(inst.args[0],
+                 t.reg(inst.args[1]) - t.reg(inst.args[2]));
+        break;
+      case Opcode::SUBRI:
+        t.setReg(inst.args[0], t.reg(inst.args[1]) - inst.args[2]);
+        break;
+      case Opcode::MULR:
+        t.setReg(inst.args[0],
+                 t.reg(inst.args[1]) * t.reg(inst.args[2]));
+        break;
+      case Opcode::INV:
+        t.setReg(inst.args[0], t.reg(inst.args[1]) == 0 ? 1 : 0);
+        break;
+      case Opcode::BRANCH:
+        next_pc = t.pc() + inst.args[0];
+        break;
+      case Opcode::BNEZ:
+        if (t.reg(inst.args[0]) != 0)
+            next_pc = t.pc() + inst.args[1];
+        break;
+      case Opcode::BGTZ:
+        if (t.reg(inst.args[0]) > 0)
+            next_pc = t.pc() + inst.args[1];
+        break;
+      case Opcode::BGZD_LC:
+        if (t.reg(inst.args[0]) > 0) {
+            t.setReg(inst.args[0], t.reg(inst.args[0]) - 1);
+            next_pc = t.pc() + inst.args[1];
+        }
+        break;
+      case Opcode::HALT:
+        t.halt();
+        break;
+      case Opcode::NOP:
+        break;
+      case Opcode::NDCONV:
+        cost = execNdConv(s, row, col, inst);
+        break;
+      case Opcode::MATMUL:
+        cost = execMatMul(s, row, col, inst);
+        break;
+      case Opcode::NDACTFN:
+      case Opcode::NDSUBSAMP:
+      case Opcode::NDUPSAMP:
+      case Opcode::NDACCUM:
+      case Opcode::VECELTMUL:
+        cost = execOffload(s, row, col, inst);
+        break;
+      case Opcode::DMALOAD:
+      case Opcode::DMASTORE:
+      case Opcode::PASSBUF_RD:
+      case Opcode::PASSBUF_WR:
+        cost = execTransfer(s, row, col, inst);
+        break;
+      case Opcode::MEMTRACK:
+      case Opcode::DMA_MEMTRACK:
+        cost = execTrack(s, row, col, inst);
+        break;
+    }
+    (void)r;
+
+    if (cost < 0)
+        return false;   // blocked; retry next cycle
+
+    ++t.instsExecuted;
+    ++t.groupCounts[isa::opcodeGroup(inst.op)];
+    if (inst.op == Opcode::NDCONV || inst.op == Opcode::MATMUL)
+        t.busyCycles += static_cast<std::uint64_t>(cost);
+    s.busyUntil = cycle_ + static_cast<std::uint64_t>(cost);
+    if (!t.halted())
+        t.setPc(next_pc);
+    return true;
+}
+
+std::int64_t
+Machine::execNdConv(CompSite &s, int row, int col,
+                    const Instruction &inst)
+{
+    CompHeavyTile &t = s.tile;
+    auto reg = [&](int i) { return t.reg(inst.args[i]); };
+    const std::uint32_t in_addr = reg(0);
+    const std::int32_t in_port = inst.args[1];
+    const int in_hw = reg(2);
+    const std::uint32_t ker_off = reg(3);
+    const int k = reg(4);
+    const int stride = reg(5);
+    const int pad = reg(6);
+    const std::uint32_t out_addr = reg(7);
+    const std::int32_t out_port = inst.args[8];
+    const std::int32_t flags = inst.args[9];
+    const int num_kernels = flags >> 1;
+    const bool accum = flags & 1;
+
+    if (in_hw <= 0 || k <= 0 || stride <= 0 || pad < 0 ||
+        num_kernels <= 0) {
+        panic("NDCONV: invalid parameters in=", in_hw, " k=", k);
+    }
+    const int out_hw = (in_hw + 2 * pad - k) / stride + 1;
+    if (out_hw <= 0)
+        panic("NDCONV: empty output");
+    const std::uint32_t in_elems =
+        static_cast<std::uint32_t>(in_hw) * in_hw;
+    const std::uint32_t out_elems =
+        static_cast<std::uint32_t>(out_hw) * out_hw;
+
+    MemHeavyTile *in_tile = compPortTile(row, col, in_port);
+    MemHeavyTile *out_tile = compPortTile(row, col, out_port);
+
+    if (in_tile->trackers().probeRead(in_addr, in_elems) ==
+            TrackerVerdict::Block ||
+        out_tile->trackers().probeWrite(
+            out_addr, out_elems * num_kernels) == TrackerVerdict::Block) {
+        return -1;
+    }
+
+    std::vector<float> in(in_elems);
+    if (!in_tile->read(in_addr, in_elems, in.data()))
+        return -1;
+
+    const std::vector<float> &wbuf = t.weightBuf();
+    if (ker_off + static_cast<std::uint32_t>(num_kernels) * k * k >
+        wbuf.size()) {
+        panic("NDCONV: kernel range exceeds streaming memory");
+    }
+
+    // All num_kernels output features are produced and committed as a
+    // single contiguous store (one tracked update on the span).
+    std::vector<float> out(static_cast<std::size_t>(out_elems) *
+                           num_kernels);
+    for (int kn = 0; kn < num_kernels; ++kn) {
+        const float *w = wbuf.data() + ker_off +
+                         static_cast<std::size_t>(kn) * k * k;
+        float *feat = out.data() +
+                      static_cast<std::size_t>(kn) * out_elems;
+        for (int oh = 0; oh < out_hw; ++oh) {
+            for (int ow = 0; ow < out_hw; ++ow) {
+                float acc = 0.0f;
+                for (int kh = 0; kh < k; ++kh) {
+                    const int h = oh * stride - pad + kh;
+                    if (h < 0 || h >= in_hw)
+                        continue;
+                    for (int kw = 0; kw < k; ++kw) {
+                        const int wi = ow * stride - pad + kw;
+                        if (wi < 0 || wi >= in_hw)
+                            continue;
+                        acc += in[static_cast<std::size_t>(h) * in_hw +
+                                  wi] * w[kh * k + kw];
+                    }
+                }
+                feat[static_cast<std::size_t>(oh) * out_hw + ow] = acc;
+            }
+        }
+    }
+    if (!out_tile->write(out_addr, out_elems * num_kernels, out.data(),
+                         accum)) {
+        panic("NDCONV: write blocked after successful probe");
+    }
+
+    t.macsIssued += static_cast<std::uint64_t>(num_kernels) * k * k *
+                    out_elems;
+
+    const arch::CompHeavyConfig &c = t.config();
+    std::int64_t passes = divCeil(k, c.arrayCols) *
+                          divCeil(out_hw, c.arrayRows);
+    std::int64_t lane_iters = divCeil(num_kernels, c.lanes);
+    return std::max<std::int64_t>(
+        1, passes * out_hw * k * lane_iters);
+}
+
+std::int64_t
+Machine::execMatMul(CompSite &s, int row, int col,
+                    const Instruction &inst)
+{
+    CompHeavyTile &t = s.tile;
+    auto reg = [&](int i) { return t.reg(inst.args[i]); };
+    const std::uint32_t in_addr = reg(0);
+    const std::int32_t in_port = inst.args[1];
+    const std::uint32_t in_n = reg(2);
+    const std::uint32_t w_off = reg(3);
+    const std::uint32_t out_addr = reg(4);
+    const std::int32_t out_port = inst.args[5];
+    const std::uint32_t out_n = reg(6);
+    const bool accum = inst.args[7];
+
+    MemHeavyTile *in_tile = compPortTile(row, col, in_port);
+    MemHeavyTile *out_tile = compPortTile(row, col, out_port);
+    if (in_tile->trackers().probeRead(in_addr, in_n) ==
+            TrackerVerdict::Block ||
+        out_tile->trackers().probeWrite(out_addr, out_n) ==
+            TrackerVerdict::Block) {
+        return -1;
+    }
+
+    std::vector<float> in(in_n);
+    if (!in_tile->read(in_addr, in_n, in.data()))
+        return -1;
+
+    const std::vector<float> &wbuf = t.weightBuf();
+    if (w_off + static_cast<std::size_t>(in_n) * out_n > wbuf.size())
+        panic("MATMUL: weight range exceeds streaming memory");
+
+    std::vector<float> out(out_n, 0.0f);
+    for (std::uint32_t o = 0; o < out_n; ++o) {
+        const float *wrow = wbuf.data() + w_off +
+                            static_cast<std::size_t>(o) * in_n;
+        float acc = 0.0f;
+        for (std::uint32_t i = 0; i < in_n; ++i)
+            acc += wrow[i] * in[i];
+        out[o] = acc;
+    }
+    if (!out_tile->write(out_addr, out_n, out.data(), accum))
+        panic("MATMUL: write blocked after successful probe");
+
+    t.macsIssued += static_cast<std::uint64_t>(in_n) * out_n;
+
+    const arch::CompHeavyConfig &c = t.config();
+    std::int64_t pes = static_cast<std::int64_t>(c.arrayRows) *
+                       c.arrayCols * c.lanes;
+    return std::max<std::int64_t>(1, divCeil(out_n, pes) * in_n);
+}
+
+std::int64_t
+Machine::execOffload(CompSite &s, int row, int col,
+                     const Instruction &inst)
+{
+    CompHeavyTile &t = s.tile;
+    auto reg = [&](int i) { return t.reg(inst.args[i]); };
+    const int sfus = config_.mem.numSfu;
+
+    switch (inst.op) {
+      case Opcode::NDACTFN: {
+        const std::int32_t type = inst.args[0];
+        const std::uint32_t in_addr = reg(1);
+        MemHeavyTile *in_tile = compPortTile(row, col, inst.args[2]);
+        const std::uint32_t size = reg(3);
+        const std::uint32_t out_addr = reg(4);
+        MemHeavyTile *out_tile = compPortTile(row, col, inst.args[5]);
+        const bool in_place =
+            in_tile == out_tile && in_addr == out_addr;
+        if (in_tile->trackers().probeRead(in_addr, size) ==
+                TrackerVerdict::Block ||
+            (!in_place &&
+             out_tile->trackers().probeWrite(out_addr, size) ==
+                 TrackerVerdict::Block)) {
+            return -1;
+        }
+        std::vector<float> buf(size);
+        if (!in_tile->read(in_addr, size, buf.data()))
+            return -1;
+        const bool is_grad = type >= isa::kActReLUGrad;
+        if (is_grad) {
+            // Fused RMW: scale the destination error vector by the
+            // activation derivative of the (post-activation) source.
+            // The internal read of the destination is untracked.
+            std::vector<float> err(size);
+            out_tile->peekRange(out_addr, err.data(), size);
+            for (std::uint32_t i = 0; i < size; ++i) {
+                float y = buf[i];
+                float d;
+                switch (type) {
+                  case isa::kActReLUGrad:
+                    d = y > 0.0f ? 1.0f : 0.0f;
+                    break;
+                  case isa::kActTanhGrad:
+                    d = 1.0f - y * y;
+                    break;
+                  case isa::kActSigmoidGrad:
+                    d = y * (1.0f - y);
+                    break;
+                  default:
+                    panic("NDACTFN: bad grad type ", type);
+                }
+                buf[i] = err[i] * d;
+            }
+        } else {
+            for (float &v : buf) {
+                switch (type) {
+                  case isa::kActReLU:
+                    v = std::max(0.0f, v);
+                    break;
+                  case isa::kActTanh:
+                    v = std::tanh(v);
+                    break;
+                  case isa::kActSigmoid:
+                    v = 1.0f / (1.0f + std::exp(-v));
+                    break;
+                  default:
+                    panic("NDACTFN: bad type ", type);
+                }
+            }
+        }
+        if (in_place) {
+            // The read above was the synchronization point; the
+            // refresh of the same range is not a tracked update.
+            out_tile->pokeRange(out_addr, buf.data(), size);
+        } else if (!out_tile->write(out_addr, size, buf.data(), false)) {
+            panic("NDACTFN: write blocked after probe");
+        }
+        out_tile->chargeSfu(size);
+        return std::max<std::int64_t>(1, divCeil(size, sfus));
+      }
+      case Opcode::NDSUBSAMP: {
+        const std::int32_t type = inst.args[0];
+        const std::uint32_t in_addr = reg(1);
+        MemHeavyTile *in_tile = compPortTile(row, col, inst.args[2]);
+        const int in_hw = reg(3);
+        const int win = reg(4);
+        const int stride = reg(5);
+        const std::uint32_t out_addr = reg(6);
+        MemHeavyTile *out_tile = compPortTile(row, col, inst.args[7]);
+        const int channels = reg(8);
+        const int out_hw = (in_hw - win) / stride + 1;
+        if (out_hw <= 0 || channels <= 0)
+            panic("NDSUBSAMP: bad geometry");
+        const std::uint32_t in_elems =
+            static_cast<std::uint32_t>(channels) * in_hw * in_hw;
+        const std::uint32_t out_elems =
+            static_cast<std::uint32_t>(channels) * out_hw * out_hw;
+        if (in_tile->trackers().probeRead(in_addr, in_elems) ==
+                TrackerVerdict::Block ||
+            out_tile->trackers().probeWrite(out_addr, out_elems) ==
+                TrackerVerdict::Block) {
+            return -1;
+        }
+        std::vector<float> in(in_elems);
+        if (!in_tile->read(in_addr, in_elems, in.data()))
+            return -1;
+        std::vector<float> out(out_elems);
+        for (int c = 0; c < channels; ++c) {
+            const float *ip = in.data() +
+                              static_cast<std::size_t>(c) * in_hw * in_hw;
+            float *op = out.data() +
+                        static_cast<std::size_t>(c) * out_hw * out_hw;
+            for (int oh = 0; oh < out_hw; ++oh) {
+                for (int ow = 0; ow < out_hw; ++ow) {
+                    float best = -1e30f;
+                    double sum = 0.0;
+                    for (int kh = 0; kh < win; ++kh) {
+                        for (int kw = 0; kw < win; ++kw) {
+                            float v = ip[(oh * stride + kh) * in_hw +
+                                         ow * stride + kw];
+                            best = std::max(best, v);
+                            sum += v;
+                        }
+                    }
+                    op[oh * out_hw + ow] =
+                        type == isa::kSampMax
+                            ? best
+                            : static_cast<float>(sum / (win * win));
+                }
+            }
+        }
+        if (!out_tile->write(out_addr, out_elems, out.data(), false))
+            panic("NDSUBSAMP: write blocked after probe");
+        out_tile->chargeSfu(static_cast<std::uint64_t>(out_elems) * win *
+                            win);
+        return std::max<std::int64_t>(
+            1, divCeil(static_cast<std::int64_t>(out_elems) * win * win,
+                       sfus));
+      }
+      case Opcode::NDUPSAMP: {
+        // Error up-sampling for BP through a SAMP layer (average
+        // semantics: the error is spread evenly over the window).
+        const std::uint32_t in_addr = reg(1);
+        MemHeavyTile *in_tile = compPortTile(row, col, inst.args[2]);
+        const int in_hw = reg(3);      // coarse (error) size
+        const int win = reg(4);
+        const int stride = reg(5);
+        const std::uint32_t out_addr = reg(6);
+        MemHeavyTile *out_tile = compPortTile(row, col, inst.args[7]);
+        const int channels = reg(8);
+        const int out_hw = reg(9);      // true destination feature size
+        if (out_hw < (in_hw - 1) * stride + win)
+            panic("NDUPSAMP: destination smaller than the up-sampled "
+                  "span");
+        const std::uint32_t in_elems =
+            static_cast<std::uint32_t>(channels) * in_hw * in_hw;
+        const std::uint32_t out_elems =
+            static_cast<std::uint32_t>(channels) * out_hw * out_hw;
+        if (in_tile->trackers().probeRead(in_addr, in_elems) ==
+                TrackerVerdict::Block ||
+            out_tile->trackers().probeWrite(out_addr, out_elems) ==
+                TrackerVerdict::Block) {
+            return -1;
+        }
+        std::vector<float> in(in_elems);
+        if (!in_tile->read(in_addr, in_elems, in.data()))
+            return -1;
+        std::vector<float> out(out_elems, 0.0f);
+        const float share = 1.0f / static_cast<float>(win * win);
+        for (int c = 0; c < channels; ++c) {
+            const float *ip = in.data() +
+                              static_cast<std::size_t>(c) * in_hw * in_hw;
+            float *op = out.data() +
+                        static_cast<std::size_t>(c) * out_hw * out_hw;
+            for (int ih = 0; ih < in_hw; ++ih) {
+                for (int iw = 0; iw < in_hw; ++iw) {
+                    float e = ip[ih * in_hw + iw] * share;
+                    for (int kh = 0; kh < win; ++kh) {
+                        for (int kw = 0; kw < win; ++kw) {
+                            op[(ih * stride + kh) * out_hw +
+                               iw * stride + kw] += e;
+                        }
+                    }
+                }
+            }
+        }
+        if (!out_tile->write(out_addr, out_elems, out.data(), false))
+            panic("NDUPSAMP: write blocked after probe");
+        out_tile->chargeSfu(out_elems);
+        return std::max<std::int64_t>(1, divCeil(out_elems, sfus));
+      }
+      case Opcode::NDACCUM: {
+        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        const std::uint32_t src_addr = reg(1);
+        const std::int32_t src_port = inst.args[2];
+        const std::uint32_t dst_addr = reg(3);
+        const std::uint32_t size = reg(4);
+        // Resolve the source relative to the home tile's grid site.
+        int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
+        MemHeavyTile *src = memNeighbor(row, mem_col, src_port);
+        if (!src)
+            panic("NDACCUM: bad source port ", src_port);
+        if (src->trackers().probeRead(src_addr, size) ==
+                TrackerVerdict::Block ||
+            home->trackers().probeWrite(dst_addr, size) ==
+                TrackerVerdict::Block) {
+            return -1;
+        }
+        std::vector<float> buf(size);
+        if (!src->read(src_addr, size, buf.data()))
+            return -1;
+        if (!home->write(dst_addr, size, buf.data(), true))
+            panic("NDACCUM: write blocked after probe");
+        home->chargeSfu(size);
+        std::int64_t cost = divCeil(size, sfus);
+        if (src != home)
+            cost += linkCycles(size, config_.memMemBytesPerCycle);
+        return std::max<std::int64_t>(1, cost);
+      }
+      case Opcode::VECELTMUL: {
+        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        const std::uint32_t a_addr = reg(1);
+        const std::uint32_t b_addr = reg(2);
+        const std::uint32_t dst_addr = reg(3);
+        const std::uint32_t n = reg(4);
+        const std::uint32_t m = reg(5);
+        if (home->trackers().probeRead(a_addr, n) ==
+                TrackerVerdict::Block ||
+            home->trackers().probeRead(b_addr, m) ==
+                TrackerVerdict::Block ||
+            home->trackers().probeWrite(dst_addr, n * m) ==
+                TrackerVerdict::Block) {
+            return -1;
+        }
+        std::vector<float> a(n), b(m);
+        if (!home->read(a_addr, n, a.data()) ||
+            !home->read(b_addr, m, b.data())) {
+            return -1;
+        }
+        std::vector<float> out(static_cast<std::size_t>(n) * m);
+        for (std::uint32_t i = 0; i < n; ++i)
+            for (std::uint32_t j = 0; j < m; ++j)
+                out[static_cast<std::size_t>(i) * m + j] = a[i] * b[j];
+        if (!home->write(dst_addr, n * m, out.data(), true))
+            panic("VECELTMUL: write blocked after probe");
+        home->chargeSfu(static_cast<std::uint64_t>(n) * m);
+        return std::max<std::int64_t>(
+            1, divCeil(static_cast<std::int64_t>(n) * m, sfus));
+      }
+      default:
+        panic("execOffload: unexpected opcode");
+    }
+}
+
+std::int64_t
+Machine::execTransfer(CompSite &s, int row, int col,
+                      const Instruction &inst)
+{
+    CompHeavyTile &t = s.tile;
+    auto reg = [&](int i) { return t.reg(inst.args[i]); };
+
+    switch (inst.op) {
+      case Opcode::DMALOAD: {
+        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        const std::uint32_t src_addr = reg(1);
+        const std::int32_t src_port = inst.args[2];
+        const std::uint32_t dst_addr = reg(3);
+        const std::uint32_t size = reg(4);
+        const bool accum = inst.args[5];
+        int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
+        std::vector<float> buf(size);
+        int bpc;
+        if (src_port == isa::kPortExtMem) {
+            if (src_addr + size > extMem_.size())
+                panic("DMALOAD: external address out of range");
+            std::copy(extMem_.begin() + src_addr,
+                      extMem_.begin() + src_addr + size, buf.begin());
+            bpc = config_.extMemBytesPerCycle;
+        } else {
+            MemHeavyTile *src = memNeighbor(row, mem_col, src_port);
+            if (!src)
+                panic("DMALOAD: bad source port ", src_port);
+            if (src->trackers().probeRead(src_addr, size) ==
+                    TrackerVerdict::Block ||
+                home->trackers().probeWrite(dst_addr, size) ==
+                    TrackerVerdict::Block) {
+                return -1;
+            }
+            if (!src->read(src_addr, size, buf.data()))
+                return -1;
+            bpc = config_.memMemBytesPerCycle;
+        }
+        if (!home->write(dst_addr, size, buf.data(), accum))
+            return -1;
+        return linkCycles(size, bpc);
+      }
+      case Opcode::DMASTORE: {
+        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        const std::uint32_t src_addr = reg(1);
+        const std::uint32_t dst_addr = reg(2);
+        const std::int32_t dst_port = inst.args[3];
+        const std::uint32_t size = reg(4);
+        const bool accum = inst.args[5];
+        int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
+        std::vector<float> buf(size);
+        if (dst_port == isa::kPortExtMem) {
+            if (home->trackers().probeRead(src_addr, size) ==
+                TrackerVerdict::Block) {
+                return -1;
+            }
+            if (!home->read(src_addr, size, buf.data()))
+                return -1;
+            if (dst_addr + size > extMem_.size())
+                panic("DMASTORE: external address out of range");
+            if (accum) {
+                for (std::uint32_t i = 0; i < size; ++i)
+                    extMem_[dst_addr + i] += buf[i];
+            } else {
+                std::copy(buf.begin(), buf.end(),
+                          extMem_.begin() + dst_addr);
+            }
+            return linkCycles(size, config_.extMemBytesPerCycle);
+        }
+        MemHeavyTile *dst = memNeighbor(row, mem_col, dst_port);
+        if (!dst)
+            panic("DMASTORE: bad destination port ", dst_port);
+        if (home->trackers().probeRead(src_addr, size) ==
+                TrackerVerdict::Block ||
+            dst->trackers().probeWrite(dst_addr, size) ==
+                TrackerVerdict::Block) {
+            return -1;
+        }
+        if (!home->read(src_addr, size, buf.data()))
+            return -1;
+        if (!dst->write(dst_addr, size, buf.data(), accum))
+            return -1;
+        return linkCycles(size, config_.memMemBytesPerCycle);
+      }
+      case Opcode::PASSBUF_RD: {
+        MemHeavyTile *src = compPortTile(row, col, inst.args[0]);
+        const std::uint32_t src_addr = reg(1);
+        const std::uint32_t size = reg(2);
+        const std::uint32_t buf_off = reg(3);
+        if (buf_off + size > t.weightBuf().size())
+            panic("PASSBUF_RD: overflows streaming memory (",
+                  buf_off + size, " > ", t.weightBuf().size(), ")");
+        if (!src->read(src_addr, size, t.weightBuf().data() + buf_off))
+            return -1;
+        return linkCycles(size, config_.compMemBytesPerCycle);
+      }
+      case Opcode::PASSBUF_WR: {
+        MemHeavyTile *dst = compPortTile(row, col, inst.args[0]);
+        const std::uint32_t dst_addr = reg(1);
+        const std::uint32_t size = reg(2);
+        const std::uint32_t buf_off = reg(3);
+        if (buf_off + size > t.scratchpad().size())
+            panic("PASSBUF_WR: overflows scratchpad");
+        if (!dst->write(dst_addr, size, t.scratchpad().data() + buf_off,
+                        false)) {
+            return -1;
+        }
+        return linkCycles(size, config_.compMemBytesPerCycle);
+      }
+      default:
+        panic("execTransfer: unexpected opcode");
+    }
+}
+
+std::int64_t
+Machine::execTrack(CompSite &s, int row, int col,
+                   const Instruction &inst)
+{
+    CompHeavyTile &t = s.tile;
+    auto reg = [&](int i) { return t.reg(inst.args[i]); };
+
+    if (inst.op == Opcode::MEMTRACK) {
+        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        if (!home->trackers().arm(reg(1), reg(2), reg(3), reg(4)))
+            return -1;      // table full: retry (hardware NACK)
+        return 1;
+    }
+    // DMA_MEMTRACK: arm on a neighbour of the home tile.
+    int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
+    MemHeavyTile *remote = memNeighbor(row, mem_col, inst.args[1]);
+    if (!remote)
+        panic("DMA_MEMTRACK: bad remote port ", inst.args[1]);
+    if (!remote->trackers().arm(reg(2), reg(3), reg(4), reg(5)))
+        return -1;
+    return 1;
+}
+
+std::uint64_t
+Machine::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sp : compSites_)
+        total += sp->tile.instsExecuted;
+    return total;
+}
+
+std::uint64_t
+Machine::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sp : compSites_)
+        total += sp->tile.macsIssued;
+    return total;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    StatGroup machine("machine");
+    machine.addCounter("cycles", "elapsed cycles").set(cycle_);
+    machine.addCounter("instructions", "instructions executed")
+        .set(totalInstructions());
+    machine.addCounter("macs", "useful multiply-accumulates")
+        .set(totalMacs());
+
+    std::vector<std::unique_ptr<StatGroup>> children;
+    for (const auto &sp : compSites_) {
+        const CompHeavyTile &t = sp->tile;
+        if (!t.hasProgram())
+            continue;
+        std::size_t idx = &sp - compSites_.data();
+        int role = static_cast<int>(idx % 3);
+        int col = static_cast<int>((idx / 3) % config_.cols);
+        int row = static_cast<int>(idx / 3 / config_.cols);
+        std::ostringstream name;
+        name << "comp_r" << row << "_c" << col << "_"
+             << tileRoleName(static_cast<TileRole>(role));
+        auto group = std::make_unique<StatGroup>(name.str());
+        group->addCounter("insts", "instructions executed")
+            .set(t.instsExecuted);
+        group->addCounter("stall_cycles", "cycles blocked on trackers")
+            .set(t.stallCycles);
+        group->addCounter("busy_cycles", "2D-array busy cycles")
+            .set(t.busyCycles);
+        group->addCounter("macs", "multiply-accumulates")
+            .set(t.macsIssued);
+        machine.addChild(group.get());
+        children.push_back(std::move(group));
+    }
+    for (int row = 0; row < config_.rows; ++row) {
+        for (int mc = 0; mc <= config_.cols; ++mc) {
+            const MemHeavyTile &t = memTile(row, mc);
+            if (t.readWords() == 0 && t.writeWords() == 0 &&
+                t.sfuOps() == 0) {
+                continue;
+            }
+            std::ostringstream name;
+            name << "mem_r" << row << "_c" << mc;
+            auto group = std::make_unique<StatGroup>(name.str());
+            group->addCounter("read_words", "words read")
+                .set(t.readWords());
+            group->addCounter("write_words", "words written")
+                .set(t.writeWords());
+            group->addCounter("sfu_ops", "SFU operations")
+                .set(t.sfuOps());
+            group->addCounter("tracker_blocked_reads",
+                              "reads queued by trackers")
+                .set(t.trackers().blockedReads());
+            group->addCounter("tracker_blocked_writes",
+                              "writes queued by trackers")
+                .set(t.trackers().blockedWrites());
+            machine.addChild(group.get());
+            children.push_back(std::move(group));
+        }
+    }
+    machine.dump(os);
+}
+
+double
+Machine::peUtilization() const
+{
+    std::uint64_t busy = 0;
+    int active_tiles = 0;
+    for (const auto &sp : compSites_) {
+        if (!sp->tile.hasProgram())
+            continue;
+        ++active_tiles;
+        busy += sp->tile.busyCycles;
+    }
+    if (active_tiles == 0 || cycle_ == 0)
+        return 0.0;
+    return static_cast<double>(busy) /
+           (static_cast<double>(cycle_) * active_tiles);
+}
+
+} // namespace sd::sim

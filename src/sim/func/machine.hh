@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The chip-level functional/cycle simulator.
+ *
+ * A Machine instantiates the ScaleDeep chip grid — MemHeavy columns
+ * interleaved with FP/BP/WG CompHeavy triplets — plus an external
+ * memory, loads a compiled Program into each CompHeavy tile, and
+ * executes them concurrently with per-instruction cycle costs and
+ * tracker-enforced synchronization. It is validated against the
+ * reference DNN engine.
+ *
+ * Timing model: scalar instructions take one cycle; array instructions
+ * occupy the tile for the 2D-array pass count derived from the array
+ * shape; offload/DMA instructions are charged link and SFU cycles.
+ * Instructions whose tracker probes block are retried every cycle
+ * (modeling the hardware's queued accesses) and accrue stall cycles.
+ */
+
+#ifndef SCALEDEEP_SIM_FUNC_MACHINE_HH
+#define SCALEDEEP_SIM_FUNC_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "sim/func/compheavy.hh"
+#include "sim/func/memheavy.hh"
+
+namespace sd::sim {
+
+/** Machine construction parameters. */
+struct MachineConfig
+{
+    int rows = 2;
+    int cols = 2;               ///< compute columns (mem columns = cols+1)
+    arch::CompHeavyConfig comp;
+    arch::MemHeavyConfig mem;
+    std::uint32_t extMemWords = 1u << 22;
+
+    // Link throughputs in bytes per cycle (bandwidth / frequency).
+    int compMemBytesPerCycle = 40;
+    int memMemBytesPerCycle = 60;
+    int extMemBytesPerCycle = 250;
+
+    /** Derive a machine from a chip configuration (grid size capped). */
+    static MachineConfig fromChip(const arch::ChipConfig &chip,
+                                  double freq, int rows, int cols);
+};
+
+/** Result of a Machine::run() call. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;
+    bool deadlocked = false;    ///< all live tiles blocked on trackers
+    bool timedOut = false;      ///< hit the cycle budget
+
+    bool ok() const { return !deadlocked && !timedOut; }
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    const MachineConfig &config() const { return config_; }
+
+    /** MemHeavy tile at @p row, memory-column @p mem_col (0..cols). */
+    MemHeavyTile &memTile(int row, int mem_col);
+    const MemHeavyTile &memTile(int row, int mem_col) const;
+
+    /** CompHeavy tile at @p row, compute column @p col, given role. */
+    CompHeavyTile &compTile(int row, int col, TileRole role);
+
+    std::vector<float> &extMem() { return extMem_; }
+
+    void loadProgram(int row, int col, TileRole role,
+                     isa::Program program);
+
+    /** Run until completion, deadlock or @p max_cycles. */
+    RunResult run(std::uint64_t max_cycles = 50'000'000);
+
+    std::uint64_t cycles() const { return cycle_; }
+    std::uint64_t totalInstructions() const;
+    std::uint64_t totalMacs() const;
+
+    /** Fraction of elapsed tile-cycles the 2D-PE arrays were busy. */
+    double peUtilization() const;
+
+    /**
+     * Dump the machine's statistics as a gem5-style flat listing
+     * (per-tile instruction/stall/MAC counters, MemHeavy access and
+     * tracker counters, machine totals).
+     */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    struct CompSite
+    {
+        CompHeavyTile tile;
+        std::uint64_t busyUntil = 0;
+
+        explicit CompSite(const arch::CompHeavyConfig &c) : tile(c) {}
+    };
+
+    MemHeavyTile *compPortTile(int row, int col, std::int32_t port);
+    /**
+     * Resolve a port relative to home MemHeavy tile (row, mem_col).
+     * @return the neighbour tile, or nullptr for the external port.
+     */
+    MemHeavyTile *memNeighbor(int row, int mem_col, std::int32_t port);
+
+    /** Execute one instruction; false when blocked (retry). */
+    bool execute(CompSite &site, int row, int col, TileRole role);
+
+    // Instruction family handlers; each returns the cycle cost, or -1
+    // when the instruction is tracker-blocked.
+    std::int64_t execNdConv(CompSite &site, int row, int col,
+                            const isa::Instruction &inst);
+    std::int64_t execMatMul(CompSite &site, int row, int col,
+                            const isa::Instruction &inst);
+    std::int64_t execOffload(CompSite &site, int row, int col,
+                             const isa::Instruction &inst);
+    std::int64_t execTransfer(CompSite &site, int row, int col,
+                              const isa::Instruction &inst);
+    std::int64_t execTrack(CompSite &site, int row, int col,
+                           const isa::Instruction &inst);
+
+    CompSite &site(int row, int col, TileRole role);
+
+    MachineConfig config_;
+    std::vector<MemHeavyTile> memTiles_;            ///< row-major
+    std::vector<std::unique_ptr<CompSite>> compSites_;
+    std::vector<float> extMem_;
+    std::uint64_t cycle_ = 0;
+};
+
+} // namespace sd::sim
+
+#endif // SCALEDEEP_SIM_FUNC_MACHINE_HH

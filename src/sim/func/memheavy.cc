@@ -1,0 +1,84 @@
+#include "sim/func/memheavy.hh"
+
+#include "core/logging.hh"
+
+namespace sd::sim {
+
+MemHeavyTile::MemHeavyTile(const arch::MemHeavyConfig &config)
+    : config_(config), data_(config.capacity / 4, 0.0f),
+      trackers_(config.trackerEntries)
+{
+}
+
+void
+MemHeavyTile::checkRange(std::uint32_t addr, std::uint32_t size) const
+{
+    if (addr + size > data_.size() || addr + size < addr) {
+        panic("MemHeavyTile: access [", addr, ", ", addr + size,
+              ") exceeds capacity ", data_.size(), " words");
+    }
+}
+
+bool
+MemHeavyTile::read(std::uint32_t addr, std::uint32_t size, float *out)
+{
+    checkRange(addr, size);
+    if (trackers_.read(addr, size) == TrackerVerdict::Block)
+        return false;
+    for (std::uint32_t i = 0; i < size; ++i)
+        out[i] = data_[addr + i];
+    readWords_ += size;
+    return true;
+}
+
+bool
+MemHeavyTile::write(std::uint32_t addr, std::uint32_t size,
+                    const float *in, bool accum)
+{
+    checkRange(addr, size);
+    if (trackers_.write(addr, size) == TrackerVerdict::Block)
+        return false;
+    if (accum) {
+        for (std::uint32_t i = 0; i < size; ++i)
+            data_[addr + i] += in[i];
+    } else {
+        for (std::uint32_t i = 0; i < size; ++i)
+            data_[addr + i] = in[i];
+    }
+    writeWords_ += size;
+    return true;
+}
+
+float
+MemHeavyTile::peek(std::uint32_t addr) const
+{
+    checkRange(addr, 1);
+    return data_[addr];
+}
+
+void
+MemHeavyTile::poke(std::uint32_t addr, float value)
+{
+    checkRange(addr, 1);
+    data_[addr] = value;
+}
+
+void
+MemHeavyTile::pokeRange(std::uint32_t addr, const float *in,
+                        std::uint32_t size)
+{
+    checkRange(addr, size);
+    for (std::uint32_t i = 0; i < size; ++i)
+        data_[addr + i] = in[i];
+}
+
+void
+MemHeavyTile::peekRange(std::uint32_t addr, float *out,
+                        std::uint32_t size) const
+{
+    checkRange(addr, size);
+    for (std::uint32_t i = 0; i < size; ++i)
+        out[i] = data_[addr + i];
+}
+
+} // namespace sd::sim

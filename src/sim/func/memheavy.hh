@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Functional model of a MemHeavy tile: a word-addressed scratchpad with
+ * accumulate-on-write support, a data-flow tracker table, SFU operations
+ * executed in place, and access statistics.
+ *
+ * Addresses are in 32-bit words (one network-state element each), which
+ * keeps compiler-generated address arithmetic simple; capacities from
+ * the architecture model are converted at construction.
+ */
+
+#ifndef SCALEDEEP_SIM_FUNC_MEMHEAVY_HH
+#define SCALEDEEP_SIM_FUNC_MEMHEAVY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/tile.hh"
+#include "sim/func/tracker.hh"
+
+namespace sd::sim {
+
+/** Functional state of one MemHeavy tile. */
+class MemHeavyTile
+{
+  public:
+    explicit MemHeavyTile(const arch::MemHeavyConfig &config);
+
+    std::uint32_t capacityWords() const
+    { return static_cast<std::uint32_t>(data_.size()); }
+
+    /**
+     * Tracker-gated read of @p size words at @p addr into @p out.
+     * @return false when the tracker blocks the access (retry later).
+     */
+    bool read(std::uint32_t addr, std::uint32_t size, float *out);
+
+    /**
+     * Tracker-gated write (or accumulate) of @p size words.
+     * @return false when blocked.
+     */
+    bool write(std::uint32_t addr, std::uint32_t size, const float *in,
+               bool accum);
+
+    /** Untracked accessors for test setup / result inspection. */
+    float peek(std::uint32_t addr) const;
+    void poke(std::uint32_t addr, float value);
+    void pokeRange(std::uint32_t addr, const float *in,
+                   std::uint32_t size);
+    void peekRange(std::uint32_t addr, float *out,
+                   std::uint32_t size) const;
+
+    TrackerTable &trackers() { return trackers_; }
+    const TrackerTable &trackers() const { return trackers_; }
+    const arch::MemHeavyConfig &config() const { return config_; }
+
+    std::uint64_t readWords() const { return readWords_; }
+    std::uint64_t writeWords() const { return writeWords_; }
+    std::uint64_t sfuOps() const { return sfuOps_; }
+
+    /** Charge @p ops SFU operations (for utilization stats). */
+    void chargeSfu(std::uint64_t ops) { sfuOps_ += ops; }
+
+  private:
+    void checkRange(std::uint32_t addr, std::uint32_t size) const;
+
+    arch::MemHeavyConfig config_;
+    std::vector<float> data_;
+    TrackerTable trackers_;
+    std::uint64_t readWords_ = 0;
+    std::uint64_t writeWords_ = 0;
+    std::uint64_t sfuOps_ = 0;
+};
+
+} // namespace sd::sim
+
+#endif // SCALEDEEP_SIM_FUNC_MEMHEAVY_HH

@@ -1,0 +1,108 @@
+#include "sim/func/tracker.hh"
+
+#include <algorithm>
+
+namespace sd::sim {
+
+bool
+TrackerTable::arm(std::uint32_t addr, std::uint32_t size,
+                  std::uint32_t num_updates, std::uint32_t num_reads)
+{
+    // Reclaim retired entries first.
+    std::erase_if(entries_,
+                  [](const TrackerEntry &e) { return e.retired(); });
+    // A range may carry only one live tracker: re-arming a range whose
+    // previous generation has pending updates/reads is queued (NACKed)
+    // until it retires. This is the pipeline's write-after-read
+    // throttle: image t+1's producer cannot start until image t's
+    // consumers drained.
+    for (const TrackerEntry &e : entries_) {
+        if (e.overlaps(addr, size)) {
+            ++nacks_;
+            return false;
+        }
+    }
+    if (static_cast<int>(entries_.size()) >= capacity_) {
+        ++nacks_;
+        return false;
+    }
+    TrackerEntry e;
+    e.addr = addr;
+    e.size = size;
+    e.numUpdates = num_updates;
+    e.numReads = num_reads;
+    entries_.push_back(e);
+    return true;
+}
+
+// An access may span several tracked ranges (e.g. an FC layer reading a
+// whole feature region that two producers filled); it proceeds only if
+// every overlapping entry permits it, and then counts on each of them.
+
+TrackerVerdict
+TrackerTable::read(std::uint32_t addr, std::uint32_t size)
+{
+    if (probeRead(addr, size) == TrackerVerdict::Block)
+        return TrackerVerdict::Block;
+    for (TrackerEntry &e : entries_) {
+        if (!e.retired() && e.overlaps(addr, size))
+            ++e.readsSeen;
+    }
+    return TrackerVerdict::Allow;
+}
+
+TrackerVerdict
+TrackerTable::probeRead(std::uint32_t addr, std::uint32_t size)
+{
+    for (const TrackerEntry &e : entries_) {
+        if (!e.retired() && e.overlaps(addr, size) &&
+            !e.updatesComplete()) {
+            ++blockedReads_;    // a presented-and-queued request
+            return TrackerVerdict::Block;
+        }
+    }
+    return TrackerVerdict::Allow;
+}
+
+TrackerVerdict
+TrackerTable::probeWrite(std::uint32_t addr, std::uint32_t size)
+{
+    for (const TrackerEntry &e : entries_) {
+        if (!e.retired() && e.overlaps(addr, size) &&
+            e.updatesComplete()) {
+            ++blockedWrites_;
+            return TrackerVerdict::Block;
+        }
+    }
+    return TrackerVerdict::Allow;
+}
+
+TrackerVerdict
+TrackerTable::write(std::uint32_t addr, std::uint32_t size)
+{
+    // An overwrite of any completed entry must wait for its reads to
+    // drain; otherwise the write counts as an update on every
+    // overlapping entry.
+    for (const TrackerEntry &e : entries_) {
+        if (!e.retired() && e.overlaps(addr, size) &&
+            e.updatesComplete()) {
+            ++blockedWrites_;
+            return TrackerVerdict::Block;
+        }
+    }
+    for (TrackerEntry &e : entries_) {
+        if (!e.retired() && e.overlaps(addr, size))
+            ++e.updatesSeen;
+    }
+    return TrackerVerdict::Allow;
+}
+
+int
+TrackerTable::liveEntries() const
+{
+    return static_cast<int>(
+        std::count_if(entries_.begin(), entries_.end(),
+                      [](const TrackerEntry &e) { return !e.retired(); }));
+}
+
+} // namespace sd::sim

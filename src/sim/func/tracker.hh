@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hardware data-flow trackers (paper Section 3.2.4).
+ *
+ * A tracker is armed on an address range with an expected number of
+ * updates and reads:
+ *   MEMTRACK(AddRange, NumUpdates, NumReads)
+ * Reads arriving before NumUpdates updates are blocked (queued in
+ * hardware; the functional simulator stalls and retries the requester).
+ * Overwrites arriving after the updates completed but before NumReads
+ * reads are likewise blocked, protecting live data. Once the expected
+ * reads complete the tracker retires and the range is unconstrained.
+ */
+
+#ifndef SCALEDEEP_SIM_FUNC_TRACKER_HH
+#define SCALEDEEP_SIM_FUNC_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sd::sim {
+
+/** Outcome of presenting an access to the tracker table. */
+enum class TrackerVerdict
+{
+    Allow,      ///< proceed
+    Block,      ///< stall and retry (queued in hardware)
+};
+
+/** One armed tracker entry. */
+struct TrackerEntry
+{
+    std::uint32_t addr = 0;     ///< first word of the range
+    std::uint32_t size = 0;     ///< words in the range
+    std::uint32_t numUpdates = 0;
+    std::uint32_t numReads = 0;
+    std::uint32_t updatesSeen = 0;
+    std::uint32_t readsSeen = 0;
+
+    bool updatesComplete() const { return updatesSeen >= numUpdates; }
+    bool retired() const
+    { return updatesComplete() && readsSeen >= numReads; }
+
+    bool
+    overlaps(std::uint32_t a, std::uint32_t n) const
+    {
+        return a < addr + size && addr < a + n;
+    }
+};
+
+/**
+ * The tracker table of one MemHeavy tile. Capacity-limited; arming past
+ * capacity fails (hardware would NACK and the program must retry).
+ */
+class TrackerTable
+{
+  public:
+    explicit TrackerTable(int capacity = 8) : capacity_(capacity) {}
+
+    /**
+     * Arm a tracker. Retired entries are reclaimed lazily.
+     * @return true on success; false when the table is full (NACK).
+     */
+    bool arm(std::uint32_t addr, std::uint32_t size,
+             std::uint32_t num_updates, std::uint32_t num_reads);
+
+    /** Present a read of [addr, addr+size); counts on Allow. */
+    TrackerVerdict read(std::uint32_t addr, std::uint32_t size);
+
+    /**
+     * Side-effect-free verdicts, used by multi-access instructions to
+     * confirm every touched range is unblocked before committing any
+     * counted access (keeping tracker counts consistent on retry).
+     */
+    TrackerVerdict probeRead(std::uint32_t addr, std::uint32_t size);
+    TrackerVerdict probeWrite(std::uint32_t addr, std::uint32_t size);
+
+    /**
+     * Present a write of [addr, addr+size); counts as an update on
+     * Allow. Writes beyond the expected update count block until the
+     * reads retire the entry.
+     */
+    TrackerVerdict write(std::uint32_t addr, std::uint32_t size);
+
+    /** Number of live (non-retired) entries. */
+    int liveEntries() const;
+
+    std::uint64_t blockedReads() const { return blockedReads_; }
+    std::uint64_t blockedWrites() const { return blockedWrites_; }
+    std::uint64_t nacks() const { return nacks_; }
+
+  private:
+    int capacity_;
+    std::vector<TrackerEntry> entries_;
+    std::uint64_t blockedReads_ = 0;
+    std::uint64_t blockedWrites_ = 0;
+    std::uint64_t nacks_ = 0;
+};
+
+} // namespace sd::sim
+
+#endif // SCALEDEEP_SIM_FUNC_TRACKER_HH

@@ -1,0 +1,355 @@
+#include "sim/perf/perfsim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+#include "dnn/workload.hh"
+
+namespace sd::sim::perf {
+
+using compiler::LayerAlloc;
+using compiler::Mapper;
+using compiler::Mapping;
+using dnn::Layer;
+using dnn::LayerKind;
+
+PerfSim::PerfSim(dnn::Network net, arch::NodeConfig node,
+                 PerfOptions options)
+    : net_(std::move(net)), node_(std::move(node)), options_(options)
+{
+    if (options_.minibatch <= 0)
+        fatal("PerfSim: minibatch must be positive");
+}
+
+PerfResult
+PerfSim::run() const
+{
+    const arch::NodeConfig &node = node_;
+    const arch::ChipConfig &conv_chip = node.cluster.convChip;
+    const arch::ChipConfig &fc_chip = node.cluster.fcChip;
+    const double es =
+        static_cast<double>(bytesPerElement(node.precision));
+    const int num_fc_chips = node.numClusters;  // one hub per wheel
+
+    PerfResult r;
+    Mapper mapper(net_, node);
+    r.mapping = mapper.map();
+    const Mapping &m = r.mapping;
+
+    dnn::Workload workload(net_, node.precision);
+
+    // --- per-layer timing ---
+    std::vector<LayerTiming> timings;
+    double conv_stage_train = 0.0, conv_stage_eval = 0.0;
+    double fc_stage_train = 0.0, fc_stage_eval = 0.0;
+    double conv_ext_bytes_fp = 0.0, conv_ext_bytes_train = 0.0;
+    double fc_ext_bytes_fp = 0.0, fc_ext_bytes_train = 0.0;
+    double total_flops = 0.0;       // FP flops per image
+    double max_load = 0.0;          // peak FLOPs per column (conv side)
+    double conv_flops = 0.0;
+    int conv_cols = 0;
+
+    for (const LayerAlloc &a : m.layers) {
+        const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
+        // A unit's stage time is the sum over its member layers (the
+        // members of a module run back to back on the same tiles).
+        LayerTiming unit;
+        unit.id = a.id;
+        auto add_member = [&](const Layer &ml,
+                              const compiler::ArrayShape *shape) {
+            compiler::LayerAlloc tmp = a;
+            if (shape)
+                tmp.shape = *shape;
+            LayerTiming mt =
+                layerTiming(ml, nullptr, tmp, chip, node.precision);
+            unit.fpCycles += mt.fpCycles;
+            unit.bpCycles += mt.bpCycles;
+            unit.wgCycles += mt.wgCycles;
+            unit.sfuOps += mt.sfuOps;
+            unit.compMemBytes += mt.compMemBytes;
+            unit.memMemBytes += mt.memMemBytes;
+            unit.extMemBytes += mt.extMemBytes;
+            unit.extMemBytesTraining += mt.extMemBytesTraining;
+        };
+        for (dnn::LayerId mid : a.members) {
+            const Layer &ml = net_.layer(mid);
+            if (ml.kind == LayerKind::Samp) {
+                add_member(ml, nullptr);    // standalone SAMP unit
+            } else {
+                compiler::ArrayShape shape =
+                    Mapper::chooseArrayShape(ml, chip.comp).first;
+                add_member(ml, &shape);
+            }
+        }
+        for (dnn::LayerId sid : a.sampMembers)
+            add_member(net_.layer(sid), nullptr);
+        timings.push_back(unit);
+        LayerTiming &t = timings.back();
+        // Loop-control / data-movement instruction overhead stretches
+        // every stage.
+        const double eff = options_.programEfficiency;
+        t.fpCycles /= eff;
+        t.bpCycles /= eff;
+        t.wgCycles /= eff;
+
+        total_flops += a.fpFlops;
+        if (a.fcSide) {
+            fc_stage_train =
+                std::max(fc_stage_train, t.trainStageCycles());
+            fc_stage_eval = std::max(fc_stage_eval, t.evalStageCycles());
+            fc_ext_bytes_fp += t.extMemBytes;
+            fc_ext_bytes_train += t.extMemBytes + t.extMemBytesTraining;
+        } else {
+            conv_stage_train =
+                std::max(conv_stage_train, t.trainStageCycles());
+            conv_stage_eval =
+                std::max(conv_stage_eval, t.evalStageCycles());
+            conv_ext_bytes_fp += t.extMemBytes;
+            conv_ext_bytes_train +=
+                t.extMemBytes + t.extMemBytesTraining;
+            conv_flops += a.fpFlops;
+            conv_cols += a.columns;
+            max_load = std::max(max_load, a.fpFlops / a.columns);
+        }
+    }
+
+    // --- bandwidth-bound stages ---
+    // External memory attaches at both the top and bottom chip borders
+    // (Figure 7c): two channels per chip.
+    const double conv_ext_bpc =
+        2.0 * conv_chip.links.extMemBw / node.freq;
+    const double fc_ext_bpc = 2.0 * fc_chip.links.extMemBw / node.freq;
+    auto ext_stage = [&](double bytes, int chips, double bpc) {
+        return bytes / (static_cast<double>(chips) * bpc);
+    };
+    const double conv_ext_train =
+        ext_stage(conv_ext_bytes_train, m.convChips, conv_ext_bpc);
+    const double conv_ext_eval =
+        ext_stage(conv_ext_bytes_fp, m.convChips, conv_ext_bpc);
+
+    // --- pipeline throughput ---
+    // A copy retires an image every II cycles; copies run in parallel.
+    const double ii_train = std::max(conv_stage_train, conv_ext_train);
+    const double ii_eval = std::max(conv_stage_eval, conv_ext_eval);
+    double imgs_per_cycle_train = m.copies / std::max(ii_train, 1.0);
+    double imgs_per_cycle_eval = m.copies / std::max(ii_eval, 1.0);
+
+    // The FcLayer chips serve the whole node with model parallelism:
+    // each hub computes 1/num_fc_chips of every image's FC work. The
+    // wheel batches FC inputs, so FC weight traffic is amortized over
+    // the images in flight (one stream per network copy, a few
+    // pipelined images deep per stream).
+    // The hub aggregates at least the wheel's spokes across all
+    // clusters (model parallelism), regardless of how many chips one
+    // copy spans; more copies deepen the batch further.
+    const double fc_batch =
+        options_.fcBatchOverride > 0.0
+            ? options_.fcBatchOverride
+            : std::min<double>(options_.minibatch,
+                               std::max(16, m.copies * 4));
+    if (fc_stage_train > 0.0) {
+        const double fc_ext_train = ext_stage(
+            fc_ext_bytes_train / fc_batch, num_fc_chips, fc_ext_bpc);
+        const double fc_ii_train = std::max(
+            fc_stage_train / num_fc_chips, fc_ext_train);
+        imgs_per_cycle_train = std::min(imgs_per_cycle_train,
+                                        1.0 / std::max(fc_ii_train, 1e-9));
+        const double fc_ext_eval = ext_stage(
+            fc_ext_bytes_fp / fc_batch, num_fc_chips, fc_ext_bpc);
+        const double fc_ii_eval =
+            std::max(fc_stage_eval / num_fc_chips, fc_ext_eval);
+        imgs_per_cycle_eval = std::min(imgs_per_cycle_eval,
+                                       1.0 / std::max(fc_ii_eval, 1e-9));
+    }
+
+    // --- minibatch-end gradient reduction (training only) ---
+    // FC weights are model-parallel: their gradients accumulate
+    // locally in each hub's shard and never cross the ring. Only CONV
+    // weight gradients ride the arcs and ring (reduce + broadcast).
+    double conv_weight_bytes = 0.0;
+    for (const LayerAlloc &a : m.layers) {
+        if (a.fcSide)
+            continue;
+        for (dnn::LayerId mid : a.members) {
+            conv_weight_bytes +=
+                static_cast<double>(net_.layer(mid).weightCount()) *
+                es;
+        }
+    }
+    const double weight_bytes =
+        static_cast<double>(net_.totalWeights()) * es;
+    const double ring_bpc = node.ringBw / node.freq;
+    const double arc_bpc = node.cluster.arcBw / node.freq;
+    // Ring all-reduce moves 2W(n-1)/n bytes per link in parallel; the
+    // wheel arcs reduce concurrently with the ring, and roughly half of
+    // the reduction overlaps the tail of the previous minibatch's
+    // compute.
+    const double n_cl = node.numClusters;
+    const double ring_time =
+        2.0 * conv_weight_bytes * (n_cl - 1.0) / n_cl / ring_bpc;
+    const double arc_time = 2.0 * conv_weight_bytes / arc_bpc /
+                            std::max(1, node.cluster.numConvChips);
+    const double sync_cycles = 0.5 * std::max(ring_time, arc_time);
+    const double sync_per_image = sync_cycles / options_.minibatch;
+
+    const double train_cycles_per_image =
+        1.0 / imgs_per_cycle_train + sync_per_image;
+    r.trainImagesPerSec = node.freq / train_cycles_per_image;
+    r.evalImagesPerSec = node.freq * imgs_per_cycle_eval;
+
+    // --- utilization ---
+    const double comp_peak =
+        node.numClusters *
+        (node.cluster.numConvChips * conv_chip.numCompHeavy() *
+             conv_chip.comp.peakFlops(node.freq) +
+         fc_chip.numCompHeavy() * fc_chip.comp.peakFlops(node.freq));
+    // Training runs FP+BP+WG; evaluation only FP.
+    const double train_flops_per_image = workload.trainingFlops();
+    const double achieved_flops =
+        train_flops_per_image * r.trainImagesPerSec;
+    r.peUtil = achieved_flops / comp_peak;
+
+    // --- per-layer detail (Figure 19) ---
+    const double total_cols = std::max(1, conv_cols);
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        const LayerAlloc &a = m.layers[i];
+        const Layer &l = net_.layer(a.id);
+        LayerPerf lp;
+        lp.id = a.id;
+        lp.name = l.name;
+        lp.fcSide = a.fcSide;
+        lp.columns = a.columns;
+        lp.stageTrainCycles = timings[i].trainStageCycles();
+        lp.stageEvalCycles = timings[i].evalStageCycles();
+        if (!a.fcSide && conv_flops > 0.0) {
+            const double flop_share = a.fpFlops / conv_flops;
+            const double col_share = a.columns / total_cols;
+            lp.columnUtil = flop_share / col_share;
+        }
+        lp.featureDistUtil = a.featureDistUtil();
+        lp.arrayResidueUtil = a.arrayUtil;
+        lp.achievedUtil = std::min(1.0, lp.columnUtil) *
+                          lp.featureDistUtil * lp.arrayResidueUtil *
+                          options_.programEfficiency;
+        r.layers.push_back(lp);
+    }
+
+    // Aggregate chain, FLOP weighted over the conv side.
+    r.columnAllocUtil = m.columnAllocUtil();
+    double feat_acc = 0.0, arr_acc = 0.0, w_acc = 0.0;
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        const LayerAlloc &a = m.layers[i];
+        if (a.fcSide)
+            continue;
+        feat_acc += a.featureDistUtil() * a.fpFlops;
+        arr_acc += a.arrayUtil * a.fpFlops;
+        w_acc += a.fpFlops;
+    }
+    if (w_acc > 0.0) {
+        r.featureDistUtil = feat_acc / w_acc;
+        r.arrayResidueUtil = arr_acc / w_acc;
+    }
+
+    // --- SFU / memory-array / link utilization (per training II) ---
+    const double ii = 1.0 / imgs_per_cycle_train * m.copies;
+    double sfu_time = 0.0, comp_mem_time = 0.0, mem_mem_time = 0.0;
+    double mem_bytes_total = 0.0;
+    const double comp_mem_bpc = conv_chip.links.compMemBw / node.freq;
+    const double mem_mem_bpc = conv_chip.links.memMemBw / node.freq;
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        const LayerAlloc &a = m.layers[i];
+        const LayerTiming &t = timings[i];
+        const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
+        const double tiles = std::max(1, a.tilesTotal);
+        sfu_time += t.sfuOps / (tiles * chip.mem.numSfu);
+        // Training moves FP+BP+WG traffic (roughly 3x FP) across the
+        // per-tile links; each grid site has 3 CompHeavy tiles with
+        // their own links.
+        comp_mem_time +=
+            3.0 * t.compMemBytes / (tiles * 3.0 * comp_mem_bpc);
+        mem_mem_time += 3.0 * t.memMemBytes / (tiles * mem_mem_bpc);
+        mem_bytes_total += 3.0 * (t.compMemBytes + t.memMemBytes);
+    }
+    auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+    r.sfuUtil = clamp01(sfu_time / ii);
+    r.links.compMem = clamp01(comp_mem_time / ii);
+    r.links.memMem = clamp01(mem_mem_time / ii);
+    // Data-array activity: bytes served per cycle against a nominal
+    // tile access width (one SFU-wide word line per cycle).
+    const int total_tiles = node.numMemHeavy() / std::max(1, m.copies);
+    const double array_width = 128.0;   // bytes per tile per cycle
+    r.memArrayUtil =
+        clamp01(mem_bytes_total / (total_tiles * array_width) / ii);
+
+    r.links.convExt = clamp01(conv_ext_train / ii);
+    const double node_cycles_per_image =
+        1.0 / imgs_per_cycle_train;
+    r.links.fcExt = clamp01(
+        ext_stage(fc_ext_bytes_train / fc_batch, num_fc_chips,
+                  fc_ext_bpc) /
+        node_cycles_per_image);
+
+    // Spokes carry the first FC layer's inputs (and errors back).
+    double fc_in_bytes = 0.0;
+    for (const LayerAlloc &a : m.layers) {
+        if (a.fcSide) {
+            fc_in_bytes =
+                static_cast<double>(net_.layer(a.id).inputElems()) * es;
+            break;
+        }
+    }
+    const double spoke_bpc = node.cluster.spokeBw / node.freq;
+    r.links.spoke = clamp01(2.0 * fc_in_bytes / spoke_bpc / ii);
+
+    // Arcs: inter-chip CONV features when a copy spans several chips,
+    // plus the per-minibatch weight distribution.
+    double boundary_bytes = 0.0;
+    if (m.convChips > 1) {
+        double out_bytes_sum = 0.0;
+        int n = 0;
+        for (const LayerAlloc &a : m.layers) {
+            if (a.fcSide)
+                continue;
+            out_bytes_sum +=
+                static_cast<double>(net_.layer(a.id).outputElems()) *
+                es;
+            ++n;
+        }
+        if (n > 0)
+            boundary_bytes = (m.convChips - 1) * (out_bytes_sum / n) /
+                             m.convChips;
+    }
+    const double arc_per_image =
+        boundary_bytes + 2.0 * conv_weight_bytes / options_.minibatch;
+    r.links.arc = clamp01(arc_per_image / arc_bpc / ii);
+
+    // Ring: model-parallel FC features for every image, CONV features
+    // when a copy spans clusters, and the gradient all-reduce.
+    double ring_bytes = 2.0 * fc_in_bytes / num_fc_chips;
+    if (m.convChips > node.cluster.numConvChips)
+        ring_bytes += boundary_bytes;
+    ring_bytes += 2.0 * conv_weight_bytes / options_.minibatch;
+    (void)weight_bytes;
+    r.links.ring =
+        clamp01(ring_bytes / ring_bpc / node_cycles_per_image /
+                num_fc_chips);
+
+    // --- power (Figure 20) ---
+    arch::PowerModel power(node);
+    arch::UtilizationProfile profile;
+    profile.peUtil = clamp01(r.peUtil);
+    profile.sfuUtil = r.sfuUtil;
+    profile.memArrayUtil = r.memArrayUtil;
+    profile.onChipLinkUtil = 0.5 * (r.links.compMem + r.links.memMem);
+    profile.clusterLinkUtil =
+        (r.links.convExt + r.links.fcExt + r.links.spoke + r.links.arc) /
+        4.0;
+    profile.ringUtil = r.links.ring;
+    r.avgPower = power.nodeAverage(profile);
+    r.gflopsPerWatt = achieved_flops / r.avgPower.total() / 1e9;
+
+    return r;
+}
+
+} // namespace sd::sim::perf

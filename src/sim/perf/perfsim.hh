@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The node-level performance simulator.
+ *
+ * Combines the compiler's mapping with the per-layer timing model to
+ * simulate the nested-pipeline execution of a network on a ScaleDeep
+ * node: the inter-layer pipeline's initiation interval is set by the
+ * slowest layer stage (compute or bandwidth bound), network copies and
+ * FcLayer model parallelism scale throughput, and minibatch-end
+ * gradient reduction over the wheel arcs and ring is amortized per
+ * image. Produces the utilization, power and link statistics behind
+ * Figures 16, 17, 19, 20 and 21.
+ */
+
+#ifndef SCALEDEEP_SIM_PERF_PERFSIM_HH
+#define SCALEDEEP_SIM_PERF_PERFSIM_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/power.hh"
+#include "compiler/mapper.hh"
+#include "dnn/network.hh"
+#include "sim/perf/timing.hh"
+
+namespace sd::sim::perf {
+
+/** Utilization of each link class (Figure 21). */
+struct LinkUtilization
+{
+    double compMem = 0.0;   ///< CompHeavy <-> MemHeavy
+    double memMem = 0.0;    ///< MemHeavy <-> MemHeavy
+    double convExt = 0.0;   ///< ConvLayer chip <-> external memory
+    double fcExt = 0.0;     ///< FcLayer chip <-> external memory
+    double spoke = 0.0;     ///< wheel spokes
+    double arc = 0.0;       ///< wheel arcs
+    double ring = 0.0;      ///< inter-cluster ring
+};
+
+/** Per-layer performance detail (Figure 19). */
+struct LayerPerf
+{
+    dnn::LayerId id = -1;
+    std::string name;
+    bool fcSide = false;
+    int columns = 0;
+    double stageTrainCycles = 0.0;
+    double stageEvalCycles = 0.0;
+
+    // The Figure 19 utilization waterfall. columnUtil may exceed 1
+    // when a layer received more than its FLOP-proportional share.
+    double columnUtil = 1.0;
+    double featureDistUtil = 1.0;
+    double arrayResidueUtil = 1.0;
+    double achievedUtil = 1.0;
+};
+
+/** The result of simulating one network on one node configuration. */
+struct PerfResult
+{
+    compiler::Mapping mapping;
+    std::vector<LayerPerf> layers;
+
+    double trainImagesPerSec = 0.0;
+    double evalImagesPerSec = 0.0;
+
+    double peUtil = 0.0;            ///< 2D-PE utilization (training)
+    double sfuUtil = 0.0;
+    double memArrayUtil = 0.0;
+    LinkUtilization links;
+
+    // Figure 19 aggregate chain.
+    double columnAllocUtil = 1.0;
+    double featureDistUtil = 1.0;
+    double arrayResidueUtil = 1.0;
+
+    arch::PowerBreakdown avgPower;  ///< during training (Figure 20)
+    double gflopsPerWatt = 0.0;     ///< achieved efficiency (Figure 20)
+};
+
+/** Simulator options. */
+struct PerfOptions
+{
+    int minibatch = 256;            ///< images per weight update
+    /**
+     * Fraction of peak stage throughput retained after loop-control
+     * and data-transfer instruction overheads (the paper's final
+     * utilization drop, 0.42 -> 0.35).
+     */
+    double programEfficiency = 0.83;
+
+    /**
+     * Override the FcLayer wheel batch (images whose FC weight fetch
+     * is amortized together). 0 selects the model's estimate; 1
+     * disables wheel batching (ablation of Section 3.3.1).
+     */
+    double fcBatchOverride = 0.0;
+};
+
+class PerfSim
+{
+  public:
+    /** The network and node are copied; temporaries are fine. */
+    PerfSim(dnn::Network net, arch::NodeConfig node,
+            PerfOptions options = {});
+
+    /** Simulate training and evaluation of the mapped network. */
+    PerfResult run() const;
+
+  private:
+    dnn::Network net_;
+    arch::NodeConfig node_;
+    PerfOptions options_;
+};
+
+} // namespace sd::sim::perf
+
+#endif // SCALEDEEP_SIM_PERF_PERFSIM_HH

@@ -1,0 +1,126 @@
+#include "sim/perf/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace sd::sim::perf {
+
+using compiler::ArrayShape;
+using compiler::LayerAlloc;
+using dnn::Layer;
+using dnn::LayerKind;
+
+namespace {
+
+double
+divCeil(double a, double b)
+{
+    return std::ceil(a / b);
+}
+
+} // namespace
+
+double
+convPassCycles(const Layer &l, const ArrayShape &shape)
+{
+    // One pass: ceil(K / cols) kernel-row groups x ceil(outH / rows)
+    // output-row groups, each costing outW * K sliding-dot cycles.
+    double passes = divCeil(l.kernelH, shape.cols) *
+                    divCeil(l.outH, shape.effectiveRows());
+    return passes * l.outW * l.kernelW;
+}
+
+LayerTiming
+layerTiming(const Layer &l, const Layer *fused, const LayerAlloc &alloc,
+            const arch::ChipConfig &chip, Precision precision)
+{
+    LayerTiming t;
+    t.id = l.id;
+    const double es = static_cast<double>(bytesPerElement(precision));
+    const double tiles = alloc.tilesTotal;  // FP tiles of the layer
+    const double in_elems = static_cast<double>(l.inputElems());
+    const double out_elems = static_cast<double>(l.outputElems());
+
+    if (l.kind == LayerKind::Conv) {
+        const ArrayShape &shape = alloc.shape;
+        // Output feature batches per image.
+        const double batch =
+            shape.lanes * shape.parallelBatches();
+        const double nb = divCeil(l.outChannels, batch);
+        // Input features are spread across the layer's tiles; when a
+        // layer has fewer (large) input features than tiles, the
+        // mapper splits features row-wise across tiles (paper STEP4),
+        // so every tile contributes a proportional slice of each pass.
+        const double in_cg =
+            static_cast<double>(l.inChannels) / l.groups;
+        const double split = std::clamp(
+            std::ceil(tiles / in_cg), 1.0,
+            static_cast<double>(l.inH));
+        const double in_eff =
+            divCeil(in_cg * split, tiles) / split;
+        t.fpCycles = nb * in_eff * convPassCycles(l, shape);
+        // BP convolves errors (same MACs) and WG correlates inputs
+        // with errors (same MACs): their tile sets see the same
+        // occupancy to first order.
+        t.bpCycles = t.fpCycles;
+        t.wgCycles = t.fpCycles;
+
+        // SFU work: feature accumulation + activation (+ fused SAMP).
+        t.sfuOps = (static_cast<double>(l.inChannels) / l.groups) *
+                       out_elems +
+                   out_elems;
+        if (fused) {
+            t.sfuOps += static_cast<double>(fused->outputElems()) *
+                        fused->kernelH * fused->kernelW;
+        }
+
+        // Comp-Mem traffic: every input feature is re-read per output
+        // batch; partial outputs stream to the right tile per batch.
+        t.compMemBytes = nb * in_elems * es + out_elems * es;
+        // Mem-Mem: vertical accumulation to the home row and
+        // horizontal accumulation across the layer's columns.
+        const double hops =
+            0.5 * chip.rows + 0.5 * std::max(1, alloc.columns);
+        t.memMemBytes = out_elems * es * hops;
+
+        // External memory: weights prefetched when off-chip, and the
+        // inter-layer pipeline spills FP features for the WG step.
+        const double weight_bytes =
+            static_cast<double>(l.weightCount()) * es;
+        t.extMemBytes = alloc.weightsOnChip ? 0.0 : weight_bytes;
+        t.extMemBytesTraining =
+            (alloc.weightsOnChip ? 0.0 : 2.0 * weight_bytes) +
+            2.0 * out_elems * es;
+    } else if (l.kind == LayerKind::Fc) {
+        const ArrayShape &shape = alloc.shape;
+        const double pes = static_cast<double>(shape.rows) * shape.cols *
+                           shape.lanes;
+        const double out_per_tile = divCeil(l.outChannels, tiles);
+        t.fpCycles = divCeil(out_per_tile, pes) * in_elems;
+        t.bpCycles = t.fpCycles;
+        t.wgCycles = t.fpCycles;
+        t.sfuOps = out_elems;
+
+        const double weight_bytes =
+            static_cast<double>(l.weightCount()) * es;
+        t.compMemBytes = in_elems * es + out_elems * es + weight_bytes;
+        t.memMemBytes = out_elems * es;
+        // FC weights rarely fit on chip; each step streams them.
+        t.extMemBytes = alloc.weightsOnChip ? 0.0 : weight_bytes;
+        t.extMemBytesTraining =
+            (alloc.weightsOnChip ? 0.0 : 2.0 * weight_bytes) +
+            2.0 * out_elems * es;
+    } else if (l.kind == LayerKind::Samp) {
+        // Stand-alone SAMP layer (not fused): pure SFU work.
+        t.sfuOps = out_elems * l.kernelH * l.kernelW;
+        t.compMemBytes = 0.0;
+        t.memMemBytes = (in_elems + out_elems) * es;
+    } else {
+        panic("layerTiming: unsupported layer kind");
+    }
+    return t;
+}
+
+} // namespace sd::sim::perf

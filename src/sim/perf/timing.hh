@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-layer timing and traffic model for the performance simulator.
+ *
+ * Converts one layer's mapping decision into per-image cycle counts for
+ * the FP/BP/WG CompHeavy tile sets, SFU work, and bytes moved over each
+ * link class. The 2D-array cost model mirrors the paper's dataflow:
+ * input rows stream along array rows and kernel rows along array
+ * columns, one pass covering `effectiveRows` output rows for
+ * `cols` kernel rows at a cost of outW*K cycles, with `lanes` kernels
+ * (output features) processed concurrently per PE.
+ */
+
+#ifndef SCALEDEEP_SIM_PERF_TIMING_HH
+#define SCALEDEEP_SIM_PERF_TIMING_HH
+
+#include <algorithm>
+
+#include "arch/chip.hh"
+#include "compiler/mapper.hh"
+#include "dnn/network.hh"
+
+namespace sd::sim::perf {
+
+/** Per-image cost of one mapped layer. */
+struct LayerTiming
+{
+    dnn::LayerId id = -1;
+
+    // Compute cycles per image on the layer's allocated tiles.
+    double fpCycles = 0.0;
+    double bpCycles = 0.0;
+    double wgCycles = 0.0;
+    /** SFU operations per image (accumulation/activation/sampling). */
+    double sfuOps = 0.0;
+
+    // Bytes per image over the link classes.
+    double compMemBytes = 0.0;  ///< CompHeavy <-> MemHeavy links
+    double memMemBytes = 0.0;   ///< MemHeavy <-> MemHeavy accumulation
+    double extMemBytes = 0.0;   ///< weight prefetch + feature spill (FP)
+    double extMemBytesTraining = 0.0;   ///< additional for BP/WG
+
+    /** Training stage occupancy: the slowest of the three tile sets. */
+    double
+    trainStageCycles() const
+    {
+        return std::max({fpCycles, bpCycles, wgCycles});
+    }
+
+    /**
+     * Evaluation stage occupancy: the BP/WG tiles also run FP, so the
+     * per-image FP work spreads over three tile sets.
+     */
+    double evalStageCycles() const { return fpCycles / 3.0; }
+};
+
+/**
+ * Compute the timing of one mapped layer.
+ *
+ * @param l      the layer (CONV, FC; fused SAMP handled via @p fused)
+ * @param fused  optional SAMP layer fused after @p l
+ * @param alloc  the mapper's allocation for the layer
+ * @param chip   the chip the layer runs on
+ * @param precision element width
+ */
+LayerTiming layerTiming(const dnn::Layer &l, const dnn::Layer *fused,
+                        const compiler::LayerAlloc &alloc,
+                        const arch::ChipConfig &chip,
+                        Precision precision);
+
+/** Cycles for one 2D-array pass over one input feature, L kernels. */
+double convPassCycles(const dnn::Layer &l,
+                      const compiler::ArrayShape &shape);
+
+} // namespace sd::sim::perf
+
+#endif // SCALEDEEP_SIM_PERF_TIMING_HH

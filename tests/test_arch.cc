@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Validates the architecture model against the paper's Figure 14:
+ * tile counts, peak FLOPs, power roll-ups and processing efficiency
+ * at every level of the hierarchy, for both SP and HP presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/power.hh"
+#include "arch/presets.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::arch;
+
+TEST(Fig14, ConvLayerChipTileCounts)
+{
+    ChipConfig chip = convLayerChipSP();
+    EXPECT_EQ(chip.numCompHeavy(), 288);
+    EXPECT_EQ(chip.numMemHeavy(), 102);
+}
+
+TEST(Fig14, FcLayerChipTileCounts)
+{
+    ChipConfig chip = fcLayerChipSP();
+    EXPECT_EQ(chip.numCompHeavy(), 144);
+    EXPECT_EQ(chip.numMemHeavy(), 54);
+}
+
+TEST(Fig14, NodeTileCounts)
+{
+    NodeConfig node = singlePrecisionNode();
+    EXPECT_EQ(node.numCompHeavy(), 5184);
+    EXPECT_EQ(node.numMemHeavy(), 1848);
+    EXPECT_EQ(node.numTiles(), 7032);   // "7032 processing tiles"
+}
+
+TEST(Fig14, CompHeavyTilePeakFlops)
+{
+    NodeConfig node = singlePrecisionNode();
+    double conv_tile =
+        node.cluster.convChip.comp.peakFlops(node.freq);
+    EXPECT_NEAR(conv_tile / 1e9, 134.0, 1.0);   // 134 GFLOPs
+    double fc_tile = node.cluster.fcChip.comp.peakFlops(node.freq);
+    EXPECT_NEAR(fc_tile / 1e9, 38.4, 0.1);      // 38.4 GFLOPs
+}
+
+TEST(Fig14, MemHeavyTilePeakFlops)
+{
+    NodeConfig node = singlePrecisionNode();
+    double mem_tile = node.cluster.convChip.mem.peakFlops(node.freq);
+    EXPECT_NEAR(mem_tile / 1e9, 19.2, 0.01);
+}
+
+TEST(Fig14, ChipPeakFlops)
+{
+    NodeConfig node = singlePrecisionNode();
+    double conv = node.cluster.convChip.peakFlops(node.freq);
+    EXPECT_NEAR(conv / 1e12, 40.7, 0.5);        // 40.7 TFLOPs
+    double fc = node.cluster.fcChip.peakFlops(node.freq);
+    EXPECT_NEAR(fc / 1e12, 6.6, 0.1);           // 6.6 TFLOPs
+}
+
+TEST(Fig14, ClusterAndNodePeakFlops)
+{
+    NodeConfig node = singlePrecisionNode();
+    EXPECT_NEAR(node.cluster.peakFlops(node.freq) / 1e12, 169.2, 2.0);
+    EXPECT_NEAR(node.peakFlops() / 1e12, 680.0, 10.0);  // 0.68 PFLOPs
+}
+
+TEST(Fig14, ChipPower)
+{
+    NodeConfig node = singlePrecisionNode();
+    PowerModel power(node);
+    double conv_w = power.chipPeak(node.cluster.convChip).total();
+    EXPECT_NEAR(conv_w, 57.8, 1.5);
+    double fc_w = power.chipPeak(node.cluster.fcChip).total();
+    EXPECT_NEAR(fc_w, 15.2, 0.8);
+}
+
+TEST(Fig14, ClusterAndNodePower)
+{
+    NodeConfig node = singlePrecisionNode();
+    PowerModel power(node);
+    EXPECT_NEAR(power.clusterPeak().total(), 325.6, 5.0);
+    EXPECT_NEAR(power.nodePeak().total(), 1400.0, 25.0);    // 1.4 KW
+}
+
+TEST(Fig14, ProcessingEfficiency)
+{
+    NodeConfig node = singlePrecisionNode();
+    PowerModel power(node);
+    // 485.7 GFLOPs/W node peak efficiency.
+    EXPECT_NEAR(power.peakEfficiency() / 1e9, 485.7, 10.0);
+    // ConvLayer chip: 703.5 GFLOPs/W.
+    double conv_eff = node.cluster.convChip.peakFlops(node.freq) /
+                      power.chipPeak(node.cluster.convChip).total();
+    EXPECT_NEAR(conv_eff / 1e9, 703.5, 20.0);
+    // ConvLayer CompHeavy tile: 934.6 GFLOPs/W.
+    double tile_eff =
+        node.cluster.convChip.comp.peakFlops(node.freq) /
+        power.convTile().compHeavyWatts;
+    EXPECT_NEAR(tile_eff / 1e9, 934.6, 10.0);
+    // MemHeavy tile: 408.5 GFLOPs/W.
+    double mem_eff = node.cluster.convChip.mem.peakFlops(node.freq) /
+                     power.convTile().memHeavyWatts;
+    EXPECT_NEAR(mem_eff / 1e9, 408.5, 5.0);
+}
+
+TEST(Fig14, PowerFractions)
+{
+    // Figure 14 reports (logic, memory, interconnect) fractions of
+    // roughly (0.5, 0.1, 0.4) at node level and (0.7, 0.1, 0.2) for the
+    // ConvLayer chip. Require the same ordering and rough magnitudes.
+    NodeConfig node = singlePrecisionNode();
+    PowerModel power(node);
+    PowerBreakdown chip = power.chipPeak(node.cluster.convChip);
+    EXPECT_NEAR(chip.compute / chip.total(), 0.7, 0.1);
+    EXPECT_NEAR(chip.interconnect / chip.total(), 0.2, 0.05);
+    PowerBreakdown nodep = power.nodePeak();
+    EXPECT_GT(nodep.compute / nodep.total(), 0.45);
+    EXPECT_GT(nodep.interconnect / nodep.total(), 0.2);
+    EXPECT_LT(nodep.memory / nodep.total(), 0.25);
+}
+
+TEST(HalfPrecision, PeakFlops)
+{
+    NodeConfig hp = halfPrecisionNode();
+    // Section 6.1: ~1.35 PFLOP half-precision peak.
+    EXPECT_NEAR(hp.peakFlops() / 1e15, 1.35, 0.03);
+}
+
+TEST(HalfPrecision, RoughlyIsoPower)
+{
+    NodeConfig sp = singlePrecisionNode();
+    NodeConfig hp = halfPrecisionNode();
+    PowerModel psp(sp), php(hp);
+    double ratio = php.nodePeak().total() / psp.nodePeak().total();
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(HalfPrecision, ChipGrowth)
+{
+    NodeConfig hp = halfPrecisionNode();
+    EXPECT_EQ(hp.cluster.convChip.rows, 8);
+    EXPECT_EQ(hp.cluster.convChip.cols, 24);
+    EXPECT_EQ(hp.cluster.fcChip.cols, 12);
+    // Memory capacity and bandwidth halved.
+    EXPECT_EQ(hp.cluster.convChip.mem.capacity, 256u * 1024u);
+    EXPECT_DOUBLE_EQ(hp.cluster.convChip.links.compMemBw, 12.0 * 1e9);
+}
+
+TEST(PowerModel, AveragePowerScalesWithUtilization)
+{
+    NodeConfig node = singlePrecisionNode();
+    PowerModel power(node);
+    UtilizationProfile idle{0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    UtilizationProfile busy{1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+    UtilizationProfile half{0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+    double p_idle = power.nodeAverage(idle).total();
+    double p_half = power.nodeAverage(half).total();
+    double p_busy = power.nodeAverage(busy).total();
+    EXPECT_LT(p_idle, p_half);
+    EXPECT_LT(p_half, p_busy);
+    EXPECT_NEAR(p_busy, power.nodePeak().total(), 1.0);
+    // Static floor: idle burns >15% of peak (leakage-dominated memory).
+    EXPECT_GT(p_idle, 0.15 * p_busy);
+    EXPECT_LT(p_idle, 0.5 * p_busy);
+}
+
+TEST(PowerModel, MemoryPowerNearlyConstant)
+{
+    // Figure 20: "memory power, largely dominated by leakage, remains
+    // largely constant".
+    NodeConfig node = singlePrecisionNode();
+    PowerModel power(node);
+    UtilizationProfile lo{0.2, 0.2, 0.2, 0.2, 0.2, 0.2};
+    UtilizationProfile hi{0.9, 0.9, 0.9, 0.9, 0.9, 0.9};
+    double mem_lo = power.nodeAverage(lo).memory;
+    double mem_hi = power.nodeAverage(hi).memory;
+    EXPECT_LT(mem_hi / mem_lo, 1.25);
+}
+
+TEST(ArrayShape, TotalLanesInvariant)
+{
+    CompHeavyConfig c;
+    EXPECT_EQ(c.totalLanes(), 96);
+    // Column/lane redistribution preserves cols*lanes.
+    int product = c.arrayCols * c.lanes;
+    for (int cols = 1; cols <= product; ++cols) {
+        if (product % cols)
+            continue;
+        CompHeavyConfig alt = c;
+        alt.arrayCols = cols;
+        alt.lanes = product / cols;
+        EXPECT_EQ(alt.totalLanes(), c.totalLanes());
+    }
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the GPU and DaDianNao baseline models, including the
+ * Figure 18 speedup-range reproduction at the chip-cluster level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "baseline/dadiannao.hh"
+#include "baseline/gpu.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::baseline;
+using namespace sd::dnn;
+
+TEST(GpuModel, FrameworkOrdering)
+{
+    // For a compute-bound network, better kernels => more throughput.
+    Network net = makeVggA();
+    GpuModel r2(titanXMaxwell(), Framework::CuDnnR2);
+    GpuModel tf(titanXMaxwell(), Framework::TensorFlow);
+    GpuModel neon(titanXMaxwell(), Framework::NervanaNeon);
+    GpuModel wino(titanXMaxwell(), Framework::NervanaWinograd);
+    EXPECT_LT(r2.trainImagesPerSec(net), tf.trainImagesPerSec(net));
+    EXPECT_LT(tf.trainImagesPerSec(net), neon.trainImagesPerSec(net));
+    EXPECT_LT(neon.trainImagesPerSec(net),
+              wino.trainImagesPerSec(net));
+}
+
+TEST(GpuModel, WinogradOnlyHelpsThreeByThree)
+{
+    // AlexNet conv1/conv2 are 11x11/5x5: Winograd gains less there
+    // than on all-3x3 VGG.
+    Network alex = makeAlexNet();
+    Network vgg = makeVggA();
+    GpuModel neon(titanXMaxwell(), Framework::NervanaNeon);
+    GpuModel wino(titanXMaxwell(), Framework::NervanaWinograd);
+    double alex_gain = wino.trainImagesPerSec(alex) /
+                       neon.trainImagesPerSec(alex);
+    double vgg_gain =
+        wino.trainImagesPerSec(vgg) / neon.trainImagesPerSec(vgg);
+    EXPECT_GT(vgg_gain, alex_gain);
+}
+
+TEST(GpuModel, PascalFasterThanMaxwell)
+{
+    Network net = makeGoogLeNet();
+    GpuModel maxwell(titanXMaxwell(), Framework::NervanaNeon);
+    GpuModel pascal(titanXPascal(), Framework::NervanaNeon);
+    double ratio = pascal.trainImagesPerSec(net) /
+                   maxwell.trainImagesPerSec(net);
+    EXPECT_GT(ratio, 1.3);
+    EXPECT_LT(ratio, 1.8);      // ~1.5x peak scaling
+}
+
+TEST(GpuModel, EvalRoughlyThriceTraining)
+{
+    Network net = makeAlexNet();
+    GpuModel m(titanXMaxwell(), Framework::NervanaNeon);
+    double ratio =
+        m.evalImagesPerSec(net) / m.trainImagesPerSec(net);
+    EXPECT_GT(ratio, 2.5);
+    EXPECT_LT(ratio, 3.5);
+}
+
+/**
+ * Figure 18: a single ScaleDeep chip cluster (~320 W) vs TitanX.
+ * Paper ranges: 22x-28x vs cuDNN-R2, 6x-15x vs Nervana Neon, 7x-11x
+ * vs TensorFlow, 5x-11x vs the Winograd variants. We accept a band
+ * around each range (our GPU model is a calibrated roofline, not the
+ * authors' measurements).
+ */
+TEST(Fig18, ClusterSpeedupRanges)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    const char *names[] = {"AlexNet", "GoogLenet", "OF-Fast", "VGG-A"};
+    struct Range { Framework fw; double lo, hi; };
+    const Range ranges[] = {
+        {Framework::CuDnnR2, 15.0, 40.0},
+        {Framework::NervanaNeon, 5.0, 20.0},
+        {Framework::TensorFlow, 6.0, 22.0},
+        {Framework::NervanaWinograd, 4.0, 14.0},
+    };
+    for (const char *name : names) {
+        Network net = makeByName(name);
+        sim::perf::PerfSim sim(net, node);
+        double cluster_train =
+            sim.run().trainImagesPerSec / node.numClusters;
+        for (const Range &range : ranges) {
+            GpuModel gpu(titanXMaxwell(), range.fw);
+            double speedup = cluster_train /
+                             gpu.trainImagesPerSec(net);
+            EXPECT_GT(speedup, range.lo)
+                << name << " vs " << frameworkName(range.fw);
+            EXPECT_LT(speedup, range.hi)
+                << name << " vs " << frameworkName(range.fw);
+        }
+    }
+}
+
+TEST(Fig18, PascalStillSlower)
+{
+    // Paper: 4.6x-7.3x over Pascal even with perfect scaling.
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeAlexNet();
+    sim::perf::PerfSim sim(net, node);
+    double cluster_train =
+        sim.run().trainImagesPerSec / node.numClusters;
+    GpuModel pascal(titanXPascal(), Framework::NervanaNeon);
+    double speedup = cluster_train / pascal.trainImagesPerSec(net);
+    EXPECT_GT(speedup, 2.5);
+}
+
+TEST(DaDianNao, PublishedNumbersScale)
+{
+    DaDianNaoSpec spec;
+    EXPECT_EQ(spec.chipsAtPower(1400.0), 87);
+    EXPECT_NEAR(spec.peakOpsAtPower(1400.0) / 1e12, 485.0, 5.0);
+}
+
+TEST(DaDianNao, HomogenizationCostsFlops)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    HomogeneousComparison cmp = homogenizeScaleDeep(node);
+    EXPECT_GT(cmp.memoryProvisioningFactor, 1.5);
+    EXPECT_GT(cmp.advantage(), 2.0);
+    EXPECT_LT(cmp.advantage(), 8.0);    // paper claims ~5x
+    EXPECT_LT(cmp.homoPeakFlops, cmp.heteroPeakFlops);
+}
+
+TEST(DaDianNao, WorseCaseProvisioningScales)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    HomogeneousComparison mild = homogenizeScaleDeep(node, 0.5);
+    HomogeneousComparison harsh = homogenizeScaleDeep(node, 4.0);
+    EXPECT_LT(mild.advantage(), harsh.advantage());
+}
+
+} // namespace

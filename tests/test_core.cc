@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the core infrastructure: stats, tables, RNG, units.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/random.hh"
+#include "core/stats.hh"
+#include "core/table.hh"
+#include "core/units.hh"
+
+namespace {
+
+using namespace sd;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("hits", "cache hits");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanMinMax)
+{
+    Average a("lat", "latency");
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a("x", "y");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Distribution, BucketsAndOverflow)
+{
+    Distribution d("d", "test", 0.0, 10.0, 10);
+    d.sample(0.5);
+    d.sample(9.99);
+    d.sample(-1.0);
+    d.sample(10.0);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(9), 1u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.totalSamples(), 4u);
+}
+
+TEST(StatGroup, HierarchicalDump)
+{
+    StatGroup root("node");
+    StatGroup child("chip0");
+    root.addChild(&child);
+    root.addCounter("cycles", "total cycles").inc(100);
+    child.addCounter("ops", "operations").inc(7);
+    std::ostringstream oss;
+    root.dump(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("node.cycles 100"), std::string::npos);
+    EXPECT_NE(s.find("node.chip0.ops 7"), std::string::npos);
+}
+
+TEST(StatGroup, ResetPropagates)
+{
+    StatGroup root("r");
+    StatGroup child("c");
+    root.addChild(&child);
+    Counter &k = child.addCounter("k", "k");
+    k.inc(5);
+    root.reset();
+    EXPECT_EQ(k.value(), 0u);
+}
+
+TEST(Table, AlignmentAndCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    EXPECT_EQ(t.numRows(), 2u);
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("alpha"), std::string::npos);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_NE(csv.str().find("b,12345"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting)
+{
+    Table t({"a"});
+    t.addRow({"has,comma"});
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_NE(csv.str().find("\"has,comma\""), std::string::npos);
+}
+
+TEST(Format, Engineering)
+{
+    EXPECT_EQ(fmtEng(680e12, 0), "680T");
+    EXPECT_EQ(fmtEng(1.35e15), "1.35P");
+    EXPECT_EQ(fmtEng(485.7e9, 1), "485.7G");
+    EXPECT_EQ(fmtEng(12.0, 0), "12");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.347), "34.7%");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(7);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Units, PrecisionBytes)
+{
+    EXPECT_EQ(bytesPerElement(Precision::Single), 4u);
+    EXPECT_EQ(bytesPerElement(Precision::Half), 2u);
+}
+
+} // namespace

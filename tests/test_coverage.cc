@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Completeness sweeps over small enumerable surfaces: every opcode has
+ * a name and a group, every port a label, power-breakdown arithmetic,
+ * stat reset behaviour, and ISA disassembly round-trips.
+ */
+
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "arch/power.hh"
+#include "arch/presets.hh"
+#include "core/stats.hh"
+#include "dnn/workload.hh"
+#include "dnn/zoo.hh"
+#include "isa/program.hh"
+
+namespace {
+
+using namespace sd;
+
+TEST(Coverage, EveryOpcodeHasNameAndGroup)
+{
+    std::set<std::string> groups;
+    for (int i = 0; i < isa::kNumOpcodes; ++i) {
+        auto op = static_cast<isa::Opcode>(i);
+        EXPECT_STRNE(isa::opcodeName(op), "?");
+        groups.insert(isa::instGroupName(isa::opcodeGroup(op)));
+    }
+    // All five instruction families of Figure 8 are populated.
+    EXPECT_EQ(groups.size(), 5u);
+}
+
+TEST(Coverage, PortNames)
+{
+    for (std::int32_t p = isa::kPortLeft; p <= isa::kPortExtMem; ++p)
+        EXPECT_STRNE(isa::portName(p), "?");
+    EXPECT_STREQ(isa::portName(99), "?");
+}
+
+TEST(Coverage, DisassemblyListsEveryEmittedOpcode)
+{
+    isa::Assembler as;
+    as.ldri(1, 1);
+    as.ndaccum(isa::kPortLeft, 1, isa::kPortSouth, 1, 1);
+    as.veceltmul(isa::kPortRight, 1, 1, 1, 1, 1);
+    as.dmaMemtrack(isa::kPortLeft, isa::kPortEast, 1, 1, 1, 1);
+    as.nop();
+    as.halt();
+    std::string listing = as.finish().disassemble();
+    for (const char *name : {"LDRI", "NDACCUM", "VECELTMUL",
+                             "DMA_MEMTRACK", "NOP", "HALT"}) {
+        EXPECT_NE(listing.find(name), std::string::npos) << name;
+    }
+}
+
+TEST(Coverage, PowerBreakdownArithmetic)
+{
+    arch::PowerBreakdown a{10.0, 20.0, 30.0};
+    arch::PowerBreakdown b{1.0, 2.0, 3.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.total(), 66.0);
+    arch::PowerBreakdown c = a * 0.5;
+    EXPECT_DOUBLE_EQ(c.compute, 5.5);
+    EXPECT_DOUBLE_EQ(c.total(), 33.0);
+}
+
+TEST(Coverage, DistributionAndAverageReset)
+{
+    Distribution d("d", "x", 0.0, 1.0, 4);
+    d.sample(0.5);
+    d.sample(2.0);
+    d.reset();
+    EXPECT_EQ(d.totalSamples(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    EXPECT_EQ(d.bucketCount(2), 0u);
+
+    Average a("a", "y");
+    a.sample(3.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Coverage, StepAndKernelNames)
+{
+    using namespace dnn;
+    EXPECT_STREQ(stepName(Step::Fp), "FP");
+    EXPECT_STREQ(stepName(Step::Bp), "BP");
+    EXPECT_STREQ(stepName(Step::Wg), "WG");
+    for (int k = 0; k < static_cast<int>(KernelClass::NumClasses); ++k) {
+        EXPECT_STRNE(kernelClassName(static_cast<KernelClass>(k)), "?");
+    }
+    EXPECT_STRNE(layerClassName(LayerClass::InitialConv), "?");
+}
+
+TEST(Coverage, EltwiseWorkloadAccounted)
+{
+    // ResNet eltwise joins carry accumulation + activation FLOPs.
+    dnn::Network net = dnn::makeResNet18();
+    dnn::Workload w(net);
+    bool found = false;
+    for (const dnn::Layer &l : net.layers()) {
+        if (l.kind != dnn::LayerKind::Eltwise)
+            continue;
+        const auto &lw = w.layer(l.id);
+        EXPECT_GT(lw.step(dnn::Step::Fp).flops(), 0.0) << l.name;
+        EXPECT_DOUBLE_EQ(lw.step(dnn::Step::Wg).flops(), 0.0) << l.name;
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Coverage, HalfPrecisionWorkloadAndNodeConsistency)
+{
+    // The HP node's element size flows through the mapper's state
+    // accounting: a layer's min columns can only shrink or hold.
+    arch::NodeConfig hp = arch::halfPrecisionNode();
+    EXPECT_EQ(bytesPerElement(hp.precision), 2u);
+    EXPECT_STREQ(precisionName(hp.precision), "half");
+    EXPECT_STREQ(precisionName(Precision::Single), "single");
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Randomized property tests across components:
+ *  - random sequential topologies must map and simulate without
+ *    violating allocation/throughput invariants;
+ *  - random compilable chains must match the reference engine through
+ *    the functional simulator;
+ *  - random trainable chains must reproduce reference gradients.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "compiler/codegen.hh"
+#include "compiler/trainer.hh"
+#include "core/random.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+
+/** Build a random sequential CNN. @p trainable restricts to the
+ * functional trainer's subset (stride-1 convs, avg pools). */
+Network
+randomChain(Rng &rng, bool trainable, int max_layers = 5)
+{
+    int channels = 1 + static_cast<int>(rng.below(3));
+    int hw = 8 + static_cast<int>(rng.below(8));
+    NetworkBuilder b("fuzz", channels, hw, hw);
+    LayerId cur = b.input();
+    int cur_c = channels, cur_hw = hw;
+    int layers = 2 + static_cast<int>(rng.below(max_layers - 1));
+    for (int i = 0; i < layers && cur_hw >= 4; ++i) {
+        int kind = static_cast<int>(rng.below(3));
+        if (kind == 0) {
+            int out_c = 1 + static_cast<int>(rng.below(6));
+            int k = 1 + 2 * static_cast<int>(rng.below(2));   // 1 or 3
+            int pad = k / 2;
+            int stride =
+                trainable ? 1 : 1 + static_cast<int>(rng.below(2));
+            if (cur_hw + 2 * pad <= k)
+                continue;
+            Activation act = static_cast<Activation>(
+                1 + rng.below(3));
+            cur = b.conv("c" + std::to_string(i), cur, out_c, k,
+                         stride, pad, 1, act);
+            cur_c = out_c;
+            cur_hw = (cur_hw + 2 * pad - k) / stride + 1;
+        } else if (kind == 1 && cur_hw >= 6) {
+            cur = trainable
+                      ? b.avgPool("p" + std::to_string(i), cur, 2, 2)
+                      : b.maxPool("p" + std::to_string(i), cur, 2, 2);
+            cur_hw = (cur_hw - 2) / 2 + 1;
+        } else {
+            // fc ends the network.
+            break;
+        }
+    }
+    (void)cur_c;
+    LayerId f = b.fc("fc", cur, 3 + static_cast<int>(rng.below(5)),
+                     Activation::None);
+    (void)f;
+    return b.build();
+}
+
+class FuzzMapper : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzMapper, MapAndSimulateInvariants)
+{
+    Rng rng(1000 + GetParam());
+    Network net = randomChain(rng, false, 6);
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    sim::perf::PerfSim sim(net, node);
+    sim::perf::PerfResult r = sim.run();
+
+    EXPECT_GT(r.trainImagesPerSec, 0.0);
+    EXPECT_GT(r.evalImagesPerSec, r.trainImagesPerSec);
+    EXPECT_GT(r.peUtil, 0.0);
+    EXPECT_LE(r.peUtil, 1.0);
+    EXPECT_LE(r.mapping.convColumns,
+              r.mapping.convChips * node.cluster.convChip.cols);
+    for (const auto &a : r.mapping.layers) {
+        EXPECT_GE(a.columns, a.minColumns);
+        EXPECT_GE(a.tilesUsed, 1);
+        EXPECT_LE(a.tilesUsed, a.tilesTotal);
+    }
+    double peak = arch::PowerModel(node).nodePeak().total();
+    EXPECT_LT(r.avgPower.total(), peak + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FuzzMapper, ::testing::Range(0, 20));
+
+class FuzzFunctional : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzFunctional, CompiledChainMatchesReference)
+{
+    Rng rng(2000 + GetParam());
+    Network net = randomChain(rng, false, 4);
+    ReferenceEngine engine(net, 3000 + GetParam());
+
+    const Layer &in = net.layer(0);
+    Tensor image = Tensor::uniform(
+        {static_cast<std::size_t>(in.outChannels),
+         static_cast<std::size_t>(in.outH),
+         static_cast<std::size_t>(in.outW)},
+        rng, 0.0f, 1.0f);
+    const Tensor &ref = engine.forward(image);
+
+    sim::MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    compiler::FuncRunner runner(net, mc);
+    runner.loadWeights(engine);
+    Tensor got = runner.evaluate(image);
+    EXPECT_LT(got.maxAbsDiff(ref), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FuzzFunctional,
+                         ::testing::Range(0, 15));
+
+class FuzzTrainer : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzTrainer, GradientsMatchReference)
+{
+    Rng rng(4000 + GetParam());
+    Network net = randomChain(rng, true, 4);
+    sim::MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    compiler::TrainRunner runner(net, mc, 5000 + GetParam());
+    ReferenceEngine reference(net, 5000 + GetParam());
+
+    const Layer &in = net.layer(0);
+    Tensor image = Tensor::uniform(
+        {static_cast<std::size_t>(in.outChannels),
+         static_cast<std::size_t>(in.outH),
+         static_cast<std::size_t>(in.outW)},
+        rng, 0.0f, 1.0f);
+    int label = static_cast<int>(
+        rng.below(net.outputLayer().outChannels));
+
+    double ref_loss = reference.forwardBackward(image, label);
+    double sim_loss = runner.step(image, label, 0.0f);
+    EXPECT_NEAR(sim_loss, ref_loss, 1e-4 * std::max(1.0, ref_loss));
+    for (const Layer &l : net.layers()) {
+        if (!l.hasWeights())
+            continue;
+        const Tensor &ref_g = reference.weightGrad(l.id);
+        float scale = std::max(1.0f, ref_g.maxAbs());
+        EXPECT_LT(runner.gradient(l.id).maxAbsDiff(ref_g),
+                  2e-4f * scale)
+            << l.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FuzzTrainer, ::testing::Range(0, 10));
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the ISA definitions, assembler and program container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace {
+
+using namespace sd::isa;
+
+TEST(Isa, TwentyEightOpcodes)
+{
+    // The paper's ISA contains 28 instructions.
+    EXPECT_EQ(kNumOpcodes, 28);
+    EXPECT_EQ(static_cast<int>(Opcode::DMA_MEMTRACK) + 1, 28);
+}
+
+TEST(Isa, OpcodeNamesUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumOpcodes; ++i)
+        names.insert(opcodeName(static_cast<Opcode>(i)));
+    EXPECT_EQ(names.size(), 28u);
+}
+
+TEST(Isa, GroupsCoverFiveFamilies)
+{
+    EXPECT_EQ(opcodeGroup(Opcode::LDRI), InstGroup::ScalarControl);
+    EXPECT_EQ(opcodeGroup(Opcode::NDCONV), InstGroup::CoarseData);
+    EXPECT_EQ(opcodeGroup(Opcode::NDACTFN), InstGroup::MemOffload);
+    EXPECT_EQ(opcodeGroup(Opcode::DMALOAD), InstGroup::DataTransfer);
+    EXPECT_EQ(opcodeGroup(Opcode::MEMTRACK), InstGroup::Track);
+}
+
+TEST(Assembler, EmitsAndDisassembles)
+{
+    Assembler as;
+    as.ldri(1, 42);
+    as.addri(2, 1, 8);
+    as.halt();
+    Program p = as.finish();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.at(0).op, Opcode::LDRI);
+    EXPECT_EQ(p.at(0).args[1], 42);
+    std::string listing = p.disassemble();
+    EXPECT_NE(listing.find("LDRI (1,42)"), std::string::npos);
+    EXPECT_NE(listing.find("2: HALT"), std::string::npos);
+}
+
+TEST(Assembler, BackwardBranchOffset)
+{
+    Assembler as;
+    Label top = as.newLabel();
+    as.ldri(1, 3);              // 0
+    as.bind(top);
+    as.subri(1, 1, 1);          // 1
+    as.bgtz(1, top);            // 2: taken => pc += (1 - 2) = -1
+    as.halt();                  // 3
+    Program p = as.finish();
+    EXPECT_EQ(p.at(2).args[1], -1);
+}
+
+TEST(Assembler, ForwardBranchOffset)
+{
+    Assembler as;
+    Label end = as.newLabel();
+    as.bnez(5, end);            // 0: offset to 2
+    as.nop();                   // 1
+    as.bind(end);
+    as.halt();                  // 2
+    Program p = as.finish();
+    EXPECT_EQ(p.at(0).args[1], 2);
+}
+
+TEST(Assembler, LoopCounterInstruction)
+{
+    Assembler as;
+    Label body = as.newLabel();
+    as.ldriLc(7, 10);
+    as.bind(body);
+    as.bgzdLc(7, body);
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p.at(0).op, Opcode::LDRI_LC);
+    EXPECT_EQ(p.at(1).args[1], 0);  // self-loop: pc += 0
+}
+
+TEST(Assembler, NdconvOperandPacking)
+{
+    Assembler as;
+    as.ndconv(1, kPortLeft, 2, 3, 4, 5, 6, 7, kPortRight,
+              /*num_kernels=*/4, /*accum=*/true);
+    Program p = as.finish();
+    const Instruction &inst = p.at(0);
+    EXPECT_EQ(inst.op, Opcode::NDCONV);
+    EXPECT_EQ(inst.nargs, 10);
+    EXPECT_EQ(inst.args[1], kPortLeft);
+    EXPECT_EQ(inst.args[8], kPortRight);
+    EXPECT_EQ(inst.args[9], (4 << 1) | 1);
+}
+
+TEST(Assembler, GroupCounts)
+{
+    Assembler as;
+    as.ldri(1, 0);
+    as.ldri(2, 0);
+    as.memtrack(kPortRight, 1, 1, 1, 1);
+    as.halt();
+    Program p = as.finish();
+    auto counts = p.groupCounts();
+    EXPECT_EQ(counts[InstGroup::ScalarControl], 3u);
+    EXPECT_EQ(counts[InstGroup::Track], 1u);
+}
+
+TEST(AssemblerDeath, UnboundLabel)
+{
+    Assembler as;
+    Label never = as.newLabel();
+    as.branch(never);
+    EXPECT_DEATH(as.finish(), "unbound label");
+}
+
+TEST(AssemblerDeath, DoubleBind)
+{
+    Assembler as;
+    Label l = as.newLabel();
+    as.bind(l);
+    as.nop();
+    EXPECT_DEATH(as.bind(l), "twice");
+}
+
+} // namespace

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Functional-simulator tests: hand-assembled ScaleDeep programs run on
+ * the chip machine and checked against the reference DNN kernels, plus
+ * tracker-based producer/consumer synchronization and deadlock
+ * detection.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/random.hh"
+#include "dnn/network.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+#include "isa/program.hh"
+#include "sim/func/machine.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::sim;
+using namespace sd::isa;
+using dnn::Tensor;
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = 2;
+    return mc;
+}
+
+TEST(MachineScalar, LoopComputesSum)
+{
+    Machine m(smallConfig());
+    Assembler as;
+    // r1 = sum(1..10) via a loop-counter loop.
+    as.ldri(1, 0);
+    as.ldriLc(2, 10);
+    as.ldri(3, 0);
+    Label top = as.newLabel();
+    as.bind(top);
+    as.addri(3, 3, 1);
+    as.addr(1, 1, 3);
+    as.bgzdLc(2, top);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    RunResult res = m.run();
+    EXPECT_TRUE(res.ok());
+    // The loop body ran 11 times (counter 10..0): sum(1..11) = 66.
+    EXPECT_EQ(m.compTile(0, 0, TileRole::Fp).reg(1), 66);
+    EXPECT_GT(res.cycles, 10u);
+}
+
+TEST(MachineScalar, BranchesAndInv)
+{
+    Machine m(smallConfig());
+    Assembler as;
+    as.ldri(1, 0);
+    as.inv(2, 1);               // r2 = 1
+    Label skip = as.newLabel();
+    as.bnez(2, skip);
+    as.ldri(3, 99);             // skipped
+    as.bind(skip);
+    as.ldri(4, 7);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    EXPECT_TRUE(m.run().ok());
+    EXPECT_EQ(m.compTile(0, 0, TileRole::Fp).reg(3), 0);
+    EXPECT_EQ(m.compTile(0, 0, TileRole::Fp).reg(4), 7);
+}
+
+/**
+ * Single-input-feature convolution: load the kernel through
+ * PASSBUF_RD, convolve with NDCONV, compare against the reference.
+ */
+TEST(MachineConv, MatchesReferenceSingleFeature)
+{
+    const int in_hw = 8, k = 3, stride = 1, pad = 0;
+    const int out_hw = (in_hw - k) / stride + 1;
+
+    Machine m(smallConfig());
+    Rng rng(3);
+    Tensor in = Tensor::uniform({1, in_hw, in_hw}, rng);
+    Tensor w = Tensor::uniform({k * k}, rng);
+
+    // Input feature at word 0 of the left tile; kernel at word 500.
+    m.memTile(0, 0).pokeRange(0, in.data(), in.size());
+    m.memTile(0, 0).pokeRange(500, w.data(), w.size());
+
+    Assembler as;
+    as.ldri(1, 0);          // input addr
+    as.ldri(2, in_hw);
+    as.ldri(3, 500);        // kernel source addr
+    as.ldri(4, k * k);      // kernel words
+    as.ldri(5, 0);          // buffer offset
+    as.passbufRd(kPortLeft, 3, 4, 5);
+    as.ldri(6, k);
+    as.ldri(7, stride);
+    as.ldri(8, pad);
+    as.ldri(9, 0);          // output addr
+    as.ndconv(1, kPortLeft, 2, 5, 6, 7, 8, 9, kPortRight, 1, false);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    RunResult res = m.run();
+    ASSERT_TRUE(res.ok());
+
+    // Reference result.
+    dnn::NetworkBuilder nb("t", 1, in_hw, in_hw);
+    nb.conv("c", nb.input(), 1, k, stride, pad, 1,
+            dnn::Activation::None);
+    dnn::Network net = nb.build();
+    Tensor ref_out({1, static_cast<std::size_t>(out_hw),
+                    static_cast<std::size_t>(out_hw)});
+    dnn::convForward(net.layer(1), in, w, ref_out);
+
+    std::vector<float> got(out_hw * out_hw);
+    m.memTile(0, 1).peekRange(0, got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], ref_out[i], 1e-5) << "at " << i;
+
+    EXPECT_GT(m.totalMacs(), 0u);
+    EXPECT_GT(m.peUtilization(), 0.0);
+}
+
+/**
+ * Multi-feature accumulation: convolve two input features with their
+ * kernels and accumulate partials in the right tile (accum flag), the
+ * core of the paper's CONV-FP step 1.
+ */
+TEST(MachineConv, AccumulatesPartialFeatures)
+{
+    const int in_hw = 6, k = 3;
+    const int out_hw = in_hw - k + 1;
+
+    Machine m(smallConfig());
+    Rng rng(7);
+    Tensor in = Tensor::uniform({2, in_hw, in_hw}, rng);
+    Tensor w = Tensor::uniform({2ull * k * k}, rng);
+
+    MemHeavyTile &left = m.memTile(0, 0);
+    left.pokeRange(0, in.data(), in.size());
+    left.pokeRange(800, w.data(), w.size());
+
+    Assembler as;
+    as.ldri(2, in_hw);
+    as.ldri(4, 2 * k * k);
+    as.ldri(3, 800);
+    as.ldri(5, 0);
+    as.passbufRd(kPortLeft, 3, 4, 5);   // both kernels
+    as.ldri(6, k);
+    as.ldri(7, 1);
+    as.ldri(8, 0);
+    as.ldri(9, 0);                      // output addr
+    // Feature 0 with kernel 0 (no accumulate), feature 1 with kernel 1
+    // (accumulate).
+    as.ldri(1, 0);
+    as.ndconv(1, kPortLeft, 2, 5, 6, 7, 8, 9, kPortRight, 1, false);
+    as.ldri(1, in_hw * in_hw);
+    as.ldri(5, k * k);
+    as.ndconv(1, kPortLeft, 2, 5, 6, 7, 8, 9, kPortRight, 1, true);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+
+    // Reference: a 2-input-channel, 1-output conv.
+    dnn::NetworkBuilder nb("t", 2, in_hw, in_hw);
+    nb.conv("c", nb.input(), 1, k, 1, 0, 1, dnn::Activation::None);
+    dnn::Network net = nb.build();
+    Tensor ref_out({1, static_cast<std::size_t>(out_hw),
+                    static_cast<std::size_t>(out_hw)});
+    dnn::convForward(net.layer(1), in, w, ref_out);
+
+    std::vector<float> got(out_hw * out_hw);
+    m.memTile(0, 1).peekRange(0, got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], ref_out[i], 1e-5);
+}
+
+TEST(MachineMatMul, MatchesReferenceFc)
+{
+    const int in_n = 12, out_n = 5;
+    Machine m(smallConfig());
+    Rng rng(9);
+    Tensor in = Tensor::uniform({static_cast<std::size_t>(in_n)}, rng);
+    Tensor w = Tensor::uniform(
+        {static_cast<std::size_t>(in_n) * out_n}, rng);
+
+    m.memTile(0, 0).pokeRange(0, in.data(), in.size());
+    m.memTile(0, 0).pokeRange(200, w.data(), w.size());
+
+    Assembler as;
+    as.ldri(1, 0);
+    as.ldri(2, in_n);
+    as.ldri(3, 200);
+    as.ldri(4, in_n * out_n);
+    as.ldri(5, 0);
+    as.passbufRd(kPortLeft, 3, 4, 5);
+    as.ldri(6, 0);          // out addr
+    as.ldri(7, out_n);
+    as.matmul(1, kPortLeft, 2, 5, 6, kPortRight, 7, false);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+
+    dnn::NetworkBuilder nb("t", 1, 1, in_n);
+    nb.fc("f", nb.input(), out_n, dnn::Activation::None);
+    dnn::Network net = nb.build();
+    Tensor ref_out({static_cast<std::size_t>(out_n), 1, 1});
+    dnn::fcForward(net.layer(1), in, w, ref_out);
+
+    std::vector<float> got(out_n);
+    m.memTile(0, 1).peekRange(0, got.data(), got.size());
+    for (int i = 0; i < out_n; ++i)
+        EXPECT_NEAR(got[i], ref_out[i], 1e-5);
+}
+
+TEST(MachineOffload, SubsampleMatchesReference)
+{
+    const int in_hw = 8, win = 2, stride = 2, channels = 3;
+    const int out_hw = (in_hw - win) / stride + 1;
+
+    Machine m(smallConfig());
+    Rng rng(13);
+    Tensor in = Tensor::uniform(
+        {static_cast<std::size_t>(channels), in_hw, in_hw}, rng);
+    m.memTile(0, 1).pokeRange(0, in.data(), in.size());
+
+    Assembler as;
+    as.ldri(1, 0);
+    as.ldri(2, in_hw);
+    as.ldri(3, win);
+    as.ldri(4, stride);
+    as.ldri(5, 2000);       // output addr
+    as.ldri(6, channels);
+    as.ndsubsamp(kSampMax, 1, kPortRight, 2, 3, 4, 5, kPortRight, 6);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+
+    dnn::NetworkBuilder nb("t", channels, in_hw, in_hw);
+    nb.maxPool("p", nb.input(), win, stride);
+    dnn::Network net = nb.build();
+    Tensor ref_out({static_cast<std::size_t>(channels),
+                    static_cast<std::size_t>(out_hw),
+                    static_cast<std::size_t>(out_hw)});
+    dnn::poolForward(net.layer(1), in, ref_out, nullptr);
+
+    std::vector<float> got(ref_out.size());
+    m.memTile(0, 1).peekRange(2000, got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_NEAR(got[i], ref_out[i], 1e-6);
+}
+
+TEST(MachineOffload, ActivationRelu)
+{
+    Machine m(smallConfig());
+    float vals[4] = {-2.0f, -0.5f, 0.5f, 3.0f};
+    m.memTile(0, 1).pokeRange(10, vals, 4);
+
+    Assembler as;
+    as.ldri(1, 10);
+    as.ldri(2, 4);
+    as.ndactfn(kActReLU, 1, kPortRight, 2, 1, kPortRight);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(10), 0.0f);
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(12), 0.5f);
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(13), 3.0f);
+}
+
+TEST(MachineOffload, NdAccumAcrossTiles)
+{
+    // Vertical feature accumulation (the paper's CONV-FP step 2):
+    // home tile (right of comp(0,0)) pulls its south neighbour's
+    // partials and accumulates them into its own.
+    Machine m(smallConfig());
+    float own[4] = {1, 2, 3, 4};
+    float south[4] = {10, 20, 30, 40};
+    m.memTile(0, 1).pokeRange(0, own, 4);
+    m.memTile(1, 1).pokeRange(0, south, 4);
+
+    Assembler as;
+    as.ldri(1, 0);      // src addr (in the south tile)
+    as.ldri(2, 0);      // dst addr (home)
+    as.ldri(3, 4);      // words
+    as.ndaccum(kPortRight, 1, kPortSouth, 2, 3);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(0), 11.0f);
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(3), 44.0f);
+    EXPECT_GT(m.memTile(0, 1).sfuOps(), 0u);
+}
+
+TEST(MachineOffload, VecEltMulOuterProduct)
+{
+    // FC weight gradient: dst[n x m] += a[n] (x) b[m].
+    Machine m(smallConfig());
+    float a[2] = {2, 3};
+    float b[3] = {1, 10, 100};
+    m.memTile(0, 1).pokeRange(0, a, 2);
+    m.memTile(0, 1).pokeRange(10, b, 3);
+
+    Assembler as;
+    as.ldri(1, 0);      // a addr
+    as.ldri(2, 10);     // b addr
+    as.ldri(3, 20);     // dst addr
+    as.ldri(4, 2);      // n
+    as.ldri(5, 3);      // m
+    as.veceltmul(kPortRight, 1, 2, 3, 4, 5);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Wg, as.finish());
+    ASSERT_TRUE(m.run().ok());
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(20), 2.0f);
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(22), 200.0f);
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(23), 3.0f);
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(25), 300.0f);
+}
+
+TEST(MachineSync, DmaMemtrackArmsRemoteTile)
+{
+    // DMA_MEMTRACK arms a tracker on a neighbour of the home tile;
+    // a read through that tile then blocks until the update arrives.
+    Machine m(smallConfig());
+    // Producer comp(1,0,FP) writes to mem(1,1) after a delay.
+    {
+        CompHeavyTile &prod = m.compTile(1, 0, TileRole::Fp);
+        prod.scratchpad()[0] = 7.0f;
+        Assembler as;
+        as.ldriLc(1, 150);
+        Label spin = as.newLabel();
+        as.bind(spin);
+        as.bgzdLc(1, spin);
+        as.ldri(2, 0);
+        as.ldri(3, 1);
+        as.ldri(4, 0);
+        as.passbufWr(kPortRight, 2, 3, 4);
+        as.halt();
+        m.loadProgram(1, 0, TileRole::Fp, as.finish());
+    }
+    // Consumer comp(0,0,FP): arm a tracker on the SOUTH neighbour of
+    // its right tile (= mem(1,1)) via DMA_MEMTRACK, then pull the
+    // word north.
+    {
+        Assembler as;
+        as.ldri(1, 0);
+        as.ldri(2, 1);
+        as.ldri(3, 1);      // one update
+        as.ldri(4, 1);      // one read
+        as.dmaMemtrack(kPortRight, kPortSouth, 1, 2, 3, 4);
+        as.ldri(5, 40);
+        as.dmaload(kPortRight, 1, kPortSouth, 5, 2, false);
+        as.halt();
+        m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    }
+    ASSERT_TRUE(m.run().ok());
+    EXPECT_FLOAT_EQ(m.memTile(0, 1).peek(40), 7.0f);
+    EXPECT_GT(m.compTile(0, 0, TileRole::Fp).stallCycles, 50u);
+}
+
+TEST(MachineDma, ExternalMemoryRoundTrip)
+{
+    Machine m(smallConfig());
+    for (int i = 0; i < 16; ++i)
+        m.extMem()[100 + i] = static_cast<float>(i);
+
+    Assembler as;
+    as.ldri(1, 100);    // ext src
+    as.ldri(2, 0);      // local dst
+    as.ldri(3, 16);
+    as.dmaload(kPortLeft, 1, kPortExtMem, 2, 3, false);
+    as.ldri(4, 300);    // ext dst
+    as.dmastore(kPortLeft, 2, 4, kPortExtMem, 3, false);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+
+    EXPECT_FLOAT_EQ(m.memTile(0, 0).peek(5), 5.0f);
+    EXPECT_FLOAT_EQ(m.extMem()[315], 15.0f);
+}
+
+TEST(MachineDma, MemToMemVerticalTransfer)
+{
+    Machine m(smallConfig());
+    float vals[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    m.memTile(1, 0).pokeRange(0, vals, 8);      // south neighbour
+
+    Assembler as;
+    as.ldri(1, 0);
+    as.ldri(2, 50);
+    as.ldri(3, 8);
+    // Home = left tile of comp (0,0) = mem (0,0); pull from the south.
+    as.dmaload(kPortLeft, 1, kPortSouth, 2, 3, false);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+    EXPECT_FLOAT_EQ(m.memTile(0, 0).peek(57), 8.0f);
+}
+
+/**
+ * Producer/consumer synchronization: the consumer arms a tracker for
+ * two updates on a range in the shared MemHeavy tile and then reads it;
+ * the producer (a different CompHeavy tile) delivers the two updates
+ * after an artificial delay. The read must observe both updates.
+ */
+TEST(MachineSync, TrackerOrdersProducerConsumer)
+{
+    Machine m(smallConfig());
+
+    // Producer: comp(0,0,FP); writes to its right tile (mem col 1)
+    // through its scratchpad via PASSBUF_WR twice, after a delay loop.
+    {
+        CompHeavyTile &prod = m.compTile(0, 0, TileRole::Fp);
+        for (int i = 0; i < 4; ++i)
+            prod.scratchpad()[i] = 10.0f + i;
+        Assembler as;
+        as.ldriLc(1, 200);              // delay loop
+        Label spin = as.newLabel();
+        as.bind(spin);
+        as.bgzdLc(1, spin);
+        as.ldri(2, 0);                  // dst addr
+        as.ldri(3, 4);                  // words
+        as.ldri(4, 0);                  // scratch offset
+        as.passbufWr(kPortRight, 2, 3, 4);
+        as.passbufWr(kPortRight, 2, 3, 4);
+        as.halt();
+        m.loadProgram(0, 0, TileRole::Fp, as.finish());
+    }
+
+    // Consumer: comp(0,0,BP); arms the tracker, then copies the range
+    // into its left tile. The DMALOAD must block until both updates.
+    {
+        Assembler as;
+        as.ldri(1, 0);      // tracked addr
+        as.ldri(2, 4);      // words
+        as.ldri(3, 2);      // updates expected
+        as.ldri(4, 1);      // reads expected
+        as.memtrack(kPortRight, 1, 2, 3, 4);
+        as.ldri(5, 100);    // local dst in the left tile
+        // Home = left tile (mem col 0); source = East (mem col 1).
+        as.dmaload(kPortLeft, 1, kPortEast, 5, 2, false);
+        as.halt();
+        m.loadProgram(0, 0, TileRole::Bp, as.finish());
+    }
+
+    RunResult res = m.run();
+    ASSERT_TRUE(res.ok());
+    EXPECT_FLOAT_EQ(m.memTile(0, 0).peek(100), 10.0f);
+    EXPECT_FLOAT_EQ(m.memTile(0, 0).peek(103), 13.0f);
+    // The consumer must have stalled while the producer spun.
+    EXPECT_GT(m.compTile(0, 0, TileRole::Bp).stallCycles, 50u);
+    EXPECT_GT(m.memTile(0, 1).trackers().blockedReads(), 0u);
+}
+
+TEST(MachineSync, DeadlockDetected)
+{
+    Machine m(smallConfig());
+    // Consumer waits for an update that never arrives.
+    Assembler as;
+    as.ldri(1, 0);
+    as.ldri(2, 4);
+    as.ldri(3, 1);
+    as.ldri(4, 1);
+    as.memtrack(kPortRight, 1, 2, 3, 4);
+    as.ldri(5, 100);
+    as.dmaload(kPortLeft, 1, kPortEast, 5, 2, false);
+    as.halt();
+    m.loadProgram(0, 0, TileRole::Bp, as.finish());
+    RunResult res = m.run(100000);
+    EXPECT_TRUE(res.deadlocked);
+}
+
+TEST(MachineStats, InstructionAndGroupCounts)
+{
+    Machine m(smallConfig());
+    Assembler as;
+    as.ldri(1, 1);
+    as.ldri(2, 2);
+    as.addr(3, 1, 2);
+    as.halt();
+    m.loadProgram(1, 1, TileRole::Wg, as.finish());
+    ASSERT_TRUE(m.run().ok());
+    CompHeavyTile &t = m.compTile(1, 1, TileRole::Wg);
+    EXPECT_EQ(t.instsExecuted, 4u);
+    EXPECT_EQ(t.groupCounts[InstGroup::ScalarControl], 4u);
+}
+
+TEST(MachineStats, DumpListsActiveTiles)
+{
+    Machine m(smallConfig());
+    Assembler as;
+    as.ldri(1, 5);
+    as.ldri(2, 2);
+    as.ndactfn(kActReLU, 1, kPortRight, 2, 1, kPortRight);
+    as.halt();
+    m.loadProgram(0, 1, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+    std::ostringstream oss;
+    m.dumpStats(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("machine.cycles"), std::string::npos);
+    EXPECT_NE(s.find("machine.comp_r0_c1_FP.insts 4"),
+              std::string::npos);
+    EXPECT_NE(s.find("mem_r0_c2.sfu_ops 2"), std::string::npos);
+    // Inactive tiles are omitted.
+    EXPECT_EQ(s.find("comp_r1_c0"), std::string::npos);
+}
+
+TEST(MachineDeath, ProgramTooLarge)
+{
+    MachineConfig mc = smallConfig();
+    mc.comp.instMemEntries = 2;
+    Machine m(mc);
+    Assembler as;
+    as.nop();
+    as.nop();
+    as.halt();
+    EXPECT_EXIT(m.loadProgram(0, 0, TileRole::Fp, as.finish()),
+                ::testing::ExitedWithCode(1), "instruction memory");
+}
+
+TEST(MachineDeath, MemCapacityExceeded)
+{
+    Machine m(smallConfig());
+    std::uint32_t cap = m.memTile(0, 0).capacityWords();
+    EXPECT_DEATH(m.memTile(0, 0).poke(cap, 1.0f), "capacity");
+}
+
+} // namespace

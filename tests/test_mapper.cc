@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the workload-mapping phase (paper Section 4.1): column
+ * allocation invariants, load balancing, array-shape selection, weight
+ * placement, and suite-wide property checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "compiler/mapper.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::compiler;
+using namespace sd::dnn;
+
+Mapping
+mapNetwork(const Network &net)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Mapper mapper(net, node);
+    return mapper.map();
+}
+
+TEST(Mapper, AlexNetUsesAboutOneChip)
+{
+    Network net = makeAlexNet();
+    Mapping m = mapNetwork(net);
+    EXPECT_EQ(m.convChips, 1);
+    EXPECT_EQ(m.convColumns, 16);   // paper Figure 16: 16 columns
+    EXPECT_EQ(m.copies, 16);
+}
+
+TEST(Mapper, VggDNeedsManyChips)
+{
+    Network net = makeVggD();
+    Mapping m = mapNetwork(net);
+    // Paper Figure 16 maps VGG-D onto 256 columns (16 chips).
+    EXPECT_GE(m.convChips, 4);
+    EXPECT_LE(m.convChips, 16);
+    EXPECT_EQ(m.convColumns, m.convChips * 16);
+    EXPECT_EQ(m.copies, 16 / m.convChips);
+}
+
+TEST(Mapper, EveryComputeLayerAllocated)
+{
+    for (const auto &entry : benchmarkSuite()) {
+        Network net = entry.make();
+        Mapping m = mapNetwork(net);
+        for (const Layer &l : net.layers()) {
+            if (l.kind == LayerKind::Conv || l.kind == LayerKind::Fc) {
+                EXPECT_NE(m.find(l.id), nullptr)
+                    << entry.name << " " << l.name;
+            }
+        }
+    }
+}
+
+TEST(Mapper, ColumnsRespectMinimumAndBudget)
+{
+    for (const auto &entry : benchmarkSuite()) {
+        Network net = entry.make();
+        Mapping m = mapNetwork(net);
+        int conv_cols = 0, fc_cols = 0;
+        for (const LayerAlloc &a : m.layers) {
+            EXPECT_GE(a.columns, a.minColumns) << entry.name;
+            (a.fcSide ? fc_cols : conv_cols) += a.columns;
+        }
+        EXPECT_EQ(conv_cols, m.convColumns) << entry.name;
+        EXPECT_EQ(fc_cols, m.fcColumns) << entry.name;
+        EXPECT_LE(m.convColumns, m.convChips * 16) << entry.name;
+        EXPECT_LE(m.fcColumns, 8) << entry.name;
+    }
+}
+
+TEST(Mapper, LoadBalancingNarrowsColumnLoadSpread)
+{
+    // After balancing, no layer's per-column FLOPs should exceed the
+    // bottleneck by more than one column's worth of granularity: the
+    // bottleneck layer cannot be improved by stealing a column from a
+    // layer at its minimum.
+    Network net = makeAlexNet();
+    Mapping m = mapNetwork(net);
+    double max_load = 0.0;
+    const LayerAlloc *bottleneck = nullptr;
+    for (const LayerAlloc &a : m.layers) {
+        if (a.fcSide)
+            continue;
+        if (a.fpFlops / a.columns > max_load) {
+            max_load = a.fpFlops / a.columns;
+            bottleneck = &a;
+        }
+    }
+    ASSERT_NE(bottleneck, nullptr);
+    for (const LayerAlloc &a : m.layers) {
+        if (a.fcSide || &a == bottleneck || a.columns == a.minColumns)
+            continue;
+        // Moving one column from a to the bottleneck must not help:
+        // bottleneck's improved load stays above a's degraded load only
+        // if balancing was maximal. Allow equality.
+        double bneck_after =
+            bottleneck->fpFlops / (bottleneck->columns + 1);
+        double a_after = a.fpFlops / (a.columns - 1);
+        EXPECT_GE(a_after + 1e-9, bneck_after)
+            << "column should have moved from "
+            << net.layer(a.id).name << " to the bottleneck";
+    }
+}
+
+TEST(Mapper, FcLayersGoToFcChip)
+{
+    Network net = makeVggA();
+    Mapping m = mapNetwork(net);
+    for (const LayerAlloc &a : m.layers) {
+        const Layer &l = net.layer(a.id);
+        EXPECT_EQ(a.fcSide, l.kind == LayerKind::Fc) << l.name;
+    }
+}
+
+TEST(Mapper, SampLayersFuseWithProducingConv)
+{
+    Network net = makeAlexNet();
+    Mapping m = mapNetwork(net);
+    // pool1 (id 2) fuses into conv1 (id 1).
+    const LayerAlloc *a = m.find(2);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->id, 1);
+    ASSERT_TRUE(a->fusedSamp.has_value());
+    EXPECT_EQ(*a->fusedSamp, 2);
+}
+
+TEST(Mapper, ArrayShapePreservesLaneProduct)
+{
+    arch::CompHeavyConfig comp;     // 8x3x4
+    Network net = makeAlexNet();
+    for (const Layer &l : net.layers()) {
+        if (l.kind != LayerKind::Conv)
+            continue;
+        auto [shape, util] = Mapper::chooseArrayShape(l, comp);
+        EXPECT_EQ(shape.cols * shape.lanes, 12) << l.name;
+        EXPECT_GT(util, 0.3) << l.name;
+        EXPECT_LE(util, 1.0 + 1e-9) << l.name;
+    }
+}
+
+TEST(Mapper, SplitHelpsAwkwardFeatureSizes)
+{
+    // A 27x27 feature on an 8-row array wastes the last pass
+    // (27 = 3*8 + 3); splitting into two 4-row arrays fits 27 = 6*4+3
+    // better. chooseArrayShape should never pick something worse than
+    // the unsplit default.
+    arch::CompHeavyConfig comp;
+    Network net = makeSingleConv(8, 31, 16, 5, 1, 0);   // out 27x27
+    const Layer &l = net.layer(1);
+    ArrayShape base{8, 3, 4, false};
+    auto [shape, util] = Mapper::chooseArrayShape(l, comp);
+    EXPECT_GE(util, Mapper::arrayUtilization(l, base) - 1e-12);
+}
+
+TEST(Mapper, ArrayUtilizationExactForAlignedLayer)
+{
+    // outH=16 on 8 rows, K=3 on 3 cols, outC=64 on 4 lanes: perfect.
+    Network net = makeSingleConv(4, 18, 64, 3, 1, 0);   // out 16x16
+    ArrayShape shape{8, 3, 4, false};
+    EXPECT_DOUBLE_EQ(Mapper::arrayUtilization(net.layer(1), shape), 1.0);
+}
+
+TEST(Mapper, WeightPlacement)
+{
+    // VGG FC layers (>100M weights) cannot live on-chip; small early
+    // conv layers can.
+    Network net = makeVggA();
+    Mapping m = mapNetwork(net);
+    bool fc_offchip = false, conv_onchip = false;
+    for (const LayerAlloc &a : m.layers) {
+        const Layer &l = net.layer(a.id);
+        if (l.kind == LayerKind::Fc && l.weightCount() > 50'000'000 &&
+            !a.weightsOnChip) {
+            fc_offchip = true;
+        }
+        if (l.kind == LayerKind::Conv && l.weightCount() < 100'000 &&
+            a.weightsOnChip) {
+            conv_onchip = true;
+        }
+    }
+    EXPECT_TRUE(fc_offchip);
+    EXPECT_TRUE(conv_onchip);
+}
+
+TEST(Mapper, ColumnAllocUtilInPaperBallpark)
+{
+    // Paper Section 6.1: column-granularity allocation bounds 2D-PE
+    // utilization to ~0.68 on average across the suite.
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &entry : benchmarkSuite()) {
+        Network net = entry.make();
+        Mapping m = mapNetwork(net);
+        double u = m.columnAllocUtil();
+        EXPECT_GT(u, 0.2) << entry.name;
+        EXPECT_LE(u, 1.0 + 1e-9) << entry.name;
+        sum += u;
+        ++n;
+    }
+    double avg = sum / n;
+    EXPECT_GT(avg, 0.5);
+    EXPECT_LT(avg, 0.95);
+}
+
+TEST(Mapper, FeatureDistributionCountsTiles)
+{
+    Network net = makeAlexNet();
+    Mapping m = mapNetwork(net);
+    for (const LayerAlloc &a : m.layers) {
+        EXPECT_GE(a.tilesUsed, 1) << a.id;
+        EXPECT_LE(a.tilesUsed, a.tilesTotal) << a.id;
+        EXPECT_GE(a.featuresPerTile, 1) << a.id;
+        // All feature units fit in the used tiles.
+        EXPECT_GE(static_cast<std::int64_t>(a.tilesUsed) *
+                      a.featuresPerTile,
+                  a.featureUnits)
+            << a.id;
+    }
+}
+
+TEST(Mapper, HalfPrecisionNeedsFewerMinColumns)
+{
+    Network net = makeVggA();
+    arch::NodeConfig sp = arch::singlePrecisionNode();
+    arch::NodeConfig hp = arch::halfPrecisionNode();
+    Mapper msp(net, sp), mhp(net, hp);
+    const Layer &big = net.layer(1);    // conv1_1: 64x224x224
+    // HP halves element bytes but also halves tile capacity; the HP
+    // chip has more rows, so per-column capacity differs. Just check
+    // both produce sane values and HP is not worse.
+    int sp_cols = msp.minColumnsFor(big, sp.cluster.convChip);
+    int hp_cols = mhp.minColumnsFor(big, hp.cluster.convChip);
+    EXPECT_GE(sp_cols, 1);
+    EXPECT_GE(hp_cols, 1);
+    EXPECT_LE(hp_cols, sp_cols);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the network builder: shape inference, DAG structure,
+ * weight/MAC accounting and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/network.hh"
+
+namespace {
+
+using namespace sd::dnn;
+
+TEST(NetworkBuilder, ConvShapeInference)
+{
+    NetworkBuilder b("n", 3, 227, 227);
+    LayerId c = b.conv("c1", b.input(), 96, 11, 4, 0);
+    const Layer &l = b.layerAt(c);
+    EXPECT_EQ(l.outChannels, 96);
+    EXPECT_EQ(l.outH, 55);
+    EXPECT_EQ(l.outW, 55);
+    EXPECT_EQ(l.inChannels, 3);
+}
+
+TEST(NetworkBuilder, PaddedConvKeepsSize)
+{
+    NetworkBuilder b("n", 8, 14, 14);
+    LayerId c = b.conv("c", b.input(), 16, 3, 1, 1);
+    EXPECT_EQ(b.layerAt(c).outH, 14);
+}
+
+TEST(NetworkBuilder, PoolShape)
+{
+    NetworkBuilder b("n", 4, 55, 55);
+    LayerId p = b.maxPool("p", b.input(), 3, 2);
+    EXPECT_EQ(b.layerAt(p).outH, 27);
+    EXPECT_EQ(b.layerAt(p).outChannels, 4);
+}
+
+TEST(NetworkBuilder, FcFlattens)
+{
+    NetworkBuilder b("n", 8, 6, 6);
+    LayerId f = b.fc("f", b.input(), 100);
+    const Layer &l = b.layerAt(f);
+    EXPECT_EQ(l.outChannels, 100);
+    EXPECT_EQ(l.outH, 1);
+    EXPECT_EQ(l.weightCount(), 8u * 36u * 100u);
+}
+
+TEST(NetworkBuilder, GroupedConvWeights)
+{
+    NetworkBuilder b("n", 96, 27, 27);
+    LayerId c = b.conv("c", b.input(), 256, 5, 1, 2, 2);
+    // Each output channel sees inChannels/groups = 48 input channels.
+    EXPECT_EQ(b.layerAt(c).weightCount(), 256u * 48u * 25u);
+}
+
+TEST(NetworkBuilder, EltwiseRequiresSameShape)
+{
+    NetworkBuilder b("n", 4, 8, 8);
+    LayerId c1 = b.conv("c1", b.input(), 8, 3, 1, 1);
+    LayerId c2 = b.conv("c2", b.input(), 8, 3, 1, 1);
+    LayerId e = b.eltwise("e", {c1, c2});
+    EXPECT_EQ(b.layerAt(e).outChannels, 8);
+    EXPECT_EQ(b.layerAt(e).outH, 8);
+}
+
+TEST(NetworkBuilder, ConcatSumsChannels)
+{
+    NetworkBuilder b("n", 4, 8, 8);
+    LayerId c1 = b.conv("c1", b.input(), 8, 1);
+    LayerId c2 = b.conv("c2", b.input(), 16, 1);
+    LayerId k = b.concat("k", {c1, c2});
+    EXPECT_EQ(b.layerAt(k).outChannels, 24);
+}
+
+TEST(Network, ConsumersTracksDag)
+{
+    NetworkBuilder b("n", 4, 8, 8);
+    LayerId c1 = b.conv("c1", b.input(), 8, 3, 1, 1);
+    LayerId c2 = b.conv("c2", c1, 8, 3, 1, 1);
+    LayerId e = b.eltwise("e", {c1, c2});
+    Network net = b.build();
+    auto consumers = net.consumers(c1);
+    ASSERT_EQ(consumers.size(), 2u);
+    EXPECT_EQ(consumers[0], c2);
+    EXPECT_EQ(consumers[1], e);
+}
+
+TEST(Network, SummaryCountsKinds)
+{
+    NetworkBuilder b("n", 3, 32, 32);
+    LayerId c1 = b.conv("c1", b.input(), 8, 3, 1, 1);
+    LayerId p1 = b.maxPool("p1", c1, 2, 2);
+    LayerId f1 = b.fc("f1", p1, 10);
+    (void)f1;
+    Network net = b.build();
+    NetworkSummary s = net.summary();
+    EXPECT_EQ(s.convLayers, 1);
+    EXPECT_EQ(s.sampLayers, 1);
+    EXPECT_EQ(s.fcLayers, 1);
+    EXPECT_EQ(s.neurons, 8u * 32 * 32 + 10u);
+}
+
+TEST(Network, GroupedLayersCountOnce)
+{
+    NetworkBuilder b("n", 3, 32, 32);
+    b.conv("m/a", b.input(), 8, 1, 1, 0, 1, Activation::ReLU, "m");
+    b.conv("m/b", b.input(), 8, 3, 1, 1, 1, Activation::ReLU, "m");
+    Network net = b.build();
+    EXPECT_EQ(net.summary().convLayers, 1);
+}
+
+TEST(NetworkDeath, OversizedKernel)
+{
+    NetworkBuilder b("n", 3, 4, 4);
+    EXPECT_DEATH(b.conv("c", b.input(), 8, 9, 1, 0), "kernel");
+}
+
+TEST(NetworkDeath, BadGroups)
+{
+    NetworkBuilder b("n", 3, 8, 8);
+    EXPECT_DEATH(b.conv("c", b.input(), 8, 3, 1, 1, 2), "groups");
+}
+
+TEST(NetworkDeath, EltwiseShapeMismatch)
+{
+    NetworkBuilder b("n", 4, 8, 8);
+    sd::dnn::LayerId c1 = b.conv("c1", b.input(), 8, 3, 1, 1);
+    sd::dnn::LayerId c2 = b.conv("c2", b.input(), 16, 3, 1, 1);
+    EXPECT_DEATH(b.eltwise("e", {c1, c2}), "mismatch");
+}
+
+} // namespace

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the performance simulator: per-layer timing sanity, suite
+ * throughput/utilization in the paper's ballpark, the SP-vs-HP scaling
+ * of Section 6.1, and the qualitative link-utilization and power
+ * relationships of Figures 20 and 21.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+using namespace sd::sim::perf;
+
+PerfResult
+simulate(const Network &net, const arch::NodeConfig &node)
+{
+    PerfSim sim(net, node);
+    return sim.run();
+}
+
+TEST(Timing, ConvPassCyclesMatchesFormula)
+{
+    Network net = makeSingleConv(4, 18, 64, 3, 1, 0);   // out 16x16
+    compiler::ArrayShape shape{8, 3, 4, false};
+    // ceil(3/3) * ceil(16/8) * 16 * 3 = 1 * 2 * 48 = 96.
+    EXPECT_DOUBLE_EQ(convPassCycles(net.layer(1), shape), 96.0);
+}
+
+TEST(Timing, ConvCyclesBoundedByWorkOverLanes)
+{
+    // The stage can never beat useful-MACs / total-lanes on its tiles.
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeAlexNet();
+    compiler::Mapper mapper(net, node);
+    compiler::Mapping m = mapper.map();
+    for (const compiler::LayerAlloc &a : m.layers) {
+        if (a.fcSide || a.members.size() != 1)
+            continue;
+        const Layer &l = net.layer(a.members[0]);
+        if (l.kind != LayerKind::Conv)
+            continue;
+        LayerTiming t = layerTiming(l, nullptr, a,
+                                    node.cluster.convChip,
+                                    node.precision);
+        double lanes =
+            static_cast<double>(a.tilesTotal) *
+            node.cluster.convChip.comp.totalLanes();
+        double ideal = static_cast<double>(l.macCount()) / lanes;
+        EXPECT_GE(t.fpCycles, 0.95 * ideal) << l.name;
+        // ...and should stay within a small constant of ideal.
+        EXPECT_LE(t.fpCycles, 12.0 * ideal) << l.name;
+    }
+}
+
+TEST(Timing, BpWgMirrorFp)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeSingleConv(16, 14, 32, 3, 1, 1);
+    compiler::Mapper mapper(net, node);
+    compiler::Mapping m = mapper.map();
+    LayerTiming t = layerTiming(net.layer(1), nullptr, m.layers[0],
+                                node.cluster.convChip, node.precision);
+    EXPECT_DOUBLE_EQ(t.fpCycles, t.bpCycles);
+    EXPECT_DOUBLE_EQ(t.fpCycles, t.wgCycles);
+    EXPECT_GT(t.sfuOps, 0.0);
+}
+
+TEST(PerfSim, Fig16SuiteThroughput)
+{
+    // Figure 16: training throughput in the thousands of images/sec,
+    // evaluation "marginally over 3x" training.
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    for (const auto &entry : benchmarkSuite()) {
+        PerfResult r = simulate(entry.make(), node);
+        EXPECT_GT(r.trainImagesPerSec, 1000.0) << entry.name;
+        EXPECT_LT(r.trainImagesPerSec, 300000.0) << entry.name;
+        double ratio = r.evalImagesPerSec / r.trainImagesPerSec;
+        EXPECT_GT(ratio, 2.9) << entry.name;
+        EXPECT_LT(ratio, 4.5) << entry.name;
+    }
+}
+
+TEST(PerfSim, Fig16UtilizationBallpark)
+{
+    // Paper: 0.35 average 2D-PE utilization across the suite.
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    double log_sum = 0.0;
+    int n = 0;
+    for (const auto &entry : benchmarkSuite()) {
+        PerfResult r = simulate(entry.make(), node);
+        EXPECT_GT(r.peUtil, 0.08) << entry.name;
+        EXPECT_LT(r.peUtil, 0.75) << entry.name;
+        log_sum += std::log(r.peUtil);
+        ++n;
+    }
+    double geomean = std::exp(log_sum / n);
+    EXPECT_GT(geomean, 0.2);
+    EXPECT_LT(geomean, 0.55);
+}
+
+TEST(PerfSim, Fig16OrderingAlexNetFastestVggSlowest)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    PerfResult alex = simulate(makeAlexNet(), node);
+    PerfResult vggd = simulate(makeVggD(), node);
+    PerfResult vgge = simulate(makeVggE(), node);
+    EXPECT_GT(alex.trainImagesPerSec, 5.0 * vggd.trainImagesPerSec);
+    EXPECT_GE(vggd.trainImagesPerSec, 0.9 * vgge.trainImagesPerSec);
+}
+
+TEST(PerfSim, Fig17HalfPrecisionSpeedup)
+{
+    // Section 6.1: HP achieves ~1.85x (training) and ~1.82x
+    // (evaluation) over SP. Check the suite-wide geometric mean.
+    arch::NodeConfig sp = arch::singlePrecisionNode();
+    arch::NodeConfig hp = arch::halfPrecisionNode();
+    double log_train = 0.0, log_eval = 0.0;
+    int n = 0;
+    for (const auto &entry : benchmarkSuite()) {
+        Network net = entry.make();
+        PerfResult rs = simulate(net, sp);
+        PerfResult rh = simulate(net, hp);
+        log_train += std::log(rh.trainImagesPerSec /
+                              rs.trainImagesPerSec);
+        log_eval += std::log(rh.evalImagesPerSec /
+                             rs.evalImagesPerSec);
+        ++n;
+    }
+    double train_speedup = std::exp(log_train / n);
+    double eval_speedup = std::exp(log_eval / n);
+    EXPECT_GT(train_speedup, 1.4);
+    EXPECT_LT(train_speedup, 2.4);
+    EXPECT_GT(eval_speedup, 1.4);
+    EXPECT_LT(eval_speedup, 2.4);
+}
+
+TEST(PerfSim, Fig19UtilizationWaterfall)
+{
+    // The AlexNet per-layer chain: each factor in (0, 1.25], the
+    // achieved utilization below each upstream bound.
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    PerfResult r = simulate(makeAlexNet(), node);
+    ASSERT_FALSE(r.layers.empty());
+    for (const LayerPerf &lp : r.layers) {
+        EXPECT_GT(lp.featureDistUtil, 0.0) << lp.name;
+        EXPECT_LE(lp.featureDistUtil, 1.0) << lp.name;
+        EXPECT_GT(lp.arrayResidueUtil, 0.2) << lp.name;
+        EXPECT_LE(lp.arrayResidueUtil, 1.0 + 1e-9) << lp.name;
+        EXPECT_LE(lp.achievedUtil,
+                  std::min(1.0, lp.columnUtil) + 1e-9)
+            << lp.name;
+    }
+    EXPECT_GT(r.columnAllocUtil, 0.3);
+    EXPECT_LE(r.columnAllocUtil, 1.0);
+    EXPECT_GT(r.featureDistUtil, 0.4);
+    EXPECT_GT(r.arrayResidueUtil, 0.4);
+}
+
+TEST(PerfSim, Fig20PowerBelowPeakAndEfficiency)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    arch::PowerModel power(node);
+    const double peak = power.nodePeak().total();
+    for (const auto &entry : benchmarkSuite()) {
+        PerfResult r = simulate(entry.make(), node);
+        EXPECT_GT(r.avgPower.total(), 0.25 * peak) << entry.name;
+        EXPECT_LT(r.avgPower.total(), peak) << entry.name;
+        // Paper: 331.7 GFLOPs/W average achieved efficiency.
+        EXPECT_GT(r.gflopsPerWatt, 80.0) << entry.name;
+        EXPECT_LT(r.gflopsPerWatt, 490.0) << entry.name;
+        // Memory power stays a small, stable fraction (leakage).
+        EXPECT_LT(r.avgPower.memory / r.avgPower.total(), 0.35)
+            << entry.name;
+    }
+}
+
+TEST(PerfSim, Fig21LinkUtilizationShape)
+{
+    // Comp-Mem links are the busiest on-chip class; the ring is lightly
+    // used for single-chip networks (paper Section 6.3).
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    for (const auto &entry : benchmarkSuite()) {
+        PerfResult r = simulate(entry.make(), node);
+        EXPECT_GE(r.links.compMem, r.links.memMem) << entry.name;
+        EXPECT_GE(r.links.compMem, 0.3) << entry.name;
+        EXPECT_LE(r.links.ring, 0.7) << entry.name;
+        for (double u : {r.links.compMem, r.links.memMem,
+                         r.links.convExt, r.links.fcExt, r.links.spoke,
+                         r.links.arc, r.links.ring}) {
+            EXPECT_GE(u, 0.0) << entry.name;
+            EXPECT_LE(u, 1.0) << entry.name;
+        }
+    }
+}
+
+TEST(PerfSim, LargerMinibatchAmortizesSync)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeVggA();
+    PerfOptions small_batch, big_batch;
+    small_batch.minibatch = 32;
+    big_batch.minibatch = 1024;
+    PerfSim sim_small(net, node, small_batch);
+    PerfSim sim_big(net, node, big_batch);
+    EXPECT_GE(sim_big.run().trainImagesPerSec,
+              sim_small.run().trainImagesPerSec);
+}
+
+TEST(PerfSim, ProgramEfficiencyScalesThroughput)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeAlexNet();
+    PerfOptions slow;
+    slow.programEfficiency = 0.5;
+    PerfSim fast_sim(net, node);
+    PerfSim slow_sim(net, node, slow);
+    EXPECT_GT(fast_sim.run().trainImagesPerSec,
+              slow_sim.run().trainImagesPerSec);
+}
+
+TEST(PerfSim, DeterministicResults)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeGoogLeNet();
+    PerfResult a = simulate(net, node);
+    PerfResult b = simulate(net, node);
+    EXPECT_DOUBLE_EQ(a.trainImagesPerSec, b.trainImagesPerSec);
+    EXPECT_DOUBLE_EQ(a.peUtil, b.peUtil);
+}
+
+TEST(PerfSimDeath, BadMinibatch)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeAlexNet();
+    PerfOptions bad;
+    bad.minibatch = 0;
+    EXPECT_EXIT(PerfSim(net, node, bad), ::testing::ExitedWithCode(1),
+                "minibatch");
+}
+
+} // namespace

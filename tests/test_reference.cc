@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the reference DNN engine: kernel correctness against
+ * hand-computed values, numerical gradient checks for backpropagation
+ * and weight gradients, and end-to-end SGD learning on the synthetic
+ * dataset.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd::dnn;
+
+Layer
+convLayer(int in_c, int in_hw, int out_c, int k, int stride, int pad,
+          int groups = 1)
+{
+    NetworkBuilder b("t", in_c, in_hw, in_hw);
+    b.conv("c", b.input(), out_c, k, stride, pad, groups,
+           Activation::None);
+    static Network net = [] {
+        NetworkBuilder bb("dummy", 1, 1, 1);
+        return bb.build();
+    }();
+    Network n = b.build();
+    return n.layer(1);
+}
+
+TEST(ConvForward, IdentityKernel)
+{
+    Layer l = convLayer(1, 3, 1, 1, 1, 0);
+    Tensor in({1, 3, 3});
+    for (std::size_t i = 0; i < 9; ++i)
+        in[i] = static_cast<float>(i);
+    Tensor w = Tensor::full({1}, 1.0f);
+    Tensor out({1, 3, 3});
+    convForward(l, in, w, out);
+    EXPECT_FLOAT_EQ(in.maxAbsDiff(out), 0.0f);
+}
+
+TEST(ConvForward, HandComputed3x3)
+{
+    // 1x4x4 input of ones, 3x3 kernel of ones -> every output is 9.
+    Layer l = convLayer(1, 4, 1, 3, 1, 0);
+    Tensor in = Tensor::full({1, 4, 4}, 1.0f);
+    Tensor w = Tensor::full({9}, 1.0f);
+    Tensor out({1, 2, 2});
+    convForward(l, in, w, out);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(out[i], 9.0f);
+}
+
+TEST(ConvForward, PaddingZeros)
+{
+    // With pad=1, the corner output only overlaps 4 input cells.
+    Layer l = convLayer(1, 3, 1, 3, 1, 1);
+    Tensor in = Tensor::full({1, 3, 3}, 1.0f);
+    Tensor w = Tensor::full({9}, 1.0f);
+    Tensor out({1, 3, 3});
+    convForward(l, in, w, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 2, 0), 4.0f);
+}
+
+TEST(ConvForward, Stride2)
+{
+    Layer l = convLayer(1, 5, 1, 1, 2, 0);
+    Tensor in({1, 5, 5});
+    for (std::size_t i = 0; i < 25; ++i)
+        in[i] = static_cast<float>(i);
+    Tensor w = Tensor::full({1}, 1.0f);
+    Tensor out({1, 3, 3});
+    convForward(l, in, w, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 10.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 2, 2), 24.0f);
+}
+
+TEST(ConvForward, GroupsIsolateChannels)
+{
+    // 2 input channels, 2 output channels, groups=2, 1x1 kernels:
+    // out[0] = 2*in[0], out[1] = 3*in[1].
+    Layer l = convLayer(2, 2, 2, 1, 1, 0, 2);
+    Tensor in({2, 2, 2});
+    in.fill(1.0f);
+    Tensor w({2});
+    w[0] = 2.0f;
+    w[1] = 3.0f;
+    Tensor out({2, 2, 2});
+    convForward(l, in, w, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 3.0f);
+}
+
+TEST(Pooling, MaxForwardBackward)
+{
+    NetworkBuilder b("t", 1, 4, 4);
+    b.maxPool("p", b.input(), 2, 2);
+    Network net = b.build();
+    const Layer &l = net.layer(1);
+
+    Tensor in({1, 4, 4});
+    for (std::size_t i = 0; i < 16; ++i)
+        in[i] = static_cast<float>(i);
+    Tensor out({1, 2, 2});
+    std::vector<std::uint32_t> argmax;
+    poolForward(l, in, out, &argmax);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15.0f);
+
+    Tensor dout = Tensor::full({1, 2, 2}, 1.0f);
+    Tensor din({1, 4, 4});
+    poolBackward(l, dout, argmax, din);
+    EXPECT_FLOAT_EQ(din[5], 1.0f);
+    EXPECT_FLOAT_EQ(din[15], 1.0f);
+    EXPECT_FLOAT_EQ(din[0], 0.0f);
+}
+
+TEST(Pooling, AverageForward)
+{
+    NetworkBuilder b("t", 1, 4, 4);
+    b.avgPool("p", b.input(), 2, 2);
+    Network net = b.build();
+    Tensor in({1, 4, 4});
+    for (std::size_t i = 0; i < 16; ++i)
+        in[i] = static_cast<float>(i);
+    Tensor out({1, 2, 2});
+    poolForward(net.layer(1), in, out, nullptr);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), (0 + 1 + 4 + 5) / 4.0f);
+}
+
+TEST(Fc, ForwardMatchesMatVec)
+{
+    NetworkBuilder b("t", 1, 1, 3);
+    b.fc("f", b.input(), 2, Activation::None);
+    Network net = b.build();
+    Tensor in({1, 1, 3});
+    in[0] = 1.0f;
+    in[1] = 2.0f;
+    in[2] = 3.0f;
+    Tensor w({6});
+    for (std::size_t i = 0; i < 6; ++i)
+        w[i] = static_cast<float>(i + 1);
+    Tensor out({2, 1, 1});
+    fcForward(net.layer(1), in, w, out);
+    EXPECT_FLOAT_EQ(out[0], 1 + 4 + 9);       // [1 2 3] . [1 2 3]
+    EXPECT_FLOAT_EQ(out[1], 4 + 10 + 18);     // [1 2 3] . [4 5 6]
+}
+
+TEST(Activation, ReluTanhSigmoid)
+{
+    Tensor t({3});
+    t[0] = -1.0f;
+    t[1] = 0.0f;
+    t[2] = 2.0f;
+    Tensor r = t;
+    applyActivation(r, Activation::ReLU);
+    EXPECT_FLOAT_EQ(r[0], 0.0f);
+    EXPECT_FLOAT_EQ(r[2], 2.0f);
+    Tensor th = t;
+    applyActivation(th, Activation::Tanh);
+    EXPECT_NEAR(th[2], std::tanh(2.0), 1e-6);
+    Tensor sg = t;
+    applyActivation(sg, Activation::Sigmoid);
+    EXPECT_NEAR(sg[0], 1.0 / (1.0 + std::exp(1.0)), 1e-6);
+}
+
+TEST(Softmax, LossAndGradient)
+{
+    Tensor logits({3});
+    logits[0] = 1.0f;
+    logits[1] = 2.0f;
+    logits[2] = 3.0f;
+    Tensor grad({3});
+    double loss = softmaxCrossEntropy(logits, 2, grad);
+    // p = softmax([1,2,3]); loss = -log p[2].
+    double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+    EXPECT_NEAR(loss, -std::log(std::exp(3.0) / denom), 1e-6);
+    // Gradient sums to zero, and is p - onehot.
+    EXPECT_NEAR(grad[0] + grad[1] + grad[2], 0.0, 1e-6);
+    EXPECT_LT(grad[2], 0.0f);
+}
+
+/**
+ * Numerical gradient check: for a tiny CNN and a fixed input/label,
+ * compare analytic weight gradients against central differences.
+ */
+TEST(GradientCheck, TinyCnnWeights)
+{
+    Network net = makeTinyCnn(8, 3);
+    ReferenceEngine eng(net, 11);
+    sd::Rng rng(5);
+    Tensor img = Tensor::uniform({1, 8, 8}, rng, 0.0f, 1.0f);
+    const int label = 1;
+
+    eng.forwardBackward(img, label);
+
+    // Check a few weights in every weighted layer.
+    for (const Layer &l : net.layers()) {
+        if (!l.hasWeights())
+            continue;
+        Tensor analytic = eng.weightGrad(l.id);    // copy
+        Tensor &w = eng.weights(l.id);
+        const float eps = 1e-3f;
+        for (std::size_t idx : {std::size_t(0), w.size() / 2,
+                                w.size() - 1}) {
+            float orig = w[idx];
+            w[idx] = orig + eps;
+            // Recompute loss without touching gradients: use a scratch
+            // engine call path (forward + loss only).
+            Tensor dl1(eng.activation(net.outputLayer().id).shape());
+            double lp = softmaxCrossEntropy(eng.forward(img), label, dl1);
+            w[idx] = orig - eps;
+            Tensor dl2(dl1.shape());
+            double lm = softmaxCrossEntropy(eng.forward(img), label, dl2);
+            w[idx] = orig;
+            double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR(analytic[idx], numeric,
+                        2e-2 * std::max(1.0, std::fabs(numeric)))
+                << l.name << " idx " << idx;
+        }
+    }
+}
+
+TEST(GradientCheck, EltwiseAndConcatPaths)
+{
+    // Small DAG with a residual join and a concat.
+    NetworkBuilder b("dag", 2, 6, 6);
+    LayerId c1 = b.conv("c1", b.input(), 4, 3, 1, 1);
+    LayerId c2 = b.conv("c2", c1, 4, 3, 1, 1, 1, Activation::None);
+    LayerId e = b.eltwise("e", {c1, c2});
+    LayerId c3 = b.conv("c3", e, 4, 3, 1, 1);
+    LayerId k = b.concat("k", {e, c3});
+    LayerId f = b.fc("f", k, 3, Activation::None);
+    (void)f;
+    Network net = b.build();
+
+    ReferenceEngine eng(net, 3);
+    sd::Rng rng(9);
+    Tensor img = Tensor::uniform({2, 6, 6}, rng, 0.0f, 1.0f);
+    eng.forwardBackward(img, 0);
+
+    Tensor analytic = eng.weightGrad(1);   // c1's gradient (both paths)
+    Tensor &w = eng.weights(1);
+    const float eps = 1e-3f;
+    std::size_t idx = w.size() / 3;
+    float orig = w[idx];
+    Tensor scratch(eng.activation(net.outputLayer().id).shape());
+    w[idx] = orig + eps;
+    double lp = softmaxCrossEntropy(eng.forward(img), 0, scratch);
+    w[idx] = orig - eps;
+    double lm = softmaxCrossEntropy(eng.forward(img), 0, scratch);
+    w[idx] = orig;
+    double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[idx], numeric,
+                2e-2 * std::max(1.0, std::fabs(numeric)));
+}
+
+TEST(Training, LossDecreasesOnSyntheticData)
+{
+    Network net = makeTinyCnn(12, 3);
+    ReferenceEngine eng(net, 21);
+    SyntheticDataset data(3, 1, 12, 12, 13);
+
+    // Average loss over windows of batches (single-batch loss is too
+    // noisy to compare directly).
+    auto run_batches = [&](int batches, float lr) {
+        double loss = 0.0;
+        for (int i = 0; i < batches; ++i) {
+            std::vector<Tensor> imgs;
+            std::vector<int> labels;
+            for (int j = 0; j < 8; ++j) {
+                auto [img, label] = data.sample();
+                imgs.push_back(std::move(img));
+                labels.push_back(label);
+            }
+            loss += eng.trainMinibatch(imgs, labels, lr);
+        }
+        return loss / batches;
+    };
+
+    double first = run_batches(10, 0.05f);
+    run_batches(80, 0.05f);
+    double last = run_batches(10, 0.05f);
+    EXPECT_LT(last, first * 0.7);
+}
+
+TEST(Training, AccuracyBeatsChance)
+{
+    Network net = makeTinyCnn(12, 3);
+    ReferenceEngine eng(net, 23);
+    SyntheticDataset train(3, 1, 12, 12, 17);
+    for (int i = 0; i < 80; ++i) {
+        std::vector<Tensor> imgs;
+        std::vector<int> labels;
+        for (int j = 0; j < 8; ++j) {
+            auto [img, label] = train.sample();
+            imgs.push_back(std::move(img));
+            labels.push_back(label);
+        }
+        eng.trainMinibatch(imgs, labels, 0.05f);
+    }
+    SyntheticDataset test(3, 1, 12, 12, 99);
+    int correct = 0;
+    const int n = 60;
+    for (int i = 0; i < n; ++i) {
+        auto [img, label] = test.sample();
+        if (eng.predict(img) == label)
+            ++correct;
+    }
+    // Chance is 1/3; require well above.
+    EXPECT_GT(correct, n / 2);
+}
+
+TEST(Engine, ForwardThroughGoogLeNetModuleShapes)
+{
+    // Run a real forward pass through a small inception-style DAG to
+    // verify concat plumbing end to end.
+    NetworkBuilder b("mini-inception", 3, 16, 16);
+    LayerId c1 = b.conv("c1", b.input(), 8, 3, 1, 1);
+    LayerId b1 = b.conv("b1", c1, 4, 1);
+    LayerId b3r = b.conv("b3r", c1, 4, 1);
+    LayerId b3 = b.conv("b3", b3r, 8, 3, 1, 1);
+    LayerId cc = b.concat("cc", {b1, b3});
+    LayerId f = b.fc("f", cc, 5, Activation::None);
+    (void)f;
+    Network net = b.build();
+    ReferenceEngine eng(net, 2);
+    sd::Rng rng(4);
+    Tensor img = Tensor::uniform({3, 16, 16}, rng);
+    const Tensor &out = eng.forward(img);
+    EXPECT_EQ(out.size(), 5u);
+    EXPECT_EQ(eng.activation(cc).dim(0), 12u);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the dense tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/tensor.hh"
+
+namespace {
+
+using sd::Rng;
+using sd::dnn::Tensor;
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_EQ(t.rank(), 3u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, MultiIndexRoundTrip)
+{
+    Tensor t({2, 3, 4});
+    t.at(1, 2, 3) = 42.0f;
+    EXPECT_EQ(t.at(1, 2, 3), 42.0f);
+    EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 42.0f);
+}
+
+TEST(Tensor, Rank4Indexing)
+{
+    Tensor t({2, 2, 2, 2});
+    t.at(1, 0, 1, 0) = 5.0f;
+    EXPECT_EQ(t[1 * 8 + 0 * 4 + 1 * 2 + 0], 5.0f);
+}
+
+TEST(Tensor, FullAndFill)
+{
+    Tensor t = Tensor::full({3}, 2.5f);
+    EXPECT_EQ(t.at(2), 2.5f);
+    t.fill(-1.0f);
+    EXPECT_EQ(t.at(0), -1.0f);
+}
+
+TEST(Tensor, AccumulateAndScale)
+{
+    Tensor a = Tensor::full({4}, 1.0f);
+    Tensor b = Tensor::full({4}, 2.0f);
+    a.accumulate(b);
+    a.scale(2.0f);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(a[i], 6.0f);
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a = Tensor::full({3}, 1.0f);
+    Tensor b = Tensor::full({3}, 1.0f);
+    b[1] = -2.0f;
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 3.0f);
+    EXPECT_FLOAT_EQ(b.maxAbs(), 2.0f);
+}
+
+TEST(Tensor, UniformDeterministic)
+{
+    Rng r1(3), r2(3);
+    Tensor a = Tensor::uniform({10}, r1);
+    Tensor b = Tensor::uniform({10}, r2);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.0f);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_GE(a[i], -1.0f);
+        EXPECT_LT(a[i], 1.0f);
+    }
+}
+
+TEST(TensorDeath, BadRank)
+{
+    EXPECT_DEATH({ Tensor t({1, 1, 1, 1, 1}); }, "rank");
+}
+
+TEST(TensorDeath, WrongIndexArity)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.at(1, 1, 1), "indexed with");
+}
+
+TEST(TensorDeath, OutOfBounds)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.at(2, 0), "out of bound");
+}
+
+} // namespace

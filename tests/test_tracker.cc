@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the MEMTRACK data-flow tracker semantics (paper Section
+ * 3.2.4): reads gated on update counts, overwrite protection gated on
+ * read counts, retirement, capacity NACKs, and a property sweep over
+ * random interleavings verifying the enforced ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/random.hh"
+#include "sim/func/tracker.hh"
+
+namespace {
+
+using namespace sd::sim;
+
+TEST(Tracker, ReadBlockedUntilUpdates)
+{
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(100, 10, /*updates=*/2, /*reads=*/1));
+    EXPECT_EQ(t.read(100, 10), TrackerVerdict::Block);
+    EXPECT_EQ(t.write(100, 10), TrackerVerdict::Allow);
+    EXPECT_EQ(t.read(100, 10), TrackerVerdict::Block);
+    EXPECT_EQ(t.write(100, 10), TrackerVerdict::Allow);
+    EXPECT_EQ(t.read(100, 10), TrackerVerdict::Allow);
+}
+
+TEST(Tracker, OverwriteBlockedUntilReads)
+{
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(0, 4, 1, 2));
+    EXPECT_EQ(t.write(0, 4), TrackerVerdict::Allow);    // the update
+    EXPECT_EQ(t.write(0, 4), TrackerVerdict::Block);    // next-gen write
+    EXPECT_EQ(t.read(0, 4), TrackerVerdict::Allow);
+    EXPECT_EQ(t.write(0, 4), TrackerVerdict::Block);    // 1 read left
+    EXPECT_EQ(t.read(0, 4), TrackerVerdict::Allow);
+    // Tracker retired: accesses now unconstrained.
+    EXPECT_EQ(t.write(0, 4), TrackerVerdict::Allow);
+}
+
+TEST(Tracker, NonOverlappingUnconstrained)
+{
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(100, 10, 5, 5));
+    EXPECT_EQ(t.read(0, 10), TrackerVerdict::Allow);
+    EXPECT_EQ(t.read(110, 1), TrackerVerdict::Allow);
+    EXPECT_EQ(t.read(109, 2), TrackerVerdict::Block);   // overlaps tail
+}
+
+TEST(Tracker, PartialOverlapGates)
+{
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(10, 10, 1, 1));
+    EXPECT_EQ(t.read(15, 10), TrackerVerdict::Block);
+    EXPECT_EQ(t.write(5, 6), TrackerVerdict::Allow);    // counts update
+    EXPECT_EQ(t.read(15, 10), TrackerVerdict::Allow);
+}
+
+TEST(Tracker, CapacityNack)
+{
+    TrackerTable t(2);
+    EXPECT_TRUE(t.arm(0, 1, 1, 1));
+    EXPECT_TRUE(t.arm(10, 1, 1, 1));
+    EXPECT_FALSE(t.arm(20, 1, 1, 1));
+    EXPECT_EQ(t.nacks(), 1u);
+    // Retire the first entry; capacity is reclaimed on next arm.
+    EXPECT_EQ(t.write(0, 1), TrackerVerdict::Allow);
+    EXPECT_EQ(t.read(0, 1), TrackerVerdict::Allow);
+    EXPECT_TRUE(t.arm(20, 1, 1, 1));
+}
+
+TEST(Tracker, RearmBlockedUntilRetire)
+{
+    // One live tracker per range: re-arming (the next pipeline
+    // generation) is NACKed until the previous generation's reads
+    // drain — the write-after-read throttle.
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(0, 8, 1, 1));
+    EXPECT_FALSE(t.arm(0, 8, 1, 1));        // still pending
+    EXPECT_FALSE(t.arm(4, 8, 1, 1));        // overlapping tail
+    EXPECT_TRUE(t.arm(100, 8, 1, 1));       // disjoint is fine
+    EXPECT_EQ(t.write(0, 8), TrackerVerdict::Allow);
+    EXPECT_FALSE(t.arm(0, 8, 1, 1));        // read still pending
+    EXPECT_EQ(t.read(0, 8), TrackerVerdict::Allow);
+    EXPECT_TRUE(t.arm(0, 8, 1, 1));         // retired: next generation
+}
+
+TEST(Tracker, ProbeHasNoSideEffects)
+{
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(0, 4, 1, 1));
+    EXPECT_EQ(t.probeRead(0, 4), TrackerVerdict::Block);
+    EXPECT_EQ(t.write(0, 4), TrackerVerdict::Allow);
+    // Probing a read many times must not consume the read budget.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(t.probeRead(0, 4), TrackerVerdict::Allow);
+    EXPECT_EQ(t.probeWrite(0, 4), TrackerVerdict::Block);
+    EXPECT_EQ(t.read(0, 4), TrackerVerdict::Allow);
+    EXPECT_EQ(t.probeWrite(0, 4), TrackerVerdict::Allow);
+}
+
+TEST(Tracker, BlockedCountersAccumulate)
+{
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(0, 4, 1, 1));
+    t.read(0, 4);
+    t.read(0, 4);
+    EXPECT_EQ(t.blockedReads(), 2u);
+    t.write(0, 4);
+    t.write(0, 4);
+    EXPECT_EQ(t.blockedWrites(), 1u);
+}
+
+/**
+ * Property: for any random interleaving of read/write attempts against
+ * an armed range, the sequence of *allowed* accesses always consists of
+ * exactly NumUpdates writes followed by NumReads reads.
+ */
+class TrackerProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TrackerProperty, OrderingInvariant)
+{
+    sd::Rng rng(GetParam());
+    const std::uint32_t updates = 1 + rng.below(5);
+    const std::uint32_t reads = 1 + rng.below(5);
+    TrackerTable t;
+    ASSERT_TRUE(t.arm(0, 16, updates, reads));
+
+    std::uint32_t writes_done = 0, reads_done = 0;
+    std::vector<char> allowed_sequence;
+    int attempts = 0;
+    while ((writes_done < updates || reads_done < reads) &&
+           attempts < 1000) {
+        ++attempts;
+        if (rng.below(2) == 0) {
+            if (t.write(0, 16) == TrackerVerdict::Allow &&
+                writes_done < updates) {
+                ++writes_done;
+                allowed_sequence.push_back('W');
+            }
+        } else {
+            if (t.read(0, 16) == TrackerVerdict::Allow) {
+                ++reads_done;
+                allowed_sequence.push_back('R');
+            }
+        }
+    }
+    ASSERT_EQ(writes_done, updates);
+    ASSERT_EQ(reads_done, reads);
+    // All writes precede all reads in the allowed sequence.
+    std::string seq(allowed_sequence.begin(), allowed_sequence.end());
+    EXPECT_EQ(seq, std::string(updates, 'W') + std::string(reads, 'R'));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInterleavings, TrackerProperty,
+                         ::testing::Range(0, 25));
+
+} // namespace

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Validation of the functional training path: compiled BP/WG ScaleDeep
+ * programs executed on the chip simulator must reproduce the reference
+ * engine's weight gradients, and SGD driven purely by simulated
+ * gradients must learn.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/trainer.hh"
+#include "core/random.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::compiler;
+using namespace sd::dnn;
+
+sim::MachineConfig
+machineFor(const Network &net)
+{
+    sim::MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    return mc;
+}
+
+/**
+ * Run one TrainRunner step and one reference forwardBackward on
+ * identical weights/input, then compare every layer's weight gradient.
+ */
+void
+expectGradientsMatch(const Network &net, std::uint64_t seed,
+                     std::uint64_t input_seed, float tol = 2e-4f)
+{
+    TrainRunner runner(net, machineFor(net), seed);
+    ReferenceEngine reference(net, seed);    // identical init
+
+    const Layer &in = net.layer(0);
+    Rng rng(input_seed);
+    Tensor image = Tensor::uniform(
+        {static_cast<std::size_t>(in.outChannels),
+         static_cast<std::size_t>(in.outH),
+         static_cast<std::size_t>(in.outW)},
+        rng, 0.0f, 1.0f);
+    const int label = 1;
+
+    double ref_loss = reference.forwardBackward(image, label);
+    double sim_loss = runner.step(image, label, /*lr=*/0.0f);
+    EXPECT_NEAR(sim_loss, ref_loss, 1e-4 * std::max(1.0, ref_loss));
+
+    for (const Layer &l : net.layers()) {
+        if (!l.hasWeights())
+            continue;
+        const Tensor &sim_g = runner.gradient(l.id);
+        const Tensor &ref_g = reference.weightGrad(l.id);
+        ASSERT_EQ(sim_g.size(), ref_g.size()) << l.name;
+        float scale = std::max(1.0f, ref_g.maxAbs());
+        EXPECT_LT(sim_g.maxAbsDiff(ref_g), tol * scale)
+            << net.name() << " " << l.name;
+    }
+}
+
+TEST(Trainer, FcOnlyGradients)
+{
+    NetworkBuilder b("fc", 2, 3, 3);
+    LayerId f1 = b.fc("f1", b.input(), 8);
+    b.fc("f2", f1, 3, Activation::None);
+    expectGradientsMatch(b.build(), 3, 11);
+}
+
+TEST(Trainer, SingleConvThenFc)
+{
+    NetworkBuilder b("conv-fc", 2, 8, 8);
+    LayerId c = b.conv("c", b.input(), 4, 3, 1, 1);
+    b.fc("f", c, 3, Activation::None);
+    expectGradientsMatch(b.build(), 4, 12);
+}
+
+TEST(Trainer, PaddedAndUnpaddedConvChain)
+{
+    NetworkBuilder b("convs", 2, 9, 9);
+    LayerId c1 = b.conv("c1", b.input(), 4, 3, 1, 1);
+    LayerId c2 = b.conv("c2", c1, 6, 3, 1, 0);
+    b.fc("f", c2, 3, Activation::None);
+    expectGradientsMatch(b.build(), 5, 13);
+}
+
+TEST(Trainer, AvgPoolChain)
+{
+    NetworkBuilder b("conv-pool-fc", 1, 8, 8);
+    LayerId c = b.conv("c", b.input(), 4, 3, 1, 1);
+    LayerId p = b.avgPool("p", c, 2, 2);
+    b.fc("f", p, 3, Activation::None);
+    expectGradientsMatch(b.build(), 6, 14);
+}
+
+TEST(Trainer, TanhAndSigmoidDerivatives)
+{
+    NetworkBuilder b("acts", 2, 7, 7);
+    LayerId c1 = b.conv("c1", b.input(), 4, 3, 1, 1, 1,
+                        Activation::Tanh);
+    LayerId c2 = b.conv("c2", c1, 4, 3, 1, 1, 1, Activation::Sigmoid);
+    LayerId f1 = b.fc("f1", c2, 8, Activation::Tanh);
+    b.fc("f2", f1, 3, Activation::None);
+    expectGradientsMatch(b.build(), 7, 15);
+}
+
+TEST(Trainer, TinyCnnAvgGradients)
+{
+    expectGradientsMatch(makeTinyCnnAvg(12, 3), 8, 16);
+}
+
+/** Parameterized seed sweep on the full tiny network. */
+class TrainerSeeds : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TrainerSeeds, GradientsMatchReference)
+{
+    expectGradientsMatch(makeTinyCnnAvg(8, 3), 100 + GetParam(),
+                         200 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrainerSeeds, ::testing::Range(0, 5));
+
+TEST(Trainer, SgdUpdatesMatchReference)
+{
+    // Two steps with a real learning rate: the master weights after
+    // simulated training must match reference-engine training.
+    Network net = makeTinyCnnAvg(8, 3);
+    TrainRunner runner(net, machineFor(net), 9);
+    ReferenceEngine reference(net, 9);
+    Rng rng(17);
+    for (int step = 0; step < 2; ++step) {
+        Tensor img = Tensor::uniform({1, 8, 8}, rng, 0.0f, 1.0f);
+        int label = step % 3;
+        reference.forwardBackward(img, label);
+        reference.applyUpdate(0.1f, 1);
+        runner.step(img, label, 0.1f);
+    }
+    for (const Layer &l : net.layers()) {
+        if (!l.hasWeights())
+            continue;
+        float diff = runner.master().weights(l.id).maxAbsDiff(
+            reference.weights(l.id));
+        EXPECT_LT(diff, 1e-4f) << l.name;
+    }
+}
+
+TEST(Trainer, LearnsOnSimulatedGradients)
+{
+    // The headline demo: SGD driven end-to-end by gradients computed
+    // on the simulated ScaleDeep hardware learns the synthetic task.
+    Network net = makeTinyCnnAvg(10, 3);
+    TrainRunner runner(net, machineFor(net), 21);
+    SyntheticDataset data(3, 1, 10, 10, 33);
+
+    double first = 0.0, last = 0.0;
+    const int steps = 200;
+    for (int i = 0; i < steps; ++i) {
+        auto [img, label] = data.sample();
+        double loss = runner.step(img, label, 0.05f);
+        if (i < 10)
+            first += loss;
+        if (i >= steps - 10)
+            last += loss;
+    }
+    EXPECT_LT(last, 0.7 * first);
+
+    SyntheticDataset test(3, 1, 10, 10, 77);
+    int correct = 0;
+    for (int i = 0; i < 30; ++i) {
+        auto [img, label] = test.sample();
+        if (runner.predict(img) == label)
+            ++correct;
+    }
+    EXPECT_GT(correct, 15);     // chance is 10
+}
+
+TEST(Trainer, MinibatchMatchesReference)
+{
+    Network net = makeTinyCnnAvg(8, 3);
+    TrainRunner runner(net, machineFor(net), 31);
+    ReferenceEngine reference(net, 31);
+    Rng rng(41);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    for (int i = 0; i < 4; ++i) {
+        images.push_back(Tensor::uniform({1, 8, 8}, rng, 0.0f, 1.0f));
+        labels.push_back(i % 3);
+    }
+    double ref_loss = reference.trainMinibatch(images, labels, 0.1f);
+    double sim_loss = runner.stepMinibatch(images, labels, 0.1f);
+    EXPECT_NEAR(sim_loss, ref_loss, 1e-4);
+    for (const Layer &l : net.layers()) {
+        if (!l.hasWeights())
+            continue;
+        EXPECT_LT(runner.master().weights(l.id).maxAbsDiff(
+                      reference.weights(l.id)),
+                  1e-4f)
+            << l.name;
+    }
+}
+
+TEST(Trainer, MseStepReducesReconstructionError)
+{
+    NetworkBuilder b("ae", 1, 4, 4);
+    LayerId e = b.fc("enc", b.input(), 6, Activation::Tanh);
+    b.fc("dec", e, 16, Activation::None);
+    Network net = b.build();
+    TrainRunner runner(net, machineFor(net), 13);
+    Rng rng(3);
+    Tensor img = Tensor::uniform({1, 4, 4}, rng, 0.0f, 1.0f);
+    Tensor target({16, 1, 1});
+    for (int i = 0; i < 16; ++i)
+        target[i] = img[i];
+    double first = runner.stepMse(img, target, 0.2f);
+    double last = first;
+    for (int i = 0; i < 40; ++i)
+        last = runner.stepMse(img, target, 0.2f);
+    EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(Trainer, PhasesReportCycles)
+{
+    Network net = makeTinyCnnAvg(8, 3);
+    TrainRunner runner(net, machineFor(net), 2);
+    Rng rng(5);
+    Tensor img = Tensor::uniform({1, 8, 8}, rng, 0.0f, 1.0f);
+    runner.step(img, 0, 0.01f);
+    EXPECT_GT(runner.lastFpCycles(), 0u);
+    EXPECT_GT(runner.lastBpWgCycles(), 0u);
+}
+
+TEST(Trainer, ProgramsCoverAllRoles)
+{
+    Network net = makeTinyCnnAvg(8, 3);
+    TrainCompiled compiled =
+        compileTraining(net, machineFor(net));
+    // 6 columns x 2 rows of FP; BP for columns 1..5; WG for the 4
+    // weighted layers.
+    EXPECT_EQ(compiled.fp.programs.size(), 12u);
+    EXPECT_EQ(compiled.bpPrograms.size(), 10u);
+    EXPECT_EQ(compiled.wgPrograms.size(), 8u);
+    // External layout: FP + BP weights + gradients.
+    EXPECT_EQ(compiled.extWords,
+              3 * static_cast<std::uint32_t>(net.totalWeights()));
+}
+
+TEST(TrainerDeath, RejectsMaxPool)
+{
+    Network net = makeTinyCnn(8, 3);    // max pools
+    EXPECT_EXIT(compileTraining(net, machineFor(net)),
+                ::testing::ExitedWithCode(1), "max pool");
+}
+
+TEST(TrainerDeath, RejectsStridedConv)
+{
+    NetworkBuilder b("s", 2, 9, 9);
+    LayerId c = b.conv("c", b.input(), 4, 3, 2, 1);
+    b.fc("f", c, 3, Activation::None);
+    Network net = b.build();
+    EXPECT_EXIT(compileTraining(net, machineFor(net)),
+                ::testing::ExitedWithCode(1), "stride-1");
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the workload analyzer against the paper's Section 2.3
+ * analysis (Figures 1, 4, 5): FLOP totals, kernel breakdowns and
+ * Bytes/FLOP ratios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/workload.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd::dnn;
+
+TEST(Workload, SingleConvFlopCount)
+{
+    // 1 input feature 8x8, 1 output feature, 3x3 kernel, no pad.
+    Network net = makeSingleConv(1, 8, 1, 3, 1, 0);
+    Workload w(net);
+    const LayerWorkload &lw = w.layer(1);
+    // 6x6 outputs x 9 MACs x 2 FLOPs.
+    double conv_flops = 2.0 * 36 * 9;
+    EXPECT_DOUBLE_EQ(lw.step(Step::Fp).kernels[0].flops, conv_flops);
+    // One input feature -> zero accumulation adds.
+    EXPECT_DOUBLE_EQ(lw.step(Step::Fp).kernels[1].flops, 0.0);
+}
+
+TEST(Workload, OverFeatEvaluationFlops)
+{
+    // Paper Section 1: OverFeat evaluation takes ~3.3 GOPs...
+    // (FP + activation overheads; dominated by CONV + FC MACs).
+    Workload w(makeOverFeatFast());
+    double gops = w.evaluationFlops() / 1e9;
+    EXPECT_GT(gops, 4.0);
+    EXPECT_LT(gops, 7.0);
+    // MAC-based "connections" metric matches Figure 15's 2.66B.
+    double conns = static_cast<double>(w.network().totalMacs()) / 1e9;
+    EXPECT_NEAR(conns, 2.66, 0.35);
+}
+
+TEST(Workload, TrainingIsRoughlyThreeTimesEvaluation)
+{
+    for (const auto &entry : benchmarkSuite()) {
+        Workload w(entry.make());
+        double ratio = w.trainingFlops() / w.evaluationFlops();
+        EXPECT_GT(ratio, 2.4) << entry.name;
+        EXPECT_LT(ratio, 3.3) << entry.name;
+    }
+}
+
+TEST(Workload, Fig5ConvDominatesSuite)
+{
+    // Across the suite, nD-convolution should hold ~93% of FLOPs.
+    double conv = 0.0, total = 0.0;
+    for (const auto &entry : benchmarkSuite()) {
+        Workload w(entry.make());
+        auto summary = w.kernelSummary();
+        for (const auto &[k, s] : summary) {
+            total += s.flops;
+            if (k == KernelClass::NdConv)
+                conv += s.flops;
+        }
+    }
+    double frac = conv / total;
+    EXPECT_GT(frac, 0.88);
+    EXPECT_LT(frac, 0.97);
+}
+
+TEST(Workload, Fig5KernelBytesPerFlop)
+{
+    // B/F per kernel class (Figure 5): MatMul 2, NdAccum ~4,
+    // VecEltMul 4, ActFn 8, Sampling ~5.
+    Workload w(makeOverFeatFast());
+    auto summary = w.kernelSummary();
+    auto bf = [&](KernelClass k) {
+        const KernelSummary &s = summary.at(k);
+        return s.bytes / s.flops;
+    };
+    EXPECT_NEAR(bf(KernelClass::MatMul), 2.0, 0.2);
+    EXPECT_NEAR(bf(KernelClass::NdAccum), 4.0, 0.2);
+    EXPECT_NEAR(bf(KernelClass::VecEltMul), 4.0, 0.2);
+    EXPECT_NEAR(bf(KernelClass::ActFn), 8.0, 0.01);
+    EXPECT_NEAR(bf(KernelClass::Sampling), 5.0, 1.5);
+    // Convolution offers massive reuse: B/F well below 1.
+    EXPECT_LT(bf(KernelClass::NdConv), 0.5);
+}
+
+TEST(Workload, Fig4LayerClassSplit)
+{
+    // OverFeat: initial CONV ~16% of FLOPs, mid CONV ~80%, FC ~4%.
+    Workload w(makeOverFeatFast());
+    auto classes = w.classSummary();
+    double total = 0.0;
+    for (const auto &[c, s] : classes)
+        total += s.fpBpFlops + s.wgFlops;
+    auto frac = [&](LayerClass c) {
+        const auto &s = classes.at(c);
+        return (s.fpBpFlops + s.wgFlops) / total;
+    };
+    EXPECT_NEAR(frac(LayerClass::InitialConv), 0.16, 0.08);
+    EXPECT_NEAR(frac(LayerClass::MidConv), 0.80, 0.10);
+    EXPECT_LT(frac(LayerClass::Fc), 0.08);
+    EXPECT_LT(frac(LayerClass::Samp), 0.005);
+}
+
+TEST(Workload, Fig4BytesPerFlopOrdering)
+{
+    // Figure 4 per-layer-class FP+BP B/F: initial conv ~0.006, mid
+    // conv ~0.015, FC ~2, SAMP ~5; three orders of magnitude of spread.
+    Workload w(makeOverFeatFast());
+    auto classes = w.classSummary();
+    auto bf = [&](LayerClass c) { return classes.at(c).fpBpDataBF(); };
+    EXPECT_LT(bf(LayerClass::InitialConv), 0.02);
+    EXPECT_LT(bf(LayerClass::MidConv), 0.05);
+    EXPECT_NEAR(bf(LayerClass::Fc), 2.0, 0.3);
+    EXPECT_GT(bf(LayerClass::Samp), 3.0);
+    EXPECT_LT(bf(LayerClass::InitialConv), bf(LayerClass::MidConv));
+    EXPECT_LT(bf(LayerClass::MidConv), bf(LayerClass::Fc));
+    EXPECT_LT(bf(LayerClass::Fc), bf(LayerClass::Samp));
+    // WG B/F: FC layers land at ~4 (element-wise product).
+    EXPECT_NEAR(classes.at(LayerClass::Fc).wgDataBF(), 4.0, 0.3);
+}
+
+TEST(Workload, InitialVsMidConvClassification)
+{
+    Network net = makeOverFeatFast();
+    // conv1 (56x56) and conv2 (24x24) are initial; conv3-5 (12x12) mid.
+    int initial = 0, mid = 0;
+    for (const Layer &l : net.layers()) {
+        if (l.kind != LayerKind::Conv)
+            continue;
+        if (classifyLayer(l) == LayerClass::InitialConv)
+            ++initial;
+        else
+            ++mid;
+    }
+    EXPECT_EQ(initial, 2);
+    EXPECT_EQ(mid, 3);
+}
+
+TEST(Workload, Fig1GrowthAcrossYears)
+{
+    // Figure 1: >10x growth in evaluation FLOPs from AlexNet (2012) to
+    // VGG-E (2014-15).
+    Workload alex(makeAlexNet());
+    Workload vgge(makeVggE());
+    EXPECT_GT(vgge.evaluationFlops() / alex.evaluationFlops(), 10.0);
+}
+
+TEST(Workload, SampLayersHaveNoWg)
+{
+    Workload w(makeAlexNet());
+    for (const LayerWorkload &lw : w.layers()) {
+        if (lw.cls == LayerClass::Samp) {
+            EXPECT_DOUBLE_EQ(lw.step(Step::Wg).flops(), 0.0);
+        }
+    }
+}
+
+TEST(Workload, HalfPrecisionHalvesBytes)
+{
+    Network net = makeAlexNet();
+    Workload sp(net, sd::Precision::Single);
+    Workload hp(net, sd::Precision::Half);
+    // FLOPs identical; feature/weight bytes halve.
+    EXPECT_DOUBLE_EQ(sp.trainingFlops(), hp.trainingFlops());
+    const auto &sp_l = sp.layer(1);
+    const auto &hp_l = hp.layer(1);
+    EXPECT_DOUBLE_EQ(sp_l.featureBytes, 2.0 * hp_l.featureBytes);
+    EXPECT_DOUBLE_EQ(sp_l.weightBytes, 2.0 * hp_l.weightBytes);
+}
+
+} // namespace
