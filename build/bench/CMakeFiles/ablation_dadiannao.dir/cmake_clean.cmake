@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dadiannao.dir/ablation_dadiannao.cc.o"
+  "CMakeFiles/ablation_dadiannao.dir/ablation_dadiannao.cc.o.d"
+  "ablation_dadiannao"
+  "ablation_dadiannao.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dadiannao.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

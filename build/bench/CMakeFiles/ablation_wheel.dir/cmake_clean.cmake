@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wheel.dir/ablation_wheel.cc.o"
+  "CMakeFiles/ablation_wheel.dir/ablation_wheel.cc.o.d"
+  "ablation_wheel"
+  "ablation_wheel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wheel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_winograd.dir/ablation_winograd.cc.o"
+  "CMakeFiles/ablation_winograd.dir/ablation_winograd.cc.o.d"
+  "ablation_winograd"
+  "ablation_winograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_flops.dir/fig01_flops.cc.o"
+  "CMakeFiles/fig01_flops.dir/fig01_flops.cc.o.d"
+  "fig01_flops"
+  "fig01_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_kernel_summary.dir/fig05_kernel_summary.cc.o"
+  "CMakeFiles/fig05_kernel_summary.dir/fig05_kernel_summary.cc.o.d"
+  "fig05_kernel_summary"
+  "fig05_kernel_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_kernel_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

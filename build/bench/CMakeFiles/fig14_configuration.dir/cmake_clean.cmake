@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_configuration.dir/fig14_configuration.cc.o"
+  "CMakeFiles/fig14_configuration.dir/fig14_configuration.cc.o.d"
+  "fig14_configuration"
+  "fig14_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_benchmarks.dir/fig15_benchmarks.cc.o"
+  "CMakeFiles/fig15_benchmarks.dir/fig15_benchmarks.cc.o.d"
+  "fig15_benchmarks"
+  "fig15_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_alexnet_utilization.dir/fig19_alexnet_utilization.cc.o"
+  "CMakeFiles/fig19_alexnet_utilization.dir/fig19_alexnet_utilization.cc.o.d"
+  "fig19_alexnet_utilization"
+  "fig19_alexnet_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_alexnet_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

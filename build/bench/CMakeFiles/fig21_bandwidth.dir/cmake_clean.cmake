@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_bandwidth.dir/fig21_bandwidth.cc.o"
+  "CMakeFiles/fig21_bandwidth.dir/fig21_bandwidth.cc.o.d"
+  "fig21_bandwidth"
+  "fig21_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoencoder.dir/autoencoder.cc.o"
+  "CMakeFiles/autoencoder.dir/autoencoder.cc.o.d"
+  "autoencoder"
+  "autoencoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoencoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

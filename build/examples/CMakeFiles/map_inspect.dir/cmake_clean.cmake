@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_inspect.dir/map_inspect.cc.o"
+  "CMakeFiles/map_inspect.dir/map_inspect.cc.o.d"
+  "map_inspect"
+  "map_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_eval.dir/pipelined_eval.cc.o"
+  "CMakeFiles/pipelined_eval.dir/pipelined_eval.cc.o.d"
+  "pipelined_eval"
+  "pipelined_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

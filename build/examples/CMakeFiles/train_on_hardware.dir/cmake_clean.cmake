@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_on_hardware.dir/train_on_hardware.cc.o"
+  "CMakeFiles/train_on_hardware.dir/train_on_hardware.cc.o.d"
+  "train_on_hardware"
+  "train_on_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_on_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

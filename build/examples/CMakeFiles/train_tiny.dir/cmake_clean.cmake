@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_tiny.dir/train_tiny.cc.o"
+  "CMakeFiles/train_tiny.dir/train_tiny.cc.o.d"
+  "train_tiny"
+  "train_tiny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_tiny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/chip.cc" "src/arch/CMakeFiles/sd_arch.dir/chip.cc.o" "gcc" "src/arch/CMakeFiles/sd_arch.dir/chip.cc.o.d"
+  "/root/repo/src/arch/node.cc" "src/arch/CMakeFiles/sd_arch.dir/node.cc.o" "gcc" "src/arch/CMakeFiles/sd_arch.dir/node.cc.o.d"
+  "/root/repo/src/arch/power.cc" "src/arch/CMakeFiles/sd_arch.dir/power.cc.o" "gcc" "src/arch/CMakeFiles/sd_arch.dir/power.cc.o.d"
+  "/root/repo/src/arch/presets.cc" "src/arch/CMakeFiles/sd_arch.dir/presets.cc.o" "gcc" "src/arch/CMakeFiles/sd_arch.dir/presets.cc.o.d"
+  "/root/repo/src/arch/tile.cc" "src/arch/CMakeFiles/sd_arch.dir/tile.cc.o" "gcc" "src/arch/CMakeFiles/sd_arch.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

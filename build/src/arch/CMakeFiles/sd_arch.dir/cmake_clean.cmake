@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_arch.dir/chip.cc.o"
+  "CMakeFiles/sd_arch.dir/chip.cc.o.d"
+  "CMakeFiles/sd_arch.dir/node.cc.o"
+  "CMakeFiles/sd_arch.dir/node.cc.o.d"
+  "CMakeFiles/sd_arch.dir/power.cc.o"
+  "CMakeFiles/sd_arch.dir/power.cc.o.d"
+  "CMakeFiles/sd_arch.dir/presets.cc.o"
+  "CMakeFiles/sd_arch.dir/presets.cc.o.d"
+  "CMakeFiles/sd_arch.dir/tile.cc.o"
+  "CMakeFiles/sd_arch.dir/tile.cc.o.d"
+  "libsd_arch.a"
+  "libsd_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_baseline.dir/dadiannao.cc.o"
+  "CMakeFiles/sd_baseline.dir/dadiannao.cc.o.d"
+  "CMakeFiles/sd_baseline.dir/gpu.cc.o"
+  "CMakeFiles/sd_baseline.dir/gpu.cc.o.d"
+  "libsd_baseline.a"
+  "libsd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

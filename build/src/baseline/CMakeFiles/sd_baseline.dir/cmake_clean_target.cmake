@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsd_baseline.a"
+)

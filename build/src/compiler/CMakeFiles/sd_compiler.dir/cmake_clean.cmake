@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_compiler.dir/codegen.cc.o"
+  "CMakeFiles/sd_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/sd_compiler.dir/mapper.cc.o"
+  "CMakeFiles/sd_compiler.dir/mapper.cc.o.d"
+  "CMakeFiles/sd_compiler.dir/pipeline.cc.o"
+  "CMakeFiles/sd_compiler.dir/pipeline.cc.o.d"
+  "CMakeFiles/sd_compiler.dir/trainer.cc.o"
+  "CMakeFiles/sd_compiler.dir/trainer.cc.o.d"
+  "libsd_compiler.a"
+  "libsd_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_core.dir/logging.cc.o"
+  "CMakeFiles/sd_core.dir/logging.cc.o.d"
+  "CMakeFiles/sd_core.dir/stats.cc.o"
+  "CMakeFiles/sd_core.dir/stats.cc.o.d"
+  "CMakeFiles/sd_core.dir/table.cc.o"
+  "CMakeFiles/sd_core.dir/table.cc.o.d"
+  "libsd_core.a"
+  "libsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/layer.cc" "src/dnn/CMakeFiles/sd_dnn.dir/layer.cc.o" "gcc" "src/dnn/CMakeFiles/sd_dnn.dir/layer.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/dnn/CMakeFiles/sd_dnn.dir/network.cc.o" "gcc" "src/dnn/CMakeFiles/sd_dnn.dir/network.cc.o.d"
+  "/root/repo/src/dnn/reference.cc" "src/dnn/CMakeFiles/sd_dnn.dir/reference.cc.o" "gcc" "src/dnn/CMakeFiles/sd_dnn.dir/reference.cc.o.d"
+  "/root/repo/src/dnn/tensor.cc" "src/dnn/CMakeFiles/sd_dnn.dir/tensor.cc.o" "gcc" "src/dnn/CMakeFiles/sd_dnn.dir/tensor.cc.o.d"
+  "/root/repo/src/dnn/workload.cc" "src/dnn/CMakeFiles/sd_dnn.dir/workload.cc.o" "gcc" "src/dnn/CMakeFiles/sd_dnn.dir/workload.cc.o.d"
+  "/root/repo/src/dnn/zoo.cc" "src/dnn/CMakeFiles/sd_dnn.dir/zoo.cc.o" "gcc" "src/dnn/CMakeFiles/sd_dnn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

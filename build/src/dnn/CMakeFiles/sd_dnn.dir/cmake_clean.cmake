@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_dnn.dir/layer.cc.o"
+  "CMakeFiles/sd_dnn.dir/layer.cc.o.d"
+  "CMakeFiles/sd_dnn.dir/network.cc.o"
+  "CMakeFiles/sd_dnn.dir/network.cc.o.d"
+  "CMakeFiles/sd_dnn.dir/reference.cc.o"
+  "CMakeFiles/sd_dnn.dir/reference.cc.o.d"
+  "CMakeFiles/sd_dnn.dir/tensor.cc.o"
+  "CMakeFiles/sd_dnn.dir/tensor.cc.o.d"
+  "CMakeFiles/sd_dnn.dir/workload.cc.o"
+  "CMakeFiles/sd_dnn.dir/workload.cc.o.d"
+  "CMakeFiles/sd_dnn.dir/zoo.cc.o"
+  "CMakeFiles/sd_dnn.dir/zoo.cc.o.d"
+  "libsd_dnn.a"
+  "libsd_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

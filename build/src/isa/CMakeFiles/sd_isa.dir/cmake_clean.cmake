@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_isa.dir/isa.cc.o"
+  "CMakeFiles/sd_isa.dir/isa.cc.o.d"
+  "CMakeFiles/sd_isa.dir/program.cc.o"
+  "CMakeFiles/sd_isa.dir/program.cc.o.d"
+  "libsd_isa.a"
+  "libsd_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

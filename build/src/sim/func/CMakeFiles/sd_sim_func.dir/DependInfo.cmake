@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/func/compheavy.cc" "src/sim/func/CMakeFiles/sd_sim_func.dir/compheavy.cc.o" "gcc" "src/sim/func/CMakeFiles/sd_sim_func.dir/compheavy.cc.o.d"
+  "/root/repo/src/sim/func/machine.cc" "src/sim/func/CMakeFiles/sd_sim_func.dir/machine.cc.o" "gcc" "src/sim/func/CMakeFiles/sd_sim_func.dir/machine.cc.o.d"
+  "/root/repo/src/sim/func/memheavy.cc" "src/sim/func/CMakeFiles/sd_sim_func.dir/memheavy.cc.o" "gcc" "src/sim/func/CMakeFiles/sd_sim_func.dir/memheavy.cc.o.d"
+  "/root/repo/src/sim/func/tracker.cc" "src/sim/func/CMakeFiles/sd_sim_func.dir/tracker.cc.o" "gcc" "src/sim/func/CMakeFiles/sd_sim_func.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/sd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sd_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/sd_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sd_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_sim_func.dir/compheavy.cc.o"
+  "CMakeFiles/sd_sim_func.dir/compheavy.cc.o.d"
+  "CMakeFiles/sd_sim_func.dir/machine.cc.o"
+  "CMakeFiles/sd_sim_func.dir/machine.cc.o.d"
+  "CMakeFiles/sd_sim_func.dir/memheavy.cc.o"
+  "CMakeFiles/sd_sim_func.dir/memheavy.cc.o.d"
+  "CMakeFiles/sd_sim_func.dir/tracker.cc.o"
+  "CMakeFiles/sd_sim_func.dir/tracker.cc.o.d"
+  "libsd_sim_func.a"
+  "libsd_sim_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_sim_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sd_sim_func.
+# This may be replaced when dependencies are built.

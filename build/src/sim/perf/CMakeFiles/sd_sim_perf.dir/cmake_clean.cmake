@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_sim_perf.dir/perfsim.cc.o"
+  "CMakeFiles/sd_sim_perf.dir/perfsim.cc.o.d"
+  "CMakeFiles/sd_sim_perf.dir/timing.cc.o"
+  "CMakeFiles/sd_sim_perf.dir/timing.cc.o.d"
+  "libsd_sim_perf.a"
+  "libsd_sim_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_sim_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
