@@ -1,20 +1,76 @@
 /**
  * @file
  * Shared helpers for the per-figure benchmark harnesses: banner
- * printing and the standard node configurations.
+ * printing, the common CLI surface and structured result export.
+ *
+ * Every figure binary calls init(argc, argv, name) first and finish()
+ * last, which gives all of them a uniform option set:
+ *   --csv              tables as CSV instead of aligned text
+ *   --trace FILE       Chrome trace-event JSON timeline of the run
+ *   --stats-json FILE  every table shown, as a JSON document
  */
 
 #ifndef SCALEDEEP_BENCH_BENCH_UTIL_HH
 #define SCALEDEEP_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/export.hh"
 #include "core/logging.hh"
 #include "core/table.hh"
+#include "core/trace.hh"
 
 namespace sd::bench {
+
+/** Per-process harness state behind the init()/show()/finish() API. */
+struct Harness
+{
+    std::string name;
+    bool csv = false;
+    std::string statsPath;
+    std::vector<std::pair<std::string, Table>> tables;
+};
+
+inline Harness &
+harness()
+{
+    static Harness h;
+    return h;
+}
+
+/** Parse the common benchmark options; call once at the top of main. */
+inline void
+init(int argc, char **argv, const std::string &name)
+{
+    setVerbose(false);
+    Harness &h = harness();
+    h.name = name;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal(name, ": ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--csv") {
+            h.csv = true;
+        } else if (arg == "--trace") {
+            const std::string path = value();
+            if (!Tracer::global().open(path))
+                fatal(name, ": cannot open trace file ", path);
+        } else if (arg == "--stats-json") {
+            h.statsPath = value();
+        } else {
+            fatal(name, ": unknown option ", arg,
+                  " (supported: --csv --trace FILE --stats-json FILE)");
+        }
+    }
+}
 
 /** Print a figure banner with the paper reference. */
 inline void
@@ -25,12 +81,67 @@ banner(const std::string &figure, const std::string &what)
                 what.c_str(), line.c_str());
 }
 
-/** Print a table followed by a blank line. */
+/** Print a table followed by a blank line; record it for export. */
+inline void
+show(const std::string &name, const Table &t)
+{
+    Harness &h = harness();
+    if (h.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "\n";
+    if (!h.statsPath.empty())
+        h.tables.emplace_back(name, t);
+}
+
+/** Legacy surface: show without a table name. */
 inline void
 show(const Table &t)
 {
-    t.print(std::cout);
-    std::cout << "\n";
+    show("table" + std::to_string(harness().tables.size()), t);
+}
+
+/** Flush structured outputs; call once at the end of main. */
+inline void
+finish()
+{
+    Harness &h = harness();
+    if (!h.statsPath.empty()) {
+        std::ofstream os(h.statsPath);
+        if (!os)
+            fatal(h.name, ": cannot open stats file ", h.statsPath);
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", "scaledeep-bench-1");
+        w.field("bench", h.name);
+        w.key("tables");
+        w.beginArray();
+        for (const auto &[name, t] : h.tables) {
+            w.beginObject();
+            w.field("name", name);
+            w.key("headers");
+            w.beginArray();
+            for (const std::string &hd : t.headers())
+                w.value(hd);
+            w.endArray();
+            w.key("rows");
+            w.beginArray();
+            for (std::size_t i = 0; i < t.numRows(); ++i) {
+                w.beginArray();
+                for (const std::string &cell : t.row(i))
+                    w.value(cell);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+        h.tables.clear();
+    }
+    Tracer::global().close();
 }
 
 } // namespace sd::bench

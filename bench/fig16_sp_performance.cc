@@ -13,10 +13,10 @@
 #include "sim/perf/perfsim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sd;
-    setVerbose(false);
+    bench::init(argc, argv, "fig16_sp_performance");
     bench::banner("Figure 16",
                   "Single precision: training & evaluation performance");
 
@@ -47,10 +47,11 @@ main()
               fmtDouble(std::exp(log_eval / n), 0),
               fmtDouble(std::exp((log_eval - log_train) / n), 2),
               fmtPercent(std::exp(log_util / n))});
-    bench::show(t);
+    bench::show("sp_performance", t);
     std::printf("paper reference: training throughput in the "
                 "thousands of img/s; evaluation 'marginally over 3x' "
                 "training; 35%% average utilization; columns per "
                 "network 10-256 (chip has 16).\n");
+    bench::finish();
     return 0;
 }

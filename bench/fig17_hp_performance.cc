@@ -13,10 +13,10 @@
 #include "sim/perf/perfsim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sd;
-    setVerbose(false);
+    bench::init(argc, argv, "fig17_hp_performance");
     bench::banner("Figure 17",
                   "Half precision: training & evaluation performance");
 
@@ -50,9 +50,10 @@ main()
     t.addRow({"GeoMean", "", "", "",
               fmtDouble(std::exp(log_ts / n), 2) + "x",
               fmtDouble(std::exp(log_es / n), 2) + "x", ""});
-    bench::show(t);
+    bench::show("hp_performance", t);
     std::printf("paper reference: 1.85x training / 1.82x evaluation "
                 "speedup over the SP design at ~iso-power; HP chip is "
                 "8x24 (conv) and 8x12 (fc).\n");
+    bench::finish();
     return 0;
 }

@@ -11,10 +11,10 @@
 #include "sim/perf/perfsim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sd;
-    setVerbose(false);
+    bench::init(argc, argv, "fig19_alexnet_utilization");
     bench::banner("Figure 19",
                   "AlexNet layer-wise utilization waterfall");
 
@@ -34,7 +34,7 @@ main()
                   fmtDouble(lp.arrayResidueUtil, 2),
                   fmtDouble(lp.achievedUtil, 2)});
     }
-    bench::show(t);
+    bench::show("alexnet_utilization", t);
 
     std::printf("aggregate chain (FLOP weighted): column alloc %.2f "
                 "-> feature dist %.2f -> array residue %.2f -> "
@@ -47,5 +47,6 @@ main()
     std::printf("paper reference (suite averages): 0.68 after column "
                 "allocation, 0.64 after feature distribution, 0.42 "
                 "after array residue, 0.35 achieved.\n");
+    bench::finish();
     return 0;
 }

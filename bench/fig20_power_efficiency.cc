@@ -13,10 +13,10 @@
 #include "sim/perf/perfsim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sd;
-    setVerbose(false);
+    bench::init(argc, argv, "fig20_power_efficiency");
     bench::banner("Figure 20", "Average power and processing efficiency");
 
     arch::NodeConfig node = arch::singlePrecisionNode();
@@ -44,9 +44,10 @@ main()
     }
     t.addRow({"GeoMean", "", "", "", "", "",
               fmtDouble(std::exp(log_eff / n), 0)});
-    bench::show(t);
+    bench::show("power_efficiency", t);
     std::printf("paper reference: 331.7 GFLOPs/W average; compute and "
                 "interconnect power track utilization while memory "
                 "power (leakage dominated) stays nearly constant.\n");
+    bench::finish();
     return 0;
 }

@@ -11,10 +11,10 @@
 #include "sim/perf/perfsim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sd;
-    setVerbose(false);
+    bench::init(argc, argv, "fig21_bandwidth");
     bench::banner("Figure 21", "Bandwidth utilization of links");
 
     arch::NodeConfig node = arch::singlePrecisionNode();
@@ -32,10 +32,11 @@ main()
                   fmtDouble(r.links.arc, 2),
                   fmtDouble(r.links.ring, 2)});
     }
-    bench::show(t);
+    bench::show("bandwidth", t);
     std::printf("paper reference: Comp-Mem links best utilized "
                 "(~0.87); Mem-Mem lower and mapping dependent; ring "
                 "utilization small except for networks spanning "
                 "multiple chip clusters (VGG-D/E).\n");
+    bench::finish();
     return 0;
 }

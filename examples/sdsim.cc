@@ -4,25 +4,42 @@
  *
  * Usage:
  *   sdsim [--net NAME | --all] [--precision sp|hp] [--minibatch N]
- *         [--csv] [--layers]
+ *         [--csv] [--layers] [--trace FILE] [--stats-json FILE]
+ *         [--quiet]
  *
- *   --net NAME     simulate one benchmark network (default AlexNet)
- *   --all          simulate the whole 11-network suite
- *   --precision    sp (default) or hp node preset
- *   --minibatch N  images per weight update (default 256)
- *   --csv          emit CSV instead of an aligned table
- *   --layers       also print the per-layer mapping/utilization detail
+ *   --net NAME        simulate one benchmark network (default AlexNet)
+ *   --all             simulate the whole 11-network suite
+ *   --precision       sp (default) or hp node preset
+ *   --minibatch N     images per weight update (default 256)
+ *   --csv             emit CSV instead of an aligned table
+ *   --layers          also print the per-layer mapping/utilization detail
+ *   --trace FILE      write a Chrome trace-event JSON timeline
+ *   --stats-json FILE write structured results (full precision) as JSON
+ *   --quiet           suppress inform() status messages
+ *
+ * When --trace or --stats-json is given, sdsim additionally drives a
+ * small CNN through the functional chip simulator (the "func probe") so
+ * the artifacts cover all three layers — compiler, performance model
+ * and functional machine. A full functional run of the benchmark
+ * networks would actually compute every convolution and is infeasible;
+ * the probe exercises identical machinery at toy scale.
  */
 
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "arch/presets.hh"
+#include "compiler/pipeline.hh"
+#include "core/export.hh"
 #include "core/logging.hh"
+#include "core/random.hh"
 #include "core/table.hh"
+#include "core/trace.hh"
+#include "dnn/reference.hh"
 #include "dnn/zoo.hh"
+#include "sim/perf/export.hh"
 #include "sim/perf/perfsim.hh"
 
 namespace {
@@ -34,7 +51,8 @@ usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
               << " [--net NAME | --all] [--precision sp|hp]"
-                 " [--minibatch N] [--csv] [--layers]\n"
+                 " [--minibatch N] [--csv] [--layers]"
+                 " [--trace FILE] [--stats-json FILE] [--quiet]\n"
                  "networks:";
     for (const auto &e : dnn::benchmarkSuite())
         std::cerr << " " << e.name;
@@ -42,14 +60,44 @@ usage(const char *argv0)
     return 2;
 }
 
+/**
+ * The functional-simulator probe: evaluate a minibatch of a tiny CNN on
+ * the chip simulator so traces and stats include real machine events.
+ * Returns the machine stats snapshot via the runner.
+ */
+void
+runFuncProbe(compiler::PipelinedRunner *&runner_out,
+             std::uint64_t &cycles, int &images)
+{
+    SD_TRACE_SCOPE(/*name=*/"sdsim.funcProbe", "host");
+    dnn::Network net = dnn::makeTinyCnn(16, 4);
+    dnn::ReferenceEngine engine(net, 3);
+    sim::MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    static compiler::PipelinedRunner runner(net, mc);
+    runner.loadWeights(engine);
+
+    Rng rng(11);
+    std::vector<dnn::Tensor> batch;
+    const int n = 8;
+    for (int i = 0; i < n; ++i)
+        batch.push_back(dnn::Tensor::uniform({1, 16, 16}, rng, 0.0f,
+                                             1.0f));
+    runner.evaluateBatch(batch);
+    runner_out = &runner;
+    cycles = runner.lastCycles();
+    images = n;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    setVerbose(false);
     std::vector<std::string> nets = {"AlexNet"};
     bool all = false, csv = false, layers = false;
+    std::string trace_path, stats_path, precision = "sp";
     arch::NodeConfig node = arch::singlePrecisionNode();
     sim::perf::PerfOptions options;
 
@@ -65,10 +113,10 @@ main(int argc, char **argv)
         } else if (arg == "--all") {
             all = true;
         } else if (arg == "--precision") {
-            std::string p = value();
-            if (p == "sp") {
+            precision = value();
+            if (precision == "sp") {
                 node = arch::singlePrecisionNode();
-            } else if (p == "hp") {
+            } else if (precision == "hp") {
                 node = arch::halfPrecisionNode();
             } else {
                 return usage(argv[0]);
@@ -79,6 +127,12 @@ main(int argc, char **argv)
             csv = true;
         } else if (arg == "--layers") {
             layers = true;
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--stats-json") {
+            stats_path = value();
+        } else if (arg == "--quiet") {
+            setVerbose(false);
         } else {
             return usage(argv[0]);
         }
@@ -89,10 +143,16 @@ main(int argc, char **argv)
             nets.push_back(e.name);
     }
 
+    if (!trace_path.empty() && !Tracer::global().open(trace_path))
+        fatal("sdsim: cannot open trace file ", trace_path);
+
     Table t({"network", "cols", "chips", "copies", "train img/s",
              "eval img/s", "pe util", "GFLOPs/W", "avg W"});
     std::vector<sim::perf::PerfResult> results;
     for (const std::string &name : nets) {
+        SD_TRACE_SCOPE_VAR(net_span, "sdsim.network", "host");
+        if (SD_TRACE_ACTIVE())
+            net_span.args().add("network", name);
         dnn::Network net = dnn::makeByName(name);
         sim::perf::PerfSim sim(net, node, options);
         sim::perf::PerfResult r = sim.run();
@@ -130,5 +190,48 @@ main(int argc, char **argv)
                 lt.print(std::cout);
         }
     }
+
+    // The func probe feeds both artifacts; run it once if either wants
+    // functional-machine coverage.
+    compiler::PipelinedRunner *probe = nullptr;
+    std::uint64_t probe_cycles = 0;
+    int probe_images = 0;
+    if (!trace_path.empty() || !stats_path.empty())
+        runFuncProbe(probe, probe_cycles, probe_images);
+
+    if (!stats_path.empty()) {
+        std::ofstream os(stats_path);
+        if (!os)
+            fatal("sdsim: cannot open stats file ", stats_path);
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", "scaledeep-stats-1");
+        w.key("node");
+        w.beginObject();
+        w.field("precision", precision);
+        w.field("minibatch",
+                static_cast<std::int64_t>(options.minibatch));
+        w.endObject();
+        w.key("networks");
+        w.beginArray();
+        for (std::size_t n = 0; n < nets.size(); ++n)
+            sim::perf::writePerfResultJson(w, nets[n], results[n]);
+        w.endArray();
+        if (probe) {
+            w.key("funcProbe");
+            w.beginObject();
+            w.field("network", "TinyCnn");
+            w.field("images",
+                    static_cast<std::int64_t>(probe_images));
+            w.field("cycles", probe_cycles);
+            w.key("machine");
+            writeStatsJson(w, probe->lastStats().root);
+            w.endObject();
+        }
+        w.endObject();
+        os << "\n";
+    }
+
+    Tracer::global().close();
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/logging.hh"
+#include "core/trace.hh"
 
 namespace sd::compiler {
 
@@ -149,18 +150,23 @@ Mapping
 Mapper::map() const
 {
     Mapping m;
+    SD_TRACE_SCOPE_VAR(map_span, "mapper.map", "compiler.map");
+
+    const auto &layers = net_->layers();
+
+    auto flops_of = [&](LayerId id) {
+        return workload_.layer(id).step(dnn::Step::Fp).flops();
+    };
 
     // STEP1 + STEP2: build allocation units. Grouped CONV/FC layers
     // (inception modules, tagged residual convs) share a unit; SAMP
     // layers fuse into their producer's unit when it exists, otherwise
     // they get their own conv-side unit.
-    const auto &layers = net_->layers();
+    {
+    SD_TRACE_SCOPE_VAR(span, "mapper.step1_2.build_units",
+                       "compiler.map");
     std::map<std::string, std::size_t> group_unit;
     std::vector<int> unit_of(layers.size(), -1);
-
-    auto flops_of = [&](LayerId id) {
-        return workload_.layer(id).step(dnn::Step::Fp).flops();
-    };
 
     for (const Layer &l : layers) {
         switch (l.kind) {
@@ -218,11 +224,25 @@ Mapper::map() const
         }
     }
 
+    if (SD_TRACE_ACTIVE()) {
+        std::size_t conv_units = 0, fc_units = 0;
+        for (const LayerAlloc &a : m.layers)
+            ++(a.fcSide ? fc_units : conv_units);
+        span.args()
+            .add("units", static_cast<std::uint64_t>(m.layers.size()))
+            .add("convUnits", static_cast<std::uint64_t>(conv_units))
+            .add("fcUnits", static_cast<std::uint64_t>(fc_units));
+    }
+    }
+
     const arch::ChipConfig &conv_chip = node_->cluster.convChip;
     const arch::ChipConfig &fc_chip = node_->cluster.fcChip;
 
     // STEP3a: minimum columns per unit (summed member state).
     int conv_min = 0, fc_min = 0;
+    {
+    SD_TRACE_SCOPE_VAR(span, "mapper.step3a.min_columns",
+                       "compiler.map");
     for (LayerAlloc &a : m.layers) {
         const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
         std::int64_t bytes = 0;
@@ -239,8 +259,15 @@ Mapper::map() const
         a.columns = a.minColumns;
         (a.fcSide ? fc_min : conv_min) += a.minColumns;
     }
+    if (SD_TRACE_ACTIVE())
+        span.args().add("convMinColumns", conv_min)
+                   .add("fcMinColumns", fc_min);
+    }
 
     // STEP3b: size the chip count and load-balance the extra columns.
+    {
+    SD_TRACE_SCOPE_VAR(span, "mapper.step3b.load_balance",
+                       "compiler.map");
     const int max_conv_chips =
         node_->numClusters * node_->cluster.numConvChips;
     const int min_chips = static_cast<int>(
@@ -337,16 +364,29 @@ Mapper::map() const
     // Replicate the network to fill the node.
     m.copies = std::max(1, max_conv_chips / std::max(1, m.convChips));
 
-    // STEP4-6 per unit.
+    if (SD_TRACE_ACTIVE()) {
+        span.args().add("convChips", m.convChips)
+                   .add("copies", m.copies)
+                   .add("convColumns", m.convColumns)
+                   .add("fcColumns", m.fcColumns);
+    }
+    }
+
+    const std::int64_t es =
+        static_cast<std::int64_t>(bytesPerElement(node_->precision));
+
+    // STEP4: feature distribution over each unit's tiles. Large
+    // features split across tiles (at most a quarter tile each); small
+    // features pack several per tile.
+    {
+    SD_TRACE_SCOPE_VAR(span, "mapper.step4.feature_distribution",
+                       "compiler.map");
+    std::int64_t total_units = 0;
+    int tiles_used = 0, tiles_total = 0;
     for (LayerAlloc &a : m.layers) {
         const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
-        const std::int64_t es =
-            static_cast<std::int64_t>(bytesPerElement(node_->precision));
         a.tilesTotal = chip.rows * a.columns;
 
-        // STEP4: feature distribution over the unit's tiles. Large
-        // features split across tiles (at most a quarter tile each);
-        // small features pack several per tile.
         std::int64_t units = 0;
         for (LayerId id : a.members) {
             const Layer &l = net_->layer(id);
@@ -363,9 +403,28 @@ Mapper::map() const
         a.tilesUsed = static_cast<int>(
             divCeil(std::max<std::int64_t>(1, units),
                     a.featuresPerTile));
+        total_units += units;
+        tiles_used += a.tilesUsed;
+        tiles_total += a.tilesTotal;
+    }
+    if (SD_TRACE_ACTIVE()) {
+        span.args()
+            .add("featureUnits",
+                 static_cast<std::uint64_t>(total_units))
+            .add("tilesUsed", tiles_used)
+            .add("tilesTotal", tiles_total);
+    }
+    }
 
-        // STEP5: array configuration — the FLOP-dominant member's best
-        // shape represents the unit; utilization is FLOP weighted.
+    // STEP5: array configuration per unit — the FLOP-dominant member's
+    // best shape represents the unit; utilization is FLOP weighted.
+    {
+    SD_TRACE_SCOPE_VAR(span, "mapper.step5.array_shapes",
+                       "compiler.map");
+    int split_units = 0;
+    double util_min = 1.0;
+    for (LayerAlloc &a : m.layers) {
+        const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
         double util_acc = 0.0, w_acc = 0.0, best_w = -1.0;
         for (LayerId id : a.members) {
             const Layer &l = net_->layer(id);
@@ -379,8 +438,21 @@ Mapper::map() const
             }
         }
         a.arrayUtil = w_acc > 0.0 ? util_acc / w_acc : 1.0;
+        split_units += a.shape.split ? 1 : 0;
+        util_min = std::min(util_min, a.arrayUtil);
+    }
+    if (SD_TRACE_ACTIVE())
+        span.args().add("splitUnits", split_units)
+                   .add("minResidueUtil", util_min);
+    }
 
-        // STEP6: weight placement.
+    // STEP6: weight placement per unit.
+    {
+    SD_TRACE_SCOPE_VAR(span, "mapper.step6.weight_placement",
+                       "compiler.map");
+    int off_chip = 0;
+    for (LayerAlloc &a : m.layers) {
+        const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
         std::int64_t state_bytes = 0, weight_bytes = 0;
         for (LayerId id : a.members) {
             const Layer &l = net_->layer(id);
@@ -393,8 +465,18 @@ Mapper::map() const
             static_cast<std::int64_t>(a.columns) * chip.rows *
             static_cast<std::int64_t>(0.9 * chip.mem.capacity);
         a.weightsOnChip = state_bytes + weight_bytes <= capacity;
+        off_chip += a.weightsOnChip ? 0 : 1;
+    }
+    if (SD_TRACE_ACTIVE())
+        span.args().add("offChipWeightUnits", off_chip);
     }
 
+    if (SD_TRACE_ACTIVE()) {
+        map_span.args()
+            .add("units", static_cast<std::uint64_t>(m.layers.size()))
+            .add("convChips", m.convChips)
+            .add("copies", m.copies);
+    }
     return m;
 }
 

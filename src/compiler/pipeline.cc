@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "core/trace.hh"
 
 namespace sd::compiler {
 
@@ -310,6 +311,11 @@ compilePipelined(const dnn::Network &net,
     if (num_images <= 0)
         fatal("pipeline: need at least one image");
 
+    SD_TRACE_SCOPE_VAR(span, "compiler.compilePipelined",
+                       "compiler.codegen");
+    if (SD_TRACE_ACTIVE())
+        span.args().add("cols", config.cols).add("images", num_images);
+
     // Reuse the sequential-chain checks and weight layout.
     CompiledNetwork fp = compileForMachine(net, config);
 
@@ -403,7 +409,21 @@ PipelinedRunner::evaluateBatch(const std::vector<dnn::Tensor> &images,
     for (const TileProgram &tp : p.programs)
         machine.loadProgram(tp.row, tp.col, tp.role, tp.program);
 
-    sim::RunResult res = machine.run();
+    sim::RunResult res;
+    {
+        SD_TRACE_SCOPE_VAR(run_span, "funcsim.evaluateBatch",
+                           "func.run");
+        if (SD_TRACE_ACTIVE()) {
+            run_span.args()
+                .add("images",
+                     static_cast<std::uint64_t>(images.size()))
+                .add("cols", config_.cols);
+        }
+        res = machine.run();
+        if (SD_TRACE_ACTIVE())
+            run_span.args().add("cycles", res.cycles)
+                           .add("ok", res.ok());
+    }
     if (result)
         *result = res;
     if (!res.ok()) {
@@ -412,6 +432,7 @@ PipelinedRunner::evaluateBatch(const std::vector<dnn::Tensor> &images,
               res.cycles, " cycles");
     }
     lastCycles_ = res.cycles;
+    lastStats_ = machine.snapshotStats();
 
     const Layer &out = net_->layer(p.columnLayers.back());
     std::vector<dnn::Tensor> outputs;

@@ -22,6 +22,7 @@
 #define SCALEDEEP_COMPILER_PIPELINE_HH
 
 #include "compiler/codegen.hh"
+#include "sim/func/machine.hh"
 
 namespace sd::compiler {
 
@@ -70,11 +71,15 @@ class PipelinedRunner
     /** Cycles of the most recent batch. */
     std::uint64_t lastCycles() const { return lastCycles_; }
 
+    /** Machine statistics snapshot of the most recent batch. */
+    const sim::MachineStats &lastStats() const { return lastStats_; }
+
   private:
     const dnn::Network *net_;
     sim::MachineConfig config_;
     std::vector<float> weightImage_;
     std::uint64_t lastCycles_ = 0;
+    sim::MachineStats lastStats_;
 };
 
 } // namespace sd::compiler

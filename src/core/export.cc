@@ -1,0 +1,559 @@
+#include "core/export.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/logging.hh"
+#include "core/stats.hh"
+
+namespace sd {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    return buf;
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << "\n"
+        << std::string(stack_.size() * static_cast<std::size_t>(
+                                           indentWidth_),
+                       ' ');
+}
+
+void
+JsonWriter::pre()
+{
+    if (keyPending_) {
+        keyPending_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    SD_ASSERT(stack_.back().first == Scope::Array,
+              "JsonWriter: value inside an object requires key()");
+    if (stack_.back().second++)
+        os_ << ",";
+    indent();
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    SD_ASSERT(!stack_.empty() && stack_.back().first == Scope::Object,
+              "JsonWriter: key() outside an object");
+    SD_ASSERT(!keyPending_, "JsonWriter: consecutive key() calls");
+    if (stack_.back().second++)
+        os_ << ",";
+    indent();
+    os_ << "\"" << jsonEscape(k) << "\": ";
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    pre();
+    os_ << "{";
+    stack_.emplace_back(Scope::Object, 0);
+}
+
+void
+JsonWriter::endObject()
+{
+    SD_ASSERT(!stack_.empty() && stack_.back().first == Scope::Object,
+              "JsonWriter: mismatched endObject()");
+    const bool empty = stack_.back().second == 0;
+    stack_.pop_back();
+    if (!empty)
+        indent();
+    os_ << "}";
+}
+
+void
+JsonWriter::beginArray()
+{
+    pre();
+    os_ << "[";
+    stack_.emplace_back(Scope::Array, 0);
+}
+
+void
+JsonWriter::endArray()
+{
+    SD_ASSERT(!stack_.empty() && stack_.back().first == Scope::Array,
+              "JsonWriter: mismatched endArray()");
+    const bool empty = stack_.back().second == 0;
+    stack_.pop_back();
+    if (!empty)
+        indent();
+    os_ << "]";
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    pre();
+    os_ << "\"" << jsonEscape(v) << "\"";
+}
+
+void
+JsonWriter::value(double v)
+{
+    pre();
+    os_ << jsonNumber(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    pre();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    pre();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    pre();
+    os_ << v;
+}
+
+void
+JsonWriter::valueNull()
+{
+    pre();
+    os_ << "null";
+}
+
+// --- JSON reader ---
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == name)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    if (!v)
+        fatal("JsonValue: missing member '", name, "'");
+    return *v;
+}
+
+namespace {
+
+/** Recursive-descent parser over the document text. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = msg + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool b)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        out.kind = kind;
+        out.boolean = b;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Exported text is ASCII; decode BMP code points as
+                // UTF-8 without surrogate-pair handling.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&]() {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0)
+            return fail("expected digits");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                return fail("expected fraction digits");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (digits() == 0)
+                return fail("expected exponent digits");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::stod(text_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        switch (text_[pos_]) {
+          case 'n': return literal("null", out, JsonValue::Kind::Null,
+                                   false);
+          case 't': return literal("true", out, JsonValue::Kind::Bool,
+                                   true);
+          case 'f': return literal("false", out, JsonValue::Kind::Bool,
+                                   false);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue item;
+                if (!parseValue(item))
+                    return false;
+                out.items.push_back(std::move(item));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string k;
+                if (!parseString(k))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.members.emplace_back(std::move(k), std::move(v));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    auto value = std::make_unique<JsonValue>();
+    JsonParser parser(text, error);
+    if (!parser.parse(*value))
+        return nullptr;
+    return value;
+}
+
+// --- StatGroup export ---
+
+void
+writeStatsJson(JsonWriter &w, const StatGroup &group)
+{
+    w.beginObject();
+    w.field("name", group.name());
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, c] : group.counters())
+        w.field(name, c.value());
+    w.endObject();
+    w.key("averages");
+    w.beginObject();
+    for (const auto &[name, a] : group.averages()) {
+        w.key(name);
+        w.beginObject();
+        w.field("mean", a.mean());
+        w.field("min", a.min());
+        w.field("max", a.max());
+        w.field("count", a.count());
+        w.endObject();
+    }
+    w.endObject();
+    w.key("distributions");
+    w.beginObject();
+    for (const auto &[name, d] : group.distributions()) {
+        w.key(name);
+        w.beginObject();
+        w.field("mean", d.mean());
+        w.field("p50", d.percentile(0.50));
+        w.field("p90", d.percentile(0.90));
+        w.field("p99", d.percentile(0.99));
+        w.field("samples", d.totalSamples());
+        w.field("underflows", d.underflows());
+        w.field("overflows", d.overflows());
+        w.field("lo", d.lo());
+        w.field("hi", d.hi());
+        w.key("buckets");
+        w.beginArray();
+        for (std::size_t i = 0; i < d.numBuckets(); ++i)
+            w.value(d.bucketCount(i));
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.key("children");
+    w.beginArray();
+    for (const StatGroup *child : group.children())
+        writeStatsJson(w, *child);
+    w.endArray();
+    w.endObject();
+}
+
+void
+exportStatsJson(const StatGroup &group, std::ostream &os)
+{
+    JsonWriter w(os);
+    writeStatsJson(w, group);
+    os << "\n";
+}
+
+namespace {
+
+std::string
+csvQuote(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+statsCsvRows(const StatGroup &group, const std::string &prefix,
+             std::ostream &os)
+{
+    const std::string path =
+        prefix.empty() ? group.name() : prefix + "." + group.name();
+    for (const auto &[name, c] : group.counters()) {
+        os << csvQuote(path) << "," << csvQuote(name) << ","
+           << c.value() << "," << csvQuote(c.desc()) << "\n";
+    }
+    for (const auto &[name, a] : group.averages()) {
+        os << csvQuote(path) << "," << csvQuote(name) << ","
+           << jsonNumber(a.mean()) << "," << csvQuote(a.desc()) << "\n";
+    }
+    for (const auto &[name, d] : group.distributions()) {
+        os << csvQuote(path) << "," << csvQuote(name) << ","
+           << jsonNumber(d.percentile(0.50)) << ","
+           << csvQuote(d.desc()) << "\n";
+    }
+    for (const StatGroup *child : group.children())
+        statsCsvRows(*child, path, os);
+}
+
+} // namespace
+
+void
+exportStatsCsv(const StatGroup &group, std::ostream &os)
+{
+    os << "path,stat,value,description\n";
+    statsCsvRows(group, "", os);
+}
+
+} // namespace sd

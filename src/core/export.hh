@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Structured export of simulator results: a small streaming JSON
+ * writer, a minimal JSON reader (used to round-trip exported artifacts
+ * in tests and tools), and JSON/CSV serialization of the StatGroup
+ * hierarchy. Subsystem-specific exports (e.g. the performance
+ * simulator's PerfResult) build on the writer from their own layer.
+ */
+
+#ifndef SCALEDEEP_CORE_EXPORT_HH
+#define SCALEDEEP_CORE_EXPORT_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sd {
+
+class StatGroup;
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render a double as a JSON number with round-trip precision.
+ * Non-finite values (which JSON cannot express) become null.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * A streaming JSON writer with automatic comma/indent handling.
+ * Usage: beginObject()/key()/value()/endObject(); nesting is tracked
+ * on an internal stack and validated with assertions.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indent_width = 2)
+        : os_(os), indentWidth_(indent_width) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Write a member key inside an object (call before the value). */
+    void key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v) { value(std::string(v)); }
+    void value(double v);
+    void value(bool v);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(const std::string &k, T &&v)
+    {
+        key(k);
+        value(std::forward<T>(v));
+    }
+
+  private:
+    enum class Scope { Object, Array };
+
+    void pre();     ///< comma/newline/indent before a value or key
+    void indent();
+
+    std::ostream &os_;
+    int indentWidth_;
+    std::vector<std::pair<Scope, int>> stack_;  ///< scope, item count
+    bool keyPending_ = false;
+};
+
+/**
+ * A parsed JSON value. Only what the repository's round-trip tests and
+ * tools need: the six JSON kinds, object member lookup, and numeric
+ * accessors.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> items;                       ///< Array
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    /** find() that fatal()s when the member is missing. */
+    const JsonValue &at(const std::string &name) const;
+
+    double asDouble() const { return number; }
+    std::int64_t asInt() const
+    { return static_cast<std::int64_t>(number); }
+    bool asBool() const { return boolean; }
+    const std::string &asString() const { return string; }
+};
+
+/**
+ * Parse @p text as a JSON document.
+ * @param error receives a message on failure when non-null
+ * @return the value, or std::nullopt-like empty pointer on error
+ */
+std::unique_ptr<JsonValue> parseJson(const std::string &text,
+                                     std::string *error = nullptr);
+
+/**
+ * Serialize a stat hierarchy as nested JSON:
+ *   {"name": ..., "counters": {...}, "averages": {...},
+ *    "distributions": {...}, "children": [...]}
+ * Averages carry mean/min/max/count; distributions carry the summary
+ * percentiles and bucket counts.
+ */
+void exportStatsJson(const StatGroup &group, std::ostream &os);
+
+/** Nested form for embedding into an outer document. */
+void writeStatsJson(JsonWriter &w, const StatGroup &group);
+
+/** Flat "path,stat,value,description" CSV of a stat hierarchy. */
+void exportStatsCsv(const StatGroup &group, std::ostream &os);
+
+} // namespace sd
+
+#endif // SCALEDEEP_CORE_EXPORT_HH

@@ -42,6 +42,7 @@ void
 Distribution::sample(double v)
 {
     ++total_;
+    sum_ += v;
     if (v < lo_) {
         ++underflow_;
         return;
@@ -62,6 +63,31 @@ Distribution::reset()
     underflow_ = 0;
     overflow_ = 0;
     total_ = 0;
+    sum_ = 0.0;
+}
+
+double
+Distribution::percentile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile, 1-based over all samples.
+    const double rank = q * static_cast<double>(total_);
+    double cum = static_cast<double>(underflow_);
+    if (rank <= cum)
+        return lo_;
+    const double width =
+        (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (rank <= next && counts_[i] > 0) {
+            const double frac = (rank - cum) / counts_[i];
+            return lo_ + width * (static_cast<double>(i) + frac);
+        }
+        cum = next;
+    }
+    return hi_;
 }
 
 Counter &
@@ -82,6 +108,18 @@ StatGroup::addAverage(const std::string &name, const std::string &desc)
     return it->second;
 }
 
+Distribution &
+StatGroup::addDistribution(const std::string &name,
+                           const std::string &desc, double lo, double hi,
+                           std::size_t buckets)
+{
+    auto [it, inserted] = distributions_.try_emplace(
+        name, Distribution(name, desc, lo, hi, buckets));
+    if (!inserted)
+        panic("StatGroup ", name_, ": duplicate distribution ", name);
+    return it->second;
+}
+
 void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
@@ -95,6 +133,15 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
            << " # " << a.desc() << " (mean of " << a.count()
            << " samples)\n";
     }
+    for (const auto &[name, d] : distributions_) {
+        os << path << "." << name << " mean=" << d.mean()
+           << " p50=" << d.percentile(0.50)
+           << " p90=" << d.percentile(0.90)
+           << " p99=" << d.percentile(0.99) << " # " << d.desc()
+           << " (" << d.totalSamples() << " samples, "
+           << d.underflows() << " under, " << d.overflows()
+           << " over)\n";
+    }
     for (const StatGroup *child : children_)
         child->dump(os, path);
 }
@@ -106,6 +153,8 @@ StatGroup::reset()
         c.reset();
     for (auto &[name, a] : averages_)
         a.reset();
+    for (auto &[name, d] : distributions_)
+        d.reset();
     for (StatGroup *child : children_)
         child->reset();
 }

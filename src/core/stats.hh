@@ -91,7 +91,19 @@ class Distribution
     std::uint64_t underflows() const { return underflow_; }
     std::uint64_t overflows() const { return overflow_; }
     std::uint64_t totalSamples() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /**
+     * Approximate @p q quantile (q in [0,1]) by linear interpolation
+     * within the covering bucket. Underflow samples clamp to lo, and
+     * overflow samples to hi. Returns lo with no samples.
+     */
+    double percentile(double q) const;
+
     const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
     void reset();
 
   private:
@@ -103,6 +115,7 @@ class Distribution
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
+    double sum_ = 0.0;
 };
 
 /**
@@ -119,6 +132,9 @@ class StatGroup
 
     Counter &addCounter(const std::string &name, const std::string &desc);
     Average &addAverage(const std::string &name, const std::string &desc);
+    Distribution &addDistribution(const std::string &name,
+                                  const std::string &desc, double lo,
+                                  double hi, std::size_t buckets);
 
     /** Register a child group; the pointer must outlive this group. */
     void addChild(StatGroup *child) { children_.push_back(child); }
@@ -134,11 +150,16 @@ class StatGroup
     { return counters_; }
     const std::map<std::string, Average> &averages() const
     { return averages_; }
+    const std::map<std::string, Distribution> &distributions() const
+    { return distributions_; }
+    const std::vector<StatGroup *> &children() const
+    { return children_; }
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Distribution> distributions_;
     std::vector<StatGroup *> children_;
 };
 

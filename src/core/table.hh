@@ -33,6 +33,7 @@ class Table
 
     std::size_t numRows() const { return rows_.size(); }
     std::size_t numCols() const { return headers_.size(); }
+    const std::vector<std::string> &headers() const { return headers_; }
     const std::vector<std::string> &row(std::size_t i) const
     { return rows_.at(i); }
 

@@ -1,0 +1,225 @@
+#include "core/trace.hh"
+
+#include <chrono>
+
+#include "core/export.hh"
+#include "core/logging.hh"
+
+namespace sd {
+
+namespace {
+
+std::uint64_t
+steadyMicros()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<microseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+std::ostringstream &
+TraceArgs::sep(const std::string &key)
+{
+    if (any_)
+        oss_ << ",";
+    any_ = true;
+    oss_ << "\"" << jsonEscape(key) << "\":";
+    return oss_;
+}
+
+TraceArgs &
+TraceArgs::add(const std::string &key, const std::string &value)
+{
+    sep(key) << "\"" << jsonEscape(value) << "\"";
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const std::string &key, const char *value)
+{
+    return add(key, std::string(value));
+}
+
+TraceArgs &
+TraceArgs::add(const std::string &key, double value)
+{
+    sep(key) << jsonNumber(value);
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const std::string &key, std::int64_t value)
+{
+    sep(key) << value;
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const std::string &key, std::uint64_t value)
+{
+    sep(key) << value;
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const std::string &key, int value)
+{
+    return add(key, static_cast<std::int64_t>(value));
+}
+
+TraceArgs &
+TraceArgs::add(const std::string &key, bool value)
+{
+    sep(key) << (value ? "true" : "false");
+    return *this;
+}
+
+std::string
+TraceArgs::json() const
+{
+    return "{" + oss_.str() + "}";
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+bool
+Tracer::open(const std::string &path)
+{
+    close();
+    os_.open(path, std::ios::out | std::ios::trunc);
+    if (!os_) {
+        warn("Tracer: cannot open trace file ", path);
+        return false;
+    }
+    os_ << "[";
+    active_ = true;
+    events_ = 0;
+    openSpans_ = 0;
+    epoch_ = steadyMicros();
+    processName(kTracePidHost, "host");
+    processName(kTracePidFunc, "func-sim (ts = cycles)");
+    processName(kTracePidPerf, "perf-sim (ts = modeled cycles)");
+    return true;
+}
+
+void
+Tracer::close()
+{
+    if (!active_)
+        return;
+    active_ = false;
+    os_ << "\n]\n";
+    os_.close();
+}
+
+std::uint64_t
+Tracer::nowMicros() const
+{
+    return steadyMicros() - epoch_;
+}
+
+void
+Tracer::emit(const std::string &body)
+{
+    if (!active_)
+        return;
+    os_ << (events_ ? ",\n" : "\n") << body;
+    ++events_;
+}
+
+void
+Tracer::processName(std::uint32_t pid, const std::string &name)
+{
+    std::ostringstream e;
+    e << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":"
+      << pid << ",\"tid\":0,\"args\":{\"name\":\"" << jsonEscape(name)
+      << "\"}}";
+    emit(e.str());
+}
+
+void
+Tracer::threadName(std::uint32_t pid, std::uint32_t tid,
+                   const std::string &name)
+{
+    std::ostringstream e;
+    e << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":"
+      << pid << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+      << jsonEscape(name) << "\"}}";
+    emit(e.str());
+}
+
+void
+Tracer::complete(const std::string &name, const std::string &cat,
+                 std::uint64_t ts, std::uint64_t dur, std::uint32_t pid,
+                 std::uint32_t tid, const std::string &args_json)
+{
+    std::ostringstream e;
+    e << "{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+      << jsonEscape(cat) << "\",\"ph\":\"X\",\"ts\":" << ts
+      << ",\"dur\":" << dur << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (!args_json.empty())
+        e << ",\"args\":" << args_json;
+    e << "}";
+    emit(e.str());
+}
+
+void
+Tracer::counter(const std::string &name, std::uint64_t ts,
+                std::uint32_t pid, double value)
+{
+    std::ostringstream e;
+    e << "{\"name\":\"" << jsonEscape(name)
+      << "\",\"ph\":\"C\",\"ts\":" << ts << ",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"value\":" << jsonNumber(value) << "}}";
+    emit(e.str());
+}
+
+void
+Tracer::instant(const std::string &name, const std::string &cat,
+                std::uint64_t ts, std::uint32_t pid, std::uint32_t tid,
+                const std::string &args_json)
+{
+    std::ostringstream e;
+    e << "{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+      << jsonEscape(cat) << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts
+      << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (!args_json.empty())
+        e << ",\"args\":" << args_json;
+    e << "}";
+    emit(e.str());
+}
+
+TraceSpan::TraceSpan(std::string name, std::string cat, std::uint32_t tid)
+    : name_(std::move(name)), cat_(std::move(cat)), tid_(tid)
+{
+    Tracer &t = Tracer::global();
+    if (!t.active())
+        return;
+    live_ = true;
+    start_ = t.nowMicros();
+    ++t.openSpans_;
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!live_)
+        return;
+    Tracer &t = Tracer::global();
+    --t.openSpans_;
+    if (!t.active())
+        return;     // trace closed mid-span; nothing to emit
+    const std::uint64_t now = t.nowMicros();
+    t.complete(name_, cat_, start_, now - start_, kTracePidHost, tid_,
+               args_.empty() ? "" : args_.json());
+}
+
+} // namespace sd

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * A low-overhead event tracer emitting Chrome trace-event JSON.
+ *
+ * The output loads directly into chrome://tracing or Perfetto. Three
+ * timelines (trace "processes") are used by convention:
+ *   pid 1 "host"     wall-clock spans (compiler phases, simulator runs)
+ *   pid 2 "func-sim" functional-machine events, ts = simulated cycle
+ *   pid 3 "perf-sim" performance-model events, ts = modeled cycle
+ *
+ * Instrumentation sites use the SD_TRACE_* macros, which compile to
+ * nothing when the build defines SD_TRACE=0 (CMake option
+ * -DSD_TRACE_EVENTS=OFF), and otherwise test a single branch on
+ * Tracer::global().active() — no trace file open means near-zero cost.
+ */
+
+#ifndef SCALEDEEP_CORE_TRACE_HH
+#define SCALEDEEP_CORE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace sd {
+
+/** Conventional trace process ids (see file comment). */
+enum : std::uint32_t {
+    kTracePidHost = 1,
+    kTracePidFunc = 2,
+    kTracePidPerf = 3,
+};
+
+/**
+ * Incremental builder for a trace event's "args" object. Values are
+ * written as JSON numbers/strings; the result plugs into the arg-taking
+ * Tracer calls.
+ */
+class TraceArgs
+{
+  public:
+    TraceArgs &add(const std::string &key, const std::string &value);
+    TraceArgs &add(const std::string &key, const char *value);
+    TraceArgs &add(const std::string &key, double value);
+    TraceArgs &add(const std::string &key, std::int64_t value);
+    TraceArgs &add(const std::string &key, std::uint64_t value);
+    TraceArgs &add(const std::string &key, int value);
+    TraceArgs &add(const std::string &key, bool value);
+
+    /** The accumulated JSON object, "{}" when empty. */
+    std::string json() const;
+    bool empty() const { return !any_; }
+
+  private:
+    std::ostringstream &sep(const std::string &key);
+
+    std::ostringstream oss_;
+    bool any_ = false;
+};
+
+/**
+ * The process-wide trace sink. open() starts a trace file; every event
+ * emitted while active() is appended; close() finalizes the JSON array.
+ * All simulators are single-threaded, so no locking is performed.
+ */
+class Tracer
+{
+  public:
+    /** The global tracer used by all SD_TRACE_* macros. */
+    static Tracer &global();
+
+    /**
+     * Open @p path for writing and activate the tracer.
+     * @return false (inactive) when the file cannot be created.
+     */
+    bool open(const std::string &path);
+
+    /** Finalize the event array and deactivate. Idempotent. */
+    void close();
+
+    bool active() const { return active_; }
+
+    /** Microseconds of host wall-clock since open(). */
+    std::uint64_t nowMicros() const;
+
+    /** Name a trace process (rendered as a track group). */
+    void processName(std::uint32_t pid, const std::string &name);
+    /** Name a thread within a process (one row of the track group). */
+    void threadName(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name);
+
+    /**
+     * A complete ("ph":"X") event: a span with explicit timestamp and
+     * duration on any timeline.
+     */
+    void complete(const std::string &name, const std::string &cat,
+                  std::uint64_t ts, std::uint64_t dur, std::uint32_t pid,
+                  std::uint32_t tid, const std::string &args_json = "");
+
+    /** A counter ("ph":"C") sample of @p value at @p ts. */
+    void counter(const std::string &name, std::uint64_t ts,
+                 std::uint32_t pid, double value);
+
+    /** An instant ("ph":"i") event. */
+    void instant(const std::string &name, const std::string &cat,
+                 std::uint64_t ts, std::uint32_t pid, std::uint32_t tid,
+                 const std::string &args_json = "");
+
+    /** Events written since open(); 0 when never opened. */
+    std::uint64_t eventsEmitted() const { return events_; }
+
+    /** Live TraceSpan guards (used to check balanced nesting). */
+    int openSpans() const { return openSpans_; }
+
+  private:
+    friend class TraceSpan;
+
+    void emit(const std::string &body);
+
+    std::ofstream os_;
+    bool active_ = false;
+    std::uint64_t events_ = 0;
+    std::uint64_t epoch_ = 0;       ///< steady_clock µs at open()
+    int openSpans_ = 0;
+};
+
+/**
+ * RAII span on the host timeline: records the start time at
+ * construction and emits one complete event (with any args attached
+ * during the scope) at destruction. Cheap no-op when the tracer is
+ * inactive.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(std::string name, std::string cat,
+              std::uint32_t tid = 0);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Attach annotation args emitted with the span's event. */
+    TraceArgs &args() { return args_; }
+
+  private:
+    std::string name_;
+    std::string cat_;
+    std::uint32_t tid_ = 0;
+    std::uint64_t start_ = 0;
+    bool live_ = false;
+    TraceArgs args_;
+};
+
+/**
+ * Stand-in for TraceSpan when instrumentation is compiled out: every
+ * member is an inlineable no-op, so guarded call sites vanish entirely.
+ */
+struct NullTraceSpan
+{
+    NullTraceSpan &args() { return *this; }
+    template <typename K, typename V>
+    NullTraceSpan &add(K &&, V &&) { return *this; }
+};
+
+} // namespace sd
+
+/*
+ * Compile-out switch. SD_TRACE=0 removes every instrumentation site at
+ * compile time; the Tracer class itself remains available (an opened
+ * trace simply records no events).
+ */
+#ifndef SD_TRACE
+#define SD_TRACE 1
+#endif
+
+#define SD_TRACE_CONCAT2(a, b) a##b
+#define SD_TRACE_CONCAT(a, b) SD_TRACE_CONCAT2(a, b)
+
+#if SD_TRACE
+/** True when a trace file is open; guards arg computation at sites. */
+#define SD_TRACE_ACTIVE() (::sd::Tracer::global().active())
+/** RAII host-timeline span for the enclosing scope. */
+#define SD_TRACE_SCOPE(name, cat)                                         \
+    ::sd::TraceSpan SD_TRACE_CONCAT(sd_trace_scope_, __LINE__){(name),    \
+                                                               (cat)}
+/** Like SD_TRACE_SCOPE but named, so args can be attached. */
+#define SD_TRACE_SCOPE_VAR(var, name, cat)                                \
+    ::sd::TraceSpan var{(name), (cat)}
+#else
+#define SD_TRACE_ACTIVE() false
+#define SD_TRACE_SCOPE(name, cat) ((void)0)
+#define SD_TRACE_SCOPE_VAR(var, name, cat)                                \
+    [[maybe_unused]] ::sd::NullTraceSpan var
+#endif
+
+#endif // SCALEDEEP_CORE_TRACE_HH

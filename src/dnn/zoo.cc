@@ -1,5 +1,6 @@
 #include "dnn/zoo.hh"
 
+#include <cctype>
 #include <string>
 
 #include "core/logging.hh"
@@ -326,8 +327,15 @@ benchmarkSuite()
 Network
 makeByName(const std::string &name)
 {
+    auto lower = [](std::string s) {
+        for (char &c : s)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+        return s;
+    };
+    const std::string want = lower(name);
     for (const ZooEntry &e : benchmarkSuite()) {
-        if (e.name == name)
+        if (lower(e.name) == want)
             return e.make();
     }
     fatal("unknown benchmark network: ", name);

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/export.hh"
 #include "core/logging.hh"
 #include "core/stats.hh"
+#include "core/trace.hh"
 
 namespace sd::sim {
 
@@ -101,6 +103,14 @@ void
 Machine::loadProgram(int row, int col, TileRole role, isa::Program program)
 {
     site(row, col, role).tile.loadProgram(std::move(program));
+    if (SD_TRACE_ACTIVE()) {
+        const std::uint32_t tid = static_cast<std::uint32_t>(
+            (static_cast<std::size_t>(row) * config_.cols + col) * 3 +
+            static_cast<std::size_t>(role));
+        std::ostringstream name;
+        name << "r" << row << "c" << col << "_" << tileRoleName(role);
+        Tracer::global().threadName(kTracePidFunc, tid, name.str());
+    }
 }
 
 MemHeavyTile *
@@ -162,10 +172,23 @@ Machine::run(std::uint64_t max_cycles)
             int role = static_cast<int>(idx % 3);
             int col = static_cast<int>((idx / 3) % config_.cols);
             int row = static_cast<int>(idx / 3 / config_.cols);
-            if (execute(s, row, col, static_cast<TileRole>(role)))
+            if (execute(s, row, col, static_cast<TileRole>(role))) {
                 progress = true;
-            else
+                if (SD_TRACE_ACTIVE() && s.stallStart != kNotStalled) {
+                    // The instruction that was queued on a tracker
+                    // finally issued: emit the wait span (the span's
+                    // end is the wake).
+                    Tracer::global().complete(
+                        "tracker_wait", "func.sync", s.stallStart,
+                        cycle_ - s.stallStart, kTracePidFunc,
+                        static_cast<std::uint32_t>(idx));
+                    s.stallStart = kNotStalled;
+                }
+            } else {
                 ++s.tile.stallCycles;
+                if (SD_TRACE_ACTIVE() && s.stallStart == kNotStalled)
+                    s.stallStart = cycle_;
+            }
         }
         if (all_halted)
             break;
@@ -273,6 +296,28 @@ Machine::execute(CompSite &s, int row, int col, TileRole role)
 
     if (cost < 0)
         return false;   // blocked; retry next cycle
+
+    if (SD_TRACE_ACTIVE() && cost > 1) {
+        // Multi-cycle instructions become spans on the simulated
+        // timeline: DMA/pass-buffer transfers, 2D-array passes and
+        // SFU offloads, one trace thread per tile.
+        const isa::InstGroup g = isa::opcodeGroup(inst.op);
+        if (g == isa::InstGroup::DataTransfer ||
+            g == isa::InstGroup::CoarseData ||
+            g == isa::InstGroup::MemOffload) {
+            const char *cat =
+                g == isa::InstGroup::DataTransfer ? "func.dma"
+                : g == isa::InstGroup::CoarseData ? "func.array"
+                                                  : "func.sfu";
+            const std::uint32_t tid = static_cast<std::uint32_t>(
+                (static_cast<std::size_t>(row) * config_.cols + col) *
+                    3 +
+                static_cast<std::size_t>(role));
+            Tracer::global().complete(
+                isa::opcodeName(inst.op), cat, cycle_,
+                static_cast<std::uint64_t>(cost), kTracePidFunc, tid);
+        }
+    }
 
     ++t.instsExecuted;
     ++t.groupCounts[isa::opcodeGroup(inst.op)];
@@ -806,10 +851,24 @@ Machine::execTrack(CompSite &s, int row, int col,
     CompHeavyTile &t = s.tile;
     auto reg = [&](int i) { return t.reg(inst.args[i]); };
 
+    auto trace_arm = [&](int addr_arg) {
+        if (!SD_TRACE_ACTIVE())
+            return;
+        TraceArgs args;
+        args.add("addr", static_cast<std::int64_t>(reg(addr_arg)))
+            .add("size", static_cast<std::int64_t>(reg(addr_arg + 1)))
+            .add("updates",
+                 static_cast<std::int64_t>(reg(addr_arg + 2)))
+            .add("reads", static_cast<std::int64_t>(reg(addr_arg + 3)));
+        Tracer::global().instant("memtrack_arm", "func.sync", cycle_,
+                                 kTracePidFunc, 0, args.json());
+    };
+
     if (inst.op == Opcode::MEMTRACK) {
         MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
         if (!home->trackers().arm(reg(1), reg(2), reg(3), reg(4)))
             return -1;      // table full: retry (hardware NACK)
+        trace_arm(1);
         return 1;
     }
     // DMA_MEMTRACK: arm on a neighbour of the home tile.
@@ -819,6 +878,7 @@ Machine::execTrack(CompSite &s, int row, int col,
         panic("DMA_MEMTRACK: bad remote port ", inst.args[1]);
     if (!remote->trackers().arm(reg(2), reg(3), reg(4), reg(5)))
         return -1;
+    trace_arm(2);
     return 1;
 }
 
@@ -840,17 +900,33 @@ Machine::totalMacs() const
     return total;
 }
 
-void
-Machine::dumpStats(std::ostream &os) const
+MachineStats
+Machine::snapshotStats() const
 {
-    StatGroup machine("machine");
+    MachineStats stats;
+    StatGroup &machine = stats.root;
+    std::vector<std::unique_ptr<StatGroup>> &children = stats.children;
     machine.addCounter("cycles", "elapsed cycles").set(cycle_);
     machine.addCounter("instructions", "instructions executed")
         .set(totalInstructions());
     machine.addCounter("macs", "useful multiply-accumulates")
         .set(totalMacs());
 
-    std::vector<std::unique_ptr<StatGroup>> children;
+    // Machine-level retire counters per instruction class.
+    std::map<isa::InstGroup, std::uint64_t> retired;
+    for (const auto &sp : compSites_)
+        for (const auto &[group, count] : sp->tile.groupCounts)
+            retired[group] += count;
+    for (const auto &[group, count] : retired) {
+        machine
+            .addCounter(std::string("insts_") +
+                            isa::instGroupName(group),
+                        std::string("retired ") +
+                            isa::instGroupName(group) +
+                            " instructions")
+            .set(count);
+    }
+
     for (const auto &sp : compSites_) {
         const CompHeavyTile &t = sp->tile;
         if (!t.hasProgram())
@@ -900,7 +976,20 @@ Machine::dumpStats(std::ostream &os) const
             children.push_back(std::move(group));
         }
     }
-    machine.dump(os);
+    return stats;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    snapshotStats().root.dump(os);
+}
+
+void
+Machine::dumpStatsJson(std::ostream &os) const
+{
+    MachineStats stats = snapshotStats();
+    exportStatsJson(stats.root, os);
 }
 
 double

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arch/chip.hh"
+#include "core/stats.hh"
 #include "sim/func/compheavy.hh"
 #include "sim/func/memheavy.hh"
 
@@ -47,6 +48,17 @@ struct MachineConfig
     /** Derive a machine from a chip configuration (grid size capped). */
     static MachineConfig fromChip(const arch::ChipConfig &chip,
                                   double freq, int rows, int cols);
+};
+
+/**
+ * An owning snapshot of a machine's stat hierarchy: the root group
+ * plus the per-tile child groups it points into. Safe to move; the
+ * children's addresses are stable (unique_ptr storage).
+ */
+struct MachineStats
+{
+    StatGroup root{"machine"};
+    std::vector<std::unique_ptr<StatGroup>> children;
 };
 
 /** Result of a Machine::run() call. */
@@ -89,20 +101,34 @@ class Machine
     double peUtilization() const;
 
     /**
+     * Snapshot the machine's statistics (per-tile instruction /
+     * stall / MAC counters, machine-level per-instruction-class
+     * retire counters, MemHeavy access and tracker counters).
+     */
+    MachineStats snapshotStats() const;
+
+    /**
      * Dump the machine's statistics as a gem5-style flat listing
      * (per-tile instruction/stall/MAC counters, MemHeavy access and
      * tracker counters, machine totals).
      */
     void dumpStats(std::ostream &os) const;
 
+    /** Dump the same statistics as a nested JSON document. */
+    void dumpStatsJson(std::ostream &os) const;
+
   private:
     struct CompSite
     {
         CompHeavyTile tile;
         std::uint64_t busyUntil = 0;
+        /** Cycle the current tracker stall began (kNotStalled if none),
+         * maintained only while tracing is active. */
+        std::uint64_t stallStart = UINT64_MAX;
 
         explicit CompSite(const arch::CompHeavyConfig &c) : tile(c) {}
     };
+    static constexpr std::uint64_t kNotStalled = UINT64_MAX;
 
     MemHeavyTile *compPortTile(int row, int col, std::int32_t port);
     /**

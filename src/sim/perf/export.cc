@@ -1,0 +1,130 @@
+#include "sim/perf/export.hh"
+
+#include "core/logging.hh"
+
+namespace sd::sim::perf {
+
+namespace {
+
+void
+writeLinks(JsonWriter &w, const LinkUtilization &l)
+{
+    w.beginObject();
+    w.field("compMem", l.compMem);
+    w.field("memMem", l.memMem);
+    w.field("convExt", l.convExt);
+    w.field("fcExt", l.fcExt);
+    w.field("spoke", l.spoke);
+    w.field("arc", l.arc);
+    w.field("ring", l.ring);
+    w.endObject();
+}
+
+void
+writeLayer(JsonWriter &w, const LayerPerf &lp)
+{
+    w.beginObject();
+    w.field("id", static_cast<std::int64_t>(lp.id));
+    w.field("name", lp.name);
+    w.field("fcSide", lp.fcSide);
+    w.field("columns", static_cast<std::int64_t>(lp.columns));
+    w.field("stageTrainCycles", lp.stageTrainCycles);
+    w.field("stageEvalCycles", lp.stageEvalCycles);
+    w.field("extStageCycles", lp.extStageCycles);
+    w.field("bandwidthBound", lp.bandwidthBound);
+    w.field("columnUtil", lp.columnUtil);
+    w.field("featureDistUtil", lp.featureDistUtil);
+    w.field("arrayResidueUtil", lp.arrayResidueUtil);
+    w.field("achievedUtil", lp.achievedUtil);
+    w.endObject();
+}
+
+void
+writeMapping(JsonWriter &w, const compiler::Mapping &m)
+{
+    w.beginObject();
+    w.field("convColumns", static_cast<std::int64_t>(m.convColumns));
+    w.field("fcColumns", static_cast<std::int64_t>(m.fcColumns));
+    w.field("convChips", static_cast<std::int64_t>(m.convChips));
+    w.field("copies", static_cast<std::int64_t>(m.copies));
+    w.field("units", static_cast<std::int64_t>(m.layers.size()));
+    w.endObject();
+}
+
+} // namespace
+
+void
+writePerfResultJson(JsonWriter &w, const std::string &network,
+                    const PerfResult &r)
+{
+    w.beginObject();
+    w.field("network", network);
+    w.field("trainImagesPerSec", r.trainImagesPerSec);
+    w.field("evalImagesPerSec", r.evalImagesPerSec);
+
+    w.field("peUtil", r.peUtil);
+    w.field("sfuUtil", r.sfuUtil);
+    w.field("memArrayUtil", r.memArrayUtil);
+    w.field("columnAllocUtil", r.columnAllocUtil);
+    w.field("featureDistUtil", r.featureDistUtil);
+    w.field("arrayResidueUtil", r.arrayResidueUtil);
+
+    w.field("computeBoundLayers",
+            static_cast<std::int64_t>(r.computeBoundLayers));
+    w.field("bandwidthBoundLayers",
+            static_cast<std::int64_t>(r.bandwidthBoundLayers));
+    w.field("gradReductionCycles", r.gradReductionCycles);
+
+    w.key("links");
+    writeLinks(w, r.links);
+
+    w.key("power");
+    w.beginObject();
+    w.field("compute", r.avgPower.compute);
+    w.field("memory", r.avgPower.memory);
+    w.field("interconnect", r.avgPower.interconnect);
+    w.field("total", r.avgPower.total());
+    w.field("gflopsPerWatt", r.gflopsPerWatt);
+    w.endObject();
+
+    w.key("mapping");
+    writeMapping(w, r.mapping);
+
+    w.key("layers");
+    w.beginArray();
+    for (const LayerPerf &lp : r.layers)
+        writeLayer(w, lp);
+    w.endArray();
+
+    w.endObject();
+}
+
+void
+exportPerfResultJson(const std::string &network, const PerfResult &r,
+                     std::ostream &os)
+{
+    JsonWriter w(os);
+    writePerfResultJson(w, network, r);
+    os << "\n";
+}
+
+void
+exportLayersCsv(const PerfResult &r, std::ostream &os)
+{
+    os << "id,name,fcSide,columns,stageTrainCycles,stageEvalCycles,"
+          "extStageCycles,bandwidthBound,columnUtil,featureDistUtil,"
+          "arrayResidueUtil,achievedUtil\n";
+    for (const LayerPerf &lp : r.layers) {
+        os << lp.id << ',' << lp.name << ',' << (lp.fcSide ? 1 : 0)
+           << ',' << lp.columns << ',' << jsonNumber(lp.stageTrainCycles)
+           << ',' << jsonNumber(lp.stageEvalCycles) << ','
+           << jsonNumber(lp.extStageCycles) << ','
+           << (lp.bandwidthBound ? 1 : 0) << ','
+           << jsonNumber(lp.columnUtil) << ','
+           << jsonNumber(lp.featureDistUtil) << ','
+           << jsonNumber(lp.arrayResidueUtil) << ','
+           << jsonNumber(lp.achievedUtil) << '\n';
+    }
+}
+
+} // namespace sd::sim::perf

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Structured export of performance-simulator results: PerfResult
+ * (with its Mapping, LayerPerf detail and LinkUtilization) to JSON,
+ * and the per-layer detail to CSV. These are the machine-readable
+ * artifacts behind Figures 16-21; every figure binary and sdsim can
+ * dump them for diffing across PRs.
+ */
+
+#ifndef SCALEDEEP_SIM_PERF_EXPORT_HH
+#define SCALEDEEP_SIM_PERF_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/export.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace sd::sim::perf {
+
+/**
+ * Write one PerfResult as a JSON object member of the surrounding
+ * document: throughput, utilization chain, link utilizations, power,
+ * classification counters, mapping summary and per-layer detail.
+ */
+void writePerfResultJson(JsonWriter &w, const std::string &network,
+                         const PerfResult &r);
+
+/** Standalone JSON document for one result. */
+void exportPerfResultJson(const std::string &network,
+                          const PerfResult &r, std::ostream &os);
+
+/** Per-layer detail as CSV (one row per allocation unit). */
+void exportLayersCsv(const PerfResult &r, std::ostream &os);
+
+} // namespace sd::sim::perf
+
+#endif // SCALEDEEP_SIM_PERF_EXPORT_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/logging.hh"
+#include "core/trace.hh"
 #include "dnn/workload.hh"
 
 namespace sd::sim::perf {
@@ -25,6 +26,12 @@ PerfSim::PerfSim(dnn::Network net, arch::NodeConfig node,
 PerfResult
 PerfSim::run() const
 {
+    SD_TRACE_SCOPE_VAR(run_span, "perfsim.run", "perf");
+    if (SD_TRACE_ACTIVE()) {
+        run_span.args()
+            .add("network", net_.name())
+            .add("minibatch", options_.minibatch);
+    }
     const arch::NodeConfig &node = node_;
     const arch::ChipConfig &conv_chip = node.cluster.convChip;
     const arch::ChipConfig &fc_chip = node.cluster.fcChip;
@@ -197,6 +204,7 @@ PerfSim::run() const
         1.0 / imgs_per_cycle_train + sync_per_image;
     r.trainImagesPerSec = node.freq / train_cycles_per_image;
     r.evalImagesPerSec = node.freq * imgs_per_cycle_eval;
+    r.gradReductionCycles = sync_cycles;
 
     // --- utilization ---
     const double comp_peak =
@@ -222,6 +230,18 @@ PerfSim::run() const
         lp.columns = a.columns;
         lp.stageTrainCycles = timings[i].trainStageCycles();
         lp.stageEvalCycles = timings[i].evalStageCycles();
+        // Classify the stage: compute bound or external-bandwidth
+        // bound (FC traffic is amortized over the wheel batch).
+        const double unit_ext_bytes =
+            timings[i].extMemBytes + timings[i].extMemBytesTraining;
+        lp.extStageCycles =
+            a.fcSide ? ext_stage(unit_ext_bytes / fc_batch,
+                                 num_fc_chips, fc_ext_bpc)
+                     : ext_stage(unit_ext_bytes, m.convChips,
+                                 conv_ext_bpc);
+        lp.bandwidthBound = lp.extStageCycles > lp.stageTrainCycles;
+        ++(lp.bandwidthBound ? r.bandwidthBoundLayers
+                             : r.computeBoundLayers);
         if (!a.fcSide && conv_flops > 0.0) {
             const double flop_share = a.fpFlops / conv_flops;
             const double col_share = a.columns / total_cols;
@@ -348,6 +368,54 @@ PerfSim::run() const
     profile.ringUtil = r.links.ring;
     r.avgPower = power.nodeAverage(profile);
     r.gflopsPerWatt = achieved_flops / r.avgPower.total() / 1e9;
+
+    if (SD_TRACE_ACTIVE()) {
+        // Lay the per-layer training stages out on the perf-sim
+        // timeline (conv and fc sides as separate tracks), followed by
+        // the minibatch-end gradient-reduction phase. Successive run()
+        // calls append rather than overlap.
+        static std::uint64_t base = 0;
+        Tracer &tr = Tracer::global();
+        tr.threadName(kTracePidPerf, 0, "conv stages");
+        tr.threadName(kTracePidPerf, 1, "fc stages");
+        tr.threadName(kTracePidPerf, 2, "minibatch sync");
+        double conv_ts = 0.0, fc_ts = 0.0;
+        for (const LayerPerf &lp : r.layers) {
+            double &cursor = lp.fcSide ? fc_ts : conv_ts;
+            const double dur = std::max(1.0, lp.stageTrainCycles);
+            TraceArgs args;
+            args.add("network", net_.name())
+                .add("columns", lp.columns)
+                .add("stageTrainCycles", lp.stageTrainCycles)
+                .add("extStageCycles", lp.extStageCycles)
+                .add("bound",
+                     lp.bandwidthBound ? "bandwidth" : "compute")
+                .add("achievedUtil", lp.achievedUtil);
+            tr.complete(lp.name, "perf.stage",
+                        base + static_cast<std::uint64_t>(cursor),
+                        static_cast<std::uint64_t>(dur), kTracePidPerf,
+                        lp.fcSide ? 1u : 0u, args.json());
+            cursor += dur;
+        }
+        const std::uint64_t end_ts =
+            base + static_cast<std::uint64_t>(
+                       std::max(conv_ts, fc_ts));
+        TraceArgs sync_args;
+        sync_args.add("network", net_.name())
+            .add("ringCycles", ring_time)
+            .add("arcCycles", arc_time)
+            .add("perImageCycles", sync_per_image);
+        tr.complete("gradient_reduction", "perf.sync", end_ts,
+                    static_cast<std::uint64_t>(
+                        std::max(1.0, sync_cycles)),
+                    kTracePidPerf, 2, sync_args.json());
+        tr.counter("bandwidth_bound_layers", end_ts, kTracePidPerf,
+                   r.bandwidthBoundLayers);
+        tr.counter("compute_bound_layers", end_ts, kTracePidPerf,
+                   r.computeBoundLayers);
+        base = end_ts +
+               static_cast<std::uint64_t>(std::max(1.0, sync_cycles));
+    }
 
     return r;
 }

@@ -47,6 +47,12 @@ struct LayerPerf
     double stageTrainCycles = 0.0;
     double stageEvalCycles = 0.0;
 
+    /** External-memory time of the unit's stage during training. */
+    double extStageCycles = 0.0;
+    /** True when the stage is limited by external bandwidth rather
+     * than compute (extStageCycles > stageTrainCycles). */
+    bool bandwidthBound = false;
+
     // The Figure 19 utilization waterfall. columnUtil may exceed 1
     // when a layer received more than its FLOP-proportional share.
     double columnUtil = 1.0;
@@ -68,6 +74,12 @@ struct PerfResult
     double sfuUtil = 0.0;
     double memArrayUtil = 0.0;
     LinkUtilization links;
+
+    // Stage classification counters (observability).
+    int computeBoundLayers = 0;     ///< stages limited by compute
+    int bandwidthBoundLayers = 0;   ///< stages limited by ext memory
+    /** Minibatch-end gradient-reduction cycles (ring/arc all-reduce). */
+    double gradReductionCycles = 0.0;
 
     // Figure 19 aggregate chain.
     double columnAllocUtil = 1.0;

@@ -1,12 +1,15 @@
 /**
  * @file
- * Unit tests for the core infrastructure: stats, tables, RNG, units.
+ * Unit tests for the core infrastructure: stats, tables, RNG, units,
+ * JSON writing/parsing and the structured stats export.
  */
 
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "core/export.hh"
 #include "core/random.hh"
 #include "core/stats.hh"
 #include "core/table.hh"
@@ -58,6 +61,62 @@ TEST(Distribution, BucketsAndOverflow)
     EXPECT_EQ(d.underflows(), 1u);
     EXPECT_EQ(d.overflows(), 1u);
     EXPECT_EQ(d.totalSamples(), 4u);
+}
+
+TEST(Distribution, MeanAndDesc)
+{
+    Distribution d("lat", "tracker latency", 0.0, 100.0, 10);
+    EXPECT_EQ(d.desc(), "tracker latency");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(10.0);
+    d.sample(30.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    d.reset();
+    EXPECT_EQ(d.totalSamples(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, Percentile)
+{
+    Distribution d("d", "x", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        d.sample(i + 0.5);
+    // Uniform samples: quantiles track the value range.
+    EXPECT_NEAR(d.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(d.percentile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(d.percentile(0.99), 99.0, 1.5);
+    // Quantiles are monotone and bounded.
+    EXPECT_LE(d.percentile(0.1), d.percentile(0.9));
+    EXPECT_GE(d.percentile(0.0), 0.0);
+    EXPECT_LE(d.percentile(1.0), 100.0);
+}
+
+TEST(Distribution, PercentileClampsOutliers)
+{
+    Distribution d("d", "x", 0.0, 10.0, 5);
+    d.sample(-5.0);
+    d.sample(50.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.25), 0.0);   // underflow -> lo
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 10.0);  // overflow -> hi
+}
+
+TEST(StatGroup, DistributionRegistrationAndDump)
+{
+    StatGroup g("tile");
+    Distribution &d =
+        g.addDistribution("stall", "stall cycles", 0.0, 64.0, 8);
+    d.sample(4.0);
+    d.sample(12.0);
+    std::ostringstream oss;
+    g.dump(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("tile.stall"), std::string::npos);
+    EXPECT_NE(s.find("mean="), std::string::npos);
+    EXPECT_NE(s.find("p99="), std::string::npos);
+    EXPECT_NE(s.find("stall cycles"), std::string::npos);
+
+    g.reset();
+    EXPECT_EQ(d.totalSamples(), 0u);
 }
 
 TEST(StatGroup, HierarchicalDump)
@@ -156,6 +215,92 @@ TEST(Units, PrecisionBytes)
 {
     EXPECT_EQ(bytesPerElement(Precision::Single), 4u);
     EXPECT_EQ(bytesPerElement(Precision::Half), 2u);
+}
+
+TEST(Json, EscapeAndNumbers)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    // Round-trip precision: parse back the serialized double exactly.
+    const double v = 39353.715387084911;
+    auto doc = parseJson(jsonNumber(v));
+    ASSERT_TRUE(doc);
+    EXPECT_DOUBLE_EQ(doc->asDouble(), v);
+}
+
+TEST(Json, WriterProducesParsableDocument)
+{
+    std::ostringstream oss;
+    {
+        JsonWriter w(oss);
+        w.beginObject();
+        w.field("name", "alex\"net");
+        w.field("count", static_cast<std::int64_t>(3));
+        w.field("ok", true);
+        w.key("xs");
+        w.beginArray();
+        w.value(1.5);
+        w.valueNull();
+        w.endArray();
+        w.endObject();
+    }
+    std::string err;
+    auto doc = parseJson(oss.str(), &err);
+    ASSERT_TRUE(doc) << err;
+    EXPECT_EQ(doc->at("name").asString(), "alex\"net");
+    EXPECT_EQ(doc->at("count").asInt(), 3);
+    EXPECT_TRUE(doc->at("ok").isBool());
+    ASSERT_EQ(doc->at("xs").items.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc->at("xs").items[0].asDouble(), 1.5);
+    EXPECT_TRUE(doc->at("xs").items[1].isNull());
+}
+
+TEST(Json, ParserRejectsMalformed)
+{
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\":", &err));
+    EXPECT_FALSE(parseJson("[1,2,]", &err));
+    EXPECT_FALSE(parseJson("[1] trailing", &err));
+    EXPECT_FALSE(parseJson("", &err));
+}
+
+TEST(StatsExport, JsonRoundTrip)
+{
+    StatGroup root("machine");
+    StatGroup child("tile0");
+    root.addChild(&child);
+    root.addCounter("cycles", "total cycles").inc(1234);
+    root.addAverage("occ", "occupancy").sample(0.5);
+    child.addCounter("ops", "operations").inc(9);
+    child.addDistribution("lat", "latency", 0.0, 8.0, 4).sample(3.0);
+
+    std::ostringstream oss;
+    exportStatsJson(root, oss);
+    std::string err;
+    auto doc = parseJson(oss.str(), &err);
+    ASSERT_TRUE(doc) << err;
+    EXPECT_EQ(doc->at("name").asString(), "machine");
+    EXPECT_EQ(doc->at("counters").at("cycles").asInt(), 1234);
+    EXPECT_DOUBLE_EQ(doc->at("averages").at("occ").at("mean").asDouble(),
+                     0.5);
+    const JsonValue &kids = doc->at("children");
+    ASSERT_EQ(kids.items.size(), 1u);
+    EXPECT_EQ(kids.items[0].at("name").asString(), "tile0");
+    EXPECT_EQ(kids.items[0].at("counters").at("ops").asInt(), 9);
+    EXPECT_EQ(kids.items[0].at("distributions").at("lat")
+                  .at("samples").asInt(), 1);
+}
+
+TEST(StatsExport, Csv)
+{
+    StatGroup root("m");
+    root.addCounter("cycles", "total").inc(7);
+    std::ostringstream oss;
+    exportStatsCsv(root, oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("path,stat,value,description"), std::string::npos);
+    EXPECT_NE(s.find("m,cycles,7,total"), std::string::npos);
 }
 
 } // namespace

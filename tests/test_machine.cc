@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/export.hh"
 #include "core/random.hh"
 #include "dnn/network.hh"
 #include "dnn/reference.hh"
@@ -510,6 +511,36 @@ TEST(MachineStats, DumpListsActiveTiles)
     EXPECT_NE(s.find("mem_r0_c2.sfu_ops 2"), std::string::npos);
     // Inactive tiles are omitted.
     EXPECT_EQ(s.find("comp_r1_c0"), std::string::npos);
+}
+
+TEST(MachineStats, JsonSnapshotParses)
+{
+    Machine m(smallConfig());
+    Assembler as;
+    as.ldri(1, 5);
+    as.ldri(2, 2);
+    as.ndactfn(kActReLU, 1, kPortRight, 2, 1, kPortRight);
+    as.halt();
+    m.loadProgram(0, 1, TileRole::Fp, as.finish());
+    ASSERT_TRUE(m.run().ok());
+    std::ostringstream oss;
+    m.dumpStatsJson(oss);
+    std::string err;
+    auto doc = parseJson(oss.str(), &err);
+    ASSERT_TRUE(doc) << err;
+    EXPECT_EQ(doc->at("name").asString(), "machine");
+    EXPECT_EQ(doc->at("counters").at("cycles").asInt(),
+              static_cast<std::int64_t>(m.cycles()));
+    // Per-instruction-class retire counters are aggregated at the
+    // top (two LDRI plus the HALT are scalar-control).
+    EXPECT_EQ(doc->at("counters").at("insts_scalar-control").asInt(),
+              3);
+    EXPECT_EQ(doc->at("counters").at("insts_mem-offload").asInt(), 1);
+    bool found_tile = false;
+    for (const JsonValue &child : doc->at("children").items)
+        if (child.at("name").asString() == "comp_r0_c1_FP")
+            found_tile = true;
+    EXPECT_TRUE(found_tile);
 }
 
 TEST(MachineDeath, ProgramTooLarge)

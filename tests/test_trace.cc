@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event tracer and the structured exports
+ * it feeds: the emitted file must be a valid JSON array, spans must
+ * nest in balance, instrumented simulations must be invariant to
+ * tracing, and PerfResult JSON must round-trip at full precision.
+ * test_trace_off.cc (same binary) covers the SD_TRACE=0 macro path.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "core/export.hh"
+#include "core/trace.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/export.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+
+/** Read a whole file into a string. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream oss;
+    oss << is.rdbuf();
+    return oss.str();
+}
+
+class TempTrace
+{
+  public:
+    explicit TempTrace(const std::string &name)
+        : path_(::testing::TempDir() + name) {}
+    ~TempTrace()
+    {
+        Tracer::global().close();
+        std::remove(path_.c_str());
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(Tracer, InactiveByDefault)
+{
+    EXPECT_FALSE(Tracer::global().active());
+    // Emitting while inactive must be a harmless no-op.
+    Tracer::global().complete("x", "cat", 0, 1, kTracePidHost, 0);
+    {
+        TraceSpan span("noop", "cat");
+    }
+    EXPECT_EQ(Tracer::global().openSpans(), 0);
+}
+
+TEST(Tracer, EmitsValidJsonArray)
+{
+    TempTrace tmp("trace_valid.json");
+    ASSERT_TRUE(Tracer::global().open(tmp.path()));
+    EXPECT_TRUE(Tracer::global().active());
+
+    Tracer::global().threadName(kTracePidFunc, 3, "r0c1_fp");
+    {
+        TraceSpan outer("outer", "test");
+        outer.args().add("k", "v\"quoted\"").add("n", 42);
+        TraceSpan inner("inner", "test");
+        EXPECT_EQ(Tracer::global().openSpans(), 2);
+    }
+    EXPECT_EQ(Tracer::global().openSpans(), 0);
+    Tracer::global().complete("span", "test", 10, 5, kTracePidFunc, 3);
+    Tracer::global().counter("ctr", 11, kTracePidPerf, 2.5);
+    Tracer::global().instant("evt", "test", 12, kTracePidFunc, 0);
+    Tracer::global().close();
+    EXPECT_FALSE(Tracer::global().active());
+
+    std::string err;
+    auto doc = parseJson(slurp(tmp.path()), &err);
+    ASSERT_TRUE(doc) << err;
+    ASSERT_TRUE(doc->isArray());
+    // 3 process-name metadata + 1 thread name + 2 spans + X + C + i.
+    EXPECT_EQ(doc->items.size(), 9u);
+
+    bool found_outer = false, found_counter = false;
+    for (const JsonValue &e : doc->items) {
+        const std::string &name = e.at("name").asString();
+        const std::string &ph = e.at("ph").asString();
+        EXPECT_TRUE(e.find("pid"));
+        if (name == "outer") {
+            found_outer = true;
+            EXPECT_EQ(ph, "X");
+            EXPECT_EQ(e.at("pid").asInt(), kTracePidHost);
+            EXPECT_EQ(e.at("args").at("k").asString(), "v\"quoted\"");
+            EXPECT_EQ(e.at("args").at("n").asInt(), 42);
+        }
+        if (name == "ctr") {
+            found_counter = true;
+            EXPECT_EQ(ph, "C");
+            EXPECT_DOUBLE_EQ(e.at("args").at("value").asDouble(), 2.5);
+        }
+    }
+    EXPECT_TRUE(found_outer);
+    EXPECT_TRUE(found_counter);
+}
+
+TEST(Tracer, CloseIsIdempotent)
+{
+    TempTrace tmp("trace_idem.json");
+    ASSERT_TRUE(Tracer::global().open(tmp.path()));
+    Tracer::global().close();
+    Tracer::global().close();
+    auto doc = parseJson(slurp(tmp.path()));
+    ASSERT_TRUE(doc);
+    EXPECT_TRUE(doc->isArray());
+}
+
+TEST(Tracer, OpenFailureStaysInactive)
+{
+    EXPECT_FALSE(
+        Tracer::global().open("/nonexistent-dir/x/trace.json"));
+    EXPECT_FALSE(Tracer::global().active());
+}
+
+/** Tracing must not change simulation results. */
+TEST(Tracer, PerfSimInvariantUnderTracing)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    dnn::Network net = dnn::makeAlexNet();
+
+    sim::perf::PerfResult plain =
+        sim::perf::PerfSim(net, node).run();
+
+    TempTrace tmp("trace_perf.json");
+    ASSERT_TRUE(Tracer::global().open(tmp.path()));
+    sim::perf::PerfResult traced =
+        sim::perf::PerfSim(net, node).run();
+    Tracer::global().close();
+
+    EXPECT_DOUBLE_EQ(plain.trainImagesPerSec, traced.trainImagesPerSec);
+    EXPECT_DOUBLE_EQ(plain.evalImagesPerSec, traced.evalImagesPerSec);
+    EXPECT_EQ(plain.computeBoundLayers, traced.computeBoundLayers);
+    EXPECT_EQ(plain.bandwidthBoundLayers, traced.bandwidthBoundLayers);
+
+    // And the trace must contain the per-layer perf spans — unless
+    // the instrumentation is compiled out, in which case none at all.
+    auto doc = parseJson(slurp(tmp.path()));
+    ASSERT_TRUE(doc);
+    int perf_spans = 0;
+    for (const JsonValue &e : doc->items) {
+        if (e.find("cat") && e.at("cat").asString() == "perf.stage")
+            ++perf_spans;
+    }
+    EXPECT_EQ(perf_spans,
+              SD_TRACE ? static_cast<int>(traced.layers.size()) : 0);
+}
+
+TEST(PerfExport, JsonRoundTrip)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    dnn::Network net = dnn::makeAlexNet();
+    sim::perf::PerfResult r = sim::perf::PerfSim(net, node).run();
+
+    std::ostringstream oss;
+    sim::perf::exportPerfResultJson("AlexNet", r, oss);
+    std::string err;
+    auto doc = parseJson(oss.str(), &err);
+    ASSERT_TRUE(doc) << err;
+
+    EXPECT_EQ(doc->at("network").asString(), "AlexNet");
+    // Full-precision round trip of the headline number.
+    EXPECT_DOUBLE_EQ(doc->at("trainImagesPerSec").asDouble(),
+                     r.trainImagesPerSec);
+    EXPECT_DOUBLE_EQ(doc->at("power").at("total").asDouble(),
+                     r.avgPower.total());
+    EXPECT_EQ(doc->at("mapping").at("convChips").asInt(),
+              r.mapping.convChips);
+    ASSERT_EQ(doc->at("layers").items.size(), r.layers.size());
+    const JsonValue &l0 = doc->at("layers").items[0];
+    EXPECT_EQ(l0.at("name").asString(), r.layers[0].name);
+    EXPECT_DOUBLE_EQ(l0.at("stageTrainCycles").asDouble(),
+                     r.layers[0].stageTrainCycles);
+    EXPECT_EQ(doc->at("computeBoundLayers").asInt() +
+                  doc->at("bandwidthBoundLayers").asInt(),
+              static_cast<std::int64_t>(r.layers.size()));
+}
+
+TEST(PerfExport, LayersCsv)
+{
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    dnn::Network net = dnn::makeAlexNet();
+    sim::perf::PerfResult r = sim::perf::PerfSim(net, node).run();
+
+    std::ostringstream oss;
+    sim::perf::exportLayersCsv(r, oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("id,name,fcSide,columns"), std::string::npos);
+    EXPECT_NE(s.find(r.layers[0].name), std::string::npos);
+    // Header plus one line per layer.
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(s.begin(), s.end(), '\n')),
+              r.layers.size() + 1);
+}
+
+} // namespace

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Compile-out coverage for the tracing macros: this translation unit
+ * forces SD_TRACE=0 before including trace.hh, so SD_TRACE_SCOPE and
+ * friends must expand to no-ops that still compile at real call-site
+ * shapes (guarded arg attachment included) and emit nothing.
+ */
+
+#undef SD_TRACE
+#define SD_TRACE 0
+#include "core/trace.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sd;
+
+int
+instrumentedWork(int n)
+{
+    SD_TRACE_SCOPE("work", "test");
+    SD_TRACE_SCOPE_VAR(span, "work.detail", "test");
+    int acc = 0;
+    for (int i = 0; i < n; ++i) {
+        if (SD_TRACE_ACTIVE())
+            span.args().add("i", i).add("phase", "loop");
+        acc += i;
+    }
+    return acc;
+}
+
+TEST(TraceCompiledOut, MacrosAreInertNoOps)
+{
+    EXPECT_FALSE(SD_TRACE_ACTIVE());
+    const std::uint64_t before = Tracer::global().eventsEmitted();
+    EXPECT_EQ(instrumentedWork(100), 4950);
+    // No spans were opened and no events recorded.
+    EXPECT_EQ(Tracer::global().openSpans(), 0);
+    EXPECT_EQ(Tracer::global().eventsEmitted(), before);
+}
+
+TEST(TraceCompiledOut, NullSpanChainsArbitraryArgs)
+{
+    NullTraceSpan span;
+    span.args().add("a", 1).add("b", 2.5).add("c", "s").add("d", true);
+    SUCCEED();
+}
+
+} // namespace
