@@ -8,12 +8,15 @@
  *   --csv              tables as CSV instead of aligned text
  *   --trace FILE       Chrome trace-event JSON timeline of the run
  *   --stats-json FILE  every table shown, as a JSON document
+ *   --jobs N           worker threads (default: hardware concurrency,
+ *                      or the SD_JOBS environment variable)
  */
 
 #ifndef SCALEDEEP_BENCH_BENCH_UTIL_HH
 #define SCALEDEEP_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -22,6 +25,7 @@
 
 #include "core/export.hh"
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "core/table.hh"
 #include "core/trace.hh"
 
@@ -48,6 +52,7 @@ inline void
 init(int argc, char **argv, const std::string &name)
 {
     setVerbose(false);
+    setJobs(defaultJobs());
     Harness &h = harness();
     h.name = name;
     for (int i = 1; i < argc; ++i) {
@@ -65,11 +70,36 @@ init(int argc, char **argv, const std::string &name)
                 fatal(name, ": cannot open trace file ", path);
         } else if (arg == "--stats-json") {
             h.statsPath = value();
+        } else if (arg == "--jobs") {
+            const std::string v = value();
+            const int n = std::atoi(v.c_str());
+            if (n < 1)
+                fatal(name, ": --jobs needs a positive integer, got ",
+                      v);
+            setJobs(n);
         } else {
             fatal(name, ": unknown option ", arg,
-                  " (supported: --csv --trace FILE --stats-json FILE)");
+                  " (supported: --csv --trace FILE --stats-json FILE"
+                  " --jobs N)");
         }
     }
+}
+
+/**
+ * Evaluate fn(i) for every index of @p items on the parallel runtime
+ * and return the results in input order — the standard shape for
+ * fanning a per-network benchmark loop across the pool while keeping
+ * table rows and geomeans deterministic.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    std::vector<decltype(fn(std::size_t{0}))> out(items.size());
+    parallelFor(items.size(),
+                [&](std::size_t i) { out[i] = fn(i); });
+    return out;
 }
 
 /** Print a figure banner with the paper reference. */

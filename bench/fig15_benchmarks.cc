@@ -8,22 +8,25 @@
 #include "dnn/zoo.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sd;
-    setVerbose(false);
+    bench::init(argc, argv, "fig15_benchmarks");
     bench::banner("Figure 15", "DNN benchmark suite");
 
     Table t({"benchmark", "layers (CONV/FC/SAMP)", "neurons (M)",
              "weights (M)", "connections (B)"});
-    const char *order[] = {"AlexNet", "ZF", "CNN-S", "OF-Fast",
-                           "OF-Acc", "GoogLenet", "VGG-A", "VGG-D",
-                           "VGG-E", "ResNet18", "ResNet34"};
-    for (const char *name : order) {
-        dnn::Network net = dnn::makeByName(name);
-        dnn::NetworkSummary s = net.summary();
+    const std::vector<std::string> order = {
+        "AlexNet", "ZF",    "CNN-S", "OF-Fast",  "OF-Acc",  "GoogLenet",
+        "VGG-A",   "VGG-D", "VGG-E", "ResNet18", "ResNet34"};
+    const auto summaries =
+        bench::parallelMap(order, [&](std::size_t i) {
+            return dnn::makeByName(order[i]).summary();
+        });
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const dnn::NetworkSummary &s = summaries[i];
         int total = s.convLayers + s.fcLayers + s.sampLayers;
-        t.addRow({name,
+        t.addRow({order[i],
                   std::to_string(total) + " (" +
                       std::to_string(s.convLayers) + "/" +
                       std::to_string(s.fcLayers) + "/" +
@@ -36,5 +39,6 @@ main()
     std::printf("paper reference ranges: 11-39 layers, 0.65M-14.9M "
                 "neurons, 6.8M-145.9M weights, 0.66B-19.4B "
                 "connections.\n");
+    bench::finish();
     return 0;
 }

@@ -25,10 +25,16 @@ main(int argc, char **argv)
              "eval img/s", "eval/train", "2D-PE util"});
     double log_train = 0.0, log_eval = 0.0, log_util = 0.0;
     int n = 0;
-    for (const auto &entry : dnn::benchmarkSuite()) {
-        dnn::Network net = entry.make();
-        sim::perf::PerfSim sim(net, node);
-        sim::perf::PerfResult r = sim.run();
+    // Networks are simulated in parallel; rows and geomeans are then
+    // accumulated serially in suite order.
+    const auto suite = dnn::benchmarkSuite();
+    const auto results = bench::parallelMap(suite, [&](std::size_t i) {
+        dnn::Network net = suite[i].make();
+        return sim::perf::PerfSim(net, node).run();
+    });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &entry = suite[i];
+        const sim::perf::PerfResult &r = results[i];
         t.addRow({entry.name, std::to_string(r.mapping.convColumns),
                   std::to_string(r.mapping.convChips),
                   std::to_string(r.mapping.copies),

@@ -31,10 +31,18 @@ main(int argc, char **argv)
              "train speedup vs SP", "eval speedup vs SP", "util"});
     double log_ts = 0.0, log_es = 0.0;
     int n = 0;
-    for (const auto &entry : dnn::benchmarkSuite()) {
-        dnn::Network net = entry.make();
-        sim::perf::PerfResult rs = sim::perf::PerfSim(net, sp).run();
-        sim::perf::PerfResult rh = sim::perf::PerfSim(net, hp).run();
+    // Each network's SP and HP simulations run as one parallel task;
+    // rows and geomeans accumulate serially in suite order.
+    const auto suite = dnn::benchmarkSuite();
+    const auto results = bench::parallelMap(suite, [&](std::size_t i) {
+        dnn::Network net = suite[i].make();
+        return std::make_pair(sim::perf::PerfSim(net, sp).run(),
+                              sim::perf::PerfSim(net, hp).run());
+    });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &entry = suite[i];
+        const sim::perf::PerfResult &rs = results[i].first;
+        const sim::perf::PerfResult &rh = results[i].second;
         double ts = rh.trainImagesPerSec / rs.trainImagesPerSec;
         double es = rh.evalImagesPerSec / rs.evalImagesPerSec;
         t.addRow({entry.name,

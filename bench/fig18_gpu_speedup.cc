@@ -15,16 +15,17 @@
 #include "sim/perf/perfsim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sd;
     using namespace sd::baseline;
-    setVerbose(false);
+    bench::init(argc, argv, "fig18_gpu_speedup");
     bench::banner("Figure 18",
                   "ScaleDeep chip-cluster speedup over TitanX GPU");
 
     arch::NodeConfig node = arch::singlePrecisionNode();
-    const char *names[] = {"AlexNet", "GoogLenet", "OF-Fast", "VGG-A"};
+    const std::vector<std::string> names = {"AlexNet", "GoogLenet",
+                                            "OF-Fast", "VGG-A"};
 
     std::vector<std::string> header = {"network",
                                        "cluster train img/s"};
@@ -33,24 +34,45 @@ main()
     header.push_back("vs Pascal-Neon");
     Table t(header);
 
+    // Per-network simulation and GPU-baseline modeling run in
+    // parallel; rows and geomeans accumulate serially in name order.
+    struct NetSpeedups
+    {
+        double cluster = 0.0;
+        std::vector<double> perFramework;
+        double pascal = 0.0;
+    };
+    const auto speedups =
+        bench::parallelMap(names, [&](std::size_t i) {
+            dnn::Network net = dnn::makeByName(names[i]);
+            sim::perf::PerfSim sim(net, node);
+            NetSpeedups s;
+            s.cluster =
+                sim.run().trainImagesPerSec / node.numClusters;
+            for (Framework fw : allFrameworks()) {
+                GpuModel gpu(titanXMaxwell(), fw);
+                s.perFramework.push_back(
+                    s.cluster / gpu.trainImagesPerSec(net));
+            }
+            GpuModel pascal(titanXPascal(), Framework::NervanaNeon);
+            s.pascal = s.cluster / pascal.trainImagesPerSec(net);
+            return s;
+        });
+
     std::map<Framework, double> log_speedup;
     double log_pascal = 0.0;
-    for (const char *name : names) {
-        dnn::Network net = dnn::makeByName(name);
-        sim::perf::PerfSim sim(net, node);
-        double cluster =
-            sim.run().trainImagesPerSec / node.numClusters;
-        std::vector<std::string> row = {name, fmtDouble(cluster, 0)};
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const NetSpeedups &s = speedups[i];
+        std::vector<std::string> row = {names[i],
+                                        fmtDouble(s.cluster, 0)};
+        std::size_t fi = 0;
         for (Framework fw : allFrameworks()) {
-            GpuModel gpu(titanXMaxwell(), fw);
-            double speedup = cluster / gpu.trainImagesPerSec(net);
+            double speedup = s.perFramework[fi++];
             log_speedup[fw] += std::log(speedup);
             row.push_back(fmtDouble(speedup, 1) + "x");
         }
-        GpuModel pascal(titanXPascal(), Framework::NervanaNeon);
-        double ps = cluster / pascal.trainImagesPerSec(net);
-        log_pascal += std::log(ps);
-        row.push_back(fmtDouble(ps, 1) + "x");
+        log_pascal += std::log(s.pascal);
+        row.push_back(fmtDouble(s.pascal, 1) + "x");
         t.addRow(std::move(row));
     }
     std::vector<std::string> geo = {"GeoMean", ""};
@@ -65,5 +87,6 @@ main()
                 "Nervana Neon, 7x-11x vs TensorFlow, 5x-11x vs "
                 "Winograd stacks, 4.6x-7.3x vs perfectly scaled "
                 "Pascal.\n");
+    bench::finish();
     return 0;
 }

@@ -28,10 +28,14 @@ main(int argc, char **argv)
              "interconnect", "GFLOPs/W"});
     double log_eff = 0.0;
     int n = 0;
-    for (const auto &entry : dnn::benchmarkSuite()) {
-        dnn::Network net = entry.make();
-        sim::perf::PerfSim sim(net, node);
-        sim::perf::PerfResult r = sim.run();
+    const auto suite = dnn::benchmarkSuite();
+    const auto results = bench::parallelMap(suite, [&](std::size_t i) {
+        dnn::Network net = suite[i].make();
+        return sim::perf::PerfSim(net, node).run();
+    });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &entry = suite[i];
+        const sim::perf::PerfResult &r = results[i];
         double total = r.avgPower.total();
         t.addRow({entry.name, fmtDouble(total, 0),
                   fmtDouble(total / peak, 2),

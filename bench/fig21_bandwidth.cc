@@ -20,10 +20,14 @@ main(int argc, char **argv)
     arch::NodeConfig node = arch::singlePrecisionNode();
     Table t({"network", "Comp-Mem", "Mem-Mem", "Conv-ext", "Fc-ext",
              "Spoke", "Arc", "Ring"});
-    for (const auto &entry : dnn::benchmarkSuite()) {
-        dnn::Network net = entry.make();
-        sim::perf::PerfSim sim(net, node);
-        sim::perf::PerfResult r = sim.run();
+    const auto suite = dnn::benchmarkSuite();
+    const auto results = bench::parallelMap(suite, [&](std::size_t i) {
+        dnn::Network net = suite[i].make();
+        return sim::perf::PerfSim(net, node).run();
+    });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &entry = suite[i];
+        const sim::perf::PerfResult &r = results[i];
         t.addRow({entry.name, fmtDouble(r.links.compMem, 2),
                   fmtDouble(r.links.memMem, 2),
                   fmtDouble(r.links.convExt, 2),

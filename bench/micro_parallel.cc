@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Reproducible kernel + runtime baseline: times the naive loop-nest
+ * kernels against the GEMM lowering (serial and threaded) on a VGG-D
+ * class convolution and an FC layer, checks the lowering against the
+ * naive oracle, and measures end-to-end mapper+perf-sim wall time for
+ * the benchmark suite serial vs parallel.
+ *
+ * Emits BENCH_kernels.json (schema scaledeep-kernels-1) next to the
+ * human-readable tables, so CI can archive the numbers per commit.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+
+#include "arch/presets.hh"
+#include "bench/bench_util.hh"
+#include "core/export.hh"
+#include "core/random.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+
+double
+bestMs(int reps, const std::function<void()> &fn)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = clock::now();
+        fn();
+        const auto t1 = clock::now();
+        best = std::min(
+            best,
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+}
+
+double
+maxRelErr(const Tensor &got, const Tensor &ref)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        // Floor the denominator at 1 so cancellation near zero does
+        // not inflate the error; matches the test-suite tolerance.
+        const double denom =
+            std::max(1.0, std::fabs(static_cast<double>(ref[i])));
+        worst = std::max(
+            worst,
+            std::fabs(static_cast<double>(got[i]) - ref[i]) / denom);
+    }
+    return worst;
+}
+
+struct KernelResult
+{
+    std::string name;
+    double flops = 0.0;
+    double naiveMs = 0.0;
+    double gemmMs = 0.0;        ///< GEMM lowering, jobs=1
+    double gemmThreadsMs = 0.0; ///< GEMM lowering, jobs=N
+    double relErr = 0.0;        ///< GEMM (jobs=1) vs naive oracle
+
+    double gflops(double ms) const { return flops / ms / 1e6; }
+};
+
+/**
+ * Time one kernel three ways: the naive oracle once (it is the slow
+ * one), the GEMM lowering serial and threaded (best of @p reps).
+ * @p out is the kernel's output tensor, compared against the oracle.
+ */
+KernelResult
+benchKernel(const std::string &name, double flops, Tensor &out,
+            int njobs, const std::function<void()> &naive,
+            const std::function<void()> &gemm)
+{
+    KernelResult k;
+    k.name = name;
+    k.flops = flops;
+
+    setJobs(1);
+    k.naiveMs = bestMs(1, naive);
+    Tensor ref = out;
+
+    k.gemmMs = bestMs(3, gemm);
+    k.relErr = maxRelErr(out, ref);
+
+    setJobs(njobs);
+    k.gemmThreadsMs = bestMs(3, gemm);
+    return k;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sd;
+    bench::init(argc, argv, "micro_parallel");
+    const int njobs = jobs();
+    bench::banner("Kernel baseline",
+                  "naive vs GEMM vs GEMM+threads (jobs=" +
+                      std::to_string(njobs) + ")");
+
+    // VGG-D conv3-class layer: 256 -> 256 channels at 56x56, 3x3
+    // stride 1 pad 1 — about 1.85 GMAC, the suite's bread and butter.
+    Rng rng(42);
+    std::vector<KernelResult> kernels;
+    {
+        Network net = makeSingleConv(256, 56, 256, 3, 1, 1);
+        const Layer &l = net.layer(1);
+        const double flops = 2.0 * static_cast<double>(l.macCount());
+        Tensor x = Tensor::uniform({256, 56, 56}, rng);
+        Tensor w = Tensor::uniform({l.weightCount()}, rng);
+        Tensor y({256, 56, 56});
+        kernels.push_back(benchKernel(
+            "conv_fwd_vggd_256x56", flops, y, njobs,
+            [&] { convForwardNaive(l, x, w, y); },
+            [&] { convForward(l, x, w, y); }));
+
+        Tensor dy = Tensor::uniform({256, 56, 56}, rng);
+        Tensor dx({256, 56, 56});
+        kernels.push_back(benchKernel(
+            "conv_bwd_data_vggd_256x56", flops, dx, njobs,
+            [&] { convBackwardDataNaive(l, dy, w, dx); },
+            [&] { convBackwardData(l, dy, w, dx); }));
+
+        Tensor dw({l.weightCount()});
+        kernels.push_back(benchKernel(
+            "conv_wgrad_vggd_256x56", flops, dw, njobs,
+            [&] {
+                dw.fill(0.0f);
+                convWeightGradNaive(l, x, dy, dw);
+            },
+            [&] {
+                dw.fill(0.0f);
+                convWeightGrad(l, x, dy, dw);
+            }));
+    }
+    {
+        // FC 4096 -> 4096 (VGG fc7 class).
+        NetworkBuilder b("t", 1, 1, 4096);
+        b.fc("f", b.input(), 4096, Activation::None);
+        Network net = b.build();
+        const Layer &l = net.layer(1);
+        const double flops = 2.0 * static_cast<double>(l.macCount());
+        Tensor x = Tensor::uniform({1, 1, 4096}, rng);
+        Tensor w = Tensor::uniform({l.weightCount()}, rng);
+        Tensor y({4096, 1, 1});
+        kernels.push_back(benchKernel(
+            "fc_fwd_4096", flops, y, njobs,
+            [&] { fcForwardNaive(l, x, w, y); },
+            [&] { fcForward(l, x, w, y); }));
+    }
+    setJobs(njobs);
+
+    Table kt({"kernel", "GFLOP", "naive ms", "naive GF/s", "gemm ms",
+              "gemm GF/s", "gemm+thr ms", "gemm+thr GF/s", "speedup",
+              "max rel err"});
+    for (const KernelResult &k : kernels) {
+        kt.addRow({k.name, fmtDouble(k.flops / 1e9, 2),
+                   fmtDouble(k.naiveMs, 1),
+                   fmtDouble(k.gflops(k.naiveMs), 2),
+                   fmtDouble(k.gemmMs, 1),
+                   fmtDouble(k.gflops(k.gemmMs), 2),
+                   fmtDouble(k.gemmThreadsMs, 1),
+                   fmtDouble(k.gflops(k.gemmThreadsMs), 2),
+                   fmtDouble(k.naiveMs / k.gemmThreadsMs, 2) + "x",
+                   fmtDouble(k.relErr, 6)});
+    }
+    bench::show("kernels", kt);
+
+    // --- end-to-end: mapper + perf-sim over the suite ---
+    const auto &suite = dnn::benchmarkSuite();
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    auto run_one = [&](std::size_t i) {
+        dnn::Network net = suite[i].make();
+        return sim::perf::PerfSim(net, node).run().trainImagesPerSec;
+    };
+
+    setJobs(1);
+    std::vector<double> net_ms(suite.size());
+    const double suite_serial_ms = bestMs(1, [&] {
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            net_ms[i] = bestMs(1, [&] { (void)run_one(i); });
+    });
+    setJobs(njobs);
+    const double suite_parallel_ms = bestMs(1, [&] {
+        parallelFor(suite.size(),
+                    [&](std::size_t i) { (void)run_one(i); });
+    });
+
+    Table et({"network", "mapper+perfsim ms"});
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        et.addRow({suite[i].name, fmtDouble(net_ms[i], 1)});
+    et.addRow({"suite serial", fmtDouble(suite_serial_ms, 1)});
+    et.addRow({"suite jobs=" + std::to_string(njobs),
+               fmtDouble(suite_parallel_ms, 1)});
+    et.addRow({"suite speedup",
+               fmtDouble(suite_serial_ms / suite_parallel_ms, 2) +
+                   "x"});
+    bench::show("end_to_end", et);
+
+    // --- BENCH_kernels.json ---
+    const std::string out_path = "BENCH_kernels.json";
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("micro_parallel: cannot open ", out_path);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "scaledeep-kernels-1");
+    w.field("jobs", static_cast<std::int64_t>(njobs));
+    w.field("hardwareConcurrency",
+            static_cast<std::int64_t>(hardwareJobs()));
+    w.key("kernels");
+    w.beginArray();
+    for (const KernelResult &k : kernels) {
+        w.beginObject();
+        w.field("name", k.name);
+        w.field("flops", k.flops);
+        w.field("naiveMs", k.naiveMs);
+        w.field("naiveGflops", k.gflops(k.naiveMs));
+        w.field("gemmMs", k.gemmMs);
+        w.field("gemmGflops", k.gflops(k.gemmMs));
+        w.field("gemmThreadsMs", k.gemmThreadsMs);
+        w.field("gemmThreadsGflops", k.gflops(k.gemmThreadsMs));
+        w.field("speedupGemm", k.naiveMs / k.gemmMs);
+        w.field("speedupGemmThreads", k.naiveMs / k.gemmThreadsMs);
+        w.field("maxRelErr", k.relErr);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("endToEnd");
+    w.beginObject();
+    w.key("networks");
+    w.beginArray();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        w.beginObject();
+        w.field("network", suite[i].name);
+        w.field("serialMs", net_ms[i]);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("suiteSerialMs", suite_serial_ms);
+    w.field("suiteParallelMs", suite_parallel_ms);
+    w.field("suiteSpeedup", suite_serial_ms / suite_parallel_ms);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+
+    bench::finish();
+    return 0;
+}

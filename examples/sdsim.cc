@@ -5,7 +5,7 @@
  * Usage:
  *   sdsim [--net NAME | --all] [--precision sp|hp] [--minibatch N]
  *         [--csv] [--layers] [--trace FILE] [--stats-json FILE]
- *         [--quiet]
+ *         [--jobs N] [--quiet]
  *
  *   --net NAME        simulate one benchmark network (default AlexNet)
  *   --all             simulate the whole 11-network suite
@@ -15,6 +15,9 @@
  *   --layers          also print the per-layer mapping/utilization detail
  *   --trace FILE      write a Chrome trace-event JSON timeline
  *   --stats-json FILE write structured results (full precision) as JSON
+ *   --jobs N          worker threads (default: hardware concurrency, or
+ *                     the SD_JOBS environment variable); results are
+ *                     identical for every N
  *   --quiet           suppress inform() status messages
  *
  * When --trace or --stats-json is given, sdsim additionally drives a
@@ -34,6 +37,7 @@
 #include "compiler/pipeline.hh"
 #include "core/export.hh"
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "core/random.hh"
 #include "core/table.hh"
 #include "core/trace.hh"
@@ -52,7 +56,8 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " [--net NAME | --all] [--precision sp|hp]"
                  " [--minibatch N] [--csv] [--layers]"
-                 " [--trace FILE] [--stats-json FILE] [--quiet]\n"
+                 " [--trace FILE] [--stats-json FILE] [--jobs N]"
+                 " [--quiet]\n"
                  "networks:";
     for (const auto &e : dnn::benchmarkSuite())
         std::cerr << " " << e.name;
@@ -96,7 +101,7 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> nets = {"AlexNet"};
-    bool all = false, csv = false, layers = false;
+    bool all = false, csv = false, layers = false, jobs_set = false;
     std::string trace_path, stats_path, precision = "sp";
     arch::NodeConfig node = arch::singlePrecisionNode();
     sim::perf::PerfOptions options;
@@ -131,6 +136,12 @@ main(int argc, char **argv)
             trace_path = value();
         } else if (arg == "--stats-json") {
             stats_path = value();
+        } else if (arg == "--jobs") {
+            const int n = std::stoi(value());
+            if (n < 1)
+                fatal("sdsim: --jobs needs a positive integer");
+            setJobs(n);
+            jobs_set = true;
         } else if (arg == "--quiet") {
             setVerbose(false);
         } else {
@@ -142,21 +153,28 @@ main(int argc, char **argv)
         for (const auto &e : dnn::benchmarkSuite())
             nets.push_back(e.name);
     }
+    if (!jobs_set)
+        setJobs(defaultJobs());
 
     if (!trace_path.empty() && !Tracer::global().open(trace_path))
         fatal("sdsim: cannot open trace file ", trace_path);
 
     Table t({"network", "cols", "chips", "copies", "train img/s",
              "eval img/s", "pe util", "GFLOPs/W", "avg W"});
-    std::vector<sim::perf::PerfResult> results;
-    for (const std::string &name : nets) {
+    // Simulate the networks in parallel; rows are added serially in
+    // suite order afterwards, so output is identical for any --jobs.
+    std::vector<sim::perf::PerfResult> results(nets.size());
+    parallelFor(nets.size(), [&](std::size_t i) {
         SD_TRACE_SCOPE_VAR(net_span, "sdsim.network", "host");
         if (SD_TRACE_ACTIVE())
-            net_span.args().add("network", name);
-        dnn::Network net = dnn::makeByName(name);
+            net_span.args().add("network", nets[i]);
+        dnn::Network net = dnn::makeByName(nets[i]);
         sim::perf::PerfSim sim(net, node, options);
-        sim::perf::PerfResult r = sim.run();
-        t.addRow({name, std::to_string(r.mapping.convColumns),
+        results[i] = sim.run();
+    });
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        const sim::perf::PerfResult &r = results[i];
+        t.addRow({nets[i], std::to_string(r.mapping.convColumns),
                   std::to_string(r.mapping.convChips),
                   std::to_string(r.mapping.copies),
                   fmtDouble(r.trainImagesPerSec, 0),
@@ -164,7 +182,6 @@ main(int argc, char **argv)
                   fmtPercent(r.peUtil),
                   fmtDouble(r.gflopsPerWatt, 0),
                   fmtDouble(r.avgPower.total(), 0)});
-        results.push_back(std::move(r));
     }
     if (csv)
         t.printCsv(std::cout);

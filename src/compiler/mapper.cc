@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "core/trace.hh"
 
 namespace sd::compiler {
@@ -129,18 +130,30 @@ Mapper::chooseArrayShape(const Layer &l,
     const int product = comp.arrayCols * comp.lanes;
     ArrayShape best{comp.arrayRows, comp.arrayCols, comp.lanes, false};
     double best_util = arrayUtilization(l, best);
+
+    // Enumerate the candidate shapes first, score them in parallel,
+    // then select serially in enumeration order — ties (within the
+    // epsilon) keep the earliest candidate, so the chosen shape is
+    // independent of the jobs value.
+    std::vector<ArrayShape> cands;
     for (int cols = 1; cols <= product; ++cols) {
         if (product % cols)
             continue;
         for (bool split : {false, true}) {
             if (split && comp.arrayRows % 2)
                 continue;
-            ArrayShape cand{comp.arrayRows, cols, product / cols, split};
-            double util = arrayUtilization(l, cand);
-            if (util > best_util + 1e-12) {
-                best_util = util;
-                best = cand;
-            }
+            cands.push_back(
+                ArrayShape{comp.arrayRows, cols, product / cols, split});
+        }
+    }
+    std::vector<double> utils(cands.size());
+    parallelFor(cands.size(), [&](std::size_t i) {
+        utils[i] = arrayUtilization(l, cands[i]);
+    });
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (utils[i] > best_util + 1e-12) {
+            best_util = utils[i];
+            best = cands[i];
         }
     }
     return {best, best_util};
@@ -243,7 +256,10 @@ Mapper::map() const
     {
     SD_TRACE_SCOPE_VAR(span, "mapper.step3a.min_columns",
                        "compiler.map");
-    for (LayerAlloc &a : m.layers) {
+    // Each unit's minimum is independent; the conv/fc totals are
+    // reduced serially afterwards in unit order.
+    parallelFor(m.layers.size(), [&](std::size_t ui) {
+        LayerAlloc &a = m.layers[ui];
         const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
         std::int64_t bytes = 0;
         for (LayerId id : a.members)
@@ -257,8 +273,9 @@ Mapper::map() const
         a.minColumns = static_cast<int>(
             std::max<std::int64_t>(1, divCeil(bytes, col_capacity)));
         a.columns = a.minColumns;
+    });
+    for (const LayerAlloc &a : m.layers)
         (a.fcSide ? fc_min : conv_min) += a.minColumns;
-    }
     if (SD_TRACE_ACTIVE())
         span.args().add("convMinColumns", conv_min)
                    .add("fcMinColumns", fc_min);
@@ -325,21 +342,34 @@ Mapper::map() const
     std::vector<int> min_cols(m.layers.size());
     for (std::size_t i = 0; i < m.layers.size(); ++i)
         min_cols[i] = m.layers[i].columns;
-    std::vector<int> best_cols;
-    double best_score = -1.0;
-    int best_chips = min_chips;
-    for (int chips = min_chips; chips <= max_conv_chips; ++chips) {
+    // Score every chip count in parallel (each candidate balances its
+    // own private column vector), then replay the selection sweep
+    // serially: the 1.25 hysteresis below makes the choice depend on
+    // candidate order, so it must see them in ascending chip order
+    // regardless of which worker scored them.
+    const std::size_t num_cand =
+        static_cast<std::size_t>(max_conv_chips - min_chips + 1);
+    std::vector<std::vector<int>> cand_cols(num_cand);
+    std::vector<double> cand_score(num_cand);
+    parallelFor(num_cand, [&](std::size_t c) {
+        const int chips = min_chips + static_cast<int>(c);
         std::vector<int> cols = min_cols;
         double load = balance(false, chips * conv_chip.cols, cols);
         int copies = std::max(1, max_conv_chips / chips);
-        double score =
+        cand_score[c] =
             load > 0.0 ? copies / load : static_cast<double>(copies);
+        cand_cols[c] = std::move(cols);
+    });
+    std::vector<int> best_cols;
+    double best_score = -1.0;
+    int best_chips = min_chips;
+    for (std::size_t c = 0; c < num_cand; ++c) {
         // Spreading a copy over more chips costs wheel/ring traffic the
         // score doesn't see; demand a solid throughput win for it.
-        if (score > best_score * 1.25) {
-            best_score = score;
-            best_chips = chips;
-            best_cols = std::move(cols);
+        if (cand_score[c] > best_score * 1.25) {
+            best_score = cand_score[c];
+            best_chips = min_chips + static_cast<int>(c);
+            best_cols = std::move(cand_cols[c]);
         }
     }
     m.convChips = best_chips;
@@ -421,9 +451,11 @@ Mapper::map() const
     {
     SD_TRACE_SCOPE_VAR(span, "mapper.step5.array_shapes",
                        "compiler.map");
-    int split_units = 0;
-    double util_min = 1.0;
-    for (LayerAlloc &a : m.layers) {
+    // Units are independent (each writes only its own LayerAlloc), so
+    // the array-shape search — the mapper's hot loop — fans out across
+    // units; the summary stats reduce serially afterwards.
+    parallelFor(m.layers.size(), [&](std::size_t ui) {
+        LayerAlloc &a = m.layers[ui];
         const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
         double util_acc = 0.0, w_acc = 0.0, best_w = -1.0;
         for (LayerId id : a.members) {
@@ -438,6 +470,10 @@ Mapper::map() const
             }
         }
         a.arrayUtil = w_acc > 0.0 ? util_acc / w_acc : 1.0;
+    });
+    int split_units = 0;
+    double util_min = 1.0;
+    for (const LayerAlloc &a : m.layers) {
         split_units += a.shape.split ? 1 : 0;
         util_min = std::min(util_min, a.arrayUtil);
     }

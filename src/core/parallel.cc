@@ -1,0 +1,216 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/logging.hh"
+
+namespace sd {
+
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+/**
+ * A fixed pool of workers executing chunks of one parallel region at
+ * a time. Workers park on a condition variable between regions; the
+ * caller participates in the region, so a pool serving jobs=N keeps
+ * N-1 threads. Regions are non-reentrant — nested parallelFor calls
+ * run serially on the worker that issued them (see parallelForRange).
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    global()
+    {
+        // Intentionally leaked: joining workers from a static
+        // destructor is unsafe when exit() runs in a context where
+        // the workers no longer exist (a fork()ed child, e.g. a gtest
+        // death test) and is pointless at process teardown anyway.
+        static ThreadPool *pool = new ThreadPool;
+        return *pool;
+    }
+
+    /**
+     * Run fn(chunk) for every chunk in [0, chunks) on up to @p njobs
+     * threads including the caller. Returns when every chunk has
+     * completed and no worker still references @p fn.
+     */
+    void
+    run(std::size_t chunks,
+        const std::function<void(std::size_t)> &fn, int njobs)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        ensureWorkers(njobs - 1);
+        fn_ = &fn;
+        chunks_ = chunks;
+        next_.store(0, std::memory_order_relaxed);
+        // Workers beyond the requested jobs value sit this epoch out
+        // (the pool never shrinks, but participation is capped).
+        participants_ = njobs - 1;
+        busy_ = participants_;
+        ++epoch_;
+        lock.unlock();
+        cv_.notify_all();
+
+        tl_in_parallel_region = true;
+        work();
+        tl_in_parallel_region = false;
+
+        lock.lock();
+        done_cv_.wait(lock, [&] { return busy_ == 0; });
+        fn_ = nullptr;
+    }
+
+  private:
+    void
+    ensureWorkers(int count)
+    {
+        while (static_cast<int>(workers_.size()) < count) {
+            const int id = static_cast<int>(workers_.size());
+            workers_.emplace_back([this, id] { workerLoop(id); });
+        }
+    }
+
+    void
+    work()
+    {
+        const std::function<void(std::size_t)> &fn = *fn_;
+        const std::size_t chunks = chunks_;
+        for (;;) {
+            const std::size_t c =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                return;
+            fn(c);
+        }
+    }
+
+    void
+    workerLoop(int id)
+    {
+        tl_in_parallel_region = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::unique_lock<std::mutex> lock(m_);
+            done_cv_.notify_all();
+            cv_.wait(lock, [&] {
+                return shutdown_ || epoch_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = epoch_;
+            // busy_ counted exactly the first `participants_` workers
+            // into this epoch; later-id workers must not touch it.
+            if (id >= participants_)
+                continue;
+            lock.unlock();
+            work();
+            lock.lock();
+            --busy_;
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_;        ///< region start / shutdown
+    std::condition_variable done_cv_;   ///< region completion
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t chunks_ = 0;
+    std::atomic<std::size_t> next_{0};
+    int participants_ = 0;              ///< workers invited this epoch
+    int busy_ = 0;                      ///< workers inside the epoch
+    std::uint64_t epoch_ = 0;
+    bool shutdown_ = false;
+};
+
+std::atomic<int> g_jobs{1};
+
+} // namespace
+
+int
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int
+defaultJobs()
+{
+    if (const char *env = std::getenv("SD_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            return static_cast<int>(v);
+        warn("SD_JOBS=", env, " is not a positive integer; ignoring");
+    }
+    return hardwareJobs();
+}
+
+void
+setJobs(int jobs)
+{
+    g_jobs.store(jobs < 1 ? 1 : jobs, std::memory_order_relaxed);
+}
+
+int
+jobs()
+{
+    return g_jobs.load(std::memory_order_relaxed);
+}
+
+bool
+inParallelRegion()
+{
+    return tl_in_parallel_region;
+}
+
+void
+parallelForRange(std::size_t n,
+                 const std::function<void(std::size_t,
+                                          std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const int njobs = jobs();
+    if (njobs <= 1 || n == 1 || tl_in_parallel_region) {
+        fn(0, n);
+        return;
+    }
+    // Over-partition for load balance; chunk boundaries here may
+    // depend on the jobs value because per-index work is independent.
+    const std::size_t chunks =
+        std::min<std::size_t>(n, static_cast<std::size_t>(njobs) * 4);
+    ThreadPool::global().run(
+        chunks,
+        [&](std::size_t c) {
+            fn(n * c / chunks, n * (c + 1) / chunks);
+        },
+        njobs);
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    parallelForRange(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+    });
+}
+
+std::size_t
+reduceChunks(std::size_t n)
+{
+    // Fixed fan-out independent of jobs() so the fold order (and the
+    // floating-point result) never varies with the worker count.
+    return n < 64 ? (n == 0 ? 1 : n) : 64;
+}
+
+} // namespace sd

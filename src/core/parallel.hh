@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The shared parallel-execution runtime: a fixed pool of worker
+ * threads plus chunked parallel-for and deterministic parallel-reduce
+ * primitives used by the reference kernels, the compiler's design-space
+ * search, the performance simulator and the benchmark harnesses.
+ *
+ * Design rules that every user of this header relies on:
+ *
+ *  - The worker count is a process-global setting (setJobs()); jobs=1
+ *    runs every construct inline on the caller with no pool, no
+ *    atomics and no thread creation, so serial behaviour is exactly
+ *    the pre-parallel behaviour.
+ *  - parallelFor() callers must write only to disjoint outputs per
+ *    index. Under that contract results are bit-identical for every
+ *    jobs value, because the per-index work never moves between
+ *    indices — only between threads.
+ *  - parallelReduce() merges per-chunk partials in chunk order, and
+ *    the chunk boundaries depend only on the trip count — never on
+ *    the jobs value — so reductions are also bit-identical for every
+ *    jobs value.
+ *  - Nested parallel regions degrade to serial execution on the
+ *    calling worker rather than deadlocking the pool.
+ *
+ * The initial jobs value is 1 (serial). Front-ends opt whole runs in
+ * via setJobs(defaultJobs()), where defaultJobs() honours the SD_JOBS
+ * environment variable and otherwise uses the hardware concurrency.
+ */
+
+#ifndef SCALEDEEP_CORE_PARALLEL_HH
+#define SCALEDEEP_CORE_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sd {
+
+/** Hardware thread count (at least 1). */
+int hardwareJobs();
+
+/**
+ * The jobs value front-ends should adopt: the SD_JOBS environment
+ * variable when set to a positive integer, else hardwareJobs().
+ */
+int defaultJobs();
+
+/** Set the process-global worker count (clamped to >= 1). */
+void setJobs(int jobs);
+
+/** Current process-global worker count. Initially 1 (serial). */
+int jobs();
+
+/**
+ * Invoke @p fn(begin, end) over subranges covering [0, n). With
+ * jobs()==1 (or trivially small @p n) this is one inline call
+ * fn(0, n); otherwise the range is chunked and the chunks are
+ * executed by the pool plus the calling thread.
+ *
+ * @p fn must only write outputs that are disjoint between different
+ * indices; under that contract the result is independent of the jobs
+ * value and of chunk scheduling.
+ */
+void parallelForRange(std::size_t n,
+                      const std::function<void(std::size_t,
+                                               std::size_t)> &fn);
+
+/** parallelForRange() with a per-index functor. */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Number of reduction chunks parallelReduce() splits an @p n trip
+ * range into. Depends only on @p n so that reduction order — and
+ * therefore the floating-point result — is identical for every jobs
+ * value.
+ */
+std::size_t reduceChunks(std::size_t n);
+
+/**
+ * Deterministic map-reduce over [0, n): @p map is called once per
+ * chunk as map(begin, end, chunk_index) and must return the chunk's
+ * partial; partials are then folded serially in ascending chunk order
+ * with @p fold(accumulator, partial). Bit-identical for every jobs
+ * value.
+ */
+template <typename T>
+T
+parallelReduce(std::size_t n, T init,
+               const std::function<T(std::size_t, std::size_t,
+                                     std::size_t)> &map,
+               const std::function<T(T, T)> &fold)
+{
+    const std::size_t chunks = reduceChunks(n);
+    std::vector<T> partials(chunks);
+    parallelFor(chunks, [&](std::size_t c) {
+        const std::size_t begin = n * c / chunks;
+        const std::size_t end = n * (c + 1) / chunks;
+        partials[c] = map(begin, end, c);
+    });
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < chunks; ++c)
+        acc = fold(std::move(acc), std::move(partials[c]));
+    return acc;
+}
+
+/**
+ * True while the calling thread is executing inside a parallel
+ * region (used to serialize nested regions; exposed for tests).
+ */
+bool inParallelRegion();
+
+} // namespace sd
+
+#endif // SCALEDEEP_CORE_PARALLEL_HH

@@ -9,6 +9,7 @@ namespace sd {
 void
 Average::sample(double v)
 {
+    std::lock_guard<std::mutex> lock(m_);
     if (count_ == 0) {
         min_ = v;
         max_ = v;
@@ -23,6 +24,7 @@ Average::sample(double v)
 void
 Average::reset()
 {
+    std::lock_guard<std::mutex> lock(m_);
     sum_ = 0.0;
     min_ = 0.0;
     max_ = 0.0;
@@ -41,6 +43,7 @@ Distribution::Distribution(std::string name, std::string desc, double lo,
 void
 Distribution::sample(double v)
 {
+    std::lock_guard<std::mutex> lock(m_);
     ++total_;
     sum_ += v;
     if (v < lo_) {
@@ -59,6 +62,7 @@ Distribution::sample(double v)
 void
 Distribution::reset()
 {
+    std::lock_guard<std::mutex> lock(m_);
     std::fill(counts_.begin(), counts_.end(), 0);
     underflow_ = 0;
     overflow_ = 0;
@@ -69,6 +73,7 @@ Distribution::reset()
 double
 Distribution::percentile(double q) const
 {
+    std::lock_guard<std::mutex> lock(m_);
     if (total_ == 0)
         return lo_;
     q = std::clamp(q, 0.0, 1.0);
@@ -93,6 +98,7 @@ Distribution::percentile(double q) const
 Counter &
 StatGroup::addCounter(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(m_);
     auto [it, inserted] = counters_.try_emplace(name, name, desc);
     if (!inserted)
         panic("StatGroup ", name_, ": duplicate counter ", name);
@@ -102,6 +108,7 @@ StatGroup::addCounter(const std::string &name, const std::string &desc)
 Average &
 StatGroup::addAverage(const std::string &name, const std::string &desc)
 {
+    std::lock_guard<std::mutex> lock(m_);
     auto [it, inserted] = averages_.try_emplace(name, name, desc);
     if (!inserted)
         panic("StatGroup ", name_, ": duplicate average ", name);
@@ -113,8 +120,11 @@ StatGroup::addDistribution(const std::string &name,
                            const std::string &desc, double lo, double hi,
                            std::size_t buckets)
 {
+    std::lock_guard<std::mutex> lock(m_);
+    // In-place construction: Distribution holds a mutex and cannot be
+    // moved into the map.
     auto [it, inserted] = distributions_.try_emplace(
-        name, Distribution(name, desc, lo, hi, buckets));
+        name, name, desc, lo, hi, buckets);
     if (!inserted)
         panic("StatGroup ", name_, ": duplicate distribution ", name);
     return it->second;

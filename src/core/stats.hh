@@ -11,36 +11,64 @@
 #ifndef SCALEDEEP_CORE_STATS_HH
 #define SCALEDEEP_CORE_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace sd {
 
-/** A monotonically increasing counter with a name and description. */
+/**
+ * A monotonically increasing counter with a name and description.
+ *
+ * Updates are atomic (relaxed): counters may be bumped from inside
+ * parallel regions (core/parallel.hh) without external locking.
+ */
 class Counter
 {
   public:
     Counter() = default;
     Counter(std::string name, std::string desc)
         : name_(std::move(name)), desc_(std::move(desc)) {}
+    Counter(const Counter &o)
+        : name_(o.name_), desc_(o.desc_), value_(o.value()) {}
+    Counter &
+    operator=(const Counter &o)
+    {
+        name_ = o.name_;
+        desc_ = o.desc_;
+        value_.store(o.value(), std::memory_order_relaxed);
+        return *this;
+    }
 
-    void inc(std::uint64_t delta = 1) { value_ += delta; }
-    void set(std::uint64_t v) { value_ = v; }
-    std::uint64_t value() const { return value_; }
+    void
+    inc(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    void set(std::uint64_t v)
+    { value_.store(v, std::memory_order_relaxed); }
+    std::uint64_t value() const
+    { return value_.load(std::memory_order_relaxed); }
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
-    void reset() { value_ = 0; }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
     std::string name_;
     std::string desc_;
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
-/** Running mean/min/max over a stream of samples. */
+/**
+ * Running mean/min/max over a stream of samples. Sampling and reading
+ * are serialized on an internal mutex, so concurrent sample() calls
+ * from a parallel region are safe (their interleaving order does not
+ * affect mean/min/max).
+ */
 class Average
 {
   public:
@@ -51,11 +79,36 @@ class Average
     /** Record one sample. */
     void sample(double v);
 
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
+    double
+    mean() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return count_ ? sum_ / count_ : 0.0;
+    }
+    double
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return count_ ? min_ : 0.0;
+    }
+    double
+    max() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return count_ ? max_ : 0.0;
+    }
+    std::uint64_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return count_;
+    }
+    double
+    sum() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return sum_;
+    }
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
     void reset();
@@ -63,13 +116,18 @@ class Average
   private:
     std::string name_;
     std::string desc_;
+    mutable std::mutex m_;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
     std::uint64_t count_ = 0;
 };
 
-/** Fixed-bucket histogram for latency/occupancy distributions. */
+/**
+ * Fixed-bucket histogram for latency/occupancy distributions.
+ * Thread-safe like Average: sample() and the readers serialize on an
+ * internal mutex.
+ */
 class Distribution
 {
   public:
@@ -86,12 +144,37 @@ class Distribution
                  std::size_t buckets);
 
     void sample(double v);
-    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return counts_.at(i);
+    }
     std::size_t numBuckets() const { return counts_.size(); }
-    std::uint64_t underflows() const { return underflow_; }
-    std::uint64_t overflows() const { return overflow_; }
-    std::uint64_t totalSamples() const { return total_; }
-    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    std::uint64_t
+    underflows() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return underflow_;
+    }
+    std::uint64_t
+    overflows() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return overflow_;
+    }
+    std::uint64_t
+    totalSamples() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return total_;
+    }
+    double
+    mean() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return total_ ? sum_ / total_ : 0.0;
+    }
     double lo() const { return lo_; }
     double hi() const { return hi_; }
 
@@ -109,6 +192,7 @@ class Distribution
   private:
     std::string name_;
     std::string desc_;
+    mutable std::mutex m_;
     double lo_ = 0.0;
     double hi_ = 1.0;
     std::vector<std::uint64_t> counts_;
@@ -124,11 +208,37 @@ class Distribution
  * Ownership: the group owns its stats; children are owned externally (by
  * the simulator objects that mirror the hardware hierarchy) and register
  * themselves with addChild().
+ *
+ * Registration (addCounter/addAverage/addDistribution/addChild) is
+ * guarded by a mutex so groups can be built from parallel regions.
+ * References returned by the add* methods stay valid across later
+ * registrations (std::map nodes are stable), so updating a stat
+ * through its reference needs no group-level locking.
  */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    // Movable for by-value snapshots (e.g. MachineStats). Moving takes
+    // over the map nodes — element addresses stay stable — and leaves
+    // the mutex freshly constructed; moving a group that is being
+    // concurrently mutated is a caller bug.
+    StatGroup(StatGroup &&o) noexcept
+        : name_(std::move(o.name_)), counters_(std::move(o.counters_)),
+          averages_(std::move(o.averages_)),
+          distributions_(std::move(o.distributions_)),
+          children_(std::move(o.children_)) {}
+    StatGroup &
+    operator=(StatGroup &&o) noexcept
+    {
+        name_ = std::move(o.name_);
+        counters_ = std::move(o.counters_);
+        averages_ = std::move(o.averages_);
+        distributions_ = std::move(o.distributions_);
+        children_ = std::move(o.children_);
+        return *this;
+    }
 
     Counter &addCounter(const std::string &name, const std::string &desc);
     Average &addAverage(const std::string &name, const std::string &desc);
@@ -137,7 +247,12 @@ class StatGroup
                                   double hi, std::size_t buckets);
 
     /** Register a child group; the pointer must outlive this group. */
-    void addChild(StatGroup *child) { children_.push_back(child); }
+    void
+    addChild(StatGroup *child)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        children_.push_back(child);
+    }
 
     /** Dump "path.name value # desc" lines, depth-first. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
@@ -157,6 +272,7 @@ class StatGroup
 
   private:
     std::string name_;
+    mutable std::mutex m_;              ///< guards registration
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
     std::map<std::string, Distribution> distributions_;

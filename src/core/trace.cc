@@ -95,16 +95,19 @@ bool
 Tracer::open(const std::string &path)
 {
     close();
-    os_.open(path, std::ios::out | std::ios::trunc);
-    if (!os_) {
-        warn("Tracer: cannot open trace file ", path);
-        return false;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        os_.open(path, std::ios::out | std::ios::trunc);
+        if (!os_) {
+            warn("Tracer: cannot open trace file ", path);
+            return false;
+        }
+        os_ << "[";
+        events_.store(0, std::memory_order_relaxed);
+        openSpans_.store(0, std::memory_order_relaxed);
+        epoch_ = steadyMicros();
+        active_.store(true, std::memory_order_release);
     }
-    os_ << "[";
-    active_ = true;
-    events_ = 0;
-    openSpans_ = 0;
-    epoch_ = steadyMicros();
     processName(kTracePidHost, "host");
     processName(kTracePidFunc, "func-sim (ts = cycles)");
     processName(kTracePidPerf, "perf-sim (ts = modeled cycles)");
@@ -114,9 +117,10 @@ Tracer::open(const std::string &path)
 void
 Tracer::close()
 {
-    if (!active_)
+    std::lock_guard<std::mutex> lock(m_);
+    if (!active_.load(std::memory_order_relaxed))
         return;
-    active_ = false;
+    active_.store(false, std::memory_order_release);
     os_ << "\n]\n";
     os_.close();
 }
@@ -130,10 +134,15 @@ Tracer::nowMicros() const
 void
 Tracer::emit(const std::string &body)
 {
-    if (!active_)
+    if (!active())
         return;
-    os_ << (events_ ? ",\n" : "\n") << body;
-    ++events_;
+    std::lock_guard<std::mutex> lock(m_);
+    // Re-check under the lock: a close() may have slipped in between.
+    if (!active_.load(std::memory_order_relaxed))
+        return;
+    os_ << (events_.load(std::memory_order_relaxed) ? ",\n" : "\n")
+        << body;
+    events_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -206,7 +215,7 @@ TraceSpan::TraceSpan(std::string name, std::string cat, std::uint32_t tid)
         return;
     live_ = true;
     start_ = t.nowMicros();
-    ++t.openSpans_;
+    t.openSpans_.fetch_add(1, std::memory_order_relaxed);
 }
 
 TraceSpan::~TraceSpan()
@@ -214,7 +223,7 @@ TraceSpan::~TraceSpan()
     if (!live_)
         return;
     Tracer &t = Tracer::global();
-    --t.openSpans_;
+    t.openSpans_.fetch_sub(1, std::memory_order_relaxed);
     if (!t.active())
         return;     // trace closed mid-span; nothing to emit
     const std::uint64_t now = t.nowMicros();

@@ -17,8 +17,10 @@
 #ifndef SCALEDEEP_CORE_TRACE_HH
 #define SCALEDEEP_CORE_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -61,7 +63,11 @@ class TraceArgs
 /**
  * The process-wide trace sink. open() starts a trace file; every event
  * emitted while active() is appended; close() finalizes the JSON array.
- * All simulators are single-threaded, so no locking is performed.
+ *
+ * Thread-safe: emission serializes on an internal mutex so events from
+ * parallel regions (core/parallel.hh) interleave as whole records; the
+ * active() fast path is a lock-free atomic load. Event order across
+ * threads is arbitrary, but viewers sort by timestamp anyway.
  */
 class Tracer
 {
@@ -78,7 +84,8 @@ class Tracer
     /** Finalize the event array and deactivate. Idempotent. */
     void close();
 
-    bool active() const { return active_; }
+    bool active() const
+    { return active_.load(std::memory_order_acquire); }
 
     /** Microseconds of host wall-clock since open(). */
     std::uint64_t nowMicros() const;
@@ -107,21 +114,24 @@ class Tracer
                  const std::string &args_json = "");
 
     /** Events written since open(); 0 when never opened. */
-    std::uint64_t eventsEmitted() const { return events_; }
+    std::uint64_t eventsEmitted() const
+    { return events_.load(std::memory_order_relaxed); }
 
     /** Live TraceSpan guards (used to check balanced nesting). */
-    int openSpans() const { return openSpans_; }
+    int openSpans() const
+    { return openSpans_.load(std::memory_order_relaxed); }
 
   private:
     friend class TraceSpan;
 
     void emit(const std::string &body);
 
+    std::mutex m_;                  ///< guards os_ and the open state
     std::ofstream os_;
-    bool active_ = false;
-    std::uint64_t events_ = 0;
+    std::atomic<bool> active_{false};
+    std::atomic<std::uint64_t> events_{0};
     std::uint64_t epoch_ = 0;       ///< steady_clock µs at open()
-    int openSpans_ = 0;
+    std::atomic<int> openSpans_{0};
 };
 
 /**

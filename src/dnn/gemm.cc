@@ -1,0 +1,240 @@
+#include "dnn/gemm.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/logging.hh"
+#include "core/parallel.hh"
+
+namespace sd::dnn {
+
+namespace {
+
+/** Reduction-dimension block: op(A) panel rows stay cache resident. */
+constexpr int kBlockK = 256;
+/** Column-stripe width when there are plenty of columns. */
+constexpr int kStripeN = 512;
+
+/** y[i] = beta*y[i] + alpha * dot(op(A) row i, x) for a column vector. */
+void
+gemv(GemmOp opA, int M, int K, float alpha, const float *A, int lda,
+     const float *x, int incx, float beta, float *y, int incy)
+{
+    if (opA == GemmOp::NoTrans) {
+        parallelForRange(static_cast<std::size_t>(M),
+                         [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const float *arow = A + i * lda;
+                float acc = 0.0f;
+                for (int k = 0; k < K; ++k)
+                    acc += arow[k] * x[static_cast<std::size_t>(k) *
+                                       incx];
+                float &out = y[i * incy];
+                out = beta == 0.0f ? alpha * acc
+                                   : beta * out + alpha * acc;
+            }
+        });
+        return;
+    }
+    // Transposed: y[i] = sum_k A[k][i] * x[k]; stripe over i so each
+    // output element accumulates k in ascending order.
+    parallelForRange(static_cast<std::size_t>(M),
+                     [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            float &out = y[i * incy];
+            out = beta == 0.0f ? 0.0f : beta * out;
+        }
+        for (int k = 0; k < K; ++k) {
+            const float a =
+                alpha * x[static_cast<std::size_t>(k) * incx];
+            const float *arow = A + static_cast<std::size_t>(k) * lda;
+            for (std::size_t i = begin; i < end; ++i)
+                y[i * incy] += a * arow[i];
+        }
+    });
+}
+
+} // namespace
+
+void
+sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+      const float *A, int lda, const float *B, int ldb, float beta,
+      float *C, int ldc)
+{
+    if (M <= 0 || N <= 0)
+        return;
+    if (K <= 0) {
+        for (int i = 0; i < M; ++i) {
+            float *crow = C + static_cast<std::size_t>(i) * ldc;
+            if (beta == 0.0f)
+                std::fill(crow, crow + N, 0.0f);
+            else if (beta != 1.0f)
+                for (int j = 0; j < N; ++j)
+                    crow[j] *= beta;
+        }
+        return;
+    }
+    if (N == 1) {
+        gemv(opA, M, K, alpha, A, lda, B, ldb, beta, C, ldc);
+        return;
+    }
+
+    // Column stripes are the parallel grain: every stripe owns its C
+    // columns outright and accumulates k in ascending order, so the
+    // result is independent of both the stripe width and the worker
+    // count. Narrow the stripes when N alone must feed all workers.
+    int stripe = kStripeN;
+    const int njobs = jobs();
+    while (stripe > 64 && (N + stripe - 1) / stripe < 2 * njobs)
+        stripe /= 2;
+    const int num_stripes = (N + stripe - 1) / stripe;
+
+    parallelFor(static_cast<std::size_t>(num_stripes),
+                [&](std::size_t s) {
+        const int j0 = static_cast<int>(s) * stripe;
+        const int jn = std::min(stripe, N - j0);
+
+        // Apply beta once, before any k accumulation.
+        for (int i = 0; i < M; ++i) {
+            float *crow = C + static_cast<std::size_t>(i) * ldc + j0;
+            if (beta == 0.0f)
+                std::fill(crow, crow + jn, 0.0f);
+            else if (beta != 1.0f)
+                for (int j = 0; j < jn; ++j)
+                    crow[j] *= beta;
+        }
+
+        std::vector<float> apack, bpack;
+        if (opA == GemmOp::Trans)
+            apack.resize(static_cast<std::size_t>(M) * kBlockK);
+        if (opB == GemmOp::Trans)
+            bpack.resize(static_cast<std::size_t>(kBlockK) * jn);
+
+        for (int kc = 0; kc < K; kc += kBlockK) {
+            const int kl = std::min(kBlockK, K - kc);
+
+            // op(A) panel: rows of length kl, contiguous in k.
+            const float *ap = A;
+            std::size_t ap_stride = static_cast<std::size_t>(lda);
+            std::size_t ap_off = kc;
+            if (opA == GemmOp::Trans) {
+                for (int i = 0; i < M; ++i)
+                    for (int k = 0; k < kl; ++k)
+                        apack[static_cast<std::size_t>(i) * kl + k] =
+                            A[static_cast<std::size_t>(kc + k) * lda +
+                              i];
+                ap = apack.data();
+                ap_stride = kl;
+                ap_off = 0;
+            }
+
+            // op(B) panel: rows of length jn, contiguous in j.
+            const float *bp;
+            std::size_t bp_stride;
+            if (opB == GemmOp::NoTrans) {
+                bp = B + static_cast<std::size_t>(kc) * ldb + j0;
+                bp_stride = static_cast<std::size_t>(ldb);
+            } else {
+                for (int k = 0; k < kl; ++k)
+                    for (int j = 0; j < jn; ++j)
+                        bpack[static_cast<std::size_t>(k) * jn + j] =
+                            B[static_cast<std::size_t>(j0 + j) * ldb +
+                              kc + k];
+                bp = bpack.data();
+                bp_stride = jn;
+            }
+
+            for (int i = 0; i < M; ++i) {
+                const float *arow =
+                    ap + static_cast<std::size_t>(i) * ap_stride +
+                    ap_off;
+                float *crow =
+                    C + static_cast<std::size_t>(i) * ldc + j0;
+                for (int k = 0; k < kl; ++k) {
+                    const float a = alpha * arow[k];
+                    const float *brow = bp + k * bp_stride;
+                    for (int j = 0; j < jn; ++j)
+                        crow[j] += a * brow[j];
+                }
+            }
+        }
+    });
+}
+
+void
+im2col(const Layer &l, const float *in, int c0, int channels,
+       float *cols)
+{
+    const int out_hw = l.outH * l.outW;
+    const std::size_t khw =
+        static_cast<std::size_t>(l.kernelH) * l.kernelW;
+    parallelFor(static_cast<std::size_t>(channels), [&](std::size_t ci) {
+        const int c = c0 + static_cast<int>(ci);
+        const float *src =
+            in + (static_cast<std::size_t>(c) * l.inH) * l.inW;
+        float *dst = cols + ci * khw * out_hw;
+        for (int kh = 0; kh < l.kernelH; ++kh) {
+            for (int kw = 0; kw < l.kernelW; ++kw) {
+                float *row = dst;
+                dst += out_hw;
+                for (int oh = 0; oh < l.outH; ++oh) {
+                    const int h = oh * l.strideH - l.padH + kh;
+                    float *out = row + static_cast<std::size_t>(oh) *
+                                 l.outW;
+                    if (h < 0 || h >= l.inH) {
+                        std::fill(out, out + l.outW, 0.0f);
+                        continue;
+                    }
+                    const float *irow =
+                        src + static_cast<std::size_t>(h) * l.inW;
+                    for (int ow = 0; ow < l.outW; ++ow) {
+                        const int wi = ow * l.strideW - l.padW + kw;
+                        out[ow] = (wi < 0 || wi >= l.inW)
+                            ? 0.0f
+                            : irow[wi];
+                    }
+                }
+            }
+        }
+    });
+}
+
+void
+col2im(const Layer &l, const float *cols, int c0, int channels,
+       float *in)
+{
+    const int out_hw = l.outH * l.outW;
+    const std::size_t khw =
+        static_cast<std::size_t>(l.kernelH) * l.kernelW;
+    // Rows (c, kh, kw) only ever scatter into channel c, so channels
+    // are an exact parallel partition; within a channel the (kh, kw,
+    // oh, ow) order is fixed, keeping the accumulation deterministic.
+    parallelFor(static_cast<std::size_t>(channels), [&](std::size_t ci) {
+        const int c = c0 + static_cast<int>(ci);
+        float *dst = in + (static_cast<std::size_t>(c) * l.inH) * l.inW;
+        const float *src = cols + ci * khw * out_hw;
+        for (int kh = 0; kh < l.kernelH; ++kh) {
+            for (int kw = 0; kw < l.kernelW; ++kw) {
+                const float *row = src;
+                src += out_hw;
+                for (int oh = 0; oh < l.outH; ++oh) {
+                    const int h = oh * l.strideH - l.padH + kh;
+                    if (h < 0 || h >= l.inH)
+                        continue;
+                    float *drow =
+                        dst + static_cast<std::size_t>(h) * l.inW;
+                    const float *srow =
+                        row + static_cast<std::size_t>(oh) * l.outW;
+                    for (int ow = 0; ow < l.outW; ++ow) {
+                        const int wi = ow * l.strideW - l.padW + kw;
+                        if (wi >= 0 && wi < l.inW)
+                            drow[wi] += srow[ow];
+                    }
+                }
+            }
+        }
+    });
+}
+
+} // namespace sd::dnn

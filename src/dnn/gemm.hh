@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cache-blocked single-precision matrix multiply plus the im2col /
+ * col2im lowering used to express the convolution kernels as GEMM —
+ * the same decomposition the paper's cuDNN/Neon baselines use
+ * (Section 8) and the standard recipe for CPU reference kernels.
+ *
+ * sgemm() parallelizes over disjoint column stripes of C through the
+ * core parallel runtime; every C element is accumulated in ascending
+ * k order regardless of the jobs value or stripe boundaries, so
+ * results are bit-identical for any worker count.
+ */
+
+#ifndef SCALEDEEP_DNN_GEMM_HH
+#define SCALEDEEP_DNN_GEMM_HH
+
+#include "dnn/layer.hh"
+
+namespace sd::dnn {
+
+/** Whether an sgemm operand is used as stored or transposed. */
+enum class GemmOp { NoTrans, Trans };
+
+/**
+ * C = alpha * op(A) * op(B) + beta * C over row-major matrices.
+ *
+ * op(A) is M x K, op(B) is K x N, C is M x N; lda/ldb/ldc are the
+ * leading (row) strides of the matrices as stored. beta == 0 assigns
+ * (C need not be initialized), beta == 1 accumulates.
+ */
+void sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+           const float *A, int lda, const float *B, int ldb, float beta,
+           float *C, int ldc);
+
+/**
+ * Expand channels [c0, c0 + channels) of the CHW input @p in of layer
+ * @p l into the (channels * kernelH * kernelW) x (outH * outW) patch
+ * matrix @p cols. Out-of-bounds (padding) taps become 0. Row order is
+ * (channel, kh, kw) — matching the weight layout — and column order
+ * is (oh, ow).
+ */
+void im2col(const Layer &l, const float *in, int c0, int channels,
+            float *cols);
+
+/**
+ * Inverse scatter of im2col: accumulate the patch matrix @p cols into
+ * channels [c0, c0 + channels) of @p in (+=; callers zero the tensor
+ * first). Used by the convolution data gradient.
+ */
+void col2im(const Layer &l, const float *cols, int c0, int channels,
+            float *in);
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_GEMM_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/logging.hh"
+#include "dnn/gemm.hh"
 
 namespace sd::dnn {
 
@@ -65,8 +67,8 @@ paddedAt(const Tensor &in, int c, int h, int w, int H, int W)
 } // namespace
 
 void
-convForward(const Layer &l, const Tensor &in, const Tensor &weights,
-            Tensor &out)
+convForwardNaive(const Layer &l, const Tensor &in, const Tensor &weights,
+                 Tensor &out)
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
@@ -114,8 +116,8 @@ convForward(const Layer &l, const Tensor &in, const Tensor &weights,
 }
 
 void
-convBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
-                 Tensor &din)
+convBackwardDataNaive(const Layer &l, const Tensor &dout,
+                      const Tensor &weights, Tensor &din)
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
@@ -160,8 +162,8 @@ convBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
 }
 
 void
-convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
-               Tensor &dweights)
+convWeightGradNaive(const Layer &l, const Tensor &in, const Tensor &dout,
+                    Tensor &dweights)
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
@@ -201,6 +203,132 @@ convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
         }
     }
     (void)x;
+}
+
+// --- GEMM-lowered primary kernels ---
+//
+// The convolutions become per-group GEMMs over the im2col patch
+// matrix (K = icg*kH*kW, N = outH*outW), the FC kernels become
+// matrix-vector products; all of them run on the blocked, parallel
+// sgemm. Results are bit-identical across jobs values (see gemm.hh)
+// and agree with the Naive kernels to float round-off.
+
+void
+convForward(const Layer &l, const Tensor &in, const Tensor &weights,
+            Tensor &out)
+{
+    const int icg = l.inChannels / l.groups;
+    const int ocg = l.outChannels / l.groups;
+    if (in.size() != l.inputElems())
+        panic("convForward ", l.name, ": bad input size");
+    if (weights.size() != l.weightCount())
+        panic("convForward ", l.name, ": bad weight size");
+    if (out.size() != l.outputElems())
+        panic("convForward ", l.name, ": bad output size");
+
+    const int k_dim = icg * l.kernelH * l.kernelW;
+    const int n_dim = l.outH * l.outW;
+    std::vector<float> cols(static_cast<std::size_t>(k_dim) * n_dim);
+    for (int g = 0; g < l.groups; ++g) {
+        im2col(l, in.data(), g * icg, icg, cols.data());
+        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, ocg, n_dim, k_dim,
+              1.0f,
+              weights.data() + static_cast<std::size_t>(g) * ocg * k_dim,
+              k_dim, cols.data(), n_dim, 0.0f,
+              out.data() + static_cast<std::size_t>(g) * ocg * n_dim,
+              n_dim);
+    }
+}
+
+void
+convBackwardData(const Layer &l, const Tensor &dout,
+                 const Tensor &weights, Tensor &din)
+{
+    const int icg = l.inChannels / l.groups;
+    const int ocg = l.outChannels / l.groups;
+    if (din.size() != l.inputElems() || dout.size() != l.outputElems())
+        panic("convBackwardData ", l.name, ": bad sizes");
+    din.fill(0.0f);
+
+    const int k_dim = icg * l.kernelH * l.kernelW;
+    const int n_dim = l.outH * l.outW;
+    std::vector<float> dcols(static_cast<std::size_t>(k_dim) * n_dim);
+    for (int g = 0; g < l.groups; ++g) {
+        // dcols = W_g^T * dy_g, then scatter back through the patch map.
+        sgemm(GemmOp::Trans, GemmOp::NoTrans, k_dim, n_dim, ocg, 1.0f,
+              weights.data() + static_cast<std::size_t>(g) * ocg * k_dim,
+              k_dim,
+              dout.data() + static_cast<std::size_t>(g) * ocg * n_dim,
+              n_dim, 0.0f, dcols.data(), n_dim);
+        col2im(l, dcols.data(), g * icg, icg, din.data());
+    }
+}
+
+void
+convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
+               Tensor &dweights)
+{
+    const int icg = l.inChannels / l.groups;
+    const int ocg = l.outChannels / l.groups;
+    if (dweights.size() != l.weightCount())
+        panic("convWeightGrad ", l.name, ": bad gradient size");
+
+    const int k_dim = icg * l.kernelH * l.kernelW;
+    const int n_dim = l.outH * l.outW;
+    std::vector<float> cols(static_cast<std::size_t>(k_dim) * n_dim);
+    for (int g = 0; g < l.groups; ++g) {
+        im2col(l, in.data(), g * icg, icg, cols.data());
+        // dW_g += dy_g * cols^T (beta = 1: minibatch accumulation).
+        sgemm(GemmOp::NoTrans, GemmOp::Trans, ocg, k_dim, n_dim, 1.0f,
+              dout.data() + static_cast<std::size_t>(g) * ocg * n_dim,
+              n_dim, cols.data(), n_dim, 1.0f,
+              dweights.data() +
+                  static_cast<std::size_t>(g) * ocg * k_dim,
+              k_dim);
+    }
+}
+
+void
+fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
+          Tensor &out)
+{
+    const std::size_t n_in = l.inputElems();
+    const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    if (in.size() != n_in || out.size() != n_out ||
+        weights.size() != n_in * n_out) {
+        panic("fcForward ", l.name, ": bad sizes");
+    }
+    sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out), 1,
+          static_cast<int>(n_in), 1.0f, weights.data(),
+          static_cast<int>(n_in), in.data(), 1, 0.0f, out.data(), 1);
+}
+
+void
+fcBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
+               Tensor &din)
+{
+    const std::size_t n_in = l.inputElems();
+    const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    if (din.size() != n_in || dout.size() != n_out)
+        panic("fcBackwardData ", l.name, ": bad sizes");
+    sgemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_in), 1,
+          static_cast<int>(n_out), 1.0f, weights.data(),
+          static_cast<int>(n_in), dout.data(), 1, 0.0f, din.data(), 1);
+}
+
+void
+fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
+             Tensor &dweights)
+{
+    const std::size_t n_in = l.inputElems();
+    const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    if (dweights.size() != n_in * n_out)
+        panic("fcWeightGrad ", l.name, ": bad gradient size");
+    // Rank-1 update dW += dy x^T.
+    sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out),
+          static_cast<int>(n_in), 1, 1.0f, dout.data(), 1, in.data(),
+          static_cast<int>(n_in), 1.0f, dweights.data(),
+          static_cast<int>(n_in));
 }
 
 void
@@ -316,8 +444,8 @@ poolBackward(const Layer &l, const Tensor &dout,
 }
 
 void
-fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
-          Tensor &out)
+fcForwardNaive(const Layer &l, const Tensor &in, const Tensor &weights,
+               Tensor &out)
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
@@ -338,8 +466,8 @@ fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
 }
 
 void
-fcBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
-               Tensor &din)
+fcBackwardDataNaive(const Layer &l, const Tensor &dout,
+                    const Tensor &weights, Tensor &din)
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
@@ -360,8 +488,8 @@ fcBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
 }
 
 void
-fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
-             Tensor &dweights)
+fcWeightGradNaive(const Layer &l, const Tensor &in, const Tensor &dout,
+                  Tensor &dweights)
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);

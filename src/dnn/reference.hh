@@ -37,17 +37,39 @@ void applyActivation(Tensor &t, Activation act);
  */
 void applyActivationGrad(Tensor &grad, const Tensor &y, Activation act);
 
-/** 2D convolution forward: out[oc][oh][ow] = sum w * in. No activation. */
+/**
+ * 2D convolution forward: out[oc][oh][ow] = sum w * in. No activation.
+ *
+ * Lowered to im2col + blocked GEMM (dnn/gemm.hh) and parallelized
+ * through the core runtime; bit-identical for every jobs value. The
+ * direct 7-loop implementations are retained with a Naive suffix as
+ * the tolerance oracle for tests and benchmarks.
+ */
 void convForward(const Layer &l, const Tensor &in, const Tensor &weights,
                  Tensor &out);
 
-/** Convolution data-gradient: din = w^T (*) dout. */
+/** Convolution data-gradient: din = w^T (*) dout. GEMM + col2im. */
 void convBackwardData(const Layer &l, const Tensor &dout,
                       const Tensor &weights, Tensor &din);
 
-/** Convolution weight-gradient: dw += in (*) dout. Accumulates. */
+/** Convolution weight-gradient: dw += dout * im2col(in)^T. Accumulates. */
 void convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
                     Tensor &dweights);
+
+// Direct (naive) loop-nest kernels: the numerical oracle the GEMM
+// lowering is checked against in test_gemm and bench/micro_parallel.
+void convForwardNaive(const Layer &l, const Tensor &in,
+                      const Tensor &weights, Tensor &out);
+void convBackwardDataNaive(const Layer &l, const Tensor &dout,
+                           const Tensor &weights, Tensor &din);
+void convWeightGradNaive(const Layer &l, const Tensor &in,
+                         const Tensor &dout, Tensor &dweights);
+void fcForwardNaive(const Layer &l, const Tensor &in,
+                    const Tensor &weights, Tensor &out);
+void fcBackwardDataNaive(const Layer &l, const Tensor &dout,
+                         const Tensor &weights, Tensor &din);
+void fcWeightGradNaive(const Layer &l, const Tensor &in,
+                       const Tensor &dout, Tensor &dweights);
 
 /** Pooling forward; for max-pooling @p argmax records winner indices. */
 void poolForward(const Layer &l, const Tensor &in, Tensor &out,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "core/trace.hh"
 #include "dnn/workload.hh"
 
@@ -57,7 +59,12 @@ PerfSim::run() const
     double conv_flops = 0.0;
     int conv_cols = 0;
 
-    for (const LayerAlloc &a : m.layers) {
+    // Each unit's timing depends only on its own members, so the pass
+    // fans out across units; the stage maxima and byte totals reduce
+    // serially afterwards in unit order (deterministic for any jobs).
+    timings.resize(m.layers.size());
+    parallelFor(m.layers.size(), [&](std::size_t ui) {
+        const LayerAlloc &a = m.layers[ui];
         const arch::ChipConfig &chip = a.fcSide ? fc_chip : conv_chip;
         // A unit's stage time is the sum over its member layers (the
         // members of a module run back to back on the same tiles).
@@ -91,15 +98,18 @@ PerfSim::run() const
         }
         for (dnn::LayerId sid : a.sampMembers)
             add_member(net_.layer(sid), nullptr);
-        timings.push_back(unit);
-        LayerTiming &t = timings.back();
         // Loop-control / data-movement instruction overhead stretches
         // every stage.
         const double eff = options_.programEfficiency;
-        t.fpCycles /= eff;
-        t.bpCycles /= eff;
-        t.wgCycles /= eff;
+        unit.fpCycles /= eff;
+        unit.bpCycles /= eff;
+        unit.wgCycles /= eff;
+        timings[ui] = unit;
+    });
 
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        const LayerAlloc &a = m.layers[i];
+        const LayerTiming &t = timings[i];
         total_flops += a.fpFlops;
         if (a.fcSide) {
             fc_stage_train =
@@ -373,8 +383,12 @@ PerfSim::run() const
         // Lay the per-layer training stages out on the perf-sim
         // timeline (conv and fc sides as separate tracks), followed by
         // the minibatch-end gradient-reduction phase. Successive run()
-        // calls append rather than overlap.
-        static std::uint64_t base = 0;
+        // calls append rather than overlap; the mutex keeps the shared
+        // cursor consistent when networks are simulated in parallel.
+        static std::mutex base_mutex;
+        static std::uint64_t shared_base = 0;
+        std::unique_lock<std::mutex> base_lock(base_mutex);
+        std::uint64_t base = shared_base;
         Tracer &tr = Tracer::global();
         tr.threadName(kTracePidPerf, 0, "conv stages");
         tr.threadName(kTracePidPerf, 1, "fc stages");
@@ -413,8 +427,9 @@ PerfSim::run() const
                    r.bandwidthBoundLayers);
         tr.counter("compute_bound_layers", end_ts, kTracePidPerf,
                    r.computeBoundLayers);
-        base = end_ts +
-               static_cast<std::uint64_t>(std::max(1.0, sync_cycles));
+        shared_base =
+            end_ts +
+            static_cast<std::uint64_t>(std::max(1.0, sync_cycles));
     }
 
     return r;

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the blocked GEMM and the im2col convolution lowering: the
+ * sgemm against a textbook triple loop over odd shapes and strides,
+ * the GEMM-lowered conv/fc kernels against the naive loop-nest oracle
+ * (including strided, padded and grouped cases), and bit-identical
+ * training across jobs values.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.hh"
+#include "core/random.hh"
+#include "dnn/gemm.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+
+struct JobsGuard
+{
+    int saved = jobs();
+    ~JobsGuard() { setJobs(saved); }
+};
+
+/** Textbook op(A)*op(B) accumulating in double — the sgemm oracle. */
+void
+naiveGemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+          const float *A, int lda, const float *B, int ldb, float beta,
+          float *C, int ldc)
+{
+    for (int i = 0; i < M; ++i) {
+        for (int j = 0; j < N; ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < K; ++k) {
+                const float a = opA == GemmOp::NoTrans ? A[i * lda + k]
+                                                       : A[k * lda + i];
+                const float b = opB == GemmOp::NoTrans ? B[k * ldb + j]
+                                                       : B[j * ldb + k];
+                acc += static_cast<double>(a) * b;
+            }
+            float &c = C[i * ldc + j];
+            c = beta == 0.0f
+                    ? alpha * static_cast<float>(acc)
+                    : beta * c + alpha * static_cast<float>(acc);
+        }
+    }
+}
+
+std::vector<float>
+randomVec(std::size_t n, Rng &rng)
+{
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = rng.uniform(-1.0f, 1.0f);
+    return v;
+}
+
+void
+expectClose(const std::vector<float> &got, const std::vector<float> &ref,
+            float tol, const std::string &what)
+{
+    ASSERT_EQ(got.size(), ref.size()) << what;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        const float scale = std::max(1.0f, std::fabs(ref[i]));
+        ASSERT_NEAR(got[i], ref[i], tol * scale)
+            << what << " at " << i;
+    }
+}
+
+TEST(Sgemm, MatchesNaiveOverOddShapes)
+{
+    JobsGuard g;
+    Rng rng(17);
+    struct Case
+    {
+        GemmOp opA, opB;
+        int m, n, k;
+        float alpha, beta;
+    };
+    const Case cases[] = {
+        {GemmOp::NoTrans, GemmOp::NoTrans, 1, 1, 1, 1.0f, 0.0f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 7, 13, 5, 1.0f, 0.0f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 33, 129, 65, 0.5f, 1.0f},
+        {GemmOp::Trans, GemmOp::NoTrans, 19, 70, 31, 1.0f, 0.0f},
+        {GemmOp::NoTrans, GemmOp::Trans, 23, 41, 300, 1.0f, 1.0f},
+        {GemmOp::Trans, GemmOp::Trans, 65, 517, 11, 2.0f, 0.5f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 5, 1, 77, 1.0f, 0.0f},
+        {GemmOp::Trans, GemmOp::NoTrans, 9, 1, 44, 1.0f, 1.0f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 3, 700, 2, 1.0f, 0.0f},
+    };
+    for (const Case &c : cases) {
+        // Leading strides with slack beyond the logical width.
+        const int lda =
+            (c.opA == GemmOp::NoTrans ? c.k : c.m) + 3;
+        const int ldb =
+            (c.opB == GemmOp::NoTrans ? c.n : c.k) + 2;
+        const int ldc = c.n + 1;
+        const int a_rows = c.opA == GemmOp::NoTrans ? c.m : c.k;
+        const int b_rows = c.opB == GemmOp::NoTrans ? c.k : c.n;
+        const auto A = randomVec(
+            static_cast<std::size_t>(a_rows) * lda, rng);
+        const auto B = randomVec(
+            static_cast<std::size_t>(b_rows) * ldb, rng);
+        const auto C0 = randomVec(
+            static_cast<std::size_t>(c.m) * ldc, rng);
+
+        std::vector<float> ref = C0;
+        naiveGemm(c.opA, c.opB, c.m, c.n, c.k, c.alpha, A.data(), lda,
+                  B.data(), ldb, c.beta, ref.data(), ldc);
+
+        std::vector<float> serial;
+        for (int nj : {1, 4}) {
+            setJobs(nj);
+            std::vector<float> got = C0;
+            sgemm(c.opA, c.opB, c.m, c.n, c.k, c.alpha, A.data(), lda,
+                  B.data(), ldb, c.beta, got.data(), ldc);
+            expectClose(got, ref, 1e-4f,
+                        "sgemm m=" + std::to_string(c.m) + " n=" +
+                            std::to_string(c.n) + " k=" +
+                            std::to_string(c.k) + " jobs=" +
+                            std::to_string(nj));
+            if (nj == 1)
+                serial = got;
+            else
+                // Bit-identical across jobs: ascending-k accumulation
+                // per C element regardless of stripes or workers.
+                EXPECT_EQ(got, serial);
+        }
+    }
+}
+
+Layer
+convLayer(int in_c, int in_hw, int out_c, int k, int stride, int pad,
+          int groups = 1)
+{
+    NetworkBuilder b("t", in_c, in_hw, in_hw);
+    b.conv("c", b.input(), out_c, k, stride, pad, groups,
+           Activation::None);
+    Network n = b.build();
+    return n.layer(1);
+}
+
+Layer
+fcLayer(int in_n, int out_n)
+{
+    NetworkBuilder b("t", 1, 1, in_n);
+    b.fc("f", b.input(), out_n, Activation::None);
+    Network n = b.build();
+    return n.layer(1);
+}
+
+/** Exercise all six kernels on @p l vs the naive oracle at @p tol. */
+void
+expectKernelsMatchNaive(const Layer &l, float tol)
+{
+    Rng rng(5);
+    Tensor x = Tensor::uniform({l.inputElems()}, rng, -1.0f, 1.0f);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng, -1.0f, 1.0f);
+    Tensor dy = Tensor::uniform({l.outputElems()}, rng, -1.0f, 1.0f);
+
+    const bool conv = l.kind == LayerKind::Conv;
+    Tensor y_ref({l.outputElems()}), y({l.outputElems()});
+    conv ? convForwardNaive(l, x, w, y_ref)
+         : fcForwardNaive(l, x, w, y_ref);
+    conv ? convForward(l, x, w, y) : fcForward(l, x, w, y);
+
+    Tensor dx_ref({l.inputElems()}), dx({l.inputElems()});
+    conv ? convBackwardDataNaive(l, dy, w, dx_ref)
+         : fcBackwardDataNaive(l, dy, w, dx_ref);
+    conv ? convBackwardData(l, dy, w, dx) : fcBackwardData(l, dy, w, dx);
+
+    Tensor dw_ref = Tensor::full({l.weightCount()}, 0.5f);
+    Tensor dw = Tensor::full({l.weightCount()}, 0.5f);
+    conv ? convWeightGradNaive(l, x, dy, dw_ref)
+         : fcWeightGradNaive(l, x, dy, dw_ref);
+    conv ? convWeightGrad(l, x, dy, dw) : fcWeightGrad(l, x, dy, dw);
+
+    auto check = [&](const Tensor &got, const Tensor &ref,
+                     const char *what) {
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            const float scale = std::max(1.0f, std::fabs(ref[i]));
+            ASSERT_NEAR(got[i], ref[i], tol * scale)
+                << l.name << " " << what << " at " << i;
+        }
+    };
+    check(y, y_ref, "forward");
+    check(dx, dx_ref, "backward-data");
+    check(dw, dw_ref, "weight-grad");
+}
+
+TEST(GemmKernels, MatchNaiveOracle)
+{
+    JobsGuard g;
+    const Layer cases[] = {
+        convLayer(3, 15, 8, 3, 1, 1),       // odd spatial size
+        convLayer(4, 16, 6, 5, 2, 2),       // 5x5 stride 2
+        convLayer(8, 9, 8, 3, 2, 0),        // no padding, stride 2
+        convLayer(6, 14, 10, 2, 2, 0),      // even kernel
+        convLayer(8, 12, 12, 3, 1, 1, 2),   // grouped, 2 groups
+        convLayer(9, 7, 6, 3, 1, 2, 3),     // 3 groups, fat padding
+        convLayer(5, 1, 4, 1, 1, 0),        // 1x1 degenerate
+        fcLayer(37, 19),
+        fcLayer(256, 10),
+    };
+    for (int nj : {1, 4}) {
+        setJobs(nj);
+        for (const Layer &l : cases)
+            expectKernelsMatchNaive(l, 1e-4f);
+    }
+}
+
+TEST(GemmKernels, Im2colRoundTripAccumulates)
+{
+    JobsGuard g;
+    setJobs(1);
+    // col2im(im2col(x)) multiplies each input element by the number of
+    // patches that cover it; with kernel 1 stride 1 that is exactly 1.
+    Layer l = convLayer(4, 6, 4, 1, 1, 0);
+    Rng rng(9);
+    Tensor x = Tensor::uniform({l.inputElems()}, rng, -1.0f, 1.0f);
+    std::vector<float> cols(l.inputElems());
+    im2col(l, x.data(), 0, l.inChannels, cols.data());
+    Tensor back({l.inputElems()});
+    back.fill(0.0f);
+    col2im(l, cols.data(), 0, l.inChannels, back.data());
+    EXPECT_LT(back.maxAbsDiff(x), 1e-6f);
+}
+
+TEST(GemmKernels, TrainingLossBitIdenticalAcrossJobs)
+{
+    JobsGuard g;
+    // The acceptance bar for the parallel runtime: a short train_tiny
+    // style run must produce the exact same loss curve at jobs=1 and
+    // jobs=4 (disjoint-write parallelism plus fixed accumulation
+    // order make this hold bit-for-bit, not just approximately).
+    auto losses = [](int nj) {
+        setJobs(nj);
+        Network net = makeTinyCnn(16, 4);
+        ReferenceEngine engine(net, /*seed=*/3);
+        SyntheticDataset data(4, 1, 16, 16, /*seed=*/7);
+        std::vector<double> curve;
+        for (int step = 0; step < 6; ++step) {
+            std::vector<Tensor> images;
+            std::vector<int> labels;
+            for (int i = 0; i < 4; ++i) {
+                auto [img, label] = data.sample();
+                images.push_back(std::move(img));
+                labels.push_back(label);
+            }
+            curve.push_back(
+                engine.trainMinibatch(images, labels, 0.05f));
+        }
+        return curve;
+    };
+    const std::vector<double> serial = losses(1);
+    const std::vector<double> parallel = losses(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "step " << i;
+}
+
+} // namespace

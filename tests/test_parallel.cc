@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the core parallel runtime: coverage and disjointness of
+ * parallelFor, determinism of parallelReduce across jobs values,
+ * nested-region serialization, and the SD_JOBS / setJobs() controls.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.hh"
+
+namespace {
+
+using namespace sd;
+
+/** RAII guard restoring the global jobs value. */
+struct JobsGuard
+{
+    int saved = jobs();
+    ~JobsGuard() { setJobs(saved); }
+};
+
+TEST(Parallel, SetJobsClampsToOne)
+{
+    JobsGuard g;
+    setJobs(0);
+    EXPECT_EQ(jobs(), 1);
+    setJobs(-3);
+    EXPECT_EQ(jobs(), 1);
+    setJobs(5);
+    EXPECT_EQ(jobs(), 5);
+}
+
+TEST(Parallel, HardwareJobsPositive)
+{
+    EXPECT_GE(hardwareJobs(), 1);
+}
+
+TEST(Parallel, DefaultJobsHonoursEnv)
+{
+    ::setenv("SD_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3);
+    ::setenv("SD_JOBS", "not-a-number", 1);
+    EXPECT_EQ(defaultJobs(), hardwareJobs());
+    ::setenv("SD_JOBS", "0", 1);
+    EXPECT_EQ(defaultJobs(), hardwareJobs());
+    ::unsetenv("SD_JOBS");
+    EXPECT_EQ(defaultJobs(), hardwareJobs());
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce)
+{
+    JobsGuard g;
+    for (int nj : {1, 4}) {
+        setJobs(nj);
+        for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{7}, std::size_t{1000}}) {
+            std::vector<std::atomic<int>> hits(n);
+            parallelFor(n, [&](std::size_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(Parallel, ForRangePartitionsTheRange)
+{
+    JobsGuard g;
+    setJobs(4);
+    const std::size_t n = 1237;
+    std::vector<std::atomic<int>> hits(n);
+    parallelForRange(n, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (std::size_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ReduceBitIdenticalAcrossJobs)
+{
+    JobsGuard g;
+    const std::size_t n = 10007;
+    // A float sum whose value depends on association order: if the
+    // chunking changed with jobs, the totals would differ in the low
+    // bits.
+    std::vector<float> xs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs[i] = 1.0f / static_cast<float>(i + 1);
+    auto sum = [&] {
+        return parallelReduce<float>(
+            n, 0.0f,
+            [&](std::size_t b, std::size_t e, std::size_t) {
+                float acc = 0.0f;
+                for (std::size_t i = b; i < e; ++i)
+                    acc += xs[i];
+                return acc;
+            },
+            [](float a, float b) { return a + b; });
+    };
+    setJobs(1);
+    const float serial = sum();
+    for (int nj : {2, 4, 7}) {
+        setJobs(nj);
+        EXPECT_EQ(sum(), serial) << "jobs=" << nj;
+    }
+}
+
+TEST(Parallel, ReduceChunksDependOnlyOnTripCount)
+{
+    JobsGuard g;
+    setJobs(1);
+    const std::size_t c1 = reduceChunks(100000);
+    setJobs(8);
+    EXPECT_EQ(reduceChunks(100000), c1);
+    EXPECT_EQ(reduceChunks(0), 1u);
+    EXPECT_EQ(reduceChunks(5), 5u);
+}
+
+TEST(Parallel, NestedRegionsSerializeInsteadOfDeadlocking)
+{
+    JobsGuard g;
+    setJobs(4);
+    EXPECT_FALSE(inParallelRegion());
+    std::atomic<int> total{0};
+    parallelFor(8, [&](std::size_t) {
+        EXPECT_TRUE(inParallelRegion());
+        // The nested region must run inline on this worker.
+        parallelFor(8, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_FALSE(inParallelRegion());
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, LoweringJobsAfterRaisingStillWorks)
+{
+    // The pool never shrinks, but participation is capped at the
+    // current jobs value; chunks must still all execute.
+    JobsGuard g;
+    setJobs(8);
+    std::atomic<int> a{0};
+    parallelFor(100, [&](std::size_t) { ++a; });
+    EXPECT_EQ(a.load(), 100);
+    setJobs(2);
+    std::atomic<int> b{0};
+    parallelFor(100, [&](std::size_t) { ++b; });
+    EXPECT_EQ(b.load(), 100);
+}
+
+} // namespace

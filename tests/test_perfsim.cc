@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/presets.hh"
+#include "core/parallel.hh"
 #include "dnn/zoo.hh"
 #include "sim/perf/perfsim.hh"
 
@@ -235,6 +236,36 @@ TEST(PerfSim, DeterministicResults)
     PerfResult b = simulate(net, node);
     EXPECT_DOUBLE_EQ(a.trainImagesPerSec, b.trainImagesPerSec);
     EXPECT_DOUBLE_EQ(a.peUtil, b.peUtil);
+}
+
+TEST(PerfSim, JobsDoNotChangeResults)
+{
+    // The mapper's candidate sweeps and the per-layer timing passes
+    // run on the thread pool; results must be bit-identical to the
+    // serial run for any jobs value (also the TSan coverage for
+    // those parallel sites).
+    struct JobsGuard
+    {
+        int saved = jobs();
+        ~JobsGuard() { setJobs(saved); }
+    } guard;
+    arch::NodeConfig node = arch::singlePrecisionNode();
+    Network net = makeGoogLeNet();
+    setJobs(1);
+    PerfResult serial = simulate(net, node);
+    setJobs(4);
+    PerfResult parallel = simulate(net, node);
+    EXPECT_EQ(serial.trainImagesPerSec, parallel.trainImagesPerSec);
+    EXPECT_EQ(serial.evalImagesPerSec, parallel.evalImagesPerSec);
+    EXPECT_EQ(serial.peUtil, parallel.peUtil);
+    EXPECT_EQ(serial.mapping.convColumns, parallel.mapping.convColumns);
+    EXPECT_EQ(serial.mapping.convChips, parallel.mapping.convChips);
+    ASSERT_EQ(serial.layers.size(), parallel.layers.size());
+    for (std::size_t i = 0; i < serial.layers.size(); ++i) {
+        EXPECT_EQ(serial.layers[i].columns, parallel.layers[i].columns);
+        EXPECT_EQ(serial.layers[i].stageTrainCycles,
+                  parallel.layers[i].stageTrainCycles);
+    }
 }
 
 TEST(PerfSimDeath, BadMinibatch)
