@@ -62,6 +62,7 @@ maxRelErr(const Tensor &got, const Tensor &ref)
 struct KernelResult
 {
     std::string name;
+    int batch = 1;              ///< minibatch folded into one call
     double flops = 0.0;
     double naiveMs = 0.0;
     double gemmMs = 0.0;        ///< GEMM lowering, jobs=1
@@ -158,6 +159,33 @@ main(int argc, char **argv)
             "fc_fwd_4096", flops, y, njobs,
             [&] { fcForwardNaive(l, x, w, y); },
             [&] { fcForward(l, x, w, y); }));
+
+        // Batched FC: one real GEMM over 8 images versus the 8x
+        // per-image gemv loop it replaces (the "naive" column here is
+        // the gemv loop, not the scalar loop nest). The batched call
+        // amortizes the 64 MB weight read across the whole minibatch.
+        const int fc_batch = 8;
+        Tensor xs = Tensor::uniform(
+            {static_cast<std::size_t>(fc_batch), 1, 1, 4096}, rng);
+        std::vector<Tensor> ximg;
+        for (int n = 0; n < fc_batch; ++n)
+            ximg.push_back(xs.imageAt(static_cast<std::size_t>(n)));
+        Tensor ys({static_cast<std::size_t>(fc_batch), 4096, 1, 1});
+        Tensor ytmp({4096, 1, 1});
+        KernelResult kb = benchKernel(
+            "fc_fwd_4096_batch8", flops * fc_batch, ys, njobs,
+            [&] {
+                for (int n = 0; n < fc_batch; ++n) {
+                    fcForward(l, ximg[static_cast<std::size_t>(n)], w,
+                              ytmp);
+                    std::copy(ytmp.data(), ytmp.data() + ytmp.size(),
+                              ys.data() + static_cast<std::size_t>(n) *
+                                              ytmp.size());
+                }
+            },
+            [&] { fcForward(l, xs, w, ys); });
+        kb.batch = fc_batch;
+        kernels.push_back(kb);
     }
     setJobs(njobs);
 
@@ -224,6 +252,7 @@ main(int argc, char **argv)
     for (const KernelResult &k : kernels) {
         w.beginObject();
         w.field("name", k.name);
+        w.field("batch", static_cast<std::int64_t>(k.batch));
         w.field("flops", k.flops);
         w.field("naiveMs", k.naiveMs);
         w.field("naiveGflops", k.gflops(k.naiveMs));

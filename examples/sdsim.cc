@@ -89,7 +89,18 @@ runFuncProbe(compiler::PipelinedRunner *&runner_out,
     for (int i = 0; i < n; ++i)
         batch.push_back(dnn::Tensor::uniform({1, 16, 16}, rng, 0.0f,
                                              1.0f));
-    runner.evaluateBatch(batch);
+    std::vector<dnn::Tensor> outs = runner.evaluateBatch(batch);
+    // Cross-check the machine outputs against one batched pass of the
+    // reference engine (the golden model the simulator reproduces).
+    engine.forward(dnn::Tensor::stack(batch));
+    const dnn::LayerId out_id = net.outputLayer().id;
+    for (int i = 0; i < n; ++i) {
+        const dnn::Tensor ref =
+            engine.activation(out_id).imageAt(static_cast<std::size_t>(i));
+        if (outs[static_cast<std::size_t>(i)].maxAbsDiff(ref) > 1e-4f)
+            fatal("sdsim: func probe image ", i,
+                  " diverges from the reference engine");
+    }
     runner_out = &runner;
     cycles = runner.lastCycles();
     images = n;

@@ -762,7 +762,15 @@ TrainRunner::stepMinibatch(const std::vector<dnn::Tensor> &images,
 {
     if (images.size() != labels.size() || images.empty())
         fatal("TrainRunner: bad minibatch");
+    // Zero-initialized accumulators for every weighted layer, so all
+    // images fold uniformly (and in ascending order — the same batch
+    // determinism contract the reference engine's batched kernels
+    // follow).
     std::map<dnn::LayerId, dnn::Tensor> batch_grads;
+    for (const auto &kv : compiled_.gradBase) {
+        const Layer &l = net_->layer(kv.first);
+        batch_grads.emplace(kv.first, dnn::Tensor({l.weightCount()}));
+    }
     double loss = 0.0;
     for (std::size_t i = 0; i < images.size(); ++i) {
         dnn::Tensor logits;
@@ -770,13 +778,10 @@ TrainRunner::stepMinibatch(const std::vector<dnn::Tensor> &images,
         dnn::Tensor dlogits(logits.shape());
         loss += dnn::softmaxCrossEntropy(logits, labels[i], dlogits);
         runBackward(*machine, dlogits);
-        // Accumulate (the hardware's per-minibatch gradient
-        // aggregation, folded on the host side of the runner).
-        for (auto &[id, g] : grads_) {
-            auto [it, inserted] = batch_grads.try_emplace(id, g);
-            if (!inserted)
-                it->second.accumulate(g);
-        }
+        // The hardware's per-minibatch gradient aggregation, folded
+        // on the host side of the runner.
+        for (auto &[id, g] : grads_)
+            batch_grads.at(id).accumulate(g);
     }
     grads_ = std::move(batch_grads);
     applyGradients(lr / static_cast<float>(images.size()));

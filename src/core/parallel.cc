@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -145,10 +147,15 @@ int
 defaultJobs()
 {
     if (const char *env = std::getenv("SD_JOBS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1)
-            return static_cast<int>(v);
+        // std::from_chars: no whitespace/plus-sign/locale leniency and
+        // explicit overflow reporting; the whole string must be one
+        // positive decimal integer ("8abc" and " 8" are rejected, not
+        // truncated to a prefix).
+        const char *end = env + std::strlen(env);
+        int v = 0;
+        const auto [ptr, ec] = std::from_chars(env, end, v);
+        if (ec == std::errc() && ptr == end && v >= 1)
+            return v;
         warn("SD_JOBS=", env, " is not a positive integer; ignoring");
     }
     return hardwareJobs();

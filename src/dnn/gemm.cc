@@ -64,7 +64,9 @@ sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
 {
     if (M <= 0 || N <= 0)
         return;
-    if (K <= 0) {
+    if (alpha == 0.0f || K <= 0) {
+        // Standard BLAS early-out: the product contributes nothing, so
+        // only the beta scaling of C remains — no packing, no k loop.
         for (int i = 0; i < M; ++i) {
             float *crow = C + static_cast<std::size_t>(i) * ldc;
             if (beta == 0.0f)

@@ -26,7 +26,9 @@ enum class GemmOp { NoTrans, Trans };
  *
  * op(A) is M x K, op(B) is K x N, C is M x N; lda/ldb/ldc are the
  * leading (row) strides of the matrices as stored. beta == 0 assigns
- * (C need not be initialized), beta == 1 accumulates.
+ * (C need not be initialized), beta == 1 accumulates. alpha == 0 (or
+ * K <= 0) takes the standard BLAS early-out: C is only scaled by
+ * beta, A and B are never read and no panel packing happens.
  */
 void sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
            const float *A, int lda, const float *B, int ldb, float beta,
@@ -37,7 +39,8 @@ void sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
  * @p l into the (channels * kernelH * kernelW) x (outH * outW) patch
  * matrix @p cols. Out-of-bounds (padding) taps become 0. Row order is
  * (channel, kh, kw) — matching the weight layout — and column order
- * is (oh, ow).
+ * is (oh, ow). Batched (NCHW) callers pass the per-image base pointer
+ * `in + n * inputElems`; images are independent patch matrices.
  */
 void im2col(const Layer &l, const float *in, int c0, int channels,
             float *cols);

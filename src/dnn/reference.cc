@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "dnn/gemm.hh"
 
 namespace sd::dnn {
@@ -55,13 +56,17 @@ applyActivationGrad(Tensor &grad, const Tensor &y, Activation act)
 
 namespace {
 
-/** Bounds-checked input fetch honouring zero padding. */
-inline float
-paddedAt(const Tensor &in, int c, int h, int w, int H, int W)
+/**
+ * Minibatch size of a kernel input under the NCHW convention: the
+ * tensor holds @p batch consecutive images of @p per elements each.
+ */
+std::size_t
+kernelBatch(const Tensor &in, std::uint64_t per, const Layer &l,
+            const char *kernel)
 {
-    if (h < 0 || h >= H || w < 0 || w >= W)
-        return 0.0f;
-    return in.data()[(static_cast<std::size_t>(c) * H + h) * W + w];
+    if (per == 0 || in.size() == 0 || in.size() % per != 0)
+        panic(kernel, " ", l.name, ": bad input size");
+    return in.size() / static_cast<std::size_t>(per);
 }
 
 } // namespace
@@ -72,44 +77,46 @@ convForwardNaive(const Layer &l, const Tensor &in, const Tensor &weights,
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
-    if (in.size() != l.inputElems())
-        panic("convForward ", l.name, ": bad input size");
+    const std::size_t batch =
+        kernelBatch(in, l.inputElems(), l, "convForward");
     if (weights.size() != l.weightCount())
         panic("convForward ", l.name, ": bad weight size");
-    if (out.size() != l.outputElems())
+    if (out.size() != batch * l.outputElems())
         panic("convForward ", l.name, ": bad output size");
 
-    const float *x = in.data();
     const float *w = weights.data();
-    float *y = out.data();
-
-    for (int oc = 0; oc < l.outChannels; ++oc) {
-        const int g = oc / ocg;
-        for (int oh = 0; oh < l.outH; ++oh) {
-            for (int ow = 0; ow < l.outW; ++ow) {
-                float acc = 0.0f;
-                for (int ic = 0; ic < icg; ++ic) {
-                    const int c = g * icg + ic;
-                    for (int kh = 0; kh < l.kernelH; ++kh) {
-                        const int h = oh * l.strideH - l.padH + kh;
-                        if (h < 0 || h >= l.inH)
-                            continue;
-                        const float *xrow =
-                            x + (static_cast<std::size_t>(c) * l.inH + h) *
-                                l.inW;
-                        const float *wrow =
-                            w + ((static_cast<std::size_t>(oc) * icg + ic) *
-                                 l.kernelH + kh) * l.kernelW;
-                        for (int kw = 0; kw < l.kernelW; ++kw) {
-                            const int wi = ow * l.strideW - l.padW + kw;
-                            if (wi < 0 || wi >= l.inW)
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *x = in.data() + n * l.inputElems();
+        float *y = out.data() + n * l.outputElems();
+        for (int oc = 0; oc < l.outChannels; ++oc) {
+            const int g = oc / ocg;
+            for (int oh = 0; oh < l.outH; ++oh) {
+                for (int ow = 0; ow < l.outW; ++ow) {
+                    float acc = 0.0f;
+                    for (int ic = 0; ic < icg; ++ic) {
+                        const int c = g * icg + ic;
+                        for (int kh = 0; kh < l.kernelH; ++kh) {
+                            const int h = oh * l.strideH - l.padH + kh;
+                            if (h < 0 || h >= l.inH)
                                 continue;
-                            acc += xrow[wi] * wrow[kw];
+                            const float *xrow =
+                                x + (static_cast<std::size_t>(c) * l.inH +
+                                     h) * l.inW;
+                            const float *wrow =
+                                w + ((static_cast<std::size_t>(oc) * icg +
+                                      ic) * l.kernelH + kh) * l.kernelW;
+                            for (int kw = 0; kw < l.kernelW; ++kw) {
+                                const int wi =
+                                    ow * l.strideW - l.padW + kw;
+                                if (wi < 0 || wi >= l.inW)
+                                    continue;
+                                acc += xrow[wi] * wrow[kw];
+                            }
                         }
                     }
+                    y[(static_cast<std::size_t>(oc) * l.outH + oh) *
+                      l.outW + ow] = acc;
                 }
-                y[(static_cast<std::size_t>(oc) * l.outH + oh) * l.outW +
-                  ow] = acc;
             }
         }
     }
@@ -121,38 +128,42 @@ convBackwardDataNaive(const Layer &l, const Tensor &dout,
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
-    if (din.size() != l.inputElems() || dout.size() != l.outputElems())
+    const std::size_t batch =
+        kernelBatch(dout, l.outputElems(), l, "convBackwardData");
+    if (din.size() != batch * l.inputElems())
         panic("convBackwardData ", l.name, ": bad sizes");
     din.fill(0.0f);
 
-    const float *dy = dout.data();
     const float *w = weights.data();
-    float *dx = din.data();
-
-    for (int oc = 0; oc < l.outChannels; ++oc) {
-        const int g = oc / ocg;
-        for (int oh = 0; oh < l.outH; ++oh) {
-            for (int ow = 0; ow < l.outW; ++ow) {
-                const float e =
-                    dy[(static_cast<std::size_t>(oc) * l.outH + oh) *
-                       l.outW + ow];
-                if (e == 0.0f)
-                    continue;
-                for (int ic = 0; ic < icg; ++ic) {
-                    const int c = g * icg + ic;
-                    for (int kh = 0; kh < l.kernelH; ++kh) {
-                        const int h = oh * l.strideH - l.padH + kh;
-                        if (h < 0 || h >= l.inH)
-                            continue;
-                        for (int kw = 0; kw < l.kernelW; ++kw) {
-                            const int wi = ow * l.strideW - l.padW + kw;
-                            if (wi < 0 || wi >= l.inW)
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *dy = dout.data() + n * l.outputElems();
+        float *dx = din.data() + n * l.inputElems();
+        for (int oc = 0; oc < l.outChannels; ++oc) {
+            const int g = oc / ocg;
+            for (int oh = 0; oh < l.outH; ++oh) {
+                for (int ow = 0; ow < l.outW; ++ow) {
+                    const float e =
+                        dy[(static_cast<std::size_t>(oc) * l.outH + oh) *
+                           l.outW + ow];
+                    if (e == 0.0f)
+                        continue;
+                    for (int ic = 0; ic < icg; ++ic) {
+                        const int c = g * icg + ic;
+                        for (int kh = 0; kh < l.kernelH; ++kh) {
+                            const int h = oh * l.strideH - l.padH + kh;
+                            if (h < 0 || h >= l.inH)
                                 continue;
-                            dx[(static_cast<std::size_t>(c) * l.inH + h) *
-                               l.inW + wi] +=
-                                e * w[((static_cast<std::size_t>(oc) * icg +
-                                        ic) * l.kernelH + kh) * l.kernelW +
-                                      kw];
+                            for (int kw = 0; kw < l.kernelW; ++kw) {
+                                const int wi =
+                                    ow * l.strideW - l.padW + kw;
+                                if (wi < 0 || wi >= l.inW)
+                                    continue;
+                                dx[(static_cast<std::size_t>(c) * l.inH +
+                                    h) * l.inW + wi] +=
+                                    e * w[((static_cast<std::size_t>(oc) *
+                                            icg + ic) * l.kernelH + kh) *
+                                          l.kernelW + kw];
+                            }
                         }
                     }
                 }
@@ -167,51 +178,66 @@ convWeightGradNaive(const Layer &l, const Tensor &in, const Tensor &dout,
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
+    const std::size_t batch =
+        kernelBatch(in, l.inputElems(), l, "convWeightGrad");
+    if (dout.size() != batch * l.outputElems())
+        panic("convWeightGrad ", l.name, ": bad sizes");
     if (dweights.size() != l.weightCount())
         panic("convWeightGrad ", l.name, ": bad gradient size");
 
-    const float *x = in.data();
-    const float *dy = dout.data();
     float *dw = dweights.data();
-
-    for (int oc = 0; oc < l.outChannels; ++oc) {
-        const int g = oc / ocg;
-        for (int oh = 0; oh < l.outH; ++oh) {
-            for (int ow = 0; ow < l.outW; ++ow) {
-                const float e =
-                    dy[(static_cast<std::size_t>(oc) * l.outH + oh) *
-                       l.outW + ow];
-                if (e == 0.0f)
-                    continue;
-                for (int ic = 0; ic < icg; ++ic) {
-                    const int c = g * icg + ic;
-                    for (int kh = 0; kh < l.kernelH; ++kh) {
-                        const int h = oh * l.strideH - l.padH + kh;
-                        if (h < 0 || h >= l.inH)
-                            continue;
-                        for (int kw = 0; kw < l.kernelW; ++kw) {
-                            const int wi = ow * l.strideW - l.padW + kw;
-                            if (wi < 0 || wi >= l.inW)
+    // The batch folds serially in ascending image order — the
+    // determinism reference for the GEMM lowering.
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *x = in.data() + n * l.inputElems();
+        const float *dy = dout.data() + n * l.outputElems();
+        for (int oc = 0; oc < l.outChannels; ++oc) {
+            const int g = oc / ocg;
+            for (int oh = 0; oh < l.outH; ++oh) {
+                for (int ow = 0; ow < l.outW; ++ow) {
+                    const float e =
+                        dy[(static_cast<std::size_t>(oc) * l.outH + oh) *
+                           l.outW + ow];
+                    if (e == 0.0f)
+                        continue;
+                    for (int ic = 0; ic < icg; ++ic) {
+                        const int c = g * icg + ic;
+                        for (int kh = 0; kh < l.kernelH; ++kh) {
+                            const int h = oh * l.strideH - l.padH + kh;
+                            if (h < 0 || h >= l.inH)
                                 continue;
-                            dw[((static_cast<std::size_t>(oc) * icg + ic) *
-                                l.kernelH + kh) * l.kernelW + kw] +=
-                                e * paddedAt(in, c, h, wi, l.inH, l.inW);
+                            const float *xrow =
+                                x + (static_cast<std::size_t>(c) * l.inH +
+                                     h) * l.inW;
+                            for (int kw = 0; kw < l.kernelW; ++kw) {
+                                const int wi =
+                                    ow * l.strideW - l.padW + kw;
+                                if (wi < 0 || wi >= l.inW)
+                                    continue;
+                                dw[((static_cast<std::size_t>(oc) * icg +
+                                     ic) * l.kernelH + kh) * l.kernelW +
+                                   kw] += e * xrow[wi];
+                            }
                         }
                     }
                 }
             }
         }
     }
-    (void)x;
 }
 
 // --- GEMM-lowered primary kernels ---
 //
 // The convolutions become per-group GEMMs over the im2col patch
-// matrix (K = icg*kH*kW, N = outH*outW), the FC kernels become
-// matrix-vector products; all of them run on the blocked, parallel
-// sgemm. Results are bit-identical across jobs values (see gemm.hh)
-// and agree with the Naive kernels to float round-off.
+// matrix (K = icg*kH*kW, N = outH*outW) and the FC kernels become one
+// real GEMM across the whole minibatch (gemv when batch is 1); all of
+// them run on the blocked, parallel sgemm. Batched convolutions
+// parallelize over the disjoint (image, group) output blocks, within
+// which the nested im2col/sgemm calls serialize (core/parallel.hh);
+// a single block runs inline *outside* a region, so the GEMM keeps
+// its own column-stripe parallelism. Either way every C element
+// accumulates k in ascending order, so results are bit-identical for
+// any jobs value and agree with the Naive kernels to float round-off.
 
 void
 convForward(const Layer &l, const Tensor &in, const Tensor &weights,
@@ -219,25 +245,34 @@ convForward(const Layer &l, const Tensor &in, const Tensor &weights,
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
-    if (in.size() != l.inputElems())
-        panic("convForward ", l.name, ": bad input size");
+    const std::size_t batch =
+        kernelBatch(in, l.inputElems(), l, "convForward");
     if (weights.size() != l.weightCount())
         panic("convForward ", l.name, ": bad weight size");
-    if (out.size() != l.outputElems())
+    if (out.size() != batch * l.outputElems())
         panic("convForward ", l.name, ": bad output size");
 
     const int k_dim = icg * l.kernelH * l.kernelW;
     const int n_dim = l.outH * l.outW;
-    std::vector<float> cols(static_cast<std::size_t>(k_dim) * n_dim);
-    for (int g = 0; g < l.groups; ++g) {
-        im2col(l, in.data(), g * icg, icg, cols.data());
-        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, ocg, n_dim, k_dim,
-              1.0f,
-              weights.data() + static_cast<std::size_t>(g) * ocg * k_dim,
-              k_dim, cols.data(), n_dim, 0.0f,
-              out.data() + static_cast<std::size_t>(g) * ocg * n_dim,
-              n_dim);
-    }
+    const std::size_t groups = static_cast<std::size_t>(l.groups);
+    parallelForRange(batch * groups,
+                     [&](std::size_t begin, std::size_t end) {
+        std::vector<float> cols(static_cast<std::size_t>(k_dim) * n_dim);
+        for (std::size_t b = begin; b < end; ++b) {
+            const std::size_t n = b / groups;
+            const int g = static_cast<int>(b % groups);
+            im2col(l, in.data() + n * l.inputElems(), g * icg, icg,
+                   cols.data());
+            sgemm(GemmOp::NoTrans, GemmOp::NoTrans, ocg, n_dim, k_dim,
+                  1.0f,
+                  weights.data() +
+                      static_cast<std::size_t>(g) * ocg * k_dim,
+                  k_dim, cols.data(), n_dim, 0.0f,
+                  out.data() + n * l.outputElems() +
+                      static_cast<std::size_t>(g) * ocg * n_dim,
+                  n_dim);
+        }
+    });
 }
 
 void
@@ -246,22 +281,36 @@ convBackwardData(const Layer &l, const Tensor &dout,
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
-    if (din.size() != l.inputElems() || dout.size() != l.outputElems())
+    const std::size_t batch =
+        kernelBatch(dout, l.outputElems(), l, "convBackwardData");
+    if (din.size() != batch * l.inputElems())
         panic("convBackwardData ", l.name, ": bad sizes");
     din.fill(0.0f);
 
     const int k_dim = icg * l.kernelH * l.kernelW;
     const int n_dim = l.outH * l.outW;
-    std::vector<float> dcols(static_cast<std::size_t>(k_dim) * n_dim);
-    for (int g = 0; g < l.groups; ++g) {
-        // dcols = W_g^T * dy_g, then scatter back through the patch map.
-        sgemm(GemmOp::Trans, GemmOp::NoTrans, k_dim, n_dim, ocg, 1.0f,
-              weights.data() + static_cast<std::size_t>(g) * ocg * k_dim,
-              k_dim,
-              dout.data() + static_cast<std::size_t>(g) * ocg * n_dim,
-              n_dim, 0.0f, dcols.data(), n_dim);
-        col2im(l, dcols.data(), g * icg, icg, din.data());
-    }
+    const std::size_t groups = static_cast<std::size_t>(l.groups);
+    // Block (n, g) scatters only into channels [g*icg, (g+1)*icg) of
+    // image n — disjoint writes, so the batched grain is safe.
+    parallelForRange(batch * groups,
+                     [&](std::size_t begin, std::size_t end) {
+        std::vector<float> dcols(static_cast<std::size_t>(k_dim) * n_dim);
+        for (std::size_t b = begin; b < end; ++b) {
+            const std::size_t n = b / groups;
+            const int g = static_cast<int>(b % groups);
+            // dcols = W_g^T * dy_g, then scatter through the patch map.
+            sgemm(GemmOp::Trans, GemmOp::NoTrans, k_dim, n_dim, ocg,
+                  1.0f,
+                  weights.data() +
+                      static_cast<std::size_t>(g) * ocg * k_dim,
+                  k_dim,
+                  dout.data() + n * l.outputElems() +
+                      static_cast<std::size_t>(g) * ocg * n_dim,
+                  n_dim, 0.0f, dcols.data(), n_dim);
+            col2im(l, dcols.data(), g * icg, icg,
+                   din.data() + n * l.inputElems());
+        }
+    });
 }
 
 void
@@ -270,21 +319,33 @@ convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
+    const std::size_t batch =
+        kernelBatch(in, l.inputElems(), l, "convWeightGrad");
+    if (dout.size() != batch * l.outputElems())
+        panic("convWeightGrad ", l.name, ": bad sizes");
     if (dweights.size() != l.weightCount())
         panic("convWeightGrad ", l.name, ": bad gradient size");
 
     const int k_dim = icg * l.kernelH * l.kernelW;
     const int n_dim = l.outH * l.outW;
     std::vector<float> cols(static_cast<std::size_t>(k_dim) * n_dim);
-    for (int g = 0; g < l.groups; ++g) {
-        im2col(l, in.data(), g * icg, icg, cols.data());
-        // dW_g += dy_g * cols^T (beta = 1: minibatch accumulation).
-        sgemm(GemmOp::NoTrans, GemmOp::Trans, ocg, k_dim, n_dim, 1.0f,
-              dout.data() + static_cast<std::size_t>(g) * ocg * n_dim,
-              n_dim, cols.data(), n_dim, 1.0f,
-              dweights.data() +
-                  static_cast<std::size_t>(g) * ocg * k_dim,
-              k_dim);
+    // dW is shared by the whole batch, so images fold serially in
+    // ascending order (bit-identical to per-image accumulation); the
+    // im2col/sgemm calls below keep their internal parallelism.
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (int g = 0; g < l.groups; ++g) {
+            im2col(l, in.data() + n * l.inputElems(), g * icg, icg,
+                   cols.data());
+            // dW_g += dy_g * cols^T (beta = 1: batch accumulation).
+            sgemm(GemmOp::NoTrans, GemmOp::Trans, ocg, k_dim, n_dim,
+                  1.0f,
+                  dout.data() + n * l.outputElems() +
+                      static_cast<std::size_t>(g) * ocg * n_dim,
+                  n_dim, cols.data(), n_dim, 1.0f,
+                  dweights.data() +
+                      static_cast<std::size_t>(g) * ocg * k_dim,
+                  k_dim);
+        }
     }
 }
 
@@ -294,13 +355,23 @@ fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
-    if (in.size() != n_in || out.size() != n_out ||
-        weights.size() != n_in * n_out) {
+    const std::size_t batch = kernelBatch(in, n_in, l, "fcForward");
+    if (out.size() != batch * n_out || weights.size() != n_in * n_out)
         panic("fcForward ", l.name, ": bad sizes");
+    if (batch == 1) {
+        // Single image: the gemv fast path.
+        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out),
+              1, static_cast<int>(n_in), 1.0f, weights.data(),
+              static_cast<int>(n_in), in.data(), 1, 0.0f, out.data(), 1);
+        return;
     }
-    sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out), 1,
-          static_cast<int>(n_in), 1.0f, weights.data(),
-          static_cast<int>(n_in), in.data(), 1, 0.0f, out.data(), 1);
+    // out[n][o] = dot(W row o, image n): one real GEMM with the output
+    // channels as the (stripe-parallel) column dimension.
+    sgemm(GemmOp::NoTrans, GemmOp::Trans, static_cast<int>(batch),
+          static_cast<int>(n_out), static_cast<int>(n_in), 1.0f,
+          in.data(), static_cast<int>(n_in), weights.data(),
+          static_cast<int>(n_in), 0.0f, out.data(),
+          static_cast<int>(n_out));
 }
 
 void
@@ -309,11 +380,23 @@ fcBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
-    if (din.size() != n_in || dout.size() != n_out)
+    const std::size_t batch = kernelBatch(dout, n_out, l,
+                                          "fcBackwardData");
+    if (din.size() != batch * n_in)
         panic("fcBackwardData ", l.name, ": bad sizes");
-    sgemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_in), 1,
-          static_cast<int>(n_out), 1.0f, weights.data(),
-          static_cast<int>(n_in), dout.data(), 1, 0.0f, din.data(), 1);
+    if (batch == 1) {
+        sgemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_in), 1,
+              static_cast<int>(n_out), 1.0f, weights.data(),
+              static_cast<int>(n_in), dout.data(), 1, 0.0f, din.data(),
+              1);
+        return;
+    }
+    // din[n][i] = sum_o dout[n][o] * W[o][i].
+    sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(batch),
+          static_cast<int>(n_in), static_cast<int>(n_out), 1.0f,
+          dout.data(), static_cast<int>(n_out), weights.data(),
+          static_cast<int>(n_in), 0.0f, din.data(),
+          static_cast<int>(n_in));
 }
 
 void
@@ -322,11 +405,17 @@ fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    const std::size_t batch = kernelBatch(in, n_in, l, "fcWeightGrad");
+    if (dout.size() != batch * n_out)
+        panic("fcWeightGrad ", l.name, ": bad sizes");
     if (dweights.size() != n_in * n_out)
         panic("fcWeightGrad ", l.name, ": bad gradient size");
-    // Rank-1 update dW += dy x^T.
-    sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out),
-          static_cast<int>(n_in), 1, 1.0f, dout.data(), 1, in.data(),
+    // dW += dout^T * in: the batch is the GEMM reduction dimension, so
+    // images accumulate in ascending order — bit-identical to serial
+    // per-image rank-1 updates.
+    sgemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_out),
+          static_cast<int>(n_in), static_cast<int>(batch), 1.0f,
+          dout.data(), static_cast<int>(n_out), in.data(),
           static_cast<int>(n_in), 1.0f, dweights.data(),
           static_cast<int>(n_in));
 }
@@ -335,63 +424,75 @@ void
 poolForward(const Layer &l, const Tensor &in, Tensor &out,
             std::vector<std::uint32_t> *argmax)
 {
-    if (in.size() != l.inputElems() || out.size() != l.outputElems())
+    const std::size_t batch =
+        kernelBatch(in, l.inputElems(), l, "poolForward");
+    if (out.size() != batch * l.outputElems())
         panic("poolForward ", l.name, ": bad sizes");
     if (argmax)
         argmax->assign(out.size(), 0);
 
-    const float *x = in.data();
-    float *y = out.data();
     const bool is_max = l.sampKind == SampKind::Max;
-
-    for (int c = 0; c < l.outChannels; ++c) {
-        for (int oh = 0; oh < l.outH; ++oh) {
-            for (int ow = 0; ow < l.outW; ++ow) {
-                float best = -1e30f;
-                double sum = 0.0;
-                std::uint32_t best_idx = 0;
-                int count = 0;
-                for (int kh = 0; kh < l.kernelH; ++kh) {
-                    const int h = oh * l.strideH - l.padH + kh;
-                    if (h < 0 || h >= l.inH)
-                        continue;
-                    for (int kw = 0; kw < l.kernelW; ++kw) {
-                        const int wi = ow * l.strideW - l.padW + kw;
-                        if (wi < 0 || wi >= l.inW)
+    // Images are independent; argmax records *global* indices into the
+    // batched input tensor so poolBackward can scatter flat.
+    parallelFor(batch, [&](std::size_t n) {
+        const float *x = in.data() + n * l.inputElems();
+        float *y = out.data() + n * l.outputElems();
+        const std::size_t in_base = n * l.inputElems();
+        const std::size_t out_base = n * l.outputElems();
+        for (int c = 0; c < l.outChannels; ++c) {
+            for (int oh = 0; oh < l.outH; ++oh) {
+                for (int ow = 0; ow < l.outW; ++ow) {
+                    float best = -1e30f;
+                    double sum = 0.0;
+                    std::uint32_t best_idx = 0;
+                    int count = 0;
+                    for (int kh = 0; kh < l.kernelH; ++kh) {
+                        const int h = oh * l.strideH - l.padH + kh;
+                        if (h < 0 || h >= l.inH)
                             continue;
-                        std::size_t idx =
-                            (static_cast<std::size_t>(c) * l.inH + h) *
-                            l.inW + wi;
-                        float v = x[idx];
-                        sum += v;
-                        ++count;
-                        if (v > best) {
-                            best = v;
-                            best_idx = static_cast<std::uint32_t>(idx);
+                        for (int kw = 0; kw < l.kernelW; ++kw) {
+                            const int wi = ow * l.strideW - l.padW + kw;
+                            if (wi < 0 || wi >= l.inW)
+                                continue;
+                            std::size_t idx =
+                                (static_cast<std::size_t>(c) * l.inH +
+                                 h) * l.inW + wi;
+                            float v = x[idx];
+                            sum += v;
+                            ++count;
+                            if (v > best) {
+                                best = v;
+                                best_idx =
+                                    static_cast<std::uint32_t>(in_base +
+                                                               idx);
+                            }
                         }
                     }
-                }
-                std::size_t oidx =
-                    (static_cast<std::size_t>(c) * l.outH + oh) * l.outW +
-                    ow;
-                if (is_max) {
-                    y[oidx] = count ? best : 0.0f;
-                    if (argmax)
-                        (*argmax)[oidx] = best_idx;
-                } else {
-                    y[oidx] = count ? static_cast<float>(sum / count)
-                                    : 0.0f;
+                    std::size_t oidx =
+                        (static_cast<std::size_t>(c) * l.outH + oh) *
+                        l.outW + ow;
+                    if (is_max) {
+                        y[oidx] = count ? best : 0.0f;
+                        if (argmax)
+                            (*argmax)[out_base + oidx] = best_idx;
+                    } else {
+                        y[oidx] = count
+                            ? static_cast<float>(sum / count)
+                            : 0.0f;
+                    }
                 }
             }
         }
-    }
+    });
 }
 
 void
 poolBackward(const Layer &l, const Tensor &dout,
              const std::vector<std::uint32_t> &argmax, Tensor &din)
 {
-    if (din.size() != l.inputElems() || dout.size() != l.outputElems())
+    const std::size_t batch =
+        kernelBatch(dout, l.outputElems(), l, "poolBackward");
+    if (din.size() != batch * l.inputElems())
         panic("poolBackward ", l.name, ": bad sizes");
     din.fill(0.0f);
     const float *dy = dout.data();
@@ -400,47 +501,53 @@ poolBackward(const Layer &l, const Tensor &dout,
     if (l.sampKind == SampKind::Max) {
         if (argmax.size() != dout.size())
             panic("poolBackward ", l.name, ": missing argmax");
+        // argmax holds global (batched) indices, so the scatter is one
+        // flat pass over the whole minibatch.
         for (std::size_t i = 0; i < dout.size(); ++i)
             dx[argmax[i]] += dy[i];
         return;
     }
 
     // Average pooling: distribute the error evenly over the window.
-    for (int c = 0; c < l.outChannels; ++c) {
-        for (int oh = 0; oh < l.outH; ++oh) {
-            for (int ow = 0; ow < l.outW; ++ow) {
-                // First count valid window entries.
-                int count = 0;
-                for (int kh = 0; kh < l.kernelH; ++kh) {
-                    const int h = oh * l.strideH - l.padH + kh;
-                    if (h < 0 || h >= l.inH)
-                        continue;
-                    for (int kw = 0; kw < l.kernelW; ++kw) {
-                        const int wi = ow * l.strideW - l.padW + kw;
-                        if (wi >= 0 && wi < l.inW)
-                            ++count;
-                    }
-                }
-                if (count == 0)
-                    continue;
-                const float share =
-                    dy[(static_cast<std::size_t>(c) * l.outH + oh) *
-                       l.outW + ow] / static_cast<float>(count);
-                for (int kh = 0; kh < l.kernelH; ++kh) {
-                    const int h = oh * l.strideH - l.padH + kh;
-                    if (h < 0 || h >= l.inH)
-                        continue;
-                    for (int kw = 0; kw < l.kernelW; ++kw) {
-                        const int wi = ow * l.strideW - l.padW + kw;
-                        if (wi < 0 || wi >= l.inW)
+    parallelFor(batch, [&](std::size_t n) {
+        const float *dyn = dy + n * l.outputElems();
+        float *dxn = dx + n * l.inputElems();
+        for (int c = 0; c < l.outChannels; ++c) {
+            for (int oh = 0; oh < l.outH; ++oh) {
+                for (int ow = 0; ow < l.outW; ++ow) {
+                    // First count valid window entries.
+                    int count = 0;
+                    for (int kh = 0; kh < l.kernelH; ++kh) {
+                        const int h = oh * l.strideH - l.padH + kh;
+                        if (h < 0 || h >= l.inH)
                             continue;
-                        dx[(static_cast<std::size_t>(c) * l.inH + h) *
-                           l.inW + wi] += share;
+                        for (int kw = 0; kw < l.kernelW; ++kw) {
+                            const int wi = ow * l.strideW - l.padW + kw;
+                            if (wi >= 0 && wi < l.inW)
+                                ++count;
+                        }
+                    }
+                    if (count == 0)
+                        continue;
+                    const float share =
+                        dyn[(static_cast<std::size_t>(c) * l.outH + oh) *
+                            l.outW + ow] / static_cast<float>(count);
+                    for (int kh = 0; kh < l.kernelH; ++kh) {
+                        const int h = oh * l.strideH - l.padH + kh;
+                        if (h < 0 || h >= l.inH)
+                            continue;
+                        for (int kw = 0; kw < l.kernelW; ++kw) {
+                            const int wi = ow * l.strideW - l.padW + kw;
+                            if (wi < 0 || wi >= l.inW)
+                                continue;
+                            dxn[(static_cast<std::size_t>(c) * l.inH +
+                                 h) * l.inW + wi] += share;
+                        }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 void
@@ -449,19 +556,20 @@ fcForwardNaive(const Layer &l, const Tensor &in, const Tensor &weights,
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
-    if (in.size() != n_in || out.size() != n_out ||
-        weights.size() != n_in * n_out) {
+    const std::size_t batch = kernelBatch(in, n_in, l, "fcForward");
+    if (out.size() != batch * n_out || weights.size() != n_in * n_out)
         panic("fcForward ", l.name, ": bad sizes");
-    }
-    const float *x = in.data();
     const float *w = weights.data();
-    float *y = out.data();
-    for (std::size_t o = 0; o < n_out; ++o) {
-        float acc = 0.0f;
-        const float *wrow = w + o * n_in;
-        for (std::size_t i = 0; i < n_in; ++i)
-            acc += wrow[i] * x[i];
-        y[o] = acc;
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *x = in.data() + n * n_in;
+        float *y = out.data() + n * n_out;
+        for (std::size_t o = 0; o < n_out; ++o) {
+            float acc = 0.0f;
+            const float *wrow = w + o * n_in;
+            for (std::size_t i = 0; i < n_in; ++i)
+                acc += wrow[i] * x[i];
+            y[o] = acc;
+        }
     }
 }
 
@@ -471,19 +579,23 @@ fcBackwardDataNaive(const Layer &l, const Tensor &dout,
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
-    if (din.size() != n_in || dout.size() != n_out)
+    const std::size_t batch = kernelBatch(dout, n_out, l,
+                                          "fcBackwardData");
+    if (din.size() != batch * n_in)
         panic("fcBackwardData ", l.name, ": bad sizes");
     din.fill(0.0f);
-    const float *dy = dout.data();
     const float *w = weights.data();
-    float *dx = din.data();
-    for (std::size_t o = 0; o < n_out; ++o) {
-        const float e = dy[o];
-        if (e == 0.0f)
-            continue;
-        const float *wrow = w + o * n_in;
-        for (std::size_t i = 0; i < n_in; ++i)
-            dx[i] += e * wrow[i];
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *dy = dout.data() + n * n_out;
+        float *dx = din.data() + n * n_in;
+        for (std::size_t o = 0; o < n_out; ++o) {
+            const float e = dy[o];
+            if (e == 0.0f)
+                continue;
+            const float *wrow = w + o * n_in;
+            for (std::size_t i = 0; i < n_in; ++i)
+                dx[i] += e * wrow[i];
+        }
     }
 }
 
@@ -493,29 +605,35 @@ fcWeightGradNaive(const Layer &l, const Tensor &in, const Tensor &dout,
 {
     const std::size_t n_in = l.inputElems();
     const std::size_t n_out = static_cast<std::size_t>(l.outChannels);
+    const std::size_t batch = kernelBatch(in, n_in, l, "fcWeightGrad");
+    if (dout.size() != batch * n_out)
+        panic("fcWeightGrad ", l.name, ": bad sizes");
     if (dweights.size() != n_in * n_out)
         panic("fcWeightGrad ", l.name, ": bad gradient size");
-    const float *x = in.data();
-    const float *dy = dout.data();
     float *dw = dweights.data();
-    for (std::size_t o = 0; o < n_out; ++o) {
-        const float e = dy[o];
-        if (e == 0.0f)
-            continue;
-        float *dwrow = dw + o * n_in;
-        for (std::size_t i = 0; i < n_in; ++i)
-            dwrow[i] += e * x[i];
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *x = in.data() + n * n_in;
+        const float *dy = dout.data() + n * n_out;
+        for (std::size_t o = 0; o < n_out; ++o) {
+            const float e = dy[o];
+            if (e == 0.0f)
+                continue;
+            float *dwrow = dw + o * n_in;
+            for (std::size_t i = 0; i < n_in; ++i)
+                dwrow[i] += e * x[i];
+        }
     }
 }
 
+namespace {
+
+/** One image's softmax + cross-entropy over a flat logit span. */
 double
-softmaxCrossEntropy(const Tensor &logits, int label, Tensor &dlogits)
+softmaxCrossEntropySpan(const float *logits, std::size_t n, int label,
+                        float *dlogits)
 {
-    const std::size_t n = logits.size();
     if (label < 0 || static_cast<std::size_t>(label) >= n)
         panic("softmaxCrossEntropy: label out of range");
-    if (dlogits.size() != n)
-        panic("softmaxCrossEntropy: gradient size mismatch");
 
     float max_logit = logits[0];
     for (std::size_t i = 1; i < n; ++i)
@@ -533,6 +651,35 @@ softmaxCrossEntropy(const Tensor &logits, int label, Tensor &dlogits)
     double log_p =
         static_cast<double>(logits[label] - max_logit) - log_denom;
     return -log_p;
+}
+
+} // namespace
+
+double
+softmaxCrossEntropy(const Tensor &logits, int label, Tensor &dlogits)
+{
+    if (dlogits.size() != logits.size())
+        panic("softmaxCrossEntropy: gradient size mismatch");
+    return softmaxCrossEntropySpan(logits.data(), logits.size(), label,
+                                   dlogits.data());
+}
+
+double
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels,
+                    Tensor &dlogits)
+{
+    const std::size_t batch = labels.size();
+    if (batch == 0 || logits.size() % batch != 0)
+        panic("softmaxCrossEntropy: batch size mismatch");
+    if (dlogits.size() != logits.size())
+        panic("softmaxCrossEntropy: gradient size mismatch");
+    const std::size_t per = logits.size() / batch;
+    double loss = 0.0;
+    for (std::size_t n = 0; n < batch; ++n)
+        loss += softmaxCrossEntropySpan(logits.data() + n * per, per,
+                                        labels[n],
+                                        dlogits.data() + n * per);
+    return loss;
 }
 
 ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed)
@@ -565,20 +712,55 @@ ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed)
 Tensor
 ReferenceEngine::outputShapeTensor(const Layer &l) const
 {
-    return Tensor({static_cast<std::size_t>(l.outChannels),
-                   static_cast<std::size_t>(l.outH),
-                   static_cast<std::size_t>(l.outW)});
+    std::vector<std::size_t> shape = {
+        static_cast<std::size_t>(l.outChannels),
+        static_cast<std::size_t>(l.outH),
+        static_cast<std::size_t>(l.outW)};
+    if (batch_ > 1)
+        shape.insert(shape.begin(), batch_);
+    return Tensor(std::move(shape));
+}
+
+Tensor
+ReferenceEngine::inputShapeTensor(const Layer &l) const
+{
+    std::vector<std::size_t> shape = {
+        static_cast<std::size_t>(l.inChannels),
+        static_cast<std::size_t>(l.inH),
+        static_cast<std::size_t>(l.inW)};
+    if (batch_ > 1)
+        shape.insert(shape.begin(), batch_);
+    return Tensor(std::move(shape));
+}
+
+void
+ReferenceEngine::ensureBatch(std::size_t batch)
+{
+    if (batch == 0)
+        fatal("ReferenceEngine: batch must be >= 1");
+    if (batch == batch_)
+        return;
+    batch_ = batch;
+    for (const Layer &l : net_->layers()) {
+        acts_[l.id] = outputShapeTensor(l);
+        errors_[l.id] = outputShapeTensor(l);
+        argmax_[l.id].clear();
+    }
 }
 
 const Tensor &
-ReferenceEngine::forward(const Tensor &image)
+ReferenceEngine::forward(const Tensor &input)
 {
+    ensureBatch(input.batch());
     for (const Layer &l : net_->layers()) {
         switch (l.kind) {
           case LayerKind::Input:
-            if (image.size() != l.outputElems())
+            if (input.size() != batch_ * l.outputElems())
                 fatal("forward: input image has wrong size");
-            acts_[l.id] = image;
+            // Copy into the canonical-shape buffer (the caller's
+            // tensor may be flattened differently).
+            std::copy(input.data(), input.data() + input.size(),
+                      acts_[l.id].data());
             break;
           case LayerKind::Conv:
             convForward(l, acts_[l.inputs[0]], weights_[l.id],
@@ -602,13 +784,21 @@ ReferenceEngine::forward(const Tensor &image)
             break;
           }
           case LayerKind::Concat: {
+            // Channel concatenation happens *within* each image, so
+            // batched inputs interleave: image n of every producer
+            // lands in image n of the output.
             Tensor &y = acts_[l.id];
-            std::size_t offset = 0;
-            for (LayerId in : l.inputs) {
-                const Tensor &src = acts_[in];
-                std::copy(src.data(), src.data() + src.size(),
-                          y.data() + offset);
-                offset += src.size();
+            const std::size_t out_elems = l.outputElems();
+            for (std::size_t n = 0; n < batch_; ++n) {
+                std::size_t offset = 0;
+                for (LayerId in : l.inputs) {
+                    const Tensor &src = acts_[in];
+                    const std::size_t per = src.imageElems();
+                    std::copy(src.data() + n * per,
+                              src.data() + (n + 1) * per,
+                              y.data() + n * out_elems + offset);
+                    offset += per;
+                }
             }
             break;
           }
@@ -620,14 +810,24 @@ ReferenceEngine::forward(const Tensor &image)
 double
 ReferenceEngine::forwardBackward(const Tensor &image, int label)
 {
-    const Tensor &logits = forward(image);
+    return forwardBackward(image, std::vector<int>{label});
+}
+
+double
+ReferenceEngine::forwardBackward(const Tensor &input,
+                                 const std::vector<int> &labels)
+{
+    const Tensor &logits = forward(input);
+    if (labels.size() != batch_)
+        fatal("forwardBackward: labels/batch mismatch");
     for (Tensor &e : errors_)
         e.fill(0.0f);
     LayerId out_id = net_->outputLayer().id;
-    double loss = softmaxCrossEntropy(logits, label, errors_[out_id]);
+    double loss = softmaxCrossEntropy(logits, labels, errors_[out_id]);
 
     // Walk the layers in reverse topological order; errors_ at a layer
-    // holds d(loss)/d(post-activation output of that layer).
+    // holds d(loss)/d(post-activation output of that layer) for every
+    // image of the batch.
     for (auto it = net_->layers().rbegin(); it != net_->layers().rend();
          ++it) {
         const Layer &l = *it;
@@ -638,10 +838,7 @@ ReferenceEngine::forwardBackward(const Tensor &image, int label)
           case LayerKind::Conv: {
             applyActivationGrad(dy, acts_[l.id], l.act);
             convWeightGrad(l, acts_[l.inputs[0]], dy, grads_[l.id]);
-            Tensor din(
-                {static_cast<std::size_t>(l.inChannels),
-                 static_cast<std::size_t>(l.inH),
-                 static_cast<std::size_t>(l.inW)});
+            Tensor din = inputShapeTensor(l);
             convBackwardData(l, dy, weights_[l.id], din);
             errors_[l.inputs[0]].accumulate(din);
             break;
@@ -649,19 +846,18 @@ ReferenceEngine::forwardBackward(const Tensor &image, int label)
           case LayerKind::Fc: {
             applyActivationGrad(dy, acts_[l.id], l.act);
             fcWeightGrad(l, acts_[l.inputs[0]], dy, grads_[l.id]);
-            Tensor din({l.inputElems()});
+            Tensor din({batch_ * l.inputElems()});
             fcBackwardData(l, dy, weights_[l.id], din);
-            // The producer may be spatial; reshape the flat gradient.
+            // The producer may be spatial; add the flat gradient
+            // (per-image blocks are contiguous in NCHW, so the flat
+            // add lines up image by image).
             Tensor &dst = errors_[l.inputs[0]];
             for (std::size_t i = 0; i < din.size(); ++i)
                 dst[i] += din[i];
             break;
           }
           case LayerKind::Samp: {
-            Tensor din(
-                {static_cast<std::size_t>(l.inChannels),
-                 static_cast<std::size_t>(l.inH),
-                 static_cast<std::size_t>(l.inW)});
+            Tensor din = inputShapeTensor(l);
             poolBackward(l, dy, argmax_[l.id], din);
             errors_[l.inputs[0]].accumulate(din);
             break;
@@ -672,12 +868,20 @@ ReferenceEngine::forwardBackward(const Tensor &image, int label)
                 errors_[in].accumulate(dy);
             break;
           case LayerKind::Concat: {
-            std::size_t offset = 0;
-            for (LayerId in : l.inputs) {
-                Tensor &dst = errors_[in];
-                for (std::size_t i = 0; i < dst.size(); ++i)
-                    dst[i] += dy[offset + i];
-                offset += dst.size();
+            // Un-interleave: image n of dy splits back into image n of
+            // every producer's error buffer.
+            const std::size_t out_elems = l.outputElems();
+            for (std::size_t n = 0; n < batch_; ++n) {
+                std::size_t offset = 0;
+                for (LayerId in : l.inputs) {
+                    Tensor &dst = errors_[in];
+                    const std::size_t per = dst.imageElems();
+                    float *d = dst.data() + n * per;
+                    const float *s = dy.data() + n * out_elems + offset;
+                    for (std::size_t i = 0; i < per; ++i)
+                        d[i] += s[i];
+                    offset += per;
+                }
             }
             break;
           }
@@ -711,11 +915,18 @@ ReferenceEngine::trainMinibatch(const std::vector<Tensor> &images,
 {
     if (images.size() != labels.size() || images.empty())
         fatal("trainMinibatch: bad batch");
-    double loss = 0.0;
-    for (std::size_t i = 0; i < images.size(); ++i)
-        loss += forwardBackward(images[i], labels[i]);
-    applyUpdate(lr, static_cast<int>(images.size()));
-    return loss / static_cast<double>(images.size());
+    return trainMinibatch(Tensor::stack(images), labels, lr);
+}
+
+double
+ReferenceEngine::trainMinibatch(const Tensor &batch,
+                                const std::vector<int> &labels, float lr)
+{
+    if (labels.empty() || batch.batch() != labels.size())
+        fatal("trainMinibatch: bad batch");
+    double loss = forwardBackward(batch, labels);
+    applyUpdate(lr, static_cast<int>(labels.size()));
+    return loss / static_cast<double>(labels.size());
 }
 
 int

@@ -9,8 +9,18 @@
  * is validated against these kernels, and the training examples use the
  * engine end-to-end ("learning and evaluating deep networks").
  *
- * Tensors are CHW (single image); weights are [outC, inC/groups, kH, kW].
- * Layers carry no bias terms, matching the paper's weight accounting.
+ * Tensors are NCHW: every kernel infers the minibatch size from the
+ * tensor volume (size / per-image elems), so a rank-3 CHW tensor is the
+ * batch-1 special case and all single-image call sites keep working.
+ * Weights are [outC, inC/groups, kH, kW] and are shared across the
+ * batch. Layers carry no bias terms, matching the paper's weight
+ * accounting.
+ *
+ * Determinism: batched kernels parallelize over disjoint (image,
+ * group) output blocks — falling back to the GEMM column stripes
+ * within a single image — and weight-gradient accumulation folds the
+ * batch in ascending image order, so results are bit-identical for
+ * every jobs value (the same contract as core/parallel.hh).
  */
 
 #ifndef SCALEDEEP_DNN_REFERENCE_HH
@@ -38,12 +48,16 @@ void applyActivation(Tensor &t, Activation act);
 void applyActivationGrad(Tensor &grad, const Tensor &y, Activation act);
 
 /**
- * 2D convolution forward: out[oc][oh][ow] = sum w * in. No activation.
+ * 2D convolution forward: out[n][oc][oh][ow] = sum w * in. No
+ * activation. The batch is inferred from in.size() / inputElems; a CHW
+ * tensor is batch 1.
  *
  * Lowered to im2col + blocked GEMM (dnn/gemm.hh) and parallelized
- * through the core runtime; bit-identical for every jobs value. The
- * direct 7-loop implementations are retained with a Naive suffix as
- * the tolerance oracle for tests and benchmarks.
+ * through the core runtime over disjoint (image, group) blocks;
+ * bit-identical for every jobs value. The direct loop-nest
+ * implementations are retained with a Naive suffix (batched with a
+ * serial outer image loop) as the tolerance oracle for tests and
+ * benchmarks.
  */
 void convForward(const Layer &l, const Tensor &in, const Tensor &weights,
                  Tensor &out);
@@ -71,7 +85,10 @@ void fcBackwardDataNaive(const Layer &l, const Tensor &dout,
 void fcWeightGradNaive(const Layer &l, const Tensor &in,
                        const Tensor &dout, Tensor &dweights);
 
-/** Pooling forward; for max-pooling @p argmax records winner indices. */
+/**
+ * Pooling forward; for max-pooling @p argmax records winner indices
+ * (global indices into the batched input tensor).
+ */
 void poolForward(const Layer &l, const Tensor &in, Tensor &out,
                  std::vector<std::uint32_t> *argmax);
 
@@ -79,7 +96,11 @@ void poolForward(const Layer &l, const Tensor &in, Tensor &out,
 void poolBackward(const Layer &l, const Tensor &dout,
                   const std::vector<std::uint32_t> &argmax, Tensor &din);
 
-/** Fully-connected forward: out = W * flatten(in). */
+/**
+ * Fully-connected forward: out[n] = W * flatten(in[n]). Batch 1 runs
+ * the gemv fast path; batch > 1 is one real GEMM (the batch becomes
+ * the second matrix dimension instead of degenerating to N=1).
+ */
 void fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
                Tensor &out);
 
@@ -87,7 +108,11 @@ void fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
 void fcBackwardData(const Layer &l, const Tensor &dout,
                     const Tensor &weights, Tensor &din);
 
-/** Fully-connected weight-gradient (accumulates). */
+/**
+ * Fully-connected weight-gradient (accumulates). Batched calls fold
+ * the batch as the GEMM reduction dimension in ascending image order —
+ * bit-identical to serial per-image rank-1 updates.
+ */
 void fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
                   Tensor &dweights);
 
@@ -100,6 +125,15 @@ void fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
  * @return scalar loss
  */
 double softmaxCrossEntropy(const Tensor &logits, int label,
+                           Tensor &dlogits);
+
+/**
+ * Batched softmax + cross-entropy: @p logits holds labels.size()
+ * consecutive per-image logit vectors; @p dlogits (same volume)
+ * receives every per-image gradient. @return the summed loss.
+ */
+double softmaxCrossEntropy(const Tensor &logits,
+                           const std::vector<int> &labels,
                            Tensor &dlogits);
 
 // --- the training/evaluation engine ---
@@ -119,8 +153,14 @@ class ReferenceEngine
 
     const Network &network() const { return *net_; }
 
-    /** Forward propagation; returns the final layer's output. */
-    const Tensor &forward(const Tensor &image);
+    /**
+     * Forward propagation; returns the final layer's output.
+     *
+     * @p input is one CHW image (rank 3, batch 1) or an NCHW minibatch
+     * (rank 4, batch N). The whole batch flows through every layer in
+     * one pass; activation buffers are (re)shaped to the batch.
+     */
+    const Tensor &forward(const Tensor &input);
 
     /**
      * Full training iteration on one example: FP, loss, BP, WG.
@@ -131,28 +171,53 @@ class ReferenceEngine
      */
     double forwardBackward(const Tensor &image, int label);
 
+    /**
+     * Batched training iteration: FP, loss, BP, WG for the whole
+     * minibatch in one pass (labels.size() must match the batch of
+     * @p input). Weight gradients accumulate in ascending image
+     * order. @return the summed cross-entropy loss over the batch.
+     */
+    double forwardBackward(const Tensor &input,
+                           const std::vector<int> &labels);
+
     /** SGD update: w -= lr/batch * dw, then zero the gradients. */
     void applyUpdate(float lr, int batch_size);
 
-    /** Run one minibatch (forwardBackward on each, then update). */
+    /** Run one minibatch in a single batched pass, then update. */
     double trainMinibatch(const std::vector<Tensor> &images,
+                          const std::vector<int> &labels, float lr);
+
+    /** trainMinibatch on an already-stacked NCHW batch tensor. */
+    double trainMinibatch(const Tensor &batch,
                           const std::vector<int> &labels, float lr);
 
     /** Predicted class of @p image (argmax over final outputs). */
     int predict(const Tensor &image);
 
+    /** Batch size of the last forward / training pass. */
+    std::size_t batchSize() const { return batch_; }
+
     Tensor &weights(LayerId id);
     const Tensor &weights(LayerId id) const;
     Tensor &weightGrad(LayerId id);
-    /** Post-activation output of layer @p id from the last forward(). */
+    /**
+     * Post-activation output of layer @p id from the last forward():
+     * CHW for batch 1, NCHW covering *every* image of the batch
+     * otherwise (use Tensor::imageAt to pull one image out).
+     */
     const Tensor &activation(LayerId id) const;
-    /** Error (loss gradient) at layer @p id from the last BP. */
+    /** Error (loss gradient) at layer @p id from the last BP; batched
+     * exactly like activation(). */
     const Tensor &error(LayerId id) const;
 
   private:
     Tensor outputShapeTensor(const Layer &l) const;
+    Tensor inputShapeTensor(const Layer &l) const;
+    /** Reshape acts_/errors_ for a new batch size. */
+    void ensureBatch(std::size_t batch);
 
     const Network *net_;
+    std::size_t batch_ = 1;             ///< current minibatch size
     std::vector<Tensor> weights_;
     std::vector<Tensor> grads_;
     std::vector<Tensor> acts_;          ///< post-activation outputs

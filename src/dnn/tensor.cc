@@ -38,6 +38,44 @@ Tensor::uniform(std::vector<std::size_t> shape, Rng &rng, float lo, float hi)
     return t;
 }
 
+Tensor
+Tensor::stack(const std::vector<Tensor> &items)
+{
+    if (items.empty())
+        panic("Tensor::stack: empty batch");
+    const Tensor &first = items.front();
+    if (first.rank() > 3)
+        panic("Tensor::stack: items must be rank <= 3");
+    std::vector<std::size_t> shape = {items.size()};
+    shape.insert(shape.end(), first.shape_.begin(), first.shape_.end());
+    Tensor out(std::move(shape));
+    for (std::size_t n = 0; n < items.size(); ++n) {
+        if (items[n].shape_ != first.shape_)
+            panic("Tensor::stack: item ", n, " shape mismatch");
+        std::copy(items[n].data_.begin(), items[n].data_.end(),
+                  out.data_.begin() +
+                      static_cast<std::ptrdiff_t>(n * first.size()));
+    }
+    return out;
+}
+
+Tensor
+Tensor::imageAt(std::size_t n) const
+{
+    if (n >= batch())
+        panic("Tensor::imageAt: image ", n, " out of batch ", batch());
+    std::vector<std::size_t> shape =
+        rank() == 4 ? std::vector<std::size_t>(shape_.begin() + 1,
+                                               shape_.end())
+                    : shape_;
+    Tensor out(std::move(shape));
+    const std::size_t elems = imageElems();
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(n * elems),
+              data_.begin() + static_cast<std::ptrdiff_t>((n + 1) * elems),
+              out.data_.begin());
+    return out;
+}
+
 std::size_t
 Tensor::flatIndex(std::size_t i0, std::size_t i1, std::size_t i2,
                   std::size_t i3, std::size_t used_rank) const

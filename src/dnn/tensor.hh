@@ -39,10 +39,29 @@ class Tensor
     static Tensor uniform(std::vector<std::size_t> shape, Rng &rng,
                           float lo = -1.0f, float hi = 1.0f);
 
+    /**
+     * Stack equal-shaped rank-<=3 tensors along a new leading batch
+     * axis: stack({CHW...}) is NCHW with N = items.size().
+     */
+    static Tensor stack(const std::vector<Tensor> &items);
+
     const std::vector<std::size_t> &shape() const { return shape_; }
     std::size_t rank() const { return shape_.size(); }
     std::size_t dim(std::size_t i) const { return shape_.at(i); }
     std::size_t size() const { return data_.size(); }
+
+    /**
+     * Batch count under the NCHW convention: the leading dimension for
+     * rank-4 tensors, 1 otherwise (rank <= 3 is one CHW image).
+     */
+    std::size_t batch() const
+    { return shape_.size() == 4 ? shape_[0] : 1; }
+
+    /** Elements per image: size() / batch(). */
+    std::size_t imageElems() const { return data_.size() / batch(); }
+
+    /** Copy of image @p n as a rank-3 (or scalar-shape) tensor. */
+    Tensor imageAt(std::size_t n) const;
 
     float *data() { return data_.data(); }
     const float *data() const { return data_.data(); }

@@ -94,6 +94,14 @@ TEST(Sgemm, MatchesNaiveOverOddShapes)
         {GemmOp::NoTrans, GemmOp::NoTrans, 5, 1, 77, 1.0f, 0.0f},
         {GemmOp::Trans, GemmOp::NoTrans, 9, 1, 44, 1.0f, 1.0f},
         {GemmOp::NoTrans, GemmOp::NoTrans, 3, 700, 2, 1.0f, 0.0f},
+        // Transposed gemv stripe path (N == 1) across beta values.
+        {GemmOp::Trans, GemmOp::NoTrans, 21, 1, 33, 1.0f, 0.0f},
+        {GemmOp::Trans, GemmOp::NoTrans, 21, 1, 33, 1.0f, 0.5f},
+        {GemmOp::Trans, GemmOp::NoTrans, 128, 1, 64, 0.5f, 0.5f},
+        // alpha == 0 early-out: C is only scaled by beta, A/B unread.
+        {GemmOp::NoTrans, GemmOp::NoTrans, 11, 17, 9, 0.0f, 0.0f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 11, 17, 9, 0.0f, 1.0f},
+        {GemmOp::Trans, GemmOp::Trans, 11, 17, 9, 0.0f, 0.5f},
     };
     for (const Case &c : cases) {
         // Leading strides with slack beyond the logical width.
@@ -156,22 +164,31 @@ fcLayer(int in_n, int out_n)
     return n.layer(1);
 }
 
-/** Exercise all six kernels on @p l vs the naive oracle at @p tol. */
+/**
+ * Exercise all six kernels on @p l vs the naive oracle at @p tol,
+ * over a minibatch of @p batch images (flat NCHW tensors; the kernels
+ * infer the batch from the tensor volume).
+ */
 void
-expectKernelsMatchNaive(const Layer &l, float tol)
+expectKernelsMatchNaive(const Layer &l, float tol,
+                        std::size_t batch = 1)
 {
     Rng rng(5);
-    Tensor x = Tensor::uniform({l.inputElems()}, rng, -1.0f, 1.0f);
+    Tensor x = Tensor::uniform({batch * l.inputElems()}, rng, -1.0f,
+                               1.0f);
     Tensor w = Tensor::uniform({l.weightCount()}, rng, -1.0f, 1.0f);
-    Tensor dy = Tensor::uniform({l.outputElems()}, rng, -1.0f, 1.0f);
+    Tensor dy = Tensor::uniform({batch * l.outputElems()}, rng, -1.0f,
+                                1.0f);
 
     const bool conv = l.kind == LayerKind::Conv;
-    Tensor y_ref({l.outputElems()}), y({l.outputElems()});
+    Tensor y_ref({batch * l.outputElems()});
+    Tensor y({batch * l.outputElems()});
     conv ? convForwardNaive(l, x, w, y_ref)
          : fcForwardNaive(l, x, w, y_ref);
     conv ? convForward(l, x, w, y) : fcForward(l, x, w, y);
 
-    Tensor dx_ref({l.inputElems()}), dx({l.inputElems()});
+    Tensor dx_ref({batch * l.inputElems()});
+    Tensor dx({batch * l.inputElems()});
     conv ? convBackwardDataNaive(l, dy, w, dx_ref)
          : fcBackwardDataNaive(l, dy, w, dx_ref);
     conv ? convBackwardData(l, dy, w, dx) : fcBackwardData(l, dy, w, dx);
@@ -215,6 +232,55 @@ TEST(GemmKernels, MatchNaiveOracle)
         for (const Layer &l : cases)
             expectKernelsMatchNaive(l, 1e-4f);
     }
+}
+
+TEST(GemmKernels, MatchNaiveOracleBatched)
+{
+    JobsGuard g;
+    // The batched (NCHW) grain: batch x output-channel blocks,
+    // including grouped convolutions with batch > 1.
+    const Layer cases[] = {
+        convLayer(3, 10, 6, 3, 1, 1),
+        convLayer(8, 12, 12, 3, 1, 1, 2),   // grouped, 2 groups
+        convLayer(6, 9, 9, 3, 2, 1, 3),     // 3 groups, strided
+        fcLayer(64, 10),
+        fcLayer(37, 19),
+    };
+    for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}}) {
+        for (int nj : {1, 4}) {
+            setJobs(nj);
+            for (const Layer &l : cases)
+                expectKernelsMatchNaive(l, 1e-4f, batch);
+        }
+    }
+}
+
+TEST(GemmKernels, BatchedKernelsBitIdenticalAcrossJobs)
+{
+    JobsGuard g;
+    Layer l = convLayer(8, 12, 12, 3, 1, 1, 2);
+    Rng rng(11);
+    const std::size_t batch = 8;
+    Tensor x = Tensor::uniform({batch * l.inputElems()}, rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor dy = Tensor::uniform({batch * l.outputElems()}, rng);
+
+    auto run = [&](int nj, Tensor &y, Tensor &dx, Tensor &dw) {
+        setJobs(nj);
+        convForward(l, x, w, y);
+        convBackwardData(l, dy, w, dx);
+        dw.fill(0.0f);
+        convWeightGrad(l, x, dy, dw);
+    };
+    Tensor y1({batch * l.outputElems()}), y4({batch * l.outputElems()});
+    Tensor dx1({batch * l.inputElems()}), dx4({batch * l.inputElems()});
+    Tensor dw1({l.weightCount()}), dw4({l.weightCount()});
+    run(1, y1, dx1, dw1);
+    run(4, y4, dx4, dw4);
+    EXPECT_EQ(y1.maxAbsDiff(y4), 0.0f);
+    EXPECT_EQ(dx1.maxAbsDiff(dx4), 0.0f);
+    EXPECT_EQ(dw1.maxAbsDiff(dw4), 0.0f);
 }
 
 TEST(GemmKernels, Im2colRoundTripAccumulates)

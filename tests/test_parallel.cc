@@ -53,6 +53,23 @@ TEST(Parallel, DefaultJobsHonoursEnv)
     EXPECT_EQ(defaultJobs(), hardwareJobs());
 }
 
+TEST(Parallel, DefaultJobsRejectsMalformedEnv)
+{
+    // The whole value must be one positive decimal integer: trailing
+    // garbage, leading whitespace, signs, and overflow all fall back
+    // to hardware concurrency (warn-and-ignore), never a prefix parse.
+    for (const char *bad :
+         {"8abc", " 8", "8 ", "+8", "-2", "1e3", "0x8", "",
+          "99999999999999999999"}) {
+        ::setenv("SD_JOBS", bad, 1);
+        EXPECT_EQ(defaultJobs(), hardwareJobs())
+            << "SD_JOBS=\"" << bad << "\" must be rejected";
+    }
+    ::setenv("SD_JOBS", "12", 1);
+    EXPECT_EQ(defaultJobs(), 12);
+    ::unsetenv("SD_JOBS");
+}
+
 TEST(Parallel, ForCoversEveryIndexExactlyOnce)
 {
     JobsGuard g;

@@ -75,6 +75,61 @@ TEST(Tensor, UniformDeterministic)
     }
 }
 
+TEST(Tensor, BatchOfRank3IsOne)
+{
+    Tensor t({3, 4, 4});
+    EXPECT_EQ(t.batch(), 1u);
+    EXPECT_EQ(t.imageElems(), 48u);
+    Tensor img = t.imageAt(0);
+    EXPECT_EQ(img.shape(), t.shape());
+}
+
+TEST(Tensor, StackAndImageAtRoundTrip)
+{
+    Rng rng(9);
+    std::vector<Tensor> items;
+    for (int i = 0; i < 3; ++i)
+        items.push_back(Tensor::uniform({2, 4, 5}, rng));
+    Tensor batch = Tensor::stack(items);
+    EXPECT_EQ(batch.rank(), 4u);
+    EXPECT_EQ(batch.batch(), 3u);
+    EXPECT_EQ(batch.dim(0), 3u);
+    EXPECT_EQ(batch.imageElems(), 40u);
+    for (std::size_t n = 0; n < 3; ++n) {
+        Tensor img = batch.imageAt(n);
+        EXPECT_EQ(img.rank(), 3u);
+        EXPECT_FLOAT_EQ(img.maxAbsDiff(items[n]), 0.0f);
+    }
+    // NCHW layout: image n occupies the contiguous block n*elems.
+    EXPECT_EQ(batch[1 * 40 + 7], items[1][7]);
+}
+
+TEST(Tensor, StackSingleImage)
+{
+    Tensor batch = Tensor::stack({Tensor::full({2, 2, 2}, 3.0f)});
+    EXPECT_EQ(batch.rank(), 4u);
+    EXPECT_EQ(batch.batch(), 1u);
+    EXPECT_FLOAT_EQ(batch.maxAbs(), 3.0f);
+}
+
+TEST(TensorDeath, StackShapeMismatch)
+{
+    EXPECT_DEATH(
+        Tensor::stack({Tensor({2, 2, 2}), Tensor({2, 2, 3})}),
+        "shape mismatch");
+}
+
+TEST(TensorDeath, StackEmpty)
+{
+    EXPECT_DEATH(Tensor::stack({}), "empty batch");
+}
+
+TEST(TensorDeath, ImageAtOutOfBatch)
+{
+    Tensor batch({2, 3, 4, 4});
+    EXPECT_DEATH(batch.imageAt(2), "out of batch");
+}
+
 TEST(TensorDeath, BadRank)
 {
     EXPECT_DEATH({ Tensor t({1, 1, 1, 1, 1}); }, "rank");
