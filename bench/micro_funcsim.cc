@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Functional-simulator core baseline: times the event-driven ready-set
+ * scheduler against the legacy full-scan stepper on two synthetic
+ * chip-scale workloads — a sparse per-row tracker pipeline where a
+ * handful of the grid's sites are runnable per cycle, and a dense
+ * all-sites NDCONV loop where every site is busy and the two-phase
+ * plan fans out across a TaskCrew. Asserts that event-driven results
+ * are bit-identical across jobs values before reporting.
+ *
+ * Emits BENCH_funcsim.json (schema scaledeep-funcsim-1) next to the
+ * human-readable tables, so CI can archive and regress the numbers.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "core/export.hh"
+#include "isa/program.hh"
+#include "sim/func/machine.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::sim;
+using namespace sd::isa;
+
+constexpr int kRows = 8;
+constexpr int kCols = 12;
+constexpr int kSpinCycles = 100000;     ///< sparse producer delay
+constexpr int kConvIters = 40;          ///< dense per-site loop count
+
+MachineConfig
+gridConfig(StepMode mode)
+{
+    MachineConfig mc;
+    mc.rows = kRows;
+    mc.cols = kCols;
+    mc.stepMode = mode;
+    return mc;
+}
+
+/**
+ * Sparse workload: per row, a producer spins kSpinCycles and then
+ * delivers one tracked 4-word update into mem(r,1); sites c=1.. form a
+ * store-and-forward chain, each armed on its left tile and forwarding
+ * the range one tile east with a single DMALOAD. While the producers
+ * spin, the chain sites are all parked on trackers — exactly the
+ * phase a full scan wastes on re-probing every site every cycle.
+ */
+void
+loadSparse(Machine &m)
+{
+    for (int r = 0; r < kRows; ++r) {
+        {
+            CompHeavyTile &prod = m.compTile(r, 0, TileRole::Fp);
+            for (int i = 0; i < 4; ++i)
+                prod.scratchpad()[i] =
+                    static_cast<float>(r * 4 + i + 1);
+            Assembler as;
+            as.ldriLc(1, kSpinCycles);
+            Label spin = as.newLabel();
+            as.bind(spin);
+            as.bgzdLc(1, spin);
+            as.ldri(2, 0);
+            as.ldri(3, 4);
+            as.ldri(4, 0);
+            as.passbufWr(kPortRight, 2, 3, 4);
+            as.halt();
+            m.loadProgram(r, 0, TileRole::Fp, as.finish());
+        }
+        for (int c = 1; c < kCols; ++c) {
+            Assembler as;
+            as.ldri(1, 0);      // tracked addr
+            as.ldri(2, 4);      // words
+            as.ldri(3, 1);      // one update
+            as.ldri(4, 1);      // one read
+            as.memtrack(kPortLeft, 1, 2, 3, 4);
+            as.ldri(5, 0);      // dst addr in the home (right) tile
+            // Forward: blocking read of the armed range on the west
+            // tile, tracked write into the next link's armed range.
+            as.dmaload(kPortRight, 1, kPortWest, 5, 2, false);
+            as.halt();
+            m.loadProgram(r, c, TileRole::Fp, as.finish());
+        }
+    }
+}
+
+double
+sumSparse(Machine &m)
+{
+    double sum = 0.0;
+    for (int r = 0; r < kRows; ++r)
+        for (int i = 0; i < 4; ++i)
+            sum += m.memTile(r, kCols).peek(
+                static_cast<std::uint32_t>(i));
+    return sum;
+}
+
+/**
+ * Dense workload: every site of the grid (all three roles) loops
+ * kConvIters NDCONV passes over host-loaded data, reading its left
+ * tile and writing a role-disjoint range of its right tile. All 288
+ * sites stay in lockstep, so each compute cycle offers the planner a
+ * full ready list to fan out across the TaskCrew.
+ */
+void
+loadDense(Machine &m)
+{
+    constexpr int in_hw = 28;
+    for (int r = 0; r < kRows; ++r) {
+        for (int mc = 0; mc <= kCols; ++mc) {
+            MemHeavyTile &mem = m.memTile(r, mc);
+            // Inputs at 50000 (one 28x28 feature per role, 1024-word
+            // stride), one shared 3x3 kernel at 40000.
+            for (int i = 0; i < 3 * 1024; ++i)
+                mem.poke(static_cast<std::uint32_t>(50000 + i),
+                         0.03125f * static_cast<float>((i * 13 + r) %
+                                                       31));
+            for (int i = 0; i < 9; ++i)
+                mem.poke(static_cast<std::uint32_t>(40000 + i),
+                         0.125f * static_cast<float>(i % 7) - 0.375f);
+        }
+    }
+    for (int r = 0; r < kRows; ++r) {
+        for (int c = 0; c < kCols; ++c) {
+            for (TileRole role :
+                 {TileRole::Fp, TileRole::Bp, TileRole::Wg}) {
+                const int lane = static_cast<int>(role);
+                Assembler as;
+                as.ldri(1, 40000);  // kernel addr
+                as.ldri(2, 9);      // kernel words
+                as.ldri(3, 0);      // buffer offset
+                as.passbufRd(kPortLeft, 1, 2, 3);
+                as.ldri(1, 50000 + lane * 1024);    // input addr
+                as.ldri(2, in_hw);
+                as.ldri(4, 3);      // k
+                as.ldri(5, 1);      // stride
+                as.ldri(6, 0);      // pad
+                as.ldri(7, 600 + lane * 1024);      // output addr
+                as.ldriLc(8, kConvIters - 1);
+                Label top = as.newLabel();
+                as.bind(top);
+                as.ndconv(1, kPortLeft, 2, 3, 4, 5, 6, 7, kPortRight,
+                          1, false);
+                as.bgzdLc(8, top);
+                as.halt();
+                m.loadProgram(r, c, role, as.finish());
+            }
+        }
+    }
+}
+
+double
+sumDense(Machine &m)
+{
+    double sum = 0.0;
+    for (int r = 0; r < kRows; ++r)
+        for (int c = 1; c <= kCols; ++c)
+            for (int i = 0; i < 3 * 1024; ++i)
+                sum += m.memTile(r, c).peek(
+                    static_cast<std::uint32_t>(600 + i));
+    return sum;
+}
+
+struct Timed
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    double ms = 0.0;
+    double checksum = 0.0;
+
+    double cyclesPerSec() const
+    { return static_cast<double>(cycles) / (ms / 1e3); }
+};
+
+/**
+ * Build, load and run the workload @p reps times, timing only run();
+ * keep the best wall time (cycles/checksum are identical each rep).
+ */
+Timed
+timeRun(const std::function<void(Machine &)> &load, StepMode mode,
+        int njobs, int reps, const std::function<double(Machine &)> &sum)
+{
+    using clock = std::chrono::steady_clock;
+    setJobs(njobs);
+    Timed t;
+    t.ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        Machine m(gridConfig(mode));
+        load(m);
+        const auto t0 = clock::now();
+        RunResult res = m.run();
+        const auto t1 = clock::now();
+        if (!res.ok())
+            fatal("micro_funcsim: run failed (deadlocked=",
+                  res.deadlocked, " timedOut=", res.timedOut, ")");
+        t.ms = std::min(t.ms, std::chrono::duration<double, std::milli>(
+                                  t1 - t0)
+                                  .count());
+        t.cycles = res.cycles;
+        t.insts = m.totalInstructions();
+        t.checksum = sum(m);
+    }
+    return t;
+}
+
+void
+checkInvariant(const char *what, const Timed &a, const Timed &b)
+{
+    if (a.cycles != b.cycles || a.insts != b.insts ||
+        a.checksum != b.checksum) {
+        fatal("micro_funcsim: ", what,
+              " not jobs-invariant: cycles ", a.cycles, " vs ",
+              b.cycles, ", insts ", a.insts, " vs ", b.insts,
+              ", checksum ", a.checksum, " vs ", b.checksum);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sd;
+    bench::init(argc, argv, "micro_funcsim");
+    const int njobs = std::max(2, std::min(4, jobs()));
+    bench::banner("Functional-simulator core",
+                  "event-driven vs full-scan stepping, " +
+                      std::to_string(kRows) + "x" +
+                      std::to_string(kCols) + " grid");
+
+    // --- sparse: tracker pipeline, ~8 of 288 sites active per cycle ---
+    const Timed sp_legacy =
+        timeRun(loadSparse, StepMode::FullScan, 1, 2, sumSparse);
+    const Timed sp_event =
+        timeRun(loadSparse, StepMode::EventDriven, 1, 2, sumSparse);
+    const Timed sp_event4 =
+        timeRun(loadSparse, StepMode::EventDriven, njobs, 2, sumSparse);
+    checkInvariant("sparse", sp_event, sp_event4);
+    if (sp_event.checksum != sp_legacy.checksum)
+        fatal("micro_funcsim: sparse event vs full-scan mismatch");
+
+    // --- dense: every site looping NDCONV, full-width ready lists ---
+    const Timed de_legacy =
+        timeRun(loadDense, StepMode::FullScan, 1, 2, sumDense);
+    const Timed de_event =
+        timeRun(loadDense, StepMode::EventDriven, 1, 2, sumDense);
+    const Timed de_event4 =
+        timeRun(loadDense, StepMode::EventDriven, njobs, 2, sumDense);
+    checkInvariant("dense", de_event, de_event4);
+    if (de_event.checksum != de_legacy.checksum)
+        fatal("micro_funcsim: dense event vs full-scan mismatch");
+
+    const double sparse_speedup =
+        sp_event.cyclesPerSec() / sp_legacy.cyclesPerSec();
+    const double dense_speedup =
+        de_event.cyclesPerSec() / de_legacy.cyclesPerSec();
+    const double dense_jobs_speedup = de_event.ms / de_event4.ms;
+
+    Table t({"workload", "stepper", "jobs", "cycles", "ms",
+             "Mcycles/s", "speedup"});
+    auto row = [&](const char *wl, const char *stepper, int nj,
+                   const Timed &x, double speedup) {
+        t.addRow({wl, stepper, std::to_string(nj),
+                  std::to_string(x.cycles), fmtDouble(x.ms, 1),
+                  fmtDouble(x.cyclesPerSec() / 1e6, 3),
+                  fmtDouble(speedup, 2) + "x"});
+    };
+    row("sparse", "full-scan", 1, sp_legacy, 1.0);
+    row("sparse", "event", 1, sp_event, sparse_speedup);
+    row("sparse", "event", njobs, sp_event4,
+        sp_event4.cyclesPerSec() / sp_legacy.cyclesPerSec());
+    row("dense", "full-scan", 1, de_legacy, 1.0);
+    row("dense", "event", 1, de_event, dense_speedup);
+    row("dense", "event", njobs, de_event4,
+        de_event4.cyclesPerSec() / de_legacy.cyclesPerSec());
+    bench::show("funcsim", t);
+
+    // --- BENCH_funcsim.json ---
+    const std::string out_path = "BENCH_funcsim.json";
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("micro_funcsim: cannot open ", out_path);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "scaledeep-funcsim-1");
+    w.field("jobs", static_cast<std::int64_t>(njobs));
+    w.field("hardwareConcurrency",
+            static_cast<std::int64_t>(hardwareJobs()));
+    w.field("rows", static_cast<std::int64_t>(kRows));
+    w.field("cols", static_cast<std::int64_t>(kCols));
+    w.key("sparse");
+    w.beginObject();
+    w.field("cycles", static_cast<std::int64_t>(sp_event.cycles));
+    w.field("legacyMs", sp_legacy.ms);
+    w.field("eventJobs1Ms", sp_event.ms);
+    w.field("legacyCyclesPerSec", sp_legacy.cyclesPerSec());
+    w.field("eventJobs1CyclesPerSec", sp_event.cyclesPerSec());
+    w.field("eventSpeedupVsLegacy", sparse_speedup);
+    w.endObject();
+    w.key("dense");
+    w.beginObject();
+    w.field("cycles", static_cast<std::int64_t>(de_event.cycles));
+    w.field("legacyMs", de_legacy.ms);
+    w.field("eventJobs1Ms", de_event.ms);
+    w.field("eventJobsNMs", de_event4.ms);
+    w.field("legacyCyclesPerSec", de_legacy.cyclesPerSec());
+    w.field("eventJobs1CyclesPerSec", de_event.cyclesPerSec());
+    w.field("eventJobsNCyclesPerSec", de_event4.cyclesPerSec());
+    w.field("eventSpeedupVsLegacy", dense_speedup);
+    w.field("parallelSpeedupJobsN", dense_jobs_speedup);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+
+    bench::finish();
+    return 0;
+}

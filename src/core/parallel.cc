@@ -220,4 +220,163 @@ reduceChunks(std::size_t n)
     return n < 64 ? (n == 0 ? 1 : n) : 64;
 }
 
+/**
+ * Crew internals. Helpers spin on the epoch counter for a bounded
+ * number of iterations before parking on the condition variable, so a
+ * dispatch that arrives while the crew is hot costs one atomic bump
+ * plus the work itself. Publication order: region state (fn_, n_,
+ * next_, running_) is written under the mutex, then the epoch advances
+ * with release semantics; helpers acquire the epoch before touching
+ * the region state.
+ */
+struct TaskCrew::Impl
+{
+    explicit Impl(int helper_count)
+    {
+        helpers_.reserve(static_cast<std::size_t>(helper_count));
+        for (int i = 0; i < helper_count; ++i)
+            helpers_.emplace_back([this] { helperLoop(); });
+    }
+
+    ~Impl()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            shutdown_.store(true, std::memory_order_release);
+        }
+        cv_.notify_all();
+        for (std::thread &t : helpers_)
+            t.join();
+    }
+
+    void
+    work()
+    {
+        const std::function<void(std::size_t)> &fn = *fn_;
+        const std::size_t n = n_;
+        for (;;) {
+            const std::size_t i =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    }
+
+    void
+    helperLoop()
+    {
+        // Helpers permanently count as "inside a parallel region" so
+        // that nested constructs issued from crew tasks degrade to
+        // inline execution instead of re-entering a pool.
+        tl_in_parallel_region = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::uint64_t e;
+            for (int spins = 0;; ++spins) {
+                if (shutdown_.load(std::memory_order_acquire))
+                    return;
+                e = epoch_.load(std::memory_order_acquire);
+                if (e != seen)
+                    break;
+                if (spins < kSpinIters) {
+                    if (spins % 64 == 63)
+                        std::this_thread::yield();
+                    continue;
+                }
+                std::unique_lock<std::mutex> lock(m_);
+                cv_.wait(lock, [&] {
+                    return shutdown_.load(std::memory_order_acquire) ||
+                           epoch_.load(std::memory_order_acquire) !=
+                               seen;
+                });
+            }
+            seen = e;
+            work();
+            if (running_.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                // Last helper out: take the lock so the notify cannot
+                // slip between the caller's predicate check and its
+                // sleep.
+                std::lock_guard<std::mutex> lock(m_);
+                done_cv_.notify_all();
+            }
+        }
+    }
+
+    void
+    dispatch(std::size_t n,
+             const std::function<void(std::size_t)> &fn)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            fn_ = &fn;
+            n_ = n;
+            next_.store(0, std::memory_order_relaxed);
+            running_.store(static_cast<int>(helpers_.size()),
+                           std::memory_order_relaxed);
+            epoch_.fetch_add(1, std::memory_order_release);
+        }
+        cv_.notify_all();
+
+        tl_in_parallel_region = true;
+        work();
+        tl_in_parallel_region = false;
+
+        for (int spins = 0;
+             running_.load(std::memory_order_acquire) != 0; ++spins) {
+            if (spins < kSpinIters) {
+                if (spins % 64 == 63)
+                    std::this_thread::yield();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(m_);
+            done_cv_.wait(lock, [&] {
+                return running_.load(std::memory_order_acquire) == 0;
+            });
+            break;
+        }
+        fn_ = nullptr;
+    }
+
+    static constexpr int kSpinIters = 4096;
+
+    std::vector<std::thread> helpers_;
+    std::mutex m_;
+    std::condition_variable cv_;        ///< epoch start / shutdown
+    std::condition_variable done_cv_;   ///< region completion
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t n_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::atomic<int> running_{0};
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> shutdown_{false};
+};
+
+TaskCrew::TaskCrew(int jobs)
+    : impl_(std::make_unique<Impl>(jobs < 1 ? 0 : jobs - 1))
+{
+}
+
+TaskCrew::~TaskCrew() = default;
+
+int
+TaskCrew::parallelism() const
+{
+    return static_cast<int>(impl_->helpers_.size()) + 1;
+}
+
+void
+TaskCrew::run(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (impl_->helpers_.empty() || n == 1 || tl_in_parallel_region) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    impl_->dispatch(n, fn);
+}
+
 } // namespace sd

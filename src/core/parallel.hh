@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace sd {
@@ -109,6 +110,43 @@ parallelReduce(std::size_t n, T init,
  * region (used to serialize nested regions; exposed for tests).
  */
 bool inParallelRegion();
+
+/**
+ * A private fork-join crew for callers that dispatch many small
+ * parallel regions in a tight loop (the functional simulator issues
+ * one region per simulated cycle). Unlike the global pool, whose
+ * workers park on a condition variable and pay a wake/park round trip
+ * per region, crew helpers spin briefly before parking, so a
+ * back-to-back dispatch is a couple of atomic operations.
+ *
+ * run(n, fn) invokes fn(i) exactly once for every i in [0, n), on the
+ * helpers plus the calling thread, and returns when all calls have
+ * completed. The same disjoint-write contract as parallelFor applies.
+ * Degrades to inline serial execution when the crew has no helpers,
+ * n <= 1, or the caller is already inside a parallel region; the
+ * degradation affects wall time only, never results.
+ *
+ * A crew owns jobs-1 helper threads for its whole lifetime; create one
+ * per long-lived consumer, not per call. Destruction joins helpers.
+ */
+class TaskCrew
+{
+  public:
+    explicit TaskCrew(int jobs);
+    ~TaskCrew();
+
+    TaskCrew(const TaskCrew &) = delete;
+    TaskCrew &operator=(const TaskCrew &) = delete;
+
+    /** Total threads a region may use, including the caller. */
+    int parallelism() const;
+
+    void run(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 } // namespace sd
 

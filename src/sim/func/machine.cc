@@ -6,6 +6,7 @@
 
 #include "core/export.hh"
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "core/stats.hh"
 #include "core/trace.hh"
 
@@ -61,8 +62,42 @@ Machine::Machine(const MachineConfig &config)
         memTiles_.emplace_back(config.mem);
     const int comp_count = config.rows * config.cols * 3;
     compSites_.reserve(comp_count);
-    for (int i = 0; i < comp_count; ++i)
-        compSites_.push_back(std::make_unique<CompSite>(config.comp));
+    for (int i = 0; i < comp_count; ++i) {
+        auto s = std::make_unique<CompSite>(config.comp);
+        s->index = static_cast<std::uint32_t>(i);
+        s->role = static_cast<TileRole>(i % 3);
+        s->col = (i / 3) % config.cols;
+        s->row = i / 3 / config.cols;
+        compSites_.push_back(std::move(s));
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::PendingOp::reset(std::size_t next_pc)
+{
+    blocked = false;
+    blockKind = BlockKind::None;
+    blockTile = nullptr;
+    cost = 1;
+    nextPc = next_pc;
+    halt = false;
+    regDst = -1;
+    regVal = 0;
+    numReads = 0;
+    writeTile = nullptr;
+    writeAddr = 0;
+    writeAccum = false;
+    writeTracked = true;
+    writeData.clear();
+    extWrite = false;
+    extAddr = 0;
+    extAccum = false;
+    armTile = nullptr;
+    sfuTile = nullptr;
+    sfuOps = 0;
+    macs = 0;
 }
 
 MemHeavyTile &
@@ -102,14 +137,12 @@ Machine::compTile(int row, int col, TileRole role)
 void
 Machine::loadProgram(int row, int col, TileRole role, isa::Program program)
 {
-    site(row, col, role).tile.loadProgram(std::move(program));
+    CompSite &s = site(row, col, role);
+    s.tile.loadProgram(std::move(program));
     if (SD_TRACE_ACTIVE()) {
-        const std::uint32_t tid = static_cast<std::uint32_t>(
-            (static_cast<std::size_t>(row) * config_.cols + col) * 3 +
-            static_cast<std::size_t>(role));
         std::ostringstream name;
         name << "r" << row << "c" << col << "_" << tileRoleName(role);
-        Tracer::global().threadName(kTracePidFunc, tid, name.str());
+        Tracer::global().threadName(kTracePidFunc, s.index, name.str());
     }
 }
 
@@ -152,8 +185,261 @@ Machine::memNeighbor(int row, int mem_col, std::int32_t port)
 RunResult
 Machine::run(std::uint64_t max_cycles)
 {
+    return config_.stepMode == StepMode::FullScan
+               ? runFullScan(max_cycles)
+               : runEventDriven(max_cycles);
+}
+
+bool
+Machine::anySiteLive() const
+{
+    for (const auto &sp : compSites_)
+        if (!sp->tile.halted())
+            return true;
+    return false;
+}
+
+void
+Machine::finishStall(CompSite &s)
+{
+    if (s.stallStart == kNotStalled)
+        return;
+    const std::uint64_t waited = cycle_ - s.stallStart;
+    s.tile.stallCycles += waited;
+    if (SD_TRACE_ACTIVE() && waited > 0) {
+        // The instruction that was queued on a tracker finally
+        // issued: emit the wait span (the span's end is the wake).
+        Tracer::global().complete("tracker_wait", "func.sync",
+                                  s.stallStart, waited, kTracePidFunc,
+                                  s.index);
+    }
+    s.stallStart = kNotStalled;
+}
+
+void
+Machine::flushStalls()
+{
+    // At run exit a still-queued instruction has been waiting from
+    // stallStart to now; charge that span and restart the clock so a
+    // resumed run() does not double-count it.
+    for (auto &sp : compSites_) {
+        CompSite &s = *sp;
+        if (s.tile.halted() || s.stallStart == kNotStalled)
+            continue;
+        const std::uint64_t waited = cycle_ - s.stallStart;
+        s.tile.stallCycles += waited;
+        if (SD_TRACE_ACTIVE() && waited > 0) {
+            Tracer::global().complete("tracker_wait", "func.sync",
+                                      s.stallStart, waited,
+                                      kTracePidFunc, s.index);
+        }
+        s.stallStart = cycle_;
+    }
+}
+
+void
+Machine::noteBlocked(const PendingOp &op)
+{
+    switch (op.blockKind) {
+      case BlockKind::Read:
+        op.blockTile->trackers().noteBlockedRead();
+        break;
+      case BlockKind::Write:
+        op.blockTile->trackers().noteBlockedWrite();
+        break;
+      case BlockKind::Arm:
+        op.blockTile->trackers().noteNack();
+        break;
+      case BlockKind::None:
+        break;
+    }
+}
+
+void
+Machine::pushEvent(std::uint64_t at, std::uint32_t idx)
+{
+    heap_.push_back({at, idx});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+bool
+Machine::blockCleared(const PendingOp &op) const
+{
+    const TrackerTable &tr = op.blockTile->trackers();
+    switch (op.blockKind) {
+      case BlockKind::Read:
+        return tr.probeReadQuiet(op.blockAddr, op.blockSize) ==
+               TrackerVerdict::Allow;
+      case BlockKind::Write:
+        return tr.probeWriteQuiet(op.blockAddr, op.blockSize) ==
+               TrackerVerdict::Allow;
+      case BlockKind::Arm:
+        return tr.canArm(op.blockAddr, op.blockSize);
+      case BlockKind::None:
+        break;
+    }
+    return true;
+}
+
+void
+Machine::parkSite(CompSite &s, const PendingOp &op)
+{
+    if (s.stallStart == kNotStalled)
+        s.stallStart = cycle_;
+    noteBlocked(op);
+    // A plan-phase verdict reflects the cycle-start state; an earlier
+    // commit this cycle may already have cleared it, and its wake ran
+    // before this site joined the waiter list. Parking now would wait
+    // for an access that may never recur, so retry next cycle.
+    if (blockCleared(op)) {
+        pushEvent(cycle_ + 1, s.index);
+        return;
+    }
+    s.parked = true;
+    waiters_[static_cast<std::size_t>(op.blockTile - memTiles_.data())]
+        .push_back(s.index);
+}
+
+void
+Machine::wakeWaiters(MemHeavyTile *tile)
+{
+    if (waiters_.empty())
+        return;     // full-scan mode keeps no waiter lists
+    auto &list =
+        waiters_[static_cast<std::size_t>(tile - memTiles_.data())];
+    for (std::uint32_t idx : list) {
+        CompSite &w = *compSites_[idx];
+        if (!w.parked)
+            continue;
+        w.parked = false;
+        // The wake is a counted access committed this cycle; the woken
+        // site re-plans against next cycle's state. Spurious wakes
+        // (the access did not clear this site's verdict) re-park.
+        pushEvent(cycle_ + 1, idx);
+    }
+    list.clear();
+}
+
+RunResult
+Machine::runEventDriven(std::uint64_t max_cycles)
+{
     RunResult result;
     const std::uint64_t deadline = cycle_ + max_cycles;
+
+    // Rebuild the schedule: every live site is either in the heap or
+    // parked; a fresh run() starts everyone in the heap at their
+    // busy-until horizon.
+    heap_.clear();
+    readyList_.clear();
+    waiters_.assign(memTiles_.size(), {});
+    liveCount_ = 0;
+    for (auto &sp : compSites_) {
+        sp->parked = false;
+        if (sp->tile.halted())
+            continue;
+        ++liveCount_;
+        pushEvent(std::max(cycle_, sp->busyUntil), sp->index);
+    }
+    runJobs_ = inParallelRegion() ? 1 : jobs();
+
+    while (liveCount_ > 0 && cycle_ < deadline) {
+        if (heap_.empty()) {
+            // Every live site is parked on a tracker and no event can
+            // ever fire again: a genuine deadlock.
+            result.deadlocked = true;
+            break;
+        }
+        const std::uint64_t next = heap_.front().at;
+        if (next > cycle_) {
+            if (next >= deadline) {
+                // All remaining work is scheduled at or past the
+                // budget: clamp (do not overshoot the deadline).
+                cycle_ = deadline;
+                break;
+            }
+            cycle_ = next;
+        }
+        readyList_.clear();
+        while (!heap_.empty() && heap_.front().at <= cycle_) {
+            readyList_.push_back(heap_.front().idx);
+            std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+            heap_.pop_back();
+        }
+        std::sort(readyList_.begin(), readyList_.end());
+        stepReady();
+        ++cycle_;
+    }
+
+    flushStalls();
+    result.cycles = cycle_;
+    result.timedOut =
+        !result.deadlocked && cycle_ >= deadline && anySiteLive();
+    return result;
+}
+
+void
+Machine::stepReady()
+{
+    const std::size_t n = readyList_.size();
+    if (pending_.size() < n)
+        pending_.resize(n);
+
+    // Phase 1 — plan: pure reads of the cycle-start state, one op per
+    // ready site. Worth fanning out only when at least two sites face
+    // coarse work (array passes, SFU offloads, DMA); scalar-only
+    // cycles plan faster inline. The choice affects wall time only —
+    // results are identical either way.
+    bool fan_out = false;
+    if (runJobs_ > 1 && n > 1) {
+        int heavy = 0;
+        for (std::uint32_t idx : readyList_) {
+            const CompHeavyTile &t = compSites_[idx]->tile;
+            const Instruction &inst = t.program().at(t.pc());
+            if (isa::opcodeGroup(inst.op) !=
+                    isa::InstGroup::ScalarControl &&
+                ++heavy >= 2) {
+                fan_out = true;
+                break;
+            }
+        }
+    }
+    auto plan_one = [&](std::size_t k) {
+        planInstruction(*compSites_[readyList_[k]], pending_[k]);
+    };
+    if (fan_out) {
+        if (!crew_ || crew_->parallelism() != runJobs_)
+            crew_ = std::make_unique<TaskCrew>(runJobs_);
+        crew_->run(n, plan_one);
+    } else {
+        for (std::size_t k = 0; k < n; ++k)
+            plan_one(k);
+    }
+
+    // Phase 2 — commit, in ascending site order. Re-validation keeps
+    // tracker counts consistent when an earlier commit this cycle
+    // changed a verdict the plan saw differently.
+    for (std::size_t k = 0; k < n; ++k) {
+        CompSite &s = *compSites_[readyList_[k]];
+        PendingOp &op = pending_[k];
+        if (!op.blocked && commitOp(s, op, /*revalidate=*/true)) {
+            if (s.tile.halted())
+                --liveCount_;
+            else
+                pushEvent(s.busyUntil, s.index);
+        } else {
+            parkSite(s, op);
+        }
+    }
+}
+
+RunResult
+Machine::runFullScan(std::uint64_t max_cycles)
+{
+    RunResult result;
+    const std::uint64_t deadline = cycle_ + max_cycles;
+    if (pending_.empty())
+        pending_.resize(1);
+    waiters_.clear();   // no waiter lists: wakeWaiters() is a no-op
     while (cycle_ < deadline) {
         bool all_halted = true;
         bool progress = false;
@@ -167,26 +453,15 @@ Machine::run(std::uint64_t max_cycles)
                 next_busy = std::min(next_busy, s.busyUntil);
                 continue;
             }
-            // Identify grid coordinates from the site index.
-            std::size_t idx = &sp - compSites_.data();
-            int role = static_cast<int>(idx % 3);
-            int col = static_cast<int>((idx / 3) % config_.cols);
-            int row = static_cast<int>(idx / 3 / config_.cols);
-            if (execute(s, row, col, static_cast<TileRole>(role))) {
+            PendingOp &op = pending_[0];
+            planInstruction(s, op);
+            if (!op.blocked && commitOp(s, op, /*revalidate=*/false)) {
                 progress = true;
-                if (SD_TRACE_ACTIVE() && s.stallStart != kNotStalled) {
-                    // The instruction that was queued on a tracker
-                    // finally issued: emit the wait span (the span's
-                    // end is the wake).
-                    Tracer::global().complete(
-                        "tracker_wait", "func.sync", s.stallStart,
-                        cycle_ - s.stallStart, kTracePidFunc,
-                        static_cast<std::uint32_t>(idx));
-                    s.stallStart = kNotStalled;
-                }
             } else {
-                ++s.tile.stallCycles;
-                if (SD_TRACE_ACTIVE() && s.stallStart == kNotStalled)
+                // Queued: retried every cycle, like the hardware's
+                // replayed requests.
+                noteBlocked(op);
+                if (s.stallStart == kNotStalled)
                     s.stallStart = cycle_;
             }
         }
@@ -195,109 +470,203 @@ Machine::run(std::uint64_t max_cycles)
         if (progress) {
             ++cycle_;
         } else if (next_busy != UINT64_MAX) {
-            cycle_ = next_busy;
+            // Clamp: overshooting the deadline would report phantom
+            // timeout cycles that were never simulated.
+            cycle_ = std::min(next_busy, deadline);
         } else {
             result.deadlocked = true;
             break;
         }
     }
+    flushStalls();
     result.cycles = cycle_;
-    result.timedOut = !result.deadlocked && cycle_ >= deadline;
+    result.timedOut =
+        !result.deadlocked && cycle_ >= deadline && anySiteLive();
     return result;
 }
 
-bool
-Machine::execute(CompSite &s, int row, int col, TileRole role)
+void
+Machine::planInstruction(CompSite &s, PendingOp &op)
 {
-    (void)role;
     CompHeavyTile &t = s.tile;
     const Instruction &inst = t.program().at(t.pc());
-    auto r = [&](int i) { return t.reg(inst.args[i]); };
-
-    std::int64_t cost = 1;
-    std::size_t next_pc = t.pc() + 1;
+    op.reset(t.pc() + 1);
 
     switch (inst.op) {
       case Opcode::LDRI:
       case Opcode::LDRI_LC:
-        t.setReg(inst.args[0], inst.args[1]);
+        op.regDst = inst.args[0];
+        op.regVal = inst.args[1];
         break;
       case Opcode::MOVR:
-        t.setReg(inst.args[0], t.reg(inst.args[1]));
+        op.regDst = inst.args[0];
+        op.regVal = t.reg(inst.args[1]);
         break;
       case Opcode::ADDR:
-        t.setReg(inst.args[0],
-                 t.reg(inst.args[1]) + t.reg(inst.args[2]));
+        op.regDst = inst.args[0];
+        op.regVal = t.reg(inst.args[1]) + t.reg(inst.args[2]);
         break;
       case Opcode::ADDRI:
-        t.setReg(inst.args[0], t.reg(inst.args[1]) + inst.args[2]);
+        op.regDst = inst.args[0];
+        op.regVal = t.reg(inst.args[1]) + inst.args[2];
         break;
       case Opcode::SUBR:
-        t.setReg(inst.args[0],
-                 t.reg(inst.args[1]) - t.reg(inst.args[2]));
+        op.regDst = inst.args[0];
+        op.regVal = t.reg(inst.args[1]) - t.reg(inst.args[2]);
         break;
       case Opcode::SUBRI:
-        t.setReg(inst.args[0], t.reg(inst.args[1]) - inst.args[2]);
+        op.regDst = inst.args[0];
+        op.regVal = t.reg(inst.args[1]) - inst.args[2];
         break;
       case Opcode::MULR:
-        t.setReg(inst.args[0],
-                 t.reg(inst.args[1]) * t.reg(inst.args[2]));
+        op.regDst = inst.args[0];
+        op.regVal = t.reg(inst.args[1]) * t.reg(inst.args[2]);
         break;
       case Opcode::INV:
-        t.setReg(inst.args[0], t.reg(inst.args[1]) == 0 ? 1 : 0);
+        op.regDst = inst.args[0];
+        op.regVal = t.reg(inst.args[1]) == 0 ? 1 : 0;
         break;
       case Opcode::BRANCH:
-        next_pc = t.pc() + inst.args[0];
+        op.nextPc = t.pc() + inst.args[0];
         break;
       case Opcode::BNEZ:
         if (t.reg(inst.args[0]) != 0)
-            next_pc = t.pc() + inst.args[1];
+            op.nextPc = t.pc() + inst.args[1];
         break;
       case Opcode::BGTZ:
         if (t.reg(inst.args[0]) > 0)
-            next_pc = t.pc() + inst.args[1];
+            op.nextPc = t.pc() + inst.args[1];
         break;
       case Opcode::BGZD_LC:
         if (t.reg(inst.args[0]) > 0) {
-            t.setReg(inst.args[0], t.reg(inst.args[0]) - 1);
-            next_pc = t.pc() + inst.args[1];
+            op.regDst = inst.args[0];
+            op.regVal = t.reg(inst.args[0]) - 1;
+            op.nextPc = t.pc() + inst.args[1];
         }
         break;
       case Opcode::HALT:
-        t.halt();
+        op.halt = true;
         break;
       case Opcode::NOP:
         break;
       case Opcode::NDCONV:
-        cost = execNdConv(s, row, col, inst);
+        planNdConv(s, inst, op);
         break;
       case Opcode::MATMUL:
-        cost = execMatMul(s, row, col, inst);
+        planMatMul(s, inst, op);
         break;
       case Opcode::NDACTFN:
       case Opcode::NDSUBSAMP:
       case Opcode::NDUPSAMP:
       case Opcode::NDACCUM:
       case Opcode::VECELTMUL:
-        cost = execOffload(s, row, col, inst);
+        planOffload(s, inst, op);
         break;
       case Opcode::DMALOAD:
       case Opcode::DMASTORE:
       case Opcode::PASSBUF_RD:
       case Opcode::PASSBUF_WR:
-        cost = execTransfer(s, row, col, inst);
+        planTransfer(s, inst, op);
         break;
       case Opcode::MEMTRACK:
       case Opcode::DMA_MEMTRACK:
-        cost = execTrack(s, row, col, inst);
+        planTrack(s, inst, op);
         break;
     }
-    (void)r;
+}
 
-    if (cost < 0)
-        return false;   // blocked; retry next cycle
+bool
+Machine::commitOp(CompSite &s, PendingOp &op, bool revalidate)
+{
+    CompHeavyTile &t = s.tile;
+    if (revalidate) {
+        // All-or-nothing: check every verdict before counting any
+        // access, so a retried instruction never leaves partial
+        // tracker counts behind.
+        for (int i = 0; i < op.numReads; ++i) {
+            const TrackedRange &r = op.reads[i];
+            if (r.tile->trackers().probeReadQuiet(r.addr, r.size) ==
+                TrackerVerdict::Block) {
+                op.block(BlockKind::Read, r.tile, r.addr, r.size);
+                return false;
+            }
+        }
+        if (op.writeTile && op.writeTracked &&
+            op.writeTile->trackers().probeWriteQuiet(
+                op.writeAddr,
+                static_cast<std::uint32_t>(op.writeData.size())) ==
+                TrackerVerdict::Block) {
+            op.block(BlockKind::Write, op.writeTile, op.writeAddr,
+                     static_cast<std::uint32_t>(op.writeData.size()));
+            return false;
+        }
+        if (op.armTile &&
+            !op.armTile->trackers().canArm(op.armAddr, op.armSize)) {
+            op.block(BlockKind::Arm, op.armTile, op.armAddr,
+                     op.armSize);
+            return false;
+        }
+    }
 
-    if (SD_TRACE_ACTIVE() && cost > 1) {
+    finishStall(s);
+
+    for (int i = 0; i < op.numReads; ++i) {
+        op.reads[i].tile->commitRead(op.reads[i].addr,
+                                     op.reads[i].size);
+        wakeWaiters(op.reads[i].tile);
+    }
+    if (op.writeTile) {
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(op.writeData.size());
+        if (op.writeTracked) {
+            if (!op.writeTile->write(op.writeAddr, n,
+                                     op.writeData.data(),
+                                     op.writeAccum)) {
+                panic(isa::opcodeName(t.program().at(t.pc()).op),
+                      ": write blocked after successful probe");
+            }
+            wakeWaiters(op.writeTile);
+        } else {
+            // Untracked refresh of an already-synchronized range
+            // (in-place NDACTFN).
+            op.writeTile->pokeRange(op.writeAddr, op.writeData.data(),
+                                    n);
+        }
+    }
+    if (op.extWrite) {
+        if (op.extAccum) {
+            for (std::size_t i = 0; i < op.writeData.size(); ++i)
+                extMem_[op.extAddr + i] += op.writeData[i];
+        } else {
+            std::copy(op.writeData.begin(), op.writeData.end(),
+                      extMem_.begin() + op.extAddr);
+        }
+    }
+    if (op.armTile) {
+        if (!op.armTile->trackers().arm(op.armAddr, op.armSize,
+                                        op.armUpdates, op.armReads)) {
+            panic("MEMTRACK: arm failed after successful probe");
+        }
+        // Arming adds constraints; it can never unblock a waiter.
+        if (SD_TRACE_ACTIVE()) {
+            TraceArgs args;
+            args.add("addr", static_cast<std::int64_t>(op.armAddr))
+                .add("size", static_cast<std::int64_t>(op.armSize))
+                .add("updates",
+                     static_cast<std::int64_t>(op.armUpdates))
+                .add("reads", static_cast<std::int64_t>(op.armReads));
+            Tracer::global().instant("memtrack_arm", "func.sync",
+                                     cycle_, kTracePidFunc, 0,
+                                     args.json());
+        }
+    }
+    if (op.sfuTile)
+        op.sfuTile->chargeSfu(op.sfuOps);
+    if (op.regDst >= 0)
+        t.setReg(op.regDst, op.regVal);
+
+    const Instruction &inst = t.program().at(t.pc());
+    if (SD_TRACE_ACTIVE() && op.cost > 1) {
         // Multi-cycle instructions become spans on the simulated
         // timeline: DMA/pass-buffer transfers, 2D-array passes and
         // SFU offloads, one trace thread per tile.
@@ -309,29 +678,28 @@ Machine::execute(CompSite &s, int row, int col, TileRole role)
                 g == isa::InstGroup::DataTransfer ? "func.dma"
                 : g == isa::InstGroup::CoarseData ? "func.array"
                                                   : "func.sfu";
-            const std::uint32_t tid = static_cast<std::uint32_t>(
-                (static_cast<std::size_t>(row) * config_.cols + col) *
-                    3 +
-                static_cast<std::size_t>(role));
             Tracer::global().complete(
                 isa::opcodeName(inst.op), cat, cycle_,
-                static_cast<std::uint64_t>(cost), kTracePidFunc, tid);
+                static_cast<std::uint64_t>(op.cost), kTracePidFunc,
+                s.index);
         }
     }
 
     ++t.instsExecuted;
     ++t.groupCounts[isa::opcodeGroup(inst.op)];
     if (inst.op == Opcode::NDCONV || inst.op == Opcode::MATMUL)
-        t.busyCycles += static_cast<std::uint64_t>(cost);
-    s.busyUntil = cycle_ + static_cast<std::uint64_t>(cost);
-    if (!t.halted())
-        t.setPc(next_pc);
+        t.busyCycles += static_cast<std::uint64_t>(op.cost);
+    t.macsIssued += op.macs;
+    s.busyUntil = cycle_ + static_cast<std::uint64_t>(op.cost);
+    if (op.halt)
+        t.halt();
+    else
+        t.setPc(op.nextPc);
     return true;
 }
 
-std::int64_t
-Machine::execNdConv(CompSite &s, int row, int col,
-                    const Instruction &inst)
+void
+Machine::planNdConv(CompSite &s, const Instruction &inst, PendingOp &op)
 {
     CompHeavyTile &t = s.tile;
     auto reg = [&](int i) { return t.reg(inst.args[i]); };
@@ -360,19 +728,23 @@ Machine::execNdConv(CompSite &s, int row, int col,
     const std::uint32_t out_elems =
         static_cast<std::uint32_t>(out_hw) * out_hw;
 
-    MemHeavyTile *in_tile = compPortTile(row, col, in_port);
-    MemHeavyTile *out_tile = compPortTile(row, col, out_port);
+    MemHeavyTile *in_tile = compPortTile(s.row, s.col, in_port);
+    MemHeavyTile *out_tile = compPortTile(s.row, s.col, out_port);
 
-    if (in_tile->trackers().probeRead(in_addr, in_elems) ==
-            TrackerVerdict::Block ||
-        out_tile->trackers().probeWrite(
+    if (in_tile->trackers().probeReadQuiet(in_addr, in_elems) ==
+        TrackerVerdict::Block) {
+        return op.block(BlockKind::Read, in_tile, in_addr, in_elems);
+    }
+    if (out_tile->trackers().probeWriteQuiet(
             out_addr, out_elems * num_kernels) == TrackerVerdict::Block) {
-        return -1;
+        return op.block(BlockKind::Write, out_tile, out_addr,
+                        out_elems * num_kernels);
     }
 
-    std::vector<float> in(in_elems);
-    if (!in_tile->read(in_addr, in_elems, in.data()))
-        return -1;
+    op.addRead(in_tile, in_addr, in_elems);
+    op.inBuf.resize(in_elems);
+    in_tile->peekRange(in_addr, op.inBuf.data(), in_elems);
+    const std::vector<float> &in = op.inBuf;
 
     const std::vector<float> &wbuf = t.weightBuf();
     if (ker_off + static_cast<std::uint32_t>(num_kernels) * k * k >
@@ -382,12 +754,12 @@ Machine::execNdConv(CompSite &s, int row, int col,
 
     // All num_kernels output features are produced and committed as a
     // single contiguous store (one tracked update on the span).
-    std::vector<float> out(static_cast<std::size_t>(out_elems) *
-                           num_kernels);
+    op.writeData.resize(static_cast<std::size_t>(out_elems) *
+                        num_kernels);
     for (int kn = 0; kn < num_kernels; ++kn) {
         const float *w = wbuf.data() + ker_off +
                          static_cast<std::size_t>(kn) * k * k;
-        float *feat = out.data() +
+        float *feat = op.writeData.data() +
                       static_cast<std::size_t>(kn) * out_elems;
         for (int oh = 0; oh < out_hw; ++oh) {
             for (int ow = 0; ow < out_hw; ++ow) {
@@ -408,25 +780,21 @@ Machine::execNdConv(CompSite &s, int row, int col,
             }
         }
     }
-    if (!out_tile->write(out_addr, out_elems * num_kernels, out.data(),
-                         accum)) {
-        panic("NDCONV: write blocked after successful probe");
-    }
+    op.setWrite(out_tile, out_addr, accum);
 
-    t.macsIssued += static_cast<std::uint64_t>(num_kernels) * k * k *
-                    out_elems;
+    op.macs = static_cast<std::uint64_t>(num_kernels) * k * k *
+              out_elems;
 
     const arch::CompHeavyConfig &c = t.config();
     std::int64_t passes = divCeil(k, c.arrayCols) *
                           divCeil(out_hw, c.arrayRows);
     std::int64_t lane_iters = divCeil(num_kernels, c.lanes);
-    return std::max<std::int64_t>(
+    op.cost = std::max<std::int64_t>(
         1, passes * out_hw * k * lane_iters);
 }
 
-std::int64_t
-Machine::execMatMul(CompSite &s, int row, int col,
-                    const Instruction &inst)
+void
+Machine::planMatMul(CompSite &s, const Instruction &inst, PendingOp &op)
 {
     CompHeavyTile &t = s.tile;
     auto reg = [&](int i) { return t.reg(inst.args[i]); };
@@ -439,46 +807,47 @@ Machine::execMatMul(CompSite &s, int row, int col,
     const std::uint32_t out_n = reg(6);
     const bool accum = inst.args[7];
 
-    MemHeavyTile *in_tile = compPortTile(row, col, in_port);
-    MemHeavyTile *out_tile = compPortTile(row, col, out_port);
-    if (in_tile->trackers().probeRead(in_addr, in_n) ==
-            TrackerVerdict::Block ||
-        out_tile->trackers().probeWrite(out_addr, out_n) ==
-            TrackerVerdict::Block) {
-        return -1;
+    MemHeavyTile *in_tile = compPortTile(s.row, s.col, in_port);
+    MemHeavyTile *out_tile = compPortTile(s.row, s.col, out_port);
+    if (in_tile->trackers().probeReadQuiet(in_addr, in_n) ==
+        TrackerVerdict::Block) {
+        return op.block(BlockKind::Read, in_tile, in_addr, in_n);
+    }
+    if (out_tile->trackers().probeWriteQuiet(out_addr, out_n) ==
+        TrackerVerdict::Block) {
+        return op.block(BlockKind::Write, out_tile, out_addr, out_n);
     }
 
-    std::vector<float> in(in_n);
-    if (!in_tile->read(in_addr, in_n, in.data()))
-        return -1;
+    op.addRead(in_tile, in_addr, in_n);
+    op.inBuf.resize(in_n);
+    in_tile->peekRange(in_addr, op.inBuf.data(), in_n);
+    const std::vector<float> &in = op.inBuf;
 
     const std::vector<float> &wbuf = t.weightBuf();
     if (w_off + static_cast<std::size_t>(in_n) * out_n > wbuf.size())
         panic("MATMUL: weight range exceeds streaming memory");
 
-    std::vector<float> out(out_n, 0.0f);
+    op.writeData.assign(out_n, 0.0f);
     for (std::uint32_t o = 0; o < out_n; ++o) {
         const float *wrow = wbuf.data() + w_off +
                             static_cast<std::size_t>(o) * in_n;
         float acc = 0.0f;
         for (std::uint32_t i = 0; i < in_n; ++i)
             acc += wrow[i] * in[i];
-        out[o] = acc;
+        op.writeData[o] = acc;
     }
-    if (!out_tile->write(out_addr, out_n, out.data(), accum))
-        panic("MATMUL: write blocked after successful probe");
+    op.setWrite(out_tile, out_addr, accum);
 
-    t.macsIssued += static_cast<std::uint64_t>(in_n) * out_n;
+    op.macs = static_cast<std::uint64_t>(in_n) * out_n;
 
     const arch::CompHeavyConfig &c = t.config();
     std::int64_t pes = static_cast<std::int64_t>(c.arrayRows) *
                        c.arrayCols * c.lanes;
-    return std::max<std::int64_t>(1, divCeil(out_n, pes) * in_n);
+    op.cost = std::max<std::int64_t>(1, divCeil(out_n, pes) * in_n);
 }
 
-std::int64_t
-Machine::execOffload(CompSite &s, int row, int col,
-                     const Instruction &inst)
+void
+Machine::planOffload(CompSite &s, const Instruction &inst, PendingOp &op)
 {
     CompHeavyTile &t = s.tile;
     auto reg = [&](int i) { return t.reg(inst.args[i]); };
@@ -488,29 +857,35 @@ Machine::execOffload(CompSite &s, int row, int col,
       case Opcode::NDACTFN: {
         const std::int32_t type = inst.args[0];
         const std::uint32_t in_addr = reg(1);
-        MemHeavyTile *in_tile = compPortTile(row, col, inst.args[2]);
+        MemHeavyTile *in_tile = compPortTile(s.row, s.col, inst.args[2]);
         const std::uint32_t size = reg(3);
         const std::uint32_t out_addr = reg(4);
-        MemHeavyTile *out_tile = compPortTile(row, col, inst.args[5]);
+        MemHeavyTile *out_tile =
+            compPortTile(s.row, s.col, inst.args[5]);
         const bool in_place =
             in_tile == out_tile && in_addr == out_addr;
-        if (in_tile->trackers().probeRead(in_addr, size) ==
-                TrackerVerdict::Block ||
-            (!in_place &&
-             out_tile->trackers().probeWrite(out_addr, size) ==
-                 TrackerVerdict::Block)) {
-            return -1;
+        if (in_tile->trackers().probeReadQuiet(in_addr, size) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, in_tile, in_addr, size);
         }
-        std::vector<float> buf(size);
-        if (!in_tile->read(in_addr, size, buf.data()))
-            return -1;
+        if (!in_place &&
+            out_tile->trackers().probeWriteQuiet(out_addr, size) ==
+                TrackerVerdict::Block) {
+            return op.block(BlockKind::Write, out_tile, out_addr,
+                            size);
+        }
+        op.addRead(in_tile, in_addr, size);
+        op.writeData.resize(size);
+        in_tile->peekRange(in_addr, op.writeData.data(), size);
+        std::vector<float> &buf = op.writeData;
         const bool is_grad = type >= isa::kActReLUGrad;
         if (is_grad) {
             // Fused RMW: scale the destination error vector by the
             // activation derivative of the (post-activation) source.
             // The internal read of the destination is untracked.
-            std::vector<float> err(size);
-            out_tile->peekRange(out_addr, err.data(), size);
+            op.inBuf.resize(size);
+            out_tile->peekRange(out_addr, op.inBuf.data(), size);
+            const std::vector<float> &err = op.inBuf;
             for (std::uint32_t i = 0; i < size; ++i) {
                 float y = buf[i];
                 float d;
@@ -546,25 +921,25 @@ Machine::execOffload(CompSite &s, int row, int col,
                 }
             }
         }
-        if (in_place) {
-            // The read above was the synchronization point; the
-            // refresh of the same range is not a tracked update.
-            out_tile->pokeRange(out_addr, buf.data(), size);
-        } else if (!out_tile->write(out_addr, size, buf.data(), false)) {
-            panic("NDACTFN: write blocked after probe");
-        }
-        out_tile->chargeSfu(size);
-        return std::max<std::int64_t>(1, divCeil(size, sfus));
+        // In place, the read above is the synchronization point; the
+        // refresh of the same range is not a tracked update.
+        op.setWrite(out_tile, out_addr, false);
+        op.writeTracked = !in_place;
+        op.sfuTile = out_tile;
+        op.sfuOps = size;
+        op.cost = std::max<std::int64_t>(1, divCeil(size, sfus));
+        return;
       }
       case Opcode::NDSUBSAMP: {
         const std::int32_t type = inst.args[0];
         const std::uint32_t in_addr = reg(1);
-        MemHeavyTile *in_tile = compPortTile(row, col, inst.args[2]);
+        MemHeavyTile *in_tile = compPortTile(s.row, s.col, inst.args[2]);
         const int in_hw = reg(3);
         const int win = reg(4);
         const int stride = reg(5);
         const std::uint32_t out_addr = reg(6);
-        MemHeavyTile *out_tile = compPortTile(row, col, inst.args[7]);
+        MemHeavyTile *out_tile =
+            compPortTile(s.row, s.col, inst.args[7]);
         const int channels = reg(8);
         const int out_hw = (in_hw - win) / stride + 1;
         if (out_hw <= 0 || channels <= 0)
@@ -573,21 +948,25 @@ Machine::execOffload(CompSite &s, int row, int col,
             static_cast<std::uint32_t>(channels) * in_hw * in_hw;
         const std::uint32_t out_elems =
             static_cast<std::uint32_t>(channels) * out_hw * out_hw;
-        if (in_tile->trackers().probeRead(in_addr, in_elems) ==
-                TrackerVerdict::Block ||
-            out_tile->trackers().probeWrite(out_addr, out_elems) ==
-                TrackerVerdict::Block) {
-            return -1;
+        if (in_tile->trackers().probeReadQuiet(in_addr, in_elems) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, in_tile, in_addr,
+                            in_elems);
         }
-        std::vector<float> in(in_elems);
-        if (!in_tile->read(in_addr, in_elems, in.data()))
-            return -1;
-        std::vector<float> out(out_elems);
+        if (out_tile->trackers().probeWriteQuiet(out_addr, out_elems) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Write, out_tile, out_addr,
+                            out_elems);
+        }
+        op.addRead(in_tile, in_addr, in_elems);
+        op.inBuf.resize(in_elems);
+        in_tile->peekRange(in_addr, op.inBuf.data(), in_elems);
+        op.writeData.resize(out_elems);
         for (int c = 0; c < channels; ++c) {
-            const float *ip = in.data() +
+            const float *ip = op.inBuf.data() +
                               static_cast<std::size_t>(c) * in_hw * in_hw;
-            float *op = out.data() +
-                        static_cast<std::size_t>(c) * out_hw * out_hw;
+            float *o = op.writeData.data() +
+                       static_cast<std::size_t>(c) * out_hw * out_hw;
             for (int oh = 0; oh < out_hw; ++oh) {
                 for (int ow = 0; ow < out_hw; ++ow) {
                     float best = -1e30f;
@@ -600,31 +979,32 @@ Machine::execOffload(CompSite &s, int row, int col,
                             sum += v;
                         }
                     }
-                    op[oh * out_hw + ow] =
+                    o[oh * out_hw + ow] =
                         type == isa::kSampMax
                             ? best
                             : static_cast<float>(sum / (win * win));
                 }
             }
         }
-        if (!out_tile->write(out_addr, out_elems, out.data(), false))
-            panic("NDSUBSAMP: write blocked after probe");
-        out_tile->chargeSfu(static_cast<std::uint64_t>(out_elems) * win *
-                            win);
-        return std::max<std::int64_t>(
+        op.setWrite(out_tile, out_addr, false);
+        op.sfuTile = out_tile;
+        op.sfuOps = static_cast<std::uint64_t>(out_elems) * win * win;
+        op.cost = std::max<std::int64_t>(
             1, divCeil(static_cast<std::int64_t>(out_elems) * win * win,
                        sfus));
+        return;
       }
       case Opcode::NDUPSAMP: {
         // Error up-sampling for BP through a SAMP layer (average
         // semantics: the error is spread evenly over the window).
         const std::uint32_t in_addr = reg(1);
-        MemHeavyTile *in_tile = compPortTile(row, col, inst.args[2]);
+        MemHeavyTile *in_tile = compPortTile(s.row, s.col, inst.args[2]);
         const int in_hw = reg(3);      // coarse (error) size
         const int win = reg(4);
         const int stride = reg(5);
         const std::uint32_t out_addr = reg(6);
-        MemHeavyTile *out_tile = compPortTile(row, col, inst.args[7]);
+        MemHeavyTile *out_tile =
+            compPortTile(s.row, s.col, inst.args[7]);
         const int channels = reg(8);
         const int out_hw = reg(9);      // true destination feature size
         if (out_hw < (in_hw - 1) * stride + win)
@@ -634,252 +1014,288 @@ Machine::execOffload(CompSite &s, int row, int col,
             static_cast<std::uint32_t>(channels) * in_hw * in_hw;
         const std::uint32_t out_elems =
             static_cast<std::uint32_t>(channels) * out_hw * out_hw;
-        if (in_tile->trackers().probeRead(in_addr, in_elems) ==
-                TrackerVerdict::Block ||
-            out_tile->trackers().probeWrite(out_addr, out_elems) ==
-                TrackerVerdict::Block) {
-            return -1;
+        if (in_tile->trackers().probeReadQuiet(in_addr, in_elems) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, in_tile, in_addr,
+                            in_elems);
         }
-        std::vector<float> in(in_elems);
-        if (!in_tile->read(in_addr, in_elems, in.data()))
-            return -1;
-        std::vector<float> out(out_elems, 0.0f);
+        if (out_tile->trackers().probeWriteQuiet(out_addr, out_elems) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Write, out_tile, out_addr,
+                            out_elems);
+        }
+        op.addRead(in_tile, in_addr, in_elems);
+        op.inBuf.resize(in_elems);
+        in_tile->peekRange(in_addr, op.inBuf.data(), in_elems);
+        op.writeData.assign(out_elems, 0.0f);
         const float share = 1.0f / static_cast<float>(win * win);
         for (int c = 0; c < channels; ++c) {
-            const float *ip = in.data() +
+            const float *ip = op.inBuf.data() +
                               static_cast<std::size_t>(c) * in_hw * in_hw;
-            float *op = out.data() +
-                        static_cast<std::size_t>(c) * out_hw * out_hw;
+            float *o = op.writeData.data() +
+                       static_cast<std::size_t>(c) * out_hw * out_hw;
             for (int ih = 0; ih < in_hw; ++ih) {
                 for (int iw = 0; iw < in_hw; ++iw) {
                     float e = ip[ih * in_hw + iw] * share;
                     for (int kh = 0; kh < win; ++kh) {
                         for (int kw = 0; kw < win; ++kw) {
-                            op[(ih * stride + kh) * out_hw +
-                               iw * stride + kw] += e;
+                            o[(ih * stride + kh) * out_hw +
+                              iw * stride + kw] += e;
                         }
                     }
                 }
             }
         }
-        if (!out_tile->write(out_addr, out_elems, out.data(), false))
-            panic("NDUPSAMP: write blocked after probe");
-        out_tile->chargeSfu(out_elems);
-        return std::max<std::int64_t>(1, divCeil(out_elems, sfus));
+        op.setWrite(out_tile, out_addr, false);
+        op.sfuTile = out_tile;
+        op.sfuOps = out_elems;
+        op.cost = std::max<std::int64_t>(1, divCeil(out_elems, sfus));
+        return;
       }
       case Opcode::NDACCUM: {
-        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        MemHeavyTile *home = compPortTile(s.row, s.col, inst.args[0]);
         const std::uint32_t src_addr = reg(1);
         const std::int32_t src_port = inst.args[2];
         const std::uint32_t dst_addr = reg(3);
         const std::uint32_t size = reg(4);
         // Resolve the source relative to the home tile's grid site.
-        int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
-        MemHeavyTile *src = memNeighbor(row, mem_col, src_port);
+        int mem_col =
+            inst.args[0] == isa::kPortLeft ? s.col : s.col + 1;
+        MemHeavyTile *src = memNeighbor(s.row, mem_col, src_port);
         if (!src)
             panic("NDACCUM: bad source port ", src_port);
-        if (src->trackers().probeRead(src_addr, size) ==
-                TrackerVerdict::Block ||
-            home->trackers().probeWrite(dst_addr, size) ==
-                TrackerVerdict::Block) {
-            return -1;
+        if (src->trackers().probeReadQuiet(src_addr, size) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, src, src_addr, size);
         }
-        std::vector<float> buf(size);
-        if (!src->read(src_addr, size, buf.data()))
-            return -1;
-        if (!home->write(dst_addr, size, buf.data(), true))
-            panic("NDACCUM: write blocked after probe");
-        home->chargeSfu(size);
+        if (home->trackers().probeWriteQuiet(dst_addr, size) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Write, home, dst_addr, size);
+        }
+        op.addRead(src, src_addr, size);
+        op.writeData.resize(size);
+        src->peekRange(src_addr, op.writeData.data(), size);
+        op.setWrite(home, dst_addr, true);
+        op.sfuTile = home;
+        op.sfuOps = size;
         std::int64_t cost = divCeil(size, sfus);
         if (src != home)
             cost += linkCycles(size, config_.memMemBytesPerCycle);
-        return std::max<std::int64_t>(1, cost);
+        op.cost = std::max<std::int64_t>(1, cost);
+        return;
       }
       case Opcode::VECELTMUL: {
-        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        MemHeavyTile *home = compPortTile(s.row, s.col, inst.args[0]);
         const std::uint32_t a_addr = reg(1);
         const std::uint32_t b_addr = reg(2);
         const std::uint32_t dst_addr = reg(3);
         const std::uint32_t n = reg(4);
         const std::uint32_t m = reg(5);
-        if (home->trackers().probeRead(a_addr, n) ==
-                TrackerVerdict::Block ||
-            home->trackers().probeRead(b_addr, m) ==
-                TrackerVerdict::Block ||
-            home->trackers().probeWrite(dst_addr, n * m) ==
-                TrackerVerdict::Block) {
-            return -1;
+        if (home->trackers().probeReadQuiet(a_addr, n) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, home, a_addr, n);
         }
-        std::vector<float> a(n), b(m);
-        if (!home->read(a_addr, n, a.data()) ||
-            !home->read(b_addr, m, b.data())) {
-            return -1;
+        if (home->trackers().probeReadQuiet(b_addr, m) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, home, b_addr, m);
         }
-        std::vector<float> out(static_cast<std::size_t>(n) * m);
+        if (home->trackers().probeWriteQuiet(dst_addr, n * m) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Write, home, dst_addr, n * m);
+        }
+        op.addRead(home, a_addr, n);
+        op.addRead(home, b_addr, m);
+        op.inBuf.resize(n);
+        home->peekRange(a_addr, op.inBuf.data(), n);
+        op.inBuf2.resize(m);
+        home->peekRange(b_addr, op.inBuf2.data(), m);
+        op.writeData.resize(static_cast<std::size_t>(n) * m);
         for (std::uint32_t i = 0; i < n; ++i)
             for (std::uint32_t j = 0; j < m; ++j)
-                out[static_cast<std::size_t>(i) * m + j] = a[i] * b[j];
-        if (!home->write(dst_addr, n * m, out.data(), true))
-            panic("VECELTMUL: write blocked after probe");
-        home->chargeSfu(static_cast<std::uint64_t>(n) * m);
-        return std::max<std::int64_t>(
+                op.writeData[static_cast<std::size_t>(i) * m + j] =
+                    op.inBuf[i] * op.inBuf2[j];
+        op.setWrite(home, dst_addr, true);
+        op.sfuTile = home;
+        op.sfuOps = static_cast<std::uint64_t>(n) * m;
+        op.cost = std::max<std::int64_t>(
             1, divCeil(static_cast<std::int64_t>(n) * m, sfus));
+        return;
       }
       default:
-        panic("execOffload: unexpected opcode");
+        panic("planOffload: unexpected opcode");
     }
 }
 
-std::int64_t
-Machine::execTransfer(CompSite &s, int row, int col,
-                      const Instruction &inst)
+void
+Machine::planTransfer(CompSite &s, const Instruction &inst,
+                      PendingOp &op)
 {
     CompHeavyTile &t = s.tile;
     auto reg = [&](int i) { return t.reg(inst.args[i]); };
 
     switch (inst.op) {
       case Opcode::DMALOAD: {
-        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        MemHeavyTile *home = compPortTile(s.row, s.col, inst.args[0]);
         const std::uint32_t src_addr = reg(1);
         const std::int32_t src_port = inst.args[2];
         const std::uint32_t dst_addr = reg(3);
         const std::uint32_t size = reg(4);
         const bool accum = inst.args[5];
-        int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
-        std::vector<float> buf(size);
+        int mem_col =
+            inst.args[0] == isa::kPortLeft ? s.col : s.col + 1;
         int bpc;
         if (src_port == isa::kPortExtMem) {
             if (src_addr + size > extMem_.size())
                 panic("DMALOAD: external address out of range");
-            std::copy(extMem_.begin() + src_addr,
-                      extMem_.begin() + src_addr + size, buf.begin());
+            if (home->trackers().probeWriteQuiet(dst_addr, size) ==
+                TrackerVerdict::Block) {
+                return op.block(BlockKind::Write, home, dst_addr,
+                                size);
+            }
+            op.writeData.assign(extMem_.begin() + src_addr,
+                                extMem_.begin() + src_addr + size);
             bpc = config_.extMemBytesPerCycle;
         } else {
-            MemHeavyTile *src = memNeighbor(row, mem_col, src_port);
+            MemHeavyTile *src = memNeighbor(s.row, mem_col, src_port);
             if (!src)
                 panic("DMALOAD: bad source port ", src_port);
-            if (src->trackers().probeRead(src_addr, size) ==
-                    TrackerVerdict::Block ||
-                home->trackers().probeWrite(dst_addr, size) ==
-                    TrackerVerdict::Block) {
-                return -1;
+            if (src->trackers().probeReadQuiet(src_addr, size) ==
+                TrackerVerdict::Block) {
+                return op.block(BlockKind::Read, src, src_addr, size);
             }
-            if (!src->read(src_addr, size, buf.data()))
-                return -1;
+            if (home->trackers().probeWriteQuiet(dst_addr, size) ==
+                TrackerVerdict::Block) {
+                return op.block(BlockKind::Write, home, dst_addr,
+                                size);
+            }
+            op.addRead(src, src_addr, size);
+            op.writeData.resize(size);
+            src->peekRange(src_addr, op.writeData.data(), size);
             bpc = config_.memMemBytesPerCycle;
         }
-        if (!home->write(dst_addr, size, buf.data(), accum))
-            return -1;
-        return linkCycles(size, bpc);
+        op.setWrite(home, dst_addr, accum);
+        op.cost = linkCycles(size, bpc);
+        return;
       }
       case Opcode::DMASTORE: {
-        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
+        MemHeavyTile *home = compPortTile(s.row, s.col, inst.args[0]);
         const std::uint32_t src_addr = reg(1);
         const std::uint32_t dst_addr = reg(2);
         const std::int32_t dst_port = inst.args[3];
         const std::uint32_t size = reg(4);
         const bool accum = inst.args[5];
-        int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
-        std::vector<float> buf(size);
+        int mem_col =
+            inst.args[0] == isa::kPortLeft ? s.col : s.col + 1;
         if (dst_port == isa::kPortExtMem) {
-            if (home->trackers().probeRead(src_addr, size) ==
+            if (home->trackers().probeReadQuiet(src_addr, size) ==
                 TrackerVerdict::Block) {
-                return -1;
+                return op.block(BlockKind::Read, home, src_addr,
+                                size);
             }
-            if (!home->read(src_addr, size, buf.data()))
-                return -1;
             if (dst_addr + size > extMem_.size())
                 panic("DMASTORE: external address out of range");
-            if (accum) {
-                for (std::uint32_t i = 0; i < size; ++i)
-                    extMem_[dst_addr + i] += buf[i];
-            } else {
-                std::copy(buf.begin(), buf.end(),
-                          extMem_.begin() + dst_addr);
-            }
-            return linkCycles(size, config_.extMemBytesPerCycle);
+            op.addRead(home, src_addr, size);
+            op.writeData.resize(size);
+            home->peekRange(src_addr, op.writeData.data(), size);
+            op.extWrite = true;
+            op.extAddr = dst_addr;
+            op.extAccum = accum;
+            op.cost = linkCycles(size, config_.extMemBytesPerCycle);
+            return;
         }
-        MemHeavyTile *dst = memNeighbor(row, mem_col, dst_port);
+        MemHeavyTile *dst = memNeighbor(s.row, mem_col, dst_port);
         if (!dst)
             panic("DMASTORE: bad destination port ", dst_port);
-        if (home->trackers().probeRead(src_addr, size) ==
-                TrackerVerdict::Block ||
-            dst->trackers().probeWrite(dst_addr, size) ==
-                TrackerVerdict::Block) {
-            return -1;
+        if (home->trackers().probeReadQuiet(src_addr, size) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, home, src_addr, size);
         }
-        if (!home->read(src_addr, size, buf.data()))
-            return -1;
-        if (!dst->write(dst_addr, size, buf.data(), accum))
-            return -1;
-        return linkCycles(size, config_.memMemBytesPerCycle);
+        if (dst->trackers().probeWriteQuiet(dst_addr, size) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Write, dst, dst_addr, size);
+        }
+        op.addRead(home, src_addr, size);
+        op.writeData.resize(size);
+        home->peekRange(src_addr, op.writeData.data(), size);
+        op.setWrite(dst, dst_addr, accum);
+        op.cost = linkCycles(size, config_.memMemBytesPerCycle);
+        return;
       }
       case Opcode::PASSBUF_RD: {
-        MemHeavyTile *src = compPortTile(row, col, inst.args[0]);
+        MemHeavyTile *src = compPortTile(s.row, s.col, inst.args[0]);
         const std::uint32_t src_addr = reg(1);
         const std::uint32_t size = reg(2);
         const std::uint32_t buf_off = reg(3);
         if (buf_off + size > t.weightBuf().size())
             panic("PASSBUF_RD: overflows streaming memory (",
                   buf_off + size, " > ", t.weightBuf().size(), ")");
-        if (!src->read(src_addr, size, t.weightBuf().data() + buf_off))
-            return -1;
-        return linkCycles(size, config_.compMemBytesPerCycle);
+        if (src->trackers().probeReadQuiet(src_addr, size) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Read, src, src_addr, size);
+        }
+        op.addRead(src, src_addr, size);
+        // The streaming buffer is private to this site, so the plan
+        // phase may fill it directly; a commit-time retry re-plans
+        // (and re-copies) before the data is ever consumed.
+        src->peekRange(src_addr, t.weightBuf().data() + buf_off, size);
+        op.cost = linkCycles(size, config_.compMemBytesPerCycle);
+        return;
       }
       case Opcode::PASSBUF_WR: {
-        MemHeavyTile *dst = compPortTile(row, col, inst.args[0]);
+        MemHeavyTile *dst = compPortTile(s.row, s.col, inst.args[0]);
         const std::uint32_t dst_addr = reg(1);
         const std::uint32_t size = reg(2);
         const std::uint32_t buf_off = reg(3);
         if (buf_off + size > t.scratchpad().size())
             panic("PASSBUF_WR: overflows scratchpad");
-        if (!dst->write(dst_addr, size, t.scratchpad().data() + buf_off,
-                        false)) {
-            return -1;
+        if (dst->trackers().probeWriteQuiet(dst_addr, size) ==
+            TrackerVerdict::Block) {
+            return op.block(BlockKind::Write, dst, dst_addr, size);
         }
-        return linkCycles(size, config_.compMemBytesPerCycle);
+        op.writeData.assign(t.scratchpad().data() + buf_off,
+                            t.scratchpad().data() + buf_off + size);
+        op.setWrite(dst, dst_addr, false);
+        op.cost = linkCycles(size, config_.compMemBytesPerCycle);
+        return;
       }
       default:
-        panic("execTransfer: unexpected opcode");
+        panic("planTransfer: unexpected opcode");
     }
 }
 
-std::int64_t
-Machine::execTrack(CompSite &s, int row, int col,
-                   const Instruction &inst)
+void
+Machine::planTrack(CompSite &s, const Instruction &inst, PendingOp &op)
 {
     CompHeavyTile &t = s.tile;
-    auto reg = [&](int i) { return t.reg(inst.args[i]); };
-
-    auto trace_arm = [&](int addr_arg) {
-        if (!SD_TRACE_ACTIVE())
-            return;
-        TraceArgs args;
-        args.add("addr", static_cast<std::int64_t>(reg(addr_arg)))
-            .add("size", static_cast<std::int64_t>(reg(addr_arg + 1)))
-            .add("updates",
-                 static_cast<std::int64_t>(reg(addr_arg + 2)))
-            .add("reads", static_cast<std::int64_t>(reg(addr_arg + 3)));
-        Tracer::global().instant("memtrack_arm", "func.sync", cycle_,
-                                 kTracePidFunc, 0, args.json());
+    auto reg = [&](int i) {
+        return static_cast<std::uint32_t>(t.reg(inst.args[i]));
     };
 
     if (inst.op == Opcode::MEMTRACK) {
-        MemHeavyTile *home = compPortTile(row, col, inst.args[0]);
-        if (!home->trackers().arm(reg(1), reg(2), reg(3), reg(4)))
-            return -1;      // table full: retry (hardware NACK)
-        trace_arm(1);
-        return 1;
+        MemHeavyTile *home = compPortTile(s.row, s.col, inst.args[0]);
+        if (!home->trackers().canArm(reg(1), reg(2))) {
+            // Hardware NACK: overlap with a live entry or table full.
+            return op.block(BlockKind::Arm, home, reg(1), reg(2));
+        }
+        op.armTile = home;
+        op.armAddr = reg(1);
+        op.armSize = reg(2);
+        op.armUpdates = reg(3);
+        op.armReads = reg(4);
+        return;
     }
     // DMA_MEMTRACK: arm on a neighbour of the home tile.
-    int mem_col = inst.args[0] == isa::kPortLeft ? col : col + 1;
-    MemHeavyTile *remote = memNeighbor(row, mem_col, inst.args[1]);
+    int mem_col = inst.args[0] == isa::kPortLeft ? s.col : s.col + 1;
+    MemHeavyTile *remote = memNeighbor(s.row, mem_col, inst.args[1]);
     if (!remote)
         panic("DMA_MEMTRACK: bad remote port ", inst.args[1]);
-    if (!remote->trackers().arm(reg(2), reg(3), reg(4), reg(5)))
-        return -1;
-    trace_arm(2);
-    return 1;
+    if (!remote->trackers().canArm(reg(2), reg(3)))
+        return op.block(BlockKind::Arm, remote, reg(2), reg(3));
+    op.armTile = remote;
+    op.armAddr = reg(2);
+    op.armSize = reg(3);
+    op.armUpdates = reg(4);
+    op.armReads = reg(5);
 }
 
 std::uint64_t
@@ -931,13 +1347,9 @@ Machine::snapshotStats() const
         const CompHeavyTile &t = sp->tile;
         if (!t.hasProgram())
             continue;
-        std::size_t idx = &sp - compSites_.data();
-        int role = static_cast<int>(idx % 3);
-        int col = static_cast<int>((idx / 3) % config_.cols);
-        int row = static_cast<int>(idx / 3 / config_.cols);
         std::ostringstream name;
-        name << "comp_r" << row << "_c" << col << "_"
-             << tileRoleName(static_cast<TileRole>(role));
+        name << "comp_r" << sp->row << "_c" << sp->col << "_"
+             << tileRoleName(sp->role);
         auto group = std::make_unique<StatGroup>(name.str());
         group->addCounter("insts", "instructions executed")
             .set(t.instsExecuted);

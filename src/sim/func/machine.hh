@@ -12,8 +12,20 @@
  * Timing model: scalar instructions take one cycle; array instructions
  * occupy the tile for the 2D-array pass count derived from the array
  * shape; offload/DMA instructions are charged link and SFU cycles.
- * Instructions whose tracker probes block are retried every cycle
- * (modeling the hardware's queued accesses) and accrue stall cycles.
+ * Instructions whose tracker probes block stall the tile (modeling the
+ * hardware's queued accesses) and accrue stall cycles until the
+ * tracker state they wait on changes.
+ *
+ * Stepping (see DESIGN.md "Event-driven functional simulation"):
+ * the default scheduler keeps a min-heap of (wake cycle, site) events
+ * plus per-MemHeavy waiter lists for tracker-parked sites, so a cycle
+ * touches only runnable tiles. Within a cycle every runnable site
+ * *plans* its instruction against the cycle-start machine state — a
+ * pure read that can run on a TaskCrew across worker threads — and the
+ * planned effects are then *committed* serially in ascending site
+ * order. Results are bit-identical for every jobs value. The legacy
+ * full-scan stepper is retained behind MachineConfig::stepMode for
+ * benchmarking the event-driven gain.
  */
 
 #ifndef SCALEDEEP_SIM_FUNC_MACHINE_HH
@@ -29,7 +41,20 @@
 #include "sim/func/compheavy.hh"
 #include "sim/func/memheavy.hh"
 
+namespace sd {
+class TaskCrew;
+} // namespace sd
+
 namespace sd::sim {
+
+/** Main-loop strategy of Machine::run(). */
+enum class StepMode
+{
+    /** Ready-set + event-heap scheduler with two-phase stepping. */
+    EventDriven,
+    /** Legacy per-cycle scan of every site (kept for benchmarking). */
+    FullScan,
+};
 
 /** Machine construction parameters. */
 struct MachineConfig
@@ -44,6 +69,8 @@ struct MachineConfig
     int compMemBytesPerCycle = 40;
     int memMemBytesPerCycle = 60;
     int extMemBytesPerCycle = 250;
+
+    StepMode stepMode = StepMode::EventDriven;
 
     /** Derive a machine from a chip configuration (grid size capped). */
     static MachineConfig fromChip(const arch::ChipConfig &chip,
@@ -66,7 +93,7 @@ struct RunResult
 {
     std::uint64_t cycles = 0;
     bool deadlocked = false;    ///< all live tiles blocked on trackers
-    bool timedOut = false;      ///< hit the cycle budget
+    bool timedOut = false;      ///< budget exhausted with work remaining
 
     bool ok() const { return !deadlocked && !timedOut; }
 };
@@ -75,6 +102,7 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &config);
+    ~Machine();
 
     const MachineConfig &config() const { return config_; }
 
@@ -122,13 +150,130 @@ class Machine
     {
         CompHeavyTile tile;
         std::uint64_t busyUntil = 0;
-        /** Cycle the current tracker stall began (kNotStalled if none),
-         * maintained only while tracing is active. */
+        /** Cycle the current tracker stall began (kNotStalled if
+         * none). Stall cycles are charged as wall time from here when
+         * the queued instruction finally issues. */
         std::uint64_t stallStart = UINT64_MAX;
+
+        // Grid coordinates, hoisted from the site index at
+        // construction so the dispatch path never recomputes them.
+        int row = 0;
+        int col = 0;
+        TileRole role = TileRole::Fp;
+        std::uint32_t index = 0;
+
+        /** Event mode: parked on a tracker waiter list (not in the
+         * event heap) until a commit touches the blocking tile. */
+        bool parked = false;
 
         explicit CompSite(const arch::CompHeavyConfig &c) : tile(c) {}
     };
     static constexpr std::uint64_t kNotStalled = UINT64_MAX;
+
+    /** Why a planned instruction could not issue. */
+    enum class BlockKind : std::uint8_t
+    {
+        None,
+        Read,       ///< tracked read of a range with pending updates
+        Write,      ///< tracked overwrite of a live completed range
+        Arm,        ///< MEMTRACK NACK (overlap or table full)
+    };
+
+    struct TrackedRange
+    {
+        MemHeavyTile *tile = nullptr;
+        std::uint32_t addr = 0;
+        std::uint32_t size = 0;
+    };
+
+    /**
+     * The planned effects of one instruction. The plan phase fills
+     * this from the cycle-start machine state without mutating
+     * anything shared (quiet tracker probes, peekRange data capture);
+     * the serial commit phase re-validates the probes and applies the
+     * effects. Buffers are pooled and reused across cycles.
+     */
+    struct PendingOp
+    {
+        bool blocked = false;
+        BlockKind blockKind = BlockKind::None;
+        MemHeavyTile *blockTile = nullptr;
+        std::uint32_t blockAddr = 0;    ///< range (or arm range) that
+        std::uint32_t blockSize = 0;    ///< produced the Block verdict
+
+        std::int64_t cost = 1;
+        std::size_t nextPc = 0;
+        bool halt = false;
+
+        int regDst = -1;            ///< deferred scalar register write
+        std::int32_t regVal = 0;
+
+        TrackedRange reads[2];      ///< tracked reads to count
+        int numReads = 0;
+
+        MemHeavyTile *writeTile = nullptr;
+        std::uint32_t writeAddr = 0;
+        bool writeAccum = false;
+        bool writeTracked = true;   ///< false: untracked refresh (poke)
+        std::vector<float> writeData;
+
+        bool extWrite = false;      ///< payload in writeData
+        std::uint32_t extAddr = 0;
+        bool extAccum = false;
+
+        MemHeavyTile *armTile = nullptr;
+        std::uint32_t armAddr = 0;
+        std::uint32_t armSize = 0;
+        std::uint32_t armUpdates = 0;
+        std::uint32_t armReads = 0;
+
+        MemHeavyTile *sfuTile = nullptr;
+        std::uint64_t sfuOps = 0;
+        std::uint64_t macs = 0;
+
+        std::vector<float> inBuf;   ///< plan-phase compute scratch
+        std::vector<float> inBuf2;
+
+        void reset(std::size_t next_pc);
+        void
+        block(BlockKind kind, MemHeavyTile *tile, std::uint32_t addr,
+              std::uint32_t size)
+        {
+            blocked = true;
+            blockKind = kind;
+            blockTile = tile;
+            blockAddr = addr;
+            blockSize = size;
+        }
+        void
+        addRead(MemHeavyTile *tile, std::uint32_t addr,
+                std::uint32_t size)
+        {
+            reads[numReads++] = {tile, addr, size};
+        }
+        void
+        setWrite(MemHeavyTile *tile, std::uint32_t addr, bool accum)
+        {
+            writeTile = tile;
+            writeAddr = addr;
+            writeAccum = accum;
+        }
+    };
+
+    /** Event-heap entry: site @p idx becomes runnable at cycle @p at. */
+    struct ReadyEvent
+    {
+        std::uint64_t at = 0;
+        std::uint32_t idx = 0;
+    };
+    struct EventAfter
+    {
+        bool
+        operator()(const ReadyEvent &a, const ReadyEvent &b) const
+        {
+            return a.at > b.at || (a.at == b.at && a.idx > b.idx);
+        }
+    };
 
     MemHeavyTile *compPortTile(int row, int col, std::int32_t port);
     /**
@@ -137,21 +282,59 @@ class Machine
      */
     MemHeavyTile *memNeighbor(int row, int mem_col, std::int32_t port);
 
-    /** Execute one instruction; false when blocked (retry). */
-    bool execute(CompSite &site, int row, int col, TileRole role);
+    RunResult runEventDriven(std::uint64_t max_cycles);
+    RunResult runFullScan(std::uint64_t max_cycles);
 
-    // Instruction family handlers; each returns the cycle cost, or -1
-    // when the instruction is tracker-blocked.
-    std::int64_t execNdConv(CompSite &site, int row, int col,
-                            const isa::Instruction &inst);
-    std::int64_t execMatMul(CompSite &site, int row, int col,
-                            const isa::Instruction &inst);
-    std::int64_t execOffload(CompSite &site, int row, int col,
-                             const isa::Instruction &inst);
-    std::int64_t execTransfer(CompSite &site, int row, int col,
-                              const isa::Instruction &inst);
-    std::int64_t execTrack(CompSite &site, int row, int col,
-                           const isa::Instruction &inst);
+    /** Two-phase step of the sorted ready list (event mode). */
+    void stepReady();
+
+    /** Plan @p s's next instruction against cycle-start state. */
+    void planInstruction(CompSite &s, PendingOp &op);
+
+    // Instruction family planners; each fills op (blocked or effects).
+    void planNdConv(CompSite &s, const isa::Instruction &inst,
+                    PendingOp &op);
+    void planMatMul(CompSite &s, const isa::Instruction &inst,
+                    PendingOp &op);
+    void planOffload(CompSite &s, const isa::Instruction &inst,
+                     PendingOp &op);
+    void planTransfer(CompSite &s, const isa::Instruction &inst,
+                      PendingOp &op);
+    void planTrack(CompSite &s, const isa::Instruction &inst,
+                   PendingOp &op);
+
+    /**
+     * Apply a successfully planned op: optionally re-validate every
+     * tracker verdict (all-or-nothing, so counts stay consistent),
+     * count the tracked accesses, apply the writes/arm/stats, and
+     * advance the site. @return false when re-validation blocked (the
+     * op is marked blocked and must be parked/retried).
+     */
+    bool commitOp(CompSite &s, PendingOp &op, bool revalidate);
+
+    /** Charge one blocked attempt to the blocking tile's counters. */
+    void noteBlocked(const PendingOp &op);
+
+    /** Account the completed stall span when an instruction issues. */
+    void finishStall(CompSite &s);
+    /** Charge still-open stall spans at run exit (resumable). */
+    void flushStalls();
+
+    /** Is the recorded Block verdict of @p op clear right now? */
+    bool blockCleared(const PendingOp &op) const;
+
+    /**
+     * Event mode: park @p s on the tile blocking @p op — unless an
+     * earlier commit this cycle already cleared the verdict, in which
+     * case the wake it would have delivered has been missed and the
+     * site is rescheduled for the next cycle instead.
+     */
+    void parkSite(CompSite &s, const PendingOp &op);
+    /** Event mode: re-enqueue sites parked on @p tile at cycle_+1. */
+    void wakeWaiters(MemHeavyTile *tile);
+    void pushEvent(std::uint64_t at, std::uint32_t idx);
+
+    bool anySiteLive() const;
 
     CompSite &site(int row, int col, TileRole role);
 
@@ -160,6 +343,15 @@ class Machine
     std::vector<std::unique_ptr<CompSite>> compSites_;
     std::vector<float> extMem_;
     std::uint64_t cycle_ = 0;
+
+    // Event-driven scheduler state (rebuilt at each run() entry).
+    std::vector<ReadyEvent> heap_;                  ///< min-heap
+    std::vector<std::uint32_t> readyList_;
+    std::vector<std::vector<std::uint32_t>> waiters_;   ///< per mem tile
+    std::vector<PendingOp> pending_;                ///< pooled plans
+    std::uint64_t liveCount_ = 0;
+    int runJobs_ = 1;                               ///< jobs at run entry
+    std::unique_ptr<TaskCrew> crew_;                ///< lazy plan crew
 };
 
 } // namespace sd::sim

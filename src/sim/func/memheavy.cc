@@ -49,6 +49,16 @@ MemHeavyTile::write(std::uint32_t addr, std::uint32_t size,
     return true;
 }
 
+void
+MemHeavyTile::commitRead(std::uint32_t addr, std::uint32_t size)
+{
+    checkRange(addr, size);
+    if (trackers_.read(addr, size) == TrackerVerdict::Block)
+        panic("MemHeavyTile: committed read of [", addr, ", ",
+              addr + size, ") blocked after successful probe");
+    readWords_ += size;
+}
+
 float
 MemHeavyTile::peek(std::uint32_t addr) const
 {

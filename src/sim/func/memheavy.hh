@@ -42,6 +42,14 @@ class MemHeavyTile
     bool write(std::uint32_t addr, std::uint32_t size, const float *in,
                bool accum);
 
+    /**
+     * Count a read whose data was already captured from peekRange()
+     * during a plan phase that re-validated the tracker verdict. The
+     * access must be Allow at this point; a Block panics, because a
+     * committed instruction can no longer be unwound.
+     */
+    void commitRead(std::uint32_t addr, std::uint32_t size);
+
     /** Untracked accessors for test setup / result inspection. */
     float peek(std::uint32_t addr) const;
     void poke(std::uint32_t addr, float value);

@@ -65,6 +65,47 @@ TrackerTable::probeRead(std::uint32_t addr, std::uint32_t size)
 }
 
 TrackerVerdict
+TrackerTable::probeReadQuiet(std::uint32_t addr,
+                             std::uint32_t size) const
+{
+    for (const TrackerEntry &e : entries_) {
+        if (!e.retired() && e.overlaps(addr, size) &&
+            !e.updatesComplete())
+            return TrackerVerdict::Block;
+    }
+    return TrackerVerdict::Allow;
+}
+
+TrackerVerdict
+TrackerTable::probeWriteQuiet(std::uint32_t addr,
+                              std::uint32_t size) const
+{
+    for (const TrackerEntry &e : entries_) {
+        if (!e.retired() && e.overlaps(addr, size) &&
+            e.updatesComplete())
+            return TrackerVerdict::Block;
+    }
+    return TrackerVerdict::Allow;
+}
+
+bool
+TrackerTable::canArm(std::uint32_t addr, std::uint32_t size) const
+{
+    // Mirrors arm(): a live overlapping entry NACKs, and so does a
+    // table whose non-retired population is at capacity (arm() would
+    // reclaim the retired ones first).
+    int live = 0;
+    for (const TrackerEntry &e : entries_) {
+        if (e.retired())
+            continue;
+        ++live;
+        if (e.overlaps(addr, size))
+            return false;
+    }
+    return live < capacity_;
+}
+
+TrackerVerdict
 TrackerTable::probeWrite(std::uint32_t addr, std::uint32_t size)
 {
     for (const TrackerEntry &e : entries_) {

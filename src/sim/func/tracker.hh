@@ -76,6 +76,26 @@ class TrackerTable
     TrackerVerdict probeWrite(std::uint32_t addr, std::uint32_t size);
 
     /**
+     * Pure verdicts: like probeRead/probeWrite but without bumping the
+     * blocked-request counters. The machine's plan phase runs these
+     * concurrently across sites, so they must not mutate the table;
+     * blocked attempts are charged once per stall via noteBlockedRead /
+     * noteBlockedWrite from the serial commit phase instead.
+     */
+    TrackerVerdict probeReadQuiet(std::uint32_t addr,
+                                  std::uint32_t size) const;
+    TrackerVerdict probeWriteQuiet(std::uint32_t addr,
+                                   std::uint32_t size) const;
+
+    /** Pure arm check: would arm() succeed right now? */
+    bool canArm(std::uint32_t addr, std::uint32_t size) const;
+
+    /** Charge a blocked/NACKed request observed via the quiet probes. */
+    void noteBlockedRead() { ++blockedReads_; }
+    void noteBlockedWrite() { ++blockedWrites_; }
+    void noteNack() { ++nacks_; }
+
+    /**
      * Present a write of [addr, addr+size); counts as an update on
      * Allow. Writes beyond the expected update count block until the
      * reads retire the entry.

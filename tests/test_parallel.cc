@@ -160,6 +160,62 @@ TEST(Parallel, NestedRegionsSerializeInsteadOfDeadlocking)
     EXPECT_EQ(total.load(), 64);
 }
 
+TEST(TaskCrew, CoversEveryIndexExactlyOnce)
+{
+    for (int nj : {1, 2, 4}) {
+        TaskCrew crew(nj);
+        EXPECT_EQ(crew.parallelism(), nj < 1 ? 1 : nj);
+        for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{3}, std::size_t{257}}) {
+            std::vector<std::atomic<int>> hits(n);
+            crew.run(n, [&](std::size_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "jobs=" << nj << " n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(TaskCrew, ReusableAcrossManyDispatches)
+{
+    // The crew's purpose is cheap back-to-back regions (the functional
+    // simulator dispatches one per simulated cycle): hammer it and
+    // check nothing is lost or duplicated across epochs.
+    TaskCrew crew(4);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 2000; ++round) {
+        crew.run(8, [&](std::size_t i) {
+            total.fetch_add(static_cast<long>(i) + 1,
+                            std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(total.load(), 2000L * (8 * 9 / 2));
+}
+
+TEST(TaskCrew, NestedRegionsRunInline)
+{
+    // A crew region counts as a parallel region: nested constructs
+    // (another crew, parallelFor) must degrade to inline execution on
+    // the issuing worker instead of touching a second pool.
+    JobsGuard g;
+    setJobs(4);
+    TaskCrew outer(4);
+    TaskCrew inner(4);
+    std::atomic<int> total{0};
+    outer.run(8, [&](std::size_t) {
+        EXPECT_TRUE(inParallelRegion());
+        inner.run(8, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+        parallelFor(4, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 8 * (8 + 4));
+}
+
 TEST(Parallel, LoweringJobsAfterRaisingStillWorks)
 {
     // The pool never shrinks, but participation is capped at the
