@@ -10,6 +10,9 @@
  *   --stats-json FILE  every table shown, as a JSON document
  *   --jobs N           worker threads (default: hardware concurrency,
  *                      or the SD_JOBS environment variable)
+ *   --conv-algo NAME   convolution algorithm for the reference kernels
+ *                      (auto naive im2col winograd2 winograd4; default:
+ *                      the SD_CONV_ALGO environment variable, or auto)
  */
 
 #ifndef SCALEDEEP_BENCH_BENCH_UTIL_HH
@@ -28,6 +31,7 @@
 #include "core/parallel.hh"
 #include "core/table.hh"
 #include "core/trace.hh"
+#include "dnn/reference.hh"
 
 namespace sd::bench {
 
@@ -77,10 +81,18 @@ init(int argc, char **argv, const std::string &name)
                 fatal(name, ": --jobs needs a positive integer, got ",
                       v);
             setJobs(n);
+        } else if (arg == "--conv-algo") {
+            const std::string v = value();
+            dnn::ConvAlgo algo;
+            if (!dnn::parseConvAlgo(v, algo))
+                fatal(name, ": --conv-algo ", v,
+                      " is not a conv algorithm (valid: auto naive"
+                      " im2col winograd2 winograd4)");
+            dnn::setConvAlgo(algo);
         } else {
             fatal(name, ": unknown option ", arg,
                   " (supported: --csv --trace FILE --stats-json FILE"
-                  " --jobs N)");
+                  " --jobs N --conv-algo NAME)");
         }
     }
 }

@@ -1,8 +1,15 @@
 /**
  * @file
  * google-benchmark micro-benchmarks for the repository's hot paths:
- * the reference DNN kernels (golden model), the functional machine's
- * instruction throughput, and the mapper/performance simulator.
+ * the reference DNN kernels (golden model) under each conv algorithm,
+ * the functional machine's instruction throughput, and the
+ * mapper/performance simulator.
+ *
+ * Conv benchmarks report items/s as effective direct-convolution
+ * FLOPs (2 * macCount) regardless of the algorithm, so an algorithm
+ * that does fewer real multiplies (Winograd) shows up as a higher
+ * effective rate on identical work rather than as a different
+ * problem size.
  */
 
 #include <benchmark/benchmark.h>
@@ -20,10 +27,24 @@ namespace {
 using namespace sd;
 using namespace sd::dnn;
 
+/** Second benchmark argument -> forced conv algorithm. */
+constexpr ConvAlgo kAlgoArg[] = {ConvAlgo::Im2col, ConvAlgo::Winograd2,
+                                 ConvAlgo::Winograd4};
+
+/** Effective direct-conv FLOPs per call — the same for every algo. */
+std::int64_t
+effectiveConvFlops(const Layer &l, std::int64_t batch = 1)
+{
+    return 2 * static_cast<std::int64_t>(l.macCount()) * batch;
+}
+
 void
 BM_ConvForward(benchmark::State &state)
 {
     const int hw = static_cast<int>(state.range(0));
+    const ConvAlgo algo = kAlgoArg[state.range(1)];
+    const ConvAlgo saved = convAlgo();
+    setConvAlgo(algo);
     Network net = makeSingleConv(16, hw, 16, 3, 1, 1);
     const Layer &l = net.layer(1);
     Rng rng(1);
@@ -36,14 +57,47 @@ BM_ConvForward(benchmark::State &state)
         convForward(l, in, w, out);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetItemsProcessed(state.iterations() * l.macCount());
+    state.SetItemsProcessed(state.iterations() * effectiveConvFlops(l));
+    state.SetLabel(convAlgoName(algo));
+    setConvAlgo(saved);
 }
-BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_ConvForward)
+    ->ArgsProduct({{16, 32, 64}, {0, 1, 2}});
+
+void
+BM_ConvForwardBatch8(benchmark::State &state)
+{
+    // The conv3x3_winograd entry class from BENCH_kernels.json at
+    // micro-benchmark scale: a whole minibatch per call, per algo.
+    const ConvAlgo algo = kAlgoArg[state.range(0)];
+    const ConvAlgo saved = convAlgo();
+    setConvAlgo(algo);
+    const std::size_t batch = 8;
+    Network net = makeSingleConv(64, 28, 64, 3, 1, 1);
+    const Layer &l = net.layer(1);
+    Rng rng(4);
+    Tensor in = Tensor::uniform({batch, 64, 28, 28}, rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor out({batch, 64, static_cast<std::size_t>(l.outH),
+                static_cast<std::size_t>(l.outW)});
+    for (auto _ : state) {
+        convForward(l, in, w, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            effectiveConvFlops(l, batch));
+    state.SetLabel(convAlgoName(algo));
+    setConvAlgo(saved);
+}
+BENCHMARK(BM_ConvForwardBatch8)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_ConvBackwardData(benchmark::State &state)
 {
     const int hw = static_cast<int>(state.range(0));
+    const ConvAlgo algo = kAlgoArg[state.range(1)];
+    const ConvAlgo saved = convAlgo();
+    setConvAlgo(algo);
     Network net = makeSingleConv(16, hw, 16, 3, 1, 1);
     const Layer &l = net.layer(1);
     Rng rng(2);
@@ -57,9 +111,12 @@ BM_ConvBackwardData(benchmark::State &state)
         convBackwardData(l, dout, w, din);
         benchmark::DoNotOptimize(din.data());
     }
-    state.SetItemsProcessed(state.iterations() * l.macCount());
+    state.SetItemsProcessed(state.iterations() * effectiveConvFlops(l));
+    state.SetLabel(convAlgoName(algo));
+    setConvAlgo(saved);
 }
-BENCHMARK(BM_ConvBackwardData)->Arg(16)->Arg(32);
+BENCHMARK(BM_ConvBackwardData)
+    ->ArgsProduct({{16, 32}, {0, 1, 2}});
 
 void
 BM_FcForward(benchmark::State &state)

@@ -3,11 +3,19 @@
  * Reproducible kernel + runtime baseline: times the naive loop-nest
  * kernels against the GEMM lowering (serial and threaded) on a VGG-D
  * class convolution and an FC layer, checks the lowering against the
- * naive oracle, and measures end-to-end mapper+perf-sim wall time for
- * the benchmark suite serial vs parallel.
+ * naive oracle, races the Winograd F(2x2,3x3)/F(4x4,3x3) kernels
+ * against the im2col lowering on the same layer at minibatch 8, and
+ * measures end-to-end mapper+perf-sim wall time for the benchmark
+ * suite serial vs parallel.
  *
- * Emits BENCH_kernels.json (schema scaledeep-kernels-1) next to the
- * human-readable tables, so CI can archive the numbers per commit.
+ * All conv GFLOP/s figures use the effective direct-convolution FLOP
+ * count (2 * macCount), so algorithms that do fewer real multiplies
+ * (Winograd) show up as higher effective throughput on the same work,
+ * not as a different problem size.
+ *
+ * Emits BENCH_kernels.json (schema scaledeep-kernels-2) next to the
+ * human-readable tables, so CI can archive the numbers per commit and
+ * gate on the Winograd-vs-im2col speedup.
  */
 
 #include <chrono>
@@ -19,6 +27,7 @@
 #include "core/export.hh"
 #include "core/random.hh"
 #include "dnn/reference.hh"
+#include "dnn/winograd.hh"
 #include "dnn/zoo.hh"
 #include "sim/perf/perfsim.hh"
 
@@ -114,6 +123,12 @@ main(int argc, char **argv)
     // stride 1 pad 1 — about 1.85 GMAC, the suite's bread and butter.
     Rng rng(42);
     std::vector<KernelResult> kernels;
+    // The "gemm" columns are defined as the im2col lowering; pin the
+    // dispatch so a --conv-algo flag or SD_CONV_ALGO cannot silently
+    // swap the algorithm under the baseline table. (The shoot-out
+    // below covers the Winograd kernels explicitly.)
+    const ConvAlgo entry_algo = convAlgo();
+    setConvAlgo(ConvAlgo::Im2col);
     {
         Network net = makeSingleConv(256, 56, 256, 3, 1, 1);
         const Layer &l = net.layer(1);
@@ -205,6 +220,64 @@ main(int argc, char **argv)
     }
     bench::show("kernels", kt);
 
+    // --- conv-algorithm shoot-out: Winograd vs im2col, minibatch 8 ---
+    // Same VGG-D layer, but the whole minibatch in one call, racing
+    // the fast lowering (im2col) against the Winograd kernels. All
+    // rows share one effective FLOP count (direct-conv 2*macCount per
+    // image) so the GF/s column measures time on identical work.
+    struct AlgoResult
+    {
+        std::string name;
+        ConvAlgo algo = ConvAlgo::Im2col;
+        double flops = 0.0;  ///< effective direct-conv FLOPs
+        double im2colMs = 0.0;
+        double algoMs = 0.0;
+        double relErr = 0.0; ///< vs the naive oracle
+    };
+    std::vector<AlgoResult> algos;
+    {
+        const std::size_t conv_batch = 8;
+        Network net = makeSingleConv(256, 56, 256, 3, 1, 1);
+        const Layer &l = net.layer(1);
+        const double flops = 2.0 * static_cast<double>(l.macCount()) *
+                             static_cast<double>(conv_batch);
+        Tensor x = Tensor::uniform({conv_batch, 256, 56, 56}, rng);
+        Tensor w = Tensor::uniform({l.weightCount()}, rng);
+        Tensor y({conv_batch, 256, 56, 56});
+        setJobs(njobs);
+        // One oracle pass for the error column — far too slow to time
+        // at minibatch 8, but exact.
+        Tensor ref({conv_batch, 256, 56, 56});
+        convForwardNaive(l, x, w, ref);
+        setConvAlgo(ConvAlgo::Im2col);
+        const double im2col_ms =
+            bestMs(3, [&] { convForward(l, x, w, y); });
+        for (ConvAlgo algo : {ConvAlgo::Winograd2, ConvAlgo::Winograd4}) {
+            AlgoResult a;
+            a.name = std::string("conv3x3_") + convAlgoName(algo) +
+                     "_vggd_256x56_batch8";
+            a.algo = algo;
+            a.flops = flops;
+            a.im2colMs = im2col_ms;
+            setConvAlgo(algo);
+            a.algoMs = bestMs(3, [&] { convForward(l, x, w, y); });
+            a.relErr = maxRelErr(y, ref);
+            algos.push_back(a);
+        }
+    }
+    setConvAlgo(entry_algo);
+
+    Table at({"kernel", "GFLOP", "im2col ms", "algo ms", "eff GF/s",
+              "speedup", "max rel err"});
+    for (const AlgoResult &a : algos) {
+        at.addRow({a.name, fmtDouble(a.flops / 1e9, 2),
+                   fmtDouble(a.im2colMs, 1), fmtDouble(a.algoMs, 1),
+                   fmtDouble(a.flops / a.algoMs / 1e6, 2),
+                   fmtDouble(a.im2colMs / a.algoMs, 2) + "x",
+                   fmtDouble(a.relErr, 6)});
+    }
+    bench::show("conv_algos", at);
+
     // --- end-to-end: mapper + perf-sim over the suite ---
     const auto &suite = dnn::benchmarkSuite();
     arch::NodeConfig node = arch::singlePrecisionNode();
@@ -243,7 +316,7 @@ main(int argc, char **argv)
         fatal("micro_parallel: cannot open ", out_path);
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "scaledeep-kernels-1");
+    w.field("schema", "scaledeep-kernels-2");
     w.field("jobs", static_cast<std::int64_t>(njobs));
     w.field("hardwareConcurrency",
             static_cast<std::int64_t>(hardwareJobs()));
@@ -263,6 +336,22 @@ main(int argc, char **argv)
         w.field("speedupGemm", k.naiveMs / k.gemmMs);
         w.field("speedupGemmThreads", k.naiveMs / k.gemmThreadsMs);
         w.field("maxRelErr", k.relErr);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("convAlgos");
+    w.beginArray();
+    for (const AlgoResult &a : algos) {
+        w.beginObject();
+        w.field("name", a.name);
+        w.field("algo", convAlgoName(a.algo));
+        w.field("batch", static_cast<std::int64_t>(8));
+        w.field("flops", a.flops);
+        w.field("im2colMs", a.im2colMs);
+        w.field("algoMs", a.algoMs);
+        w.field("algoGflops", a.flops / a.algoMs / 1e6);
+        w.field("speedupVsIm2col", a.im2colMs / a.algoMs);
+        w.field("maxRelErr", a.relErr);
         w.endObject();
     }
     w.endArray();

@@ -5,7 +5,7 @@
  * Usage:
  *   sdsim [--net NAME | --all] [--precision sp|hp] [--minibatch N]
  *         [--csv] [--layers] [--trace FILE] [--stats-json FILE]
- *         [--jobs N] [--quiet]
+ *         [--jobs N] [--conv-algo NAME] [--quiet]
  *
  *   --net NAME        simulate one benchmark network (default AlexNet)
  *   --all             simulate the whole 11-network suite
@@ -18,6 +18,10 @@
  *   --jobs N          worker threads (default: hardware concurrency, or
  *                     the SD_JOBS environment variable); results are
  *                     identical for every N
+ *   --conv-algo NAME  convolution algorithm for the reference kernels
+ *                     and the func probe: auto naive im2col winograd2
+ *                     winograd4 (default: the SD_CONV_ALGO environment
+ *                     variable, or auto)
  *   --quiet           suppress inform() status messages
  *
  * When --trace or --stats-json is given, sdsim additionally drives a
@@ -57,7 +61,7 @@ usage(const char *argv0)
               << " [--net NAME | --all] [--precision sp|hp]"
                  " [--minibatch N] [--csv] [--layers]"
                  " [--trace FILE] [--stats-json FILE] [--jobs N]"
-                 " [--quiet]\n"
+                 " [--conv-algo NAME] [--quiet]\n"
                  "networks:";
     for (const auto &e : dnn::benchmarkSuite())
         std::cerr << " " << e.name;
@@ -153,6 +157,14 @@ main(int argc, char **argv)
                 fatal("sdsim: --jobs needs a positive integer");
             setJobs(n);
             jobs_set = true;
+        } else if (arg == "--conv-algo") {
+            const std::string v = value();
+            dnn::ConvAlgo algo;
+            if (!dnn::parseConvAlgo(v, algo))
+                fatal("sdsim: --conv-algo ", v,
+                      " is not a conv algorithm (valid: auto naive"
+                      " im2col winograd2 winograd4)");
+            dnn::setConvAlgo(algo);
         } else if (arg == "--quiet") {
             setVerbose(false);
         } else {

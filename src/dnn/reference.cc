@@ -1,14 +1,113 @@
 #include "dnn/reference.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "core/logging.hh"
 #include "core/parallel.hh"
 #include "dnn/gemm.hh"
+#include "dnn/winograd.hh"
 
 namespace sd::dnn {
+
+namespace {
+
+/** Process-global ConvAlgo; -1 = not yet resolved from SD_CONV_ALGO. */
+std::atomic<int> g_conv_algo{-1};
+
+} // namespace
+
+const char *
+convAlgoName(ConvAlgo algo)
+{
+    switch (algo) {
+      case ConvAlgo::Auto:
+        return "auto";
+      case ConvAlgo::Naive:
+        return "naive";
+      case ConvAlgo::Im2col:
+        return "im2col";
+      case ConvAlgo::Winograd2:
+        return "winograd2";
+      case ConvAlgo::Winograd4:
+        return "winograd4";
+    }
+    return "?";
+}
+
+bool
+parseConvAlgo(std::string_view text, ConvAlgo &out)
+{
+    // Mirrors the SD_JOBS std::from_chars hardening: the whole string
+    // must be exactly one canonical name — "Winograd2", " im2col" and
+    // "winograd" are rejected, not coerced.
+    for (ConvAlgo a : {ConvAlgo::Auto, ConvAlgo::Naive, ConvAlgo::Im2col,
+                       ConvAlgo::Winograd2, ConvAlgo::Winograd4}) {
+        if (text == convAlgoName(a)) {
+            out = a;
+            return true;
+        }
+    }
+    return false;
+}
+
+ConvAlgo
+defaultConvAlgo()
+{
+    if (const char *env = std::getenv("SD_CONV_ALGO")) {
+        ConvAlgo a;
+        if (!parseConvAlgo(env, a))
+            fatal("SD_CONV_ALGO=", env, " is not a conv algorithm "
+                  "(valid: auto naive im2col winograd2 winograd4)");
+        return a;
+    }
+    return ConvAlgo::Auto;
+}
+
+void
+setConvAlgo(ConvAlgo algo)
+{
+    g_conv_algo.store(static_cast<int>(algo), std::memory_order_relaxed);
+}
+
+ConvAlgo
+convAlgo()
+{
+    const int v = g_conv_algo.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return static_cast<ConvAlgo>(v);
+    // First use: resolve from the environment. A concurrent first use
+    // races benignly — defaultConvAlgo() is deterministic.
+    const ConvAlgo d = defaultConvAlgo();
+    g_conv_algo.store(static_cast<int>(d), std::memory_order_relaxed);
+    return d;
+}
+
+ConvAlgo
+resolveConvAlgo(const Layer &l, ConvAlgo requested)
+{
+    switch (requested) {
+      case ConvAlgo::Naive:
+      case ConvAlgo::Im2col:
+        return requested;
+      case ConvAlgo::Winograd2:
+      case ConvAlgo::Winograd4:
+        // Forced Winograd skips the channel-count heuristic but still
+        // needs the transform to apply at all.
+        return winogradApplies(l) ? requested : ConvAlgo::Im2col;
+      case ConvAlgo::Auto:
+        break;
+    }
+    if (winogradApplies(l) &&
+        l.inChannels / l.groups >= kWinogradAutoMinChannels &&
+        l.outChannels / l.groups >= kWinogradAutoMinChannels)
+        return (l.outH >= 4 && l.outW >= 4) ? ConvAlgo::Winograd4
+                                            : ConvAlgo::Winograd2;
+    return ConvAlgo::Im2col;
+}
 
 void
 applyActivation(Tensor &t, Activation act)
@@ -238,10 +337,17 @@ convWeightGradNaive(const Layer &l, const Tensor &in, const Tensor &dout,
 // its own column-stripe parallelism. Either way every C element
 // accumulates k in ascending order, so results are bit-identical for
 // any jobs value and agree with the Naive kernels to float round-off.
+//
+// The public convForward/convBackwardData/convWeightGrad entry points
+// dispatch between these im2col lowerings, the Winograd kernels
+// (dnn/winograd.hh) and the Naive loop nests according to the
+// process-global ConvAlgo resolved per layer.
+
+namespace {
 
 void
-convForward(const Layer &l, const Tensor &in, const Tensor &weights,
-            Tensor &out)
+convForwardIm2col(const Layer &l, const Tensor &in, const Tensor &weights,
+                  Tensor &out)
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
@@ -276,8 +382,8 @@ convForward(const Layer &l, const Tensor &in, const Tensor &weights,
 }
 
 void
-convBackwardData(const Layer &l, const Tensor &dout,
-                 const Tensor &weights, Tensor &din)
+convBackwardDataIm2col(const Layer &l, const Tensor &dout,
+                       const Tensor &weights, Tensor &din)
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
@@ -314,8 +420,8 @@ convBackwardData(const Layer &l, const Tensor &dout,
 }
 
 void
-convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
-               Tensor &dweights)
+convWeightGradIm2col(const Layer &l, const Tensor &in, const Tensor &dout,
+                     Tensor &dweights)
 {
     const int icg = l.inChannels / l.groups;
     const int ocg = l.outChannels / l.groups;
@@ -347,6 +453,62 @@ convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
                   k_dim);
         }
     }
+}
+
+} // namespace
+
+void
+convForward(const Layer &l, const Tensor &in, const Tensor &weights,
+            Tensor &out)
+{
+    switch (resolveConvAlgo(l, convAlgo())) {
+      case ConvAlgo::Naive:
+        convForwardNaive(l, in, weights, out);
+        return;
+      case ConvAlgo::Winograd2:
+        winogradConvForward(l, in, weights, out, 2);
+        return;
+      case ConvAlgo::Winograd4:
+        winogradConvForward(l, in, weights, out, 4);
+        return;
+      default:
+        convForwardIm2col(l, in, weights, out);
+        return;
+    }
+}
+
+void
+convBackwardData(const Layer &l, const Tensor &dout,
+                 const Tensor &weights, Tensor &din)
+{
+    switch (resolveConvAlgo(l, convAlgo())) {
+      case ConvAlgo::Naive:
+        convBackwardDataNaive(l, dout, weights, din);
+        return;
+      case ConvAlgo::Winograd2:
+        winogradConvBackwardData(l, dout, weights, din, 2);
+        return;
+      case ConvAlgo::Winograd4:
+        winogradConvBackwardData(l, dout, weights, din, 4);
+        return;
+      default:
+        convBackwardDataIm2col(l, dout, weights, din);
+        return;
+    }
+}
+
+void
+convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
+               Tensor &dweights)
+{
+    // No Winograd weight-gradient: the tile decomposition reduces over
+    // tiles, not taps, so Winograd selections take the exact im2col
+    // GEMM (only a forced Naive diverts).
+    if (convAlgo() == ConvAlgo::Naive) {
+        convWeightGradNaive(l, in, dout, dweights);
+        return;
+    }
+    convWeightGradIm2col(l, in, dout, dweights);
 }
 
 void

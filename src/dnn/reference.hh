@@ -27,6 +27,7 @@
 #define SCALEDEEP_DNN_REFERENCE_HH
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/random.hh"
@@ -34,6 +35,68 @@
 #include "dnn/tensor.hh"
 
 namespace sd::dnn {
+
+// --- convolution algorithm selection ---
+
+/**
+ * Which implementation the convolution kernels below dispatch to.
+ *
+ *  - Auto: per-layer heuristic — 3x3 / stride-1 convolutions with at
+ *    least kWinogradAutoMinChannels per-group input *and* output
+ *    channels go to Winograd (F(4x4,3x3) when both output dimensions
+ *    are >= 4, else F(2x2,3x3)); everything else takes im2col + GEMM.
+ *  - Naive: the direct loop-nest oracle kernels.
+ *  - Im2col: the im2col + blocked-GEMM lowering.
+ *  - Winograd2 / Winograd4: force F(2x2,3x3) / F(4x4,3x3) where the
+ *    transform applies (3x3, stride 1, pad <= 2); ineligible layers
+ *    fall back to im2col. Weight-gradient always runs im2col — the
+ *    tile decomposition has no weight-gradient form here (DESIGN.md).
+ *
+ * The process-global selection defaults to the SD_CONV_ALGO
+ * environment variable (fatal on an unrecognized value) and Auto when
+ * unset; front-ends expose it as --conv-algo. Within any fixed
+ * algorithm, results are bit-identical for every jobs value.
+ */
+enum class ConvAlgo { Auto, Naive, Im2col, Winograd2, Winograd4 };
+
+/** Per-group channel floor below which Auto skips Winograd: the tile
+ * GEMMs are too skinny to amortize the transforms. */
+constexpr int kWinogradAutoMinChannels = 16;
+
+/** Lower-case canonical name ("auto", "winograd2", ...). */
+const char *convAlgoName(ConvAlgo algo);
+
+/**
+ * Strict parse of a ConvAlgo name, std::from_chars style: the whole
+ * string must be exactly one canonical lower-case name — no case
+ * folding, whitespace or prefix leniency. Returns false (leaving
+ * @p out untouched) on anything else.
+ */
+bool parseConvAlgo(std::string_view text, ConvAlgo &out);
+
+/**
+ * The algorithm front-ends should adopt: SD_CONV_ALGO when set —
+ * fatal with the valid set listed if it does not parse — else Auto.
+ */
+ConvAlgo defaultConvAlgo();
+
+/** Set the process-global convolution algorithm. */
+void setConvAlgo(ConvAlgo algo);
+
+/**
+ * Current process-global convolution algorithm. Initialized from
+ * defaultConvAlgo() on first use, so SD_CONV_ALGO reaches every
+ * convolution call site (tests included) without per-driver plumbing.
+ */
+ConvAlgo convAlgo();
+
+/**
+ * The concrete algorithm @p requested resolves to for the *forward* /
+ * *backward-data* passes of layer @p l: Auto applies the heuristic
+ * above, a forced Winograd falls back to Im2col when the transform
+ * does not apply. Never returns Auto.
+ */
+ConvAlgo resolveConvAlgo(const Layer &l, ConvAlgo requested);
 
 // --- standalone kernels (directly unit-tested) ---
 
@@ -52,9 +115,12 @@ void applyActivationGrad(Tensor &grad, const Tensor &y, Activation act);
  * activation. The batch is inferred from in.size() / inputElems; a CHW
  * tensor is batch 1.
  *
- * Lowered to im2col + blocked GEMM (dnn/gemm.hh) and parallelized
- * through the core runtime over disjoint (image, group) blocks;
- * bit-identical for every jobs value. The direct loop-nest
+ * Dispatches on the selected ConvAlgo: im2col + blocked GEMM
+ * (dnn/gemm.hh) by default, the Winograd F(2x2,3x3) / F(4x4,3x3)
+ * kernels (dnn/winograd.hh) where selected and applicable, or the
+ * Naive loop nests when forced. Every path parallelizes through the
+ * core runtime over disjoint output blocks and is bit-identical for
+ * every jobs value within a fixed algorithm. The direct loop-nest
  * implementations are retained with a Naive suffix (batched with a
  * serial outer image loop) as the tolerance oracle for tests and
  * benchmarks.
@@ -62,11 +128,20 @@ void applyActivationGrad(Tensor &grad, const Tensor &y, Activation act);
 void convForward(const Layer &l, const Tensor &in, const Tensor &weights,
                  Tensor &out);
 
-/** Convolution data-gradient: din = w^T (*) dout. GEMM + col2im. */
+/**
+ * Convolution data-gradient: din = w^T (*) dout. GEMM + col2im, or the
+ * Winograd forward transform over rotated filters when the selected
+ * ConvAlgo routes this layer to Winograd.
+ */
 void convBackwardData(const Layer &l, const Tensor &dout,
                       const Tensor &weights, Tensor &din);
 
-/** Convolution weight-gradient: dw += dout * im2col(in)^T. Accumulates. */
+/**
+ * Convolution weight-gradient: dw += dout * im2col(in)^T. Accumulates.
+ * Always the im2col GEMM (or Naive when forced) — the Winograd tile
+ * decomposition has no weight-gradient form here, so Winograd algos
+ * fall back to the exact path.
+ */
 void convWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
                     Tensor &dweights);
 

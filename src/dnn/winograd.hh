@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Winograd minimal-filtering convolution kernels — F(2x2,3x3) and
+ * F(4x4,3x3) — for the 3x3 stride-1 convolutions that dominate the
+ * VGG/ResNet half of the benchmark suite (Section 6.1 of the paper
+ * names Winograd as unexploited headroom; Figure 18's cuDNN/Neon GPU
+ * baselines already use it).
+ *
+ * The output is decomposed into m x m tiles (m = 2 or 4); each tile is
+ * computed from an (m+2) x (m+2) input window through the classic
+ * three-transform pipeline
+ *
+ *     Y = A^T [ (G g G^T) . (B^T d B) ] A
+ *
+ * where the elementwise products over all tiles and channels batch
+ * into (m+2)^2 small GEMMs of shape [ocg x icg] * [icg x tiles] on the
+ * existing blocked sgemm. This cuts the multiply count per output from
+ * 9 to (m+2)^2/m^2 — 4 for F(2x2,3x3) (2.25x fewer) and 2.25 for
+ * F(4x4,3x3) (4x fewer) — at the cost of transform adds and a
+ * tolerable numerical reassociation (see DESIGN.md for the tolerance
+ * contract against the Naive oracle).
+ *
+ * Determinism: the batched kernels parallelize over disjoint
+ * (image, group, tile-block) output blocks whose boundaries depend
+ * only on the layer shape — never on the jobs value — and every
+ * GEMM/transform accumulates in a fixed order, so results are
+ * bit-identical for every jobs value (the core/parallel.hh contract).
+ *
+ * These kernels are not called directly by the engine: convForward /
+ * convBackwardData in dnn/reference.hh dispatch here when the selected
+ * ConvAlgo (SD_CONV_ALGO / --conv-algo) routes an eligible layer to
+ * Winograd. Weight-gradient has no Winograd formulation in this
+ * decomposition (the reduction runs over tiles, not taps) and always
+ * falls back to the exact im2col GEMM path.
+ */
+
+#ifndef SCALEDEEP_DNN_WINOGRAD_HH
+#define SCALEDEEP_DNN_WINOGRAD_HH
+
+#include <cstdint>
+
+#include "dnn/layer.hh"
+#include "dnn/tensor.hh"
+
+namespace sd::dnn {
+
+/**
+ * Whether the Winograd transform applies to @p l: a Conv layer with a
+ * 3x3 kernel, stride 1 and padding <= 2 (the backward-data pass runs
+ * the forward transform on 180-degree-rotated filters with padding
+ * kernel-1-pad, which must stay non-negative). Grouped convolutions
+ * and any batch size are fine. Dilation is not representable in this
+ * repository's Layer, so every layer is implicitly dilation 1.
+ */
+bool winogradApplies(const Layer &l);
+
+/**
+ * Winograd convolution forward for @p l (which must satisfy
+ * winogradApplies). @p m is the output-tile size: 2 for F(2x2,3x3), 4
+ * for F(4x4,3x3). Drop-in replacement for convForward: NCHW-batched
+ * (batch inferred from in.size() / inputElems), same weight layout
+ * [outC, inC/groups, 3, 3], no activation. Filters are transformed
+ * once per invocation, then tile GEMMs run per (image, group,
+ * tile-block).
+ */
+void winogradConvForward(const Layer &l, const Tensor &in,
+                         const Tensor &weights, Tensor &out, int m);
+
+/**
+ * Winograd convolution data-gradient for @p l: din = w^T (*) dout,
+ * computed as a Winograd *forward* convolution of dout with the
+ * 180-degree-rotated, channel-transposed filters and padding
+ * (kernel - 1 - pad). Drop-in replacement for convBackwardData.
+ */
+void winogradConvBackwardData(const Layer &l, const Tensor &dout,
+                              const Tensor &weights, Tensor &din, int m);
+
+/**
+ * Analytic count of the tile-GEMM multiplies one winogradConvForward
+ * call performs: batch * groups * (m+2)^2 * (outC/groups) *
+ * (inC/groups) * ceil(outH/m) * ceil(outW/m). This is exactly what the
+ * instrumented counter below advances by, including the partial-tile
+ * padding overhead at ragged spatial edges; bench/ablation_winograd
+ * cross-checks the two.
+ */
+std::uint64_t winogradForwardMuls(const Layer &l, int m,
+                                  std::size_t batch);
+
+/**
+ * Instrumented multiply counter: every winogradConvForward (and hence
+ * winogradConvBackwardData) call atomically advances this process-wide
+ * counter by the number of tile-GEMM multiplies it issued. Transform
+ * arithmetic (adds plus the constant-factor multiplies of the
+ * transforms themselves) is deliberately excluded — the counter
+ * measures the reduction the algorithm is about, matching the analytic
+ * model in bench/ablation_winograd.
+ */
+std::uint64_t winogradMulCount();
+
+/** Reset the instrumented multiply counter to zero. */
+void resetWinogradMulCount();
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_WINOGRAD_HH

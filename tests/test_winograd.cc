@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for the Winograd F(2x2,3x3) / F(4x4,3x3) convolution kernels
+ * and the ConvAlgo dispatch: forward and backward-data against the
+ * Naive loop-nest oracle over batches, groups and ragged tile edges;
+ * bit-identical results across jobs values; the Auto routing
+ * heuristic including the im2col fallbacks; the instrumented multiply
+ * counter against the analytic model; and the strict SD_CONV_ALGO /
+ * parseConvAlgo parsing.
+ */
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.hh"
+#include "core/random.hh"
+#include "dnn/reference.hh"
+#include "dnn/winograd.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+
+struct JobsGuard
+{
+    int saved = jobs();
+    ~JobsGuard() { setJobs(saved); }
+};
+
+struct AlgoGuard
+{
+    ConvAlgo saved = convAlgo();
+    ~AlgoGuard() { setConvAlgo(saved); }
+};
+
+Layer
+convLayer(int in_c, int in_hw, int out_c, int k, int stride, int pad,
+          int groups = 1)
+{
+    NetworkBuilder b("t", in_c, in_hw, in_hw);
+    b.conv("c", b.input(), out_c, k, stride, pad, groups,
+           Activation::None);
+    Network n = b.build();
+    return n.layer(1);
+}
+
+/**
+ * Winograd forward + backward-data on @p l (tile size @p m) against
+ * the Naive oracle at @p tol relative error, batched.
+ */
+void
+expectWinogradMatchesNaive(const Layer &l, int m, float tol,
+                           std::size_t batch)
+{
+    ASSERT_TRUE(winogradApplies(l)) << l.name;
+    Rng rng(13);
+    Tensor x = Tensor::uniform({batch * l.inputElems()}, rng, -1.0f,
+                               1.0f);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng, -1.0f, 1.0f);
+    Tensor dy = Tensor::uniform({batch * l.outputElems()}, rng, -1.0f,
+                                1.0f);
+
+    Tensor y_ref({batch * l.outputElems()});
+    Tensor y({batch * l.outputElems()});
+    convForwardNaive(l, x, w, y_ref);
+    winogradConvForward(l, x, w, y, m);
+
+    Tensor dx_ref({batch * l.inputElems()});
+    Tensor dx({batch * l.inputElems()});
+    convBackwardDataNaive(l, dy, w, dx_ref);
+    winogradConvBackwardData(l, dy, w, dx, m);
+
+    auto check = [&](const Tensor &got, const Tensor &ref,
+                     const char *what) {
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            const float scale = std::max(1.0f, std::fabs(ref[i]));
+            ASSERT_NEAR(got[i], ref[i], tol * scale)
+                << l.name << " F(" << m << "x" << m << ",3x3) " << what
+                << " batch " << batch << " at " << i;
+        }
+    };
+    check(y, y_ref, "forward");
+    check(dx, dx_ref, "backward-data");
+}
+
+TEST(Winograd, ForwardBackwardMatchNaiveOracle)
+{
+    JobsGuard g;
+    // Odd spatial sizes force partial tiles at the ragged edge for
+    // both tile sizes; pads 0..2 cover the whole eligible range.
+    const Layer cases[] = {
+        convLayer(3, 15, 8, 3, 1, 1),      // odd spatial, partial tiles
+        convLayer(4, 16, 6, 3, 1, 0),      // no padding, 14x14 out
+        convLayer(8, 12, 12, 3, 1, 1, 2),  // grouped, 2 groups
+        convLayer(9, 7, 6, 3, 1, 2, 3),    // 3 groups, fat padding
+        convLayer(6, 5, 4, 3, 1, 1),       // tiny: 5x5 out
+        convLayer(16, 9, 16, 3, 1, 1),     // 9x9: ragged for m=2 and 4
+    };
+    for (int m : {2, 4}) {
+        for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}}) {
+            for (int nj : {1, 4}) {
+                setJobs(nj);
+                for (const Layer &l : cases)
+                    expectWinogradMatchesNaive(l, m, 1e-3f, batch);
+            }
+        }
+    }
+}
+
+TEST(Winograd, BitIdenticalAcrossJobs)
+{
+    JobsGuard g;
+    const Layer l = convLayer(8, 13, 12, 3, 1, 1, 2);
+    Rng rng(7);
+    const std::size_t batch = 5;
+    Tensor x = Tensor::uniform({batch * l.inputElems()}, rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor dy = Tensor::uniform({batch * l.outputElems()}, rng);
+    for (int m : {2, 4}) {
+        Tensor y1({batch * l.outputElems()});
+        Tensor y4({batch * l.outputElems()});
+        Tensor dx1({batch * l.inputElems()});
+        Tensor dx4({batch * l.inputElems()});
+        setJobs(1);
+        winogradConvForward(l, x, w, y1, m);
+        winogradConvBackwardData(l, dy, w, dx1, m);
+        setJobs(4);
+        winogradConvForward(l, x, w, y4, m);
+        winogradConvBackwardData(l, dy, w, dx4, m);
+        EXPECT_EQ(y1.maxAbsDiff(y4), 0.0f) << "m=" << m;
+        EXPECT_EQ(dx1.maxAbsDiff(dx4), 0.0f) << "m=" << m;
+    }
+}
+
+TEST(Winograd, InstrumentedMulsMatchAnalytic)
+{
+    JobsGuard g;
+    // 15x15 output: 8x8 tiles for m=2, 4x4 for m=4 — both ragged, so
+    // the analytic formula's ceil() quantization is exercised.
+    const Layer l = convLayer(6, 15, 10, 3, 1, 1, 2);
+    Rng rng(3);
+    const std::size_t batch = 3;
+    Tensor x = Tensor::uniform({batch * l.inputElems()}, rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor y({batch * l.outputElems()});
+    for (int m : {2, 4}) {
+        for (int nj : {1, 4}) {
+            setJobs(nj);
+            resetWinogradMulCount();
+            winogradConvForward(l, x, w, y, m);
+            EXPECT_EQ(winogradMulCount(),
+                      winogradForwardMuls(l, m, batch))
+                << "m=" << m << " jobs=" << nj;
+        }
+    }
+}
+
+TEST(ConvAlgo, AutoHeuristicRouting)
+{
+    // Eligible and wide enough: Winograd4 for >= 4x4 outputs,
+    // Winograd2 for smaller ones.
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 3, 1, 1),
+                              ConvAlgo::Auto),
+              ConvAlgo::Winograd4);
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 3, 32, 3, 1, 1),
+                              ConvAlgo::Auto),
+              ConvAlgo::Winograd2);
+    // Ineligible shapes route to im2col under Auto: stride 2, 5x5,
+    // 1x1. (Dilation is not representable in Layer — every layer is
+    // dilation 1 by construction.)
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 3, 2, 1),
+                              ConvAlgo::Auto),
+              ConvAlgo::Im2col);
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 5, 1, 2),
+                              ConvAlgo::Auto),
+              ConvAlgo::Im2col);
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 1, 1, 0),
+                              ConvAlgo::Auto),
+              ConvAlgo::Im2col);
+    // Narrow per-group channels stay on im2col even when eligible.
+    EXPECT_EQ(resolveConvAlgo(convLayer(8, 16, 8, 3, 1, 1),
+                              ConvAlgo::Auto),
+              ConvAlgo::Im2col);
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 3, 1, 1, 4),
+                              ConvAlgo::Auto),
+              ConvAlgo::Im2col);
+    // Forced Winograd skips the channel heuristic but still falls
+    // back where the transform cannot apply.
+    EXPECT_EQ(resolveConvAlgo(convLayer(8, 16, 8, 3, 1, 1),
+                              ConvAlgo::Winograd2),
+              ConvAlgo::Winograd2);
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 3, 2, 1),
+                              ConvAlgo::Winograd4),
+              ConvAlgo::Im2col);
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 5, 1, 2),
+                              ConvAlgo::Winograd2),
+              ConvAlgo::Im2col);
+    // Naive and Im2col are unconditional.
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 3, 1, 1),
+                              ConvAlgo::Naive),
+              ConvAlgo::Naive);
+    EXPECT_EQ(resolveConvAlgo(convLayer(32, 16, 32, 3, 1, 1),
+                              ConvAlgo::Im2col),
+              ConvAlgo::Im2col);
+}
+
+TEST(ConvAlgo, DispatchRoutesThroughWinograd)
+{
+    JobsGuard g;
+    AlgoGuard ag;
+    const Layer l = convLayer(8, 12, 8, 3, 1, 1);
+    Rng rng(5);
+    Tensor x = Tensor::uniform({l.inputElems()}, rng);
+    Tensor w = Tensor::uniform({l.weightCount()}, rng);
+    Tensor y_direct({l.outputElems()});
+    Tensor y_dispatch({l.outputElems()});
+
+    setConvAlgo(ConvAlgo::Winograd2);
+    winogradConvForward(l, x, w, y_direct, 2);
+    resetWinogradMulCount();
+    convForward(l, x, w, y_dispatch);
+    // The dispatch took the Winograd path (counter advanced) and is
+    // bit-identical to the direct call.
+    EXPECT_EQ(winogradMulCount(), winogradForwardMuls(l, 2, 1));
+    EXPECT_EQ(y_dispatch.maxAbsDiff(y_direct), 0.0f);
+
+    // Ineligible layer under a forced Winograd algo: im2col results,
+    // no Winograd multiplies.
+    const Layer s2 = convLayer(8, 12, 8, 3, 2, 1);
+    Tensor y_im2col({s2.outputElems()});
+    Tensor y_fallback({s2.outputElems()});
+    Tensor xs = Tensor::uniform({s2.inputElems()}, rng);
+    Tensor ws = Tensor::uniform({s2.weightCount()}, rng);
+    setConvAlgo(ConvAlgo::Im2col);
+    convForward(s2, xs, ws, y_im2col);
+    setConvAlgo(ConvAlgo::Winograd4);
+    resetWinogradMulCount();
+    convForward(s2, xs, ws, y_fallback);
+    EXPECT_EQ(winogradMulCount(), 0u);
+    EXPECT_EQ(y_fallback.maxAbsDiff(y_im2col), 0.0f);
+}
+
+TEST(ConvAlgo, WeightGradAlwaysExact)
+{
+    JobsGuard g;
+    AlgoGuard ag;
+    const Layer l = convLayer(8, 12, 12, 3, 1, 1, 2);
+    Rng rng(9);
+    const std::size_t batch = 3;
+    Tensor x = Tensor::uniform({batch * l.inputElems()}, rng);
+    Tensor dy = Tensor::uniform({batch * l.outputElems()}, rng);
+    Tensor dw_im2col = Tensor::full({l.weightCount()}, 0.25f);
+    Tensor dw_wino = Tensor::full({l.weightCount()}, 0.25f);
+    setConvAlgo(ConvAlgo::Im2col);
+    convWeightGrad(l, x, dy, dw_im2col);
+    setConvAlgo(ConvAlgo::Winograd4);
+    resetWinogradMulCount();
+    convWeightGrad(l, x, dy, dw_wino);
+    // Winograd has no weight-gradient form: the dispatch must fall
+    // back to the exact im2col GEMM, bit for bit.
+    EXPECT_EQ(winogradMulCount(), 0u);
+    EXPECT_EQ(dw_wino.maxAbsDiff(dw_im2col), 0.0f);
+}
+
+TEST(ConvAlgo, EngineTrainsEquivalentlyUnderWinograd)
+{
+    JobsGuard g;
+    AlgoGuard ag;
+    // Whole-engine pass: forced Winograd training must track the
+    // im2col engine within the kernel tolerance (same seeds, same
+    // data), covering conv forward, backward-data and the exact
+    // weight-grad fallback end to end.
+    auto losses = [](ConvAlgo algo) {
+        setConvAlgo(algo);
+        Network net = makeTinyCnn(16, 4);
+        ReferenceEngine engine(net, /*seed=*/3);
+        SyntheticDataset data(4, 1, 16, 16, /*seed=*/7);
+        std::vector<double> curve;
+        for (int step = 0; step < 4; ++step) {
+            std::vector<Tensor> images;
+            std::vector<int> labels;
+            for (int i = 0; i < 4; ++i) {
+                auto [img, label] = data.sample();
+                images.push_back(std::move(img));
+                labels.push_back(label);
+            }
+            curve.push_back(
+                engine.trainMinibatch(images, labels, 0.05f));
+        }
+        return curve;
+    };
+    const auto ref = losses(ConvAlgo::Im2col);
+    for (ConvAlgo algo : {ConvAlgo::Winograd2, ConvAlgo::Winograd4}) {
+        const auto got = losses(algo);
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            EXPECT_NEAR(got[i], ref[i], 1e-3 * std::max(1.0, ref[i]))
+                << convAlgoName(algo) << " step " << i;
+    }
+}
+
+TEST(ConvAlgo, ParseIsStrict)
+{
+    ConvAlgo a = ConvAlgo::Naive;
+    EXPECT_TRUE(parseConvAlgo("auto", a));
+    EXPECT_EQ(a, ConvAlgo::Auto);
+    EXPECT_TRUE(parseConvAlgo("naive", a));
+    EXPECT_EQ(a, ConvAlgo::Naive);
+    EXPECT_TRUE(parseConvAlgo("im2col", a));
+    EXPECT_EQ(a, ConvAlgo::Im2col);
+    EXPECT_TRUE(parseConvAlgo("winograd2", a));
+    EXPECT_EQ(a, ConvAlgo::Winograd2);
+    EXPECT_TRUE(parseConvAlgo("winograd4", a));
+    EXPECT_EQ(a, ConvAlgo::Winograd4);
+
+    // from_chars-style strictness: exact canonical names only.
+    a = ConvAlgo::Winograd4;
+    EXPECT_FALSE(parseConvAlgo("", a));
+    EXPECT_FALSE(parseConvAlgo("Winograd2", a));
+    EXPECT_FALSE(parseConvAlgo("WINOGRAD2", a));
+    EXPECT_FALSE(parseConvAlgo(" im2col", a));
+    EXPECT_FALSE(parseConvAlgo("im2col ", a));
+    EXPECT_FALSE(parseConvAlgo("winograd", a));
+    EXPECT_FALSE(parseConvAlgo("winograd3", a));
+    EXPECT_FALSE(parseConvAlgo("gemm", a));
+    EXPECT_EQ(a, ConvAlgo::Winograd4) << "failed parse must not write";
+}
+
+TEST(ConvAlgoDeathTest, UnknownEnvValueIsFatal)
+{
+    // The SD_CONV_ALGO hardening: an unknown value must abort with the
+    // valid set listed, not be silently ignored.
+    EXPECT_EXIT(
+        {
+            setenv("SD_CONV_ALGO", "winograd3", 1);
+            (void)defaultConvAlgo();
+        },
+        ::testing::ExitedWithCode(1), "valid: auto naive im2col");
+}
+
+TEST(ConvAlgo, DefaultHonorsEnvironment)
+{
+    // Saved/restored around the test so the ctest matrix legs (which
+    // pin SD_CONV_ALGO for the whole run) are not disturbed.
+    const char *old = getenv("SD_CONV_ALGO");
+    const std::string saved = old ? old : "";
+    setenv("SD_CONV_ALGO", "winograd4", 1);
+    EXPECT_EQ(defaultConvAlgo(), ConvAlgo::Winograd4);
+    unsetenv("SD_CONV_ALGO");
+    EXPECT_EQ(defaultConvAlgo(), ConvAlgo::Auto);
+    if (old)
+        setenv("SD_CONV_ALGO", saved.c_str(), 1);
+}
+
+} // namespace
