@@ -6,6 +6,7 @@
  * Every figure binary calls init(argc, argv, name) first and finish()
  * last, which gives all of them a uniform option set:
  *   --csv              tables as CSV instead of aligned text
+ *   --report           end-of-run telemetry report (core/metrics.hh)
  *   --trace FILE       Chrome trace-event JSON timeline of the run
  *   --stats-json FILE  every table shown, as a JSON document
  *   --jobs N           worker threads (default: hardware concurrency,
@@ -13,6 +14,11 @@
  *   --conv-algo NAME   convolution algorithm for the reference kernels
  *                      (auto naive im2col winograd2 winograd4; default:
  *                      the SD_CONV_ALGO environment variable, or auto)
+ *
+ * init() installs the crash handlers (core/metrics.hh), and the stats
+ * export is registered as a crash-flush hook: a run that dies mid-
+ * flight still writes the tables shown so far plus the trace and a
+ * flight-recorder dump, instead of leaving empty artifacts.
  */
 
 #ifndef SCALEDEEP_BENCH_BENCH_UTIL_HH
@@ -28,6 +34,7 @@
 
 #include "core/export.hh"
 #include "core/logging.hh"
+#include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "core/table.hh"
 #include "core/trace.hh"
@@ -40,8 +47,10 @@ struct Harness
 {
     std::string name;
     bool csv = false;
+    bool report = false;
     std::string statsPath;
     std::vector<std::pair<std::string, Table>> tables;
+    bool statsWritten = false;
 };
 
 inline Harness &
@@ -51,12 +60,62 @@ harness()
     return h;
 }
 
+/**
+ * Write the recorded tables and the metrics registry to the stats
+ * file. Runs at most once — called from finish() on a clean exit, or
+ * from the crash-flush hook when the run dies first.
+ */
+inline void
+flushStats()
+{
+    Harness &h = harness();
+    if (h.statsPath.empty() || h.statsWritten)
+        return;
+    h.statsWritten = true;
+    std::ofstream os(h.statsPath);
+    if (!os)
+        fatal(h.name, ": cannot open stats file ", h.statsPath);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "scaledeep-bench-1");
+    w.field("bench", h.name);
+    w.key("tables");
+    w.beginArray();
+    for (const auto &[name, t] : h.tables) {
+        w.beginObject();
+        w.field("name", name);
+        w.key("headers");
+        w.beginArray();
+        for (const std::string &hd : t.headers())
+            w.value(hd);
+        w.endArray();
+        w.key("rows");
+        w.beginArray();
+        for (std::size_t i = 0; i < t.numRows(); ++i) {
+            w.beginArray();
+            for (const std::string &cell : t.row(i))
+                w.value(cell);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("metrics");
+    MetricsRegistry::global().writeJson(w);
+    w.endObject();
+    os << "\n";
+    h.tables.clear();
+}
+
 /** Parse the common benchmark options; call once at the top of main. */
 inline void
 init(int argc, char **argv, const std::string &name)
 {
     setVerbose(false);
     setJobs(defaultJobs());
+    installCrashHandlers();
+    addCrashFlushHook([] { flushStats(); });
     Harness &h = harness();
     h.name = name;
     for (int i = 1; i < argc; ++i) {
@@ -68,6 +127,8 @@ init(int argc, char **argv, const std::string &name)
         };
         if (arg == "--csv") {
             h.csv = true;
+        } else if (arg == "--report") {
+            h.report = true;
         } else if (arg == "--trace") {
             const std::string path = value();
             if (!Tracer::global().open(path))
@@ -91,8 +152,8 @@ init(int argc, char **argv, const std::string &name)
             dnn::setConvAlgo(algo);
         } else {
             fatal(name, ": unknown option ", arg,
-                  " (supported: --csv --trace FILE --stats-json FILE"
-                  " --jobs N --conv-algo NAME)");
+                  " (supported: --csv --report --trace FILE"
+                  " --stats-json FILE --jobs N --conv-algo NAME)");
         }
     }
 }
@@ -148,41 +209,9 @@ show(const Table &t)
 inline void
 finish()
 {
-    Harness &h = harness();
-    if (!h.statsPath.empty()) {
-        std::ofstream os(h.statsPath);
-        if (!os)
-            fatal(h.name, ": cannot open stats file ", h.statsPath);
-        JsonWriter w(os);
-        w.beginObject();
-        w.field("schema", "scaledeep-bench-1");
-        w.field("bench", h.name);
-        w.key("tables");
-        w.beginArray();
-        for (const auto &[name, t] : h.tables) {
-            w.beginObject();
-            w.field("name", name);
-            w.key("headers");
-            w.beginArray();
-            for (const std::string &hd : t.headers())
-                w.value(hd);
-            w.endArray();
-            w.key("rows");
-            w.beginArray();
-            for (std::size_t i = 0; i < t.numRows(); ++i) {
-                w.beginArray();
-                for (const std::string &cell : t.row(i))
-                    w.value(cell);
-                w.endArray();
-            }
-            w.endArray();
-            w.endObject();
-        }
-        w.endArray();
-        w.endObject();
-        os << "\n";
-        h.tables.clear();
-    }
+    flushStats();
+    if (harness().report)
+        MetricsRegistry::global().writeReport(std::cout);
     Tracer::global().close();
 }
 

@@ -172,9 +172,19 @@ struct Timed
     std::uint64_t insts = 0;
     double ms = 0.0;
     double checksum = 0.0;
+    std::uint64_t planFanoutCycles = 0;
+    std::uint64_t planSerialCycles = 0;
 
     double cyclesPerSec() const
     { return static_cast<double>(cycles) / (ms / 1e3); }
+
+    /// True when the adaptive fan-out probe kept (or fell back to)
+    /// serial plan stepping: after the probe decides, the winning
+    /// path takes every remaining plan cycle, so whichever counter
+    /// dominates is the decision. (A disabled probe still runs a few
+    /// crew cycles while measuring, so == 0 would be too strict.)
+    bool serialFallback() const
+    { return planFanoutCycles <= planSerialCycles; }
 };
 
 /**
@@ -204,6 +214,8 @@ timeRun(const std::function<void(Machine &)> &load, StepMode mode,
         t.cycles = res.cycles;
         t.insts = m.totalInstructions();
         t.checksum = sum(m);
+        t.planFanoutCycles = m.planFanoutCycles();
+        t.planSerialCycles = m.planSerialCycles();
     }
     return t;
 }
@@ -313,6 +325,15 @@ main(int argc, char **argv)
     w.field("eventJobsNCyclesPerSec", de_event4.cyclesPerSec());
     w.field("eventSpeedupVsLegacy", dense_speedup);
     w.field("parallelSpeedupJobsN", dense_jobs_speedup);
+    // Adaptive fan-out probe outcome for the jobs-N run: when the
+    // crew can't pay for itself the machine steps plan phases
+    // serially, and CI accepts parallelSpeedupJobsN < 1 only with
+    // serialFallback set.
+    w.field("serialFallback", de_event4.serialFallback());
+    w.field("planFanoutCycles",
+            static_cast<std::int64_t>(de_event4.planFanoutCycles));
+    w.field("planSerialCycles",
+            static_cast<std::int64_t>(de_event4.planSerialCycles));
     w.endObject();
     w.endObject();
     os << "\n";

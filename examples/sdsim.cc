@@ -4,7 +4,8 @@
  *
  * Usage:
  *   sdsim [--net NAME | --all] [--precision sp|hp] [--minibatch N]
- *         [--csv] [--layers] [--trace FILE] [--stats-json FILE]
+ *         [--csv] [--layers] [--report] [--report-batch N]
+ *         [--trace FILE] [--stats-json FILE]
  *         [--jobs N] [--conv-algo NAME] [--quiet]
  *
  *   --net NAME        simulate one benchmark network (default AlexNet)
@@ -13,6 +14,12 @@
  *   --minibatch N     images per weight update (default 256)
  *   --csv             emit CSV instead of an aligned table
  *   --layers          also print the per-layer mapping/utilization detail
+ *   --report          run each network's forward pass through the
+ *                     reference engine and print a per-layer roofline
+ *                     (FLOPs, bytes, high-water memory, achieved
+ *                     GFLOP/s with ConvAlgo attribution) plus the
+ *                     end-of-run telemetry report (core/metrics.hh)
+ *   --report-batch N  minibatch of the --report forward pass (default 2)
  *   --trace FILE      write a Chrome trace-event JSON timeline
  *   --stats-json FILE write structured results (full precision) as JSON
  *   --jobs N          worker threads (default: hardware concurrency, or
@@ -41,11 +48,13 @@
 #include "compiler/pipeline.hh"
 #include "core/export.hh"
 #include "core/logging.hh"
+#include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "core/random.hh"
 #include "core/table.hh"
 #include "core/trace.hh"
 #include "dnn/reference.hh"
+#include "dnn/roofline.hh"
 #include "dnn/zoo.hh"
 #include "sim/perf/export.hh"
 #include "sim/perf/perfsim.hh"
@@ -60,6 +69,7 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " [--net NAME | --all] [--precision sp|hp]"
                  " [--minibatch N] [--csv] [--layers]"
+                 " [--report] [--report-batch N]"
                  " [--trace FILE] [--stats-json FILE] [--jobs N]"
                  " [--conv-algo NAME] [--quiet]\n"
                  "networks:";
@@ -110,13 +120,38 @@ runFuncProbe(compiler::PipelinedRunner *&runner_out,
     images = n;
 }
 
+/**
+ * The --report probe: one measured forward pass of @p name through the
+ * reference engine at @p batch, returning the per-layer roofline.
+ */
+dnn::RooflineReport
+runRooflineProbe(const std::string &name, int batch)
+{
+    SD_TRACE_SCOPE(/*name=*/"sdsim.roofline", "host");
+    dnn::Network net = dnn::makeByName(name);
+    dnn::ReferenceEngine engine(net, 5);
+    const dnn::Layer &in = net.layers().front();
+    Rng rng(17);
+    dnn::Tensor input = dnn::Tensor::uniform(
+        {static_cast<std::size_t>(batch),
+         static_cast<std::size_t>(in.outChannels),
+         static_cast<std::size_t>(in.outH),
+         static_cast<std::size_t>(in.outW)},
+        rng, 0.0f, 1.0f);
+    engine.forward(input);
+    return dnn::rooflineReport(engine, name);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    installCrashHandlers();
     std::vector<std::string> nets = {"AlexNet"};
     bool all = false, csv = false, layers = false, jobs_set = false;
+    bool report = false;
+    int report_batch = 2;
     std::string trace_path, stats_path, precision = "sp";
     arch::NodeConfig node = arch::singlePrecisionNode();
     sim::perf::PerfOptions options;
@@ -147,6 +182,12 @@ main(int argc, char **argv)
             csv = true;
         } else if (arg == "--layers") {
             layers = true;
+        } else if (arg == "--report") {
+            report = true;
+        } else if (arg == "--report-batch") {
+            report_batch = std::stoi(value());
+            if (report_batch < 1)
+                fatal("sdsim: --report-batch needs a positive integer");
         } else if (arg == "--trace") {
             trace_path = value();
         } else if (arg == "--stats-json") {
@@ -231,6 +272,26 @@ main(int argc, char **argv)
         }
     }
 
+    // The --report roofline probes: a measured reference-engine
+    // forward pass per network. Serial — each probe's layer loop
+    // parallelizes internally, and wall-time attribution would be
+    // garbage with probes racing each other for cores.
+    std::vector<dnn::RooflineReport> rooflines;
+    if (report) {
+        for (const std::string &name : nets) {
+            inform("roofline probe: ", name, " forward, batch ",
+                   report_batch);
+            rooflines.push_back(runRooflineProbe(name, report_batch));
+            std::cout << "\n" << name << " roofline (batch "
+                      << report_batch << "):\n";
+            Table rt = dnn::rooflineTable(rooflines.back());
+            if (csv)
+                rt.printCsv(std::cout);
+            else
+                rt.print(std::cout);
+        }
+    }
+
     // The func probe feeds both artifacts; run it once if either wants
     // functional-machine coverage.
     compiler::PipelinedRunner *probe = nullptr;
@@ -245,7 +306,8 @@ main(int argc, char **argv)
             fatal("sdsim: cannot open stats file ", stats_path);
         JsonWriter w(os);
         w.beginObject();
-        w.field("schema", "scaledeep-stats-1");
+        // -2: adds the "report" (roofline) and "metrics" sections.
+        w.field("schema", "scaledeep-stats-2");
         w.key("node");
         w.beginObject();
         w.field("precision", precision);
@@ -268,9 +330,21 @@ main(int argc, char **argv)
             writeStatsJson(w, probe->lastStats().root);
             w.endObject();
         }
+        if (!rooflines.empty()) {
+            w.key("report");
+            w.beginArray();
+            for (const dnn::RooflineReport &rep : rooflines)
+                dnn::writeRooflineJson(w, rep);
+            w.endArray();
+        }
+        w.key("metrics");
+        MetricsRegistry::global().writeJson(w);
         w.endObject();
         os << "\n";
     }
+
+    if (report)
+        MetricsRegistry::global().writeReport(std::cout);
 
     Tracer::global().close();
     return 0;

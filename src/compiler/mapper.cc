@@ -1,10 +1,12 @@
 #include "compiler/mapper.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 
 #include "core/logging.hh"
+#include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "core/trace.hh"
 
@@ -147,8 +149,29 @@ Mapper::chooseArrayShape(const Layer &l,
         }
     }
     std::vector<double> utils(cands.size());
+    const bool metered = SD_METRICS_ACTIVE();
+    if (metered) {
+        static MetricCounter &scored = MetricsRegistry::global().counter(
+            "mapper.shape_candidates", "array shapes scored");
+        scored.add(cands.size());
+    }
     parallelFor(cands.size(), [&](std::size_t i) {
-        utils[i] = arrayUtilization(l, cands[i]);
+        if (metered) {
+            // Per-candidate wall time, sampled lock-free from worker
+            // threads (MetricHistogram updates are relaxed atomics).
+            const auto t0 = std::chrono::steady_clock::now();
+            utils[i] = arrayUtilization(l, cands[i]);
+            static MetricHistogram &us =
+                MetricsRegistry::global().histogram(
+                    "mapper.candidate_ns",
+                    "per-candidate shape scoring time");
+            us.sample(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+        } else {
+            utils[i] = arrayUtilization(l, cands[i]);
+        }
     });
     for (std::size_t i = 0; i < cands.size(); ++i) {
         if (utils[i] > best_util + 1e-12) {
@@ -164,6 +187,23 @@ Mapper::map() const
 {
     Mapping m;
     SD_TRACE_SCOPE_VAR(map_span, "mapper.map", "compiler.map");
+    const auto map_t0 = std::chrono::steady_clock::now();
+    struct MapTimer
+    {
+        std::chrono::steady_clock::time_point t0;
+        ~MapTimer()
+        {
+            if (!SD_METRICS_ACTIVE())
+                return;
+            MetricsRegistry &reg = MetricsRegistry::global();
+            reg.counter("mapper.maps", "Mapper::map() calls").add(1);
+            reg.histogram("mapper.map_us", "whole-mapping wall time")
+                .sample(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+        }
+    } map_timer{map_t0};
 
     const auto &layers = net_->layers();
 
@@ -349,6 +389,11 @@ Mapper::map() const
     // regardless of which worker scored them.
     const std::size_t num_cand =
         static_cast<std::size_t>(max_conv_chips - min_chips + 1);
+    if (SD_METRICS_ACTIVE()) {
+        static MetricCounter &swept = MetricsRegistry::global().counter(
+            "mapper.chip_candidates", "chip counts swept");
+        swept.add(num_cand);
+    }
     std::vector<std::vector<int>> cand_cols(num_cand);
     std::vector<double> cand_score(num_cand);
     parallelFor(num_cand, [&](std::size_t c) {

@@ -1,0 +1,615 @@
+#include "core/metrics.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "core/export.hh"
+#include "core/trace.hh"
+
+namespace sd {
+
+// ---------------------------------------------------------------------
+// MetricHistogram
+
+int
+MetricHistogram::bucketOf(std::uint64_t v)
+{
+    // Bit width, with widths 63 and 64 sharing the top bucket so the
+    // index stays inside buckets_[kBuckets].
+    return v == 0 ? 0
+                  : std::min(64 - __builtin_clzll(v), kBuckets - 1);
+}
+
+void
+MetricHistogram::sample(std::uint64_t v)
+{
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+void
+MetricHistogram::merge(const std::uint64_t buckets[kBuckets],
+                       std::uint64_t count, std::uint64_t sum,
+                       std::uint64_t min, std::uint64_t max)
+{
+    if (count == 0)
+        return;
+    for (int i = 0; i < kBuckets; ++i)
+        if (buckets[i])
+            buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (min < cur &&
+           !min_.compare_exchange_weak(cur, min,
+                                       std::memory_order_relaxed))
+        ;
+    cur = max_.load(std::memory_order_relaxed);
+    while (max > cur &&
+           !max_.compare_exchange_weak(cur, max,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+std::uint64_t
+MetricHistogram::min() const
+{
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == ~0ull ? 0 : m;
+}
+
+double
+MetricHistogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double
+MetricHistogram::percentile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+
+    // Rank of the requested sample, 1-based, then walk the buckets.
+    const double rank = q * static_cast<double>(n - 1) + 1.0;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t b =
+            buckets_[i].load(std::memory_order_relaxed);
+        if (b == 0)
+            continue;
+        if (static_cast<double>(seen + b) < rank) {
+            seen += b;
+            continue;
+        }
+        // Linear interpolation across the bucket's value range. The
+        // in-bucket position is clamped to [0, 1]: rank can fall in
+        // the gap (seen, seen + 1) between two buckets, and a
+        // negative fraction would undercut the bucket's lower edge —
+        // reporting a p99 below the p95 (seen in the wild).
+        const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+        const double hi =
+            i == 0 ? 0.0 : std::ldexp(1.0, i) - 1.0;
+        const double frac =
+            b == 1 ? 0.0
+                   : std::clamp((rank - 1.0 -
+                                 static_cast<double>(seen)) /
+                                    static_cast<double>(b - 1),
+                                0.0, 1.0);
+        double v = lo + frac * (hi - lo);
+        // Clamp to the observed extremes so constant distributions
+        // (and the global tails) report exactly.
+        v = std::clamp(v, static_cast<double>(min()),
+                       static_cast<double>(max()));
+        return v;
+    }
+    return static_cast<double>(max());
+}
+
+void
+MetricHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~0ull, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+
+namespace {
+
+template <typename M>
+struct Named
+{
+    std::string desc;
+    std::unique_ptr<M> metric;
+};
+
+} // namespace
+
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex m;
+    std::map<std::string, Named<MetricCounter>> counters;
+    std::map<std::string, Named<MetricGauge>> gauges;
+    std::map<std::string, Named<MetricHistogram>> histograms;
+
+    template <typename M>
+    M &lookup(std::map<std::string, Named<M>> &table,
+              const std::string &name, const std::string &desc)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto it = table.find(name);
+        if (it == table.end()) {
+            it = table.emplace(name,
+                               Named<M>{desc, std::make_unique<M>()})
+                     .first;
+        }
+        return *it->second.metric;
+    }
+};
+
+MetricsRegistry::Impl &
+MetricsRegistry::impl() const
+{
+    // Leaked: metric references must stay valid for the process
+    // lifetime (sites cache them in function-local statics).
+    static Impl *impl = new Impl;
+    return *impl;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+MetricCounter &
+MetricsRegistry::counter(const std::string &name, const std::string &desc)
+{
+    Impl &i = impl();
+    return i.lookup(i.counters, name, desc);
+}
+
+MetricGauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &desc)
+{
+    Impl &i = impl();
+    return i.lookup(i.gauges, name, desc);
+}
+
+MetricHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &desc)
+{
+    Impl &i = impl();
+    return i.lookup(i.histograms, name, desc);
+}
+
+void
+MetricsRegistry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.m);
+    for (auto &[name, c] : i.counters)
+        c.metric->reset();
+    for (auto &[name, g] : i.gauges)
+        g.metric->reset();
+    for (auto &[name, h] : i.histograms)
+        h.metric->reset();
+}
+
+void
+MetricsRegistry::writeReport(std::ostream &os) const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.m);
+
+    bool any = false;
+    auto header = [&os, &any]() {
+        if (any)
+            return;
+        any = true;
+        os << "-- telemetry "
+           << "--------------------------------------------------\n";
+    };
+
+    for (const auto &[name, c] : i.counters) {
+        if (c.metric->value() == 0)
+            continue;
+        header();
+        os << "  " << std::left << std::setw(32) << name << std::right
+           << std::setw(14) << c.metric->value();
+        if (!c.desc.empty())
+            os << "  " << c.desc;
+        os << "\n";
+    }
+    for (const auto &[name, g] : i.gauges) {
+        if (g.metric->value() == 0 && g.metric->highWater() == 0)
+            continue;
+        header();
+        os << "  " << std::left << std::setw(32) << name << std::right
+           << std::setw(14) << g.metric->value() << "  (high-water "
+           << g.metric->highWater() << ")";
+        if (!g.desc.empty())
+            os << "  " << g.desc;
+        os << "\n";
+    }
+    for (const auto &[name, h] : i.histograms) {
+        if (h.metric->count() == 0)
+            continue;
+        header();
+        os << "  " << std::left << std::setw(32) << name << std::right
+           << std::setw(14) << h.metric->count() << "  mean "
+           << std::fixed << std::setprecision(1) << h.metric->mean()
+           << " p50 " << std::setprecision(0) << h.metric->percentile(0.5)
+           << " p95 " << h.metric->percentile(0.95) << " p99 "
+           << h.metric->percentile(0.99) << " max " << h.metric->max();
+        os.unsetf(std::ios::floatfield);
+        if (!h.desc.empty())
+            os << "  " << h.desc;
+        os << "\n";
+    }
+    if (any)
+        os << "--------------------------------------------------"
+           << "--------------\n";
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.m);
+
+    w.beginObject();
+    w.field("schema", kMetricsSchema);
+
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, c] : i.counters)
+        w.field(name, c.metric->value());
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, g] : i.gauges) {
+        w.key(name);
+        w.beginObject();
+        w.field("value", g.metric->value());
+        w.field("highWater", g.metric->highWater());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, h] : i.histograms) {
+        w.key(name);
+        w.beginObject();
+        w.field("count", h.metric->count());
+        w.field("sum", h.metric->sum());
+        w.field("min", h.metric->min());
+        w.field("max", h.metric->max());
+        w.field("mean", h.metric->mean());
+        w.field("p50", h.metric->percentile(0.5));
+        w.field("p95", h.metric->percentile(0.95));
+        w.field("p99", h.metric->percentile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+}
+
+// ---------------------------------------------------------------------
+// Runtime enable switch
+
+namespace {
+
+int
+readMetricsEnv()
+{
+    const char *env = std::getenv("SD_METRICS");
+    return (env && std::strcmp(env, "0") == 0) ? 0 : 1;
+}
+
+std::atomic<int> g_metrics_enabled{-1};
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    int v = g_metrics_enabled.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = readMetricsEnv();
+        g_metrics_enabled.store(v, std::memory_order_relaxed);
+    }
+    return v != 0;
+}
+
+void
+setMetricsEnabled(bool on)
+{
+    g_metrics_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder
+
+namespace {
+
+struct FlightEntry
+{
+    std::uint64_t seq = 0;
+    std::uint64_t micros = 0;
+    const char *event = nullptr;
+    std::uint64_t value = 0;
+    char detail[FlightRecorder::kDetailChars] = {};
+};
+
+struct FlightRing
+{
+    FlightEntry entries[FlightRecorder::kRingSize];
+    std::atomic<std::uint64_t> next{0};
+};
+
+struct FlightState
+{
+    std::mutex m;                       ///< guards rings registration
+    std::vector<FlightRing *> rings;    ///< leaked: outlive threads
+    std::atomic<std::uint64_t> seq{1};  ///< 0 means "empty slot"
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+};
+
+FlightState &
+flightState()
+{
+    static FlightState *s = new FlightState;
+    return *s;
+}
+
+FlightRing &
+threadRing()
+{
+    thread_local FlightRing *ring = [] {
+        // Leaked on purpose: helper threads (TaskCrew, ThreadPool) are
+        // joined before a crash dump, but their rings must survive.
+        auto *r = new FlightRing;
+        FlightState &s = flightState();
+        std::lock_guard<std::mutex> lock(s.m);
+        s.rings.push_back(r);
+        return r;
+    }();
+    return *ring;
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder rec;
+    return rec;
+}
+
+void
+FlightRecorder::note(const char *event, std::uint64_t value,
+                     const char *detail)
+{
+    FlightState &s = flightState();
+    FlightRing &ring = threadRing();
+    const std::uint64_t seq =
+        s.seq.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t slot =
+        ring.next.fetch_add(1, std::memory_order_relaxed) % kRingSize;
+
+    FlightEntry &e = ring.entries[slot];
+    e.seq = 0;  // invalidate while rewriting
+    e.micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - s.epoch)
+            .count());
+    e.event = event;
+    e.value = value;
+    if (detail) {
+        std::strncpy(e.detail, detail, kDetailChars - 1);
+        e.detail[kDetailChars - 1] = '\0';
+    } else {
+        e.detail[0] = '\0';
+    }
+    e.seq = seq;
+}
+
+void
+FlightRecorder::dump(std::ostream &os) const
+{
+    FlightState &s = flightState();
+    std::vector<FlightEntry> merged;
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        for (const FlightRing *ring : s.rings)
+            for (const FlightEntry &e : ring->entries)
+                if (e.seq != 0 && e.event)
+                    merged.push_back(e);
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const FlightEntry &a, const FlightEntry &b) {
+                  return a.seq < b.seq;
+              });
+    for (const FlightEntry &e : merged) {
+        os << "  [" << e.seq << "] t+" << e.micros << "us " << e.event
+           << " value=" << e.value;
+        if (e.detail[0])
+            os << " " << e.detail;
+        os << "\n";
+    }
+}
+
+std::uint64_t
+FlightRecorder::eventsRecorded() const
+{
+    return flightState().seq.load(std::memory_order_relaxed) - 1;
+}
+
+// ---------------------------------------------------------------------
+// Crash handling
+
+namespace {
+
+struct CrashState
+{
+    std::mutex m;
+    std::vector<std::function<void()>> hooks;
+    std::atomic<bool> dumping{false};
+    std::terminate_handler prevTerminate = nullptr;
+};
+
+CrashState &
+crashState()
+{
+    static CrashState *s = new CrashState;
+    return *s;
+}
+
+void
+crashSignalHandler(int sig)
+{
+    // Restore the default disposition first so a second fault (or the
+    // re-raise below) terminates instead of recursing.
+    std::signal(sig, SIG_DFL);
+    const char *name = "signal";
+    switch (sig) {
+    case SIGSEGV: name = "SIGSEGV"; break;
+    case SIGBUS: name = "SIGBUS"; break;
+    case SIGFPE: name = "SIGFPE"; break;
+    case SIGILL: name = "SIGILL"; break;
+    case SIGABRT: name = "SIGABRT"; break;
+    }
+    crashDump(name);
+    std::raise(sig);
+}
+
+void
+crashTerminateHandler()
+{
+    crashDump("std::terminate");
+    CrashState &s = crashState();
+    if (s.prevTerminate)
+        s.prevTerminate();
+    std::abort();
+}
+
+void
+atexitFlush()
+{
+    // Clean shutdown: run the flush hooks (idempotent by contract) so
+    // stats/trace files are complete even when drivers forget, but
+    // skip the flight-recorder dump — nothing crashed.
+    CrashState &s = crashState();
+    std::vector<std::function<void()>> hooks;
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        hooks = s.hooks;
+    }
+    for (const auto &hook : hooks)
+        hook();
+    Tracer::global().close();
+}
+
+} // namespace
+
+void
+installCrashHandlers()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+            std::signal(sig, crashSignalHandler);
+        crashState().prevTerminate =
+            std::set_terminate(crashTerminateHandler);
+        std::atexit(atexitFlush);
+    });
+}
+
+void
+addCrashFlushHook(std::function<void()> hook)
+{
+    CrashState &s = crashState();
+    std::lock_guard<std::mutex> lock(s.m);
+    s.hooks.push_back(std::move(hook));
+}
+
+void
+crashDump(const char *reason)
+{
+    CrashState &s = crashState();
+    bool expected = false;
+    if (!s.dumping.compare_exchange_strong(expected, true))
+        return;  // already dumping (double fault, nested call)
+
+    // First the registered flushes (stats JSON, bench tables) so the
+    // primary artifacts are complete even if the dump below faults.
+    std::vector<std::function<void()>> hooks;
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        hooks = s.hooks;
+    }
+    for (const auto &hook : hooks)
+        hook();
+    Tracer::global().close();
+
+    std::cerr << "flight recorder dump (" << reason << ", "
+              << FlightRecorder::global().eventsRecorded()
+              << " events recorded):\n";
+    FlightRecorder::global().dump(std::cerr);
+    std::cerr.flush();
+
+    if (const char *path = std::getenv("SD_FLIGHTREC");
+        path && path[0]) {
+        std::ofstream os(path, std::ios::app);
+        if (os) {
+            os << "flight recorder dump (" << reason << "):\n";
+            FlightRecorder::global().dump(os);
+        }
+    }
+
+    // Allow later independent dumps (e.g. deadlock note then timeout).
+    s.dumping.store(false, std::memory_order_relaxed);
+}
+
+} // namespace sd

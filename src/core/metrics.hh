@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Process-wide runtime telemetry: counters, gauges, log-bucketed
+ * histograms, and a crash/deadlock flight recorder.
+ *
+ * Design goals, in order:
+ *   1. Near-zero cost when disabled. Sites guard on SD_METRICS_ACTIVE()
+ *      — a single relaxed atomic load (or a compile-time `false` when
+ *      the build defines SD_METRICS=0, CMake -DSD_METRICS_EVENTS=OFF).
+ *   2. Lock-free on the hot path. Counter/gauge/histogram updates are
+ *      relaxed atomic RMWs; no mutex is ever taken after a metric
+ *      object has been resolved. Registration (the first lookup of a
+ *      name) takes the registry mutex, so sites cache the reference:
+ *
+ *          if (SD_METRICS_ACTIVE()) {
+ *              static MetricCounter &c = MetricsRegistry::global()
+ *                  .counter("pool.chunks", "work chunks claimed");
+ *              c.add(1);
+ *          }
+ *
+ *   3. Post-mortem debuggability. The FlightRecorder keeps a small
+ *      per-thread ring of recent events; installCrashHandlers() dumps
+ *      it (and flushes the Tracer plus any registered stats hooks) on
+ *      fatal signal, std::terminate, or an explicit crashDump() call —
+ *      e.g. on a funcsim-proven deadlock.
+ *
+ * Registry readers (writeReport/writeJson/percentile) are not meant for
+ * hot paths: they take consistent-enough relaxed snapshots while
+ * writers may still be running, which is fine for end-of-run reports.
+ */
+
+#ifndef SCALEDEEP_CORE_METRICS_HH
+#define SCALEDEEP_CORE_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace sd {
+
+class JsonWriter;
+
+/** Schema tag embedded in the registry's JSON export. */
+inline constexpr const char *kMetricsSchema = "scaledeep-metrics-1";
+
+/** Monotonic event count. Relaxed atomic add; wraps at 2^64. */
+class MetricCounter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    { value_.fetch_add(n, std::memory_order_relaxed); }
+
+    std::uint64_t value() const
+    { return value_.load(std::memory_order_relaxed); }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A signed level with a high-water mark (e.g. live bytes). */
+class MetricGauge
+{
+  public:
+    void set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+        noteMax(v);
+    }
+
+    /** Adjust by @p d (may be negative) and track the high water. */
+    void add(std::int64_t d)
+    {
+        const std::int64_t now =
+            value_.fetch_add(d, std::memory_order_relaxed) + d;
+        noteMax(now);
+    }
+
+    std::int64_t value() const
+    { return value_.load(std::memory_order_relaxed); }
+
+    std::int64_t highWater() const
+    { return max_.load(std::memory_order_relaxed); }
+
+    void reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    void noteMax(std::int64_t v)
+    {
+        std::int64_t cur = max_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !max_.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed))
+            ;
+    }
+
+    std::atomic<std::int64_t> value_{0};
+    std::atomic<std::int64_t> max_{0};
+};
+
+/**
+ * Log2-bucketed histogram of unsigned samples. 64 buckets: bucket i
+ * holds samples whose bit width is i (bucket 0 = {0}, bucket i =
+ * [2^(i-1), 2^i - 1] for i >= 1; the top bucket also absorbs
+ * width-64 samples). Percentiles interpolate linearly within the
+ * winning bucket and clamp to the observed [min, max], so constant
+ * distributions report exactly.
+ */
+class MetricHistogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    void sample(std::uint64_t v);
+
+    /** Bulk-publish locally accumulated (non-atomic) state. */
+    void merge(const std::uint64_t buckets[kBuckets],
+               std::uint64_t count, std::uint64_t sum,
+               std::uint64_t min, std::uint64_t max);
+
+    std::uint64_t count() const
+    { return count_.load(std::memory_order_relaxed); }
+    std::uint64_t sum() const
+    { return sum_.load(std::memory_order_relaxed); }
+    std::uint64_t min() const;  ///< 0 when empty
+    std::uint64_t max() const
+    { return max_.load(std::memory_order_relaxed); }
+    double mean() const;        ///< 0 when empty
+
+    /** @p q in [0, 1]; 0 when empty. */
+    double percentile(double q) const;
+
+    void reset();
+
+    /** Bucket index of @p v: position of its highest set bit + 1. */
+    static int bucketOf(std::uint64_t v);
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~0ull};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/**
+ * The process-wide registry. Lookup by name registers on first use and
+ * returns a stable reference (metrics are never deallocated); the
+ * description is kept from the first registration.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &global();
+
+    MetricCounter &counter(const std::string &name,
+                           const std::string &desc = "");
+    MetricGauge &gauge(const std::string &name,
+                       const std::string &desc = "");
+    MetricHistogram &histogram(const std::string &name,
+                               const std::string &desc = "");
+
+    /** Zero every registered metric (tests; metrics stay registered). */
+    void reset();
+
+    /** Human-readable table of all non-empty metrics, sorted by name. */
+    void writeReport(std::ostream &os) const;
+
+    /**
+     * Machine-readable export: one object with "schema" and
+     * "counters"/"gauges"/"histograms" sections, sorted by name.
+     * Writes a complete JSON object into @p w (beginObject..endObject).
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    MetricsRegistry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+/** True when instrumentation sites should record (SD_METRICS env). */
+bool metricsEnabled();
+/** Override the SD_METRICS env decision (tests, drivers). */
+void setMetricsEnabled(bool on);
+
+/**
+ * A small per-thread ring buffer of recent telemetry events, merged
+ * and dumped on crash. Recording is wait-free after a thread's first
+ * event (one relaxed global sequence fetch_add plus a ring store).
+ * Event names must be string literals (the pointer is stored).
+ */
+class FlightRecorder
+{
+  public:
+    static constexpr int kRingSize = 128;
+    static constexpr int kDetailChars = 24;
+
+    static FlightRecorder &global();
+
+    /** Record an event on this thread's ring. @p detail may be null;
+     * it is truncated to kDetailChars - 1 characters. */
+    void note(const char *event, std::uint64_t value,
+              const char *detail = nullptr);
+
+    /**
+     * Merge all threads' rings in global sequence order and write one
+     * line per event. Safe to call from a signal handler only in the
+     * sense that it avoids allocation on the emit path; races with
+     * in-flight note() calls can at worst garble individual lines.
+     */
+    void dump(std::ostream &os) const;
+
+    /** Events recorded since process start (all threads). */
+    std::uint64_t eventsRecorded() const;
+
+  private:
+    FlightRecorder() = default;
+};
+
+/**
+ * Install SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers, a
+ * std::terminate handler, and an atexit flush. Idempotent. Call from
+ * drivers only (sdsim, bench) — never from library or test code, so
+ * gtest death tests keep their default signal disposition.
+ */
+void installCrashHandlers();
+
+/**
+ * Register a hook run by crashDump() before the flight-recorder dump
+ * (e.g. "flush the half-written stats JSON"). Hooks must be
+ * re-entrancy-safe; they run at most once per dump.
+ */
+void addCrashFlushHook(std::function<void()> hook);
+
+/**
+ * Run the crash flush: invoke the registered hooks, dump the flight
+ * recorder to stderr (and append to the file named by the
+ * SD_FLIGHTREC env var, when set), and close the Tracer. Reentry-
+ * guarded; callable directly for proven-but-non-fatal conditions
+ * (funcsim deadlock, timeout).
+ */
+void crashDump(const char *reason);
+
+} // namespace sd
+
+/*
+ * Compile-out switch. SD_METRICS=0 removes every instrumentation site
+ * at compile time; the registry itself remains available (reports are
+ * simply empty).
+ */
+#ifndef SD_METRICS
+#define SD_METRICS 1
+#endif
+
+#if SD_METRICS
+/** Guard for instrumentation sites; one relaxed atomic load. */
+#define SD_METRICS_ACTIVE() (::sd::metricsEnabled())
+#else
+#define SD_METRICS_ACTIVE() false
+#endif
+
+#endif // SCALEDEEP_CORE_METRICS_HH

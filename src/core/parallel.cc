@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "core/logging.hh"
+#include "core/metrics.hh"
 
 namespace sd {
 
@@ -48,6 +49,17 @@ class ThreadPool
     run(std::size_t chunks,
         const std::function<void(std::size_t)> &fn, int njobs)
     {
+        if (SD_METRICS_ACTIVE()) {
+            static MetricCounter &regions =
+                MetricsRegistry::global().counter(
+                    "pool.regions", "parallel regions dispatched");
+            static MetricHistogram &depth =
+                MetricsRegistry::global().histogram(
+                    "pool.region_chunks",
+                    "work-queue depth per region");
+            regions.add(1);
+            depth.sample(chunks);
+        }
         std::unique_lock<std::mutex> lock(m_);
         ensureWorkers(njobs - 1);
         fn_ = &fn;
@@ -81,16 +93,30 @@ class ThreadPool
     }
 
     void
-    work()
+    work(bool is_worker = false)
     {
         const std::function<void(std::size_t)> &fn = *fn_;
         const std::size_t chunks = chunks_;
+        std::size_t claimed = 0;
         for (;;) {
             const std::size_t c =
                 next_.fetch_add(1, std::memory_order_relaxed);
             if (c >= chunks)
-                return;
+                break;
+            ++claimed;
             fn(c);
+        }
+        if (claimed > 0 && SD_METRICS_ACTIVE()) {
+            static MetricCounter &all =
+                MetricsRegistry::global().counter(
+                    "pool.chunks", "work chunks executed");
+            static MetricCounter &stolen =
+                MetricsRegistry::global().counter(
+                    "pool.chunks_stolen",
+                    "chunks claimed by pool workers (not the caller)");
+            all.add(claimed);
+            if (is_worker)
+                stolen.add(claimed);
         }
     }
 
@@ -102,6 +128,13 @@ class ThreadPool
         for (;;) {
             std::unique_lock<std::mutex> lock(m_);
             done_cv_.notify_all();
+            if (!shutdown_ && epoch_ == seen && SD_METRICS_ACTIVE()) {
+                static MetricCounter &parks =
+                    MetricsRegistry::global().counter(
+                        "pool.worker_parks",
+                        "worker waits for the next region");
+                parks.add(1);
+            }
             cv_.wait(lock, [&] {
                 return shutdown_ || epoch_ != seen;
             });
@@ -113,7 +146,7 @@ class ThreadPool
             if (id >= participants_)
                 continue;
             lock.unlock();
-            work();
+            work(/*is_worker=*/true);
             lock.lock();
             --busy_;
         }
@@ -284,6 +317,15 @@ struct TaskCrew::Impl
                         std::this_thread::yield();
                     continue;
                 }
+                // Spin budget exhausted: the helper goes cold.
+                if (SD_METRICS_ACTIVE()) {
+                    static MetricCounter &parks =
+                        MetricsRegistry::global().counter(
+                            "crew.helper_parks",
+                            "crew helpers parking after the spin "
+                            "budget");
+                    parks.add(1);
+                }
                 std::unique_lock<std::mutex> lock(m_);
                 cv_.wait(lock, [&] {
                     return shutdown_.load(std::memory_order_acquire) ||
@@ -372,9 +414,22 @@ TaskCrew::run(std::size_t n, const std::function<void(std::size_t)> &fn)
     if (n == 0)
         return;
     if (impl_->helpers_.empty() || n == 1 || tl_in_parallel_region) {
+        if (SD_METRICS_ACTIVE()) {
+            static MetricCounter &inline_runs =
+                MetricsRegistry::global().counter(
+                    "crew.inline_runs",
+                    "crew runs degraded to the calling thread");
+            inline_runs.add(1);
+        }
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
+    }
+    if (SD_METRICS_ACTIVE()) {
+        static MetricCounter &dispatches =
+            MetricsRegistry::global().counter(
+                "crew.dispatches", "crew regions dispatched");
+        dispatches.add(1);
     }
     impl_->dispatch(n, fn);
 }

@@ -6,7 +6,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include <chrono>
+
 #include "core/logging.hh"
+#include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "dnn/gemm.hh"
 #include "dnn/winograd.hh"
@@ -869,6 +872,33 @@ ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed)
             grads_[l.id] = Tensor::zeros({wc});
         }
     }
+    fwdMillis_.assign(n, 0.0);
+    accountMemory();
+}
+
+double
+ReferenceEngine::forwardMillis(LayerId id) const
+{
+    return fwdMillis_.at(static_cast<std::size_t>(id));
+}
+
+void
+ReferenceEngine::accountMemory()
+{
+    std::uint64_t bytes = 0;
+    for (const std::vector<Tensor> *tensors :
+         {&weights_, &grads_, &acts_, &errors_})
+        for (const Tensor &t : *tensors)
+            bytes += t.size() * sizeof(float);
+    for (const auto &a : argmax_)
+        bytes += a.size() * sizeof(std::uint32_t);
+    liveBytes_ = bytes;
+    highWaterBytes_ = std::max(highWaterBytes_, bytes);
+    if (SD_METRICS_ACTIVE()) {
+        static MetricGauge &live = MetricsRegistry::global().gauge(
+            "refeng.bytes_live", "reference-engine tensor bytes");
+        live.set(static_cast<std::int64_t>(bytes));
+    }
 }
 
 Tensor
@@ -908,13 +938,27 @@ ReferenceEngine::ensureBatch(std::size_t batch)
         errors_[l.id] = outputShapeTensor(l);
         argmax_[l.id].clear();
     }
+    accountMemory();
 }
 
 const Tensor &
 ReferenceEngine::forward(const Tensor &input)
 {
+    using clock = std::chrono::steady_clock;
     ensureBatch(input.batch());
+    const bool timed = SD_METRICS_ACTIVE();
+    bool pooled = false;
+    if (timed) {
+        static MetricCounter &fwds = MetricsRegistry::global().counter(
+            "refeng.forwards", "forward passes");
+        static MetricCounter &imgs = MetricsRegistry::global().counter(
+            "refeng.images", "images pushed through forward");
+        fwds.add(1);
+        imgs.add(batch_);
+    }
     for (const Layer &l : net_->layers()) {
+        const clock::time_point t0 =
+            timed ? clock::now() : clock::time_point{};
         switch (l.kind) {
           case LayerKind::Input:
             if (input.size() != batch_ * l.outputElems())
@@ -965,7 +1009,25 @@ ReferenceEngine::forward(const Tensor &input)
             break;
           }
         }
+        if (l.kind == LayerKind::Samp)
+            pooled = true;
+        if (timed) {
+            fwdMillis_[l.id] =
+                std::chrono::duration<double, std::milli>(clock::now() -
+                                                          t0)
+                    .count();
+            static MetricHistogram &us =
+                MetricsRegistry::global().histogram(
+                    "refeng.layer_fwd_us",
+                    "per-layer forward wall time");
+            us.sample(
+                static_cast<std::uint64_t>(fwdMillis_[l.id] * 1000.0));
+        }
     }
+    // Pooling just (re)filled argmax buffers — fold them into the
+    // memory account.
+    if (pooled)
+        accountMemory();
     return acts_[net_->outputLayer().id];
 }
 

@@ -272,6 +272,22 @@ class ReferenceEngine
     /** Batch size of the last forward / training pass. */
     std::size_t batchSize() const { return batch_; }
 
+    /**
+     * Wall-clock milliseconds layer @p id spent in the last forward().
+     * Recorded only while metrics are enabled (core/metrics.hh);
+     * 0 otherwise. Timing is at layer granularity — never inside the
+     * kernels — so the overhead is one clock read per layer per pass.
+     */
+    double forwardMillis(LayerId id) const;
+
+    /** Bytes currently held by this engine's tensors (weights, grads,
+     * activations, errors, pooling argmax buffers). */
+    std::uint64_t liveBytes() const { return liveBytes_; }
+
+    /** Largest liveBytes() this engine has reached (batch reshapes
+     * grow and shrink the activation buffers). */
+    std::uint64_t highWaterBytes() const { return highWaterBytes_; }
+
     Tensor &weights(LayerId id);
     const Tensor &weights(LayerId id) const;
     Tensor &weightGrad(LayerId id);
@@ -290,6 +306,8 @@ class ReferenceEngine
     Tensor inputShapeTensor(const Layer &l) const;
     /** Reshape acts_/errors_ for a new batch size. */
     void ensureBatch(std::size_t batch);
+    /** Recompute liveBytes_/highWaterBytes_ and publish the gauges. */
+    void accountMemory();
 
     const Network *net_;
     std::size_t batch_ = 1;             ///< current minibatch size
@@ -298,6 +316,9 @@ class ReferenceEngine
     std::vector<Tensor> acts_;          ///< post-activation outputs
     std::vector<Tensor> errors_;        ///< d(loss)/d(output)
     std::vector<std::vector<std::uint32_t>> argmax_;
+    std::vector<double> fwdMillis_;     ///< last forward(), per layer
+    std::uint64_t liveBytes_ = 0;
+    std::uint64_t highWaterBytes_ = 0;
 };
 
 /**

@@ -1,0 +1,123 @@
+#include "dnn/roofline.hh"
+
+#include <ostream>
+
+#include "core/export.hh"
+#include "dnn/network.hh"
+#include "dnn/reference.hh"
+
+namespace sd::dnn {
+
+namespace {
+
+/** Attribution string for the layer's forward kernel. */
+std::string
+layerAlgo(const Layer &l)
+{
+    switch (l.kind) {
+      case LayerKind::Conv:
+        return convAlgoName(resolveConvAlgo(l, convAlgo()));
+      case LayerKind::Fc:
+        return "gemm";
+      default:
+        return "-";
+    }
+}
+
+} // namespace
+
+RooflineReport
+rooflineReport(const ReferenceEngine &engine,
+               const std::string &network_name)
+{
+    const Network &net = engine.network();
+    const std::uint64_t batch = engine.batchSize();
+
+    RooflineReport rep;
+    rep.network = network_name;
+    rep.batch = engine.batchSize();
+    rep.engineLiveBytes = engine.liveBytes();
+    rep.engineHighWaterBytes = engine.highWaterBytes();
+
+    for (const Layer &l : net.layers()) {
+        LayerRoofline lr;
+        lr.id = l.id;
+        lr.name = l.name;
+        lr.kind = layerKindName(l.kind);
+        lr.algo = layerAlgo(l);
+        lr.flops = l.isCompute() ? 2 * l.macCount() * batch : 0;
+        lr.bytes = 4 * (batch * (l.inputElems() + l.outputElems()) +
+                        l.weightCount());
+        lr.liveBytes =
+            4 * (2 * batch * l.outputElems() + 2 * l.weightCount());
+        lr.ms = engine.forwardMillis(l.id);
+
+        rep.totalFlops += lr.flops;
+        rep.totalBytes += lr.bytes;
+        rep.totalMs += lr.ms;
+        rep.layers.push_back(std::move(lr));
+    }
+    return rep;
+}
+
+Table
+rooflineTable(const RooflineReport &report)
+{
+    Table t({"layer", "kind", "algo", "MFLOP", "MB", "live MB",
+             "flop/B", "ms", "GFLOP/s"});
+    for (const LayerRoofline &l : report.layers) {
+        t.addRow({l.name, l.kind, l.algo,
+                  fmtDouble(static_cast<double>(l.flops) / 1e6, 2),
+                  fmtDouble(static_cast<double>(l.bytes) / 1e6, 2),
+                  fmtDouble(static_cast<double>(l.liveBytes) / 1e6, 2),
+                  fmtDouble(l.intensity(), 2), fmtDouble(l.ms, 3),
+                  fmtDouble(l.gflops(), 2)});
+    }
+    const double total_gflops =
+        report.totalMs <= 0.0
+            ? 0.0
+            : static_cast<double>(report.totalFlops) /
+                  (report.totalMs * 1e6);
+    t.addRow({"TOTAL", "", "",
+              fmtDouble(static_cast<double>(report.totalFlops) / 1e6, 2),
+              fmtDouble(static_cast<double>(report.totalBytes) / 1e6, 2),
+              fmtDouble(static_cast<double>(report.engineHighWaterBytes) /
+                            1e6, 2),
+              "", fmtDouble(report.totalMs, 3),
+              fmtDouble(total_gflops, 2)});
+    return t;
+}
+
+void
+writeRooflineJson(JsonWriter &w, const RooflineReport &report)
+{
+    w.beginObject();
+    w.field("schema", kRooflineSchema);
+    w.field("network", report.network);
+    w.field("batch", static_cast<std::uint64_t>(report.batch));
+    w.field("totalFlops", report.totalFlops);
+    w.field("totalBytes", report.totalBytes);
+    w.field("engineLiveBytes", report.engineLiveBytes);
+    w.field("engineHighWaterBytes", report.engineHighWaterBytes);
+    w.field("totalMs", report.totalMs);
+    w.key("layers");
+    w.beginArray();
+    for (const LayerRoofline &l : report.layers) {
+        w.beginObject();
+        w.field("id", l.id);
+        w.field("name", l.name);
+        w.field("kind", l.kind);
+        w.field("algo", l.algo);
+        w.field("flops", l.flops);
+        w.field("bytes", l.bytes);
+        w.field("liveBytes", l.liveBytes);
+        w.field("intensity", l.intensity());
+        w.field("ms", l.ms);
+        w.field("gflops", l.gflops());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace sd::dnn

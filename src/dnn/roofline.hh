@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-layer roofline accounting for the reference engine: analytic
+ * FLOP and byte counts per forward pass, the engine's measured wall
+ * time, and the resulting achieved GFLOP/s with ConvAlgo attribution.
+ *
+ * Conventions (asserted exactly by tests/test_metrics.cc, so change
+ * them there too):
+ *   flops     = 2 * macCount() * batch for Conv/Fc, 0 otherwise
+ *               (one multiply + one add per MAC)
+ *   bytes     = 4 * (batch * (inputElems + outputElems) + weightCount)
+ *               — the layer's forward working set, fp32
+ *   liveBytes = 4 * (2 * batch * outputElems + 2 * weightCount)
+ *               — what the engine holds for the layer (acts + errors
+ *               buffers, weights + gradients)
+ */
+
+#ifndef SCALEDEEP_DNN_ROOFLINE_HH
+#define SCALEDEEP_DNN_ROOFLINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/table.hh"
+#include "dnn/layer.hh"
+
+namespace sd {
+class JsonWriter;
+}
+
+namespace sd::dnn {
+
+class ReferenceEngine;
+
+/** Schema tag of writeRooflineJson()'s output. */
+inline constexpr const char *kRooflineSchema = "scaledeep-roofline-1";
+
+/** One layer's roofline line. */
+struct LayerRoofline
+{
+    LayerId id = -1;
+    std::string name;
+    std::string kind;       ///< layerKindName()
+    std::string algo;       ///< resolved ConvAlgo / "gemm" / "-"
+    std::uint64_t flops = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t liveBytes = 0;
+    double ms = 0.0;        ///< measured forward wall time (0 when
+                            ///< metrics were disabled during forward)
+
+    /** FLOPs per byte of forward working set. */
+    double intensity() const
+    {
+        return bytes == 0 ? 0.0
+                          : static_cast<double>(flops) /
+                                static_cast<double>(bytes);
+    }
+
+    /** Achieved GFLOP/s; 0 when no time was measured. */
+    double gflops() const
+    {
+        return ms <= 0.0 ? 0.0
+                         : static_cast<double>(flops) / (ms * 1e6);
+    }
+};
+
+/** The whole network's roofline for one measured forward pass. */
+struct RooflineReport
+{
+    std::string network;
+    std::size_t batch = 1;
+    std::vector<LayerRoofline> layers;
+
+    std::uint64_t totalFlops = 0;
+    std::uint64_t totalBytes = 0;
+    std::uint64_t engineLiveBytes = 0;      ///< ReferenceEngine account
+    std::uint64_t engineHighWaterBytes = 0;
+    double totalMs = 0.0;
+};
+
+/**
+ * Build the report from @p engine's last forward pass: analytic
+ * FLOP/byte counts at the engine's current batch size, measured times
+ * from ReferenceEngine::forwardMillis(). ConvAlgo attribution uses the
+ * *current* process-global convAlgo() resolution per layer.
+ */
+RooflineReport rooflineReport(const ReferenceEngine &engine,
+                              const std::string &network_name);
+
+/** Human-readable per-layer table. */
+Table rooflineTable(const RooflineReport &report);
+
+/** Write the report as one JSON object under kRooflineSchema. */
+void writeRooflineJson(JsonWriter &w, const RooflineReport &report);
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_ROOFLINE_HH

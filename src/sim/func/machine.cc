@@ -1,11 +1,15 @@
 #include "sim/func/machine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "core/export.hh"
 #include "core/logging.hh"
+#include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "core/stats.hh"
 #include "core/trace.hh"
@@ -200,12 +204,22 @@ Machine::anySiteLive() const
 }
 
 void
-Machine::finishStall(CompSite &s)
+Machine::RunTelemetry::noteStall(TileRole role, std::uint64_t waited)
 {
-    if (s.stallStart == kNotStalled)
-        return;
-    const std::uint64_t waited = cycle_ - s.stallStart;
+    const auto r = static_cast<std::size_t>(role);
+    ++stallBuckets[r][MetricHistogram::bucketOf(waited)];
+    ++stallCount[r];
+    stallSum[r] += waited;
+    stallMin[r] = std::min(stallMin[r], waited);
+    stallMax[r] = std::max(stallMax[r], waited);
+}
+
+void
+Machine::noteStallSpan(CompSite &s, std::uint64_t waited)
+{
     s.tile.stallCycles += waited;
+    if (SD_METRICS_ACTIVE())
+        telemetry_.noteStall(s.role, waited);
     if (SD_TRACE_ACTIVE() && waited > 0) {
         // The instruction that was queued on a tracker finally
         // issued: emit the wait span (the span's end is the wake).
@@ -213,6 +227,14 @@ Machine::finishStall(CompSite &s)
                                   s.stallStart, waited, kTracePidFunc,
                                   s.index);
     }
+}
+
+void
+Machine::finishStall(CompSite &s)
+{
+    if (s.stallStart == kNotStalled)
+        return;
+    noteStallSpan(s, cycle_ - s.stallStart);
     s.stallStart = kNotStalled;
 }
 
@@ -226,13 +248,7 @@ Machine::flushStalls()
         CompSite &s = *sp;
         if (s.tile.halted() || s.stallStart == kNotStalled)
             continue;
-        const std::uint64_t waited = cycle_ - s.stallStart;
-        s.tile.stallCycles += waited;
-        if (SD_TRACE_ACTIVE() && waited > 0) {
-            Tracer::global().complete("tracker_wait", "func.sync",
-                                      s.stallStart, waited,
-                                      kTracePidFunc, s.index);
-        }
+        noteStallSpan(s, cycle_ - s.stallStart);
         s.stallStart = cycle_;
     }
 }
@@ -296,6 +312,7 @@ Machine::parkSite(CompSite &s, const PendingOp &op)
         return;
     }
     s.parked = true;
+    ++telemetry_.parks;
     waiters_[static_cast<std::size_t>(op.blockTile - memTiles_.data())]
         .push_back(s.index);
 }
@@ -312,6 +329,7 @@ Machine::wakeWaiters(MemHeavyTile *tile)
         if (!w.parked)
             continue;
         w.parked = false;
+        ++telemetry_.wakes;
         // The wake is a counted access committed this cycle; the woken
         // site re-plans against next cycle's state. Spurious wakes
         // (the access did not clear this site's verdict) re-park.
@@ -324,6 +342,7 @@ RunResult
 Machine::runEventDriven(std::uint64_t max_cycles)
 {
     RunResult result;
+    const std::uint64_t start_cycle = cycle_;
     const std::uint64_t deadline = cycle_ + max_cycles;
 
     // Rebuild the schedule: every live site is either in the heap or
@@ -342,11 +361,23 @@ Machine::runEventDriven(std::uint64_t max_cycles)
     }
     runJobs_ = inParallelRegion() ? 1 : jobs();
 
+    // Plan-phase fan-out is re-probed per run: the workload mix (and
+    // the dense/sparse phase) changes between runs. A machine with a
+    // single hardware thread can never win by fanning out — the crew
+    // helpers would time-slice against the committer.
+    fanout_ = (runJobs_ > 1 && hardwareJobs() > 1)
+                  ? FanoutState::Probing
+                  : FanoutState::Disabled;
+    probeSerialNs_ = probeFanoutNs_ = 0;
+    probeSerialOps_ = probeFanoutOps_ = 0;
+    probeSerialCycles_ = probeFanoutCycles_ = 0;
+
     while (liveCount_ > 0 && cycle_ < deadline) {
         if (heap_.empty()) {
             // Every live site is parked on a tracker and no event can
             // ever fire again: a genuine deadlock.
             result.deadlocked = true;
+            noteStuckSites("funcsim.deadlock");
             break;
         }
         const std::uint64_t next = heap_.front().at;
@@ -374,6 +405,9 @@ Machine::runEventDriven(std::uint64_t max_cycles)
     result.cycles = cycle_;
     result.timedOut =
         !result.deadlocked && cycle_ >= deadline && anySiteLive();
+    if (result.timedOut)
+        noteStuckSites("funcsim.timeout");
+    publishRunMetrics(result, start_cycle);
     return result;
 }
 
@@ -384,13 +418,29 @@ Machine::stepReady()
     if (pending_.size() < n)
         pending_.resize(n);
 
+    if (SD_METRICS_ACTIVE()) {
+        ++telemetry_.steps;
+        telemetry_.readySum += n;
+        telemetry_.readyMin = std::min<std::uint64_t>(
+            telemetry_.readyMin, n);
+        telemetry_.readyMax = std::max<std::uint64_t>(
+            telemetry_.readyMax, n);
+        ++telemetry_.readyBuckets[MetricHistogram::bucketOf(n)];
+    }
+
     // Phase 1 — plan: pure reads of the cycle-start state, one op per
     // ready site. Worth fanning out only when at least two sites face
     // coarse work (array passes, SFU offloads, DMA); scalar-only
-    // cycles plan faster inline. The choice affects wall time only —
-    // results are identical either way.
-    bool fan_out = false;
-    if (runJobs_ > 1 && n > 1) {
+    // cycles plan faster inline. Whether eligible cycles actually fan
+    // out is decided by a per-run probe: the first kProbeCycles
+    // eligible cycles of each flavour are wall-timed, and the cheaper
+    // plan path (normalized per planned op) wins for the rest of the
+    // run — on an oversubscribed or sparse machine the crew's wake
+    // cost never pays for itself and planning stays serial. The
+    // choice affects wall time only — results are identical either
+    // way.
+    bool eligible = false;
+    if (runJobs_ > 1 && n > 1 && fanout_ != FanoutState::Disabled) {
         int heavy = 0;
         for (std::uint32_t idx : readyList_) {
             const CompHeavyTile &t = compSites_[idx]->tile;
@@ -398,7 +448,7 @@ Machine::stepReady()
             if (isa::opcodeGroup(inst.op) !=
                     isa::InstGroup::ScalarControl &&
                 ++heavy >= 2) {
-                fan_out = true;
+                eligible = true;
                 break;
             }
         }
@@ -406,13 +456,61 @@ Machine::stepReady()
     auto plan_one = [&](std::size_t k) {
         planInstruction(*compSites_[readyList_[k]], pending_[k]);
     };
-    if (fan_out) {
+    auto plan_serial = [&] {
+        for (std::size_t k = 0; k < n; ++k)
+            plan_one(k);
+        ++telemetry_.serialCycles;
+    };
+    auto plan_crew = [&] {
         if (!crew_ || crew_->parallelism() != runJobs_)
             crew_ = std::make_unique<TaskCrew>(runJobs_);
         crew_->run(n, plan_one);
+        ++telemetry_.fanoutCycles;
+    };
+
+    if (!eligible) {
+        plan_serial();
+    } else if (fanout_ == FanoutState::Enabled) {
+        plan_crew();
     } else {
-        for (std::size_t k = 0; k < n; ++k)
-            plan_one(k);
+        // Probing: alternate flavours, wall-time the plan phase.
+        using clock = std::chrono::steady_clock;
+        constexpr std::uint32_t kProbeCycles = 32;
+        const bool use_crew = probeFanoutCycles_ < probeSerialCycles_;
+        const clock::time_point t0 = clock::now();
+        if (use_crew)
+            plan_crew();
+        else
+            plan_serial();
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - t0)
+                .count());
+        if (use_crew) {
+            probeFanoutNs_ += ns;
+            probeFanoutOps_ += n;
+            ++probeFanoutCycles_;
+        } else {
+            probeSerialNs_ += ns;
+            probeSerialOps_ += n;
+            ++probeSerialCycles_;
+        }
+        if (probeSerialCycles_ >= kProbeCycles &&
+            probeFanoutCycles_ >= kProbeCycles) {
+            const double serial_per =
+                static_cast<double>(probeSerialNs_) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    1, probeSerialOps_));
+            const double crew_per =
+                static_cast<double>(probeFanoutNs_) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    1, probeFanoutOps_));
+            // The crew must win clearly; ties favour the serial path
+            // (no helper threads to wake).
+            fanout_ = crew_per < 0.9 * serial_per
+                          ? FanoutState::Enabled
+                          : FanoutState::Disabled;
+        }
     }
 
     // Phase 2 — commit, in ascending site order. Re-validation keeps
@@ -436,6 +534,7 @@ RunResult
 Machine::runFullScan(std::uint64_t max_cycles)
 {
     RunResult result;
+    const std::uint64_t start_cycle = cycle_;
     const std::uint64_t deadline = cycle_ + max_cycles;
     if (pending_.empty())
         pending_.resize(1);
@@ -475,6 +574,7 @@ Machine::runFullScan(std::uint64_t max_cycles)
             cycle_ = std::min(next_busy, deadline);
         } else {
             result.deadlocked = true;
+            noteStuckSites("funcsim.deadlock");
             break;
         }
     }
@@ -482,7 +582,100 @@ Machine::runFullScan(std::uint64_t max_cycles)
     result.cycles = cycle_;
     result.timedOut =
         !result.deadlocked && cycle_ >= deadline && anySiteLive();
+    if (result.timedOut)
+        noteStuckSites("funcsim.timeout");
+    publishRunMetrics(result, start_cycle);
     return result;
+}
+
+void
+Machine::noteStuckSites(const char *event)
+{
+    // Cold path (the run is over): record one flight-recorder event
+    // per stuck site, naming the MemHeavy tile whose tracker blocks it
+    // so a post-mortem dump identifies the synchronization culprit.
+    const int mem_cols = config_.cols + 1;
+    char detail[FlightRecorder::kDetailChars];
+    for (std::size_t ti = 0; ti < waiters_.size(); ++ti) {
+        if (waiters_[ti].empty())
+            continue;
+        const int row = static_cast<int>(ti) / mem_cols;
+        const int mc = static_cast<int>(ti) % mem_cols;
+        std::snprintf(detail, sizeof(detail), "on mem_r%d_c%d", row, mc);
+        for (std::uint32_t idx : waiters_[ti]) {
+            const CompSite &s = *compSites_[idx];
+            if (!s.parked)
+                continue;
+            FlightRecorder::global().note(event, idx, detail);
+        }
+    }
+    // Full-scan mode keeps no waiter lists; name the stalled sites
+    // themselves (their coordinates, not the blocking tile).
+    if (waiters_.empty()) {
+        for (const auto &sp : compSites_) {
+            const CompSite &s = *sp;
+            if (s.tile.halted() || s.stallStart == kNotStalled)
+                continue;
+            std::snprintf(detail, sizeof(detail), "site r%dc%d_%s",
+                          s.row, s.col, tileRoleName(s.role));
+            FlightRecorder::global().note(event, s.index, detail);
+        }
+    }
+    // CI post-mortems: when SD_FLIGHTREC names a dump file, flush the
+    // whole crash pipeline (stats hooks, trace, recorder) right here —
+    // a deadlocked run usually exits shortly after.
+    if (std::getenv("SD_FLIGHTREC"))
+        crashDump(event);
+}
+
+void
+Machine::publishRunMetrics(const RunResult &result,
+                           std::uint64_t start_cycle)
+{
+    planFanout_ += telemetry_.fanoutCycles;
+    planSerial_ += telemetry_.serialCycles;
+    if (!SD_METRICS_ACTIVE()) {
+        telemetry_ = RunTelemetry{};
+        return;
+    }
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.counter("funcsim.runs", "Machine::run() calls").add(1);
+    reg.counter("funcsim.cycles", "simulated cycles")
+        .add(cycle_ - start_cycle);
+    reg.counter("funcsim.steps", "scheduled cycles stepped")
+        .add(telemetry_.steps);
+    reg.counter("funcsim.parks", "tracker parkings")
+        .add(telemetry_.parks);
+    reg.counter("funcsim.wakes", "tracker waiter wakes")
+        .add(telemetry_.wakes);
+    reg.counter("funcsim.plan_fanout_cycles",
+                "plan phases run on the TaskCrew")
+        .add(telemetry_.fanoutCycles);
+    reg.counter("funcsim.plan_serial_cycles", "plan phases run inline")
+        .add(telemetry_.serialCycles);
+    if (result.deadlocked)
+        reg.counter("funcsim.deadlocks", "proven deadlocks").add(1);
+    if (result.timedOut)
+        reg.counter("funcsim.timeouts", "cycle-budget timeouts").add(1);
+    if (telemetry_.steps > 0) {
+        reg.histogram("funcsim.ready_density",
+                      "ready sites per scheduled cycle")
+            .merge(telemetry_.readyBuckets, telemetry_.steps,
+                   telemetry_.readySum, telemetry_.readyMin,
+                   telemetry_.readyMax);
+    }
+    static const char *const kStallNames[3] = {
+        "funcsim.stall_cycles_fp", "funcsim.stall_cycles_bp",
+        "funcsim.stall_cycles_wg"};
+    for (int r = 0; r < 3; ++r) {
+        if (telemetry_.stallCount[r] == 0)
+            continue;
+        reg.histogram(kStallNames[r], "tracker stall spans per role")
+            .merge(telemetry_.stallBuckets[r], telemetry_.stallCount[r],
+                   telemetry_.stallSum[r], telemetry_.stallMin[r],
+                   telemetry_.stallMax[r]);
+    }
+    telemetry_ = RunTelemetry{};
 }
 
 void

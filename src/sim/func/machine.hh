@@ -129,6 +129,16 @@ class Machine
     double peUtilization() const;
 
     /**
+     * Scheduled cycles whose plan phase ran fanned out on the TaskCrew
+     * vs. inline, over this machine's lifetime. The split is decided
+     * by the adaptive probe in stepReady() (wall-time only — results
+     * are bit-identical either way), so `planFanoutCycles() == 0`
+     * after a run means the machine fell back to serial planning.
+     */
+    std::uint64_t planFanoutCycles() const { return planFanout_; }
+    std::uint64_t planSerialCycles() const { return planSerial_; }
+
+    /**
      * Snapshot the machine's statistics (per-tile instruction /
      * stall / MAC counters, machine-level per-instruction-class
      * retire counters, MemHeavy access and tracker counters).
@@ -338,6 +348,45 @@ class Machine
 
     CompSite &site(int row, int col, TileRole role);
 
+    /**
+     * Telemetry accumulated over one run() — plain non-atomic fields
+     * (every update happens on the run thread) published to the
+     * metrics registry in one shot at run exit, so the hot loop pays
+     * no atomic traffic and the published values are jobs-invariant
+     * where the underlying quantity is deterministic.
+     */
+    struct RunTelemetry
+    {
+        std::uint64_t steps = 0;            ///< scheduled cycles
+        std::uint64_t readySum = 0;         ///< ready sites per step
+        std::uint64_t readyMin = ~0ull;
+        std::uint64_t readyMax = 0;
+        std::uint64_t readyBuckets[64] = {};
+        std::uint64_t parks = 0;            ///< tracker parkings
+        std::uint64_t wakes = 0;            ///< waiter re-enqueues
+        std::uint64_t fanoutCycles = 0;     ///< crew-planned cycles
+        std::uint64_t serialCycles = 0;     ///< inline-planned cycles
+        // Per-role stall-span histograms (finishStall/flushStalls).
+        std::uint64_t stallBuckets[3][64] = {};
+        std::uint64_t stallCount[3] = {};
+        std::uint64_t stallSum[3] = {};
+        std::uint64_t stallMin[3] = {~0ull, ~0ull, ~0ull};
+        std::uint64_t stallMax[3] = {};
+
+        void noteStall(TileRole role, std::uint64_t waited);
+    };
+
+    /** Adaptive plan-phase fan-out (see stepReady()). */
+    enum class FanoutState : std::uint8_t { Probing, Enabled, Disabled };
+
+    /** Record one completed stall span (telemetry + trace). */
+    void noteStallSpan(CompSite &s, std::uint64_t waited);
+    /** Flight-recorder notes naming every blocking tile / parked site. */
+    void noteStuckSites(const char *event);
+    /** Push this run's telemetry into the global metrics registry. */
+    void publishRunMetrics(const RunResult &result,
+                           std::uint64_t start_cycle);
+
     MachineConfig config_;
     std::vector<MemHeavyTile> memTiles_;            ///< row-major
     std::vector<std::unique_ptr<CompSite>> compSites_;
@@ -352,6 +401,22 @@ class Machine
     std::uint64_t liveCount_ = 0;
     int runJobs_ = 1;                               ///< jobs at run entry
     std::unique_ptr<TaskCrew> crew_;                ///< lazy plan crew
+
+    RunTelemetry telemetry_;
+
+    // Adaptive fan-out probe state (reset each run() entry): while
+    // Probing, eligible cycles alternate between timed serial and
+    // timed crew planning; once both sides have kProbeCycles samples
+    // the cheaper one wins for the rest of the run.
+    FanoutState fanout_ = FanoutState::Probing;
+    std::uint64_t probeSerialNs_ = 0;   ///< summed plan-phase ns
+    std::uint64_t probeFanoutNs_ = 0;
+    std::uint64_t probeSerialOps_ = 0;  ///< summed ready-list sizes
+    std::uint64_t probeFanoutOps_ = 0;
+    std::uint32_t probeSerialCycles_ = 0;
+    std::uint32_t probeFanoutCycles_ = 0;
+    std::uint64_t planFanout_ = 0;      ///< lifetime counters
+    std::uint64_t planSerial_ = 0;
 };
 
 } // namespace sd::sim

@@ -1,10 +1,12 @@
 #include "sim/perf/perfsim.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 
 #include "core/logging.hh"
+#include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "core/trace.hh"
 #include "dnn/workload.hh"
@@ -34,6 +36,23 @@ PerfSim::run() const
             .add("network", net_.name())
             .add("minibatch", options_.minibatch);
     }
+    struct RunTimer
+    {
+        std::chrono::steady_clock::time_point t0 =
+            std::chrono::steady_clock::now();
+        ~RunTimer()
+        {
+            if (!SD_METRICS_ACTIVE())
+                return;
+            MetricsRegistry &reg = MetricsRegistry::global();
+            reg.counter("perfsim.runs", "PerfSim::run() calls").add(1);
+            reg.histogram("perfsim.run_us", "perf-sim run wall time")
+                .sample(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+        }
+    } run_timer;
     const arch::NodeConfig &node = node_;
     const arch::ChipConfig &conv_chip = node.cluster.convChip;
     const arch::ChipConfig &fc_chip = node.cluster.fcChip;

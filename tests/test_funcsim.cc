@@ -8,6 +8,8 @@
  * counters and the traced tracker_wait spans.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -19,6 +21,7 @@
 #include "compiler/codegen.hh"
 #include "compiler/trainer.hh"
 #include "core/export.hh"
+#include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "core/random.hh"
 #include "core/trace.hh"
@@ -451,6 +454,84 @@ TEST(FuncSim, StallCyclesMatchTracedWaitSpans)
     }
     // The two consumers are the stalling sites.
     EXPECT_GT(wait_per_site[1], 50u);
+}
+
+/**
+ * End-to-end Winograd cross-check: the compiled program (whose ISA
+ * convolution is direct) must agree with the reference engine running
+ * its Winograd F(4x4,3x3) kernels — same network, same weights — to
+ * within floating-point reassociation tolerance.
+ */
+TEST(FuncSim, CompiledForwardMatchesWinogradReference)
+{
+    JobsGuard g;
+    setJobs(1);
+    struct AlgoGuard
+    {
+        dnn::ConvAlgo saved = dnn::convAlgo();
+        ~AlgoGuard() { dnn::setConvAlgo(saved); }
+    } algo_guard;
+
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    dnn::ReferenceEngine engine(net, 41);
+    Rng rng(51);
+    Tensor image = Tensor::uniform({1, 12, 12}, rng, 0.0f, 1.0f);
+
+    MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    compiler::FuncRunner runner(net, mc);
+    runner.loadWeights(engine);
+    RunResult res;
+    Tensor compiled = runner.evaluate(image, &res);
+    ASSERT_TRUE(res.ok());
+
+    dnn::setConvAlgo(dnn::ConvAlgo::Winograd4);
+    const Tensor &wino = engine.forward(image);
+    ASSERT_EQ(compiled.size(), wino.size());
+    for (std::size_t i = 0; i < compiled.size(); ++i)
+        EXPECT_NEAR(compiled[i], wino[i],
+                    1e-3 * std::max(1.0, double(std::fabs(wino[i]))))
+            << "at " << i;
+}
+
+/**
+ * A proven funcsim deadlock must leave a post-mortem trail in the
+ * flight recorder naming the blocking MemHeavy tiles, whether or not
+ * metrics collection is enabled.
+ */
+TEST(FuncSim, DeadlockRecordsBlockingTilesInFlightRecorder)
+{
+    JobsGuard g;
+    setJobs(1);
+    Machine m(smallConfig(StepMode::EventDriven));
+    for (int c = 0; c < 2; ++c) {
+        // Crossed trackers as in CrossedTrackerDeadlockDetected: each
+        // site waits on an update only the other could deliver.
+        Assembler as;
+        as.ldri(1, 0);
+        as.ldri(2, 4);
+        as.ldri(3, 1);
+        as.ldri(4, 1);
+        as.memtrack(kPortRight, 1, 2, 3, 4);
+        as.ldri(5, 100);
+        as.dmaload(kPortLeft, 1, kPortEast, 5, 2, false);
+        as.halt();
+        m.loadProgram(0, c, TileRole::Fp, as.finish());
+    }
+    const std::uint64_t before =
+        FlightRecorder::global().eventsRecorded();
+    RunResult res = m.run(100000);
+    EXPECT_TRUE(res.deadlocked);
+    EXPECT_GE(FlightRecorder::global().eventsRecorded(), before + 2);
+
+    std::ostringstream oss;
+    FlightRecorder::global().dump(oss);
+    const std::string dump = oss.str();
+    EXPECT_NE(dump.find("funcsim.deadlock"), std::string::npos);
+    // Site comp(0,0,FP) parks on mem(0,1), comp(0,1,FP) on mem(0,2).
+    EXPECT_NE(dump.find("on mem_r0_c1"), std::string::npos);
+    EXPECT_NE(dump.find("on mem_r0_c2"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Tests for the runtime telemetry subsystem (core/metrics.hh): the
+ * counter/gauge/histogram primitives, percentile math, concurrent
+ * hammering, the registry's JSON export, the flight recorder ring,
+ * and the roofline report's exact agreement with independently
+ * computed FLOP/byte counts.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/export.hh"
+#include "core/metrics.hh"
+#include "core/parallel.hh"
+#include "core/random.hh"
+#include "dnn/layer.hh"
+#include "dnn/reference.hh"
+#include "dnn/roofline.hh"
+#include "dnn/tensor.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+
+/** Enable metrics for one test and restore the previous state. */
+struct MetricsGuard
+{
+    bool prev;
+    explicit MetricsGuard(bool on) : prev(metricsEnabled())
+    { setMetricsEnabled(on); }
+    ~MetricsGuard() { setMetricsEnabled(prev); }
+};
+
+struct JobsGuard
+{
+    int prev;
+    explicit JobsGuard(int n) : prev(jobs()) { setJobs(n); }
+    ~JobsGuard() { setJobs(prev); }
+};
+
+TEST(MetricCounter, AddValueReset)
+{
+    MetricCounter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricGauge, TracksLevelAndHighWater)
+{
+    MetricGauge g;
+    g.set(10);
+    g.add(5);
+    EXPECT_EQ(g.value(), 15);
+    EXPECT_EQ(g.highWater(), 15);
+    g.add(-12);
+    EXPECT_EQ(g.value(), 3);
+    EXPECT_EQ(g.highWater(), 15);
+    g.set(100);
+    EXPECT_EQ(g.highWater(), 100);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.highWater(), 0);
+}
+
+TEST(MetricHistogram, BucketOf)
+{
+    EXPECT_EQ(MetricHistogram::bucketOf(0), 0);
+    EXPECT_EQ(MetricHistogram::bucketOf(1), 1);
+    EXPECT_EQ(MetricHistogram::bucketOf(2), 2);
+    EXPECT_EQ(MetricHistogram::bucketOf(3), 2);
+    EXPECT_EQ(MetricHistogram::bucketOf(4), 3);
+    EXPECT_EQ(MetricHistogram::bucketOf(1023), 10);
+    EXPECT_EQ(MetricHistogram::bucketOf(1024), 11);
+    // Width-64 samples share the top bucket — the index must stay
+    // inside the array.
+    EXPECT_EQ(MetricHistogram::bucketOf(~0ull),
+              MetricHistogram::kBuckets - 1);
+    EXPECT_EQ(MetricHistogram::bucketOf(1ull << 63),
+              MetricHistogram::kBuckets - 1);
+}
+
+TEST(MetricHistogram, PercentilesAreMonotonic)
+{
+    // Regression: a rank falling in the gap between two buckets used
+    // to interpolate with a negative in-bucket fraction, reporting a
+    // p99 below the p95. This shape (a big low bucket, a mid bucket
+    // ending exactly below the p99 rank, a tiny high bucket)
+    // reproduced it.
+    MetricHistogram h;
+    for (int i = 0; i < 308; ++i)
+        h.sample(50);
+    for (int i = 0; i < 48; ++i)
+        h.sample(108);
+    h.sample(150);
+    h.sample(151);
+    h.sample(3948);
+    double prev = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.001) {
+        const double v = h.percentile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+    EXPECT_GE(h.percentile(0.99), h.percentile(0.95));
+}
+
+TEST(MetricHistogram, EmptyIsAllZero)
+{
+    MetricHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(MetricHistogram, ConstantDistributionIsExact)
+{
+    MetricHistogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.sample(37);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.min(), 37u);
+    EXPECT_EQ(h.max(), 37u);
+    EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+    // The [min, max] clamp makes constant distributions exact at
+    // every quantile despite the log bucketing.
+    for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 37.0) << "q=" << q;
+}
+
+TEST(MetricHistogram, UniformPercentilesWithinBucketError)
+{
+    MetricHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.sum(), 500500u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+    // Log2 buckets bound the interpolation error to the bucket width;
+    // 10% is comfortably above the worst case for this distribution.
+    EXPECT_NEAR(h.percentile(0.5), 500.0, 50.0);
+    EXPECT_NEAR(h.percentile(0.95), 950.0, 95.0);
+    EXPECT_NEAR(h.percentile(0.99), 990.0, 99.0);
+    // Extremes clamp to the observed range.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(MetricHistogram, SingleSampleIsExactEverywhere)
+{
+    MetricHistogram h;
+    h.sample(1000000);
+    for (double q : {0.0, 0.5, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 1e6) << "q=" << q;
+}
+
+TEST(MetricHistogram, MergePublishesLocalAccumulators)
+{
+    std::uint64_t buckets[MetricHistogram::kBuckets] = {};
+    std::uint64_t count = 0, sum = 0, mn = ~0ull, mx = 0;
+    for (std::uint64_t v : {5ull, 9ull, 120ull}) {
+        ++buckets[MetricHistogram::bucketOf(v)];
+        ++count;
+        sum += v;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+    }
+    MetricHistogram h;
+    h.merge(buckets, count, sum, mn, mx);
+    h.merge(buckets, count, sum, mn, mx);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 268u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 120u);
+}
+
+TEST(Metrics, ConcurrentHammerKeepsExactTotals)
+{
+    constexpr int kThreads = 8;
+    constexpr int kIters = 100000;
+    MetricCounter c;
+    MetricGauge g;
+    MetricHistogram h;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                c.add(1);
+                g.add(1);
+                h.sample(static_cast<std::uint64_t>(t + 1));
+            }
+        });
+    }
+    for (std::thread &t : ts)
+        t.join();
+    EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kIters);
+    EXPECT_EQ(g.value(), std::int64_t(kThreads) * kIters);
+    EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kIters);
+    std::uint64_t want_sum = 0;
+    for (int t = 1; t <= kThreads; ++t)
+        want_sum += std::uint64_t(t) * kIters;
+    EXPECT_EQ(h.sum(), want_sum);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), std::uint64_t(kThreads));
+}
+
+TEST(Metrics, RegistryReturnsStableReferences)
+{
+    MetricsRegistry &r = MetricsRegistry::global();
+    MetricCounter &a = r.counter("test.stable", "first registration");
+    MetricCounter &b = r.counter("test.stable", "ignored description");
+    EXPECT_EQ(&a, &b);
+    a.reset();
+    b.add(7);
+    EXPECT_EQ(a.value(), 7u);
+    a.reset();
+}
+
+TEST(Metrics, EnableSwitchGatesTheSiteGuard)
+{
+    MetricsGuard guard(true);
+    EXPECT_TRUE(SD_METRICS_ACTIVE());
+    setMetricsEnabled(false);
+    EXPECT_FALSE(SD_METRICS_ACTIVE());
+    EXPECT_FALSE(metricsEnabled());
+    setMetricsEnabled(true);
+    EXPECT_TRUE(SD_METRICS_ACTIVE());
+}
+
+TEST(Metrics, RegistryJsonRoundTrips)
+{
+    MetricsRegistry &r = MetricsRegistry::global();
+    MetricCounter &c = r.counter("test.json.counter", "a counter");
+    MetricGauge &g = r.gauge("test.json.gauge", "a gauge");
+    MetricHistogram &h = r.histogram("test.json.hist", "a histogram");
+    c.reset();
+    g.reset();
+    h.reset();
+    c.add(42);
+    g.set(1000);
+    g.add(-400);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        MetricsRegistry::global().writeJson(w);
+    }
+    std::string err;
+    auto doc = parseJson(os.str(), &err);
+    ASSERT_TRUE(doc) << err << "\n" << os.str();
+    EXPECT_EQ(doc->at("schema").asString(), kMetricsSchema);
+
+    EXPECT_EQ(doc->at("counters").at("test.json.counter").asInt(), 42);
+
+    const JsonValue &jg = doc->at("gauges").at("test.json.gauge");
+    EXPECT_EQ(jg.at("value").asInt(), 600);
+    EXPECT_EQ(jg.at("highWater").asInt(), 1000);
+
+    const JsonValue &jh = doc->at("histograms").at("test.json.hist");
+    EXPECT_EQ(jh.at("count").asInt(), 100);
+    EXPECT_EQ(jh.at("sum").asInt(), 5050);
+    EXPECT_EQ(jh.at("min").asInt(), 1);
+    EXPECT_EQ(jh.at("max").asInt(), 100);
+    EXPECT_DOUBLE_EQ(jh.at("mean").asDouble(), 50.5);
+    EXPECT_DOUBLE_EQ(jh.at("p50").asDouble(), h.percentile(0.5));
+    EXPECT_DOUBLE_EQ(jh.at("p95").asDouble(), h.percentile(0.95));
+    EXPECT_DOUBLE_EQ(jh.at("p99").asDouble(), h.percentile(0.99));
+
+    c.reset();
+    g.reset();
+    h.reset();
+}
+
+TEST(Metrics, ReportListsNonEmptyMetrics)
+{
+    MetricsRegistry &r = MetricsRegistry::global();
+    MetricCounter &c = r.counter("test.report.counter", "report me");
+    c.reset();
+    c.add(3);
+    std::ostringstream os;
+    r.writeReport(os);
+    EXPECT_NE(os.str().find("test.report.counter"), std::string::npos);
+    EXPECT_NE(os.str().find("report me"), std::string::npos);
+    c.reset();
+}
+
+TEST(FlightRecorderTest, RecordsAndDumpsWithDetail)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    const std::uint64_t before = fr.eventsRecorded();
+    fr.note("test.flight.event", 17, "tile r2_c3");
+    EXPECT_EQ(fr.eventsRecorded(), before + 1);
+    std::ostringstream os;
+    fr.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("test.flight.event"), std::string::npos);
+    EXPECT_NE(text.find("value=17"), std::string::npos);
+    EXPECT_NE(text.find("tile r2_c3"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestEvents)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    for (int i = 0; i < FlightRecorder::kRingSize + 10; ++i)
+        fr.note("test.flight.wrap", static_cast<std::uint64_t>(i));
+    std::ostringstream os;
+    fr.dump(os);
+    const std::string text = os.str();
+    // The newest event survives; the oldest of this burst was evicted.
+    EXPECT_NE(text.find("value=" + std::to_string(
+                            FlightRecorder::kRingSize + 9)),
+              std::string::npos);
+    EXPECT_EQ(text.find("test.flight.wrap value=0\n"),
+              std::string::npos);
+}
+
+TEST(FlightRecorderTest, TruncatesLongDetailStrings)
+{
+    FlightRecorder &fr = FlightRecorder::global();
+    const std::string long_detail(100, 'x');
+    fr.note("test.flight.long", 1, long_detail.c_str());
+    std::ostringstream os;
+    fr.dump(os);
+    const std::string want(FlightRecorder::kDetailChars - 1, 'x');
+    EXPECT_NE(os.str().find(want), std::string::npos);
+    EXPECT_EQ(os.str().find(want + "x"), std::string::npos);
+}
+
+/**
+ * Independently recompute the documented roofline conventions for one
+ * layer (keep in sync with dnn/roofline.hh).
+ */
+struct Expected
+{
+    std::uint64_t flops, bytes, live;
+};
+
+Expected
+expectedRoofline(const Layer &l, std::uint64_t batch)
+{
+    Expected e{};
+    e.flops = l.isCompute() ? 2 * l.macCount() * batch : 0;
+    e.bytes = 4 * (batch * (l.inputElems() + l.outputElems()) +
+                   l.weightCount());
+    e.live = 4 * (2 * batch * l.outputElems() + 2 * l.weightCount());
+    return e;
+}
+
+TEST(Roofline, MatchesIndependentFlopAndByteCounts)
+{
+    MetricsGuard guard(true);
+    const std::uint64_t kBatch = 3;
+    Network net = makeTinyCnn(12, 3);
+    ReferenceEngine eng(net, 7);
+    sd::Rng rng(21);
+    Tensor in = Tensor::uniform({kBatch, 1, 12, 12}, rng, 0.0f, 1.0f);
+    eng.forward(in);
+
+    RooflineReport rep = rooflineReport(eng, "tiny-cnn");
+    EXPECT_EQ(rep.network, "tiny-cnn");
+    EXPECT_EQ(rep.batch, kBatch);
+    ASSERT_EQ(rep.layers.size(), net.layers().size());
+
+    std::uint64_t want_flops = 0, want_bytes = 0;
+    for (std::size_t i = 0; i < rep.layers.size(); ++i) {
+        const Layer &l = net.layers()[i];
+        const LayerRoofline &lr = rep.layers[i];
+        const Expected e = expectedRoofline(l, kBatch);
+        EXPECT_EQ(lr.flops, e.flops) << l.name;
+        EXPECT_EQ(lr.bytes, e.bytes) << l.name;
+        EXPECT_EQ(lr.liveBytes, e.live) << l.name;
+        EXPECT_EQ(lr.kind, layerKindName(l.kind)) << l.name;
+        if (l.kind == LayerKind::Conv)
+            EXPECT_NE(lr.algo, "-") << l.name;
+        want_flops += e.flops;
+        want_bytes += e.bytes;
+    }
+    EXPECT_EQ(rep.totalFlops, want_flops);
+    EXPECT_EQ(rep.totalBytes, want_bytes);
+    EXPECT_EQ(rep.engineLiveBytes, eng.liveBytes());
+    EXPECT_EQ(rep.engineHighWaterBytes, eng.highWaterBytes());
+    EXPECT_GT(rep.engineLiveBytes, 0u);
+    // Metrics were enabled, so the forward pass was timed.
+    EXPECT_GT(rep.totalMs, 0.0);
+}
+
+TEST(Roofline, JsonRoundTripsExactly)
+{
+    MetricsGuard guard(true);
+    const std::uint64_t kBatch = 2;
+    Network net = makeTinyCnn(12, 3);
+    ReferenceEngine eng(net, 7);
+    sd::Rng rng(3);
+    Tensor in = Tensor::uniform({kBatch, 1, 12, 12}, rng, 0.0f, 1.0f);
+    eng.forward(in);
+    RooflineReport rep = rooflineReport(eng, "tiny-cnn");
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        writeRooflineJson(w, rep);
+    }
+    std::string err;
+    auto doc = parseJson(os.str(), &err);
+    ASSERT_TRUE(doc) << err << "\n" << os.str();
+    EXPECT_EQ(doc->at("schema").asString(), kRooflineSchema);
+    EXPECT_EQ(doc->at("network").asString(), "tiny-cnn");
+    EXPECT_EQ(doc->at("batch").asInt(), std::int64_t(kBatch));
+    EXPECT_EQ(doc->at("totalFlops").asInt(),
+              std::int64_t(rep.totalFlops));
+    EXPECT_EQ(doc->at("totalBytes").asInt(),
+              std::int64_t(rep.totalBytes));
+    EXPECT_EQ(doc->at("engineLiveBytes").asInt(),
+              std::int64_t(eng.liveBytes()));
+    EXPECT_EQ(doc->at("engineHighWaterBytes").asInt(),
+              std::int64_t(eng.highWaterBytes()));
+
+    const JsonValue &layers = doc->at("layers");
+    ASSERT_TRUE(layers.isArray());
+    ASSERT_EQ(layers.items.size(), net.layers().size());
+    for (std::size_t i = 0; i < layers.items.size(); ++i) {
+        const JsonValue &jl = layers.items[i];
+        const Expected e = expectedRoofline(net.layers()[i], kBatch);
+        EXPECT_EQ(jl.at("flops").asInt(), std::int64_t(e.flops));
+        EXPECT_EQ(jl.at("bytes").asInt(), std::int64_t(e.bytes));
+        EXPECT_EQ(jl.at("liveBytes").asInt(), std::int64_t(e.live));
+    }
+}
+
+TEST(Roofline, DeterministicCountsAreJobsInvariant)
+{
+    MetricsGuard guard(true);
+    Network net = makeTinyCnn(12, 3);
+    sd::Rng rng(9);
+    Tensor in = Tensor::uniform({2, 1, 12, 12}, rng, 0.0f, 1.0f);
+
+    auto run = [&](int njobs) {
+        JobsGuard jg(njobs);
+        ReferenceEngine eng(net, 7);
+        eng.forward(in);
+        return rooflineReport(eng, "tiny-cnn");
+    };
+    RooflineReport a = run(1);
+    RooflineReport b = run(4);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        // FLOP/byte accounting is analytic — identical for any jobs
+        // value. Wall-clock (ms) is explicitly not compared.
+        EXPECT_EQ(a.layers[i].flops, b.layers[i].flops);
+        EXPECT_EQ(a.layers[i].bytes, b.layers[i].bytes);
+        EXPECT_EQ(a.layers[i].liveBytes, b.layers[i].liveBytes);
+    }
+    EXPECT_EQ(a.engineLiveBytes, b.engineLiveBytes);
+    EXPECT_EQ(a.engineHighWaterBytes, b.engineHighWaterBytes);
+}
+
+TEST(Metrics, ReferenceEngineMemoryGaugeTracksBatchGrowth)
+{
+    MetricsGuard guard(true);
+    Network net = makeTinyCnn(12, 3);
+    ReferenceEngine eng(net, 7);
+    const std::uint64_t base = eng.liveBytes();
+    EXPECT_GT(base, 0u);
+    sd::Rng rng(13);
+    Tensor in4 = Tensor::uniform({4, 1, 12, 12}, rng, 0.0f, 1.0f);
+    eng.forward(in4);
+    const std::uint64_t grown = eng.liveBytes();
+    EXPECT_GT(grown, base);
+    EXPECT_GE(eng.highWaterBytes(), grown);
+    // Shrinking the batch keeps the high-water mark.
+    Tensor in1 = Tensor::uniform({1, 1, 12, 12}, rng, 0.0f, 1.0f);
+    eng.forward(in1);
+    EXPECT_LT(eng.liveBytes(), grown);
+    EXPECT_GE(eng.highWaterBytes(), grown);
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Compile-out coverage for the metrics instrumentation guard: this
+ * translation unit forces SD_METRICS=0 before including metrics.hh,
+ * so SD_METRICS_ACTIVE() must be a compile-time `false` that still
+ * compiles at real call-site shapes — the registry itself stays
+ * linkable and usable for explicit reads.
+ */
+
+#undef SD_METRICS
+#define SD_METRICS 0
+#include "core/metrics.hh"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/export.hh"
+
+namespace {
+
+using namespace sd;
+
+std::uint64_t
+instrumentedWork(int n)
+{
+    std::uint64_t acc = 0;
+    for (int i = 0; i < n; ++i) {
+        // The standard site shape: guard, cached lookup, record.
+        if (SD_METRICS_ACTIVE()) {
+            static MetricCounter &c = MetricsRegistry::global().counter(
+                "test.off.never", "must never register");
+            c.add(1);
+        }
+        acc += static_cast<std::uint64_t>(i);
+    }
+    return acc;
+}
+
+TEST(MetricsCompiledOut, GuardIsConstantFalse)
+{
+    // Even with the runtime switch forced on, the compiled-out guard
+    // stays false — the macro never consults metricsEnabled().
+    const bool prev = metricsEnabled();
+    setMetricsEnabled(true);
+    EXPECT_FALSE(SD_METRICS_ACTIVE());
+    EXPECT_EQ(instrumentedWork(100), 4950u);
+    setMetricsEnabled(prev);
+}
+
+TEST(MetricsCompiledOut, SiteNeverRegisters)
+{
+    instrumentedWork(10);
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        MetricsRegistry::global().writeJson(w);
+    }
+    EXPECT_EQ(os.str().find("test.off.never"), std::string::npos);
+}
+
+} // namespace
