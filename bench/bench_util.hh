@@ -14,6 +14,11 @@
  *   --conv-algo NAME   convolution algorithm for the reference kernels
  *                      (auto naive im2col winograd2 winograd4; default:
  *                      the SD_CONV_ALGO environment variable, or auto)
+ *   --gemm-kernel NAME GEMM dispatch level (auto avx2 generic scalar;
+ *                      default: the SD_GEMM_KERNEL environment
+ *                      variable, or auto)
+ *   --gemm-precision P GEMM arithmetic preset (sp hp; default: the
+ *                      SD_GEMM_PRECISION environment variable, or sp)
  *
  * init() installs the crash handlers (core/metrics.hh), and the stats
  * export is registered as a crash-flush hook: a run that dies mid-
@@ -24,6 +29,7 @@
 #ifndef SCALEDEEP_BENCH_BENCH_UTIL_HH
 #define SCALEDEEP_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -38,6 +44,7 @@
 #include "core/parallel.hh"
 #include "core/table.hh"
 #include "core/trace.hh"
+#include "dnn/gemm.hh"
 #include "dnn/reference.hh"
 
 namespace sd::bench {
@@ -77,8 +84,15 @@ flushStats()
         fatal(h.name, ": cannot open stats file ", h.statsPath);
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "scaledeep-bench-1");
+    w.field("schema", "scaledeep-bench-2");
     w.field("bench", h.name);
+    // Concurrency provenance: effectiveJobs is what the pool could
+    // actually use — CI speedup gates skip when it is 1.
+    w.field("jobs", static_cast<std::int64_t>(jobs()));
+    w.field("hardwareConcurrency",
+            static_cast<std::int64_t>(hardwareJobs()));
+    w.field("effectiveJobs",
+            static_cast<std::int64_t>(std::min(jobs(), hardwareJobs())));
     w.key("tables");
     w.beginArray();
     for (const auto &[name, t] : h.tables) {
@@ -150,10 +164,26 @@ init(int argc, char **argv, const std::string &name)
                       " is not a conv algorithm (valid: auto naive"
                       " im2col winograd2 winograd4)");
             dnn::setConvAlgo(algo);
+        } else if (arg == "--gemm-kernel") {
+            const std::string v = value();
+            dnn::GemmKernel kernel;
+            if (!dnn::parseGemmKernel(v, kernel))
+                fatal(name, ": --gemm-kernel ", v,
+                      " is not a GEMM kernel (valid: auto avx2"
+                      " generic scalar)");
+            dnn::setGemmKernel(kernel);
+        } else if (arg == "--gemm-precision") {
+            const std::string v = value();
+            dnn::GemmPrecision prec;
+            if (!dnn::parseGemmPrecision(v, prec))
+                fatal(name, ": --gemm-precision ", v,
+                      " is not a GEMM precision preset (valid: sp hp)");
+            dnn::setGemmPrecision(prec);
         } else {
             fatal(name, ": unknown option ", arg,
                   " (supported: --csv --report --trace FILE"
-                  " --stats-json FILE --jobs N --conv-algo NAME)");
+                  " --stats-json FILE --jobs N --conv-algo NAME"
+                  " --gemm-kernel NAME --gemm-precision P)");
         }
     }
 }

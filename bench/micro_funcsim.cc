@@ -8,7 +8,7 @@
  * plan fans out across a TaskCrew. Asserts that event-driven results
  * are bit-identical across jobs values before reporting.
  *
- * Emits BENCH_funcsim.json (schema scaledeep-funcsim-1) next to the
+ * Emits BENCH_funcsim.json (schema scaledeep-funcsim-2) next to the
  * human-readable tables, so CI can archive and regress the numbers.
  */
 
@@ -299,10 +299,14 @@ main(int argc, char **argv)
         fatal("micro_funcsim: cannot open ", out_path);
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "scaledeep-funcsim-1");
+    w.field("schema", "scaledeep-funcsim-2");
     w.field("jobs", static_cast<std::int64_t>(njobs));
     w.field("hardwareConcurrency",
             static_cast<std::int64_t>(hardwareJobs()));
+    // What the jobs-N rows could actually use: CI parallel-speedup
+    // gates skip with a warning when this is 1 (single-core runner).
+    w.field("effectiveJobs",
+            static_cast<std::int64_t>(std::min(njobs, hardwareJobs())));
     w.field("rows", static_cast<std::int64_t>(kRows));
     w.field("cols", static_cast<std::int64_t>(kCols));
     w.key("sparse");

@@ -18,6 +18,7 @@
 #include "core/logging.hh"
 #include "compiler/codegen.hh"
 #include "core/random.hh"
+#include "dnn/gemm.hh"
 #include "dnn/reference.hh"
 #include "dnn/zoo.hh"
 #include "sim/perf/perfsim.hh"
@@ -138,6 +139,63 @@ BM_FcForward(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * l.macCount());
 }
 BENCHMARK(BM_FcForward)->Arg(256)->Arg(1024);
+
+/** Second benchmark argument -> forced GEMM dispatch level. */
+constexpr GemmKernel kGemmArg[] = {GemmKernel::Scalar,
+                                   GemmKernel::Generic,
+                                   GemmKernel::Avx2};
+
+void
+BM_Sgemm(benchmark::State &state)
+{
+    // The conv_fwd-derived GEMM shape at micro-benchmark scale, per
+    // dispatch level. Skips (instead of dying) when the forced level
+    // is not available on this CPU.
+    const int dim = static_cast<int>(state.range(0));
+    const GemmKernel kernel = kGemmArg[state.range(1)];
+    if (kernel == GemmKernel::Avx2 && !cpuHasAvx2Fma()) {
+        state.SkipWithError("no AVX2+FMA on this CPU");
+        return;
+    }
+    const GemmKernel saved = gemmKernel();
+    setGemmKernel(kernel);
+    const int m = dim, n = dim * 4, k = dim * 2;
+    Rng rng(6);
+    Tensor a = Tensor::uniform({std::size_t(m) * k}, rng);
+    Tensor b = Tensor::uniform({std::size_t(k) * n}, rng);
+    Tensor c({std::size_t(m) * n});
+    for (auto _ : state) {
+        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+              a.data(), k, b.data(), n, 0.0f, c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(m) * n * k);
+    state.SetLabel(gemmKernelName(kernel));
+    setGemmKernel(saved);
+}
+BENCHMARK(BM_Sgemm)->ArgsProduct({{64, 256}, {0, 1, 2}});
+
+void
+BM_SgemmBf16(benchmark::State &state)
+{
+    // HP preset path: bf16-stored operands, fp32 accumulation.
+    const int dim = static_cast<int>(state.range(0));
+    const int m = dim, n = dim * 4, k = dim * 2;
+    Rng rng(6);
+    Tensor a = Tensor::uniform({std::size_t(m) * k}, rng);
+    Tensor b = Tensor::uniform({std::size_t(k) * n}, rng);
+    Tensor c({std::size_t(m) * n});
+    for (auto _ : state) {
+        sgemmBf16(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                  a.data(), k, b.data(), n, 0.0f, c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(m) * n * k);
+    state.SetLabel(gemmKernelName(gemmKernel()));
+}
+BENCHMARK(BM_SgemmBf16)->Arg(64)->Arg(256);
 
 void
 BM_ReferenceTrainStep(benchmark::State &state)

@@ -13,9 +13,15 @@
  * (Winograd) show up as higher effective throughput on the same work,
  * not as a different problem size.
  *
- * Emits BENCH_kernels.json (schema scaledeep-kernels-2) next to the
+ * Also races the GEMM dispatch levels (scalar / generic / avx2) and
+ * the bf16 HP-preset storage variant on the conv/fc-shaped GEMMs the
+ * suite bottoms out in, at jobs=1 so the comparison is algorithmic,
+ * and checks that steady-state GEMM calls perform no packing
+ * allocation (gemmScratchAllocs()).
+ *
+ * Emits BENCH_kernels.json (schema scaledeep-kernels-3) next to the
  * human-readable tables, so CI can archive the numbers per commit and
- * gate on the Winograd-vs-im2col speedup.
+ * gate on the Winograd-vs-im2col and microkernel-vs-scalar speedups.
  */
 
 #include <chrono>
@@ -26,6 +32,7 @@
 #include "bench/bench_util.hh"
 #include "core/export.hh"
 #include "core/random.hh"
+#include "dnn/gemm.hh"
 #include "dnn/reference.hh"
 #include "dnn/winograd.hh"
 #include "dnn/zoo.hh"
@@ -220,6 +227,117 @@ main(int argc, char **argv)
     }
     bench::show("kernels", kt);
 
+    // --- GEMM dispatch-level shoot-out on the conv/fc GEMM shapes ---
+    // The exact GEMMs the suite's conv/fc kernels lower to, timed per
+    // dispatch level at jobs=1 (the speedup is algorithmic, not a
+    // thread count) plus the bf16 HP-preset variant. The CI ≥3x gate
+    // reads speedupMicro; the bf16 gate reads bf16VsFp32 on the
+    // compute-bound conv shapes (fcBound=false). fc_fwd_b8 converts
+    // the whole 4096x4096 weight matrix for only 8 output rows, so it
+    // is pack-bound and bf16 is recorded but not gated there.
+    struct GemmShapeResult
+    {
+        std::string name;
+        GemmOp opA = GemmOp::NoTrans, opB = GemmOp::NoTrans;
+        int M = 0, N = 0, K = 0;
+        bool fcBound = false;   ///< pack-bound; excluded from bf16 gate
+        double flops = 0.0;
+        double scalarMs = 0.0;
+        double genericMs = 0.0;
+        double avx2Ms = 0.0;    ///< 0 when the CPU lacks AVX2+FMA
+        double microMs = 0.0;   ///< resolved auto kernel
+        double bf16Ms = 0.0;    ///< sgemmBf16 under the auto kernel
+        double relErrMicro = 0.0; ///< auto kernel vs scalar kernel
+        double relErrBf16 = 0.0;  ///< bf16 vs fp32 (auto kernel)
+        std::uint64_t steadyAllocs = 0; ///< scratch growth after warmup
+    };
+    std::vector<GemmShapeResult> gemms;
+    {
+        struct Shape
+        {
+            const char *name;
+            GemmOp opA, opB;
+            int M, N, K;
+            bool fcBound;
+        };
+        const Shape shapes[] = {
+            // conv fwd: [ocg x icg*k*k] * [icg*k*k x outHW]
+            {"gemm_conv_fwd", GemmOp::NoTrans, GemmOp::NoTrans, 256,
+             3136, 2304, false},
+            // conv bwd-data: [icg*k*k x ocg]^T * [ocg x outHW]
+            {"gemm_conv_bwd_data", GemmOp::Trans, GemmOp::NoTrans,
+             2304, 3136, 256, false},
+            // conv wgrad: [ocg x outHW] * [icg*k*k x outHW]^T
+            {"gemm_conv_wgrad", GemmOp::NoTrans, GemmOp::Trans, 256,
+             2304, 3136, false},
+            // batched fc fwd: [batch x n_in] * [n_out x n_in]^T
+            {"gemm_fc_fwd_b8", GemmOp::NoTrans, GemmOp::Trans, 8, 4096,
+             4096, true},
+        };
+        setJobs(1);
+        for (const Shape &s : shapes) {
+            GemmShapeResult g;
+            g.name = s.name;
+            g.opA = s.opA;
+            g.opB = s.opB;
+            g.M = s.M;
+            g.N = s.N;
+            g.K = s.K;
+            g.fcBound = s.fcBound;
+            g.flops = 2.0 * s.M * static_cast<double>(s.N) * s.K;
+            const int lda = s.opA == GemmOp::NoTrans ? s.K : s.M;
+            const int ldb = s.opB == GemmOp::NoTrans ? s.N : s.K;
+            Tensor a = Tensor::uniform(
+                {static_cast<std::size_t>(s.M) * s.K}, rng);
+            Tensor b = Tensor::uniform(
+                {static_cast<std::size_t>(s.K) * s.N}, rng);
+            Tensor c({static_cast<std::size_t>(s.M) * s.N});
+            auto run = [&](GemmKernel kernel, bool bf16) {
+                setGemmKernel(kernel);
+                const auto call = [&] {
+                    (bf16 ? sgemmBf16 : sgemm)(
+                        s.opA, s.opB, s.M, s.N, s.K, 1.0f, a.data(),
+                        lda, b.data(), ldb, 0.0f, c.data(), s.N);
+                };
+                call(); // warm up kernel + packing scratch
+                const std::uint64_t allocs0 = gemmScratchAllocs();
+                const double ms = bestMs(3, call);
+                g.steadyAllocs += gemmScratchAllocs() - allocs0;
+                return ms;
+            };
+            g.scalarMs = run(GemmKernel::Scalar, false);
+            Tensor ref = c;
+            g.genericMs = run(GemmKernel::Generic, false);
+            if (cpuHasAvx2Fma())
+                g.avx2Ms = run(GemmKernel::Avx2, false);
+            g.microMs = run(GemmKernel::Auto, false);
+            g.relErrMicro = maxRelErr(c, ref);
+            Tensor fp32 = c;
+            g.bf16Ms = run(GemmKernel::Auto, true);
+            g.relErrBf16 = maxRelErr(c, fp32);
+            gemms.push_back(std::move(g));
+        }
+        setGemmKernel(GemmKernel::Auto);
+        setJobs(njobs);
+    }
+
+    Table gt({"gemm", "M", "N", "K", "GFLOP", "scalar ms", "generic ms",
+              "avx2 ms", "bf16 ms", "micro GF/s", "speedup",
+              "bf16/fp32", "err micro", "err bf16"});
+    for (const GemmShapeResult &g : gemms) {
+        gt.addRow({g.name, std::to_string(g.M), std::to_string(g.N),
+                   std::to_string(g.K), fmtDouble(g.flops / 1e9, 2),
+                   fmtDouble(g.scalarMs, 1), fmtDouble(g.genericMs, 1),
+                   g.avx2Ms > 0.0 ? fmtDouble(g.avx2Ms, 1) : "-",
+                   fmtDouble(g.bf16Ms, 1),
+                   fmtDouble(g.flops / g.microMs / 1e6, 2),
+                   fmtDouble(g.scalarMs / g.microMs, 2) + "x",
+                   fmtDouble(g.microMs / g.bf16Ms, 2) + "x",
+                   fmtDouble(g.relErrMicro, 6),
+                   fmtDouble(g.relErrBf16, 4)});
+    }
+    bench::show("gemm_kernels", gt);
+
     // --- conv-algorithm shoot-out: Winograd vs im2col, minibatch 8 ---
     // Same VGG-D layer, but the whole minibatch in one call, racing
     // the fast lowering (im2col) against the Winograd kernels. All
@@ -316,10 +434,12 @@ main(int argc, char **argv)
         fatal("micro_parallel: cannot open ", out_path);
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "scaledeep-kernels-2");
+    w.field("schema", "scaledeep-kernels-3");
     w.field("jobs", static_cast<std::int64_t>(njobs));
     w.field("hardwareConcurrency",
             static_cast<std::int64_t>(hardwareJobs()));
+    w.field("effectiveJobs",
+            static_cast<std::int64_t>(std::min(njobs, hardwareJobs())));
     w.key("kernels");
     w.beginArray();
     for (const KernelResult &k : kernels) {
@@ -339,6 +459,34 @@ main(int argc, char **argv)
         w.endObject();
     }
     w.endArray();
+    w.key("gemmKernels");
+    w.beginArray();
+    std::uint64_t steady_allocs = 0;
+    for (const GemmShapeResult &g : gemms) {
+        w.beginObject();
+        w.field("name", g.name);
+        w.field("M", static_cast<std::int64_t>(g.M));
+        w.field("N", static_cast<std::int64_t>(g.N));
+        w.field("K", static_cast<std::int64_t>(g.K));
+        w.field("fcBound", g.fcBound);
+        w.field("flops", g.flops);
+        w.field("scalarMs", g.scalarMs);
+        w.field("genericMs", g.genericMs);
+        w.field("avx2Ms", g.avx2Ms);
+        w.field("microMs", g.microMs);
+        w.field("bf16Ms", g.bf16Ms);
+        w.field("microGflops", g.flops / g.microMs / 1e6);
+        w.field("speedupMicro", g.scalarMs / g.microMs);
+        w.field("speedupGeneric", g.scalarMs / g.genericMs);
+        w.field("bf16VsFp32", g.microMs / g.bf16Ms);
+        w.field("maxRelErrMicro", g.relErrMicro);
+        w.field("maxRelErrBf16", g.relErrBf16);
+        w.endObject();
+        steady_allocs += g.steadyAllocs;
+    }
+    w.endArray();
+    w.field("packAllocsSteadyState",
+            static_cast<std::int64_t>(steady_allocs));
     w.key("convAlgos");
     w.beginArray();
     for (const AlgoResult &a : algos) {

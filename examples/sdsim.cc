@@ -6,7 +6,8 @@
  *   sdsim [--net NAME | --all] [--precision sp|hp] [--minibatch N]
  *         [--csv] [--layers] [--report] [--report-batch N]
  *         [--trace FILE] [--stats-json FILE]
- *         [--jobs N] [--conv-algo NAME] [--quiet]
+ *         [--jobs N] [--conv-algo NAME] [--gemm-kernel NAME]
+ *         [--gemm-precision P] [--quiet]
  *
  *   --net NAME        simulate one benchmark network (default AlexNet)
  *   --all             simulate the whole 11-network suite
@@ -29,6 +30,13 @@
  *                     and the func probe: auto naive im2col winograd2
  *                     winograd4 (default: the SD_CONV_ALGO environment
  *                     variable, or auto)
+ *   --gemm-kernel NAME GEMM dispatch level for the reference kernels:
+ *                     auto avx2 generic scalar (default: the
+ *                     SD_GEMM_KERNEL environment variable, or auto)
+ *   --gemm-precision P GEMM arithmetic preset: sp or hp (default: the
+ *                     SD_GEMM_PRECISION environment variable, or sp);
+ *                     this is the host-kernel analogue of --precision,
+ *                     which picks the modeled node preset
  *   --quiet           suppress inform() status messages
  *
  * When --trace or --stats-json is given, sdsim additionally drives a
@@ -39,6 +47,7 @@
  * the probe exercises identical machinery at toy scale.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -53,6 +62,7 @@
 #include "core/random.hh"
 #include "core/table.hh"
 #include "core/trace.hh"
+#include "dnn/gemm.hh"
 #include "dnn/reference.hh"
 #include "dnn/roofline.hh"
 #include "dnn/zoo.hh"
@@ -71,7 +81,8 @@ usage(const char *argv0)
                  " [--minibatch N] [--csv] [--layers]"
                  " [--report] [--report-batch N]"
                  " [--trace FILE] [--stats-json FILE] [--jobs N]"
-                 " [--conv-algo NAME] [--quiet]\n"
+                 " [--conv-algo NAME] [--gemm-kernel NAME]"
+                 " [--gemm-precision P] [--quiet]\n"
                  "networks:";
     for (const auto &e : dnn::benchmarkSuite())
         std::cerr << " " << e.name;
@@ -89,6 +100,12 @@ runFuncProbe(compiler::PipelinedRunner *&runner_out,
              std::uint64_t &cycles, int &images)
 {
     SD_TRACE_SCOPE(/*name=*/"sdsim.funcProbe", "host");
+    // The probe cross-checks the fp32 functional machine against the
+    // reference engine, so the reference must run at SP regardless of
+    // the session's --gemm-precision (HP's bf16 rounding would read
+    // as a spurious machine divergence).
+    const dnn::GemmPrecision saved_prec = dnn::gemmPrecision();
+    dnn::setGemmPrecision(dnn::GemmPrecision::Sp);
     dnn::Network net = dnn::makeTinyCnn(16, 4);
     dnn::ReferenceEngine engine(net, 3);
     sim::MachineConfig mc;
@@ -115,6 +132,7 @@ runFuncProbe(compiler::PipelinedRunner *&runner_out,
             fatal("sdsim: func probe image ", i,
                   " diverges from the reference engine");
     }
+    dnn::setGemmPrecision(saved_prec);
     runner_out = &runner;
     cycles = runner.lastCycles();
     images = n;
@@ -206,6 +224,21 @@ main(int argc, char **argv)
                       " is not a conv algorithm (valid: auto naive"
                       " im2col winograd2 winograd4)");
             dnn::setConvAlgo(algo);
+        } else if (arg == "--gemm-kernel") {
+            const std::string v = value();
+            dnn::GemmKernel kernel;
+            if (!dnn::parseGemmKernel(v, kernel))
+                fatal("sdsim: --gemm-kernel ", v,
+                      " is not a GEMM kernel (valid: auto avx2"
+                      " generic scalar)");
+            dnn::setGemmKernel(kernel);
+        } else if (arg == "--gemm-precision") {
+            const std::string v = value();
+            dnn::GemmPrecision prec;
+            if (!dnn::parseGemmPrecision(v, prec))
+                fatal("sdsim: --gemm-precision ", v,
+                      " is not a GEMM precision preset (valid: sp hp)");
+            dnn::setGemmPrecision(prec);
         } else if (arg == "--quiet") {
             setVerbose(false);
         } else {
@@ -307,7 +340,16 @@ main(int argc, char **argv)
         JsonWriter w(os);
         w.beginObject();
         // -2: adds the "report" (roofline) and "metrics" sections.
-        w.field("schema", "scaledeep-stats-2");
+        // -3: adds concurrency provenance (jobs/hardwareConcurrency/
+        //     effectiveJobs) so CI speedup gates can skip on
+        //     single-core runners.
+        w.field("schema", "scaledeep-stats-3");
+        w.field("jobs", static_cast<std::int64_t>(jobs()));
+        w.field("hardwareConcurrency",
+                static_cast<std::int64_t>(hardwareJobs()));
+        w.field("effectiveJobs",
+                static_cast<std::int64_t>(
+                    std::min(jobs(), hardwareJobs())));
         w.key("node");
         w.beginObject();
         w.field("precision", precision);

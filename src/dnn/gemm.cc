@@ -1,22 +1,69 @@
 #include "dnn/gemm.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "core/logging.hh"
 #include "core/parallel.hh"
+#include "dnn/gemm_kernel.hh"
 
 namespace sd::dnn {
 
 namespace {
 
-/** Reduction-dimension block: op(A) panel rows stay cache resident. */
+/** Reduction-dimension block: packed panels stay cache resident. The
+ * bf16 panels are half the bytes, so the block doubles at the same
+ * footprint — halving the number of C read-modify-write passes. */
 constexpr int kBlockK = 256;
-/** Column-stripe width when there are plenty of columns. */
+constexpr int kBlockKBf16 = 512;
+/** Column-stripe width when there are plenty of columns. Always a
+ * multiple of the microkernel width kNR. */
 constexpr int kStripeN = 512;
 
-/** y[i] = beta*y[i] + alpha * dot(op(A) row i, x) for a column vector. */
+/** Process-global GemmKernel; -1 = not yet resolved from the env. */
+std::atomic<int> g_gemm_kernel{-1};
+/** Process-global GemmPrecision; -1 = not yet resolved from the env. */
+std::atomic<int> g_gemm_precision{-1};
+
+/** Times any thread-local packing buffer grew (see gemm.hh). */
+std::atomic<std::uint64_t> g_scratch_allocs{0};
+
+/**
+ * Per-thread packing scratch. Buffers only ever grow, so a warmed
+ * thread's steady state performs no allocation; every growth bumps
+ * gemmScratchAllocs() for the bench/test assertion.
+ */
+struct PackScratch
+{
+    std::vector<float> a;
+    std::vector<float> b;
+    std::vector<std::uint16_t> b16;
+
+    template <typename T>
+    static T *
+    ensure(std::vector<T> &v, std::size_t n)
+    {
+        if (v.size() < n) {
+            g_scratch_allocs.fetch_add(1, std::memory_order_relaxed);
+            v.resize(n);
+        }
+        return v.data();
+    }
+};
+
+PackScratch &
+packScratch()
+{
+    thread_local PackScratch s;
+    return s;
+}
+
+/** y[i] = beta*y[i] + alpha * dot(op(A) row i, x) for a column vector.
+ * Shared by every dispatch level (the N == 1 fast path). */
 void
 gemv(GemmOp opA, int M, int K, float alpha, const float *A, int lda,
      const float *x, int incx, float beta, float *y, int incy)
@@ -55,57 +102,51 @@ gemv(GemmOp opA, int M, int K, float alpha, const float *A, int lda,
     });
 }
 
-} // namespace
-
+/** Scale the [M x jn] stripe of C at column j0 by beta, once, before
+ * any k accumulation. */
 void
-sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
-      const float *A, int lda, const float *B, int ldb, float beta,
-      float *C, int ldc)
+applyBeta(int M, int j0, int jn, float beta, float *C, int ldc)
 {
-    if (M <= 0 || N <= 0)
-        return;
-    if (alpha == 0.0f || K <= 0) {
-        // Standard BLAS early-out: the product contributes nothing, so
-        // only the beta scaling of C remains — no packing, no k loop.
-        for (int i = 0; i < M; ++i) {
-            float *crow = C + static_cast<std::size_t>(i) * ldc;
-            if (beta == 0.0f)
-                std::fill(crow, crow + N, 0.0f);
-            else if (beta != 1.0f)
-                for (int j = 0; j < N; ++j)
-                    crow[j] *= beta;
-        }
-        return;
+    for (int i = 0; i < M; ++i) {
+        float *crow = C + static_cast<std::size_t>(i) * ldc + j0;
+        if (beta == 0.0f)
+            std::fill(crow, crow + jn, 0.0f);
+        else if (beta != 1.0f)
+            for (int j = 0; j < jn; ++j)
+                crow[j] *= beta;
     }
-    if (N == 1) {
-        gemv(opA, M, K, alpha, A, lda, B, ldb, beta, C, ldc);
-        return;
-    }
+}
 
-    // Column stripes are the parallel grain: every stripe owns its C
-    // columns outright and accumulates k in ascending order, so the
-    // result is independent of both the stripe width and the worker
-    // count. Narrow the stripes when N alone must feed all workers.
+/** Stripe width for this problem: narrow when N alone must feed all
+ * workers. Depends only on (N, jobs) — never on scheduling. */
+int
+stripeWidth(int N)
+{
     int stripe = kStripeN;
     const int njobs = jobs();
     while (stripe > 64 && (N + stripe - 1) / stripe < 2 * njobs)
         stripe /= 2;
+    return stripe;
+}
+
+/**
+ * The pre-microkernel cache-blocked scalar kernel, retained verbatim
+ * as GemmKernel::Scalar: the measured baseline for the microkernel
+ * speedup gate in BENCH_kernels.json and a second oracle in tests.
+ */
+void
+sgemmScalar(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+            const float *A, int lda, const float *B, int ldb,
+            float beta, float *C, int ldc)
+{
+    const int stripe = stripeWidth(N);
     const int num_stripes = (N + stripe - 1) / stripe;
 
     parallelFor(static_cast<std::size_t>(num_stripes),
                 [&](std::size_t s) {
         const int j0 = static_cast<int>(s) * stripe;
         const int jn = std::min(stripe, N - j0);
-
-        // Apply beta once, before any k accumulation.
-        for (int i = 0; i < M; ++i) {
-            float *crow = C + static_cast<std::size_t>(i) * ldc + j0;
-            if (beta == 0.0f)
-                std::fill(crow, crow + jn, 0.0f);
-            else if (beta != 1.0f)
-                for (int j = 0; j < jn; ++j)
-                    crow[j] *= beta;
-        }
+        applyBeta(M, j0, jn, beta, C, ldc);
 
         std::vector<float> apack, bpack;
         if (opA == GemmOp::Trans)
@@ -162,6 +203,394 @@ sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
             }
         }
     });
+}
+
+/** op(A)(i, k) over the stored matrix. */
+inline float
+loadOpA(GemmOp opA, const float *A, int lda, int i, int k)
+{
+    return opA == GemmOp::NoTrans
+               ? A[static_cast<std::size_t>(i) * lda + k]
+               : A[static_cast<std::size_t>(k) * lda + i];
+}
+
+/** op(B)(k, j) over the stored matrix. */
+inline float
+loadOpB(GemmOp opB, const float *B, int ldb, int k, int j)
+{
+    return opB == GemmOp::NoTrans
+               ? B[static_cast<std::size_t>(k) * ldb + j]
+               : B[static_cast<std::size_t>(j) * ldb + k];
+}
+
+/**
+ * Pack op(A)[0..M) x [kc, kc+kl) into kMR-high micro-panels
+ * (tile-major; within a tile k-major, zero-padded to kMR rows). The
+ * bf16 variant rounds the packed panel in place afterwards
+ * (MicroKernel::roundPanel) — a contiguous, vectorizable pass.
+ */
+void
+packA(GemmOp opA, const float *A, int lda, int M, int kc, int kl,
+      float *dst)
+{
+    using detail::kMR;
+    const int mtiles = (M + kMR - 1) / kMR;
+    for (int t = 0; t < mtiles; ++t) {
+        float *tp = dst + static_cast<std::size_t>(t) * kMR * kl;
+        for (int k = 0; k < kl; ++k) {
+            for (int r = 0; r < kMR; ++r) {
+                const int i = t * kMR + r;
+                tp[static_cast<std::size_t>(k) * kMR + r] =
+                    i < M ? loadOpA(opA, A, lda, i, kc + k) : 0.0f;
+            }
+        }
+    }
+}
+
+/** Pack op(B)[kc, kc+kl) x [j0, j0+jn) into kNR-wide fp32
+ * micro-panels (panel-major; within a panel k-major, zero-padded). */
+void
+packB(GemmOp opB, const float *B, int ldb, int kc, int kl, int j0,
+      int jn, float *dst)
+{
+    using detail::kNR;
+    const int npanels = (jn + kNR - 1) / kNR;
+    for (int p = 0; p < npanels; ++p) {
+        float *pp = dst + static_cast<std::size_t>(p) * kNR * kl;
+        for (int k = 0; k < kl; ++k) {
+            float *row = pp + static_cast<std::size_t>(k) * kNR;
+            for (int c = 0; c < kNR; ++c) {
+                const int j = p * kNR + c;
+                row[c] = j < jn ? loadOpB(opB, B, ldb, kc + k, j0 + j)
+                                : 0.0f;
+            }
+        }
+    }
+}
+
+/**
+ * The packed register-blocked driver. Column stripes of C are the
+ * parallel grain exactly as in the scalar kernel; within a stripe the
+ * kc blocks advance in ascending order and every microkernel tile
+ * accumulates ascending k in registers, so results are bit-identical
+ * for every jobs value. @p bf16 selects the bf16-storage variant.
+ */
+void
+sgemmPacked(const detail::MicroKernel &mk, bool bf16, GemmOp opA,
+            GemmOp opB, int M, int N, int K, float alpha,
+            const float *A, int lda, const float *B, int ldb,
+            float beta, float *C, int ldc)
+{
+    using detail::kMR;
+    using detail::kNR;
+    const int block_k = bf16 ? kBlockKBf16 : kBlockK;
+    const int stripe = stripeWidth(N);
+    const int num_stripes = (N + stripe - 1) / stripe;
+    const int mtiles = (M + kMR - 1) / kMR;
+
+    parallelFor(static_cast<std::size_t>(num_stripes),
+                [&](std::size_t s) {
+        const int j0 = static_cast<int>(s) * stripe;
+        const int jn = std::min(stripe, N - j0);
+        const int npanels = (jn + kNR - 1) / kNR;
+        applyBeta(M, j0, jn, beta, C, ldc);
+
+        PackScratch &scratch = packScratch();
+        const std::size_t a_elems =
+            static_cast<std::size_t>(mtiles) * kMR * block_k;
+        const std::size_t b_elems =
+            static_cast<std::size_t>(npanels) * kNR * block_k;
+        float *ap = PackScratch::ensure(scratch.a, a_elems);
+        float *bp = nullptr;
+        std::uint16_t *bp16 = nullptr;
+        if (bf16)
+            bp16 = PackScratch::ensure(scratch.b16, b_elems);
+        else
+            bp = PackScratch::ensure(scratch.b, b_elems);
+
+        for (int kc = 0; kc < K; kc += block_k) {
+            const int kl = std::min(block_k, K - kc);
+            packA(opA, A, lda, M, kc, kl, ap);
+            if (bf16) {
+                mk.roundPanel(ap, static_cast<std::size_t>(mtiles) *
+                                      kMR * kl);
+                mk.packBBf16(opB == GemmOp::Trans, B, ldb, kc, kl, j0,
+                             jn, bp16);
+            } else
+                packB(opB, B, ldb, kc, kl, j0, jn, bp);
+
+            for (int t = 0; t < mtiles; ++t) {
+                const int i0 = t * kMR;
+                const int mr = std::min(kMR, M - i0);
+                const float *at =
+                    ap + static_cast<std::size_t>(t) * kMR * kl;
+                for (int p = 0; p < npanels; ++p) {
+                    const int jp = p * kNR;
+                    const int nr = std::min(kNR, jn - jp);
+                    float *ct = C + static_cast<std::size_t>(i0) * ldc +
+                                j0 + jp;
+                    if (bf16)
+                        mk.tileBf16(
+                            kl, at,
+                            bp16 + static_cast<std::size_t>(p) * kNR *
+                                       kl,
+                            alpha, ct, ldc, mr, nr);
+                    else
+                        mk.tile(kl, at,
+                                bp + static_cast<std::size_t>(p) * kNR *
+                                         kl,
+                                alpha, ct, ldc, mr, nr);
+                }
+            }
+        }
+    });
+}
+
+/** Shared degenerate-shape handling; true when fully handled. */
+bool
+gemmEarlyOut(int M, int N, int K, float alpha, float beta, float *C,
+             int ldc)
+{
+    if (M <= 0 || N <= 0)
+        return true;
+    if (alpha == 0.0f || K <= 0) {
+        // Standard BLAS early-out: the product contributes nothing, so
+        // only the beta scaling of C remains — no packing, no k loop.
+        applyBeta(M, 0, N, beta, C, ldc);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+// --- kernel selection ---
+
+const char *
+gemmKernelName(GemmKernel kernel)
+{
+    switch (kernel) {
+      case GemmKernel::Auto:
+        return "auto";
+      case GemmKernel::Avx2:
+        return "avx2";
+      case GemmKernel::Generic:
+        return "generic";
+      case GemmKernel::Scalar:
+        return "scalar";
+    }
+    return "?";
+}
+
+bool
+parseGemmKernel(std::string_view text, GemmKernel &out)
+{
+    // Mirrors the SD_CONV_ALGO hardening: the whole string must be
+    // exactly one canonical name — "AVX2", " avx2" and "avx" are
+    // rejected, not coerced.
+    for (GemmKernel k : {GemmKernel::Auto, GemmKernel::Avx2,
+                         GemmKernel::Generic, GemmKernel::Scalar}) {
+        if (text == gemmKernelName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+GemmKernel
+defaultGemmKernel()
+{
+    if (const char *env = std::getenv("SD_GEMM_KERNEL")) {
+        GemmKernel k;
+        if (!parseGemmKernel(env, k))
+            fatal("SD_GEMM_KERNEL=", env, " is not a GEMM kernel "
+                  "(valid: auto avx2 generic scalar)");
+        return k;
+    }
+    return GemmKernel::Auto;
+}
+
+void
+setGemmKernel(GemmKernel kernel)
+{
+    g_gemm_kernel.store(static_cast<int>(kernel),
+                        std::memory_order_relaxed);
+}
+
+GemmKernel
+gemmKernel()
+{
+    const int v = g_gemm_kernel.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return static_cast<GemmKernel>(v);
+    // First use: resolve from the environment. A concurrent first use
+    // races benignly — defaultGemmKernel() is deterministic.
+    const GemmKernel d = defaultGemmKernel();
+    g_gemm_kernel.store(static_cast<int>(d),
+                        std::memory_order_relaxed);
+    return d;
+}
+
+GemmKernel
+resolveGemmKernel(GemmKernel requested)
+{
+    switch (requested) {
+      case GemmKernel::Generic:
+      case GemmKernel::Scalar:
+        return requested;
+      case GemmKernel::Avx2:
+        if (!cpuHasAvx2Fma())
+            fatal("SD_GEMM_KERNEL=avx2 forced but this CPU has no "
+                  "AVX2+FMA (use auto or generic)");
+        return requested;
+      case GemmKernel::Auto:
+        break;
+    }
+    return cpuHasAvx2Fma() ? GemmKernel::Avx2 : GemmKernel::Generic;
+}
+
+std::uint64_t
+gemmScratchAllocs()
+{
+    return g_scratch_allocs.load(std::memory_order_relaxed);
+}
+
+GemmKernelModel
+gemmKernelModel(GemmKernel kernel)
+{
+    switch (resolveGemmKernel(kernel)) {
+      case GemmKernel::Avx2:
+        // 8-lane FMA, two issues per cycle (Haswell onward).
+        return {"avx2", 8, 2};
+      case GemmKernel::Scalar:
+        // One scalar multiply + add per cycle.
+        return {"scalar", 1, 1};
+      case GemmKernel::Generic:
+      case GemmKernel::Auto:
+        break;
+    }
+    // Baseline-ISA auto-vectorization: 4 lanes, one multiply + one
+    // add per cycle (no FMA contraction at default flags).
+    return {"generic", 4, 1};
+}
+
+// --- precision preset ---
+
+const char *
+gemmPrecisionName(GemmPrecision p)
+{
+    switch (p) {
+      case GemmPrecision::Sp:
+        return "sp";
+      case GemmPrecision::Hp:
+        return "hp";
+    }
+    return "?";
+}
+
+bool
+parseGemmPrecision(std::string_view text, GemmPrecision &out)
+{
+    for (GemmPrecision p : {GemmPrecision::Sp, GemmPrecision::Hp}) {
+        if (text == gemmPrecisionName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+GemmPrecision
+defaultGemmPrecision()
+{
+    if (const char *env = std::getenv("SD_GEMM_PRECISION")) {
+        GemmPrecision p;
+        if (!parseGemmPrecision(env, p))
+            fatal("SD_GEMM_PRECISION=", env, " is not a GEMM "
+                  "precision preset (valid: sp hp)");
+        return p;
+    }
+    return GemmPrecision::Sp;
+}
+
+void
+setGemmPrecision(GemmPrecision p)
+{
+    g_gemm_precision.store(static_cast<int>(p),
+                           std::memory_order_relaxed);
+}
+
+GemmPrecision
+gemmPrecision()
+{
+    const int v = g_gemm_precision.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return static_cast<GemmPrecision>(v);
+    const GemmPrecision d = defaultGemmPrecision();
+    g_gemm_precision.store(static_cast<int>(d),
+                           std::memory_order_relaxed);
+    return d;
+}
+
+// --- the GEMMs ---
+
+void
+sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+      const float *A, int lda, const float *B, int ldb, float beta,
+      float *C, int ldc)
+{
+    if (gemmEarlyOut(M, N, K, alpha, beta, C, ldc))
+        return;
+    if (N == 1) {
+        gemv(opA, M, K, alpha, A, lda, B, ldb, beta, C, ldc);
+        return;
+    }
+    switch (resolveGemmKernel(gemmKernel())) {
+      case GemmKernel::Scalar:
+        sgemmScalar(opA, opB, M, N, K, alpha, A, lda, B, ldb, beta, C,
+                    ldc);
+        return;
+      case GemmKernel::Avx2:
+        sgemmPacked(detail::avx2MicroKernel(), false, opA, opB, M, N,
+                    K, alpha, A, lda, B, ldb, beta, C, ldc);
+        return;
+      case GemmKernel::Generic:
+      case GemmKernel::Auto:
+        break;
+    }
+    sgemmPacked(detail::genericMicroKernel(), false, opA, opB, M, N, K,
+                alpha, A, lda, B, ldb, beta, C, ldc);
+}
+
+void
+sgemmBf16(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+          const float *A, int lda, const float *B, int ldb, float beta,
+          float *C, int ldc)
+{
+    if (gemmEarlyOut(M, N, K, alpha, beta, C, ldc))
+        return;
+    // Every shape goes through the packed path — bf16 has no gemv
+    // special case, and a resolved Scalar level runs the generic
+    // microkernel (the scalar loop has no bf16 form).
+    const GemmKernel k = resolveGemmKernel(gemmKernel());
+    const detail::MicroKernel &mk = k == GemmKernel::Avx2
+                                        ? detail::avx2MicroKernel()
+                                        : detail::genericMicroKernel();
+    sgemmPacked(mk, true, opA, opB, M, N, K, alpha, A, lda, B, ldb,
+                beta, C, ldc);
+}
+
+void
+engineGemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+           const float *A, int lda, const float *B, int ldb, float beta,
+           float *C, int ldc)
+{
+    if (gemmPrecision() == GemmPrecision::Hp)
+        sgemmBf16(opA, opB, M, N, K, alpha, A, lda, B, ldb, beta, C,
+                  ldc);
+    else
+        sgemm(opA, opB, M, N, K, alpha, A, lda, B, ldb, beta, C, ldc);
 }
 
 void

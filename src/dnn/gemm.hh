@@ -1,18 +1,57 @@
 /**
  * @file
- * Cache-blocked single-precision matrix multiply plus the im2col /
- * col2im lowering used to express the convolution kernels as GEMM —
- * the same decomposition the paper's cuDNN/Neon baselines use
- * (Section 8) and the standard recipe for CPU reference kernels.
+ * Single-precision matrix multiply — a register-blocked packed
+ * microkernel with CPUID-based runtime dispatch — plus the bf16
+ * (HP-preset) storage variant and the im2col / col2im lowering used to
+ * express the convolution kernels as GEMM, the same decomposition the
+ * paper's cuDNN/Neon baselines use (Section 8).
  *
- * sgemm() parallelizes over disjoint column stripes of C through the
- * core parallel runtime; every C element is accumulated in ascending
- * k order regardless of the jobs value or stripe boundaries, so
- * results are bit-identical for any worker count.
+ * Kernel dispatch
+ * ---------------
+ * sgemm() selects one of three implementations, resolved once per
+ * process from the SD_GEMM_KERNEL environment variable (strict parse,
+ * fatal on an unknown name, mirroring SD_CONV_ALGO) or set by
+ * front-ends via --gemm-kernel:
+ *
+ *  - avx2:    the 6x16 packed microkernel with explicit AVX2/FMA
+ *             intrinsics (x86 with AVX2+FMA only; forcing it on other
+ *             hosts is fatal).
+ *  - generic: the same 6x16 packed microkernel written as portable
+ *             scalar C (auto-vectorizes to the baseline ISA).
+ *  - scalar:  the pre-microkernel cache-blocked loop, retained as the
+ *             measured baseline and a second oracle.
+ *  - auto:    avx2 when the CPU supports it, else generic.
+ *
+ * Determinism: every kernel accumulates each C element in ascending k
+ * order over fixed kc blocks, and the parallel grain (disjoint column
+ * stripes of C) depends only on the problem shape — results are
+ * bit-identical for every jobs value *within* a kernel. Different
+ * kernels round differently (FMA vs separate multiply+add) and agree
+ * to a K-scaled ulp tolerance, verified in tests/test_gemm.cc.
+ *
+ * Packing scratch is thread-local and grows monotonically, so the
+ * steady state performs no allocation (gemmScratchAllocs() exposes the
+ * grow count; bench/micro_parallel asserts it stays flat).
+ *
+ * bf16 storage (the paper's HP arithmetic preset)
+ * -----------------------------------------------
+ * sgemmBf16() packs both operands with round-to-nearest-even bf16
+ * rounding on the fly and accumulates in fp32 — the low-precision
+ * training recipe of Das et al. (PAPERS.md). B micro-panels are stored
+ * as 16-bit words (half the panel traffic, double the kc block at the
+ * same cache footprint); A micro-panels are rounded to bf16 values but
+ * stored pre-widened so the broadcast stays one load. engineGemm()
+ * routes on the process-global GemmPrecision (SD_GEMM_PRECISION) so
+ * the reference engine's conv/fc/Winograd lowerings flip between SP
+ * and HP wholesale.
  */
 
 #ifndef SCALEDEEP_DNN_GEMM_HH
 #define SCALEDEEP_DNN_GEMM_HH
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
 
 #include "dnn/layer.hh"
 
@@ -21,6 +60,130 @@ namespace sd::dnn {
 /** Whether an sgemm operand is used as stored or transposed. */
 enum class GemmOp { NoTrans, Trans };
 
+// --- kernel selection ---
+
+/** Which sgemm implementation runs (see the file comment). */
+enum class GemmKernel { Auto, Avx2, Generic, Scalar };
+
+/** Lower-case canonical name ("auto", "avx2", "generic", "scalar"). */
+const char *gemmKernelName(GemmKernel kernel);
+
+/**
+ * Strict parse of a GemmKernel name, std::from_chars style: the whole
+ * string must be exactly one canonical lower-case name. Returns false
+ * (leaving @p out untouched) on anything else.
+ */
+bool parseGemmKernel(std::string_view text, GemmKernel &out);
+
+/**
+ * The kernel front-ends should adopt: SD_GEMM_KERNEL when set — fatal
+ * with the valid set listed if it does not parse — else Auto.
+ */
+GemmKernel defaultGemmKernel();
+
+/** Set the process-global GEMM kernel. */
+void setGemmKernel(GemmKernel kernel);
+
+/**
+ * Current process-global GEMM kernel. Initialized from
+ * defaultGemmKernel() on first use, so SD_GEMM_KERNEL reaches every
+ * GEMM call site (tests included) without per-driver plumbing.
+ */
+GemmKernel gemmKernel();
+
+/**
+ * The concrete kernel @p requested resolves to: Auto picks Avx2 when
+ * the CPU supports AVX2+FMA and Generic otherwise; a forced Avx2 on a
+ * host without AVX2+FMA is fatal (never a silent fallback). Never
+ * returns Auto.
+ */
+GemmKernel resolveGemmKernel(GemmKernel requested);
+
+/** True when this CPU executes the AVX2/FMA microkernel. */
+bool cpuHasAvx2Fma();
+
+/**
+ * Times a thread-local packing buffer grew (process-wide, monotonic).
+ * Steady-state GEMM calls on warmed threads must not move this —
+ * asserted by bench/micro_parallel and tests/test_gemm.cc.
+ */
+std::uint64_t gemmScratchAllocs();
+
+/**
+ * Peak-FLOPs model of one *resolved* dispatch level, used by the
+ * roofline report (dnn/roofline.hh): fp32 lanes per issue and FMA-class
+ * issues per cycle, so peak = lanes * 2 * issues * clock * cores.
+ * Generic models the baseline-ISA auto-vectorization (4 lanes, one
+ * multiply + one add per cycle); Scalar models one multiply + add.
+ */
+struct GemmKernelModel
+{
+    const char *name;       ///< gemmKernelName of the level
+    int simdLanes;          ///< fp32 elements per vector issue
+    int issuesPerCycle;     ///< FMA-class issues per cycle
+    /** Peak fp32 FLOPs per cycle per core under this model. */
+    double flopsPerCycle() const { return 2.0 * simdLanes * issuesPerCycle; }
+};
+
+/** Model for @p kernel (Auto resolves first). */
+GemmKernelModel gemmKernelModel(GemmKernel kernel);
+
+// --- precision preset (paper Section 5 / Figure 14) ---
+
+/**
+ * Arithmetic preset of the reference-engine GEMM lowerings: Sp runs
+ * fp32 end to end, Hp stores GEMM operands as bf16 (fp32 accumulate)
+ * via sgemmBf16 — the reference-engine analogue of the paper's HP
+ * node preset. Resolved from SD_GEMM_PRECISION ("sp"/"hp", strict
+ * parse, fatal on unknown) and exposed as --gemm-precision.
+ */
+enum class GemmPrecision { Sp, Hp };
+
+/** Lower-case canonical name ("sp", "hp"). */
+const char *gemmPrecisionName(GemmPrecision p);
+
+/** Strict parse, mirroring parseGemmKernel(). */
+bool parseGemmPrecision(std::string_view text, GemmPrecision &out);
+
+/** SD_GEMM_PRECISION when set (fatal if unparsable), else Sp. */
+GemmPrecision defaultGemmPrecision();
+
+/** Set the process-global GEMM precision preset. */
+void setGemmPrecision(GemmPrecision p);
+
+/** Current process-global preset (lazily resolved from the env). */
+GemmPrecision gemmPrecision();
+
+// --- bf16 scalar conversions ---
+
+/** bf16 storage word: the top 16 bits of an IEEE-754 binary32. */
+using Bf16 = std::uint16_t;
+
+/** Round @p v to bf16 with round-to-nearest-even (NaN stays NaN).
+ * Inline and branch-free so packing loops vectorize. */
+inline Bf16
+floatToBf16(float v)
+{
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+    // Round to nearest, ties to even; overflow correctly carries into
+    // the exponent (rounding up to infinity at the top of the range).
+    const std::uint32_t rounded =
+        (bits + 0x7fffu + ((bits >> 16) & 1u)) >> 16;
+    // NaN: truncate but force a mantissa bit so it stays a NaN.
+    const std::uint32_t quiet = (bits >> 16) | 0x0040u;
+    return static_cast<Bf16>(
+        (bits & 0x7fffffffu) > 0x7f800000u ? quiet : rounded);
+}
+
+/** Exact widening of a bf16 word back to fp32. */
+inline float
+bf16ToFloat(Bf16 v)
+{
+    return std::bit_cast<float>(static_cast<std::uint32_t>(v) << 16);
+}
+
+// --- the GEMMs ---
+
 /**
  * C = alpha * op(A) * op(B) + beta * C over row-major matrices.
  *
@@ -28,11 +191,34 @@ enum class GemmOp { NoTrans, Trans };
  * leading (row) strides of the matrices as stored. beta == 0 assigns
  * (C need not be initialized), beta == 1 accumulates. alpha == 0 (or
  * K <= 0) takes the standard BLAS early-out: C is only scaled by
- * beta, A and B are never read and no panel packing happens.
+ * beta, A and B are never read and no panel packing happens. N == 1
+ * takes a gemv fast path shared by every dispatch level.
  */
 void sgemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
            const float *A, int lda, const float *B, int ldb, float beta,
            float *C, int ldc);
+
+/**
+ * sgemm with bf16 operand storage: A and B are fp32 in memory but are
+ * rounded to bf16 (round-to-nearest-even) as they are packed, and the
+ * products accumulate in fp32 — C, alpha and beta stay fp32. Same
+ * shape/stride contract and the same per-kernel jobs determinism as
+ * sgemm(). Dispatches Avx2/Generic; a resolved Scalar level runs the
+ * generic microkernel (the scalar loop has no bf16 form). All N go
+ * through the packed path (no gemv special case).
+ */
+void sgemmBf16(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+               const float *A, int lda, const float *B, int ldb,
+               float beta, float *C, int ldc);
+
+/**
+ * The reference-engine entry point: sgemm() under GemmPrecision::Sp,
+ * sgemmBf16() under GemmPrecision::Hp. Every conv/fc/Winograd GEMM
+ * lowering calls this, so the HP preset flips the whole engine.
+ */
+void engineGemm(GemmOp opA, GemmOp opB, int M, int N, int K, float alpha,
+                const float *A, int lda, const float *B, int ldb,
+                float beta, float *C, int ldc);
 
 /**
  * Expand channels [c0, c0 + channels) of the CHW input @p in of layer

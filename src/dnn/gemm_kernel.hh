@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Internal contract between the packed-GEMM driver (dnn/gemm.cc) and
+ * the microkernel translation unit (dnn/gemm_microkernel.cc). Not
+ * installed API — include only from src/dnn.
+ *
+ * The driver packs op(A) into kMR-high and op(B) into kNR-wide
+ * zero-padded micro-panels; a microkernel computes one full
+ * kMR x kNR C tile in registers over a whole kc block (ascending k)
+ * and then adds alpha * tile into the valid [mr x nr] corner of C.
+ * Zero padding means the full-tile arithmetic is always safe; only the
+ * write-out is masked.
+ *
+ * Panel layouts (kl = rows of the current kc block):
+ *   A panel : kl x kMR, a[k * kMR + r]    — fp32; under bf16 the
+ *             values are bf16-rounded but stored pre-widened so the
+ *             row broadcast stays a single load.
+ *   B panel : kl x kNR, b[k * kNR + c]    — fp32, natural column
+ *             order.
+ *   B panel (bf16): kl x kNR 16-bit words in a kernel-private slot
+ *             permutation written by the kernel's own packBBf16 —
+ *             chosen so the AVX2 zero-unpack widening lands columns
+ *             0..7 / 8..15 in the two accumulator registers without a
+ *             shuffle (the generic kernel uses identity order).
+ */
+
+#ifndef SCALEDEEP_DNN_GEMM_KERNEL_HH
+#define SCALEDEEP_DNN_GEMM_KERNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sd::dnn::detail {
+
+/** Microkernel tile height (rows of C). */
+inline constexpr int kMR = 6;
+/** Microkernel tile width (columns of C). */
+inline constexpr int kNR = 16;
+
+/**
+ * C[0..mr)[0..nr) += alpha * sum_k ap[k][*] * bp[k][*] with the full
+ * kMR x kNR tile accumulated in registers in ascending k order.
+ */
+using TileFn = void (*)(int kl, const float *ap, const float *bp,
+                        float alpha, float *c, std::ptrdiff_t ldc,
+                        int mr, int nr);
+
+/** TileFn over a 16-bit (bf16) B panel in the kernel's private slot
+ * order (written by the kernel's own packBBf16). */
+using TileBf16Fn = void (*)(int kl, const float *ap,
+                            const std::uint16_t *bp, float alpha,
+                            float *c, std::ptrdiff_t ldc, int mr,
+                            int nr);
+
+/**
+ * Pack op(B)[kc, kc+kl) x [j0, j0+jn) with round-to-nearest-even bf16
+ * rounding into kNR-wide zero-padded panels at @p dst, in whatever
+ * slot order the kernel's tileBf16 expects. Per-kernel because the
+ * AVX2 version vector-rounds 16 columns at a time and gets its slot
+ * permutation for free from the per-lane pack instruction.
+ */
+using PackBBf16Fn = void (*)(bool trans, const float *B, int ldb,
+                             int kc, int kl, int j0, int jn,
+                             std::uint16_t *dst);
+
+/** In-place bf16 round-trip (round-to-nearest-even, widen back) over
+ * a contiguous fp32 panel — how a packed A panel gets its bf16 values
+ * while staying pre-widened for the broadcast. */
+using RoundPanelFn = void (*)(float *p, std::size_t n);
+
+struct MicroKernel
+{
+    const char *name;            ///< dispatch-level name
+    TileFn tile;
+    TileBf16Fn tileBf16;
+    PackBBf16Fn packBBf16;
+    RoundPanelFn roundPanel;
+};
+
+/** Portable microkernel (baseline ISA; compiler-vectorized). */
+const MicroKernel &genericMicroKernel();
+
+/** AVX2/FMA microkernel — call only when cpuHasAvx2Fma(). */
+const MicroKernel &avx2MicroKernel();
+
+} // namespace sd::dnn::detail
+
+#endif // SCALEDEEP_DNN_GEMM_KERNEL_HH

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * The 6x16 register-blocked GEMM microkernels behind dnn/gemm.cc's
+ * packed driver: an explicit AVX2/FMA version (compiled via function
+ * target attributes, executed only when cpuHasAvx2Fma()) and a
+ * portable generic version the compiler vectorizes for the baseline
+ * ISA. Both accumulate the full tile in ascending k order, so each
+ * dispatch level is bit-identical for every jobs value; the two levels
+ * differ only by FMA-vs-separate rounding (tests bound the gap).
+ *
+ * The AVX2 fp32 tile holds 12 accumulator registers (6 rows x 2 ymm)
+ * plus two B vectors and one broadcast — 15 of 16 ymm, the classic
+ * occupancy for this shape. The bf16 tile loads one 256-bit B row
+ * (16 bf16 words), widening with zero-unpacks; the B panel is packed
+ * in bColOrder so the unpack lands columns 0..7 / 8..15 directly in
+ * the two accumulators (see gemm_kernel.hh).
+ */
+
+#include "dnn/gemm_kernel.hh"
+
+#include "dnn/gemm.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SD_GEMM_X86 1
+#else
+#define SD_GEMM_X86 0
+#endif
+
+namespace sd::dnn {
+
+bool
+cpuHasAvx2Fma()
+{
+#if SD_GEMM_X86 && (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+namespace detail {
+
+namespace {
+
+/** op(B)(k, j) over the stored matrix. */
+inline float
+loadOpB(bool trans, const float *B, int ldb, int k, int j)
+{
+    return trans ? B[static_cast<std::size_t>(j) * ldb + k]
+                 : B[static_cast<std::size_t>(k) * ldb + j];
+}
+
+/** Scalar bf16 B packing in an arbitrary slot order — the generic
+ * kernel's packer (identity order) and the AVX2 packer's edge /
+ * transposed fallback. */
+void
+packBBf16Order(const std::uint8_t *order, bool trans, const float *B,
+               int ldb, int kc, int kl, int j0, int jn,
+               std::uint16_t *dst)
+{
+    const int npanels = (jn + kNR - 1) / kNR;
+    for (int p = 0; p < npanels; ++p) {
+        std::uint16_t *pp =
+            dst + static_cast<std::size_t>(p) * kNR * kl;
+        for (int k = 0; k < kl; ++k) {
+            std::uint16_t *row =
+                pp + static_cast<std::size_t>(k) * kNR;
+            for (int c = 0; c < kNR; ++c) {
+                const int j = p * kNR + order[c];
+                row[c] = j < jn
+                             ? floatToBf16(loadOpB(trans, B, ldb,
+                                                   kc + k, j0 + j))
+                             : floatToBf16(0.0f);
+            }
+        }
+    }
+}
+
+constexpr std::uint8_t kIdentityOrder[kNR] = {
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+
+void
+packBBf16Generic(bool trans, const float *B, int ldb, int kc, int kl,
+                 int j0, int jn, std::uint16_t *dst)
+{
+    packBBf16Order(kIdentityOrder, trans, B, ldb, kc, kl, j0, jn, dst);
+}
+
+void
+roundPanelGeneric(float *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        p[i] = bf16ToFloat(floatToBf16(p[i]));
+}
+
+/** Scalar write-out of a staged tile into the valid C corner. */
+inline void
+writeTileEdge(const float *tmp, float alpha, float *c,
+              std::ptrdiff_t ldc, int mr, int nr)
+{
+    for (int r = 0; r < mr; ++r) {
+        float *crow = c + r * ldc;
+        const float *trow = tmp + r * kNR;
+        for (int j = 0; j < nr; ++j)
+            crow[j] += alpha * trow[j];
+    }
+}
+
+// --- generic (portable) microkernels ---
+//
+// A full 6x16 fp32 tile is 96 floats — four times the baseline 128-bit
+// register file — so a naive acc[kMR][kNR] spills every FMA to the
+// stack. Instead the tile is computed as two independent 6x8 halves,
+// each holding 12 four-lane accumulators (GCC/Clang vector extensions,
+// ISA-agnostic) that fit the 16-register budget. Each C element is
+// still accumulated by exactly one half in ascending k order, so the
+// determinism contract is unchanged.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SD_GEMM_VEC_EXT 1
+using v4f = float __attribute__((vector_size(16)));
+
+inline v4f
+loadV4(const float *p)
+{
+    v4f v;
+    __builtin_memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline void
+storeV4(float *p, v4f v)
+{
+    __builtin_memcpy(p, &v, sizeof v);
+}
+
+/** One 6x8 half-tile: tmp[r * kNR + 0..7] = sum over the panel block,
+ * reading B columns [col0, col0 + 8) of each packed row. */
+inline void
+halfTileGeneric(int kl, const float *ap, const float *bp, int col0,
+                float *tmp)
+{
+    v4f a0l{}, a0h{}, a1l{}, a1h{}, a2l{}, a2h{};
+    v4f a3l{}, a3h{}, a4l{}, a4h{}, a5l{}, a5h{};
+    for (int k = 0; k < kl; ++k) {
+        const float *ak = ap + static_cast<std::size_t>(k) * kMR;
+        const float *bk =
+            bp + static_cast<std::size_t>(k) * kNR + col0;
+        const v4f bl = loadV4(bk);
+        const v4f bh = loadV4(bk + 4);
+        v4f a;
+        a = v4f{} + ak[0];
+        a0l += a * bl;
+        a0h += a * bh;
+        a = v4f{} + ak[1];
+        a1l += a * bl;
+        a1h += a * bh;
+        a = v4f{} + ak[2];
+        a2l += a * bl;
+        a2h += a * bh;
+        a = v4f{} + ak[3];
+        a3l += a * bl;
+        a3h += a * bh;
+        a = v4f{} + ak[4];
+        a4l += a * bl;
+        a4h += a * bh;
+        a = v4f{} + ak[5];
+        a5l += a * bl;
+        a5h += a * bh;
+    }
+    const v4f acc[kMR][2] = {{a0l, a0h}, {a1l, a1h}, {a2l, a2h},
+                             {a3l, a3h}, {a4l, a4h}, {a5l, a5h}};
+    for (int r = 0; r < kMR; ++r) {
+        storeV4(tmp + r * kNR + col0, acc[r][0]);
+        storeV4(tmp + r * kNR + col0 + 4, acc[r][1]);
+    }
+}
+#else
+#define SD_GEMM_VEC_EXT 0
+#endif
+
+void
+tileGeneric(int kl, const float *ap, const float *bp, float alpha,
+            float *c, std::ptrdiff_t ldc, int mr, int nr)
+{
+    float acc[kMR * kNR];
+#if SD_GEMM_VEC_EXT
+    halfTileGeneric(kl, ap, bp, 0, acc);
+    halfTileGeneric(kl, ap, bp, 8, acc);
+#else
+    for (int i = 0; i < kMR * kNR; ++i)
+        acc[i] = 0.0f;
+    for (int k = 0; k < kl; ++k) {
+        const float *ak = ap + static_cast<std::size_t>(k) * kMR;
+        const float *bk = bp + static_cast<std::size_t>(k) * kNR;
+        for (int r = 0; r < kMR; ++r) {
+            const float a = ak[r];
+            for (int j = 0; j < kNR; ++j)
+                acc[r * kNR + j] += a * bk[j];
+        }
+    }
+#endif
+    writeTileEdge(acc, alpha, c, ldc, mr, nr);
+}
+
+void
+tileGenericBf16(int kl, const float *ap, const std::uint16_t *bp,
+                float alpha, float *c, std::ptrdiff_t ldc, int mr,
+                int nr)
+{
+#if SD_GEMM_VEC_EXT
+    // Widen each packed bf16 row once into an fp32 staging panel, in
+    // slabs sized so the slab plus both half-tile passes stay in L1.
+    constexpr int kSlabK = 64;
+    float acc[kMR * kNR];
+    float part[kMR * kNR];
+    float bw[kSlabK * kNR];
+    for (int i = 0; i < kMR * kNR; ++i)
+        acc[i] = 0.0f;
+    // Slab partials are summed in ascending-k slab order with
+    // shape-only boundaries, preserving the jobs bit-identity.
+    for (int k0 = 0; k0 < kl; k0 += kSlabK) {
+        const int ks = kl - k0 < kSlabK ? kl - k0 : kSlabK;
+        const std::uint16_t *bk =
+            bp + static_cast<std::size_t>(k0) * kNR;
+        for (int i = 0; i < ks * kNR; ++i)
+            bw[i] = bf16ToFloat(bk[i]);
+        halfTileGeneric(ks, ap + static_cast<std::size_t>(k0) * kMR,
+                        bw, 0, part);
+        halfTileGeneric(ks, ap + static_cast<std::size_t>(k0) * kMR,
+                        bw, 8, part);
+        for (int i = 0; i < kMR * kNR; ++i)
+            acc[i] += part[i];
+    }
+    writeTileEdge(acc, alpha, c, ldc, mr, nr);
+#else
+    float acc[kMR][kNR] = {};
+    for (int k = 0; k < kl; ++k) {
+        const float *ak = ap + static_cast<std::size_t>(k) * kMR;
+        const std::uint16_t *bk =
+            bp + static_cast<std::size_t>(k) * kNR;
+        float bw[kNR];
+        for (int j = 0; j < kNR; ++j)
+            bw[j] = bf16ToFloat(bk[j]);
+        for (int r = 0; r < kMR; ++r) {
+            const float a = ak[r];
+            for (int j = 0; j < kNR; ++j)
+                acc[r][j] += a * bw[j];
+        }
+    }
+    writeTileEdge(&acc[0][0], alpha, c, ldc, mr, nr);
+#endif
+}
+
+#if SD_GEMM_X86
+
+// --- AVX2/FMA microkernels ---
+
+/** bf16 B-panel slot -> logical column under the zero-unpack widening
+ * (unpacklo gives slots {0..3, 8..11}, unpackhi {4..7, 12..15}) —
+ * exactly the per-lane interleave _mm256_packus_epi32 produces, so the
+ * vectorized packer needs no shuffle. */
+constexpr std::uint8_t kAvx2Bf16Order[kNR] = {
+    0, 1, 2, 3, 8, 9, 10, 11, 4, 5, 6, 7, 12, 13, 14, 15};
+
+/** Eight lanes of floatToBf16 (round-to-nearest-even, NaN preserved
+ * quiet), result as zero-extended 32-bit words. */
+__attribute__((target("avx2,fma"), always_inline)) inline __m256i
+bf16RoundAvx2(__m256 v)
+{
+    const __m256i bits = _mm256_castps_si256(v);
+    const __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 16),
+                                         _mm256_set1_epi32(1));
+    const __m256i rounded = _mm256_srli_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(bits,
+                                          _mm256_set1_epi32(0x7fff)),
+                         lsb),
+        16);
+    const __m256i quiet = _mm256_or_si256(_mm256_srli_epi32(bits, 16),
+                                          _mm256_set1_epi32(0x0040));
+    const __m256 unord = _mm256_cmp_ps(v, v, _CMP_UNORD_Q);
+    return _mm256_blendv_epi8(rounded, quiet,
+                              _mm256_castps_si256(unord));
+}
+
+__attribute__((target("avx2,fma"))) void
+packBBf16Avx2(bool trans, const float *B, int ldb, int kc, int kl,
+              int j0, int jn, std::uint16_t *dst)
+{
+    const int npanels = (jn + kNR - 1) / kNR;
+    if (trans) {
+        // Transposed source: each logical column j is contiguous in k,
+        // so round 8 k's per vector into a staging row, then scatter
+        // the 16-bit words down the panel (the scatter is plain
+        // stores; the rounding is what was worth vectorizing).
+        for (int p = 0; p < npanels; ++p) {
+            std::uint16_t *pp =
+                dst + static_cast<std::size_t>(p) * kNR * kl;
+            for (int c = 0; c < kNR; ++c) {
+                const int j = p * kNR + kAvx2Bf16Order[c];
+                if (j >= jn) {
+                    for (int k = 0; k < kl; ++k)
+                        pp[static_cast<std::size_t>(k) * kNR + c] = 0;
+                    continue;
+                }
+                const float *src =
+                    B + static_cast<std::size_t>(j0 + j) * ldb + kc;
+                alignas(16) std::uint16_t tmp[8];
+                int k = 0;
+                for (; k + 8 <= kl; k += 8) {
+                    const __m256i r =
+                        bf16RoundAvx2(_mm256_loadu_ps(src + k));
+                    _mm_store_si128(
+                        reinterpret_cast<__m128i *>(tmp),
+                        _mm_packus_epi32(
+                            _mm256_castsi256_si128(r),
+                            _mm256_extracti128_si256(r, 1)));
+                    for (int t = 0; t < 8; ++t)
+                        pp[static_cast<std::size_t>(k + t) * kNR + c] =
+                            tmp[t];
+                }
+                for (; k < kl; ++k)
+                    pp[static_cast<std::size_t>(k) * kNR + c] =
+                        floatToBf16(src[k]);
+            }
+        }
+        return;
+    }
+    for (int p = 0; p < npanels; ++p) {
+        if (jn - p * kNR < kNR) {
+            // Ragged last panel: scalar, in slot order.
+            packBBf16Order(kAvx2Bf16Order, false, B, ldb, kc, kl,
+                           j0 + p * kNR, jn - p * kNR,
+                           dst + static_cast<std::size_t>(p) * kNR *
+                                     kl);
+            continue;
+        }
+        std::uint16_t *pp =
+            dst + static_cast<std::size_t>(p) * kNR * kl;
+        const float *src =
+            B + static_cast<std::size_t>(kc) * ldb + j0 + p * kNR;
+        for (int k = 0; k < kl; ++k) {
+            const __m256i lo =
+                bf16RoundAvx2(_mm256_loadu_ps(src));
+            const __m256i hi =
+                bf16RoundAvx2(_mm256_loadu_ps(src + 8));
+            // packus interleaves per 128-bit lane: word order becomes
+            // {0..3, 8..11, 4..7, 12..15} == kAvx2Bf16Order.
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(
+                    pp + static_cast<std::size_t>(k) * kNR),
+                _mm256_packus_epi32(lo, hi));
+            src += ldb;
+        }
+    }
+}
+
+__attribute__((target("avx2,fma"))) void
+roundPanelAvx2(float *p, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // Rounded bf16 word shifted back up is exactly the widened
+        // float — no pack/unpack round trip needed in place.
+        const __m256i r = bf16RoundAvx2(_mm256_loadu_ps(p + i));
+        _mm256_storeu_ps(
+            p + i,
+            _mm256_castsi256_ps(_mm256_slli_epi32(r, 16)));
+    }
+    for (; i < n; ++i)
+        p[i] = bf16ToFloat(floatToBf16(p[i]));
+}
+
+__attribute__((target("avx2,fma"))) void
+tileAvx2(int kl, const float *ap, const float *bp, float alpha,
+         float *c, std::ptrdiff_t ldc, int mr, int nr)
+{
+    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+    __m256 a40 = _mm256_setzero_ps(), a41 = _mm256_setzero_ps();
+    __m256 a50 = _mm256_setzero_ps(), a51 = _mm256_setzero_ps();
+    for (int k = 0; k < kl; ++k) {
+        const float *ak = ap + static_cast<std::size_t>(k) * kMR;
+        const float *bk = bp + static_cast<std::size_t>(k) * kNR;
+        const __m256 b0 = _mm256_loadu_ps(bk);
+        const __m256 b1 = _mm256_loadu_ps(bk + 8);
+        __m256 a;
+        a = _mm256_broadcast_ss(ak + 0);
+        a00 = _mm256_fmadd_ps(a, b0, a00);
+        a01 = _mm256_fmadd_ps(a, b1, a01);
+        a = _mm256_broadcast_ss(ak + 1);
+        a10 = _mm256_fmadd_ps(a, b0, a10);
+        a11 = _mm256_fmadd_ps(a, b1, a11);
+        a = _mm256_broadcast_ss(ak + 2);
+        a20 = _mm256_fmadd_ps(a, b0, a20);
+        a21 = _mm256_fmadd_ps(a, b1, a21);
+        a = _mm256_broadcast_ss(ak + 3);
+        a30 = _mm256_fmadd_ps(a, b0, a30);
+        a31 = _mm256_fmadd_ps(a, b1, a31);
+        a = _mm256_broadcast_ss(ak + 4);
+        a40 = _mm256_fmadd_ps(a, b0, a40);
+        a41 = _mm256_fmadd_ps(a, b1, a41);
+        a = _mm256_broadcast_ss(ak + 5);
+        a50 = _mm256_fmadd_ps(a, b0, a50);
+        a51 = _mm256_fmadd_ps(a, b1, a51);
+    }
+    const __m256 acc[kMR][2] = {{a00, a01}, {a10, a11}, {a20, a21},
+                                {a30, a31}, {a40, a41}, {a50, a51}};
+    if (mr == kMR && nr == kNR) {
+        const __m256 av = _mm256_set1_ps(alpha);
+        for (int r = 0; r < kMR; ++r) {
+            float *crow = c + r * ldc;
+            _mm256_storeu_ps(
+                crow, _mm256_fmadd_ps(av, acc[r][0],
+                                      _mm256_loadu_ps(crow)));
+            _mm256_storeu_ps(
+                crow + 8, _mm256_fmadd_ps(av, acc[r][1],
+                                          _mm256_loadu_ps(crow + 8)));
+        }
+        return;
+    }
+    alignas(32) float tmp[kMR * kNR];
+    for (int r = 0; r < kMR; ++r) {
+        _mm256_store_ps(tmp + r * kNR, acc[r][0]);
+        _mm256_store_ps(tmp + r * kNR + 8, acc[r][1]);
+    }
+    writeTileEdge(tmp, alpha, c, ldc, mr, nr);
+}
+
+__attribute__((target("avx2,fma"))) void
+tileAvx2Bf16(int kl, const float *ap, const std::uint16_t *bp,
+             float alpha, float *c, std::ptrdiff_t ldc, int mr, int nr)
+{
+    __m256 a00 = _mm256_setzero_ps(), a01 = _mm256_setzero_ps();
+    __m256 a10 = _mm256_setzero_ps(), a11 = _mm256_setzero_ps();
+    __m256 a20 = _mm256_setzero_ps(), a21 = _mm256_setzero_ps();
+    __m256 a30 = _mm256_setzero_ps(), a31 = _mm256_setzero_ps();
+    __m256 a40 = _mm256_setzero_ps(), a41 = _mm256_setzero_ps();
+    __m256 a50 = _mm256_setzero_ps(), a51 = _mm256_setzero_ps();
+    const __m256i z = _mm256_setzero_si256();
+    for (int k = 0; k < kl; ++k) {
+        const float *ak = ap + static_cast<std::size_t>(k) * kMR;
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(
+                bp + static_cast<std::size_t>(k) * kNR));
+        // Zero-unpack widens bf16 words into the high halves of fp32
+        // lanes — exactly bf16ToFloat, eight lanes at a time. The
+        // panel's bColOrder pre-permutation makes lo/hi land logical
+        // columns 0..7 / 8..15.
+        const __m256 b0 =
+            _mm256_castsi256_ps(_mm256_unpacklo_epi16(z, v));
+        const __m256 b1 =
+            _mm256_castsi256_ps(_mm256_unpackhi_epi16(z, v));
+        __m256 a;
+        a = _mm256_broadcast_ss(ak + 0);
+        a00 = _mm256_fmadd_ps(a, b0, a00);
+        a01 = _mm256_fmadd_ps(a, b1, a01);
+        a = _mm256_broadcast_ss(ak + 1);
+        a10 = _mm256_fmadd_ps(a, b0, a10);
+        a11 = _mm256_fmadd_ps(a, b1, a11);
+        a = _mm256_broadcast_ss(ak + 2);
+        a20 = _mm256_fmadd_ps(a, b0, a20);
+        a21 = _mm256_fmadd_ps(a, b1, a21);
+        a = _mm256_broadcast_ss(ak + 3);
+        a30 = _mm256_fmadd_ps(a, b0, a30);
+        a31 = _mm256_fmadd_ps(a, b1, a31);
+        a = _mm256_broadcast_ss(ak + 4);
+        a40 = _mm256_fmadd_ps(a, b0, a40);
+        a41 = _mm256_fmadd_ps(a, b1, a41);
+        a = _mm256_broadcast_ss(ak + 5);
+        a50 = _mm256_fmadd_ps(a, b0, a50);
+        a51 = _mm256_fmadd_ps(a, b1, a51);
+    }
+    const __m256 acc[kMR][2] = {{a00, a01}, {a10, a11}, {a20, a21},
+                                {a30, a31}, {a40, a41}, {a50, a51}};
+    if (mr == kMR && nr == kNR) {
+        const __m256 av = _mm256_set1_ps(alpha);
+        for (int r = 0; r < kMR; ++r) {
+            float *crow = c + r * ldc;
+            _mm256_storeu_ps(
+                crow, _mm256_fmadd_ps(av, acc[r][0],
+                                      _mm256_loadu_ps(crow)));
+            _mm256_storeu_ps(
+                crow + 8, _mm256_fmadd_ps(av, acc[r][1],
+                                          _mm256_loadu_ps(crow + 8)));
+        }
+        return;
+    }
+    alignas(32) float tmp[kMR * kNR];
+    for (int r = 0; r < kMR; ++r) {
+        _mm256_store_ps(tmp + r * kNR, acc[r][0]);
+        _mm256_store_ps(tmp + r * kNR + 8, acc[r][1]);
+    }
+    writeTileEdge(tmp, alpha, c, ldc, mr, nr);
+}
+
+#endif // SD_GEMM_X86
+
+} // namespace
+
+const MicroKernel &
+genericMicroKernel()
+{
+    static const MicroKernel mk{"generic", &tileGeneric,
+                                &tileGenericBf16, &packBBf16Generic,
+                                &roundPanelGeneric};
+    return mk;
+}
+
+const MicroKernel &
+avx2MicroKernel()
+{
+#if SD_GEMM_X86
+    static const MicroKernel mk{"avx2", &tileAvx2, &tileAvx2Bf16,
+                                &packBBf16Avx2, &roundPanelAvx2};
+    return mk;
+#else
+    // Unreachable on supported dispatch (resolveGemmKernel is fatal
+    // before handing Avx2 to a non-x86 build); keep a safe fallback.
+    return genericMicroKernel();
+#endif
+}
+
+} // namespace detail
+
+} // namespace sd::dnn

@@ -372,14 +372,14 @@ convForwardIm2col(const Layer &l, const Tensor &in, const Tensor &weights,
             const int g = static_cast<int>(b % groups);
             im2col(l, in.data() + n * l.inputElems(), g * icg, icg,
                    cols.data());
-            sgemm(GemmOp::NoTrans, GemmOp::NoTrans, ocg, n_dim, k_dim,
-                  1.0f,
-                  weights.data() +
-                      static_cast<std::size_t>(g) * ocg * k_dim,
-                  k_dim, cols.data(), n_dim, 0.0f,
-                  out.data() + n * l.outputElems() +
-                      static_cast<std::size_t>(g) * ocg * n_dim,
-                  n_dim);
+            engineGemm(GemmOp::NoTrans, GemmOp::NoTrans, ocg, n_dim, k_dim,
+                       1.0f,
+                       weights.data() +
+                           static_cast<std::size_t>(g) * ocg * k_dim,
+                       k_dim, cols.data(), n_dim, 0.0f,
+                       out.data() + n * l.outputElems() +
+                           static_cast<std::size_t>(g) * ocg * n_dim,
+                       n_dim);
         }
     });
 }
@@ -408,14 +408,14 @@ convBackwardDataIm2col(const Layer &l, const Tensor &dout,
             const std::size_t n = b / groups;
             const int g = static_cast<int>(b % groups);
             // dcols = W_g^T * dy_g, then scatter through the patch map.
-            sgemm(GemmOp::Trans, GemmOp::NoTrans, k_dim, n_dim, ocg,
-                  1.0f,
-                  weights.data() +
-                      static_cast<std::size_t>(g) * ocg * k_dim,
-                  k_dim,
-                  dout.data() + n * l.outputElems() +
-                      static_cast<std::size_t>(g) * ocg * n_dim,
-                  n_dim, 0.0f, dcols.data(), n_dim);
+            engineGemm(GemmOp::Trans, GemmOp::NoTrans, k_dim, n_dim, ocg,
+                       1.0f,
+                       weights.data() +
+                           static_cast<std::size_t>(g) * ocg * k_dim,
+                       k_dim,
+                       dout.data() + n * l.outputElems() +
+                           static_cast<std::size_t>(g) * ocg * n_dim,
+                       n_dim, 0.0f, dcols.data(), n_dim);
             col2im(l, dcols.data(), g * icg, icg,
                    din.data() + n * l.inputElems());
         }
@@ -446,14 +446,14 @@ convWeightGradIm2col(const Layer &l, const Tensor &in, const Tensor &dout,
             im2col(l, in.data() + n * l.inputElems(), g * icg, icg,
                    cols.data());
             // dW_g += dy_g * cols^T (beta = 1: batch accumulation).
-            sgemm(GemmOp::NoTrans, GemmOp::Trans, ocg, k_dim, n_dim,
-                  1.0f,
-                  dout.data() + n * l.outputElems() +
-                      static_cast<std::size_t>(g) * ocg * n_dim,
-                  n_dim, cols.data(), n_dim, 1.0f,
-                  dweights.data() +
-                      static_cast<std::size_t>(g) * ocg * k_dim,
-                  k_dim);
+            engineGemm(GemmOp::NoTrans, GemmOp::Trans, ocg, k_dim, n_dim,
+                       1.0f,
+                       dout.data() + n * l.outputElems() +
+                           static_cast<std::size_t>(g) * ocg * n_dim,
+                       n_dim, cols.data(), n_dim, 1.0f,
+                       dweights.data() +
+                           static_cast<std::size_t>(g) * ocg * k_dim,
+                       k_dim);
         }
     }
 }
@@ -525,18 +525,18 @@ fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
         panic("fcForward ", l.name, ": bad sizes");
     if (batch == 1) {
         // Single image: the gemv fast path.
-        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out),
-              1, static_cast<int>(n_in), 1.0f, weights.data(),
-              static_cast<int>(n_in), in.data(), 1, 0.0f, out.data(), 1);
+        engineGemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out),
+                   1, static_cast<int>(n_in), 1.0f, weights.data(),
+                   static_cast<int>(n_in), in.data(), 1, 0.0f, out.data(), 1);
         return;
     }
     // out[n][o] = dot(W row o, image n): one real GEMM with the output
     // channels as the (stripe-parallel) column dimension.
-    sgemm(GemmOp::NoTrans, GemmOp::Trans, static_cast<int>(batch),
-          static_cast<int>(n_out), static_cast<int>(n_in), 1.0f,
-          in.data(), static_cast<int>(n_in), weights.data(),
-          static_cast<int>(n_in), 0.0f, out.data(),
-          static_cast<int>(n_out));
+    engineGemm(GemmOp::NoTrans, GemmOp::Trans, static_cast<int>(batch),
+               static_cast<int>(n_out), static_cast<int>(n_in), 1.0f,
+               in.data(), static_cast<int>(n_in), weights.data(),
+               static_cast<int>(n_in), 0.0f, out.data(),
+               static_cast<int>(n_out));
 }
 
 void
@@ -550,18 +550,18 @@ fcBackwardData(const Layer &l, const Tensor &dout, const Tensor &weights,
     if (din.size() != batch * n_in)
         panic("fcBackwardData ", l.name, ": bad sizes");
     if (batch == 1) {
-        sgemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_in), 1,
-              static_cast<int>(n_out), 1.0f, weights.data(),
-              static_cast<int>(n_in), dout.data(), 1, 0.0f, din.data(),
-              1);
+        engineGemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_in), 1,
+                   static_cast<int>(n_out), 1.0f, weights.data(),
+                   static_cast<int>(n_in), dout.data(), 1, 0.0f, din.data(),
+                   1);
         return;
     }
     // din[n][i] = sum_o dout[n][o] * W[o][i].
-    sgemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(batch),
-          static_cast<int>(n_in), static_cast<int>(n_out), 1.0f,
-          dout.data(), static_cast<int>(n_out), weights.data(),
-          static_cast<int>(n_in), 0.0f, din.data(),
-          static_cast<int>(n_in));
+    engineGemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(batch),
+               static_cast<int>(n_in), static_cast<int>(n_out), 1.0f,
+               dout.data(), static_cast<int>(n_out), weights.data(),
+               static_cast<int>(n_in), 0.0f, din.data(),
+               static_cast<int>(n_in));
 }
 
 void
@@ -578,11 +578,11 @@ fcWeightGrad(const Layer &l, const Tensor &in, const Tensor &dout,
     // dW += dout^T * in: the batch is the GEMM reduction dimension, so
     // images accumulate in ascending order — bit-identical to serial
     // per-image rank-1 updates.
-    sgemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_out),
-          static_cast<int>(n_in), static_cast<int>(batch), 1.0f,
-          dout.data(), static_cast<int>(n_out), in.data(),
-          static_cast<int>(n_in), 1.0f, dweights.data(),
-          static_cast<int>(n_in));
+    engineGemm(GemmOp::Trans, GemmOp::NoTrans, static_cast<int>(n_out),
+               static_cast<int>(n_in), static_cast<int>(batch), 1.0f,
+               dout.data(), static_cast<int>(n_out), in.data(),
+               static_cast<int>(n_in), 1.0f, dweights.data(),
+               static_cast<int>(n_in));
 }
 
 void

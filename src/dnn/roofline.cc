@@ -1,8 +1,13 @@
 #include "dnn/roofline.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <ostream>
 
 #include "core/export.hh"
+#include "core/parallel.hh"
+#include "dnn/gemm.hh"
 #include "dnn/network.hh"
 #include "dnn/reference.hh"
 
@@ -24,7 +29,47 @@ layerAlgo(const Layer &l)
     }
 }
 
+/**
+ * One xorshift64 step is three dependent shift+xor pairs; with the
+ * xor fused behind each shift the chain retires in ~4 cycles on every
+ * recent x86/ARM core. The multiplier below is that model.
+ */
+constexpr double kXorshiftCyclesPerIter = 4.0;
+
+double
+measureClockGhz()
+{
+    using clock = std::chrono::steady_clock;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    // Warm up the frequency governor before the timed chain.
+    for (int i = 0; i < 2'000'000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    constexpr int kIters = 20'000'000;
+    const auto t0 = clock::now();
+    for (int i = 0; i < kIters; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    const double secs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    // Keep the chain observable so the loop cannot be elided.
+    if (x == 0 || secs <= 0.0)
+        return 0.0;
+    return kXorshiftCyclesPerIter * kIters / secs / 1e9;
+}
+
 } // namespace
+
+double
+estimateClockGhz()
+{
+    static const double ghz = measureClockGhz();
+    return ghz;
+}
 
 RooflineReport
 rooflineReport(const ReferenceEngine &engine,
@@ -57,6 +102,13 @@ rooflineReport(const ReferenceEngine &engine,
         rep.totalMs += lr.ms;
         rep.layers.push_back(std::move(lr));
     }
+
+    const GemmKernelModel model = gemmKernelModel(gemmKernel());
+    rep.gemmKernel = model.name;
+    rep.clockGhz = estimateClockGhz();
+    rep.peakCores = std::min(jobs(), hardwareJobs());
+    rep.peakGflops =
+        model.flopsPerCycle() * rep.clockGhz * rep.peakCores;
     return rep;
 }
 
@@ -64,27 +116,32 @@ Table
 rooflineTable(const RooflineReport &report)
 {
     Table t({"layer", "kind", "algo", "MFLOP", "MB", "live MB",
-             "flop/B", "ms", "GFLOP/s"});
+             "flop/B", "ms", "GFLOP/s", "%peak"});
     for (const LayerRoofline &l : report.layers) {
         t.addRow({l.name, l.kind, l.algo,
                   fmtDouble(static_cast<double>(l.flops) / 1e6, 2),
                   fmtDouble(static_cast<double>(l.bytes) / 1e6, 2),
                   fmtDouble(static_cast<double>(l.liveBytes) / 1e6, 2),
                   fmtDouble(l.intensity(), 2), fmtDouble(l.ms, 3),
-                  fmtDouble(l.gflops(), 2)});
+                  fmtDouble(l.gflops(), 2),
+                  fmtDouble(l.pctPeak(report.peakGflops), 1)});
     }
     const double total_gflops =
         report.totalMs <= 0.0
             ? 0.0
             : static_cast<double>(report.totalFlops) /
                   (report.totalMs * 1e6);
-    t.addRow({"TOTAL", "", "",
+    const double total_pct =
+        report.peakGflops <= 0.0
+            ? 0.0
+            : 100.0 * total_gflops / report.peakGflops;
+    t.addRow({"TOTAL", "", report.gemmKernel,
               fmtDouble(static_cast<double>(report.totalFlops) / 1e6, 2),
               fmtDouble(static_cast<double>(report.totalBytes) / 1e6, 2),
               fmtDouble(static_cast<double>(report.engineHighWaterBytes) /
                             1e6, 2),
               "", fmtDouble(report.totalMs, 3),
-              fmtDouble(total_gflops, 2)});
+              fmtDouble(total_gflops, 2), fmtDouble(total_pct, 1)});
     return t;
 }
 
@@ -100,6 +157,10 @@ writeRooflineJson(JsonWriter &w, const RooflineReport &report)
     w.field("engineLiveBytes", report.engineLiveBytes);
     w.field("engineHighWaterBytes", report.engineHighWaterBytes);
     w.field("totalMs", report.totalMs);
+    w.field("gemmKernel", report.gemmKernel);
+    w.field("clockGhz", report.clockGhz);
+    w.field("peakCores", static_cast<std::int64_t>(report.peakCores));
+    w.field("peakGflops", report.peakGflops);
     w.key("layers");
     w.beginArray();
     for (const LayerRoofline &l : report.layers) {
@@ -114,6 +175,7 @@ writeRooflineJson(JsonWriter &w, const RooflineReport &report)
         w.field("intensity", l.intensity());
         w.field("ms", l.ms);
         w.field("gflops", l.gflops());
+        w.field("pctPeak", l.pctPeak(report.peakGflops));
         w.endObject();
     }
     w.endArray();

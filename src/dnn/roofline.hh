@@ -34,7 +34,7 @@ namespace sd::dnn {
 class ReferenceEngine;
 
 /** Schema tag of writeRooflineJson()'s output. */
-inline constexpr const char *kRooflineSchema = "scaledeep-roofline-1";
+inline constexpr const char *kRooflineSchema = "scaledeep-roofline-2";
 
 /** One layer's roofline line. */
 struct LayerRoofline
@@ -63,6 +63,13 @@ struct LayerRoofline
         return ms <= 0.0 ? 0.0
                          : static_cast<double>(flops) / (ms * 1e6);
     }
+
+    /** Percent of @p peak_gflops achieved; 0 when unmeasured. */
+    double pctPeak(double peak_gflops) const
+    {
+        return peak_gflops <= 0.0 ? 0.0
+                                  : 100.0 * gflops() / peak_gflops;
+    }
 };
 
 /** The whole network's roofline for one measured forward pass. */
@@ -77,7 +84,25 @@ struct RooflineReport
     std::uint64_t engineLiveBytes = 0;      ///< ReferenceEngine account
     std::uint64_t engineHighWaterBytes = 0;
     double totalMs = 0.0;
+
+    // Peak-FLOPs model of the resolved GEMM dispatch level (see
+    // GemmKernelModel in dnn/gemm.hh): peakGflops = flops/cycle/core
+    // under the level's lanes-x-FMA-issue model, times the estimated
+    // sustained clock, times the worker count the run could actually
+    // use. %-of-peak columns divide by this.
+    std::string gemmKernel;     ///< resolved dispatch-level name
+    double clockGhz = 0.0;      ///< estimateClockGhz() at report time
+    int peakCores = 0;          ///< min(jobs, hardware concurrency)
+    double peakGflops = 0.0;
 };
+
+/**
+ * Estimated sustained core clock in GHz, measured once per process by
+ * timing a register-dependent integer chain (xorshift64, a known
+ * cycles-per-iteration recurrence) — no OS frequency interface needed.
+ * An estimate for the %-of-peak display, not a calibrated number.
+ */
+double estimateClockGhz();
 
 /**
  * Build the report from @p engine's last forward pass: analytic

@@ -301,18 +301,18 @@ winogradConvForward(const Layer &l, const Tensor &in,
 
             // One [ocg x icg] * [icg x bt] GEMM per transform point.
             for (int xi = 0; xi < aa; ++xi) {
-                sgemm(GemmOp::NoTrans, GemmOp::NoTrans, ocg, bt, icg,
-                      1.0f,
-                      U.data() +
-                          (g * aa + static_cast<std::size_t>(xi)) *
-                              ocg * icg,
-                      icg,
-                      V.data() +
-                          static_cast<std::size_t>(xi) * icg * bt,
-                      bt, 0.0f,
-                      M.data() +
-                          static_cast<std::size_t>(xi) * ocg * bt,
-                      bt);
+                engineGemm(GemmOp::NoTrans, GemmOp::NoTrans, ocg, bt, icg,
+                           1.0f,
+                           U.data() +
+                               (g * aa + static_cast<std::size_t>(xi)) *
+                                   ocg * icg,
+                           icg,
+                           V.data() +
+                               static_cast<std::size_t>(xi) * icg * bt,
+                           bt, 0.0f,
+                           M.data() +
+                               static_cast<std::size_t>(xi) * ocg * bt,
+                           bt);
                 muls += static_cast<std::uint64_t>(ocg) * icg * bt;
             }
 

@@ -8,6 +8,10 @@
  */
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -298,6 +302,339 @@ TEST(GemmKernels, Im2colRoundTripAccumulates)
     back.fill(0.0f);
     col2im(l, cols.data(), 0, l.inChannels, back.data());
     EXPECT_LT(back.maxAbsDiff(x), 1e-6f);
+}
+
+struct KernelGuard
+{
+    GemmKernel saved = gemmKernel();
+    ~KernelGuard() { setGemmKernel(saved); }
+};
+
+struct PrecisionGuard
+{
+    GemmPrecision saved = gemmPrecision();
+    ~PrecisionGuard() { setGemmPrecision(saved); }
+};
+
+/** Dispatch levels runnable on this CPU (Avx2 only when present). */
+std::vector<GemmKernel>
+availableKernels()
+{
+    std::vector<GemmKernel> ks = {GemmKernel::Scalar,
+                                  GemmKernel::Generic};
+    if (cpuHasAvx2Fma())
+        ks.push_back(GemmKernel::Avx2);
+    ks.push_back(GemmKernel::Auto);
+    return ks;
+}
+
+TEST(SgemmDispatch, AllLevelsMatchNaiveOverRaggedShapes)
+{
+    JobsGuard jg;
+    KernelGuard kg;
+    Rng rng(23);
+    // Ragged extents around the 6x16 micro-tile: every edge-handling
+    // path (partial mr, partial nr, partial kc block), all four trans
+    // combos, odd leading strides, alpha/beta sweep.
+    struct Case
+    {
+        GemmOp opA, opB;
+        int m, n, k;
+        float alpha, beta;
+    };
+    const Case cases[] = {
+        {GemmOp::NoTrans, GemmOp::NoTrans, 6, 16, 8, 1.0f, 0.0f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 7, 17, 9, 1.0f, 0.0f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 5, 15, 257, 0.5f, 1.0f},
+        {GemmOp::Trans, GemmOp::NoTrans, 13, 33, 259, 1.0f, 0.5f},
+        {GemmOp::NoTrans, GemmOp::Trans, 12, 31, 258, 2.0f, 0.0f},
+        {GemmOp::Trans, GemmOp::Trans, 11, 47, 260, 1.0f, 1.0f},
+        {GemmOp::NoTrans, GemmOp::NoTrans, 1, 1, 1, 1.0f, 0.5f},
+        {GemmOp::Trans, GemmOp::Trans, 19, 2, 5, 0.0f, 0.5f},
+    };
+    for (GemmKernel kernel : availableKernels()) {
+        setGemmKernel(kernel);
+        for (const Case &c : cases) {
+            const int lda =
+                (c.opA == GemmOp::NoTrans ? c.k : c.m) + 5;
+            const int ldb =
+                (c.opB == GemmOp::NoTrans ? c.n : c.k) + 3;
+            const int ldc = c.n + 7;
+            const int a_rows = c.opA == GemmOp::NoTrans ? c.m : c.k;
+            const int b_rows = c.opB == GemmOp::NoTrans ? c.k : c.n;
+            const auto A = randomVec(
+                static_cast<std::size_t>(a_rows) * lda, rng);
+            const auto B = randomVec(
+                static_cast<std::size_t>(b_rows) * ldb, rng);
+            const auto C0 = randomVec(
+                static_cast<std::size_t>(c.m) * ldc, rng);
+            std::vector<float> ref = C0;
+            naiveGemm(c.opA, c.opB, c.m, c.n, c.k, c.alpha, A.data(),
+                      lda, B.data(), ldb, c.beta, ref.data(), ldc);
+            std::vector<float> got = C0;
+            setJobs(1);
+            sgemm(c.opA, c.opB, c.m, c.n, c.k, c.alpha, A.data(), lda,
+                  B.data(), ldb, c.beta, got.data(), ldc);
+            expectClose(got, ref, 1e-4f,
+                        std::string("kernel=") +
+                            gemmKernelName(kernel) + " m=" +
+                            std::to_string(c.m) + " n=" +
+                            std::to_string(c.n) + " k=" +
+                            std::to_string(c.k));
+        }
+    }
+}
+
+TEST(SgemmDispatch, BitIdenticalAcrossJobsPerKernel)
+{
+    JobsGuard jg;
+    KernelGuard kg;
+    Rng rng(29);
+    const int m = 37, n = 143, k = 301;
+    const auto A = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto B = randomVec(static_cast<std::size_t>(k) * n, rng);
+    for (GemmKernel kernel : availableKernels()) {
+        setGemmKernel(kernel);
+        std::vector<float> serial;
+        for (int nj : {1, 3, 4}) {
+            setJobs(nj);
+            std::vector<float> got(static_cast<std::size_t>(m) * n,
+                                   0.0f);
+            sgemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                  A.data(), k, B.data(), n, 0.0f, got.data(), n);
+            if (nj == 1)
+                serial = got;
+            else
+                EXPECT_EQ(got, serial)
+                    << gemmKernelName(kernel) << " jobs=" << nj;
+        }
+    }
+}
+
+TEST(SgemmDispatch, Avx2MatchesGenericWithinScaledUlps)
+{
+    if (!cpuHasAvx2Fma())
+        GTEST_SKIP() << "no AVX2+FMA on this CPU";
+    JobsGuard jg;
+    KernelGuard kg;
+    setJobs(1);
+    Rng rng(31);
+    const int m = 23, n = 61, k = 517;
+    const auto A = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto B = randomVec(static_cast<std::size_t>(k) * n, rng);
+    auto run = [&](GemmKernel kernel) {
+        setGemmKernel(kernel);
+        std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+              A.data(), k, B.data(), n, 0.0f, c.data(), n);
+        return c;
+    };
+    const auto generic = run(GemmKernel::Generic);
+    const auto avx2 = run(GemmKernel::Avx2);
+    // Both levels accumulate ascending-k in fp32, but the AVX2 path
+    // fuses multiply-add (one rounding per product) while the generic
+    // path may not — a random-walk divergence of O(sqrt(K)) ulps.
+    // 32 * eps * sqrt(K) is ~20x slack over what we measure.
+    const float tol = 32.0f * 1.1920929e-7f *
+                      std::sqrt(static_cast<float>(k));
+    expectClose(avx2, generic, tol, "avx2 vs generic");
+}
+
+TEST(SgemmDispatch, ResolveAndModel)
+{
+    // Auto resolves to a concrete microkernel level — Avx2 whenever
+    // the CPU has it — and the peak model orders the levels.
+    const GemmKernel r = resolveGemmKernel(GemmKernel::Auto);
+    if (cpuHasAvx2Fma())
+        EXPECT_EQ(r, GemmKernel::Avx2);
+    else
+        EXPECT_EQ(r, GemmKernel::Generic);
+    EXPECT_EQ(resolveGemmKernel(GemmKernel::Scalar),
+              GemmKernel::Scalar);
+    const double avx2 = gemmKernelModel(GemmKernel::Avx2)
+                            .flopsPerCycle();
+    const double generic = gemmKernelModel(GemmKernel::Generic)
+                               .flopsPerCycle();
+    const double scalar = gemmKernelModel(GemmKernel::Scalar)
+                              .flopsPerCycle();
+    EXPECT_GT(avx2, generic);
+    EXPECT_GT(generic, scalar);
+    EXPECT_EQ(scalar, 2.0);
+}
+
+TEST(SgemmDispatch, EnvStrictParse)
+{
+    // Valid values are honored...
+    setenv("SD_GEMM_KERNEL", "generic", 1);
+    EXPECT_EQ(defaultGemmKernel(), GemmKernel::Generic);
+    setenv("SD_GEMM_KERNEL", "scalar", 1);
+    EXPECT_EQ(defaultGemmKernel(), GemmKernel::Scalar);
+    unsetenv("SD_GEMM_KERNEL");
+    EXPECT_EQ(defaultGemmKernel(), GemmKernel::Auto);
+    // ...and anything else dies with the valid list, same contract as
+    // SD_CONV_ALGO (fail fast, never silently fall back).
+    EXPECT_EXIT(
+        {
+            setenv("SD_GEMM_KERNEL", "turbo", 1);
+            (void)defaultGemmKernel();
+        },
+        ::testing::ExitedWithCode(1),
+        "not a GEMM kernel \\(valid: auto avx2 generic scalar\\)");
+    EXPECT_EXIT(
+        {
+            setenv("SD_GEMM_PRECISION", "fp8", 1);
+            (void)defaultGemmPrecision();
+        },
+        ::testing::ExitedWithCode(1),
+        "not a GEMM precision preset \\(valid: sp hp\\)");
+}
+
+TEST(SgemmDispatch, NoScratchAllocsInSteadyState)
+{
+    JobsGuard jg;
+    KernelGuard kg;
+    setJobs(1); // inline execution: all packing on this thread
+    setGemmKernel(GemmKernel::Auto);
+    Rng rng(37);
+    const int m = 30, n = 90, k = 70;
+    const auto A = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto B = randomVec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+    auto call = [&] {
+        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+              A.data(), k, B.data(), n, 0.0f, c.data(), n);
+    };
+    auto callBf16 = [&] {
+        sgemmBf16(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                  A.data(), k, B.data(), n, 0.0f, c.data(), n);
+    };
+    call();
+    callBf16(); // warm the thread-local scratch for both paths
+    const std::uint64_t before = gemmScratchAllocs();
+    for (int i = 0; i < 4; ++i) {
+        call();
+        callBf16();
+    }
+    EXPECT_EQ(gemmScratchAllocs(), before)
+        << "steady-state sgemm re-allocated packing scratch";
+}
+
+TEST(Bf16, RoundTripRneAndNan)
+{
+    // Exactly-representable values survive the round trip bit-for-bit.
+    for (float v : {0.0f, -0.0f, 1.0f, -2.5f, 0.15625f, 65280.0f})
+        EXPECT_EQ(bf16ToFloat(floatToBf16(v)), v) << v;
+    // Round-to-nearest-even at the 8-bit mantissa boundary: 1 + 2^-8
+    // is the tie between 1.0 (even) and 1 + 2^-7 (odd) -> 1.0;
+    // 1 + 3*2^-8 ties between 1 + 2^-7 (odd) and 1 + 2^-6 (even) ->
+    // rounds up.
+    EXPECT_EQ(bf16ToFloat(floatToBf16(1.0f + 0x1p-8f)), 1.0f);
+    EXPECT_EQ(bf16ToFloat(floatToBf16(1.0f + 3 * 0x1p-8f)),
+              1.0f + 0x1p-6f);
+    // Above the tie it rounds away, below it rounds back.
+    EXPECT_EQ(bf16ToFloat(floatToBf16(1.0f + 5 * 0x1p-9f)),
+              1.0f + 0x1p-7f);
+    // Infinities pass through; NaN stays NaN (quieted, not truncated
+    // to infinity).
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(bf16ToFloat(floatToBf16(inf)), inf);
+    EXPECT_EQ(bf16ToFloat(floatToBf16(-inf)), -inf);
+    EXPECT_TRUE(std::isnan(
+        bf16ToFloat(floatToBf16(std::nanf("")))));
+}
+
+TEST(Bf16, SgemmBf16WithinAccuracyBound)
+{
+    JobsGuard jg;
+    KernelGuard kg;
+    setJobs(1);
+    Rng rng(41);
+    const int m = 21, n = 53, k = 257;
+    const auto A = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto B = randomVec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> ref(static_cast<std::size_t>(m) * n, 0.0f);
+    naiveGemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+              A.data(), k, B.data(), n, 0.0f, ref.data(), n);
+    // Rounding both operands to bf16 (eps = 2^-8) makes each product
+    // off by ~2*eps; over K ascending-order additions the error does
+    // a random walk, so 4 * eps * sqrt(K) bounds it with slack.
+    const float tol =
+        4.0f * 0x1p-8f * std::sqrt(static_cast<float>(k));
+    for (GemmKernel kernel : availableKernels()) {
+        setGemmKernel(kernel);
+        std::vector<float> got(static_cast<std::size_t>(m) * n, 0.0f);
+        sgemmBf16(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                  A.data(), k, B.data(), n, 0.0f, got.data(), n);
+        expectClose(got, ref, tol,
+                    std::string("bf16 kernel=") +
+                        gemmKernelName(kernel));
+    }
+}
+
+TEST(Bf16, BitIdenticalAcrossJobs)
+{
+    JobsGuard jg;
+    KernelGuard kg;
+    Rng rng(43);
+    const int m = 19, n = 111, k = 263;
+    const auto A = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto B = randomVec(static_cast<std::size_t>(k) * n, rng);
+    for (GemmKernel kernel : availableKernels()) {
+        setGemmKernel(kernel);
+        std::vector<float> serial;
+        for (int nj : {1, 4}) {
+            setJobs(nj);
+            std::vector<float> got(static_cast<std::size_t>(m) * n,
+                                   0.0f);
+            sgemmBf16(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                      A.data(), k, B.data(), n, 0.0f, got.data(), n);
+            if (nj == 1)
+                serial = got;
+            else
+                EXPECT_EQ(got, serial)
+                    << "bf16 " << gemmKernelName(kernel);
+        }
+    }
+}
+
+TEST(Bf16, EngineGemmRoutesOnPrecisionPreset)
+{
+    JobsGuard jg;
+    KernelGuard kg;
+    PrecisionGuard pg;
+    setJobs(1);
+    setGemmKernel(GemmKernel::Auto);
+    Rng rng(47);
+    const int m = 9, n = 33, k = 65;
+    const auto A = randomVec(static_cast<std::size_t>(m) * k, rng);
+    const auto B = randomVec(static_cast<std::size_t>(k) * n, rng);
+    auto run = [&](auto fn) {
+        std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+        fn(c);
+        return c;
+    };
+    const auto sp_direct = run([&](std::vector<float> &c) {
+        sgemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+              A.data(), k, B.data(), n, 0.0f, c.data(), n);
+    });
+    const auto hp_direct = run([&](std::vector<float> &c) {
+        sgemmBf16(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                  A.data(), k, B.data(), n, 0.0f, c.data(), n);
+    });
+    setGemmPrecision(GemmPrecision::Sp);
+    const auto sp_engine = run([&](std::vector<float> &c) {
+        engineGemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                   A.data(), k, B.data(), n, 0.0f, c.data(), n);
+    });
+    setGemmPrecision(GemmPrecision::Hp);
+    const auto hp_engine = run([&](std::vector<float> &c) {
+        engineGemm(GemmOp::NoTrans, GemmOp::NoTrans, m, n, k, 1.0f,
+                   A.data(), k, B.data(), n, 0.0f, c.data(), n);
+    });
+    EXPECT_EQ(sp_engine, sp_direct);
+    EXPECT_EQ(hp_engine, hp_direct);
+    // The presets genuinely differ (bf16 rounding is visible).
+    EXPECT_NE(hp_direct, sp_direct);
 }
 
 TEST(GemmKernels, TrainingLossBitIdenticalAcrossJobs)

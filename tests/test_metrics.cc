@@ -20,6 +20,7 @@
 #include "core/metrics.hh"
 #include "core/parallel.hh"
 #include "core/random.hh"
+#include "dnn/gemm.hh"
 #include "dnn/layer.hh"
 #include "dnn/reference.hh"
 #include "dnn/roofline.hh"
@@ -401,6 +402,37 @@ TEST(Roofline, MatchesIndependentFlopAndByteCounts)
     EXPECT_GT(rep.engineLiveBytes, 0u);
     // Metrics were enabled, so the forward pass was timed.
     EXPECT_GT(rep.totalMs, 0.0);
+}
+
+TEST(Roofline, PeakModelAndPctPeak)
+{
+    MetricsGuard guard(true);
+    Network net = makeTinyCnn(12, 3);
+    ReferenceEngine eng(net, 7);
+    sd::Rng rng(5);
+    Tensor in = Tensor::uniform({2, 1, 12, 12}, rng, 0.0f, 1.0f);
+    eng.forward(in);
+    RooflineReport rep = rooflineReport(eng, "tiny-cnn");
+
+    // The peak is the dispatch-level model times the measured clock
+    // times the usable cores — all positive, and the report names the
+    // kernel it modeled.
+    EXPECT_EQ(rep.gemmKernel,
+              std::string(gemmKernelName(
+                  resolveGemmKernel(gemmKernel()))));
+    EXPECT_GT(rep.clockGhz, 0.0);
+    EXPECT_GE(rep.peakCores, 1);
+    EXPECT_GT(rep.peakGflops, 0.0);
+
+    // pctPeak: a layer that took measurable time achieves a positive
+    // fraction of peak; zero peak degrades to 0 instead of dividing.
+    for (const LayerRoofline &lr : rep.layers) {
+        const double pct = lr.pctPeak(rep.peakGflops);
+        EXPECT_GE(pct, 0.0);
+        if (lr.ms > 0.0 && lr.flops > 0)
+            EXPECT_GT(pct, 0.0);
+        EXPECT_EQ(lr.pctPeak(0.0), 0.0);
+    }
 }
 
 TEST(Roofline, JsonRoundTripsExactly)
