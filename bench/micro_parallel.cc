@@ -19,9 +19,15 @@
  * and checks that steady-state GEMM calls perform no packing
  * allocation (gemmScratchAllocs()).
  *
- * Emits BENCH_kernels.json (schema scaledeep-kernels-3) next to the
+ * Also compares the memory planner (dnn/memplan.hh) against the
+ * unplanned layout: analytic planned-vs-unplanned activation bytes for
+ * every suite network at minibatch 8, plus a measured off-vs-share
+ * activation high-water race on a VGG-D-style net.
+ *
+ * Emits BENCH_kernels.json (schema scaledeep-kernels-4) next to the
  * human-readable tables, so CI can archive the numbers per commit and
- * gate on the Winograd-vs-im2col and microkernel-vs-scalar speedups.
+ * gate on the Winograd-vs-im2col and microkernel-vs-scalar speedups
+ * and the planner's high-water reduction.
  */
 
 #include <chrono>
@@ -33,6 +39,7 @@
 #include "core/export.hh"
 #include "core/random.hh"
 #include "dnn/gemm.hh"
+#include "dnn/memplan.hh"
 #include "dnn/reference.hh"
 #include "dnn/winograd.hh"
 #include "dnn/zoo.hh"
@@ -112,6 +119,32 @@ benchKernel(const std::string &name, double flops, Tensor &out,
     setJobs(njobs);
     k.gemmThreadsMs = bestMs(3, gemm);
     return k;
+}
+
+/**
+ * VGG-D's channel progression (64-64 / 128-128 / 256x3 / 512x3 /
+ * 512x3 with 2x2 max pools) at 112x112 input and a small FC head:
+ * the activation-memory shape of VGG-D without its ~470 MB of FC
+ * weights+gradients, so the memory-planner bench measures activation
+ * high-water, not parameter storage.
+ */
+Network
+makeVggDStyle112()
+{
+    NetworkBuilder b("VGG-D-style-112", 3, 112, 112);
+    LayerId x = b.input();
+    int stage = 0;
+    for (const auto &[convs, channels] :
+         {std::pair{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}) {
+        ++stage;
+        for (int i = 1; i <= convs; ++i)
+            x = b.conv("conv" + std::to_string(stage) + "_" +
+                           std::to_string(i),
+                       x, channels, 3, 1, 1);
+        x = b.maxPool("pool" + std::to_string(stage), x, 2, 2);
+    }
+    b.fc("fc", x, 10, Activation::None);
+    return b.build();
 }
 
 } // namespace
@@ -396,6 +429,100 @@ main(int argc, char **argv)
     }
     bench::show("conv_algos", at);
 
+    // --- memory planner: planned vs unplanned activation bytes ---
+    // Analytic rows straight from planMemory() for every suite network
+    // (batch 8, default pin set), then a measured off-vs-share race on
+    // a VGG-D-style net: two engines forward the same minibatch and we
+    // compare activationHighWaterBytes(). The CI gate reads the
+    // measured highWaterRatio (share must be <= 0.5x off).
+    const std::size_t mem_batch = 8;
+    struct MemNetResult
+    {
+        std::string name;
+        std::uint64_t unplannedBytes = 0;
+        std::uint64_t plannedFwdBytes = 0;   ///< arena + pinned, Forward
+        std::uint64_t plannedTrainBytes = 0; ///< ..., ForwardBackward
+    };
+    std::vector<MemNetResult> memnets;
+    const auto planned_bytes = [&](const MemPlan &p) {
+        return (p.arenaElems(mem_batch) +
+                p.pinnedElemsPerImage * mem_batch) *
+               sizeof(float);
+    };
+    struct MemMeasured
+    {
+        std::string network;
+        std::uint64_t offHighWaterBytes = 0;
+        std::uint64_t shareHighWaterBytes = 0;
+        std::uint64_t plannedBytes = 0;
+        std::uint64_t unplannedBytes = 0;
+        double offMs = 0.0;
+        double shareMs = 0.0;
+    } memvgg;
+    {
+        std::vector<Network> nets;
+        for (const auto &entry : dnn::benchmarkSuite())
+            nets.push_back(entry.make());
+        nets.push_back(makeVggDStyle112());
+        for (const Network &net : nets) {
+            const std::vector<char> pinned = defaultPinnedLayers(net);
+            const MemPlan fwd =
+                planMemory(net, PassShape::Forward, pinned);
+            const MemPlan bwd =
+                planMemory(net, PassShape::ForwardBackward, pinned);
+            MemNetResult r;
+            r.name = net.name();
+            r.unplannedBytes = bwd.unplannedElemsPerImage * mem_batch *
+                               sizeof(float);
+            r.plannedFwdBytes = planned_bytes(fwd);
+            r.plannedTrainBytes = planned_bytes(bwd);
+            memnets.push_back(std::move(r));
+        }
+
+        const Network &vgg = nets.back();
+        memvgg.network = vgg.name();
+        Tensor mx =
+            Tensor::uniform({mem_batch, 3, 112, 112}, rng);
+        setJobs(njobs);
+        {
+            ReferenceEngine eng(vgg, 1, MemPlanMode::Off);
+            memvgg.offMs = bestMs(1, [&] { eng.forward(mx); });
+            memvgg.offHighWaterBytes = eng.activationHighWaterBytes();
+            memvgg.unplannedBytes = eng.unplannedBytes();
+        }
+        {
+            ReferenceEngine eng(vgg, 1, MemPlanMode::Share);
+            memvgg.shareMs = bestMs(1, [&] { eng.forward(mx); });
+            memvgg.shareHighWaterBytes = eng.activationHighWaterBytes();
+            memvgg.plannedBytes = eng.plannedBytes();
+        }
+    }
+
+    const auto mb = [](std::uint64_t bytes) {
+        return fmtDouble(static_cast<double>(bytes) / 1e6, 1);
+    };
+    Table mt({"network", "unplanned MB", "fwd plan MB", "train plan MB",
+              "fwd ratio", "train ratio"});
+    for (const MemNetResult &r : memnets) {
+        mt.addRow({r.name, mb(r.unplannedBytes), mb(r.plannedFwdBytes),
+                   mb(r.plannedTrainBytes),
+                   fmtDouble(static_cast<double>(r.plannedFwdBytes) /
+                                 static_cast<double>(r.unplannedBytes),
+                             3),
+                   fmtDouble(static_cast<double>(r.plannedTrainBytes) /
+                                 static_cast<double>(r.unplannedBytes),
+                             3)});
+    }
+    mt.addRow({memvgg.network + " measured",
+               mb(memvgg.offHighWaterBytes),
+               mb(memvgg.shareHighWaterBytes), "-",
+               fmtDouble(static_cast<double>(memvgg.shareHighWaterBytes) /
+                             static_cast<double>(
+                                 memvgg.offHighWaterBytes),
+                         3),
+               "-"});
+    bench::show("memory", mt);
+
     // --- end-to-end: mapper + perf-sim over the suite ---
     const auto &suite = dnn::benchmarkSuite();
     arch::NodeConfig node = arch::singlePrecisionNode();
@@ -434,7 +561,7 @@ main(int argc, char **argv)
         fatal("micro_parallel: cannot open ", out_path);
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "scaledeep-kernels-3");
+    w.field("schema", "scaledeep-kernels-4");
     w.field("jobs", static_cast<std::int64_t>(njobs));
     w.field("hardwareConcurrency",
             static_cast<std::int64_t>(hardwareJobs()));
@@ -503,6 +630,47 @@ main(int argc, char **argv)
         w.endObject();
     }
     w.endArray();
+    w.key("memory");
+    w.beginObject();
+    w.field("batch", static_cast<std::int64_t>(mem_batch));
+    w.key("networks");
+    w.beginArray();
+    for (const MemNetResult &r : memnets) {
+        w.beginObject();
+        w.field("network", r.name);
+        w.field("unplannedBytes",
+                static_cast<std::int64_t>(r.unplannedBytes));
+        w.field("plannedForwardBytes",
+                static_cast<std::int64_t>(r.plannedFwdBytes));
+        w.field("plannedTrainBytes",
+                static_cast<std::int64_t>(r.plannedTrainBytes));
+        w.field("forwardRatio",
+                static_cast<double>(r.plannedFwdBytes) /
+                    static_cast<double>(r.unplannedBytes));
+        w.field("trainRatio",
+                static_cast<double>(r.plannedTrainBytes) /
+                    static_cast<double>(r.unplannedBytes));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("measured");
+    w.beginObject();
+    w.field("network", memvgg.network);
+    w.field("offActivationHighWaterBytes",
+            static_cast<std::int64_t>(memvgg.offHighWaterBytes));
+    w.field("shareActivationHighWaterBytes",
+            static_cast<std::int64_t>(memvgg.shareHighWaterBytes));
+    w.field("highWaterRatio",
+            static_cast<double>(memvgg.shareHighWaterBytes) /
+                static_cast<double>(memvgg.offHighWaterBytes));
+    w.field("plannedBytes",
+            static_cast<std::int64_t>(memvgg.plannedBytes));
+    w.field("unplannedBytes",
+            static_cast<std::int64_t>(memvgg.unplannedBytes));
+    w.field("offForwardMs", memvgg.offMs);
+    w.field("shareForwardMs", memvgg.shareMs);
+    w.endObject();
+    w.endObject();
     w.key("endToEnd");
     w.beginObject();
     w.key("networks");

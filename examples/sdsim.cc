@@ -7,7 +7,7 @@
  *         [--csv] [--layers] [--report] [--report-batch N]
  *         [--trace FILE] [--stats-json FILE]
  *         [--jobs N] [--conv-algo NAME] [--gemm-kernel NAME]
- *         [--gemm-precision P] [--quiet]
+ *         [--gemm-precision P] [--memplan MODE] [--quiet]
  *
  *   --net NAME        simulate one benchmark network (default AlexNet)
  *   --all             simulate the whole 11-network suite
@@ -37,6 +37,12 @@
  *                     SD_GEMM_PRECISION environment variable, or sp);
  *                     this is the host-kernel analogue of --precision,
  *                     which picks the modeled node preset
+ *   --memplan MODE    activation-memory strategy for the reference
+ *                     engine: off (dedicated per-layer buffers) or
+ *                     share (liveness-planned arena, dnn/memplan.hh);
+ *                     default: the SD_MEMPLAN environment variable, or
+ *                     off. --report prints the planned vs unplanned
+ *                     bytes per network either way.
  *   --quiet           suppress inform() status messages
  *
  * When --trace or --stats-json is given, sdsim additionally drives a
@@ -82,7 +88,7 @@ usage(const char *argv0)
                  " [--report] [--report-batch N]"
                  " [--trace FILE] [--stats-json FILE] [--jobs N]"
                  " [--conv-algo NAME] [--gemm-kernel NAME]"
-                 " [--gemm-precision P] [--quiet]\n"
+                 " [--gemm-precision P] [--memplan MODE] [--quiet]\n"
                  "networks:";
     for (const auto &e : dnn::benchmarkSuite())
         std::cerr << " " << e.name;
@@ -239,6 +245,14 @@ main(int argc, char **argv)
                 fatal("sdsim: --gemm-precision ", v,
                       " is not a GEMM precision preset (valid: sp hp)");
             dnn::setGemmPrecision(prec);
+        } else if (arg == "--memplan") {
+            const std::string v = value();
+            dnn::MemPlanMode mode;
+            if (!dnn::parseMemPlanMode(v, mode))
+                fatal("sdsim: --memplan ", v,
+                      " is not a memory-planning mode (valid: off"
+                      " share)");
+            dnn::setMemPlanMode(mode);
         } else if (arg == "--quiet") {
             setVerbose(false);
         } else {
@@ -322,6 +336,24 @@ main(int argc, char **argv)
                 rt.printCsv(std::cout);
             else
                 rt.print(std::cout);
+            const dnn::RooflineReport &rep = rooflines.back();
+            std::cout << name << " memplan(" << rep.memPlan
+                      << "): planned "
+                      << fmtDouble(
+                             static_cast<double>(rep.plannedBytes) / 1e6,
+                             1)
+                      << " MB / unplanned "
+                      << fmtDouble(
+                             static_cast<double>(rep.unplannedBytes) /
+                                 1e6,
+                             1)
+                      << " MB, activation high-water "
+                      << fmtDouble(
+                             static_cast<double>(
+                                 rep.activationHighWaterBytes) /
+                                 1e6,
+                             1)
+                      << " MB\n";
         }
     }
 

@@ -1,0 +1,311 @@
+#include "dnn/memplan.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+
+#include "core/logging.hh"
+#include "dnn/layer.hh"
+
+namespace sd::dnn {
+
+namespace {
+
+/** Process-global MemPlanMode; -1 = not yet resolved from SD_MEMPLAN. */
+std::atomic<int> g_memplan_mode{-1};
+
+} // namespace
+
+const char *
+memPlanModeName(MemPlanMode mode)
+{
+    switch (mode) {
+      case MemPlanMode::Off:
+        return "off";
+      case MemPlanMode::Share:
+        return "share";
+    }
+    return "?";
+}
+
+bool
+parseMemPlanMode(std::string_view text, MemPlanMode &out)
+{
+    // Mirrors parseConvAlgo: the whole string must be exactly one
+    // canonical name — "Share", " off" and "shared" are rejected.
+    for (MemPlanMode m : {MemPlanMode::Off, MemPlanMode::Share}) {
+        if (text == memPlanModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+MemPlanMode
+defaultMemPlanMode()
+{
+    if (const char *env = std::getenv("SD_MEMPLAN")) {
+        MemPlanMode m;
+        if (!parseMemPlanMode(env, m))
+            fatal("SD_MEMPLAN=", env,
+                  " is not a memory-planning mode (valid: off share)");
+        return m;
+    }
+    return MemPlanMode::Off;
+}
+
+void
+setMemPlanMode(MemPlanMode mode)
+{
+    g_memplan_mode.store(static_cast<int>(mode),
+                         std::memory_order_relaxed);
+}
+
+MemPlanMode
+memPlanMode()
+{
+    const int v = g_memplan_mode.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return static_cast<MemPlanMode>(v);
+    // First use: resolve from the environment. A concurrent first use
+    // races benignly — defaultMemPlanMode() is deterministic.
+    const MemPlanMode d = defaultMemPlanMode();
+    g_memplan_mode.store(static_cast<int>(d), std::memory_order_relaxed);
+    return d;
+}
+
+const char *
+passShapeName(PassShape shape)
+{
+    switch (shape) {
+      case PassShape::Forward:
+        return "forward";
+      case PassShape::ForwardBackward:
+        return "forward_backward";
+    }
+    return "?";
+}
+
+std::uint64_t
+MemPlan::slotOffsetElems(int slot, std::size_t batch) const
+{
+    if (slot < 0 || static_cast<std::size_t>(slot) >= slotElems.size())
+        panic("MemPlan: slot ", slot, " out of range ",
+              slotElems.size());
+    const std::uint64_t align = kMemPlanAlignElems;
+    std::uint64_t offset = 0;
+    for (int s = 0; s < slot; ++s) {
+        const std::uint64_t n = slotElems[static_cast<std::size_t>(s)] *
+                                batch;
+        offset += (n + align - 1) / align * align;
+    }
+    return offset;
+}
+
+std::uint64_t
+MemPlan::arenaElems(std::size_t batch) const
+{
+    if (slotElems.empty())
+        return 0;
+    const int last = static_cast<int>(slotElems.size()) - 1;
+    const std::uint64_t align = kMemPlanAlignElems;
+    const std::uint64_t n = slotElems.back() * batch;
+    return slotOffsetElems(last, batch) +
+           (n + align - 1) / align * align;
+}
+
+std::vector<char>
+defaultPinnedLayers(const Network &net)
+{
+    std::vector<char> pinned(net.numLayers(), 0);
+    for (const Layer &l : net.layers()) {
+        if (l.kind == LayerKind::Input)
+            pinned[static_cast<std::size_t>(l.id)] = 1;
+    }
+    pinned[static_cast<std::size_t>(net.outputLayer().id)] = 1;
+    return pinned;
+}
+
+MemPlan
+planMemory(const Network &net, PassShape shape,
+           const std::vector<char> &pinned)
+{
+    const std::size_t n = net.numLayers();
+    if (pinned.size() != n)
+        panic("planMemory: pinned flags size ", pinned.size(),
+              " != layer count ", n);
+
+    // Tensor ids: activation of layer l is l, error of layer l is n+l.
+    const auto act_id = [](LayerId l) {
+        return static_cast<std::size_t>(l);
+    };
+    const auto err_id = [n](LayerId l) {
+        return n + static_cast<std::size_t>(l);
+    };
+
+    // --- lifetimes: inclusive [first touch, last touch] step range ---
+    std::vector<int> birth(2 * n, -1);
+    std::vector<int> death(2 * n, -1);
+    int step = 0;
+    const auto touch = [&](std::size_t tid) {
+        if (birth[tid] < 0)
+            birth[tid] = step;
+        death[tid] = step;
+    };
+
+    // Forward steps in topological order: layer l reads its producers'
+    // activations and writes (Eltwise: read-modify-writes) its own.
+    for (const Layer &l : net.layers()) {
+        for (LayerId in : l.inputs)
+            touch(act_id(in));
+        touch(act_id(l.id));
+        ++step;
+    }
+
+    if (shape == PassShape::ForwardBackward) {
+        // Loss step: softmax reads the output activation and writes
+        // the output error.
+        const LayerId out = net.outputLayer().id;
+        touch(act_id(out));
+        touch(err_id(out));
+        ++step;
+
+        // Backward steps in reverse topological order, mirroring the
+        // per-kind reads/writes of ReferenceEngine::forwardBackward.
+        const auto &layers = net.layers();
+        for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+            const Layer &l = *it;
+            if (l.kind == LayerKind::Input)
+                continue;
+            touch(err_id(l.id)); // dy read (+ in-place activation grad)
+            switch (l.kind) {
+              case LayerKind::Conv:
+              case LayerKind::Fc:
+                touch(act_id(l.id));        // activation-grad reads y
+                touch(act_id(l.inputs[0])); // weight-grad reads x
+                touch(err_id(l.inputs[0])); // din accumulates
+                break;
+              case LayerKind::Samp:
+                touch(err_id(l.inputs[0])); // argmax scatter / spread
+                break;
+              case LayerKind::Eltwise:
+                touch(act_id(l.id));        // activation-grad reads y
+                for (LayerId in : l.inputs)
+                    touch(err_id(in));
+                break;
+              case LayerKind::Concat:
+                for (LayerId in : l.inputs)
+                    touch(err_id(in));
+                break;
+              case LayerKind::Input:
+                break;
+            }
+            ++step;
+        }
+    }
+
+    // --- per-image element count and pinning per tensor ---
+    std::vector<std::uint64_t> elems(2 * n, 0);
+    std::vector<char> tensor_pinned(2 * n, 0);
+    MemPlan plan;
+    plan.shape = shape;
+    plan.actSlot.assign(n, MemPlan::kPinned);
+    plan.errSlot.assign(n, MemPlan::kPinned);
+    for (const Layer &l : net.layers()) {
+        const std::uint64_t e = l.outputElems();
+        elems[act_id(l.id)] = e;
+        elems[err_id(l.id)] = e;
+        const bool pin = pinned[static_cast<std::size_t>(l.id)] != 0;
+        tensor_pinned[act_id(l.id)] = pin;
+        tensor_pinned[err_id(l.id)] = pin;
+        plan.unplannedElemsPerImage += 2 * e;
+        if (pin)
+            plan.pinnedElemsPerImage += 2 * e;
+    }
+
+    // --- greedy best-fit interval coloring, birth order ---
+    std::vector<std::size_t> order;
+    order.reserve(2 * n);
+    for (std::size_t tid = 0; tid < 2 * n; ++tid) {
+        if (!tensor_pinned[tid] && birth[tid] >= 0)
+            order.push_back(tid);
+    }
+    // Ties keep ascending tensor id (stable over the ascending push
+    // order above) — the plan must not depend on sort internals.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return birth[a] < birth[b];
+                     });
+
+    struct Slot
+    {
+        std::uint64_t elems;
+        int free_at; ///< death step of the last tensor assigned
+    };
+    std::vector<Slot> slots;
+    std::vector<int> slot_of(2 * n, MemPlan::kPinned);
+    for (std::size_t tid : order) {
+        int best = -1;
+        std::uint64_t best_gap =
+            std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+            // Strict <: tensors sharing a program step never share a
+            // slot (the step reads one while writing the other).
+            if (slots[s].free_at >= birth[tid])
+                continue;
+            const std::uint64_t gap =
+                slots[s].elems > elems[tid]
+                    ? slots[s].elems - elems[tid]
+                    : elems[tid] - slots[s].elems;
+            if (gap < best_gap) {
+                best_gap = gap;
+                best = static_cast<int>(s);
+            }
+        }
+        if (best < 0) {
+            best = static_cast<int>(slots.size());
+            slots.push_back({elems[tid], death[tid]});
+        } else {
+            Slot &slot = slots[static_cast<std::size_t>(best)];
+            slot.elems = std::max(slot.elems, elems[tid]);
+            slot.free_at = death[tid];
+        }
+        slot_of[tid] = best;
+    }
+
+    // --- untouched tensors share one "dead" slot: the engine still
+    // binds shape-correct views behind its getters ---
+    std::uint64_t dead_elems = 0;
+    bool have_dead = false;
+    for (std::size_t tid = 0; tid < 2 * n; ++tid) {
+        if (!tensor_pinned[tid] && birth[tid] < 0) {
+            dead_elems = std::max(dead_elems, elems[tid]);
+            have_dead = true;
+        }
+    }
+    if (have_dead) {
+        const int dead_slot = static_cast<int>(slots.size());
+        slots.push_back({dead_elems, 0});
+        for (std::size_t tid = 0; tid < 2 * n; ++tid) {
+            if (!tensor_pinned[tid] && birth[tid] < 0)
+                slot_of[tid] = dead_slot;
+        }
+    }
+
+    plan.slotElems.reserve(slots.size());
+    for (const Slot &s : slots) {
+        plan.slotElems.push_back(s.elems);
+        plan.plannedElemsPerImage += s.elems;
+    }
+    for (const Layer &l : net.layers()) {
+        plan.actSlot[static_cast<std::size_t>(l.id)] =
+            slot_of[act_id(l.id)];
+        plan.errSlot[static_cast<std::size_t>(l.id)] =
+            slot_of[err_id(l.id)];
+    }
+    return plan;
+}
+
+} // namespace sd::dnn

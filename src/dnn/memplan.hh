@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Graph-level memory planner for the reference engine.
+ *
+ * The engine historically kept every layer's activation and error
+ * tensor alive for the whole pass, so activation memory grew linearly
+ * with depth x batch. This module computes per-tensor lifetimes over
+ * the layer DAG for a given pass shape (forward-only vs.
+ * forward+backward), then greedily colors tensors whose lifetimes do
+ * not overlap onto shared *slots*. The engine allocates the slots from
+ * a single grow-only float arena and rebinds non-owning Tensor views
+ * into it whenever the batch or pass shape changes.
+ *
+ * Lifetime model (DESIGN.md "Memory planning" has the long form):
+ * program points are the forward step of each layer in topological
+ * order, then — for forward+backward — the loss step and the backward
+ * step of each layer in reverse topological order. A tensor's lifetime
+ * is the inclusive interval [first touch, last touch] over those
+ * steps, where a touch is any read or write the engine's kernels make
+ * (e.g. a Conv backward step touches its own error, its own
+ * activation, its input's activation and its input's error). Two
+ * tensors may share a slot iff their intervals are disjoint; tensors
+ * touched in the same step never share.
+ *
+ * Coloring rule: tensors are processed in birth order (ties by tensor
+ * id), and each takes the free slot whose per-image size is closest to
+ * its own (best fit, lowest index on ties), growing the slot if
+ * needed; a new slot is opened when none is free. The plan depends
+ * only on the topology and pass shape — never on thread count or
+ * timing — so it is deterministic across SD_JOBS values.
+ *
+ * Tensors the pass never touches (every error in a forward-only plan)
+ * still need correctly-shaped storage behind the engine's getters;
+ * they all share one "dead" slot sized to the largest of them.
+ *
+ * Pinned layers are excluded from sharing entirely: the engine keeps
+ * dedicated owning buffers for them so their activation()/error()
+ * getters stay value-correct after any pass. The engine pins the
+ * input and output layers by default (ReferenceEngine::pin adds more).
+ */
+
+#ifndef SCALEDEEP_DNN_MEMPLAN_HH
+#define SCALEDEEP_DNN_MEMPLAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace sd::dnn {
+
+// --- memory-planning mode selection ---
+
+/**
+ * Whether the reference engine binds activations/errors through the
+ * planner.
+ *
+ *  - Off: every layer owns dedicated acts_/errors_ tensors — the
+ *    pre-planner layout, preserved bit for bit.
+ *  - Share: non-pinned tensors are views into a grow-only arena with
+ *    liveness-based slot sharing. Training results are bit-identical
+ *    to Off; only the memory footprint (and the value-stability of
+ *    non-pinned getters, see the pinning contract above) changes.
+ *
+ * The process-global selection defaults to the SD_MEMPLAN environment
+ * variable (fatal on an unrecognized value) and Off when unset;
+ * front-ends expose it as --memplan.
+ */
+enum class MemPlanMode { Off, Share };
+
+/** Lower-case canonical name ("off", "share"). */
+const char *memPlanModeName(MemPlanMode mode);
+
+/**
+ * Strict parse of a MemPlanMode name, std::from_chars style: the whole
+ * string must be exactly one canonical lower-case name. Returns false
+ * (leaving @p out untouched) on anything else.
+ */
+bool parseMemPlanMode(std::string_view text, MemPlanMode &out);
+
+/**
+ * The mode front-ends should adopt: SD_MEMPLAN when set — fatal with
+ * the valid set listed if it does not parse — else Off.
+ */
+MemPlanMode defaultMemPlanMode();
+
+/** Set the process-global memory-planning mode. Engines capture the
+ * mode at construction; setting it does not rebind live engines. */
+void setMemPlanMode(MemPlanMode mode);
+
+/**
+ * Current process-global memory-planning mode. Initialized from
+ * defaultMemPlanMode() on first use, so SD_MEMPLAN reaches every
+ * engine construction site (tests included) without per-driver
+ * plumbing.
+ */
+MemPlanMode memPlanMode();
+
+// --- the plan ---
+
+/** Which steps a pass executes — forward only (forward()/predict())
+ * or forward+backward (forwardBackward()/trainMinibatch()). The two
+ * shapes have different lifetimes and therefore different plans. */
+enum class PassShape { Forward, ForwardBackward };
+
+/** Lower-case canonical name ("forward", "forward_backward"). */
+const char *passShapeName(PassShape shape);
+
+/** Slot starts are aligned to this many floats within the arena. */
+inline constexpr std::size_t kMemPlanAlignElems = 16;
+
+/**
+ * One pass shape's slot assignment for a network. Sizes are in
+ * per-image elements: the plan is batch-independent, and offsets scale
+ * by the batch at bind time.
+ */
+struct MemPlan
+{
+    /** actSlot/errSlot value for layers the engine pins. */
+    static constexpr int kPinned = -1;
+
+    PassShape shape = PassShape::Forward;
+    std::vector<int> actSlot;   ///< per layer id; slot index or kPinned
+    std::vector<int> errSlot;   ///< per layer id; slot index or kPinned
+    std::vector<std::uint64_t> slotElems;   ///< per-image elems per slot
+
+    std::uint64_t plannedElemsPerImage = 0; ///< sum of slotElems
+    std::uint64_t pinnedElemsPerImage = 0;  ///< acts+errs of pinned layers
+    /** What the Off layout holds: acts+errs of *every* layer. */
+    std::uint64_t unplannedElemsPerImage = 0;
+
+    bool operator==(const MemPlan &) const = default;
+
+    /** Start of slot @p slot (in elements) in an arena bound for
+     * @p batch images; every slot start is kMemPlanAlignElems-aligned. */
+    std::uint64_t slotOffsetElems(int slot, std::size_t batch) const;
+
+    /** Total arena elements needed for @p batch images. */
+    std::uint64_t arenaElems(std::size_t batch) const;
+};
+
+/** The engine's default pin set: the input layer's activation plus the
+ * output layer's activation and error (net.numLayers() flags). */
+std::vector<char> defaultPinnedLayers(const Network &net);
+
+/**
+ * Compute the slot assignment for @p net under @p shape. @p pinned
+ * holds one flag per layer id; pinned layers get no slot. The result
+ * is a pure function of (topology, shape, pinned) — deterministic
+ * across processes and jobs values.
+ */
+MemPlan planMemory(const Network &net, PassShape shape,
+                   const std::vector<char> &pinned);
+
+} // namespace sd::dnn
+
+#endif // SCALEDEEP_DNN_MEMPLAN_HH

@@ -665,11 +665,23 @@ poolBackward(const Layer &l, const Tensor &dout,
 
     if (l.sampKind == SampKind::Max) {
         if (argmax.size() != dout.size())
-            panic("poolBackward ", l.name, ": missing argmax");
+            fatal("poolBackward ", l.name, ": argmax has ",
+                  argmax.size(), " entries but the error has ",
+                  dout.size(), " — stale or cleared winner indices "
+                  "(run forward at this batch first)");
         // argmax holds global (batched) indices, so the scatter is one
-        // flat pass over the whole minibatch.
-        for (std::size_t i = 0; i < dout.size(); ++i)
-            dx[argmax[i]] += dy[i];
+        // flat pass over the whole minibatch. Indices recorded at a
+        // different batch size would scatter out of bounds — fail
+        // loudly instead of corrupting memory.
+        for (std::size_t i = 0; i < dout.size(); ++i) {
+            const std::uint32_t idx = argmax[i];
+            if (idx >= din.size())
+                fatal("poolBackward ", l.name, ": argmax index ", idx,
+                      " outside the ", din.size(),
+                      "-element input gradient — winner indices are "
+                      "stale for this batch");
+            dx[idx] += dy[i];
+        }
         return;
     }
 
@@ -847,8 +859,9 @@ softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels,
     return loss;
 }
 
-ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed)
-    : net_(&net)
+ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed,
+                                 MemPlanMode mem_mode)
+    : net_(&net), memMode_(mem_mode)
 {
     Rng rng(seed);
     const std::size_t n = net.numLayers();
@@ -857,9 +870,9 @@ ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed)
     acts_.resize(n);
     errors_.resize(n);
     argmax_.resize(n);
+    pinned_ = defaultPinnedLayers(net);
+    errorReady_.assign(n, 0);
     for (const Layer &l : net.layers()) {
-        acts_[l.id] = outputShapeTensor(l);
-        errors_[l.id] = outputShapeTensor(l);
         std::uint64_t wc = l.weightCount();
         if (wc > 0) {
             // Scaled uniform init (He-style fan-in scaling).
@@ -873,6 +886,24 @@ ReferenceEngine::ReferenceEngine(const Network &net, std::uint64_t seed)
         }
     }
     fwdMillis_.assign(n, 0.0);
+    bindBuffers();
+    boundValid_ = true;
+    accountMemory();
+}
+
+void
+ReferenceEngine::pin(LayerId id)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= pinned_.size())
+        panic("ReferenceEngine::pin: layer ", id, " out of range");
+    if (pinned_[static_cast<std::size_t>(id)])
+        return;
+    pinned_[static_cast<std::size_t>(id)] = 1;
+    if (memMode_ == MemPlanMode::Off)
+        return;
+    // The cached plans assumed the old pin set; rebuild and rebind.
+    planReady_[0] = planReady_[1] = false;
+    bindBuffers();
     accountMemory();
 }
 
@@ -885,24 +916,47 @@ ReferenceEngine::forwardMillis(LayerId id) const
 void
 ReferenceEngine::accountMemory()
 {
+    // Capacity, not logical size: a vector that clear()s but keeps its
+    // heap block still holds the bytes, and that retained memory is
+    // exactly what this account exists to report.
     std::uint64_t bytes = 0;
-    for (const std::vector<Tensor> *tensors :
-         {&weights_, &grads_, &acts_, &errors_})
+    for (const std::vector<Tensor> *tensors : {&weights_, &grads_})
         for (const Tensor &t : *tensors)
-            bytes += t.size() * sizeof(float);
+            bytes += t.capacityBytes();
+    std::uint64_t act_bytes = arena_.capacity() * sizeof(float);
+    for (const std::vector<Tensor> *tensors : {&acts_, &errors_})
+        for (const Tensor &t : *tensors)
+            act_bytes += t.capacityBytes(); // views report 0
+    bytes += act_bytes;
     for (const auto &a : argmax_)
-        bytes += a.size() * sizeof(std::uint32_t);
+        bytes += a.capacity() * sizeof(std::uint32_t);
     liveBytes_ = bytes;
     highWaterBytes_ = std::max(highWaterBytes_, bytes);
+    actBytes_ = act_bytes;
+    actHighWaterBytes_ = std::max(actHighWaterBytes_, act_bytes);
     if (SD_METRICS_ACTIVE()) {
         static MetricGauge &live = MetricsRegistry::global().gauge(
             "refeng.bytes_live", "reference-engine tensor bytes");
         live.set(static_cast<std::int64_t>(bytes));
+        static MetricGauge &planned = MetricsRegistry::global().gauge(
+            "refeng.bytes_planned",
+            "plan-bound activation bytes (arena + pinned; 0 when "
+            "SD_MEMPLAN=off)");
+        planned.set(static_cast<std::int64_t>(plannedBytes_));
     }
 }
 
-Tensor
-ReferenceEngine::outputShapeTensor(const Layer &l) const
+std::uint64_t
+ReferenceEngine::unplannedBytes() const
+{
+    std::uint64_t elems = 0;
+    for (const Layer &l : net_->layers())
+        elems += 2 * l.outputElems();
+    return elems * batch_ * sizeof(float);
+}
+
+std::vector<std::size_t>
+ReferenceEngine::outputShape(const Layer &l) const
 {
     std::vector<std::size_t> shape = {
         static_cast<std::size_t>(l.outChannels),
@@ -910,7 +964,13 @@ ReferenceEngine::outputShapeTensor(const Layer &l) const
         static_cast<std::size_t>(l.outW)};
     if (batch_ > 1)
         shape.insert(shape.begin(), batch_);
-    return Tensor(std::move(shape));
+    return shape;
+}
+
+Tensor
+ReferenceEngine::outputShapeTensor(const Layer &l) const
+{
+    return Tensor(outputShape(l));
 }
 
 Tensor
@@ -928,24 +988,124 @@ ReferenceEngine::inputShapeTensor(const Layer &l) const
 void
 ReferenceEngine::ensureBatch(std::size_t batch)
 {
-    if (batch == 0)
-        fatal("ReferenceEngine: batch must be >= 1");
     if (batch == batch_)
         return;
     batch_ = batch;
     for (const Layer &l : net_->layers()) {
         acts_[l.id] = outputShapeTensor(l);
         errors_[l.id] = outputShapeTensor(l);
+        // The reshape invalidates the recorded winner indices; the
+        // shrink is intended, so release the block too (liveBytes_
+        // counts capacity).
         argmax_[l.id].clear();
+        argmax_[l.id].shrink_to_fit();
     }
     accountMemory();
+}
+
+const MemPlan &
+ReferenceEngine::currentPlan()
+{
+    const std::size_t i = static_cast<std::size_t>(passShape_);
+    if (!planReady_[i]) {
+        plans_[i] = planMemory(*net_, passShape_, pinned_);
+        planReady_[i] = true;
+    }
+    return plans_[i];
+}
+
+void
+ReferenceEngine::bindBuffers()
+{
+    if (memMode_ == MemPlanMode::Off) {
+        for (const Layer &l : net_->layers()) {
+            acts_[l.id] = outputShapeTensor(l);
+            errors_[l.id] = outputShapeTensor(l);
+        }
+        return;
+    }
+    const MemPlan &plan = currentPlan();
+    const std::uint64_t need = plan.arenaElems(batch_);
+    if (arena_.size() < need)
+        arena_.resize(need, 0.0f); // grow-only
+    for (const Layer &l : net_->layers()) {
+        const std::size_t id = static_cast<std::size_t>(l.id);
+        if (pinned_[id]) {
+            // Dedicated owning buffers; keep them (and their values)
+            // when only the pass shape changed. A freshly-pinned layer
+            // still holds a view — promote it to owning storage.
+            if (acts_[id].isView() ||
+                acts_[id].shape() != outputShape(l)) {
+                acts_[id] = outputShapeTensor(l);
+                errors_[id] = outputShapeTensor(l);
+            }
+            continue;
+        }
+        acts_[id] = Tensor::view(
+            outputShape(l),
+            arena_.data() + plan.slotOffsetElems(plan.actSlot[id], batch_));
+        errors_[id] = Tensor::view(
+            outputShape(l),
+            arena_.data() + plan.slotOffsetElems(plan.errSlot[id], batch_));
+    }
+    plannedBytes_ = (plan.arenaElems(batch_) +
+                     plan.pinnedElemsPerImage * batch_) *
+                    sizeof(float);
+}
+
+void
+ReferenceEngine::ensurePass(PassShape shape, std::size_t batch)
+{
+    if (batch == 0)
+        fatal("ReferenceEngine: batch must be >= 1");
+    if (memMode_ == MemPlanMode::Off) {
+        passShape_ = shape; // no plan; layout is shape-independent
+        ensureBatch(batch);
+        return;
+    }
+    const bool shape_changed = shape != passShape_ || !boundValid_;
+    const bool batch_changed = batch != batch_;
+    if (!shape_changed && !batch_changed)
+        return;
+    passShape_ = shape;
+    if (batch_changed) {
+        batch_ = batch;
+        for (const Layer &l : net_->layers()) {
+            argmax_[l.id].clear();
+            argmax_[l.id].shrink_to_fit();
+        }
+    }
+    bindBuffers();
+    boundValid_ = true;
+    accountMemory();
+}
+
+Tensor &
+ReferenceEngine::bpError(LayerId id)
+{
+    Tensor &e = errors_[static_cast<std::size_t>(id)];
+    if (!errorReady_[static_cast<std::size_t>(id)]) {
+        // A shared slot holds whatever its previous occupant left
+        // behind; zeroing lazily at the first touch makes the
+        // accumulates that follow bit-identical to Off's eager
+        // pre-pass zero fill.
+        e.fill(0.0f);
+        errorReady_[static_cast<std::size_t>(id)] = 1;
+    }
+    return e;
 }
 
 const Tensor &
 ReferenceEngine::forward(const Tensor &input)
 {
+    ensurePass(PassShape::Forward, input.batch());
+    return forwardImpl(input);
+}
+
+const Tensor &
+ReferenceEngine::forwardImpl(const Tensor &input)
+{
     using clock = std::chrono::steady_clock;
-    ensureBatch(input.batch());
     const bool timed = SD_METRICS_ACTIVE();
     bool pooled = false;
     if (timed) {
@@ -1041,12 +1201,21 @@ double
 ReferenceEngine::forwardBackward(const Tensor &input,
                                  const std::vector<int> &labels)
 {
-    const Tensor &logits = forward(input);
+    ensurePass(PassShape::ForwardBackward, input.batch());
+    const Tensor &logits = forwardImpl(input);
     if (labels.size() != batch_)
         fatal("forwardBackward: labels/batch mismatch");
-    for (Tensor &e : errors_)
-        e.fill(0.0f);
+    std::fill(errorReady_.begin(), errorReady_.end(), 0);
+    if (memMode_ == MemPlanMode::Off) {
+        // The historical layout zeroes every error eagerly; shared
+        // slots are zeroed lazily in bpError() instead (same
+        // arithmetic, so training stays bit-identical).
+        for (Tensor &e : errors_)
+            e.fill(0.0f);
+        std::fill(errorReady_.begin(), errorReady_.end(), 1);
+    }
     LayerId out_id = net_->outputLayer().id;
+    errorReady_[static_cast<std::size_t>(out_id)] = 1; // softmax overwrites
     double loss = softmaxCrossEntropy(logits, labels, errors_[out_id]);
 
     // Walk the layers in reverse topological order; errors_ at a layer
@@ -1057,14 +1226,14 @@ ReferenceEngine::forwardBackward(const Tensor &input,
         const Layer &l = *it;
         if (l.kind == LayerKind::Input)
             continue;
-        Tensor &dy = errors_[l.id];
+        Tensor &dy = bpError(l.id);
         switch (l.kind) {
           case LayerKind::Conv: {
             applyActivationGrad(dy, acts_[l.id], l.act);
             convWeightGrad(l, acts_[l.inputs[0]], dy, grads_[l.id]);
             Tensor din = inputShapeTensor(l);
             convBackwardData(l, dy, weights_[l.id], din);
-            errors_[l.inputs[0]].accumulate(din);
+            bpError(l.inputs[0]).accumulate(din);
             break;
           }
           case LayerKind::Fc: {
@@ -1075,21 +1244,28 @@ ReferenceEngine::forwardBackward(const Tensor &input,
             // The producer may be spatial; add the flat gradient
             // (per-image blocks are contiguous in NCHW, so the flat
             // add lines up image by image).
-            Tensor &dst = errors_[l.inputs[0]];
+            Tensor &dst = bpError(l.inputs[0]);
             for (std::size_t i = 0; i < din.size(); ++i)
                 dst[i] += din[i];
             break;
           }
           case LayerKind::Samp: {
+            if (l.sampKind == SampKind::Max &&
+                argmax_[l.id].size() != dy.size())
+                fatal("ReferenceEngine: pooling layer ", l.name,
+                      " has no argmax for the current batch (",
+                      argmax_[l.id].size(), " recorded, ", dy.size(),
+                      " needed) — a batch reshape cleared it; backward "
+                      "needs the matching forward pass first");
             Tensor din = inputShapeTensor(l);
             poolBackward(l, dy, argmax_[l.id], din);
-            errors_[l.inputs[0]].accumulate(din);
+            bpError(l.inputs[0]).accumulate(din);
             break;
           }
           case LayerKind::Eltwise:
             applyActivationGrad(dy, acts_[l.id], l.act);
             for (LayerId in : l.inputs)
-                errors_[in].accumulate(dy);
+                bpError(in).accumulate(dy);
             break;
           case LayerKind::Concat: {
             // Un-interleave: image n of dy splits back into image n of
@@ -1098,7 +1274,7 @@ ReferenceEngine::forwardBackward(const Tensor &input,
             for (std::size_t n = 0; n < batch_; ++n) {
                 std::size_t offset = 0;
                 for (LayerId in : l.inputs) {
-                    Tensor &dst = errors_[in];
+                    Tensor &dst = bpError(in);
                     const std::size_t per = dst.imageElems();
                     float *d = dst.data() + n * per;
                     const float *s = dy.data() + n * out_elems + offset;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/random.hh"
+#include "dnn/memplan.hh"
 #include "dnn/network.hh"
 #include "dnn/tensor.hh"
 
@@ -216,6 +217,22 @@ double softmaxCrossEntropy(const Tensor &logits,
 /**
  * Holds the parameters and per-layer activations of one network and runs
  * FP / BP / WG / weight-update, mirroring the paper's Figure 3 data flow.
+ *
+ * Activation/error storage is governed by the memory planner
+ * (dnn/memplan.hh). Under MemPlanMode::Off every layer owns dedicated
+ * buffers — the historical layout. Under MemPlanMode::Share the engine
+ * plans per-tensor lifetimes for the current pass shape and binds
+ * non-pinned activations/errors as views into a grow-only arena, so
+ * buffers whose lifetimes do not overlap share storage. Training is
+ * bit-identical between the modes; what changes is the footprint and
+ * the *pinning contract* on the getters:
+ *
+ *  - activation()/error() always return a tensor of the correct shape
+ *    for the last pass's batch.
+ *  - Values are guaranteed only for *pinned* layers (the input and
+ *    output layers by default; pin() adds more) — a shared slot may
+ *    have been overwritten by a later-living tensor. Under Off, every
+ *    buffer behaves as pinned.
  */
 class ReferenceEngine
 {
@@ -223,8 +240,11 @@ class ReferenceEngine
     /**
      * @param net the topology (must outlive the engine)
      * @param seed deterministic weight-initialization seed
+     * @param mem_mode activation-memory strategy; defaults to the
+     *        process-global memPlanMode() (SD_MEMPLAN / --memplan)
      */
-    explicit ReferenceEngine(const Network &net, std::uint64_t seed = 1);
+    explicit ReferenceEngine(const Network &net, std::uint64_t seed = 1,
+                             MemPlanMode mem_mode = memPlanMode());
 
     const Network &network() const { return *net_; }
 
@@ -281,12 +301,46 @@ class ReferenceEngine
     double forwardMillis(LayerId id) const;
 
     /** Bytes currently held by this engine's tensors (weights, grads,
-     * activations, errors, pooling argmax buffers). */
+     * activations, errors, pooling argmax buffers, planner arena).
+     * Counts heap *capacity*, not logical size — a buffer that shrank
+     * without releasing its block still holds the bytes. */
     std::uint64_t liveBytes() const { return liveBytes_; }
 
     /** Largest liveBytes() this engine has reached (batch reshapes
      * grow and shrink the activation buffers). */
     std::uint64_t highWaterBytes() const { return highWaterBytes_; }
+
+    /** The activation/error share of liveBytes(): pinned buffers plus
+     * the planner arena (Share) or every per-layer buffer (Off). */
+    std::uint64_t activationBytes() const { return actBytes_; }
+
+    /** Largest activationBytes() this engine has reached. */
+    std::uint64_t activationHighWaterBytes() const
+    { return actHighWaterBytes_; }
+
+    /** Bytes the current plan binds (arena + pinned buffers) at the
+     * current batch; 0 under MemPlanMode::Off. */
+    std::uint64_t plannedBytes() const { return plannedBytes_; }
+
+    /** What the Off layout would hold in activation/error buffers at
+     * the current batch — the analytic baseline the planner is
+     * measured against (mode-independent). */
+    std::uint64_t unplannedBytes() const;
+
+    /** The memory strategy this engine was constructed with. */
+    MemPlanMode memMode() const { return memMode_; }
+
+    /** The pass shape the buffers are currently planned for. */
+    PassShape passShape() const { return passShape_; }
+
+    /**
+     * Guarantee that layer @p id's activation()/error() values survive
+     * every pass (excluded from slot sharing; dedicated buffers).
+     * Call before running passes — pinning replans, so non-pinned
+     * buffer contents are not preserved across it. No-op under Off,
+     * where every buffer already behaves as pinned.
+     */
+    void pin(LayerId id);
 
     Tensor &weights(LayerId id);
     const Tensor &weights(LayerId id) const;
@@ -302,15 +356,36 @@ class ReferenceEngine
     const Tensor &error(LayerId id) const;
 
   private:
+    std::vector<std::size_t> outputShape(const Layer &l) const;
     Tensor outputShapeTensor(const Layer &l) const;
     Tensor inputShapeTensor(const Layer &l) const;
-    /** Reshape acts_/errors_ for a new batch size. */
+    /** Reshape acts_/errors_ for a new batch size (Off mode). */
     void ensureBatch(std::size_t batch);
+    /** Make the buffers valid for @p shape at @p batch: plan lookup
+     * (Share), arena growth and view rebinding as needed. */
+    void ensurePass(PassShape shape, std::size_t batch);
+    /** The (cached) plan for the current pass shape. */
+    const MemPlan &currentPlan();
+    /** (Re)bind acts_/errors_ for the current mode/plan/batch. */
+    void bindBuffers();
+    /** Forward pass over already-bound buffers. */
+    const Tensor &forwardImpl(const Tensor &input);
+    /** Error buffer of @p id for BP, zero-initialized at the first
+     * touch of the pass (shared slots hold stale data at birth). */
+    Tensor &bpError(LayerId id);
     /** Recompute liveBytes_/highWaterBytes_ and publish the gauges. */
     void accountMemory();
 
     const Network *net_;
+    MemPlanMode memMode_;
     std::size_t batch_ = 1;             ///< current minibatch size
+    PassShape passShape_ = PassShape::Forward;
+    MemPlan plans_[2];                  ///< per PassShape, lazily built
+    bool planReady_[2] = {false, false};
+    bool boundValid_ = false;           ///< views match plan/batch
+    std::vector<char> pinned_;          ///< per layer; excluded from plan
+    std::vector<char> errorReady_;      ///< per layer; zeroed this pass
+    std::vector<float> arena_;          ///< grow-only shared-slot pool
     std::vector<Tensor> weights_;
     std::vector<Tensor> grads_;
     std::vector<Tensor> acts_;          ///< post-activation outputs
@@ -319,6 +394,9 @@ class ReferenceEngine
     std::vector<double> fwdMillis_;     ///< last forward(), per layer
     std::uint64_t liveBytes_ = 0;
     std::uint64_t highWaterBytes_ = 0;
+    std::uint64_t actBytes_ = 0;
+    std::uint64_t actHighWaterBytes_ = 0;
+    std::uint64_t plannedBytes_ = 0;
 };
 
 /**

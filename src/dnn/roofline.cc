@@ -83,6 +83,10 @@ rooflineReport(const ReferenceEngine &engine,
     rep.batch = engine.batchSize();
     rep.engineLiveBytes = engine.liveBytes();
     rep.engineHighWaterBytes = engine.highWaterBytes();
+    rep.memPlan = memPlanModeName(engine.memMode());
+    rep.plannedBytes = engine.plannedBytes();
+    rep.unplannedBytes = engine.unplannedBytes();
+    rep.activationHighWaterBytes = engine.activationHighWaterBytes();
 
     for (const Layer &l : net.layers()) {
         LayerRoofline lr;
@@ -156,6 +160,11 @@ writeRooflineJson(JsonWriter &w, const RooflineReport &report)
     w.field("totalBytes", report.totalBytes);
     w.field("engineLiveBytes", report.engineLiveBytes);
     w.field("engineHighWaterBytes", report.engineHighWaterBytes);
+    w.field("memPlan", report.memPlan);
+    w.field("plannedBytes", report.plannedBytes);
+    w.field("unplannedBytes", report.unplannedBytes);
+    w.field("activationHighWaterBytes",
+            report.activationHighWaterBytes);
     w.field("totalMs", report.totalMs);
     w.field("gemmKernel", report.gemmKernel);
     w.field("clockGhz", report.clockGhz);

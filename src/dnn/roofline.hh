@@ -33,8 +33,10 @@ namespace sd::dnn {
 
 class ReferenceEngine;
 
-/** Schema tag of writeRooflineJson()'s output. */
-inline constexpr const char *kRooflineSchema = "scaledeep-roofline-2";
+/** Schema tag of writeRooflineJson()'s output. -3 added the memory-
+ * planner fields (memPlan, plannedBytes, unplannedBytes,
+ * activationHighWaterBytes). */
+inline constexpr const char *kRooflineSchema = "scaledeep-roofline-3";
 
 /** One layer's roofline line. */
 struct LayerRoofline
@@ -84,6 +86,15 @@ struct RooflineReport
     std::uint64_t engineLiveBytes = 0;      ///< ReferenceEngine account
     std::uint64_t engineHighWaterBytes = 0;
     double totalMs = 0.0;
+
+    // Memory-planner accounting (dnn/memplan.hh): what the plan binds
+    // for activations/errors vs. what the unplanned per-layer layout
+    // would hold at this batch, plus the measured activation
+    // high-water. plannedBytes is 0 under SD_MEMPLAN=off.
+    std::string memPlan;                    ///< memPlanModeName()
+    std::uint64_t plannedBytes = 0;
+    std::uint64_t unplannedBytes = 0;
+    std::uint64_t activationHighWaterBytes = 0;
 
     // Peak-FLOPs model of the resolved GEMM dispatch level (see
     // GemmKernelModel in dnn/gemm.hh): peakGflops = flops/cycle/core

@@ -7,18 +7,80 @@
 
 namespace sd::dnn {
 
-Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape))
+std::size_t
+Tensor::checkedVolume(const std::vector<std::size_t> &shape)
 {
-    if (shape_.empty() || shape_.size() > 4)
-        panic("Tensor: rank must be 1..4, got ", shape_.size());
+    if (shape.empty() || shape.size() > 4)
+        panic("Tensor: rank must be 1..4, got ", shape.size());
     std::size_t n = 1;
-    for (std::size_t d : shape_) {
+    for (std::size_t d : shape) {
         if (d == 0)
             panic("Tensor: zero-sized dimension");
         n *= d;
     }
-    data_.assign(n, 0.0f);
+    return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape))
+{
+    elems_ = checkedVolume(shape_);
+    data_.assign(elems_, 0.0f);
+    ptr_ = data_.data();
+}
+
+Tensor::Tensor(const Tensor &other)
+    : shape_(other.shape_), elems_(other.elems_)
+{
+    // Copying materializes views: the copy always owns its storage.
+    if (elems_ > 0)
+        data_.assign(other.ptr_, other.ptr_ + elems_);
+    ptr_ = data_.data();
+}
+
+Tensor &
+Tensor::operator=(const Tensor &other)
+{
+    if (this == &other)
+        return *this;
+    shape_ = other.shape_;
+    elems_ = other.elems_;
+    if (elems_ > 0)
+        data_.assign(other.ptr_, other.ptr_ + elems_);
+    else
+        data_.clear();
+    ptr_ = data_.data();
+    view_ = false;
+    return *this;
+}
+
+Tensor::Tensor(Tensor &&other) noexcept
+    : shape_(std::move(other.shape_)), data_(std::move(other.data_)),
+      ptr_(other.ptr_), elems_(other.elems_), view_(other.view_)
+{
+    // A moved vector keeps its heap block, so ptr_ stays valid for
+    // owning tensors; for views it points at the external storage.
+    other.shape_.clear();
+    other.ptr_ = nullptr;
+    other.elems_ = 0;
+    other.view_ = false;
+}
+
+Tensor &
+Tensor::operator=(Tensor &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+    ptr_ = other.ptr_;
+    elems_ = other.elems_;
+    view_ = other.view_;
+    other.shape_.clear();
+    other.ptr_ = nullptr;
+    other.elems_ = 0;
+    other.view_ = false;
+    return *this;
 }
 
 Tensor
@@ -39,6 +101,19 @@ Tensor::uniform(std::vector<std::size_t> shape, Rng &rng, float lo, float hi)
 }
 
 Tensor
+Tensor::view(std::vector<std::size_t> shape, float *storage)
+{
+    if (storage == nullptr)
+        panic("Tensor::view: null storage");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.elems_ = checkedVolume(t.shape_);
+    t.ptr_ = storage;
+    t.view_ = true;
+    return t;
+}
+
+Tensor
 Tensor::stack(const std::vector<Tensor> &items)
 {
     if (items.empty())
@@ -52,9 +127,8 @@ Tensor::stack(const std::vector<Tensor> &items)
     for (std::size_t n = 0; n < items.size(); ++n) {
         if (items[n].shape_ != first.shape_)
             panic("Tensor::stack: item ", n, " shape mismatch");
-        std::copy(items[n].data_.begin(), items[n].data_.end(),
-                  out.data_.begin() +
-                      static_cast<std::ptrdiff_t>(n * first.size()));
+        std::copy(items[n].data(), items[n].data() + items[n].size(),
+                  out.data() + n * first.size());
     }
     return out;
 }
@@ -70,9 +144,7 @@ Tensor::imageAt(std::size_t n) const
                     : shape_;
     Tensor out(std::move(shape));
     const std::size_t elems = imageElems();
-    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(n * elems),
-              data_.begin() + static_cast<std::ptrdiff_t>((n + 1) * elems),
-              out.data_.begin());
+    std::copy(ptr_ + n * elems, ptr_ + (n + 1) * elems, out.data());
     return out;
 }
 
@@ -95,29 +167,29 @@ Tensor::flatIndex(std::size_t i0, std::size_t i1, std::size_t i2,
 }
 
 float &Tensor::at(std::size_t i0)
-{ return data_[flatIndex(i0, 0, 0, 0, 1)]; }
+{ return ptr_[flatIndex(i0, 0, 0, 0, 1)]; }
 float &Tensor::at(std::size_t i0, std::size_t i1)
-{ return data_[flatIndex(i0, i1, 0, 0, 2)]; }
+{ return ptr_[flatIndex(i0, i1, 0, 0, 2)]; }
 float &Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2)
-{ return data_[flatIndex(i0, i1, i2, 0, 3)]; }
+{ return ptr_[flatIndex(i0, i1, i2, 0, 3)]; }
 float &Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
                   std::size_t i3)
-{ return data_[flatIndex(i0, i1, i2, i3, 4)]; }
+{ return ptr_[flatIndex(i0, i1, i2, i3, 4)]; }
 
 float Tensor::at(std::size_t i0) const
-{ return data_[flatIndex(i0, 0, 0, 0, 1)]; }
+{ return ptr_[flatIndex(i0, 0, 0, 0, 1)]; }
 float Tensor::at(std::size_t i0, std::size_t i1) const
-{ return data_[flatIndex(i0, i1, 0, 0, 2)]; }
+{ return ptr_[flatIndex(i0, i1, 0, 0, 2)]; }
 float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const
-{ return data_[flatIndex(i0, i1, i2, 0, 3)]; }
+{ return ptr_[flatIndex(i0, i1, i2, 0, 3)]; }
 float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
                  std::size_t i3) const
-{ return data_[flatIndex(i0, i1, i2, i3, 4)]; }
+{ return ptr_[flatIndex(i0, i1, i2, i3, 4)]; }
 
 void
 Tensor::fill(float value)
 {
-    std::fill(data_.begin(), data_.end(), value);
+    std::fill(ptr_, ptr_ + elems_, value);
 }
 
 void
@@ -125,23 +197,23 @@ Tensor::accumulate(const Tensor &other)
 {
     if (other.shape_ != shape_)
         panic("Tensor::accumulate: shape mismatch");
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] += other.data_[i];
+    for (std::size_t i = 0; i < elems_; ++i)
+        ptr_[i] += other.ptr_[i];
 }
 
 void
 Tensor::scale(float factor)
 {
-    for (float &v : data_)
-        v *= factor;
+    for (std::size_t i = 0; i < elems_; ++i)
+        ptr_[i] *= factor;
 }
 
 float
 Tensor::maxAbs() const
 {
     float m = 0.0f;
-    for (float v : data_)
-        m = std::max(m, std::fabs(v));
+    for (std::size_t i = 0; i < elems_; ++i)
+        m = std::max(m, std::fabs(ptr_[i]));
     return m;
 }
 
@@ -151,8 +223,8 @@ Tensor::maxAbsDiff(const Tensor &other) const
     if (other.shape_ != shape_)
         panic("Tensor::maxAbsDiff: shape mismatch");
     float m = 0.0f;
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+    for (std::size_t i = 0; i < elems_; ++i)
+        m = std::max(m, std::fabs(ptr_[i] - other.ptr_[i]));
     return m;
 }
 

@@ -20,6 +20,13 @@ namespace sd::dnn {
  *
  * Dimensions are stored outermost-first (e.g. {N, C, H, W}); trailing
  * dimensions of size 1 may be omitted. Storage is always contiguous.
+ *
+ * A tensor either owns its storage or is a *view* over external
+ * storage (Tensor::view — the memory planner binds activation views
+ * into its arena this way). Views have value semantics on copy: any
+ * copy materializes into owning storage, so `Tensor t = view;` is a
+ * stable snapshot. Moves preserve view-ness. The viewed storage must
+ * outlive the view.
  */
 class Tensor
 {
@@ -28,6 +35,12 @@ class Tensor
 
     /** Construct zero-filled with the given shape. */
     explicit Tensor(std::vector<std::size_t> shape);
+
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept;
+    Tensor &operator=(Tensor &&other) noexcept;
+    ~Tensor() = default;
 
     static Tensor zeros(std::vector<std::size_t> shape)
     { return Tensor(std::move(shape)); }
@@ -40,6 +53,13 @@ class Tensor
                           float lo = -1.0f, float hi = 1.0f);
 
     /**
+     * Non-owning view of @p shape over @p storage (which must hold the
+     * shape's volume and outlive the view). The contents are whatever
+     * the storage holds — not zero-filled.
+     */
+    static Tensor view(std::vector<std::size_t> shape, float *storage);
+
+    /**
      * Stack equal-shaped rank-<=3 tensors along a new leading batch
      * axis: stack({CHW...}) is NCHW with N = items.size().
      */
@@ -48,7 +68,16 @@ class Tensor
     const std::vector<std::size_t> &shape() const { return shape_; }
     std::size_t rank() const { return shape_.size(); }
     std::size_t dim(std::size_t i) const { return shape_.at(i); }
-    std::size_t size() const { return data_.size(); }
+    std::size_t size() const { return elems_; }
+
+    /** True for a non-owning view over external storage. */
+    bool isView() const { return view_; }
+
+    /** Bytes of owned heap storage — capacity, not logical size, so a
+     * shrunk-but-not-released vector still accounts. Views report 0
+     * (the arena owner accounts the storage). */
+    std::size_t capacityBytes() const
+    { return data_.capacity() * sizeof(float); }
 
     /**
      * Batch count under the NCHW convention: the leading dimension for
@@ -58,16 +87,16 @@ class Tensor
     { return shape_.size() == 4 ? shape_[0] : 1; }
 
     /** Elements per image: size() / batch(). */
-    std::size_t imageElems() const { return data_.size() / batch(); }
+    std::size_t imageElems() const { return elems_ / batch(); }
 
     /** Copy of image @p n as a rank-3 (or scalar-shape) tensor. */
     Tensor imageAt(std::size_t n) const;
 
-    float *data() { return data_.data(); }
-    const float *data() const { return data_.data(); }
+    float *data() { return ptr_; }
+    const float *data() const { return ptr_; }
 
-    float &operator[](std::size_t i) { return data_[i]; }
-    float operator[](std::size_t i) const { return data_[i]; }
+    float &operator[](std::size_t i) { return ptr_[i]; }
+    float operator[](std::size_t i) const { return ptr_[i]; }
 
     /** Element access by multi-index (bounds-checked via panic). */
     float &at(std::size_t i0);
@@ -97,11 +126,15 @@ class Tensor
     float maxAbsDiff(const Tensor &other) const;
 
   private:
+    static std::size_t checkedVolume(const std::vector<std::size_t> &shape);
     std::size_t flatIndex(std::size_t i0, std::size_t i1, std::size_t i2,
                           std::size_t i3, std::size_t used_rank) const;
 
     std::vector<std::size_t> shape_;
-    std::vector<float> data_;
+    std::vector<float> data_;   ///< owning storage; empty for views
+    float *ptr_ = nullptr;      ///< element storage (owned or viewed)
+    std::size_t elems_ = 0;
+    bool view_ = false;
 };
 
 } // namespace sd::dnn

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Tests for the graph-level memory planner (dnn/memplan.hh) and its
+ * integration into the reference engine: plan invariants and
+ * determinism, SD_MEMPLAN=share vs. off bit-identity (forward values,
+ * training trajectories, pinned getters), the arena rebind stress path
+ * (grow -> shrink -> grow, exercised under ASan in CI), and the
+ * stale-argmax hardening in poolBackward.
+ */
+
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.hh"
+#include "dnn/memplan.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+
+namespace {
+
+using namespace sd::dnn;
+
+struct JobsGuard
+{
+    int saved = sd::jobs();
+    ~JobsGuard() { sd::setJobs(saved); }
+};
+
+/** A small DAG exercising every layer kind: residual join + concat. */
+Network
+makeDagNet()
+{
+    NetworkBuilder b("dag", 3, 16, 16);
+    LayerId c1 = b.conv("c1", b.input(), 8, 3, 1, 1);
+    LayerId p1 = b.maxPool("p1", c1, 2, 2);
+    LayerId c2 = b.conv("c2", p1, 8, 3, 1, 1);
+    LayerId c3 = b.conv("c3", p1, 8, 3, 1, 1);
+    LayerId e = b.eltwise("add", {c2, c3});
+    LayerId k = b.concat("cat", {e, p1});
+    b.fc("fc", k, 5, Activation::None);
+    return b.build();
+}
+
+Tensor
+randomBatch(const Network &net, std::size_t batch, std::uint64_t seed)
+{
+    const Layer &in = net.layer(0);
+    std::vector<std::size_t> shape = {
+        static_cast<std::size_t>(in.outChannels),
+        static_cast<std::size_t>(in.outH),
+        static_cast<std::size_t>(in.outW)};
+    if (batch > 1)
+        shape.insert(shape.begin(), batch);
+    sd::Rng rng(seed);
+    return Tensor::uniform(shape, rng, -1.0f, 1.0f);
+}
+
+std::vector<int>
+randomLabels(std::size_t batch, int classes, std::uint64_t seed)
+{
+    sd::Rng rng(seed);
+    std::vector<int> labels(batch);
+    for (int &l : labels)
+        l = static_cast<int>(rng.below(static_cast<std::uint64_t>(classes)));
+    return labels;
+}
+
+void
+expectWeightsBitIdentical(ReferenceEngine &a, ReferenceEngine &b,
+                          const Network &net)
+{
+    for (const Layer &l : net.layers()) {
+        if (!l.hasWeights())
+            continue;
+        EXPECT_EQ(a.weights(l.id).maxAbsDiff(b.weights(l.id)), 0.0f)
+            << "layer " << l.name;
+    }
+}
+
+TEST(MemPlanMode, ParseIsStrict)
+{
+    MemPlanMode m = MemPlanMode::Off;
+    EXPECT_TRUE(parseMemPlanMode("share", m));
+    EXPECT_EQ(m, MemPlanMode::Share);
+    EXPECT_TRUE(parseMemPlanMode("off", m));
+    EXPECT_EQ(m, MemPlanMode::Off);
+    m = MemPlanMode::Share;
+    EXPECT_FALSE(parseMemPlanMode("Share", m));
+    EXPECT_FALSE(parseMemPlanMode(" off", m));
+    EXPECT_FALSE(parseMemPlanMode("shared", m));
+    EXPECT_FALSE(parseMemPlanMode("", m));
+    EXPECT_EQ(m, MemPlanMode::Share); // untouched on failure
+}
+
+TEST(MemPlan, InvariantsHoldOnChainAndDag)
+{
+    for (const Network &net : {makeTinyCnn(12, 3), makeDagNet()}) {
+        const std::vector<char> pinned = defaultPinnedLayers(net);
+        for (PassShape shape :
+             {PassShape::Forward, PassShape::ForwardBackward}) {
+            const MemPlan plan = planMemory(net, shape, pinned);
+            ASSERT_EQ(plan.actSlot.size(), net.numLayers());
+            ASSERT_EQ(plan.errSlot.size(), net.numLayers());
+            for (const Layer &l : net.layers()) {
+                const int as = plan.actSlot[l.id];
+                const int es = plan.errSlot[l.id];
+                if (pinned[l.id]) {
+                    EXPECT_EQ(as, MemPlan::kPinned);
+                    EXPECT_EQ(es, MemPlan::kPinned);
+                    continue;
+                }
+                // Every non-pinned tensor has a slot that fits it.
+                ASSERT_GE(as, 0);
+                ASSERT_GE(es, 0);
+                ASSERT_LT(static_cast<std::size_t>(as),
+                          plan.slotElems.size());
+                ASSERT_LT(static_cast<std::size_t>(es),
+                          plan.slotElems.size());
+                EXPECT_GE(plan.slotElems[as], l.outputElems());
+                EXPECT_GE(plan.slotElems[es], l.outputElems());
+                // A layer's own activation and error coexist in the
+                // backward step, and an activation is read while the
+                // forward step writes it — they can never share.
+                if (shape == PassShape::ForwardBackward) {
+                    EXPECT_NE(as, es) << "layer " << l.name;
+                }
+            }
+            EXPECT_LE(plan.plannedElemsPerImage,
+                      plan.unplannedElemsPerImage);
+        }
+        // Forward-only frees every backward lifetime: its arena must
+        // be strictly smaller than the training arena.
+        const MemPlan fwd =
+            planMemory(net, PassShape::Forward, pinned);
+        const MemPlan bwd =
+            planMemory(net, PassShape::ForwardBackward, pinned);
+        EXPECT_LT(fwd.plannedElemsPerImage, bwd.plannedElemsPerImage);
+    }
+}
+
+TEST(MemPlan, SameStepTensorsNeverShareASlot)
+{
+    // Producers are read while the consumer's output is written, so a
+    // layer may never share a slot with any of its direct inputs.
+    for (const Network &net : {makeTinyCnn(12, 3), makeDagNet()}) {
+        const std::vector<char> pinned = defaultPinnedLayers(net);
+        for (PassShape shape :
+             {PassShape::Forward, PassShape::ForwardBackward}) {
+            const MemPlan plan = planMemory(net, shape, pinned);
+            for (const Layer &l : net.layers()) {
+                if (plan.actSlot[l.id] == MemPlan::kPinned)
+                    continue;
+                for (LayerId in : l.inputs) {
+                    if (plan.actSlot[in] == MemPlan::kPinned)
+                        continue;
+                    EXPECT_NE(plan.actSlot[l.id], plan.actSlot[in])
+                        << l.name;
+                    if (shape == PassShape::ForwardBackward) {
+                        EXPECT_NE(plan.errSlot[l.id], plan.errSlot[in])
+                            << l.name;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(MemPlan, DeterministicAcrossCallsAndJobs)
+{
+    JobsGuard guard;
+    const Network net = makeDagNet();
+    const std::vector<char> pinned = defaultPinnedLayers(net);
+    sd::setJobs(1);
+    const MemPlan serial =
+        planMemory(net, PassShape::ForwardBackward, pinned);
+    sd::setJobs(4);
+    const MemPlan parallel =
+        planMemory(net, PassShape::ForwardBackward, pinned);
+    EXPECT_TRUE(serial == parallel);
+    EXPECT_TRUE(serial ==
+                planMemory(net, PassShape::ForwardBackward, pinned));
+}
+
+TEST(MemPlan, ForwardPlanBeatsHalfOfUnplannedOnVggD)
+{
+    // The analytic form of the BENCH_kernels.json high-water gate:
+    // liveness sharing must at least halve VGG-D's forward activation
+    // footprint (it does far better on a deep chain).
+    const Network net = makeVggD();
+    const MemPlan plan = planMemory(net, PassShape::Forward,
+                                    defaultPinnedLayers(net));
+    EXPECT_LE(plan.plannedElemsPerImage + plan.pinnedElemsPerImage,
+              plan.unplannedElemsPerImage / 2);
+}
+
+TEST(MemPlan, SlotOffsetsAreAlignedAndDisjoint)
+{
+    const Network net = makeVggD();
+    const MemPlan plan = planMemory(net, PassShape::ForwardBackward,
+                                    defaultPinnedLayers(net));
+    for (std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+        std::uint64_t prev_end = 0;
+        for (std::size_t s = 0; s < plan.slotElems.size(); ++s) {
+            const std::uint64_t off =
+                plan.slotOffsetElems(static_cast<int>(s), batch);
+            EXPECT_EQ(off % kMemPlanAlignElems, 0u);
+            EXPECT_GE(off, prev_end);
+            prev_end = off + plan.slotElems[s] * batch;
+        }
+        EXPECT_GE(plan.arenaElems(batch), prev_end);
+    }
+}
+
+TEST(MemPlanEngine, ForwardValuesMatchOffForBatches138)
+{
+    for (const Network &net : {makeTinyCnn(12, 3), makeDagNet()}) {
+        ReferenceEngine off(net, 11, MemPlanMode::Off);
+        ReferenceEngine share(net, 11, MemPlanMode::Share);
+        for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}}) {
+            const Tensor in = randomBatch(net, batch, 100 + batch);
+            const Tensor &a = off.forward(in);
+            const Tensor &b = share.forward(in);
+            ASSERT_EQ(a.shape(), b.shape());
+            EXPECT_EQ(a.maxAbsDiff(b), 0.0f) << "batch " << batch;
+        }
+    }
+}
+
+TEST(MemPlanEngine, TrainsBitIdenticallyToOff)
+{
+    for (const Network &net : {makeTinyCnn(12, 3), makeDagNet()}) {
+        const int classes = net.outputLayer().outputElems();
+        ReferenceEngine off(net, 23, MemPlanMode::Off);
+        ReferenceEngine share(net, 23, MemPlanMode::Share);
+        expectWeightsBitIdentical(off, share, net);
+        // Mixed batch sizes force arena rebinds mid-trajectory.
+        std::uint64_t seed = 500;
+        for (std::size_t batch : {std::size_t{3}, std::size_t{1},
+                                  std::size_t{8}, std::size_t{3}}) {
+            const Tensor in = randomBatch(net, batch, seed);
+            const std::vector<int> labels =
+                randomLabels(batch, classes, seed + 1);
+            seed += 2;
+            const double la = off.trainMinibatch(in, labels, 0.05f);
+            const double lb = share.trainMinibatch(in, labels, 0.05f);
+            EXPECT_EQ(la, lb);
+            expectWeightsBitIdentical(off, share, net);
+        }
+    }
+}
+
+TEST(MemPlanEngine, TrainingBitIdenticalAcrossJobsUnderShare)
+{
+    JobsGuard guard;
+    const Network net = makeDagNet();
+    const int classes = net.outputLayer().outputElems();
+    sd::setJobs(1);
+    ReferenceEngine serial(net, 31, MemPlanMode::Share);
+    const Tensor in = randomBatch(net, 4, 900);
+    const std::vector<int> labels = randomLabels(4, classes, 901);
+    const double loss1 = serial.trainMinibatch(in, labels, 0.05f);
+    sd::setJobs(4);
+    ReferenceEngine threaded(net, 31, MemPlanMode::Share);
+    const double loss4 = threaded.trainMinibatch(in, labels, 0.05f);
+    EXPECT_EQ(loss1, loss4);
+    expectWeightsBitIdentical(serial, threaded, net);
+}
+
+TEST(MemPlanEngine, GettersMatchOffUnderShare)
+{
+    const Network net = makeTinyCnn(12, 3);
+    const int classes = net.outputLayer().outputElems();
+    const LayerId out_id = net.outputLayer().id;
+    ReferenceEngine off(net, 7, MemPlanMode::Off);
+    ReferenceEngine share(net, 7, MemPlanMode::Share);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}}) {
+        const Tensor in = randomBatch(net, batch, 40 + batch);
+        const std::vector<int> labels =
+            randomLabels(batch, classes, 50 + batch);
+        off.forwardBackward(in, labels);
+        share.forwardBackward(in, labels);
+        // Getter shapes are always correct under share...
+        for (const Layer &l : net.layers()) {
+            ASSERT_EQ(share.activation(l.id).shape(),
+                      off.activation(l.id).shape());
+            ASSERT_EQ(share.error(l.id).shape(),
+                      off.error(l.id).shape());
+        }
+        // ...and pinned getters (input/output by default) are
+        // value-correct after any pass.
+        EXPECT_EQ(share.activation(0).maxAbsDiff(off.activation(0)),
+                  0.0f);
+        EXPECT_EQ(share.activation(out_id)
+                      .maxAbsDiff(off.activation(out_id)),
+                  0.0f);
+        EXPECT_EQ(share.error(out_id).maxAbsDiff(off.error(out_id)),
+                  0.0f);
+    }
+}
+
+TEST(MemPlanEngine, AllLayersPinnedMatchesOffOnEveryGetter)
+{
+    // Pinning everything removes sharing entirely, so every
+    // activation *and* error getter must equal the Off layout.
+    const Network net = makeTinyCnn(12, 3);
+    const int classes = net.outputLayer().outputElems();
+    ReferenceEngine off(net, 7, MemPlanMode::Off);
+    ReferenceEngine share(net, 7, MemPlanMode::Share);
+    for (const Layer &l : net.layers())
+        share.pin(l.id);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}}) {
+        const Tensor in = randomBatch(net, batch, 60 + batch);
+        const std::vector<int> labels =
+            randomLabels(batch, classes, 70 + batch);
+        off.forwardBackward(in, labels);
+        share.forwardBackward(in, labels);
+        for (const Layer &l : net.layers()) {
+            EXPECT_EQ(share.activation(l.id)
+                          .maxAbsDiff(off.activation(l.id)),
+                      0.0f)
+                << "act " << l.name;
+            EXPECT_EQ(share.error(l.id).maxAbsDiff(off.error(l.id)),
+                      0.0f)
+                << "err " << l.name;
+        }
+    }
+}
+
+TEST(MemPlanEngine, PinMakesAnInteriorGetterValueStable)
+{
+    const Network net = makeTinyCnn(12, 3);
+    // Pick an interior layer that forward-only sharing would recycle.
+    const LayerId mid = 2;
+    ReferenceEngine off(net, 13, MemPlanMode::Off);
+    ReferenceEngine share(net, 13, MemPlanMode::Share);
+    share.pin(mid);
+    const Tensor in = randomBatch(net, 4, 77);
+    off.forward(in);
+    share.forward(in);
+    EXPECT_EQ(share.activation(mid).maxAbsDiff(off.activation(mid)),
+              0.0f);
+}
+
+TEST(MemPlanEngine, ArenaRebindStressGrowShrinkGrow)
+{
+    // Exercised under ASan in CI: every rebind must leave the views
+    // inside the arena, and a shrink must not strand stale pointers.
+    const Network net = makeDagNet();
+    const int classes = net.outputLayer().outputElems();
+    ReferenceEngine off(net, 3, MemPlanMode::Off);
+    ReferenceEngine share(net, 3, MemPlanMode::Share);
+    const std::size_t sizes[] = {8, 1, 8, 3, 1, 6};
+    std::uint64_t seed = 700;
+    for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const std::size_t batch = sizes[i];
+        const Tensor in = randomBatch(net, batch, seed);
+        if (i % 2 == 0) {
+            const Tensor &a = off.forward(in);
+            const Tensor &b = share.forward(in);
+            EXPECT_EQ(a.maxAbsDiff(b), 0.0f) << "batch " << batch;
+        } else {
+            const std::vector<int> labels =
+                randomLabels(batch, classes, seed + 1);
+            EXPECT_EQ(off.trainMinibatch(in, labels, 0.02f),
+                      share.trainMinibatch(in, labels, 0.02f));
+        }
+        // Touch every getter: ASan verifies the views stay in bounds.
+        for (const Layer &l : net.layers()) {
+            EXPECT_EQ(share.activation(l.id).batch(), batch);
+            (void)share.activation(l.id).maxAbs();
+            (void)share.error(l.id).maxAbs();
+        }
+        seed += 2;
+    }
+    // The arena is grow-only: the high water holds after shrinking.
+    EXPECT_GE(share.activationHighWaterBytes(),
+              share.activationBytes());
+    expectWeightsBitIdentical(off, share, net);
+}
+
+TEST(MemPlanEngine, SharePlansStrictlyBelowUnplannedBytes)
+{
+    const Network net = makeVggD();
+    ReferenceEngine share(net, 1, MemPlanMode::Share);
+    EXPECT_GT(share.plannedBytes(), 0u);
+    EXPECT_LT(share.plannedBytes(), share.unplannedBytes());
+    ReferenceEngine off(net, 1, MemPlanMode::Off);
+    EXPECT_EQ(off.plannedBytes(), 0u);
+}
+
+TEST(MemPlanEngine, LiveBytesReleasesArgmaxCapacityOnShrink)
+{
+    // The accountMemory fix: capacity (not logical size) is counted,
+    // and intended shrinks release their blocks.
+    for (MemPlanMode mode : {MemPlanMode::Off, MemPlanMode::Share}) {
+        const Network net = makeTinyCnn(12, 3);
+        ReferenceEngine eng(net, 5, mode);
+        eng.forward(randomBatch(net, 8, 1));
+        const std::uint64_t grown = eng.liveBytes();
+        eng.forward(randomBatch(net, 1, 2));
+        EXPECT_LT(eng.liveBytes(), grown)
+            << memPlanModeName(mode);
+        EXPECT_GE(eng.highWaterBytes(), grown);
+    }
+}
+
+TEST(MemPlanDeath, PoolBackwardRejectsStaleArgmax)
+{
+    NetworkBuilder b("p", 1, 4, 4);
+    b.maxPool("mp", b.input(), 2, 2);
+    const Network net = b.build();
+    const Layer &l = net.layer(1);
+    Tensor dout = Tensor::full({1, 2, 2}, 1.0f);
+    Tensor din({1, 4, 4});
+    // Wrong count: cleared by a batch reshape.
+    std::vector<std::uint32_t> empty;
+    EXPECT_DEATH(poolBackward(l, dout, empty, din), "mp");
+    // Right count, out-of-range winner: recorded at a bigger batch.
+    std::vector<std::uint32_t> stale(4, 9999);
+    EXPECT_DEATH(poolBackward(l, dout, stale, din), "stale");
+}
+
+} // namespace

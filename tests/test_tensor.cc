@@ -119,6 +119,59 @@ TEST(TensorDeath, StackShapeMismatch)
         "shape mismatch");
 }
 
+TEST(TensorView, SharesStorageWithoutOwning)
+{
+    std::vector<float> pool(16, 0.0f);
+    Tensor v = Tensor::view({2, 2, 4}, pool.data());
+    EXPECT_TRUE(v.isView());
+    EXPECT_EQ(v.size(), 16u);
+    EXPECT_EQ(v.capacityBytes(), 0u); // the pool owner accounts it
+    v.at(1, 1, 3) = 5.0f;
+    EXPECT_EQ(pool[15], 5.0f);
+    pool[0] = -2.0f;
+    EXPECT_EQ(v.at(0, 0, 0), -2.0f);
+}
+
+TEST(TensorView, CopyMaterializesMovePreserves)
+{
+    std::vector<float> pool(4, 1.5f);
+    Tensor v = Tensor::view({4}, pool.data());
+    Tensor copy = v;
+    EXPECT_FALSE(copy.isView());
+    EXPECT_GE(copy.capacityBytes(), 4 * sizeof(float));
+    pool[0] = 9.0f; // the copy is a snapshot
+    EXPECT_EQ(copy.at(0), 1.5f);
+    EXPECT_EQ(v.at(0), 9.0f);
+
+    Tensor moved = std::move(v);
+    EXPECT_TRUE(moved.isView());
+    EXPECT_EQ(moved.at(0), 9.0f);
+
+    Tensor assigned;
+    assigned = moved; // copy-assign also materializes
+    EXPECT_FALSE(assigned.isView());
+    pool[0] = 3.0f;
+    EXPECT_EQ(assigned.at(0), 9.0f);
+    EXPECT_EQ(moved.at(0), 3.0f);
+}
+
+TEST(TensorView, OwningCopyAndMoveStayCorrect)
+{
+    Tensor a({2, 2});
+    a.at(0, 1) = 7.0f;
+    Tensor b = a;
+    a.at(0, 1) = 1.0f;
+    EXPECT_EQ(b.at(0, 1), 7.0f);
+    Tensor c = std::move(a);
+    EXPECT_EQ(c.at(0, 1), 1.0f);
+    EXPECT_FALSE(c.isView());
+}
+
+TEST(TensorViewDeath, NullStorage)
+{
+    EXPECT_DEATH(Tensor::view({2}, nullptr), "null storage");
+}
+
 TEST(TensorDeath, StackEmpty)
 {
     EXPECT_DEATH(Tensor::stack({}), "empty batch");
