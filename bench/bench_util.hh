@@ -19,6 +19,9 @@
  *                      variable, or auto)
  *   --gemm-precision P GEMM arithmetic preset (sp hp; default: the
  *                      SD_GEMM_PRECISION environment variable, or sp)
+ *   --replicas N       data-parallel trainer replicas, a power of two
+ *                      (default: the SD_DP_REPLICAS environment
+ *                      variable, or 1)
  *
  * init() installs the crash handlers (core/metrics.hh), and the stats
  * export is registered as a crash-flush hook: a run that dies mid-
@@ -46,6 +49,7 @@
 #include "core/trace.hh"
 #include "dnn/gemm.hh"
 #include "dnn/reference.hh"
+#include "train/trainer.hh"
 
 namespace sd::bench {
 
@@ -179,11 +183,19 @@ init(int argc, char **argv, const std::string &name)
                 fatal(name, ": --gemm-precision ", v,
                       " is not a GEMM precision preset (valid: sp hp)");
             dnn::setGemmPrecision(prec);
+        } else if (arg == "--replicas") {
+            const std::string v = value();
+            const int n = std::atoi(v.c_str());
+            if (n < 1)
+                fatal(name, ": --replicas needs a positive integer, "
+                      "got ", v);
+            train::setDpReplicas(n);  // fatal unless a power of two
         } else {
             fatal(name, ": unknown option ", arg,
                   " (supported: --csv --report --trace FILE"
                   " --stats-json FILE --jobs N --conv-algo NAME"
-                  " --gemm-kernel NAME --gemm-precision P)");
+                  " --gemm-kernel NAME --gemm-precision P"
+                  " --replicas N)");
         }
     }
 }

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Data-parallel trainer baseline: step time and scaling efficiency of
+ * train::DataParallelTrainer vs replica count on a small CNN at a
+ * fixed total minibatch.
+ *
+ * Each replica count trains the same steps from the same initial
+ * weights on the same data, so besides timing this bench *self-gates*
+ * the trainer's core claim: the final rank-0 weights must be
+ * bit-identical for every replica count (the canonical reduction-tree
+ * design, train/trainer.hh). A mismatch is fatal, not a table footnote.
+ *
+ * Reports the per-step phase breakdown (shard forward/backward, tree
+ * reduce, SGD apply, weight broadcast) and the per-replica / total
+ * memory high-water (the multi-engine refeng.bytes_* aggregation).
+ *
+ * Emits BENCH_train.json (schema scaledeep-train-1). CI gates scaling
+ * efficiency (>= 0.7 at 2 replicas, >= 1.5x step-time speedup at 4)
+ * and skips with a warning on single-core runners, following the
+ * micro_parallel pattern.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/export.hh"
+#include "core/parallel.hh"
+#include "dnn/network.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+#include "train/trainer.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+
+constexpr int kTotalBatch = 32;
+constexpr int kLeaves = 8;
+constexpr int kWarmupSteps = 1;
+constexpr int kTimedSteps = 3;
+constexpr float kLr = 0.01f;
+constexpr std::uint64_t kSeed = 17;
+
+/** Enough conv work that a step is tens of milliseconds — large
+ * enough to time, small enough for CI. */
+Network
+makeTrainNet()
+{
+    NetworkBuilder b("micro-train-cnn", 3, 48, 48);
+    LayerId x = b.input();
+    x = b.conv("conv1", x, 32, 3, 1, 1);
+    x = b.maxPool("pool1", x, 2, 2);
+    x = b.conv("conv2", x, 64, 3, 1, 1);
+    x = b.maxPool("pool2", x, 2, 2);
+    x = b.conv("conv3", x, 64, 3, 1, 1);
+    b.fc("fc", x, 10, Activation::None);
+    return b.build();
+}
+
+struct ReplicaResult
+{
+    int replicas = 1;
+    double stepMs = 0.0;        ///< best timed step
+    train::StepTiming phases;   ///< of the best timed step
+    double lossFirst = 0.0;
+    double lossLast = 0.0;
+    std::uint64_t perReplicaHighWater = 0;  ///< max over replicas
+    std::uint64_t totalHighWater = 0;
+    bool bitIdentical = true;   ///< final weights vs replicas=1
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sd;
+    bench::init(argc, argv, "micro_train");
+    const int njobs = jobs();
+    bench::banner("Data-parallel trainer",
+                  "sync-SGD step time vs replicas (jobs=" +
+                      std::to_string(njobs) + ")");
+
+    const Network net = makeTrainNet();
+
+    // One fixed minibatch, reused every step: the bench times the
+    // step machinery, not data generation. Replica shard seeds
+    // (trainer.replicaStreamSeed) are exercised in test_train.
+    SyntheticDataset data(10, 3, 48, 48, kSeed);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    for (int i = 0; i < kTotalBatch; ++i) {
+        auto [img, label] = data.sample();
+        images.push_back(std::move(img));
+        labels.push_back(label);
+    }
+    const Tensor batch = Tensor::stack(images);
+
+    std::vector<int> replica_counts{1, 2, 4};
+    if (train::dpReplicas() > 4 && train::dpReplicas() <= kLeaves)
+        replica_counts.push_back(train::dpReplicas());
+
+    std::vector<ReplicaResult> results;
+    std::vector<Tensor> final_weights_r1;
+    for (const int replicas : replica_counts) {
+        train::TrainerConfig cfg;
+        cfg.replicas = replicas;
+        cfg.reduceLeaves = kLeaves;
+        train::DataParallelTrainer trainer(net, cfg, kSeed);
+
+        ReplicaResult r;
+        r.replicas = replicas;
+        for (int s = 0; s < kWarmupSteps; ++s)
+            r.lossFirst = trainer.trainStep(batch, labels, kLr);
+        using clock = std::chrono::steady_clock;
+        r.stepMs = 1e300;
+        for (int s = 0; s < kTimedSteps; ++s) {
+            const auto t0 = clock::now();
+            r.lossLast = trainer.trainStep(batch, labels, kLr);
+            const double ms =
+                std::chrono::duration<double, std::milli>(clock::now() -
+                                                          t0)
+                    .count();
+            if (ms < r.stepMs) {
+                r.stepMs = ms;
+                r.phases = trainer.lastTiming();
+            }
+        }
+        for (int rep = 0; rep < replicas; ++rep)
+            r.perReplicaHighWater =
+                std::max(r.perReplicaHighWater,
+                         trainer.replica(rep).highWaterBytes());
+        r.totalHighWater = trainer.totalHighWaterBytes();
+
+        // The determinism self-check: every replica count must land
+        // on bit-identical rank-0 weights after the same steps.
+        std::vector<Tensor> final_weights;
+        for (const Layer &l : net.layers())
+            if (l.hasWeights())
+                final_weights.push_back(trainer.replica(0).weights(l.id));
+        if (replicas == 1) {
+            final_weights_r1 = std::move(final_weights);
+        } else {
+            for (std::size_t t = 0; t < final_weights.size(); ++t)
+                if (final_weights[t].maxAbsDiff(final_weights_r1[t]) !=
+                    0.0f)
+                    r.bitIdentical = false;
+            if (!r.bitIdentical)
+                fatal("micro_train: trained weights at ", replicas,
+                      " replicas diverge from the 1-replica run — the "
+                      "reduction tree is not replica-invariant");
+        }
+        results.push_back(r);
+    }
+
+    const double base_ms = results[0].stepMs;
+    Table t({"replicas", "step ms", "shard ms", "reduce ms", "apply ms",
+             "bcast ms", "img/s", "speedup", "efficiency", "identical"});
+    for (const ReplicaResult &r : results) {
+        const double speedup = base_ms / r.stepMs;
+        t.addRow({std::to_string(r.replicas), fmtDouble(r.stepMs, 2),
+                  fmtDouble(r.phases.shardMs, 2),
+                  fmtDouble(r.phases.reduceMs, 2),
+                  fmtDouble(r.phases.applyMs, 2),
+                  fmtDouble(r.phases.broadcastMs, 2),
+                  fmtDouble(kTotalBatch / r.stepMs * 1000.0, 1),
+                  fmtDouble(speedup, 2),
+                  fmtDouble(speedup / r.replicas, 2),
+                  r.bitIdentical ? "yes" : "NO"});
+    }
+    bench::show("train_scaling", t);
+
+    Table mt({"replicas", "per-replica high-water MB",
+              "total high-water MB"});
+    for (const ReplicaResult &r : results)
+        mt.addRow({std::to_string(r.replicas),
+                   fmtDouble(r.perReplicaHighWater / 1e6, 1),
+                   fmtDouble(r.totalHighWater / 1e6, 1)});
+    bench::show("train_memory", mt);
+
+    // --- BENCH_train.json ---
+    const std::string out_path = "BENCH_train.json";
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("micro_train: cannot open ", out_path);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "scaledeep-train-1");
+    w.field("jobs", static_cast<std::int64_t>(njobs));
+    w.field("hardwareConcurrency",
+            static_cast<std::int64_t>(hardwareJobs()));
+    w.field("effectiveJobs",
+            static_cast<std::int64_t>(std::min(njobs, hardwareJobs())));
+    w.field("network", net.name());
+    w.field("totalBatch", static_cast<std::int64_t>(kTotalBatch));
+    w.field("reduceLeaves", static_cast<std::int64_t>(kLeaves));
+    w.field("timedSteps", static_cast<std::int64_t>(kTimedSteps));
+    w.key("entries");
+    w.beginArray();
+    for (const ReplicaResult &r : results) {
+        const double speedup = base_ms / r.stepMs;
+        w.beginObject();
+        w.field("replicas", static_cast<std::int64_t>(r.replicas));
+        w.field("stepMs", r.stepMs);
+        w.field("shardMs", r.phases.shardMs);
+        w.field("reduceMs", r.phases.reduceMs);
+        w.field("applyMs", r.phases.applyMs);
+        w.field("broadcastMs", r.phases.broadcastMs);
+        w.field("imagesPerSec", kTotalBatch / r.stepMs * 1000.0);
+        w.field("speedup", speedup);
+        w.field("efficiency", speedup / r.replicas);
+        w.field("lossFirst", r.lossFirst);
+        w.field("lossLast", r.lossLast);
+        w.field("bitIdentical", r.bitIdentical);
+        w.field("perReplicaHighWaterBytes",
+                static_cast<std::int64_t>(r.perReplicaHighWater));
+        w.field("totalHighWaterBytes",
+                static_cast<std::int64_t>(r.totalHighWater));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+
+    bench::finish();
+    return 0;
+}

@@ -43,6 +43,14 @@
  *                     default: the SD_MEMPLAN environment variable, or
  *                     off. --report prints the planned vs unplanned
  *                     bytes per network either way.
+ *   --replicas N      data-parallel replicas, a power of two (default:
+ *                     the SD_DP_REPLICAS environment variable, or 1).
+ *                     N > 1 adds the perf-sim node-scaling sweep
+ *                     (sim/perf/scaling.hh) over 1..N nodes per
+ *                     network — a "scaling" stats section — and sizes
+ *                     the --report train probe, which steps a
+ *                     DataParallelTrainer and reports per-replica /
+ *                     total memory high-water and per-phase timings.
  *   --quiet           suppress inform() status messages
  *
  * When --trace or --stats-json is given, sdsim additionally drives a
@@ -74,6 +82,8 @@
 #include "dnn/zoo.hh"
 #include "sim/perf/export.hh"
 #include "sim/perf/perfsim.hh"
+#include "sim/perf/scaling.hh"
+#include "train/trainer.hh"
 
 namespace {
 
@@ -88,7 +98,8 @@ usage(const char *argv0)
                  " [--report] [--report-batch N]"
                  " [--trace FILE] [--stats-json FILE] [--jobs N]"
                  " [--conv-algo NAME] [--gemm-kernel NAME]"
-                 " [--gemm-precision P] [--memplan MODE] [--quiet]\n"
+                 " [--gemm-precision P] [--memplan MODE]"
+                 " [--replicas N] [--quiet]\n"
                  "networks:";
     for (const auto &e : dnn::benchmarkSuite())
         std::cerr << " " << e.name;
@@ -142,6 +153,70 @@ runFuncProbe(compiler::PipelinedRunner *&runner_out,
     runner_out = &runner;
     cycles = runner.lastCycles();
     images = n;
+}
+
+/**
+ * The --report train probe: a few data-parallel sync-SGD steps of a
+ * tiny CNN at dpReplicas() (train/trainer.hh), so the telemetry report
+ * covers the trainer's train.* phase metrics and the cross-engine
+ * refeng.bytes_* gauges, and the per-replica / total memory high-water
+ * is printed alongside the rooflines.
+ */
+void
+runTrainProbe(bool csv)
+{
+    SD_TRACE_SCOPE(/*name=*/"sdsim.trainProbe", "host");
+    const int replicas = train::dpReplicas();
+    dnn::Network net = dnn::makeTinyCnn(16, 4);
+    train::TrainerConfig cfg;
+    cfg.replicas = replicas;
+    cfg.reduceLeaves = std::max(8, replicas);
+    train::DataParallelTrainer trainer(net, cfg, /*seed=*/7);
+
+    const int batch_n = std::max(16, 2 * replicas);
+    Rng rng(trainer.replicaStreamSeed(0));
+    dnn::Tensor batch = dnn::Tensor::uniform(
+        {static_cast<std::size_t>(batch_n), 1, 16, 16}, rng, 0.0f,
+        1.0f);
+    std::vector<int> labels(static_cast<std::size_t>(batch_n));
+    for (int i = 0; i < batch_n; ++i)
+        labels[static_cast<std::size_t>(i)] = i % 4;
+
+    double loss = 0.0;
+    const int steps = 2;
+    for (int s = 0; s < steps; ++s)
+        loss = trainer.trainStep(batch, labels, /*lr=*/0.05f);
+
+    std::cout << "\ntrain probe (TinyCnn, " << replicas
+              << " replica(s), " << trainer.reduceLeaves()
+              << " leaves, batch " << batch_n << ", " << steps
+              << " steps): loss " << fmtDouble(loss, 4) << "\n";
+    Table tt({"replica", "high-water MB", "planned MB"});
+    for (int r = 0; r < replicas; ++r) {
+        const dnn::ReferenceEngine &eng = trainer.replica(r);
+        tt.addRow({std::to_string(r),
+                   fmtDouble(
+                       static_cast<double>(eng.highWaterBytes()) / 1e6,
+                       2),
+                   fmtDouble(
+                       static_cast<double>(eng.plannedBytes()) / 1e6,
+                       2)});
+    }
+    if (csv)
+        tt.printCsv(std::cout);
+    else
+        tt.print(std::cout);
+    const train::StepTiming &tm = trainer.lastTiming();
+    std::cout << "train probe total high-water "
+              << fmtDouble(
+                     static_cast<double>(trainer.totalHighWaterBytes()) /
+                         1e6,
+                     2)
+              << " MB; last step shard " << fmtDouble(tm.shardMs, 2)
+              << " ms, reduce " << fmtDouble(tm.reduceMs, 2)
+              << " ms, apply " << fmtDouble(tm.applyMs, 2)
+              << " ms, broadcast " << fmtDouble(tm.broadcastMs, 2)
+              << " ms\n";
 }
 
 /**
@@ -253,6 +328,11 @@ main(int argc, char **argv)
                       " is not a memory-planning mode (valid: off"
                       " share)");
             dnn::setMemPlanMode(mode);
+        } else if (arg == "--replicas") {
+            const int n = std::stoi(value());
+            if (n < 1)
+                fatal("sdsim: --replicas needs a positive integer");
+            train::setDpReplicas(n);  // fatal unless a power of two
         } else if (arg == "--quiet") {
             setVerbose(false);
         } else {
@@ -319,6 +399,39 @@ main(int argc, char **argv)
         }
     }
 
+    // --replicas > 1: the node-scaling sweep, the simulator-side
+    // mirror of the data-parallel trainer (companion to the fig22
+    // bench). One curve per network, swept 1..replicas nodes.
+    std::vector<std::vector<sim::perf::ScalingPoint>> scaling_curves;
+    if (train::dpReplicas() > 1) {
+        sim::perf::ScalingOptions scaling;
+        scaling.maxNodes = train::dpReplicas();
+        scaling_curves.resize(nets.size());
+        parallelFor(nets.size(), [&](std::size_t i) {
+            dnn::Network net = dnn::makeByName(nets[i]);
+            scaling_curves[i] =
+                sim::perf::nodeScalingSweep(net, node, options,
+                                            scaling);
+        });
+        std::cout << "\nnode scaling (sync-SGD, total minibatch "
+                  << options.minibatch << "):\n";
+        Table st({"network", "nodes", "shard", "img/s", "speedup",
+                  "efficiency", "reduce %"});
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            for (const sim::perf::ScalingPoint &p : scaling_curves[i])
+                st.addRow({nets[i], std::to_string(p.nodes),
+                           std::to_string(p.shardImages),
+                           fmtDouble(p.imagesPerSec, 0),
+                           fmtDouble(p.speedup, 2),
+                           fmtDouble(p.efficiency, 2),
+                           fmtPercent(p.reduceFraction)});
+        }
+        if (csv)
+            st.printCsv(std::cout);
+        else
+            st.print(std::cout);
+    }
+
     // The --report roofline probes: a measured reference-engine
     // forward pass per network. Serial — each probe's layer loop
     // parallelizes internally, and wall-time attribution would be
@@ -355,6 +468,9 @@ main(int argc, char **argv)
                              1)
                       << " MB\n";
         }
+        inform("train probe: TinyCnn, ", train::dpReplicas(),
+               " replica(s)");
+        runTrainProbe(csv);
     }
 
     // The func probe feeds both artifacts; run it once if either wants
@@ -375,13 +491,17 @@ main(int argc, char **argv)
         // -3: adds concurrency provenance (jobs/hardwareConcurrency/
         //     effectiveJobs) so CI speedup gates can skip on
         //     single-core runners.
-        w.field("schema", "scaledeep-stats-3");
+        // -4: adds "dpReplicas" and, when --replicas > 1, the
+        //     "scaling" node-sweep section.
+        w.field("schema", "scaledeep-stats-4");
         w.field("jobs", static_cast<std::int64_t>(jobs()));
         w.field("hardwareConcurrency",
                 static_cast<std::int64_t>(hardwareJobs()));
         w.field("effectiveJobs",
                 static_cast<std::int64_t>(
                     std::min(jobs(), hardwareJobs())));
+        w.field("dpReplicas",
+                static_cast<std::int64_t>(train::dpReplicas()));
         w.key("node");
         w.beginObject();
         w.field("precision", precision);
@@ -393,6 +513,35 @@ main(int argc, char **argv)
         for (std::size_t n = 0; n < nets.size(); ++n)
             sim::perf::writePerfResultJson(w, nets[n], results[n]);
         w.endArray();
+        if (!scaling_curves.empty()) {
+            w.key("scaling");
+            w.beginArray();
+            for (std::size_t n = 0; n < nets.size(); ++n) {
+                w.beginObject();
+                w.field("network", nets[n]);
+                w.key("points");
+                w.beginArray();
+                for (const sim::perf::ScalingPoint &p :
+                     scaling_curves[n]) {
+                    w.beginObject();
+                    w.field("nodes",
+                            static_cast<std::int64_t>(p.nodes));
+                    w.field("shardImages",
+                            static_cast<std::int64_t>(p.shardImages));
+                    w.field("computeSeconds", p.computeSeconds);
+                    w.field("allreduceSeconds", p.allreduceSeconds);
+                    w.field("stepSeconds", p.stepSeconds);
+                    w.field("imagesPerSec", p.imagesPerSec);
+                    w.field("speedup", p.speedup);
+                    w.field("efficiency", p.efficiency);
+                    w.field("reduceFraction", p.reduceFraction);
+                    w.endObject();
+                }
+                w.endArray();
+                w.endObject();
+            }
+            w.endArray();
+        }
         if (probe) {
             w.key("funcProbe");
             w.beginObject();

@@ -12,6 +12,26 @@
 
 namespace sd {
 
+/**
+ * Deterministic per-replica stream seed for data-parallel training:
+ * a SplitMix64 finalizer over @p base offset by (rank + 1) Weyl
+ * increments, so each replica's stream is decorrelated from the base
+ * seed and from every other rank while remaining a pure function of
+ * (base, rank). rank 0 does not collapse to @p base (the +1 offset),
+ * and the full-avalanche mix makes cross-rank collisions as unlikely
+ * as random 64-bit values. Used to shard dataset order across
+ * train::DataParallelTrainer replicas.
+ */
+constexpr std::uint64_t
+replicaSeed(std::uint64_t base, int rank)
+{
+    std::uint64_t z = base +
+        0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(rank) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 /** xoshiro256** PRNG; small, fast, and deterministic. */
 class Rng
 {

@@ -934,16 +934,43 @@ ReferenceEngine::accountMemory()
     highWaterBytes_ = std::max(highWaterBytes_, bytes);
     actBytes_ = act_bytes;
     actHighWaterBytes_ = std::max(actHighWaterBytes_, act_bytes);
-    if (SD_METRICS_ACTIVE()) {
-        static MetricGauge &live = MetricsRegistry::global().gauge(
-            "refeng.bytes_live", "reference-engine tensor bytes");
-        live.set(static_cast<std::int64_t>(bytes));
-        static MetricGauge &planned = MetricsRegistry::global().gauge(
-            "refeng.bytes_planned",
-            "plan-bound activation bytes (arena + pinned; 0 when "
-            "SD_MEMPLAN=off)");
-        planned.set(static_cast<std::int64_t>(plannedBytes_));
+    publishMemoryGauges();
+}
+
+void
+ReferenceEngine::publishMemoryGauges()
+{
+    // The gauges aggregate across *all* live engines (a data-parallel
+    // trainer holds one per replica), so each engine publishes the
+    // delta against what it last contributed rather than overwriting
+    // the level. gauge.add() keeps the process-wide high-water mark.
+    if (!SD_METRICS_ACTIVE())
+        return;
+    static MetricGauge &live = MetricsRegistry::global().gauge(
+        "refeng.bytes_live",
+        "reference-engine tensor bytes, summed over live engines");
+    static MetricGauge &planned = MetricsRegistry::global().gauge(
+        "refeng.bytes_planned",
+        "plan-bound activation bytes (arena + pinned; 0 when "
+        "SD_MEMPLAN=off), summed over live engines");
+    const std::int64_t live_now = static_cast<std::int64_t>(liveBytes_);
+    const std::int64_t planned_now =
+        static_cast<std::int64_t>(plannedBytes_);
+    if (live_now != publishedLiveBytes_) {
+        live.add(live_now - publishedLiveBytes_);
+        publishedLiveBytes_ = live_now;
     }
+    if (planned_now != publishedPlannedBytes_) {
+        planned.add(planned_now - publishedPlannedBytes_);
+        publishedPlannedBytes_ = planned_now;
+    }
+}
+
+ReferenceEngine::~ReferenceEngine()
+{
+    liveBytes_ = 0;
+    plannedBytes_ = 0;
+    publishMemoryGauges();
 }
 
 std::uint64_t

@@ -246,6 +246,14 @@ class ReferenceEngine
     explicit ReferenceEngine(const Network &net, std::uint64_t seed = 1,
                              MemPlanMode mem_mode = memPlanMode());
 
+    /** Retracts this engine's contribution from the process-wide
+     * refeng.bytes_* gauges (which aggregate across live engines —
+     * their high-water marks survive destruction). */
+    ~ReferenceEngine();
+
+    ReferenceEngine(const ReferenceEngine &) = delete;
+    ReferenceEngine &operator=(const ReferenceEngine &) = delete;
+
     const Network &network() const { return *net_; }
 
     /**
@@ -375,6 +383,9 @@ class ReferenceEngine
     Tensor &bpError(LayerId id);
     /** Recompute liveBytes_/highWaterBytes_ and publish the gauges. */
     void accountMemory();
+    /** Publish this engine's delta into the process-wide (multi-
+     * engine aggregate) refeng.bytes_* gauges. */
+    void publishMemoryGauges();
 
     const Network *net_;
     MemPlanMode memMode_;
@@ -397,6 +408,8 @@ class ReferenceEngine
     std::uint64_t actBytes_ = 0;
     std::uint64_t actHighWaterBytes_ = 0;
     std::uint64_t plannedBytes_ = 0;
+    std::int64_t publishedLiveBytes_ = 0;    ///< gauge contribution
+    std::int64_t publishedPlannedBytes_ = 0; ///< gauge contribution
 };
 
 /**

@@ -1,0 +1,85 @@
+#include "sim/perf/scaling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+#include "dnn/workload.hh"
+
+namespace sd::sim::perf {
+
+double
+gradientBytes(const dnn::Network &net, Precision precision)
+{
+    // Hybrid parallelism (Das et al. / Krizhevsky): CONV layers are
+    // data-parallel — their weight gradients cross the tree — while
+    // FC layers stay model-parallel on the FcLayer chips, so their
+    // gradients never leave the partition. This mirrors the intra-node
+    // model: perfsim's minibatch-end ring reduction also moves conv
+    // weights only.
+    const dnn::Workload workload(net, precision);
+    double bytes = 0.0;
+    for (const dnn::LayerWorkload &l : workload.layers())
+        if (l.cls != dnn::LayerClass::Fc)
+            bytes += l.weightBytes;
+    return bytes;
+}
+
+std::vector<ScalingPoint>
+nodeScalingSweep(const dnn::Network &net, const arch::NodeConfig &node,
+                 const PerfOptions &options,
+                 const ScalingOptions &scaling)
+{
+    if (options.minibatch < 1)
+        fatal("nodeScalingSweep: minibatch must be positive");
+    if (scaling.maxNodes < 1)
+        fatal("nodeScalingSweep: maxNodes must be positive");
+    const double bw =
+        scaling.interNodeBw > 0.0 ? scaling.interNodeBw : node.ringBw;
+    const double grad_bytes = gradientBytes(net, node.precision);
+
+    std::vector<ScalingPoint> points;
+    for (int n = 1; n <= scaling.maxNodes; n *= 2) {
+        if (n > options.minibatch)
+            break;  // every node must keep >= 1 image
+        ScalingPoint p;
+        p.nodes = n;
+        p.shardImages = options.minibatch / n;
+
+        // Per-node throughput at the *shard* minibatch: re-mapping and
+        // re-simulating per node count is the point of the sweep —
+        // wheel batching and the intra-node gradient ring amortize
+        // worse as the shard shrinks.
+        PerfOptions shard_options = options;
+        shard_options.minibatch = p.shardImages;
+        const PerfResult r = PerfSim(net, node, shard_options).run();
+        p.nodeImagesPerSec = r.trainImagesPerSec;
+        p.computeSeconds = p.nodeImagesPerSec > 0.0
+            ? p.shardImages / p.nodeImagesPerSec
+            : 0.0;
+
+        // FireCaffe reduction tree: ceil(log2 n) levels, each moving
+        // the full gradient up and the updated weights down.
+        const double levels = n > 1 ? std::ceil(std::log2(n)) : 0.0;
+        p.allreduceSeconds = 2.0 * levels * grad_bytes / bw;
+
+        p.stepSeconds = p.computeSeconds + p.allreduceSeconds;
+        const double total =
+            static_cast<double>(p.shardImages) * n;
+        p.imagesPerSec =
+            p.stepSeconds > 0.0 ? total / p.stepSeconds : 0.0;
+        p.reduceFraction = p.stepSeconds > 0.0
+            ? p.allreduceSeconds / p.stepSeconds
+            : 0.0;
+        points.push_back(p);
+    }
+    for (ScalingPoint &p : points) {
+        p.speedup = points[0].imagesPerSec > 0.0
+            ? p.imagesPerSec / points[0].imagesPerSec
+            : 0.0;
+        p.efficiency = p.speedup / p.nodes;
+    }
+    return points;
+}
+
+} // namespace sd::sim::perf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Multi-node strong-scaling sweep over the performance simulator —
+ * the simulator-side mirror of the host data-parallel trainer
+ * (train/trainer.hh).
+ *
+ * The paper scales training across ScaleDeep nodes with data
+ * parallelism: each node trains a shard of the minibatch and nodes
+ * exchange gradients at minibatch boundaries. This module models that
+ * as synchronous SGD with a FireCaffe-style binary reduction tree:
+ * for N nodes at a fixed total minibatch B, each node runs the
+ * per-node PerfSim at shard size B/N (so wheel-batch amortization and
+ * the intra-node ring reduction degrade realistically as shards
+ * shrink), and every step pays
+ *
+ *     t_tree = 2 * ceil(log2 N) * W / bw
+ *
+ * for the inter-node allreduce — gradients up the tree, updated
+ * weights back down, bw = per-link bandwidth. W is the *conv-side*
+ * weight bytes at the node's precision: the sweep models hybrid
+ * parallelism (Das et al. / Krizhevsky's "one weird trick") where FC
+ * layers stay model-parallel on the FcLayer chips and only CONV
+ * gradients cross nodes — the same convention as perfsim's intra-node
+ * minibatch-end ring reduction. Step time is shard compute + tree
+ * time (synchronous — no overlap), so efficiency falls off exactly
+ * where the paper says it should: when the weight exchange stops
+ * being amortized by a shrinking shard.
+ */
+
+#ifndef SCALEDEEP_SIM_PERF_SCALING_HH
+#define SCALEDEEP_SIM_PERF_SCALING_HH
+
+#include <vector>
+
+#include "arch/node.hh"
+#include "dnn/network.hh"
+#include "sim/perf/perfsim.hh"
+
+namespace sd::sim::perf {
+
+/** One node count of the strong-scaling sweep. */
+struct ScalingPoint
+{
+    int nodes = 1;
+    int shardImages = 0;          ///< per-node images per step
+    double nodeImagesPerSec = 0;  ///< PerfSim throughput at the shard
+    double computeSeconds = 0;    ///< shard compute per step
+    double allreduceSeconds = 0;  ///< inter-node tree per step
+    double stepSeconds = 0;       ///< compute + allreduce
+    double imagesPerSec = 0;      ///< total minibatch / step
+    double speedup = 0;           ///< imagesPerSec vs 1 node
+    double efficiency = 0;        ///< speedup / nodes
+    double reduceFraction = 0;    ///< allreduce share of the step
+};
+
+struct ScalingOptions
+{
+    /** Sweep node counts 1, 2, 4, ... up to this (clamped so every
+     * node keeps at least one image of the minibatch). */
+    int maxNodes = 64;
+
+    /** Per-link inter-node bandwidth in bytes/s; 0 adopts the node's
+     * ring bandwidth (the paper gives no off-node link figure, and
+     * the ring is the node's external fabric). */
+    double interNodeBw = 0.0;
+};
+
+/** Conv-side trainable-weight bytes of @p net at @p precision — the
+ * payload every tree level moves (FC gradients stay model-parallel
+ * within their partition; see the file comment). */
+double gradientBytes(const dnn::Network &net, Precision precision);
+
+/**
+ * Strong-scaling sweep of @p net at the fixed total minibatch of
+ * @p options.minibatch. Runs one PerfSim per node count (shard-sized
+ * minibatch) and composes the tree model above. Deterministic; safe
+ * to call from parallel drivers.
+ */
+std::vector<ScalingPoint> nodeScalingSweep(
+    const dnn::Network &net, const arch::NodeConfig &node,
+    const PerfOptions &options, const ScalingOptions &scaling = {});
+
+} // namespace sd::sim::perf
+
+#endif // SCALEDEEP_SIM_PERF_SCALING_HH

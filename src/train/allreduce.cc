@@ -1,0 +1,108 @@
+#include "train/allreduce.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/parallel.hh"
+
+namespace sd::train {
+
+namespace {
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+void
+checkSets(const std::vector<TensorSet> &ranks)
+{
+    for (std::size_t r = 1; r < ranks.size(); ++r) {
+        if (ranks[r].size() != ranks[0].size())
+            panic("allreduce: participant ", r, " has ",
+                  ranks[r].size(), " tensors, participant 0 has ",
+                  ranks[0].size());
+        for (std::size_t t = 0; t < ranks[r].size(); ++t)
+            if (ranks[r][t]->size() != ranks[0][t]->size())
+                panic("allreduce: tensor ", t, " size mismatch at "
+                      "participant ", r);
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<ReduceStep>>
+reduceSchedule(int ranks)
+{
+    if (!isPowerOfTwo(ranks))
+        fatal("reduceSchedule: participant count must be a power of "
+              "two, got ", ranks);
+    std::vector<std::vector<ReduceStep>> rounds;
+    for (int stride = 1; stride < ranks; stride *= 2) {
+        std::vector<ReduceStep> round;
+        for (int dst = 0; dst < ranks; dst += 2 * stride)
+            round.push_back({dst, dst + stride});
+        rounds.push_back(std::move(round));
+    }
+    return rounds;
+}
+
+void
+addInto(dnn::Tensor &dst, const dnn::Tensor &src)
+{
+    if (dst.size() != src.size())
+        panic("addInto: size mismatch ", dst.size(), " vs ",
+              src.size());
+    float *d = dst.data();
+    const float *s = src.data();
+    parallelForRange(dst.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            d[i] += s[i];
+    });
+}
+
+void
+copyInto(dnn::Tensor &dst, const dnn::Tensor &src)
+{
+    if (dst.size() != src.size())
+        panic("copyInto: size mismatch ", dst.size(), " vs ",
+              src.size());
+    float *d = dst.data();
+    const float *s = src.data();
+    parallelForRange(dst.size(), [&](std::size_t b, std::size_t e) {
+        std::copy(s + b, s + e, d + b);
+    });
+}
+
+void
+treeReduce(const std::vector<TensorSet> &ranks)
+{
+    const int n = static_cast<int>(ranks.size());
+    if (n == 1)
+        return;
+    checkSets(ranks);
+    for (const auto &round : reduceSchedule(n)) {
+        for (const ReduceStep &step : round) {
+            const TensorSet &dst = ranks[static_cast<std::size_t>(
+                step.dst)];
+            const TensorSet &src = ranks[static_cast<std::size_t>(
+                step.src)];
+            for (std::size_t t = 0; t < dst.size(); ++t)
+                addInto(*dst[t], *src[t]);
+        }
+    }
+}
+
+void
+treeBroadcast(const std::vector<TensorSet> &ranks)
+{
+    if (ranks.size() <= 1)
+        return;
+    checkSets(ranks);
+    for (std::size_t r = 1; r < ranks.size(); ++r)
+        for (std::size_t t = 0; t < ranks[r].size(); ++t)
+            copyInto(*ranks[r][t], *ranks[0][t]);
+}
+
+} // namespace sd::train

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic binary reduction-tree allreduce over per-rank tensor
+ * sets — the gradient-combining primitive of the data-parallel trainer
+ * (train/trainer.hh).
+ *
+ * FireCaffe showed reduction trees beat parameter servers for gradient
+ * aggregation at scale; here the tree buys something stronger than
+ * throughput: *reproducibility*. The pairing order is a pure function
+ * of the participant count (stride-doubling rounds over a power of
+ * two), every pairwise combine is an elementwise dst += src whose
+ * per-element work never moves between elements, and the elementwise
+ * loops run through core/parallel.hh's disjoint-write contract — so
+ * the floating-point sum is bit-identical for every SD_JOBS value and
+ * depends only on the tree shape, never on scheduling.
+ *
+ * The same schedule is reused at two levels by the trainer: folding
+ * one replica's per-leaf gradient partials (a complete subtree) and
+ * combining the replica partials across ranks. Because replicas own
+ * contiguous, aligned blocks of leaves, the composition of the two
+ * levels is exactly the single canonical tree over all leaves — which
+ * is what makes training results independent of the replica count.
+ */
+
+#ifndef SCALEDEEP_TRAIN_ALLREDUCE_HH
+#define SCALEDEEP_TRAIN_ALLREDUCE_HH
+
+#include <vector>
+
+#include "dnn/tensor.hh"
+
+namespace sd::train {
+
+/** One pairwise combine within a round: ranks[dst] += ranks[src]. */
+struct ReduceStep
+{
+    int dst;
+    int src;
+};
+
+/**
+ * The binary reduction-tree schedule for @p ranks participants (must
+ * be a power of two; fatal otherwise). Round k (k = 0, 1, ...) pairs
+ * dst with dst + 2^k for every dst divisible by 2^(k+1); pairs within
+ * a round touch disjoint participants, and after all log2(ranks)
+ * rounds participant 0 holds the tree sum. The schedule depends only
+ * on @p ranks, so the summation tree — and therefore the
+ * floating-point result — is fixed.
+ */
+std::vector<std::vector<ReduceStep>> reduceSchedule(int ranks);
+
+/**
+ * dst += src elementwise (sizes must match). Parallelized over
+ * disjoint element ranges, so the result is bit-identical for every
+ * jobs value; degrades to serial inside nested parallel regions.
+ */
+void addInto(dnn::Tensor &dst, const dnn::Tensor &src);
+
+/** Bitwise copy src's elements into dst (sizes must match). */
+void copyInto(dnn::Tensor &dst, const dnn::Tensor &src);
+
+/** One participant's tensors (e.g. a replica's weight gradients). */
+using TensorSet = std::vector<dnn::Tensor *>;
+
+/**
+ * Run the reduction tree over @p ranks.size() participants (power of
+ * two): every round of reduceSchedule() in order, every pair combined
+ * with addInto() tensor by tensor. On return ranks[0] holds the tree
+ * sum; other participants hold whatever partials the tree left in
+ * them (participant r's set is dirty unless r == 0).
+ */
+void treeReduce(const std::vector<TensorSet> &ranks);
+
+/** Copy participant 0's tensors into every other participant. */
+void treeBroadcast(const std::vector<TensorSet> &ranks);
+
+} // namespace sd::train
+
+#endif // SCALEDEEP_TRAIN_ALLREDUCE_HH

@@ -1,0 +1,331 @@
+#include "train/trainer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "core/logging.hh"
+#include "core/metrics.hh"
+#include "core/parallel.hh"
+#include "core/random.hh"
+#include "train/allreduce.hh"
+
+namespace sd::train {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+/** Process-global replica count; 0 = not yet resolved. */
+std::atomic<int> g_dp_replicas{0};
+
+/** Copy images [lo, hi) of an NCHW batch into a fresh owning tensor
+ * (rank 4 with N = hi - lo; a rank-3 CHW batch is its own only
+ * slice). */
+dnn::Tensor
+sliceBatch(const dnn::Tensor &batch, std::size_t lo, std::size_t hi)
+{
+    std::vector<std::size_t> shape = batch.shape();
+    if (batch.rank() == 4)
+        shape[0] = hi - lo;
+    dnn::Tensor out(std::move(shape));
+    const std::size_t per = batch.imageElems();
+    const float *src = batch.data() + lo * per;
+    std::copy(src, src + (hi - lo) * per, out.data());
+    return out;
+}
+
+void
+recordStepMetrics(const StepTiming &t, std::size_t batch)
+{
+#if SD_METRICS
+    if (!SD_METRICS_ACTIVE())
+        return;
+    static MetricCounter &steps = MetricsRegistry::global().counter(
+        "train.steps", "data-parallel trainStep() calls");
+    static MetricCounter &images = MetricsRegistry::global().counter(
+        "train.images", "images trained across all steps");
+    static MetricHistogram &shard = MetricsRegistry::global().histogram(
+        "train.shard_us", "per-step shard forward/backward + local "
+        "fold wall time (us)");
+    static MetricHistogram &reduce = MetricsRegistry::global().histogram(
+        "train.reduce_us", "per-step cross-replica tree-allreduce "
+        "wall time (us)");
+    static MetricHistogram &apply = MetricsRegistry::global().histogram(
+        "train.apply_us", "per-step rank-0 SGD update wall time (us)");
+    static MetricHistogram &bcast = MetricsRegistry::global().histogram(
+        "train.broadcast_us", "per-step weight broadcast + gradient "
+        "reset wall time (us)");
+    steps.add(1);
+    images.add(batch);
+    shard.sample(static_cast<std::uint64_t>(t.shardMs * 1000.0));
+    reduce.sample(static_cast<std::uint64_t>(t.reduceMs * 1000.0));
+    apply.sample(static_cast<std::uint64_t>(t.applyMs * 1000.0));
+    bcast.sample(static_cast<std::uint64_t>(t.broadcastMs * 1000.0));
+#else
+    (void)t;
+    (void)batch;
+#endif
+}
+
+} // namespace
+
+int
+defaultDpReplicas()
+{
+    if (const char *env = std::getenv("SD_DP_REPLICAS")) {
+        const std::string text(env);
+        int value = 0;
+        const auto [ptr, ec] = std::from_chars(
+            text.data(), text.data() + text.size(), value);
+        if (ec != std::errc{} || ptr != text.data() + text.size() ||
+            !isPowerOfTwo(value))
+            fatal("SD_DP_REPLICAS=", env, " is not a positive "
+                  "power-of-two replica count");
+        return value;
+    }
+    return 1;
+}
+
+void
+setDpReplicas(int replicas)
+{
+    if (!isPowerOfTwo(replicas))
+        fatal("setDpReplicas: replica count must be a positive power "
+              "of two, got ", replicas);
+    g_dp_replicas.store(replicas, std::memory_order_relaxed);
+}
+
+int
+dpReplicas()
+{
+    const int v = g_dp_replicas.load(std::memory_order_relaxed);
+    if (v > 0)
+        return v;
+    // First use: resolve from the environment. A concurrent first use
+    // races benignly — defaultDpReplicas() is deterministic.
+    const int d = defaultDpReplicas();
+    g_dp_replicas.store(d, std::memory_order_relaxed);
+    return d;
+}
+
+DataParallelTrainer::DataParallelTrainer(const dnn::Network &net,
+                                         TrainerConfig cfg,
+                                         std::uint64_t seed)
+    : net_(&net), cfg_(cfg), seed_(seed)
+{
+    if (!isPowerOfTwo(cfg_.replicas))
+        fatal("DataParallelTrainer: replicas must be a positive power "
+              "of two, got ", cfg_.replicas);
+    if (!isPowerOfTwo(cfg_.reduceLeaves))
+        fatal("DataParallelTrainer: reduceLeaves must be a positive "
+              "power of two, got ", cfg_.reduceLeaves);
+    if (cfg_.replicas > cfg_.reduceLeaves)
+        fatal("DataParallelTrainer: replicas (", cfg_.replicas,
+              ") exceed reduceLeaves (", cfg_.reduceLeaves,
+              ") — each replica must own at least one leaf");
+    for (const dnn::Layer &l : net.layers())
+        if (l.hasWeights())
+            weightLayers_.push_back(l.id);
+    engines_.reserve(static_cast<std::size_t>(cfg_.replicas));
+    for (int r = 0; r < cfg_.replicas; ++r)
+        engines_.push_back(std::make_unique<dnn::ReferenceEngine>(
+            net, seed, cfg_.memMode));
+    // One crew thread per replica, bounded by the process jobs
+    // setting; a single replica (or jobs()==1) degrades to inline
+    // execution, which keeps the replica's *internal* kernel
+    // parallelism (crew tasks serialize nested regions).
+    crew_ = std::make_unique<TaskCrew>(
+        std::min(cfg_.replicas, jobs()));
+}
+
+DataParallelTrainer::~DataParallelTrainer() = default;
+
+dnn::ReferenceEngine &
+DataParallelTrainer::replica(int rank)
+{
+    if (rank < 0 || rank >= cfg_.replicas)
+        panic("DataParallelTrainer::replica: rank ", rank,
+              " out of range [0, ", cfg_.replicas, ")");
+    return *engines_[static_cast<std::size_t>(rank)];
+}
+
+const dnn::ReferenceEngine &
+DataParallelTrainer::replica(int rank) const
+{
+    return const_cast<DataParallelTrainer *>(this)->replica(rank);
+}
+
+std::uint64_t
+DataParallelTrainer::replicaStreamSeed(int rank) const
+{
+    if (rank < 0 || rank >= cfg_.replicas)
+        panic("DataParallelTrainer::replicaStreamSeed: rank ", rank,
+              " out of range [0, ", cfg_.replicas, ")");
+    return replicaSeed(seed_, rank);
+}
+
+std::uint64_t
+DataParallelTrainer::totalHighWaterBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &eng : engines_)
+        total += eng->highWaterBytes();
+    return total;
+}
+
+double
+DataParallelTrainer::trainStep(const std::vector<dnn::Tensor> &images,
+                               const std::vector<int> &labels, float lr)
+{
+    if (images.size() != labels.size() || images.empty())
+        fatal("trainStep: bad batch");
+    return trainStep(dnn::Tensor::stack(images), labels, lr);
+}
+
+double
+DataParallelTrainer::trainStep(const dnn::Tensor &batch,
+                               const std::vector<int> &labels, float lr)
+{
+    const std::size_t B = labels.size();
+    if (B == 0 || batch.batch() != B)
+        fatal("trainStep: batch tensor holds ", batch.batch(),
+              " images but ", B, " labels were given");
+    const int R = cfg_.replicas;
+    if (B < static_cast<std::size_t>(R))
+        fatal("trainStep: batch of ", B, " images cannot feed ", R,
+              " replicas");
+
+    // Canonical leaf count for this step: the configured value,
+    // halved until every leaf is non-empty. Depends only on (B,
+    // reduceLeaves) — never on R — so the summation tree is the same
+    // for every replica count.
+    int S = cfg_.reduceLeaves;
+    while (static_cast<std::size_t>(S) > B)
+        S /= 2;
+    const int m = S / R;  // leaves per replica (complete subtree)
+
+    std::vector<double> leafLoss(static_cast<std::size_t>(S), 0.0);
+
+    // Phase 1 — shard forward/backward: replica r runs one batched
+    // pass per owned leaf and folds its per-leaf gradient partials
+    // pairwise (the lower tree levels). Each replica touches only its
+    // own engine and leafLoss slots, so crew scheduling cannot affect
+    // results.
+    const auto t0 = Clock::now();
+    crew_->run(static_cast<std::size_t>(R), [&](std::size_t rr) {
+        const int r = static_cast<int>(rr);
+        dnn::ReferenceEngine &eng = *engines_[rr];
+        if (m == 1) {
+            // One leaf: the engine's (zeroed) gradient buffers
+            // accumulate exactly the leaf partial in place.
+            const int leaf = r;
+            const std::size_t lo = B * static_cast<std::size_t>(leaf) /
+                                   static_cast<std::size_t>(S);
+            const std::size_t hi =
+                B * (static_cast<std::size_t>(leaf) + 1) /
+                static_cast<std::size_t>(S);
+            const dnn::Tensor shard = sliceBatch(batch, lo, hi);
+            const std::vector<int> leafLabels(
+                labels.begin() + static_cast<std::ptrdiff_t>(lo),
+                labels.begin() + static_cast<std::ptrdiff_t>(hi));
+            leafLoss[static_cast<std::size_t>(leaf)] =
+                eng.forwardBackward(shard, leafLabels);
+            return;
+        }
+        // Several leaves: extract each leaf's partial (copy out, zero
+        // the engine buffers so the next leaf starts clean), then
+        // fold the complete subtree with the same schedule the
+        // cross-replica reduction uses.
+        std::vector<std::vector<dnn::Tensor>> parts(
+            static_cast<std::size_t>(m));
+        for (int k = 0; k < m; ++k) {
+            const int leaf = r * m + k;
+            const std::size_t lo = B * static_cast<std::size_t>(leaf) /
+                                   static_cast<std::size_t>(S);
+            const std::size_t hi =
+                B * (static_cast<std::size_t>(leaf) + 1) /
+                static_cast<std::size_t>(S);
+            const dnn::Tensor shard = sliceBatch(batch, lo, hi);
+            const std::vector<int> leafLabels(
+                labels.begin() + static_cast<std::ptrdiff_t>(lo),
+                labels.begin() + static_cast<std::ptrdiff_t>(hi));
+            leafLoss[static_cast<std::size_t>(leaf)] =
+                eng.forwardBackward(shard, leafLabels);
+            auto &dst = parts[static_cast<std::size_t>(k)];
+            dst.reserve(weightLayers_.size());
+            for (dnn::LayerId id : weightLayers_) {
+                dst.push_back(eng.weightGrad(id));
+                eng.weightGrad(id).fill(0.0f);
+            }
+        }
+        std::vector<TensorSet> sets(static_cast<std::size_t>(m));
+        for (int k = 0; k < m; ++k)
+            for (auto &t : parts[static_cast<std::size_t>(k)])
+                sets[static_cast<std::size_t>(k)].push_back(&t);
+        treeReduce(sets);
+        for (std::size_t t = 0; t < weightLayers_.size(); ++t)
+            copyInto(eng.weightGrad(weightLayers_[t]), parts[0][t]);
+    });
+    timing_.shardMs = msSince(t0);
+
+    // Phase 2 — cross-replica allreduce: the upper tree levels over
+    // the replica subtree sums; rank 0 ends with the full-batch
+    // gradient sum.
+    const auto t1 = Clock::now();
+    std::vector<TensorSet> rankGrads(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r)
+        for (dnn::LayerId id : weightLayers_)
+            rankGrads[static_cast<std::size_t>(r)].push_back(
+                &engines_[static_cast<std::size_t>(r)]->weightGrad(id));
+    treeReduce(rankGrads);
+    timing_.reduceMs = msSince(t1);
+
+    // Phase 3 — one SGD step on rank 0 (w -= lr/B * g, gradients
+    // zeroed).
+    const auto t2 = Clock::now();
+    engines_[0]->applyUpdate(lr, static_cast<int>(B));
+    timing_.applyMs = msSince(t2);
+
+    // Phase 4 — broadcast the updated weights (bitwise copies) and
+    // restore the zero-gradient invariant on the other ranks.
+    const auto t3 = Clock::now();
+    crew_->run(static_cast<std::size_t>(R), [&](std::size_t rr) {
+        if (rr == 0)
+            return;
+        dnn::ReferenceEngine &eng = *engines_[rr];
+        for (dnn::LayerId id : weightLayers_) {
+            copyInto(eng.weights(id), engines_[0]->weights(id));
+            eng.weightGrad(id).fill(0.0f);
+        }
+    });
+    timing_.broadcastMs = msSince(t3);
+
+    // Leaf losses fold serially in ascending leaf order — the same
+    // order for every R and jobs value.
+    double lossSum = 0.0;
+    for (double l : leafLoss)
+        lossSum += l;
+
+    ++steps_;
+    recordStepMetrics(timing_, B);
+    return lossSum / static_cast<double>(B);
+}
+
+} // namespace sd::train

@@ -496,6 +496,53 @@ TEST(FuncSim, CompiledForwardMatchesWinogradReference)
 }
 
 /**
+ * The same cross-check on a dedicated 3x3/stride-1 convolution — the
+ * exact shape the Winograd kernels specialize — against both tile
+ * sizes, F(2x2,3x3) and F(4x4,3x3). A single-layer network keeps the
+ * comparison surgical: any divergence is the conv kernel itself, not
+ * pooling or FC layers downstream.
+ */
+TEST(FuncSim, CompiledSingleConvMatchesWinogradVariants)
+{
+    JobsGuard g;
+    setJobs(1);
+    struct AlgoGuard
+    {
+        dnn::ConvAlgo saved = dnn::convAlgo();
+        ~AlgoGuard() { dnn::setConvAlgo(saved); }
+    } algo_guard;
+
+    dnn::NetworkBuilder b("wino3x3", 2, 12, 12);
+    b.conv("c", b.input(), 4, 3, 1, 1, 1, dnn::Activation::ReLU);
+    dnn::Network net = b.build();
+    dnn::ReferenceEngine engine(net, 61);
+    Rng rng(71);
+    Tensor image = Tensor::uniform({2, 12, 12}, rng, 0.0f, 1.0f);
+
+    MachineConfig mc;
+    mc.rows = 2;
+    mc.cols = static_cast<int>(net.numLayers());
+    compiler::FuncRunner runner(net, mc);
+    runner.loadWeights(engine);
+    RunResult res;
+    Tensor compiled = runner.evaluate(image, &res);
+    ASSERT_TRUE(res.ok());
+
+    for (dnn::ConvAlgo algo :
+         {dnn::ConvAlgo::Winograd2, dnn::ConvAlgo::Winograd4}) {
+        dnn::setConvAlgo(algo);
+        const Tensor &wino = engine.forward(image);
+        ASSERT_EQ(compiled.size(), wino.size());
+        for (std::size_t i = 0; i < compiled.size(); ++i)
+            EXPECT_NEAR(compiled[i], wino[i],
+                        1e-3 *
+                            std::max(1.0,
+                                     double(std::fabs(wino[i]))))
+                << "algo " << static_cast<int>(algo) << " at " << i;
+    }
+}
+
+/**
  * A proven funcsim deadlock must leave a post-mortem trail in the
  * flight recorder naming the blocking MemHeavy tiles, whether or not
  * metrics collection is enabled.

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Tests for the data-parallel synchronous-SGD trainer and its
+ * reduction-tree allreduce: bit-identical training across replica
+ * counts and jobs values, equivalence with ReferenceEngine's own
+ * trainMinibatch, the reduceSchedule pairing order, per-replica stream
+ * seeding, trainMinibatch overload parity, cross-engine memory-gauge
+ * aggregation, and the SD_DP_REPLICAS front-end contract.
+ */
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+#include "core/parallel.hh"
+#include "core/random.hh"
+#include "dnn/reference.hh"
+#include "dnn/zoo.hh"
+#include "train/allreduce.hh"
+#include "train/trainer.hh"
+
+namespace {
+
+using namespace sd;
+using dnn::Tensor;
+
+/** RAII guard restoring the global jobs value. */
+struct JobsGuard
+{
+    int saved = jobs();
+    ~JobsGuard() { setJobs(saved); }
+};
+
+/** RAII guard restoring the global memory-planning mode. */
+struct MemPlanGuard
+{
+    dnn::MemPlanMode saved = dnn::memPlanMode();
+    ~MemPlanGuard() { dnn::setMemPlanMode(saved); }
+};
+
+/** A fixed 8-image synthetic minibatch for the tiny CNN. */
+void
+makeBatch(int n, std::vector<Tensor> &images, std::vector<int> &labels)
+{
+    dnn::SyntheticDataset data(3, 1, 12, 12, 23);
+    images.clear();
+    labels.clear();
+    for (int i = 0; i < n; ++i) {
+        auto [img, label] = data.sample();
+        images.push_back(std::move(img));
+        labels.push_back(label);
+    }
+}
+
+bool
+weightsIdentical(const dnn::ReferenceEngine &a,
+                 const dnn::ReferenceEngine &b)
+{
+    for (const dnn::Layer &l : a.network().layers())
+        if (l.hasWeights() &&
+            a.weights(l.id).maxAbsDiff(b.weights(l.id)) != 0.0f)
+            return false;
+    return true;
+}
+
+// --- reduceSchedule -------------------------------------------------
+
+TEST(ReduceSchedule, PairingOrderIsStrideDoubling)
+{
+    const auto rounds = train::reduceSchedule(8);
+    ASSERT_EQ(rounds.size(), 3u);
+    // Round 0: (0,1) (2,3) (4,5) (6,7); round 1: (0,2) (4,6);
+    // round 2: (0,4).
+    const std::vector<std::vector<std::pair<int, int>>> expect = {
+        {{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+        {{0, 2}, {4, 6}},
+        {{0, 4}},
+    };
+    for (std::size_t k = 0; k < rounds.size(); ++k) {
+        ASSERT_EQ(rounds[k].size(), expect[k].size());
+        for (std::size_t i = 0; i < rounds[k].size(); ++i) {
+            EXPECT_EQ(rounds[k][i].dst, expect[k][i].first);
+            EXPECT_EQ(rounds[k][i].src, expect[k][i].second);
+        }
+    }
+}
+
+TEST(ReduceSchedule, SingleRankHasNoRounds)
+{
+    EXPECT_TRUE(train::reduceSchedule(1).empty());
+}
+
+TEST(ReduceSchedule, FatalOnNonPowerOfTwo)
+{
+    EXPECT_DEATH(train::reduceSchedule(3), "power of two");
+    EXPECT_DEATH(train::reduceSchedule(0), "power of two");
+}
+
+// --- addInto / treeReduce -------------------------------------------
+
+TEST(AllReduce, AddIntoIsJobsInvariant)
+{
+    JobsGuard g;
+    Rng rng(5);
+    Tensor a = Tensor::uniform({4, 1000}, rng, -1.0f, 1.0f);
+    Tensor b = Tensor::uniform({4, 1000}, rng, -1.0f, 1.0f);
+
+    setJobs(1);
+    Tensor serial = a;
+    train::addInto(serial, b);
+
+    setJobs(8);
+    Tensor parallel = a;
+    train::addInto(parallel, b);
+
+    EXPECT_EQ(serial.maxAbsDiff(parallel), 0.0f);
+}
+
+TEST(AllReduce, TreeReduceMatchesManualTree)
+{
+    Rng rng(9);
+    std::vector<Tensor> vals;
+    for (int r = 0; r < 4; ++r)
+        vals.push_back(Tensor::uniform({257}, rng, -2.0f, 2.0f));
+
+    // Expected: the fixed tree ((v0+v1) + (v2+v3)), element by element.
+    Tensor expect = vals[0];
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        expect[i] = (vals[0][i] + vals[1][i]) +
+                    (vals[2][i] + vals[3][i]);
+
+    std::vector<Tensor> work = vals;
+    std::vector<train::TensorSet> sets(4);
+    for (int r = 0; r < 4; ++r)
+        sets[static_cast<std::size_t>(r)].push_back(
+            &work[static_cast<std::size_t>(r)]);
+    train::treeReduce(sets);
+
+    EXPECT_EQ(work[0].maxAbsDiff(expect), 0.0f);
+}
+
+TEST(AllReduce, BroadcastCopiesRankZero)
+{
+    std::vector<Tensor> work;
+    for (int r = 0; r < 4; ++r)
+        work.push_back(Tensor::full({16}, static_cast<float>(r)));
+    std::vector<train::TensorSet> sets(4);
+    for (int r = 0; r < 4; ++r)
+        sets[static_cast<std::size_t>(r)].push_back(
+            &work[static_cast<std::size_t>(r)]);
+    train::treeBroadcast(sets);
+    for (int r = 1; r < 4; ++r)
+        EXPECT_EQ(work[static_cast<std::size_t>(r)].maxAbsDiff(work[0]),
+                  0.0f);
+}
+
+// --- replicaSeed ----------------------------------------------------
+
+TEST(ReplicaSeed, DeterministicAndDistinct)
+{
+    EXPECT_EQ(replicaSeed(42, 3), replicaSeed(42, 3));
+    std::set<std::uint64_t> seeds;
+    for (int r = 0; r < 16; ++r)
+        seeds.insert(replicaSeed(42, r));
+    EXPECT_EQ(seeds.size(), 16u);       // no collisions across ranks
+    EXPECT_EQ(seeds.count(42), 0u);     // and none equal the base
+    EXPECT_NE(replicaSeed(42, 0), replicaSeed(43, 0));
+}
+
+// --- the trainer ----------------------------------------------------
+
+TEST(Trainer, BitIdenticalAcrossReplicaCounts)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    makeBatch(8, images, labels);
+    const Tensor batch = Tensor::stack(images);
+    const int steps = 3;
+
+    // R = 1 is the reference trajectory; R = 2, 4, 8 must reproduce
+    // its loss curve and final weights bit for bit.
+    std::vector<double> refLosses;
+    train::TrainerConfig ref_cfg;
+    ref_cfg.replicas = 1;
+    ref_cfg.reduceLeaves = 8;
+    train::DataParallelTrainer ref(net, ref_cfg, 77);
+    for (int s = 0; s < steps; ++s)
+        refLosses.push_back(ref.trainStep(batch, labels, 0.05f));
+
+    for (int r : {2, 4, 8}) {
+        train::TrainerConfig cfg;
+        cfg.replicas = r;
+        cfg.reduceLeaves = 8;
+        train::DataParallelTrainer t(net, cfg, 77);
+        for (int s = 0; s < steps; ++s)
+            EXPECT_EQ(t.trainStep(batch, labels, 0.05f), refLosses
+                      [static_cast<std::size_t>(s)])
+                << "loss diverged at step " << s << " with " << r
+                << " replicas";
+        EXPECT_TRUE(weightsIdentical(t.replica(0), ref.replica(0)))
+            << r << " replicas diverged from the single-replica run";
+        // Broadcast left every replica with rank 0's weights.
+        for (int k = 1; k < r; ++k)
+            EXPECT_TRUE(weightsIdentical(t.replica(k), t.replica(0)));
+    }
+}
+
+TEST(Trainer, BitIdenticalAcrossJobs)
+{
+    JobsGuard g;
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    makeBatch(8, images, labels);
+    const Tensor batch = Tensor::stack(images);
+
+    auto run = [&](int njobs) {
+        setJobs(njobs);
+        train::TrainerConfig cfg;
+        cfg.replicas = 4;
+        cfg.reduceLeaves = 8;
+        auto t = std::make_unique<train::DataParallelTrainer>(net, cfg,
+                                                              31);
+        std::vector<double> losses;
+        for (int s = 0; s < 2; ++s)
+            losses.push_back(t->trainStep(batch, labels, 0.05f));
+        return std::make_pair(std::move(t), losses);
+    };
+
+    auto [t1, losses1] = run(1);
+    auto [t4, losses4] = run(4);
+    EXPECT_EQ(losses1, losses4);
+    EXPECT_TRUE(weightsIdentical(t1->replica(0), t4->replica(0)));
+}
+
+TEST(Trainer, SingleLeafDegeneratesToTrainMinibatch)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    makeBatch(6, images, labels);
+    const Tensor batch = Tensor::stack(images);
+
+    train::TrainerConfig cfg;
+    cfg.replicas = 1;
+    cfg.reduceLeaves = 1;
+    train::DataParallelTrainer t(net, cfg, 19);
+    dnn::ReferenceEngine eng(net, 19);
+
+    for (int s = 0; s < 2; ++s) {
+        const double tl = t.trainStep(batch, labels, 0.1f);
+        const double el = eng.trainMinibatch(batch, labels, 0.1f);
+        EXPECT_EQ(tl, el) << "step " << s;
+    }
+    EXPECT_TRUE(weightsIdentical(t.replica(0), eng));
+}
+
+TEST(Trainer, StackedAndPerImageOverloadsAgree)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    makeBatch(8, images, labels);
+
+    train::TrainerConfig cfg;
+    cfg.replicas = 2;
+    train::DataParallelTrainer a(net, cfg, 7);
+    train::DataParallelTrainer b(net, cfg, 7);
+    const double la = a.trainStep(Tensor::stack(images), labels, 0.05f);
+    const double lb = b.trainStep(images, labels, 0.05f);
+    EXPECT_EQ(la, lb);
+    EXPECT_TRUE(weightsIdentical(a.replica(0), b.replica(0)));
+}
+
+TEST(Trainer, SmallBatchShrinksLeavesNotResults)
+{
+    // Batch 2 with reduceLeaves 8: the step must shrink to 2 leaves
+    // (never an empty leaf) and stay replica-invariant.
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    makeBatch(2, images, labels);
+    const Tensor batch = Tensor::stack(images);
+
+    train::TrainerConfig c1;
+    c1.replicas = 1;
+    train::DataParallelTrainer t1(net, c1, 3);
+    train::TrainerConfig c2;
+    c2.replicas = 2;
+    train::DataParallelTrainer t2(net, c2, 3);
+    EXPECT_EQ(t1.trainStep(batch, labels, 0.05f),
+              t2.trainStep(batch, labels, 0.05f));
+    EXPECT_TRUE(weightsIdentical(t1.replica(0), t2.replica(0)));
+}
+
+TEST(Trainer, ReplicaStreamSeedsMatchHelper)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    train::TrainerConfig cfg;
+    cfg.replicas = 4;
+    train::DataParallelTrainer t(net, cfg, 99);
+    for (int r = 0; r < 4; ++r)
+        EXPECT_EQ(t.replicaStreamSeed(r), replicaSeed(99, r));
+}
+
+TEST(Trainer, TimingAndCountersAdvance)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    makeBatch(4, images, labels);
+    train::TrainerConfig cfg;
+    cfg.replicas = 2;
+    train::DataParallelTrainer t(net, cfg, 11);
+    EXPECT_EQ(t.stepsRun(), 0u);
+    t.trainStep(Tensor::stack(images), labels, 0.05f);
+    EXPECT_EQ(t.stepsRun(), 1u);
+    EXPECT_GT(t.lastTiming().totalMs(), 0.0);
+    EXPECT_GT(t.totalHighWaterBytes(), 0u);
+}
+
+TEST(TrainerDeath, InvalidConfigsAreFatal)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    train::TrainerConfig bad_r;
+    bad_r.replicas = 3;
+    EXPECT_DEATH(train::DataParallelTrainer(net, bad_r),
+                 "power of two");
+    train::TrainerConfig bad_l;
+    bad_l.reduceLeaves = 6;
+    EXPECT_DEATH(train::DataParallelTrainer(net, bad_l),
+                 "power of two");
+    train::TrainerConfig too_many;
+    too_many.replicas = 16;
+    too_many.reduceLeaves = 8;
+    EXPECT_DEATH(train::DataParallelTrainer(net, too_many),
+                 "at least one leaf");
+}
+
+TEST(TrainerDeath, BatchSmallerThanReplicasIsFatal)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    std::vector<Tensor> images;
+    std::vector<int> labels;
+    makeBatch(2, images, labels);
+    train::TrainerConfig cfg;
+    cfg.replicas = 4;
+    train::DataParallelTrainer t(net, cfg, 1);
+    EXPECT_DEATH(t.trainStep(Tensor::stack(images), labels, 0.05f),
+                 "cannot feed");
+}
+
+// --- trainMinibatch overload parity (reference engine) --------------
+
+TEST(TrainMinibatchParity, VectorAndStackedAgreeAcrossModes)
+{
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    MemPlanGuard mg;
+    for (dnn::MemPlanMode mode :
+         {dnn::MemPlanMode::Off, dnn::MemPlanMode::Share}) {
+        dnn::setMemPlanMode(mode);
+        for (int n : {1, 3, 8}) {
+            std::vector<Tensor> images;
+            std::vector<int> labels;
+            makeBatch(n, images, labels);
+            dnn::ReferenceEngine a(net, 5, mode);
+            dnn::ReferenceEngine b(net, 5, mode);
+            const double la = a.trainMinibatch(images, labels, 0.1f);
+            const double lb =
+                b.trainMinibatch(Tensor::stack(images), labels, 0.1f);
+            EXPECT_EQ(la, lb) << "batch " << n << " mode "
+                              << static_cast<int>(mode);
+            EXPECT_TRUE(weightsIdentical(a, b))
+                << "batch " << n << " mode " << static_cast<int>(mode);
+        }
+    }
+}
+
+// --- cross-engine memory-gauge aggregation --------------------------
+
+TEST(MemoryGauges, AggregateAcrossLiveEngines)
+{
+#if SD_METRICS
+    const bool was = metricsEnabled();
+    setMetricsEnabled(true);
+    MetricGauge &live = MetricsRegistry::global().gauge(
+        "refeng.bytes_live",
+        "reference-engine tensor bytes, summed over live engines");
+    const std::int64_t base = live.value();
+
+    dnn::Network net = dnn::makeTinyCnn(12, 3);
+    {
+        dnn::ReferenceEngine a(net, 1);
+        const std::int64_t one = live.value() - base;
+        EXPECT_EQ(one, static_cast<std::int64_t>(a.liveBytes()));
+
+        dnn::ReferenceEngine b(net, 2);
+        EXPECT_EQ(live.value() - base,
+                  static_cast<std::int64_t>(a.liveBytes()) +
+                      static_cast<std::int64_t>(b.liveBytes()));
+        // The high water covers both engines at once.
+        EXPECT_GE(live.highWater(),
+                  base + static_cast<std::int64_t>(a.liveBytes()) +
+                      static_cast<std::int64_t>(b.liveBytes()));
+    }
+    // Destruction retracts each engine's contribution.
+    EXPECT_EQ(live.value(), base);
+    setMetricsEnabled(was);
+#else
+    GTEST_SKIP() << "metrics compiled out";
+#endif
+}
+
+// --- SD_DP_REPLICAS -------------------------------------------------
+
+TEST(DpReplicas, EnvAndSetterContract)
+{
+    EXPECT_EQ(setenv("SD_DP_REPLICAS", "4", 1), 0);
+    EXPECT_EQ(train::defaultDpReplicas(), 4);
+    EXPECT_EQ(unsetenv("SD_DP_REPLICAS"), 0);
+    EXPECT_EQ(train::defaultDpReplicas(), 1);
+
+    train::setDpReplicas(2);
+    EXPECT_EQ(train::dpReplicas(), 2);
+    train::setDpReplicas(1);
+    EXPECT_EQ(train::dpReplicas(), 1);
+}
+
+TEST(DpReplicasDeath, InvalidValuesAreFatal)
+{
+    EXPECT_DEATH(train::setDpReplicas(3), "power of two");
+    EXPECT_DEATH(train::setDpReplicas(0), "power of two");
+    EXPECT_DEATH(
+        {
+            setenv("SD_DP_REPLICAS", "banana", 1);
+            train::defaultDpReplicas();
+        },
+        "power-of-two");
+    EXPECT_DEATH(
+        {
+            setenv("SD_DP_REPLICAS", "6", 1);
+            train::defaultDpReplicas();
+        },
+        "power-of-two");
+}
+
+} // namespace
