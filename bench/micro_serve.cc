@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Serving-layer baseline: closed-loop load generator over the
+ * continuous-batching InferenceServer (serve/server.hh).
+ *
+ * A fleet of closed-loop clients (submit -> wait -> repeat) drives
+ * three server configurations over the same fc-heavy network:
+ *
+ *   batch1     maxBatch=1, one engine — every request is its own
+ *              forward pass (the no-coalescing baseline; each pass
+ *              re-reads the full weight set).
+ *   continuous maxBatch=8, one engine — dynamic batches amortize the
+ *              weight traffic across riders (the PR 3 batched-GEMM
+ *              economics applied to traffic).
+ *   pool       maxBatch=8, two engines — adds cross-batch engine
+ *              parallelism on top.
+ *
+ * Besides throughput and latency percentiles this bench *self-gates*
+ * the serving determinism contract: a fixed trace of requests through
+ * the continuous config must produce outputs bit-identical to solo
+ * ReferenceEngine::forward runs. A mismatch is fatal, not a table
+ * footnote.
+ *
+ * Emits BENCH_serve.json (schema scaledeep-serve-1). CI gates
+ * continuous >= 2x batch1 throughput at equal-or-better p99, skipping
+ * with a warning on single-core runners (micro_train pattern); the
+ * bit-identity gate is unconditional.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/export.hh"
+#include "core/logging.hh"
+#include "core/parallel.hh"
+#include "dnn/network.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+using serve::InferenceServer;
+using serve::RequestStatus;
+using serve::ServeConfig;
+using serve::ServeResult;
+
+constexpr int kClients = 16;
+constexpr int kRequestsPerClient = 25;
+constexpr int kWarmupRequests = 16;
+constexpr double kSloMs = 100.0;
+constexpr std::uint64_t kSeed = 23;
+
+/** FC-heavy on purpose: a batch-1 pass is dominated by re-reading
+ * ~6 MB of fc weights per request, so coalescing — which reads them
+ * once per batch — is where the throughput lives. This is the serving
+ * analogue of the PR 3 batched-GEMM result. */
+Network
+makeServeNet()
+{
+    NetworkBuilder b("micro-serve-net", 1, 16, 16);
+    LayerId x = b.input();
+    x = b.conv("conv1", x, 8, 3, 1, 1);
+    x = b.maxPool("pool1", x, 2, 2);
+    x = b.fc("fc1", x, 1024);
+    x = b.fc("fc2", x, 1024);
+    b.fc("fc3", x, 10, Activation::None);
+    return b.build();
+}
+
+struct LoadResult
+{
+    std::string label;
+    ServeConfig cfg;
+    std::uint64_t requests = 0;
+    double wallMs = 0.0;
+    double throughputRps = 0.0;
+    double p50Ms = 0.0, p95Ms = 0.0, p99Ms = 0.0;
+    double sloAttainment = 1.0;
+    double meanBatch = 1.0;
+    std::uint64_t maxBatchObserved = 0;
+    std::uint64_t deadlineMissed = 0;
+};
+
+double
+percentileOf(std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(pos + 0.5)];
+}
+
+/** Closed-loop run: kClients threads, each submitting its next image
+ * only after the previous reply arrived. Per-request latency is the
+ * server-reported submit->completion span. */
+LoadResult
+runLoad(const Network &net, const std::string &label, ServeConfig cfg,
+        const std::vector<Tensor> &images)
+{
+    LoadResult r;
+    r.label = label;
+    r.cfg = cfg;
+
+    InferenceServer server(net, cfg);
+    // Warmup: prime caches and the compute-EWMA before timing.
+    for (int i = 0; i < kWarmupRequests; ++i)
+        server.submit(images[static_cast<std::size_t>(i) %
+                             images.size()]).get();
+    const auto before = server.counters();
+
+    std::vector<std::vector<double>> latencies(kClients);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            auto &lats = latencies[static_cast<std::size_t>(c)];
+            lats.reserve(kRequestsPerClient);
+            for (int i = 0; i < kRequestsPerClient; ++i) {
+                const Tensor &img = images[static_cast<std::size_t>(
+                    (c * kRequestsPerClient + i)) % images.size()];
+                ServeResult res = server.submit(img, kSloMs).get();
+                if (res.status != RequestStatus::Ok)
+                    fatal("micro_serve: closed-loop request rejected "
+                          "(status ", static_cast<int>(res.status),
+                          ") — the queue should never fill under "
+                          "closed-loop load");
+                lats.push_back(res.totalMs);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    r.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+
+    const auto after = server.counters();
+    server.shutdown();
+
+    std::vector<double> all;
+    for (const auto &lats : latencies)
+        all.insert(all.end(), lats.begin(), lats.end());
+    std::sort(all.begin(), all.end());
+    r.requests = all.size();
+    r.throughputRps = static_cast<double>(r.requests) /
+                      (r.wallMs / 1000.0);
+    r.p50Ms = percentileOf(all, 0.50);
+    r.p95Ms = percentileOf(all, 0.95);
+    r.p99Ms = percentileOf(all, 0.99);
+    const std::uint64_t batches = after.batches - before.batches;
+    const std::uint64_t batched = after.batchedImages -
+                                  before.batchedImages;
+    r.meanBatch = batches == 0
+        ? 0.0
+        : static_cast<double>(batched) / static_cast<double>(batches);
+    r.maxBatchObserved = after.maxBatchObserved;
+    r.deadlineMissed = after.deadlineMissed - before.deadlineMissed;
+    r.sloAttainment = r.requests == 0
+        ? 1.0
+        : 1.0 - static_cast<double>(r.deadlineMissed) /
+                    static_cast<double>(r.requests);
+    return r;
+}
+
+/** The determinism self-check: a fixed trace through a continuous-
+ * batching server must be bit-identical to solo forward runs. */
+bool
+checkBitIdentity(const Network &net, const ServeConfig &cfg,
+                 const std::vector<Tensor> &images)
+{
+    ReferenceEngine solo(net, cfg.seed, cfg.memMode);
+    InferenceServer server(net, cfg);
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(images.size());
+    for (const Tensor &img : images)
+        futures.push_back(server.submit(img));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const ServeResult res = futures[i].get();
+        if (res.status != RequestStatus::Ok)
+            return false;
+        if (solo.forward(images[i]).maxAbsDiff(res.output) != 0.0f)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sd;
+    bench::init(argc, argv, "micro_serve");
+    const int njobs = jobs();
+    bench::banner("Continuous-batching server",
+                  "closed-loop load vs batching policy (jobs=" +
+                      std::to_string(njobs) + ")");
+
+    const Network net = makeServeNet();
+    SyntheticDataset data(10, 1, 16, 16, kSeed);
+    std::vector<Tensor> images;
+    for (int i = 0; i < 64; ++i)
+        images.push_back(data.sample().first);
+
+    ServeConfig batch1;
+    batch1.engines = 1;
+    batch1.maxBatch = 1;
+    batch1.maxQueueDelayMs = 0.0;
+    batch1.seed = kSeed;
+
+    ServeConfig continuous;
+    continuous.engines = 1;
+    continuous.maxBatch = 8;
+    continuous.maxQueueDelayMs = 5.0;
+    continuous.seed = kSeed;
+
+    ServeConfig pool = continuous;
+    pool.engines = 2;
+
+    std::vector<LoadResult> results;
+    results.push_back(runLoad(net, "batch1", batch1, images));
+    results.push_back(runLoad(net, "continuous", continuous, images));
+    results.push_back(runLoad(net, "pool", pool, images));
+
+    // Bit-identity is the contract, not a statistic: fatal on any
+    // divergence between batched serving and solo forward.
+    const bool identical = checkBitIdentity(net, continuous, images) &&
+                           checkBitIdentity(net, pool, images);
+    if (!identical)
+        fatal("micro_serve: batched serving outputs diverge from solo "
+              "ReferenceEngine::forward — the determinism contract is "
+              "broken");
+
+    const double base_rps = results[0].throughputRps;
+    const double base_p99 = results[0].p99Ms;
+    Table t({"config", "engines", "maxBatch", "req/s", "speedup",
+             "p50 ms", "p95 ms", "p99 ms", "SLO att", "mean batch"});
+    for (const LoadResult &r : results)
+        t.addRow({r.label, std::to_string(r.cfg.engines),
+                  std::to_string(r.cfg.maxBatch),
+                  fmtDouble(r.throughputRps, 1),
+                  fmtDouble(r.throughputRps / base_rps, 2),
+                  fmtDouble(r.p50Ms, 2), fmtDouble(r.p95Ms, 2),
+                  fmtDouble(r.p99Ms, 2), fmtDouble(r.sloAttainment, 3),
+                  fmtDouble(r.meanBatch, 2)});
+    bench::show("serve_load", t);
+
+    const double speedup = results[1].throughputRps / base_rps;
+    const double p99_ratio = base_p99 == 0.0
+        ? 1.0
+        : results[1].p99Ms / base_p99;
+    std::printf("continuous vs batch1: %.2fx throughput, p99 ratio "
+                "%.2f, bit-identical: yes\n", speedup, p99_ratio);
+
+    // --- BENCH_serve.json ---
+    const std::string out_path = "BENCH_serve.json";
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("micro_serve: cannot open ", out_path);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "scaledeep-serve-1");
+    w.field("jobs", static_cast<std::int64_t>(njobs));
+    w.field("hardwareConcurrency",
+            static_cast<std::int64_t>(hardwareJobs()));
+    w.field("effectiveJobs",
+            static_cast<std::int64_t>(std::min(njobs, hardwareJobs())));
+    w.field("network", net.name());
+    w.field("clients", static_cast<std::int64_t>(kClients));
+    w.field("requestsPerClient",
+            static_cast<std::int64_t>(kRequestsPerClient));
+    w.field("sloMs", kSloMs);
+    w.field("bitIdentical", identical);
+    w.field("speedupContinuousVsBatch1", speedup);
+    w.field("p99RatioContinuousVsBatch1", p99_ratio);
+    w.key("entries");
+    w.beginArray();
+    for (const LoadResult &r : results) {
+        w.beginObject();
+        w.field("label", r.label);
+        w.field("engines", static_cast<std::int64_t>(r.cfg.engines));
+        w.field("maxBatch", static_cast<std::int64_t>(r.cfg.maxBatch));
+        w.field("maxQueueDelayMs", r.cfg.maxQueueDelayMs);
+        w.field("requests", static_cast<std::int64_t>(r.requests));
+        w.field("wallMs", r.wallMs);
+        w.field("throughputRps", r.throughputRps);
+        w.field("p50Ms", r.p50Ms);
+        w.field("p95Ms", r.p95Ms);
+        w.field("p99Ms", r.p99Ms);
+        w.field("sloAttainment", r.sloAttainment);
+        w.field("meanBatch", r.meanBatch);
+        w.field("maxBatchObserved",
+                static_cast<std::int64_t>(r.maxBatchObserved));
+        w.field("deadlineMissed",
+                static_cast<std::int64_t>(r.deadlineMissed));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+
+    bench::finish();
+    return 0;
+}

@@ -7,7 +7,9 @@
  *         [--csv] [--layers] [--report] [--report-batch N]
  *         [--trace FILE] [--stats-json FILE]
  *         [--jobs N] [--conv-algo NAME] [--gemm-kernel NAME]
- *         [--gemm-precision P] [--memplan MODE] [--quiet]
+ *         [--gemm-precision P] [--memplan MODE]
+ *         [--serve] [--engines N] [--max-batch N]
+ *         [--max-queue-delay MS] [--quiet]
  *
  *   --net NAME        simulate one benchmark network (default AlexNet)
  *   --all             simulate the whole 11-network suite
@@ -51,6 +53,19 @@
  *                     the --report train probe, which steps a
  *                     DataParallelTrainer and reports per-replica /
  *                     total memory high-water and per-phase timings.
+ *   --serve           run the serve probe: a burst of closed-loop
+ *                     clients through the continuous-batching
+ *                     InferenceServer (serve/server.hh) over TinyCnn.
+ *                     Prints a latency/throughput summary, adds a
+ *                     "serve" section to --stats-json, and fatally
+ *                     checks the determinism contract (batched outputs
+ *                     bit-identical to solo forward passes).
+ *   --engines N       serve-probe engine-pool size (default: the
+ *                     SD_SERVE_ENGINES environment variable, or 1)
+ *   --max-batch N     serve-probe coalescing bound (default 8)
+ *   --max-queue-delay MS
+ *                     serve-probe queue-delay bound in milliseconds
+ *                     (default 2)
  *   --quiet           suppress inform() status messages
  *
  * When --trace or --stats-json is given, sdsim additionally drives a
@@ -62,9 +77,12 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/presets.hh"
@@ -80,6 +98,7 @@
 #include "dnn/reference.hh"
 #include "dnn/roofline.hh"
 #include "dnn/zoo.hh"
+#include "serve/server.hh"
 #include "sim/perf/export.hh"
 #include "sim/perf/perfsim.hh"
 #include "sim/perf/scaling.hh"
@@ -99,7 +118,8 @@ usage(const char *argv0)
                  " [--trace FILE] [--stats-json FILE] [--jobs N]"
                  " [--conv-algo NAME] [--gemm-kernel NAME]"
                  " [--gemm-precision P] [--memplan MODE]"
-                 " [--replicas N] [--quiet]\n"
+                 " [--replicas N] [--serve] [--engines N]"
+                 " [--max-batch N] [--max-queue-delay MS] [--quiet]\n"
                  "networks:";
     for (const auto &e : dnn::benchmarkSuite())
         std::cerr << " " << e.name;
@@ -219,6 +239,134 @@ runTrainProbe(bool csv)
               << " ms\n";
 }
 
+/** What the --serve probe measured, for the stats-JSON "serve"
+ * section. */
+struct ServeProbeStats
+{
+    int engines = 1;
+    int maxBatch = 8;
+    double maxQueueDelayMs = 2.0;
+    std::uint64_t requests = 0;
+    double wallMs = 0.0;
+    double throughputRps = 0.0;
+    double p50Ms = 0.0, p95Ms = 0.0, p99Ms = 0.0;
+    double meanBatch = 0.0;
+    serve::ServeCounters counters;
+};
+
+/**
+ * The --serve probe: a burst of closed-loop clients through the
+ * continuous-batching InferenceServer (serve/server.hh) over TinyCnn,
+ * so the telemetry report and stats JSON cover the serve.* metrics.
+ * Every output is checked bit-identical against a solo
+ * ReferenceEngine::forward of the same image — the serving determinism
+ * contract — and a mismatch is fatal.
+ */
+ServeProbeStats
+runServeProbe(int maxBatch, double maxQueueDelayMs, bool csv)
+{
+    SD_TRACE_SCOPE(/*name=*/"sdsim.serveProbe", "host");
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 16;
+    dnn::Network net = dnn::makeTinyCnn(16, 4);
+    serve::ServeConfig cfg;
+    cfg.engines = serve::serveEngines();
+    cfg.maxBatch = maxBatch;
+    cfg.maxQueueDelayMs = maxQueueDelayMs;
+    cfg.seed = 9;
+
+    Rng rng(13);
+    std::vector<dnn::Tensor> images;
+    for (int i = 0; i < 16; ++i)
+        images.push_back(dnn::Tensor::uniform({1, 16, 16}, rng, 0.0f,
+                                              1.0f));
+
+    ServeProbeStats st;
+    st.engines = cfg.engines;
+    st.maxBatch = cfg.maxBatch;
+    st.maxQueueDelayMs = cfg.maxQueueDelayMs;
+
+    // Each slot is written by exactly one client thread.
+    const std::size_t total = kClients * kPerClient;
+    std::vector<double> lats(total, 0.0);
+    std::vector<dnn::Tensor> outputs(total);
+    double wall_ms = 0.0;
+    {
+        serve::InferenceServer server(net, cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (int c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                for (int i = 0; i < kPerClient; ++i) {
+                    const std::size_t slot =
+                        static_cast<std::size_t>(c * kPerClient + i);
+                    serve::ServeResult res =
+                        server
+                            .submit(images[slot % images.size()],
+                                    /*deadlineMs=*/250.0)
+                            .get();
+                    if (res.status != serve::RequestStatus::Ok)
+                        fatal("sdsim: serve probe request was not "
+                              "served (status ",
+                              static_cast<int>(res.status), ")");
+                    lats[slot] = res.totalMs;
+                    outputs[slot] = std::move(res.output);
+                }
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+        wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        st.counters = server.counters();
+    }
+
+    // The determinism contract, enforced: batched serving must be
+    // bit-identical to solo forward passes.
+    dnn::ReferenceEngine solo(net, cfg.seed, cfg.memMode);
+    for (std::size_t slot = 0; slot < total; ++slot)
+        if (solo.forward(images[slot % images.size()])
+                .maxAbsDiff(outputs[slot]) != 0.0f)
+            fatal("sdsim: serve probe output ", slot,
+                  " diverges from the solo reference forward — the "
+                  "serving determinism contract is broken");
+
+    std::sort(lats.begin(), lats.end());
+    auto pct = [&](double q) {
+        const double pos = q * static_cast<double>(lats.size() - 1);
+        return lats[static_cast<std::size_t>(pos + 0.5)];
+    };
+    st.requests = total;
+    st.wallMs = wall_ms;
+    st.throughputRps = static_cast<double>(total) / (wall_ms / 1000.0);
+    st.p50Ms = pct(0.50);
+    st.p95Ms = pct(0.95);
+    st.p99Ms = pct(0.99);
+    st.meanBatch = st.counters.batches == 0
+        ? 0.0
+        : static_cast<double>(st.counters.batchedImages) /
+              static_cast<double>(st.counters.batches);
+
+    std::cout << "\nserve probe (TinyCnn, " << st.engines
+              << " engine(s), maxBatch " << st.maxBatch << ", delay "
+              << fmtDouble(st.maxQueueDelayMs, 1) << " ms): "
+              << st.requests << " requests, bit-identical\n";
+    Table t({"req/s", "p50 ms", "p95 ms", "p99 ms", "mean batch",
+             "max batch", "missed"});
+    t.addRow({fmtDouble(st.throughputRps, 1), fmtDouble(st.p50Ms, 2),
+              fmtDouble(st.p95Ms, 2), fmtDouble(st.p99Ms, 2),
+              fmtDouble(st.meanBatch, 2),
+              std::to_string(st.counters.maxBatchObserved),
+              std::to_string(st.counters.deadlineMissed)});
+    if (csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    return st;
+}
+
 /**
  * The --report probe: one measured forward pass of @p name through the
  * reference engine at @p batch, returning the per-layer roofline.
@@ -249,8 +397,10 @@ main(int argc, char **argv)
     installCrashHandlers();
     std::vector<std::string> nets = {"AlexNet"};
     bool all = false, csv = false, layers = false, jobs_set = false;
-    bool report = false;
+    bool report = false, serve_probe = false;
     int report_batch = 2;
+    int serve_max_batch = 8;
+    double serve_delay_ms = 2.0;
     std::string trace_path, stats_path, precision = "sp";
     arch::NodeConfig node = arch::singlePrecisionNode();
     sim::perf::PerfOptions options;
@@ -333,6 +483,20 @@ main(int argc, char **argv)
             if (n < 1)
                 fatal("sdsim: --replicas needs a positive integer");
             train::setDpReplicas(n);  // fatal unless a power of two
+        } else if (arg == "--serve") {
+            serve_probe = true;
+        } else if (arg == "--engines") {
+            const int n = std::stoi(value());
+            serve::setServeEngines(n);  // fatal unless positive
+        } else if (arg == "--max-batch") {
+            serve_max_batch = std::stoi(value());
+            if (serve_max_batch < 1)
+                fatal("sdsim: --max-batch needs a positive integer");
+        } else if (arg == "--max-queue-delay") {
+            serve_delay_ms = std::stod(value());
+            if (serve_delay_ms < 0.0)
+                fatal("sdsim: --max-queue-delay needs a non-negative "
+                      "number of milliseconds");
         } else if (arg == "--quiet") {
             setVerbose(false);
         } else {
@@ -473,6 +637,14 @@ main(int argc, char **argv)
         runTrainProbe(csv);
     }
 
+    std::optional<ServeProbeStats> serve_stats;
+    if (serve_probe) {
+        inform("serve probe: TinyCnn, ", serve::serveEngines(),
+               " engine(s), maxBatch ", serve_max_batch);
+        serve_stats = runServeProbe(serve_max_batch, serve_delay_ms,
+                                    csv);
+    }
+
     // The func probe feeds both artifacts; run it once if either wants
     // functional-machine coverage.
     compiler::PipelinedRunner *probe = nullptr;
@@ -493,7 +665,9 @@ main(int argc, char **argv)
         //     single-core runners.
         // -4: adds "dpReplicas" and, when --replicas > 1, the
         //     "scaling" node-sweep section.
-        w.field("schema", "scaledeep-stats-4");
+        // -5: adds the "serve" section (continuous-batching serve
+        //     probe) when --serve is given.
+        w.field("schema", "scaledeep-stats-5");
         w.field("jobs", static_cast<std::int64_t>(jobs()));
         w.field("hardwareConcurrency",
                 static_cast<std::int64_t>(hardwareJobs()));
@@ -541,6 +715,48 @@ main(int argc, char **argv)
                 w.endObject();
             }
             w.endArray();
+        }
+        if (serve_stats) {
+            const ServeProbeStats &s = *serve_stats;
+            w.key("serve");
+            w.beginObject();
+            w.field("network", "TinyCnn");
+            w.field("engines", static_cast<std::int64_t>(s.engines));
+            w.field("maxBatch",
+                    static_cast<std::int64_t>(s.maxBatch));
+            w.field("maxQueueDelayMs", s.maxQueueDelayMs);
+            w.field("requests",
+                    static_cast<std::int64_t>(s.requests));
+            w.field("wallMs", s.wallMs);
+            w.field("throughputRps", s.throughputRps);
+            w.field("p50Ms", s.p50Ms);
+            w.field("p95Ms", s.p95Ms);
+            w.field("p99Ms", s.p99Ms);
+            w.field("meanBatch", s.meanBatch);
+            w.key("counters");
+            w.beginObject();
+            w.field("admitted",
+                    static_cast<std::int64_t>(s.counters.admitted));
+            w.field("rejectedFull",
+                    static_cast<std::int64_t>(s.counters.rejectedFull));
+            w.field("rejectedShutdown",
+                    static_cast<std::int64_t>(
+                        s.counters.rejectedShutdown));
+            w.field("completed",
+                    static_cast<std::int64_t>(s.counters.completed));
+            w.field("deadlineMissed",
+                    static_cast<std::int64_t>(
+                        s.counters.deadlineMissed));
+            w.field("batches",
+                    static_cast<std::int64_t>(s.counters.batches));
+            w.field("batchedImages",
+                    static_cast<std::int64_t>(
+                        s.counters.batchedImages));
+            w.field("maxBatchObserved",
+                    static_cast<std::int64_t>(
+                        s.counters.maxBatchObserved));
+            w.endObject();
+            w.endObject();
         }
         if (probe) {
             w.key("funcProbe");

@@ -33,6 +33,7 @@
 #define SCALEDEEP_CORE_METRICS_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -119,6 +120,65 @@ class MetricHistogram
     static constexpr int kBuckets = 64;
 
     void sample(std::uint64_t v);
+
+    /**
+     * RAII latency span: samples the elapsed wall-clock microseconds
+     * into the owning histogram on destruction. Move-only; a
+     * moved-from or cancel()ed timer records nothing. Obtain through
+     * observeScopedTimer() so call sites keep the cached-reference
+     * idiom:
+     *
+     *     auto t = hist.observeScopedTimer();  // span starts
+     *     ...                                  // span ends at scope exit
+     */
+    class ScopedTimer
+    {
+      public:
+        explicit ScopedTimer(MetricHistogram &h)
+            : hist_(&h), start_(std::chrono::steady_clock::now()) {}
+
+        ScopedTimer(ScopedTimer &&o) noexcept
+            : hist_(o.hist_), start_(o.start_) { o.hist_ = nullptr; }
+        ScopedTimer &operator=(ScopedTimer &&o) noexcept
+        {
+            if (this != &o) {
+                finish();
+                hist_ = o.hist_;
+                start_ = o.start_;
+                o.hist_ = nullptr;
+            }
+            return *this;
+        }
+        ScopedTimer(const ScopedTimer &) = delete;
+        ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+        ~ScopedTimer() { finish(); }
+
+        /** Microseconds since construction (span still open). */
+        std::uint64_t elapsedMicros() const
+        {
+            using namespace std::chrono;
+            return static_cast<std::uint64_t>(duration_cast<microseconds>(
+                steady_clock::now() - start_).count());
+        }
+
+        /** Drop the span without recording it. */
+        void cancel() { hist_ = nullptr; }
+
+      private:
+        void finish()
+        {
+            if (hist_ != nullptr) hist_->sample(elapsedMicros());
+            hist_ = nullptr;
+        }
+
+        MetricHistogram *hist_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /** Start a ScopedTimer whose elapsed microseconds land in this
+     * histogram when it leaves scope. */
+    ScopedTimer observeScopedTimer() { return ScopedTimer(*this); }
 
     /** Bulk-publish locally accumulated (non-atomic) state. */
     void merge(const std::uint64_t buckets[kBuckets],

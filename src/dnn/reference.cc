@@ -332,7 +332,7 @@ convWeightGradNaive(const Layer &l, const Tensor &in, const Tensor &dout,
 //
 // The convolutions become per-group GEMMs over the im2col patch
 // matrix (K = icg*kH*kW, N = outH*outW) and the FC kernels become one
-// real GEMM across the whole minibatch (gemv when batch is 1); all of
+// real GEMM across the whole minibatch (batch 1 is M = 1); all of
 // them run on the blocked, parallel sgemm. Batched convolutions
 // parallelize over the disjoint (image, group) output blocks, within
 // which the nested im2col/sgemm calls serialize (core/parallel.hh);
@@ -523,13 +523,13 @@ fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
     const std::size_t batch = kernelBatch(in, n_in, l, "fcForward");
     if (out.size() != batch * n_out || weights.size() != n_in * n_out)
         panic("fcForward ", l.name, ": bad sizes");
-    if (batch == 1) {
-        // Single image: the gemv fast path.
-        engineGemm(GemmOp::NoTrans, GemmOp::NoTrans, static_cast<int>(n_out),
-                   1, static_cast<int>(n_in), 1.0f, weights.data(),
-                   static_cast<int>(n_in), in.data(), 1, 0.0f, out.data(), 1);
-        return;
-    }
+    // One orientation for every batch (batch 1 is simply M = 1): each
+    // output element's reduction chain then depends only on (image,
+    // channel), never on the batch it rode in, which is the serving
+    // determinism contract (serve/server.hh) — a request batched with
+    // others is bit-identical to the same request alone. The historical
+    // gemv orientation (M = n_out, N = 1) accumulated in a different
+    // order and broke that.
     // out[n][o] = dot(W row o, image n): one real GEMM with the output
     // channels as the (stripe-parallel) column dimension.
     engineGemm(GemmOp::NoTrans, GemmOp::Trans, static_cast<int>(batch),
@@ -907,6 +907,28 @@ ReferenceEngine::pin(LayerId id)
     accountMemory();
 }
 
+void
+ReferenceEngine::shareWeightsFrom(ReferenceEngine &owner)
+{
+    if (&owner == this)
+        fatal("shareWeightsFrom: engine cannot share weights with itself");
+    if (owner.net_ != net_)
+        fatal("shareWeightsFrom: engines must wrap the same Network "
+              "object");
+    if (owner.weightsShared())
+        fatal("shareWeightsFrom: owner's weights are themselves shared "
+              "(no chaining — share from the owning engine)");
+    weightOwner_ = &owner;
+    for (const Layer &l : net_->layers()) {
+        if (!l.hasWeights())
+            continue;
+        Tensor &w = owner.weights_[l.id];
+        weights_[l.id] = Tensor::view({w.size()}, w.data());
+        grads_[l.id] = Tensor();  // forward-only: no gradient storage
+    }
+    accountMemory();
+}
+
 double
 ReferenceEngine::forwardMillis(LayerId id) const
 {
@@ -1228,6 +1250,9 @@ double
 ReferenceEngine::forwardBackward(const Tensor &input,
                                  const std::vector<int> &labels)
 {
+    if (weightsShared())
+        fatal("forwardBackward: engine shares another engine's weights "
+              "(shareWeightsFrom) and is forward-only");
     ensurePass(PassShape::ForwardBackward, input.batch());
     const Tensor &logits = forwardImpl(input);
     if (labels.size() != batch_)
@@ -1322,6 +1347,9 @@ ReferenceEngine::forwardBackward(const Tensor &input,
 void
 ReferenceEngine::applyUpdate(float lr, int batch_size)
 {
+    if (weightsShared())
+        fatal("applyUpdate: engine shares another engine's weights "
+              "(shareWeightsFrom) and is forward-only");
     if (batch_size <= 0)
         fatal("applyUpdate: batch size must be positive");
     const float scale = lr / static_cast<float>(batch_size);
@@ -1371,6 +1399,9 @@ ReferenceEngine::predict(const Tensor &image)
 Tensor &
 ReferenceEngine::weights(LayerId id)
 {
+    if (weightsShared())
+        fatal("weights: mutable access to shared weights — mutate the "
+              "owning engine instead");
     return weights_.at(id);
 }
 
@@ -1383,6 +1414,9 @@ ReferenceEngine::weights(LayerId id) const
 Tensor &
 ReferenceEngine::weightGrad(LayerId id)
 {
+    if (weightsShared())
+        fatal("weightGrad: shared-weight engines are forward-only and "
+              "hold no gradient buffers");
     return grads_.at(id);
 }
 

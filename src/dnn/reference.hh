@@ -173,9 +173,10 @@ void poolBackward(const Layer &l, const Tensor &dout,
                   const std::vector<std::uint32_t> &argmax, Tensor &din);
 
 /**
- * Fully-connected forward: out[n] = W * flatten(in[n]). Batch 1 runs
- * the gemv fast path; batch > 1 is one real GEMM (the batch becomes
- * the second matrix dimension instead of degenerating to N=1).
+ * Fully-connected forward: out[n] = W * flatten(in[n]) — one real GEMM
+ * with the batch as the M dimension (batch 1 is M = 1, the same
+ * orientation). Per-image results are bit-identical for every batch
+ * size the image rides in: the serving determinism contract.
  */
 void fcForward(const Layer &l, const Tensor &in, const Tensor &weights,
                Tensor &out);
@@ -350,6 +351,31 @@ class ReferenceEngine
      */
     void pin(LayerId id);
 
+    /**
+     * Rebind this engine's weights as non-owning views into @p owner's
+     * weight storage and release the local weight + gradient buffers,
+     * so an inference pool of N engines holds one weight copy instead
+     * of N (the per-engine saving shows up in liveBytes() and the
+     * aggregated refeng.bytes_* gauges, since views report zero
+     * capacity).
+     *
+     * Safe because every forward-path kernel takes `const Tensor &`
+     * weights and forward()/predict() never touch grads_ — the only
+     * weight writers are applyUpdate() and the weight-gradient
+     * accumulation inside forwardBackward()/trainMinibatch(), and all
+     * of those become fatal on a shared engine (it is forward-only).
+     *
+     * Requirements: both engines were built over the *same* Network
+     * object, @p owner owns its weights (no chaining), and @p owner
+     * outlives this engine — or at least every later forward() call.
+     * Concurrent forward() on owner and sharers is safe as long as
+     * nobody calls the owner's mutating entry points meanwhile.
+     */
+    void shareWeightsFrom(ReferenceEngine &owner);
+
+    /** True after shareWeightsFrom(): this engine is forward-only. */
+    bool weightsShared() const { return weightOwner_ != nullptr; }
+
     Tensor &weights(LayerId id);
     const Tensor &weights(LayerId id) const;
     Tensor &weightGrad(LayerId id);
@@ -388,6 +414,7 @@ class ReferenceEngine
     void publishMemoryGauges();
 
     const Network *net_;
+    const ReferenceEngine *weightOwner_ = nullptr; ///< set by shareWeightsFrom
     MemPlanMode memMode_;
     std::size_t batch_ = 1;             ///< current minibatch size
     PassShape passShape_ = PassShape::Forward;

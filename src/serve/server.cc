@@ -1,0 +1,434 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/logging.hh"
+#include "core/metrics.hh"
+
+namespace sd::serve {
+
+namespace {
+
+/** Process-global engine-pool size; 0 = not yet resolved. */
+std::atomic<int> g_serve_engines{0};
+
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::uint64_t
+micros(double ms)
+{
+    return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0);
+}
+
+void
+recordBatchMetrics(std::size_t batch, double formMs)
+{
+#if SD_METRICS
+    if (!SD_METRICS_ACTIVE())
+        return;
+    static MetricCounter &batches = MetricsRegistry::global().counter(
+        "serve.batches", "batches dispatched to the engine pool");
+    static MetricHistogram &size = MetricsRegistry::global().histogram(
+        "serve.batch_size", "requests per dispatched batch");
+    static MetricHistogram &form = MetricsRegistry::global().histogram(
+        "serve.batch_form_us", "oldest-request arrival -> batch close "
+        "wall time (us)");
+    batches.add(1);
+    size.sample(batch);
+    form.sample(micros(formMs));
+#else
+    (void)batch;
+    (void)formMs;
+#endif
+}
+
+void
+recordRequestMetrics(double queueMs, double totalMs, bool missed)
+{
+#if SD_METRICS
+    if (!SD_METRICS_ACTIVE())
+        return;
+    static MetricCounter &completed = MetricsRegistry::global().counter(
+        "serve.completed", "requests completed (futures resolved Ok)");
+    static MetricCounter &misses = MetricsRegistry::global().counter(
+        "serve.deadline_missed", "requests completed past their "
+        "deadline");
+    static MetricHistogram &wait = MetricsRegistry::global().histogram(
+        "serve.queue_wait_us", "submit -> batch close wall time per "
+        "request (us)");
+    static MetricHistogram &e2e = MetricsRegistry::global().histogram(
+        "serve.e2e_us", "submit -> completion wall time per request "
+        "(us)");
+    completed.add(1);
+    if (missed)
+        misses.add(1);
+    wait.sample(micros(queueMs));
+    e2e.sample(micros(totalMs));
+#else
+    (void)queueMs;
+    (void)totalMs;
+    (void)missed;
+#endif
+}
+
+void
+countAdmission(const char *which)
+{
+#if SD_METRICS
+    if (!SD_METRICS_ACTIVE())
+        return;
+    // Three disjoint outcomes, one counter each; cached per-site.
+    if (which[0] == 'a') {
+        static MetricCounter &c = MetricsRegistry::global().counter(
+            "serve.admitted", "requests accepted into the queue");
+        c.add(1);
+    } else if (which[0] == 'f') {
+        static MetricCounter &c = MetricsRegistry::global().counter(
+            "serve.rejected_full", "requests rejected: queue full");
+        c.add(1);
+    } else {
+        static MetricCounter &c = MetricsRegistry::global().counter(
+            "serve.rejected_shutdown",
+            "requests rejected: submitted after shutdown");
+        c.add(1);
+    }
+#else
+    (void)which;
+#endif
+}
+
+} // namespace
+
+int
+defaultServeEngines()
+{
+    if (const char *env = std::getenv("SD_SERVE_ENGINES")) {
+        const std::string text(env);
+        int value = 0;
+        const auto [ptr, ec] = std::from_chars(
+            text.data(), text.data() + text.size(), value);
+        if (ec != std::errc{} || ptr != text.data() + text.size() ||
+            value < 1)
+            fatal("SD_SERVE_ENGINES=", env,
+                  " is not a positive engine count");
+        return value;
+    }
+    return 1;
+}
+
+void
+setServeEngines(int engines)
+{
+    if (engines < 1)
+        fatal("setServeEngines: engine count must be positive, got ",
+              engines);
+    g_serve_engines.store(engines, std::memory_order_relaxed);
+}
+
+int
+serveEngines()
+{
+    const int v = g_serve_engines.load(std::memory_order_relaxed);
+    if (v > 0)
+        return v;
+    // First use: resolve from the environment. A concurrent first use
+    // races benignly — defaultServeEngines() is deterministic.
+    const int d = defaultServeEngines();
+    g_serve_engines.store(d, std::memory_order_relaxed);
+    return d;
+}
+
+InferenceServer::InferenceServer(const dnn::Network &net, ServeConfig cfg)
+    : net_(&net), cfg_(cfg)
+{
+    if (cfg_.engines < 1)
+        fatal("InferenceServer: engines must be positive, got ",
+              cfg_.engines);
+    if (cfg_.maxBatch < 1)
+        fatal("InferenceServer: maxBatch must be positive, got ",
+              cfg_.maxBatch);
+    if (cfg_.maxQueueDelayMs < 0.0)
+        fatal("InferenceServer: maxQueueDelayMs must be >= 0, got ",
+              cfg_.maxQueueDelayMs);
+    if (cfg_.queueCapacity < 1)
+        fatal("InferenceServer: queueCapacity must be positive, got ",
+              cfg_.queueCapacity);
+    inputElems_ = net.layers().front().outputElems();
+
+    engines_.reserve(static_cast<std::size_t>(cfg_.engines));
+    for (int i = 0; i < cfg_.engines; ++i) {
+        engines_.push_back(std::make_unique<dnn::ReferenceEngine>(
+            net, cfg_.seed, cfg_.memMode));
+        if (cfg_.shareWeights && i > 0)
+            engines_.back()->shareWeightsFrom(*engines_[0]);
+    }
+
+    // One crew thread per engine — serving concurrency is request
+    // fan-out, not compute fan-out, so it is deliberately NOT bounded
+    // by jobs(). With engines == 1 crew.run degrades to inline
+    // (un-marked) execution on the dispatcher, so the single worker
+    // keeps full kernel parallelism; with engines > 1 each worker is
+    // a crew task whose nested kernel regions serialize, trading
+    // per-batch kernel parallelism for cross-batch engine parallelism
+    // (the same trade DataParallelTrainer makes).
+    crew_ = std::make_unique<TaskCrew>(cfg_.engines);
+    dispatcher_ = std::thread([this] {
+        crew_->run(static_cast<std::size_t>(cfg_.engines),
+                   [this](std::size_t i) {
+                       workerLoop(static_cast<int>(i));
+                   });
+    });
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+std::future<ServeResult>
+InferenceServer::submit(dnn::Tensor input, double deadlineMs)
+{
+    if (input.size() != inputElems_)
+        fatal("InferenceServer::submit: input holds ", input.size(),
+              " elements but the network input layer expects ",
+              inputElems_);
+    Request req;
+    req.input = std::move(input);
+    req.arrival = Clock::now();
+    req.hasDeadline = deadlineMs >= 0.0;
+    req.deadline = req.hasDeadline
+        ? req.arrival + std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(deadlineMs))
+        : Clock::time_point::max();
+    std::future<ServeResult> fut = req.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) {
+            rejectedShutdown_.fetch_add(1, std::memory_order_relaxed);
+            countAdmission("shutdown");
+            ServeResult r;
+            r.status = RequestStatus::ShutDown;
+            req.promise.set_value(std::move(r));
+            return fut;
+        }
+        if (queue_.size() >=
+            static_cast<std::size_t>(cfg_.queueCapacity)) {
+            rejectedFull_.fetch_add(1, std::memory_order_relaxed);
+            countAdmission("full");
+            ServeResult r;
+            r.status = RequestStatus::Rejected;
+            req.promise.set_value(std::move(r));
+            return fut;
+        }
+        queue_.push_back(std::move(req));
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        countAdmission("admitted");
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void
+InferenceServer::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    // Exactly one caller joins; late callers block until the drain is
+    // complete, so shutdown() is safe to race with itself and with
+    // the destructor.
+    std::call_once(joinOnce_, [this] { dispatcher_.join(); });
+}
+
+dnn::ReferenceEngine &
+InferenceServer::engine(int i)
+{
+    if (i < 0 || i >= cfg_.engines)
+        panic("InferenceServer::engine: index ", i, " out of range [0, ",
+              cfg_.engines, ")");
+    return *engines_[static_cast<std::size_t>(i)];
+}
+
+ServeCounters
+InferenceServer::counters() const
+{
+    ServeCounters c;
+    c.admitted = admitted_.load(std::memory_order_relaxed);
+    c.rejectedFull = rejectedFull_.load(std::memory_order_relaxed);
+    c.rejectedShutdown =
+        rejectedShutdown_.load(std::memory_order_relaxed);
+    c.completed = completed_.load(std::memory_order_relaxed);
+    c.deadlineMissed = deadlineMissed_.load(std::memory_order_relaxed);
+    c.batches = batches_.load(std::memory_order_relaxed);
+    c.batchedImages = batchedImages_.load(std::memory_order_relaxed);
+    c.maxBatchObserved =
+        maxBatchObserved_.load(std::memory_order_relaxed);
+    return c;
+}
+
+std::size_t
+InferenceServer::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+void
+InferenceServer::workerLoop(int worker)
+{
+    std::vector<Request> batch;
+    for (;;) {
+        batch.clear();
+        Clock::time_point closedAt;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ && drained
+            closedAt = formBatch(lock, batch);
+            // Another worker may have drained the queue while this one
+            // slept inside formBatch — nothing to run, wait again.
+            if (batch.empty())
+                continue;
+            // Leftover requests re-notify the next idle worker — their
+            // original submit notifications may already have been
+            // consumed by this one.
+            if (!queue_.empty())
+                cv_.notify_one();
+        }
+        runBatch(batch, worker, closedAt);
+    }
+}
+
+InferenceServer::Clock::time_point
+InferenceServer::formBatch(std::unique_lock<std::mutex> &lock,
+                           std::vector<Request> &batch)
+{
+    // The close deadline is recomputed from the *current* front on
+    // every wakeup: while this worker sleeps the lock is released, so
+    // a sibling worker can pop the front (or the whole queue) out from
+    // under it. The delay bound always applies; a request deadline
+    // tightens it by the EWMA compute estimate, so the batch is
+    // dispatched while the SLO still has room for the forward pass.
+    for (;;) {
+        if (stop_ || queue_.empty() ||
+            queue_.size() >= static_cast<std::size_t>(cfg_.maxBatch))
+            break;
+        const Request &oldest = queue_.front();
+        Clock::time_point close_at =
+            oldest.arrival +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    cfg_.maxQueueDelayMs));
+        if (oldest.hasDeadline) {
+            const Clock::time_point latest =
+                oldest.deadline -
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        computeEstimateMs_));
+            close_at = std::min(close_at, latest);
+        }
+        if (Clock::now() >= close_at)
+            break;
+        cv_.wait_until(lock, close_at);
+    }
+    // Empty here means a sibling drained the queue while we slept; the
+    // caller sees an empty batch and goes back to waiting.
+    const std::size_t take = std::min(
+        queue_.size(), static_cast<std::size_t>(cfg_.maxBatch));
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    return Clock::now();
+}
+
+void
+InferenceServer::runBatch(std::vector<Request> &batch, int worker,
+                          Clock::time_point closedAt)
+{
+    dnn::ReferenceEngine &eng = *engines_[static_cast<std::size_t>(worker)];
+    const std::size_t n = batch.size();
+
+    const dnn::Tensor *out = nullptr;
+    const Clock::time_point computeStart = Clock::now();
+    {
+        // The serve.compute_us span is RAII: the timer samples the
+        // elapsed microseconds into the histogram when the block ends.
+        std::optional<MetricHistogram::ScopedTimer> span;
+#if SD_METRICS
+        if (SD_METRICS_ACTIVE()) {
+            static MetricHistogram &h =
+                MetricsRegistry::global().histogram(
+                    "serve.compute_us",
+                    "batched forward wall time per batch (us)");
+            span.emplace(h.observeScopedTimer());
+        }
+#endif
+        if (n == 1) {
+            out = &eng.forward(batch[0].input);
+        } else {
+            std::vector<dnn::Tensor> inputs;
+            inputs.reserve(n);
+            for (Request &r : batch)
+                inputs.push_back(std::move(r.input));
+            out = &eng.forward(dnn::Tensor::stack(inputs));
+        }
+    }
+    const Clock::time_point done = Clock::now();
+    const double computeMs = msBetween(computeStart, done);
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batchedImages_.fetch_add(n, std::memory_order_relaxed);
+    std::uint64_t prevMax =
+        maxBatchObserved_.load(std::memory_order_relaxed);
+    while (n > prevMax &&
+           !maxBatchObserved_.compare_exchange_weak(
+               prevMax, n, std::memory_order_relaxed))
+        ;
+    recordBatchMetrics(n, msBetween(batch[0].arrival, closedAt));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        Request &r = batch[i];
+        ServeResult res;
+        res.status = RequestStatus::Ok;
+        res.output = out->imageAt(i);
+        res.batchSize = static_cast<int>(n);
+        res.queueMs = msBetween(r.arrival, closedAt);
+        res.computeMs = computeMs;
+        res.totalMs = msBetween(r.arrival, done);
+        res.deadlineMissed = r.hasDeadline && done > r.deadline;
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (res.deadlineMissed)
+            deadlineMissed_.fetch_add(1, std::memory_order_relaxed);
+        recordRequestMetrics(res.queueMs, res.totalMs,
+                             res.deadlineMissed);
+        r.promise.set_value(std::move(res));
+    }
+
+    {
+        // EWMA of batch compute time feeds the deadline budget in
+        // formBatch (0 until the first batch lands, so the very first
+        // deadline-bound batch may overshoot once while it learns).
+        std::lock_guard<std::mutex> lock(mu_);
+        computeEstimateMs_ = computeEstimateMs_ == 0.0
+            ? computeMs
+            : 0.75 * computeEstimateMs_ + 0.25 * computeMs;
+    }
+}
+
+} // namespace sd::serve

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Asynchronous serving front-end with continuous batching over a pool
+ * of reference engines — the traffic-facing path that turns the
+ * batched kernels (PR 3), the memory planner (PR 8) and the telemetry
+ * layer (PR 6) into requests-per-second and latency percentiles.
+ *
+ * Architecture (DESIGN.md §10 "Serving layer"):
+ *
+ *  - submit() validates the image, stamps arrival/deadline, and either
+ *    enqueues it (returning a std::future<ServeResult>) or fails it
+ *    fast: Rejected when the bounded queue is full, ShutDown after
+ *    shutdown(). Submitters never block.
+ *  - A pool of `engines` workers (one memory-planned ReferenceEngine
+ *    each, weights shared with engine 0 by default) runs on a
+ *    dedicated TaskCrew. Each idle worker *is* the batch former: it
+ *    camps on the queue, closes a batch when `maxBatch` requests are
+ *    waiting or the close deadline passes, and leaves the queue — and
+ *    the lock — to the next idle worker before computing. Batch
+ *    formation therefore overlaps compute whenever more than one
+ *    engine exists, and with one engine the queue itself accumulates
+ *    the next batch during compute: there is no stop-the-world
+ *    barrier between batches either way.
+ *  - Close rule: with `oldest` the front (longest-waiting) request,
+ *        closeAt = min(oldest.arrival + maxQueueDelay,
+ *                      oldest.deadline - computeEstimate)
+ *    where computeEstimate is an EWMA of recent batch compute times
+ *    (0 until the first batch completes). A request whose budget is
+ *    already exhausted dispatches immediately with whatever has
+ *    accumulated. Requests that miss their deadline still complete
+ *    and return a result — `deadlineMissed` is reporting, not
+ *    cancellation.
+ *
+ * Determinism contract: batching never changes results. For a fixed
+ * arrival trace and fixed engines/SD_JOBS, every request's output is
+ * bit-identical to running that request alone through
+ * ReferenceEngine::forward — the batched kernels compute each image's
+ * outputs with the same per-image arithmetic in the same order
+ * (dnn/reference.hh), and scatter via Tensor::imageAt is a plain copy.
+ * test_serve pins this; micro_serve makes it fatal.
+ */
+
+#ifndef SCALEDEEP_SERVE_SERVER_HH
+#define SCALEDEEP_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "dnn/memplan.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+
+namespace sd::serve {
+
+/**
+ * The engine-pool size front-ends should adopt: the SD_SERVE_ENGINES
+ * environment variable when set to a positive integer (fatal
+ * otherwise), else 1.
+ */
+int defaultServeEngines();
+
+/** Set the process-global engine-pool size (fatal unless >= 1). */
+void setServeEngines(int engines);
+
+/**
+ * Current process-global engine-pool size. Initialized from
+ * defaultServeEngines() on first use, so SD_SERVE_ENGINES reaches
+ * every server without per-driver plumbing; front-ends expose it as
+ * --engines.
+ */
+int serveEngines();
+
+/** Terminal state of one submitted request. */
+enum class RequestStatus {
+    Ok,        ///< computed; `output` holds the final-layer values
+    Rejected,  ///< bounded queue was full at submit; never ran
+    ShutDown,  ///< submitted after shutdown(); never ran
+};
+
+/** What a request's future resolves to. */
+struct ServeResult
+{
+    dnn::Tensor output;      ///< final-layer output (CHW); empty unless Ok
+    RequestStatus status = RequestStatus::Ok;
+    bool deadlineMissed = false; ///< had a deadline and completed past it
+    double queueMs = 0.0;    ///< submit -> batch close
+    double computeMs = 0.0;  ///< batch forward wall time (whole batch)
+    double totalMs = 0.0;    ///< submit -> completion
+    int batchSize = 0;       ///< size of the batch this request rode in
+};
+
+/** Server construction knobs. Defaults resolve the process globals. */
+struct ServeConfig
+{
+    /** Engine-pool size (= worker count). Workers > 1 serialize their
+     * nested kernel regions (TaskCrew contract), trading per-request
+     * kernel parallelism for request parallelism; engines = 1 keeps
+     * full kernel parallelism inside each batch. */
+    int engines = serveEngines();
+
+    /** Batch-size bound: a batch closes as soon as this many requests
+     * are waiting. 1 disables coalescing (the baseline micro_serve
+     * measures against). */
+    int maxBatch = 8;
+
+    /** Batch-delay bound: a batch closes no later than this many ms
+     * after its oldest request arrived, deadline pressure permitting. */
+    double maxQueueDelayMs = 2.0;
+
+    /** Bounded-queue capacity; submit() rejects above it. */
+    int queueCapacity = 1024;
+
+    /** Activation-memory strategy for every pool engine. */
+    dnn::MemPlanMode memMode = dnn::memPlanMode();
+
+    /** Bind engines 1..N-1 as views of engine 0's weights (one weight
+     * copy for the whole pool) instead of N identical copies. Results
+     * are identical either way — the copies come from the same seed. */
+    bool shareWeights = true;
+
+    /** Weight-initialization seed for the pool engines. */
+    std::uint64_t seed = 1;
+};
+
+/** Monotonic request/batch counters (always on, unlike serve.*
+ * metrics, so tests and the stats export can rely on them). */
+struct ServeCounters
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t rejectedFull = 0;
+    std::uint64_t rejectedShutdown = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadlineMissed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batchedImages = 0; ///< sum of dispatched batch sizes
+    std::uint64_t maxBatchObserved = 0;
+};
+
+/**
+ * The serving front-end. Construction spins up the engine pool and
+ * its crew; shutdown() (or destruction) stops intake, drains every
+ * admitted request, and joins the workers.
+ *
+ * Thread safety: submit() and the counter accessors are safe from any
+ * thread, concurrently with the workers. engine() is for setup
+ * (weight loading) and verification — do not mutate engines while
+ * requests are in flight.
+ */
+class InferenceServer
+{
+  public:
+    explicit InferenceServer(const dnn::Network &net, ServeConfig cfg = {});
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Submit one CHW image. @p deadlineMs is the end-to-end SLO budget
+     * in milliseconds from now; negative means no deadline. A zero
+     * deadline degenerates to "dispatch immediately" and is always
+     * reported deadlineMissed (any completion takes > 0 ms).
+     *
+     * The returned future always resolves — with status Rejected /
+     * ShutDown immediately when the request was not admitted, else
+     * with the computed result once its batch completes. Fatal on an
+     * input whose volume does not match the network's input layer.
+     */
+    std::future<ServeResult> submit(dnn::Tensor input,
+                                    double deadlineMs = -1.0);
+
+    /**
+     * Stop intake, drain every admitted request, join the workers.
+     * Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    const ServeConfig &config() const { return cfg_; }
+
+    /** Pool engine @p i (0 owns the weights under shareWeights). */
+    dnn::ReferenceEngine &engine(int i);
+
+    /** Snapshot of the request/batch counters. */
+    ServeCounters counters() const;
+
+    /** Requests currently waiting in the queue (racy snapshot). */
+    std::size_t queueDepth() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Request
+    {
+        dnn::Tensor input;
+        std::promise<ServeResult> promise;
+        Clock::time_point arrival;
+        Clock::time_point deadline; ///< Clock::time_point::max() if none
+        bool hasDeadline = false;
+    };
+
+    void workerLoop(int worker);
+    /** Pop up to maxBatch requests; called with mu_ held, queue
+     * non-empty. Returns the batch-close time point. The batch comes
+     * back empty if a sibling worker drained the queue while this one
+     * slept waiting for the close deadline — the caller re-waits. */
+    Clock::time_point formBatch(std::unique_lock<std::mutex> &lock,
+                                std::vector<Request> &batch);
+    void runBatch(std::vector<Request> &batch, int worker,
+                  Clock::time_point closedAt);
+
+    const dnn::Network *net_;
+    ServeConfig cfg_;
+    std::uint64_t inputElems_;
+    std::vector<std::unique_ptr<dnn::ReferenceEngine>> engines_;
+    std::unique_ptr<TaskCrew> crew_;
+    std::thread dispatcher_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool stop_ = false;
+    std::once_flag joinOnce_;
+    double computeEstimateMs_ = 0.0; ///< EWMA of batch compute (mu_)
+
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> rejectedFull_{0};
+    std::atomic<std::uint64_t> rejectedShutdown_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> deadlineMissed_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> batchedImages_{0};
+    std::atomic<std::uint64_t> maxBatchObserved_{0};
+};
+
+} // namespace sd::serve
+
+#endif // SCALEDEEP_SERVE_SERVER_HH

@@ -8,6 +8,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -190,6 +191,42 @@ TEST(MetricHistogram, MergePublishesLocalAccumulators)
     EXPECT_EQ(h.sum(), 268u);
     EXPECT_EQ(h.min(), 5u);
     EXPECT_EQ(h.max(), 120u);
+}
+
+TEST(MetricHistogram, ScopedTimerSamplesElapsedMicrosOnDestruction)
+{
+    MetricHistogram h;
+    {
+        auto t = h.observeScopedTimer();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        EXPECT_EQ(h.count(), 0u) << "span must not record while open";
+        EXPECT_GE(t.elapsedMicros(), 1000u);
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.max(), 1000u) << "2 ms sleep must record >= 1000 us";
+}
+
+TEST(MetricHistogram, ScopedTimerMoveTransfersTheSpan)
+{
+    MetricHistogram h;
+    {
+        auto outer = [&] {
+            auto t = h.observeScopedTimer();
+            return t; // moved out; the local must not record
+        }();
+        EXPECT_EQ(h.count(), 0u);
+    }
+    EXPECT_EQ(h.count(), 1u) << "moved-to timer records exactly once";
+}
+
+TEST(MetricHistogram, ScopedTimerCancelDropsTheSpan)
+{
+    MetricHistogram h;
+    {
+        auto t = h.observeScopedTimer();
+        t.cancel();
+    }
+    EXPECT_EQ(h.count(), 0u);
 }
 
 TEST(Metrics, ConcurrentHammerKeepsExactTotals)

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for the serving front-end (serve/server.hh): the determinism
+ * contract (batched results bit-identical to solo forward, single- and
+ * multi-engine), the queue edge cases (zero deadline, submit after
+ * shutdown, burst past capacity), the SD_SERVE_ENGINES plumbing, and
+ * the shared-weight forward-only guards on ReferenceEngine.
+ */
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+#include "dnn/zoo.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace sd;
+using namespace sd::dnn;
+using sd::serve::InferenceServer;
+using sd::serve::RequestStatus;
+using sd::serve::ServeConfig;
+using sd::serve::ServeResult;
+
+struct JobsGuard
+{
+    int prev;
+    explicit JobsGuard(int n) : prev(jobs()) { setJobs(n); }
+    ~JobsGuard() { setJobs(prev); }
+};
+
+std::vector<Tensor>
+sampleImages(int n, int size = 16, int classes = 4)
+{
+    SyntheticDataset data(classes, 1, size, size, /*seed=*/11);
+    std::vector<Tensor> images;
+    images.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        images.push_back(data.sample().first);
+    return images;
+}
+
+void
+expectBitIdentical(const Tensor &want, const Tensor &got)
+{
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(want[i], got[i]) << "element " << i << " diverged";
+}
+
+/** Submit every image, then compare each future's output bitwise with
+ * a solo forward() of the same image on a private engine. */
+void
+runBitIdentityTrace(const Network &net, const ServeConfig &cfg,
+                    int requests)
+{
+    const std::vector<Tensor> images = sampleImages(requests);
+    ReferenceEngine solo(net, cfg.seed, cfg.memMode);
+
+    InferenceServer server(net, cfg);
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(images.size());
+    for (const Tensor &img : images)
+        futures.push_back(server.submit(img));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        ServeResult res = futures[i].get();
+        ASSERT_EQ(res.status, RequestStatus::Ok);
+        EXPECT_FALSE(res.deadlineMissed);
+        EXPECT_GE(res.batchSize, 1);
+        expectBitIdentical(solo.forward(images[i]), res.output);
+    }
+    const serve::ServeCounters c = server.counters();
+    EXPECT_EQ(c.admitted, static_cast<std::uint64_t>(requests));
+    EXPECT_EQ(c.completed, static_cast<std::uint64_t>(requests));
+    EXPECT_EQ(c.batchedImages, static_cast<std::uint64_t>(requests));
+    EXPECT_EQ(c.rejectedFull, 0u);
+    EXPECT_EQ(c.deadlineMissed, 0u);
+}
+
+TEST(Serve, SingleEngineSerialJobsBitIdenticalToSolo)
+{
+    JobsGuard serial(1);
+    ServeConfig cfg;
+    cfg.engines = 1;
+    cfg.maxBatch = 8;
+    cfg.maxQueueDelayMs = 500.0;
+    const Network net = makeTinyCnn(16, 4);
+    runBitIdentityTrace(net, cfg, 24);
+}
+
+TEST(Serve, SingleEngineParallelJobsBitIdenticalToSolo)
+{
+    JobsGuard parallel(4);
+    ServeConfig cfg;
+    cfg.engines = 1;
+    cfg.maxBatch = 4;
+    cfg.maxQueueDelayMs = 500.0;
+    const Network net = makeTinyCnn(16, 4);
+    runBitIdentityTrace(net, cfg, 17); // deliberately not a multiple
+}
+
+TEST(Serve, EnginePoolWithSharedWeightsBitIdenticalToSolo)
+{
+    JobsGuard parallel(4);
+    ServeConfig cfg;
+    cfg.engines = 3;
+    cfg.maxBatch = 4;
+    cfg.maxQueueDelayMs = 500.0;
+    cfg.shareWeights = true;
+    const Network net = makeTinyCnn(16, 4);
+    runBitIdentityTrace(net, cfg, 20);
+}
+
+TEST(Serve, PrivateWeightCopiesAlsoBitIdentical)
+{
+    ServeConfig cfg;
+    cfg.engines = 2;
+    cfg.maxBatch = 4;
+    cfg.maxQueueDelayMs = 500.0;
+    cfg.shareWeights = false; // same seed => same copies
+    const Network net = makeTinyCnn(16, 4);
+    runBitIdentityTrace(net, cfg, 12);
+}
+
+TEST(Serve, SharedWeightEnginesDropTheWeightBytes)
+{
+    const Network net = makeTinyCnn(16, 4);
+    ServeConfig cfg;
+    cfg.engines = 2;
+    cfg.shareWeights = true;
+    InferenceServer server(net, cfg);
+    EXPECT_FALSE(server.engine(0).weightsShared());
+    EXPECT_TRUE(server.engine(1).weightsShared());
+    // The sharer holds views (0 bytes) where the owner holds weight +
+    // gradient storage.
+    EXPECT_LT(server.engine(1).liveBytes(),
+              server.engine(0).liveBytes());
+}
+
+TEST(Serve, ZeroDeadlineDispatchesImmediatelyAndReportsMiss)
+{
+    ServeConfig cfg;
+    cfg.engines = 1;
+    cfg.maxBatch = 8;
+    cfg.maxQueueDelayMs = 10000.0; // the deadline must cut this short
+    const Network net = makeTinyCnn(16, 4);
+    InferenceServer server(net, cfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ServeResult res = server.submit(sampleImages(1)[0], 0.0).get();
+    const double elapsedMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    EXPECT_EQ(res.status, RequestStatus::Ok);
+    EXPECT_TRUE(res.deadlineMissed) << "a zero budget cannot be met";
+    EXPECT_EQ(res.batchSize, 1);
+    EXPECT_LT(elapsedMs, 5000.0)
+        << "zero deadline must bypass maxQueueDelay";
+    EXPECT_EQ(server.counters().deadlineMissed, 1u);
+}
+
+TEST(Serve, GenerousDeadlineIsNotMissed)
+{
+    ServeConfig cfg;
+    cfg.engines = 1;
+    cfg.maxBatch = 2;
+    cfg.maxQueueDelayMs = 1.0;
+    const Network net = makeTinyCnn(16, 4);
+    InferenceServer server(net, cfg);
+    ServeResult res = server.submit(sampleImages(1)[0], 60000.0).get();
+    EXPECT_EQ(res.status, RequestStatus::Ok);
+    EXPECT_FALSE(res.deadlineMissed);
+}
+
+TEST(Serve, SubmitAfterShutdownResolvesShutDownStatus)
+{
+    const Network net = makeTinyCnn(16, 4);
+    InferenceServer server(net, {});
+    server.shutdown();
+    server.shutdown(); // idempotent
+
+    ServeResult res = server.submit(sampleImages(1)[0]).get();
+    EXPECT_EQ(res.status, RequestStatus::ShutDown);
+    EXPECT_EQ(res.output.size(), 0u);
+    const serve::ServeCounters c = server.counters();
+    EXPECT_EQ(c.rejectedShutdown, 1u);
+    EXPECT_EQ(c.admitted, 0u);
+}
+
+TEST(Serve, BurstBeyondCapacityRejectsOverflowAndDrainsAdmitted)
+{
+    ServeConfig cfg;
+    cfg.engines = 1;
+    cfg.maxBatch = 8;       // > capacity, so nothing closes on size
+    cfg.queueCapacity = 4;
+    cfg.maxQueueDelayMs = 60000.0; // nothing closes on delay either
+    const Network net = makeTinyCnn(16, 4);
+    ReferenceEngine solo(net, cfg.seed, cfg.memMode);
+    const std::vector<Tensor> images = sampleImages(7);
+
+    InferenceServer server(net, cfg);
+    std::vector<std::future<ServeResult>> futures;
+    for (const Tensor &img : images)
+        futures.push_back(server.submit(img));
+    // Queued requests stay queued (counting against capacity) until
+    // their batch closes, so the burst splits deterministically: the
+    // first 4 admitted, the last 3 rejected.
+    server.shutdown(); // forces the close; drains the admitted 4
+
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        ServeResult res = futures[i].get();
+        if (i < 4) {
+            ASSERT_EQ(res.status, RequestStatus::Ok)
+                << "admitted request " << i << " must drain on shutdown";
+            expectBitIdentical(solo.forward(images[i]), res.output);
+        } else {
+            EXPECT_EQ(res.status, RequestStatus::Rejected);
+        }
+    }
+    const serve::ServeCounters c = server.counters();
+    EXPECT_EQ(c.admitted, 4u);
+    EXPECT_EQ(c.rejectedFull, 3u);
+    EXPECT_EQ(c.completed, 4u);
+}
+
+TEST(Serve, RejectsMisshapenInput)
+{
+    const Network net = makeTinyCnn(16, 4);
+    InferenceServer server(net, {});
+    EXPECT_DEATH(server.submit(Tensor({3, 3, 3})), "input layer");
+}
+
+TEST(Serve, ConfigValidation)
+{
+    const Network net = makeTinyCnn(16, 4);
+    ServeConfig bad;
+    bad.engines = 0;
+    EXPECT_DEATH(InferenceServer(net, bad), "engines");
+    ServeConfig badBatch;
+    badBatch.maxBatch = 0;
+    EXPECT_DEATH(InferenceServer(net, badBatch), "maxBatch");
+    ServeConfig badCap;
+    badCap.queueCapacity = 0;
+    EXPECT_DEATH(InferenceServer(net, badCap), "queueCapacity");
+}
+
+TEST(ServeEngines, GlobalPlumbing)
+{
+    const int prev = serve::serveEngines();
+    serve::setServeEngines(3);
+    EXPECT_EQ(serve::serveEngines(), 3);
+    serve::setServeEngines(prev);
+    EXPECT_DEATH(serve::setServeEngines(0), "positive");
+}
+
+TEST(ShareWeights, ForwardIsBitIdenticalAndMutationIsFatal)
+{
+    const Network net = makeTinyCnn(16, 4);
+    ReferenceEngine owner(net, 1);
+    ReferenceEngine sharer(net, 2); // different init, then rebound
+    sharer.shareWeightsFrom(owner);
+
+    const Tensor img = sampleImages(1)[0];
+    Tensor fromOwner = owner.forward(img);
+    expectBitIdentical(fromOwner, sharer.forward(img));
+
+    EXPECT_DEATH(sharer.applyUpdate(0.1f, 1), "forward-only");
+    EXPECT_DEATH(sharer.forwardBackward(img, 0), "forward-only");
+    EXPECT_DEATH(sharer.weights(1), "owning engine");
+    EXPECT_DEATH(sharer.weightGrad(1), "forward-only");
+    // const access stays available
+    const ReferenceEngine &cs = sharer;
+    EXPECT_GT(cs.weights(1).size(), 0u);
+}
+
+TEST(ShareWeights, OwnerUpdatesAreVisibleThroughTheViews)
+{
+    const Network net = makeTinyCnn(16, 4);
+    ReferenceEngine owner(net, 1);
+    ReferenceEngine sharer(net, 1);
+    sharer.shareWeightsFrom(owner);
+
+    const Tensor img = sampleImages(1)[0];
+    owner.forwardBackward(img, 1);
+    owner.applyUpdate(0.5f, 1); // mutates the shared storage
+    expectBitIdentical(owner.forward(img), sharer.forward(img));
+}
+
+TEST(ShareWeights, RejectsForeignNetworksAndChaining)
+{
+    const Network netA = makeTinyCnn(16, 4);
+    const Network netB = makeTinyCnn(16, 4); // equal topology, distinct object
+    ReferenceEngine a(netA, 1);
+    ReferenceEngine b(netA, 1);
+    ReferenceEngine foreign(netB, 1);
+    EXPECT_DEATH(foreign.shareWeightsFrom(a), "same Network");
+    b.shareWeightsFrom(a);
+    ReferenceEngine c(netA, 1);
+    EXPECT_DEATH(c.shareWeightsFrom(b), "chaining");
+    EXPECT_DEATH(a.shareWeightsFrom(a), "itself");
+}
+
+} // namespace
